@@ -1,0 +1,62 @@
+// Ablation A (design choice from §4.3.2): chunk-boundary strategies.
+//
+// The paper reports experimenting with "equal sized chunks,
+// exponentially growing/shrinking chunks" before settling on
+// score-distribution-based geometric boundaries (the chunk ratio) plus a
+// minimum chunk size. This ablation regenerates that comparison:
+// ratio-based boundaries should win on query time at equal update cost
+// because they put few documents in the high-score chunks that queries
+// scan first.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace svr;
+using namespace svr::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  workload::ExperimentConfig config = DefaultConfig(flags);
+  const bool validate = flags.GetBool("validate", false);
+
+  struct Variant {
+    const char* name;
+    index::ChunkStrategy strategy;
+    uint32_t target_chunks;
+  };
+  const Variant variants[] = {
+      {"ratio (paper)", index::ChunkStrategy::kRatio, 0},
+      {"equal-count 8", index::ChunkStrategy::kEqualCount, 8},
+      {"equal-count 32", index::ChunkStrategy::kEqualCount, 32},
+      {"equal-width 8", index::ChunkStrategy::kEqualWidth, 8},
+      {"equal-width 32", index::ChunkStrategy::kEqualWidth, 32},
+  };
+
+  std::printf("# Ablation: chunk boundary strategies (Chunk method)\n\n");
+  TablePrinter table({"strategy", "upd ms", "qry ms", "qry pages",
+                      "sim qry ms", "short MB"});
+  for (const Variant& v : variants) {
+    index::IndexOptions opt = DefaultIndexOptions(flags);
+    opt.chunk.chunking.strategy = v.strategy;
+    if (v.target_chunks > 0) {
+      opt.chunk.chunking.target_num_chunks = v.target_chunks;
+    }
+    auto exp = CheckResult(
+        workload::Experiment::Setup(index::Method::kChunk, config, opt),
+        "setup");
+    auto upd = CheckResult(exp->ApplyUpdates(config.num_updates),
+                           "updates");
+    auto qry = CheckResult(
+        exp->RunQueries(workload::QueryClass::kUnselective, validate),
+        "queries");
+    table.Row({v.name, Ms(upd.avg_ms()), Ms(qry.avg_ms()),
+               Num(qry.avg_misses()),
+               Ms(qry.sim_avg_ms(config.page_ms)),
+               Mb(exp->ShortListBytes())});
+  }
+  std::printf(
+      "\n# expectation: ratio-based boundaries give the best query/update "
+      "trade-off under the Zipf score distribution (§4.3.2)\n");
+  return 0;
+}

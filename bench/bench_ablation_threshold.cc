@@ -1,0 +1,50 @@
+// Ablation B (design choice from §4.3.1): the thresholdValueOf function
+// of the Score-Threshold method.
+//
+// thresholdValueOf(s) = t*s spans the whole design space: t -> 1 moves
+// postings on (almost) every increase (Score-method-like update cost,
+// best queries); t -> infinity never moves anything (ID-method-like:
+// cheap updates, queries scan to the end). The paper found t ~ 11.24
+// optimal for the default workload.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace svr;
+using namespace svr::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  workload::ExperimentConfig config = DefaultConfig(flags);
+  const bool validate = flags.GetBool("validate", false);
+
+  const double ratios[] = {1.0,   1.5,  3.0,   6.0,  11.24,
+                           22.0,  80.0, 320.0, 1e6};
+
+  std::printf(
+      "# Ablation: thresholdValueOf(s) = t*s sweep (Score-Threshold)\n\n");
+  TablePrinter table({"ratio t", "upd ms", "qry ms", "qry pages",
+                      "sim qry ms", "short MB"});
+  for (double t : ratios) {
+    index::IndexOptions opt = DefaultIndexOptions(flags);
+    opt.score_threshold.threshold_ratio = t;
+    auto exp = CheckResult(
+        workload::Experiment::Setup(index::Method::kScoreThreshold,
+                                    config, opt),
+        "setup");
+    auto upd = CheckResult(exp->ApplyUpdates(config.num_updates),
+                           "updates");
+    auto qry = CheckResult(
+        exp->RunQueries(workload::QueryClass::kUnselective, validate),
+        "queries");
+    table.Row({Num(t), Ms(upd.avg_ms()), Ms(qry.avg_ms()),
+               Num(qry.avg_misses()),
+               Ms(qry.sim_avg_ms(config.page_ms)),
+               Mb(exp->ShortListBytes())});
+  }
+  std::printf(
+      "\n# expectation: update cost falls and query cost rises with t; "
+      "t=1 ~ eager movement, t=1e6 ~ ID-method behaviour\n");
+  return 0;
+}

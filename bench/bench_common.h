@@ -1,0 +1,159 @@
+#ifndef SVR_BENCH_BENCH_COMMON_H_
+#define SVR_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "index/index_factory.h"
+#include "workload/experiment.h"
+#include "workload/params.h"
+
+namespace svr::bench {
+
+/// Tiny `key=value` command-line parser so every experiment knob is
+/// sweepable without recompiling, e.g.
+///   ./bench_fig7_varying_updates docs=20000 updates=50000 validate=1
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags_[arg] = "1";
+      } else {
+        flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  int64_t GetInt(const std::string& key, int64_t def) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? def : std::atoll(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? def : std::atof(it->second.c_str());
+  }
+  bool GetBool(const std::string& key, bool def) const {
+    auto it = flags_.find(key);
+    if (it == flags_.end()) return def;
+    return it->second != "0" && it->second != "false";
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+/// Laptop-scale defaults for the Figure-6 parameters (the paper's full
+/// scale — 200k vocabulary, 2000 terms/doc, 100k updates — is reachable
+/// through flags: docs=..., terms=..., vocab=..., updates=...).
+inline workload::ExperimentConfig DefaultConfig(const Flags& flags) {
+  workload::ExperimentConfig c;
+  c.corpus.num_docs = static_cast<uint32_t>(flags.GetInt("docs", 30000));
+  c.corpus.terms_per_doc =
+      static_cast<uint32_t>(flags.GetInt("terms", 150));
+  c.corpus.vocab_size =
+      static_cast<uint32_t>(flags.GetInt("vocab", 30000));
+  c.page_size = static_cast<uint32_t>(flags.GetInt("page", 1024));
+  c.page_ms = flags.GetDouble("page_ms", 0.2);
+  c.corpus.term_zipf = flags.GetDouble("term_zipf", 1.0);
+  c.corpus.seed = static_cast<uint64_t>(flags.GetInt("seed", 2005));
+  c.max_score = flags.GetDouble("max_score", 100000.0);
+  c.score_zipf = flags.GetDouble("score_zipf", 0.75);
+  c.num_updates = static_cast<uint32_t>(flags.GetInt("updates", 10000));
+  c.mean_update_step = flags.GetDouble("step", 100.0);
+  c.update_zipf = flags.GetDouble("update_zipf", 0.75);
+  c.focus_set_pct = flags.GetDouble("focus_pct", 1.0);
+  c.focus_update_pct = flags.GetDouble("focus_updates", 20.0);
+  c.query_terms = static_cast<uint32_t>(flags.GetInt("query_terms", 2));
+  c.num_queries = static_cast<uint32_t>(flags.GetInt("queries", 50));
+  c.top_k = static_cast<uint32_t>(flags.GetInt("k", 20));
+  c.seed = static_cast<uint64_t>(flags.GetInt("seed", 2005));
+  return c;
+}
+
+inline index::IndexOptions DefaultIndexOptions(const Flags& flags) {
+  index::IndexOptions o;
+  o.chunk.chunking.chunk_ratio = flags.GetDouble("chunk_ratio", 6.12);
+  o.chunk.chunking.min_chunk_size =
+      static_cast<uint32_t>(flags.GetInt("min_chunk", 100));
+  o.score_threshold.threshold_ratio =
+      flags.GetDouble("threshold_ratio", 11.24);
+  o.term_scores.fancy_list_size =
+      static_cast<uint32_t>(flags.GetInt("fancy", 64));
+  o.term_scores.term_weight = flags.GetDouble("term_weight", 1000.0);
+  o.chunk.term_scores = o.term_scores;
+  return o;
+}
+
+/// Markdown-ish fixed-width table writer for the per-experiment reports.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const auto& h : headers_) {
+      std::printf("| %14s ", h.c_str());
+    }
+    std::printf("|\n");
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("|%s", std::string(16, '-').c_str());
+    }
+    std::printf("|\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    for (const auto& c : cells) {
+      std::printf("| %14s ", c.c_str());
+    }
+    std::printf("|\n");
+    std::fflush(stdout);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+};
+
+inline std::string Ms(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+inline std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+inline std::string Mb(uint64_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
+/// Fails loudly: benches must not silently report nonsense.
+inline void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckResult(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+}  // namespace svr::bench
+
+#endif  // SVR_BENCH_BENCH_COMMON_H_

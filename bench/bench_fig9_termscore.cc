@@ -1,0 +1,55 @@
+// Reproduces Figure 9: "Combining Term Scores" — Chunk-TermScore vs the
+// ID-TermScore baseline under the combined SVR + TF scoring function
+// (conjunctive queries), after the default update workload.
+//
+// Paper's shape: Chunk-TermScore queries are much faster than
+// ID-TermScore (early stopping via fancy lists + chunks) with comparable
+// update cost; Chunk-TermScore is slightly slower than plain Chunk
+// (bigger postings + combined-function scanning) but still faster than
+// even the plain ID method.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace svr;
+using namespace svr::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  workload::ExperimentConfig config = DefaultConfig(flags);
+  const bool validate = flags.GetBool("validate", false);
+
+  const index::Method methods[] = {
+      index::Method::kIdTermScore,
+      index::Method::kChunkTermScore,
+      index::Method::kChunk,  // reference point from Figure 7
+      index::Method::kId,
+  };
+
+  std::printf("# Figure 9: combined SVR + term scores (ms/op)\n");
+  std::printf("# %u docs, %u updates, fancy list %lld\n\n",
+              config.corpus.num_docs, config.num_updates,
+              static_cast<long long>(flags.GetInt("fancy", 64)));
+
+  TablePrinter table({"method", "upd ms", "qry ms", "qry pages",
+                      "sim qry ms", "lists MB"});
+  for (index::Method m : methods) {
+    auto exp = CheckResult(workload::Experiment::Setup(
+                               m, config, DefaultIndexOptions(flags)),
+                           "setup");
+    auto upd = CheckResult(exp->ApplyUpdates(config.num_updates),
+                           "updates");
+    auto qry = CheckResult(
+        exp->RunQueries(workload::QueryClass::kUnselective, validate),
+        "queries");
+    table.Row({exp->index()->name(), Ms(upd.avg_ms()), Ms(qry.avg_ms()),
+               Num(qry.avg_misses()),
+               Ms(qry.sim_avg_ms(config.page_ms)),
+               Mb(exp->LongListBytes())});
+  }
+  std::printf(
+      "\n# paper: Chunk-TS query << ID-TS query; update comparable; "
+      "Chunk-TS slightly slower than Chunk but faster than ID\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Micro-benchmarks (google-benchmark) for the storage engine's B+-tree —
+// the structure behind the Score table, short lists and relational
+// tables (§5.2 builds everything on BerkeleyDB BTREEs; this is our
+// substitute's raw cost).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "common/key_codec.h"
+#include "common/random.h"
+#include "storage/bptree.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace svr::storage {
+namespace {
+
+std::string Key(uint64_t v) {
+  std::string k;
+  PutKeyU64(&k, v);
+  return k;
+}
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    InMemoryPageStore store(4096);
+    BufferPool pool(&store, 1 << 16);
+    auto tree = BPlusTree::Create(&pool).value();
+    Random rng(7);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(tree->Put(Key(rng.Next()), "v"));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BPlusTreeInsert)->Arg(10000)->Arg(100000);
+
+void BM_BPlusTreePointLookup(benchmark::State& state) {
+  InMemoryPageStore store(4096);
+  BufferPool pool(&store, 1 << 16);
+  auto tree = BPlusTree::Create(&pool).value();
+  Random fill(7);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    (void)tree->Put(Key(fill.Next()), "v");
+  }
+  Random probe(7);
+  std::string v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->Get(Key(probe.Next()), &v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreePointLookup)->Arg(100000);
+
+void BM_BPlusTreeScan(benchmark::State& state) {
+  InMemoryPageStore store(4096);
+  BufferPool pool(&store, 1 << 16);
+  auto tree = BPlusTree::Create(&pool).value();
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    (void)tree->Put(Key(static_cast<uint64_t>(i)), "v");
+  }
+  for (auto _ : state) {
+    uint64_t n = 0;
+    for (auto it = tree->Begin(); it->Valid(); it->Next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BPlusTreeScan)->Arg(100000);
+
+}  // namespace
+}  // namespace svr::storage
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Micro-benchmarks (google-benchmark) for the posting codecs: the inner
+// loops every query method is built on.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "index/posting_codec.h"
+#include "storage/blob_store.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+
+namespace svr::index {
+namespace {
+
+std::vector<DocId> MakeDocs(size_t n) {
+  std::vector<DocId> docs(n);
+  DocId d = 0;
+  for (size_t i = 0; i < n; ++i) {
+    d += 1 + (i % 37);
+    docs[i] = d;
+  }
+  return docs;
+}
+
+void BM_EncodeIdList(benchmark::State& state) {
+  const auto docs = MakeDocs(state.range(0));
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    EncodeIdList(docs, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeIdList)->Arg(1000)->Arg(100000);
+
+void BM_DecodeIdList(benchmark::State& state) {
+  const auto docs = MakeDocs(state.range(0));
+  std::string buf;
+  EncodeIdList(docs, &buf);
+  storage::InMemoryPageStore store(4096);
+  storage::BufferPool pool(&store, 1 << 16);
+  storage::BlobStore blobs(&pool);
+  auto ref = blobs.Write(buf).value();
+  for (auto _ : state) {
+    IdListReader r(blobs.NewReader(ref), /*with_ts=*/false);
+    (void)r.Init();
+    uint64_t sum = 0;
+    while (r.Valid()) {
+      sum += r.doc();
+      (void)r.Next();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeIdList)->Arg(1000)->Arg(100000);
+
+void BM_DecodeChunkListWithSkips(benchmark::State& state) {
+  // 64 chunks; skipping every other one exercises the byte-length jump.
+  std::vector<ChunkGroup> groups;
+  DocId base = 0;
+  for (int c = 63; c >= 0; --c) {
+    ChunkGroup g;
+    g.cid = static_cast<ChunkId>(c);
+    for (int i = 0; i < 500; ++i) g.postings.push_back({base + i * 2u, 0});
+    base += 1000;
+    groups.push_back(std::move(g));
+  }
+  std::string buf;
+  EncodeChunkList(groups, false, &buf);
+  storage::InMemoryPageStore store(4096);
+  storage::BufferPool pool(&store, 1 << 16);
+  storage::BlobStore blobs(&pool);
+  auto ref = blobs.Write(buf).value();
+  for (auto _ : state) {
+    ChunkListReader r(blobs.NewReader(ref), false);
+    (void)r.Init();
+    uint64_t sum = 0;
+    bool skip = false;
+    while (r.HasGroup()) {
+      if (skip) {
+        (void)r.SkipGroup();
+      } else {
+        while (r.Valid()) {
+          sum += r.doc();
+          (void)r.Next();
+        }
+      }
+      skip = !skip;
+      (void)r.NextGroup();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_DecodeChunkListWithSkips);
+
+}  // namespace
+}  // namespace svr::index
+
+BENCHMARK_MAIN();

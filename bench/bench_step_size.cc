@@ -1,0 +1,69 @@
+// Reproduces §5.3.4: "Varying Mean Update Step Size" — the Chunk method
+// run at the per-step optimal chunk ratio (from Table 2) against the ID
+// baseline.
+//
+// Paper's shape: ID query time is constant (~114 ms at their scale)
+// regardless of step size; Chunk at the workload-matched ratio always
+// dominates or is very close — i.e. the method *adapts* to the update
+// distribution.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace svr;
+using namespace svr::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  workload::ExperimentConfig config = DefaultConfig(flags);
+  const bool validate = flags.GetBool("validate", false);
+
+  // (step, optimal ratio) pairs. The paper's methodology: pick the
+  // per-workload optimum from the Table-2 sweep. At our laptop scale the
+  // measured optima (bench_table2_chunk_ratio) sit one notch left of the
+  // paper's (whose were 6.12 / 21.48 / 41.96 at its 805 MB scale); the
+  // "optimum grows with step size" relationship is identical.
+  const struct {
+    double step;
+    double ratio;
+  } sweep[] = {{100.0, 6.12}, {1000.0, 11.24}, {10000.0, 21.48}};
+
+  std::printf("# 5.3.4: varying mean update step size (ms/op)\n\n");
+  TablePrinter table({"method", "step", "ratio", "upd ms", "qry ms",
+                      "qry pages", "sim qry ms"});
+  for (const auto& s : sweep) {
+    workload::ExperimentConfig c = config;
+    c.mean_update_step = s.step;
+
+    // Chunk at the matched ratio.
+    index::IndexOptions opt = DefaultIndexOptions(flags);
+    opt.chunk.chunking.chunk_ratio = s.ratio;
+    auto chunk = CheckResult(
+        workload::Experiment::Setup(index::Method::kChunk, c, opt),
+        "setup chunk");
+    auto cu = CheckResult(chunk->ApplyUpdates(c.num_updates), "updates");
+    auto cq = CheckResult(
+        chunk->RunQueries(workload::QueryClass::kUnselective, validate),
+        "queries");
+    table.Row({"Chunk", Num(s.step), Num(s.ratio), Ms(cu.avg_ms()),
+               Ms(cq.avg_ms()), Num(cq.avg_misses()),
+               Ms(cq.sim_avg_ms(config.page_ms))});
+
+    // The ID baseline under the same workload.
+    auto id = CheckResult(
+        workload::Experiment::Setup(index::Method::kId, c,
+                                    DefaultIndexOptions(flags)),
+        "setup id");
+    auto iu = CheckResult(id->ApplyUpdates(c.num_updates), "updates");
+    auto iq = CheckResult(
+        id->RunQueries(workload::QueryClass::kUnselective, validate),
+        "queries");
+    table.Row({"ID", Num(s.step), "-", Ms(iu.avg_ms()), Ms(iq.avg_ms()),
+               Num(iq.avg_misses()), Ms(iq.sim_avg_ms(config.page_ms))});
+  }
+  std::printf(
+      "\n# paper: ID query time constant; Chunk at matched ratio "
+      "dominates or ties ID at every step size\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// auction_site: ranking listings by current bid and time to completion.
+//
+// §1 names online auctions ("time to completion and the current bid can
+// be used to rank results") among the update-intensive SVR applications.
+// This example runs a bidding war over auction listings: every bid is a
+// structured update that instantly reorders keyword search results, and
+// closing auctions sink as their remaining time drains away.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/svr_engine.h"
+
+using svr::Random;
+using svr::core::SvrEngine;
+using svr::core::SvrEngineOptions;
+using svr::relational::AggFunction;
+using svr::relational::AggregateKind;
+using svr::relational::Schema;
+using svr::relational::Value;
+using svr::relational::ValueType;
+
+namespace {
+
+const char* kItems[] = {"vintage camera",  "mechanical keyboard",
+                        "road bicycle",    "vinyl record player",
+                        "antique desk",    "film projector",
+                        "telescope",       "espresso machine"};
+const char* kAdjectives[] = {"restored", "mint condition", "rare",
+                             "working", "collectible"};
+
+void ShowTop(SvrEngine& engine, const std::string& query) {
+  auto r = engine.Search(query, 5, /*conjunctive=*/false);
+  if (!r.ok()) return;
+  std::printf("hot auctions for \"%s\":\n", query.c_str());
+  for (const auto& hit : r.value()) {
+    std::printf("  heat %9.0f | #%-3lld %s\n", hit.score,
+                static_cast<long long>(hit.pk),
+                hit.row[1].as_string().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  SvrEngineOptions options;
+  options.method = svr::index::Method::kChunk;
+  options.index_options.chunk.chunking.chunk_ratio = 3.0;
+  options.index_options.chunk.chunking.min_chunk_size = 4;
+  auto engine_r = SvrEngine::Open(options);
+  if (!engine_r.ok()) return 1;
+  auto& engine = *engine_r.value();
+
+  (void)engine.CreateTable("Listings",
+                           Schema({{"aID", ValueType::kInt64},
+                                   {"title", ValueType::kString}},
+                                  0));
+  (void)engine.CreateTable("Bids",
+                           Schema({{"bID", ValueType::kInt64},
+                                   {"aID", ValueType::kInt64},
+                                   {"amount", ValueType::kDouble}},
+                                  0));
+  (void)engine.CreateTable("Clock",
+                           Schema({{"aID", ValueType::kInt64},
+                                   {"minutesLeft", ValueType::kInt64}},
+                                  0));
+
+  Random rng(404);
+  constexpr int kListings = 120;
+  for (int a = 0; a < kListings; ++a) {
+    std::string title = std::string(kAdjectives[rng.Uniform(5)]) + " " +
+                        kItems[a % std::size(kItems)] + " lot " +
+                        std::to_string(a);
+    (void)engine.Insert("Listings", {Value::Int(a), Value::String(title)});
+  }
+
+  // Listing heat = current max... we use SUM of bids as the bid-pressure
+  // proxy plus a large bonus for auctions about to close (urgency):
+  // heat = sum(bids) + 10 * minutesLeftInverse, realized here as
+  // heat = 1*sum(amount) + (-2)*minutesLeft + constant-free urgency.
+  auto st = engine.CreateTextIndex(
+      "Listings", "title",
+      {{"BidPressure", "Bids", "aID", "amount", AggregateKind::kSum},
+       {"NumBids", "Bids", "aID", "", AggregateKind::kCount},
+       {"TimeLeft", "Clock", "aID", "minutesLeft", AggregateKind::kValue}},
+      AggFunction::Custom([](const std::vector<double>& s) {
+        const double bid_pressure = s[0] + 25.0 * s[1];
+        const double urgency = 100000.0 / (1.0 + s[2]);
+        return bid_pressure + urgency;
+      }));
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<int64_t> minutes(kListings);
+  for (int a = 0; a < kListings; ++a) {
+    minutes[a] = 30 + static_cast<int64_t>(rng.Uniform(48 * 60));
+    (void)engine.Insert("Clock", {Value::Int(a), Value::Int(minutes[a])});
+  }
+
+  std::printf("=== auctions open ===\n");
+  ShowTop(engine, "vintage camera");
+
+  // A bidding war erupts over one camera lot.
+  std::printf("\n=== bidding war on lot 0 ===\n");
+  int bid_id = 0;
+  double price = 50;
+  for (int i = 0; i < 12; ++i) {
+    price *= 1.6;
+    (void)engine.Insert("Bids", {Value::Int(bid_id++), Value::Int(0),
+                                 Value::Double(price)});
+  }
+  ShowTop(engine, "vintage camera");
+
+  // The site clock ticks: closing auctions gain urgency, everything else
+  // collects sporadic bids.
+  std::printf("\n=== 6 simulated hours later ===\n");
+  for (int tick = 0; tick < 360; ++tick) {
+    for (int a = 0; a < kListings; ++a) {
+      if (minutes[a] > 0 && tick % 10 == 0) {
+        minutes[a] = std::max<int64_t>(0, minutes[a] - 10);
+        (void)engine.Update("Clock",
+                            {Value::Int(a), Value::Int(minutes[a])});
+      }
+    }
+    if (rng.OneIn(3)) {
+      const int a = static_cast<int>(rng.Uniform(kListings));
+      (void)engine.Insert("Bids",
+                          {Value::Int(bid_id++), Value::Int(a),
+                           Value::Double(20.0 + rng.Uniform(500))});
+    }
+  }
+  ShowTop(engine, "vintage camera");
+
+  std::printf("\n%d bids and %d clock ticks -> %llu score updates, "
+              "%llu short-list posting writes\n",
+              bid_id, 360 * kListings,
+              static_cast<unsigned long long>(
+                  engine.text_index()->stats().score_updates),
+              static_cast<unsigned long long>(
+                  engine.text_index()->stats().short_list_writes));
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "common/coding.h"
+
+#include <cstring>
+
+namespace svr {
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  std::memcpy(buf, &value, 4);  // host is little-endian on all our targets
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  std::memcpy(buf, &value, 8);
+  dst->append(buf, 8);
+}
+
+void PutFixedDouble(std::string* dst, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, 8);
+  PutFixed64(dst, bits);
+}
+
+uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+double DecodeFixedDouble(const char* p) {
+  uint64_t bits = DecodeFixed64(p);
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  for (int shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(*p);
+    ++p;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      input->remove_prefix(p - input->data());
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v64;
+  if (!GetVarint64(input, &v64)) return false;
+  if (v64 > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v64);
+  return true;
+}
+
+void PutLengthPrefixed(std::string* dst, const Slice& value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixed(Slice* input, Slice* value) {
+  uint64_t len;
+  if (!GetVarint64(input, &len)) return false;
+  if (input->size() < len) return false;
+  *value = Slice(input->data(), len);
+  input->remove_prefix(len);
+  return true;
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace svr

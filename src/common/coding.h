@@ -1,0 +1,49 @@
+#ifndef SVR_COMMON_CODING_H_
+#define SVR_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace svr {
+
+/// Little-endian fixed-width encodings plus LEB128 varints and zigzag,
+/// used by the posting codecs and the row serializer.
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+void PutFixedDouble(std::string* dst, double value);
+
+uint32_t DecodeFixed32(const char* p);
+uint64_t DecodeFixed64(const char* p);
+double DecodeFixedDouble(const char* p);
+
+/// Appends `value` as a LEB128 varint (1-5 bytes for 32-bit).
+void PutVarint32(std::string* dst, uint32_t value);
+/// Appends `value` as a LEB128 varint (1-10 bytes for 64-bit).
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Zigzag-encode a signed value so small magnitudes stay small.
+inline uint64_t ZigzagEncode64(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigzagDecode64(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Parses a varint from the front of `*input`, advancing it.
+/// Returns false on truncated/overlong input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Length-prefixed byte strings (varint length + raw bytes).
+void PutLengthPrefixed(std::string* dst, const Slice& value);
+bool GetLengthPrefixed(Slice* input, Slice* value);
+
+/// Number of bytes PutVarint64 would append for `value`.
+int VarintLength(uint64_t value);
+
+}  // namespace svr
+
+#endif  // SVR_COMMON_CODING_H_

@@ -1,0 +1,59 @@
+#ifndef SVR_COMMON_RANDOM_H_
+#define SVR_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace svr {
+
+/// \brief Deterministic xorshift128+ PRNG.
+///
+/// Every workload generator takes an explicit seed so experiments are
+/// reproducible run-to-run (std::mt19937 would also work; this is lighter
+/// and guarantees identical streams across standard libraries).
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 seeding to avoid correlated low-entropy seeds.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform in [0, n). `n` must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace svr
+
+#endif  // SVR_COMMON_RANDOM_H_

@@ -1,0 +1,74 @@
+#ifndef SVR_COMMON_RESULT_H_
+#define SVR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace svr {
+
+/// \brief A value-or-error wrapper, the moral equivalent of
+/// `arrow::Result<T>`.
+///
+/// Use when a function naturally produces a value but can fail:
+///
+///     Result<PageId> AllocatePage();
+///     ...
+///     SVR_ASSIGN_OR_RETURN(PageId id, AllocatePage());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success path).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK Status (error path).
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define SVR_CONCAT_IMPL_(x, y) x##y
+#define SVR_CONCAT_(x, y) SVR_CONCAT_IMPL_(x, y)
+
+/// Evaluate `rexpr` (a Result<T>); on error return its Status, otherwise
+/// bind the value to `lhs`.
+#define SVR_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto SVR_CONCAT_(_svr_result_, __LINE__) = (rexpr);             \
+  if (!SVR_CONCAT_(_svr_result_, __LINE__).ok())                  \
+    return SVR_CONCAT_(_svr_result_, __LINE__).status();          \
+  lhs = std::move(SVR_CONCAT_(_svr_result_, __LINE__)).value()
+
+}  // namespace svr
+
+#endif  // SVR_COMMON_RESULT_H_

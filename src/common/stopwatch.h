@@ -1,0 +1,35 @@
+#ifndef SVR_COMMON_STOPWATCH_H_
+#define SVR_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace svr {
+
+/// Simple monotonic wall-clock stopwatch used by the benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace svr
+
+#endif  // SVR_COMMON_STOPWATCH_H_

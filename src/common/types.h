@@ -1,0 +1,23 @@
+#ifndef SVR_COMMON_TYPES_H_
+#define SVR_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace svr {
+
+/// Identifier of a document (a row of the indexed table). Matches the
+/// paper's "document ID"; the relational primary key maps 1:1 onto it.
+using DocId = uint32_t;
+
+/// Identifier of a term in the vocabulary.
+using TermId = uint32_t;
+
+/// Identifier of a chunk in the Chunk method. Chunk 0 holds the lowest
+/// scores; higher chunk ids hold higher scores.
+using ChunkId = uint32_t;
+
+inline constexpr DocId kInvalidDocId = 0xFFFFFFFFu;
+
+}  // namespace svr
+
+#endif  // SVR_COMMON_TYPES_H_

@@ -1,0 +1,36 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace svr {
+
+ZipfDistribution::ZipfDistribution(size_t n, double theta)
+    : n_(n), theta_(theta), cdf_(n) {
+  assert(n > 0);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    cdf_[i] /= total;
+  }
+  cdf_[n - 1] = 1.0;  // guard against rounding
+}
+
+size_t ZipfDistribution::Sample(Random* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Probability(size_t rank) const {
+  assert(rank < n_);
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace svr

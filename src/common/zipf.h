@@ -1,0 +1,44 @@
+#ifndef SVR_COMMON_ZIPF_H_
+#define SVR_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace svr {
+
+/// \brief Zipf-distributed sampler over ranks {0, ..., n-1}.
+///
+/// P(rank = i) ∝ 1 / (i+1)^theta. Rank 0 is the most likely outcome.
+/// Used for the term distribution of the synthetic corpus, the score
+/// distribution, and the update workload's "popular documents are updated
+/// more often" rule (Figure 6 of the paper).
+///
+/// Sampling is O(log n) via binary search over the precomputed CDF;
+/// construction is O(n).
+class ZipfDistribution {
+ public:
+  /// \param n     number of ranks (> 0)
+  /// \param theta skew; 0 = uniform, ~1 = classic Zipf.
+  ZipfDistribution(size_t n, double theta);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Random* rng) const;
+
+  /// Probability mass of `rank`.
+  double Probability(size_t rank) const;
+
+  size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  size_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+}  // namespace svr
+
+#endif  // SVR_COMMON_ZIPF_H_

@@ -1,0 +1,45 @@
+#include "core/oracle.h"
+
+#include "index/result_heap.h"
+
+namespace svr::core {
+
+Status BruteForceOracle::TopK(const index::Query& query, size_t k,
+                              bool with_term_scores,
+                              std::vector<index::SearchResult>* results) const {
+  results->clear();
+  if (query.terms.empty() || k == 0) return Status::OK();
+
+  index::ResultHeap heap(k);
+  for (DocId d = 0; d < corpus_->num_docs(); ++d) {
+    const text::Document& doc = corpus_->doc(d);
+    size_t matches = 0;
+    double ts_sum = 0.0;
+    for (TermId t : query.terms) {
+      if (doc.Contains(t)) {
+        ++matches;
+        // Round through float: posting payloads store 4-byte scores.
+        ts_sum += static_cast<double>(
+            static_cast<float>(doc.NormalizedTf(t)));
+      }
+    }
+    const bool qualifies =
+        query.conjunctive ? (matches == query.terms.size()) : (matches > 0);
+    if (!qualifies) continue;
+
+    double svr;
+    bool deleted;
+    Status st = scores_->GetWithDeleted(d, &svr, &deleted);
+    if (st.IsNotFound()) continue;  // never scored
+    SVR_RETURN_NOT_OK(st);
+    if (deleted) continue;
+
+    double total = svr;
+    if (with_term_scores) total += ts_options_.term_weight * ts_sum;
+    heap.Offer(d, total);
+  }
+  *results = heap.TakeSorted();
+  return Status::OK();
+}
+
+}  // namespace svr::core

@@ -1,0 +1,41 @@
+#ifndef SVR_CORE_ORACLE_H_
+#define SVR_CORE_ORACLE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "index/text_index.h"
+#include "relational/score_table.h"
+#include "text/corpus.h"
+
+namespace svr::core {
+
+/// \brief Reference top-k scorer: scans every document, applies the
+/// latest Score-table values (and, optionally, the combined SVR +
+/// term-score function), and ranks with the same deterministic
+/// tie-breaking as the index methods.
+///
+/// Used by the differential test suites — every index method must return
+/// exactly this — and available to applications as a correctness check.
+class BruteForceOracle {
+ public:
+  BruteForceOracle(const text::Corpus* corpus,
+                   const relational::ScoreTable* scores,
+                   index::TermScoreOptions ts_options = {})
+      : corpus_(corpus), scores_(scores), ts_options_(ts_options) {}
+
+  /// Exact top-k. `with_term_scores` selects the §4.3.3 combined
+  /// function (term scores are rounded through float, matching the
+  /// 4-byte posting payloads).
+  Status TopK(const index::Query& query, size_t k, bool with_term_scores,
+              std::vector<index::SearchResult>* results) const;
+
+ private:
+  const text::Corpus* corpus_;
+  const relational::ScoreTable* scores_;
+  index::TermScoreOptions ts_options_;
+};
+
+}  // namespace svr::core
+
+#endif  // SVR_CORE_ORACLE_H_

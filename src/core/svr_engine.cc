@@ -1,0 +1,187 @@
+#include "core/svr_engine.h"
+
+#include "text/tokenizer.h"
+
+namespace svr::core {
+
+SvrEngine::SvrEngine(const SvrEngineOptions& options) : options_(options) {
+  table_store_ =
+      std::make_unique<storage::InMemoryPageStore>(options.page_size);
+  list_store_ =
+      std::make_unique<storage::InMemoryPageStore>(options.page_size);
+  table_pool_ = std::make_unique<storage::BufferPool>(
+      table_store_.get(), options.table_pool_pages);
+  list_pool_ = std::make_unique<storage::BufferPool>(
+      list_store_.get(), options.list_pool_pages);
+  db_ = std::make_unique<relational::Database>(table_pool_.get());
+}
+
+Result<std::unique_ptr<SvrEngine>> SvrEngine::Open(
+    const SvrEngineOptions& options) {
+  auto engine = std::unique_ptr<SvrEngine>(new SvrEngine(options));
+  SVR_ASSIGN_OR_RETURN(auto score_table, relational::ScoreTable::Create(
+                                             engine->table_pool_.get()));
+  engine->score_table_ = std::move(score_table);
+  return engine;
+}
+
+Status SvrEngine::CreateTable(const std::string& name,
+                              relational::Schema schema) {
+  return db_->CreateTable(name, std::move(schema)).status();
+}
+
+text::Document SvrEngine::TokenizeToDocument(const std::string& text) {
+  std::vector<TermId> tokens;
+  for (const std::string& tok : text::Tokenizer::Tokenize(text)) {
+    tokens.push_back(vocab_.Intern(tok));
+  }
+  return text::Document::FromTokens(std::move(tokens));
+}
+
+Status SvrEngine::CreateTextIndex(
+    const std::string& table, const std::string& text_column,
+    std::vector<relational::ScoreComponentSpec> specs,
+    relational::AggFunction agg) {
+  relational::Table* t = db_->GetTable(table);
+  if (t == nullptr) return Status::NotFound("no such table: " + table);
+  text_column_ = t->schema().FindColumn(text_column);
+  if (text_column_ < 0) {
+    return Status::InvalidArgument("no such column: " + text_column);
+  }
+  pk_column_ = t->schema().pk_index();
+  scored_table_ = table;
+
+  // Materialize the Score view over existing rows.
+  score_view_ = std::make_unique<relational::ScoreView>(
+      db_.get(), table, std::move(specs), std::move(agg),
+      score_table_.get());
+  db_->AddObserver(score_view_.get());
+  SVR_RETURN_NOT_OK(score_view_->FullRefresh());
+
+  // Ingest existing rows into the corpus; pk must be dense 0..N-1.
+  DocId expected = 0;
+  Status ingest_status;
+  SVR_RETURN_NOT_OK(t->Scan([&](const relational::Row& row) {
+    const int64_t pk = row[pk_column_].as_int();
+    if (pk != static_cast<int64_t>(expected)) {
+      ingest_status = Status::InvalidArgument(
+          "scored-table primary keys must be dense 0..N-1");
+      return false;
+    }
+    corpus_.Add(TokenizeToDocument(row[text_column_].as_string()));
+    ++expected;
+    return true;
+  }));
+  SVR_RETURN_NOT_OK(ingest_status);
+
+  // Build the index and route future score changes into Algorithm 1.
+  index::IndexContext ctx;
+  ctx.table_pool = table_pool_.get();
+  ctx.list_pool = list_pool_.get();
+  ctx.score_table = score_table_.get();
+  ctx.corpus = &corpus_;
+  SVR_ASSIGN_OR_RETURN(
+      index_, index::CreateIndex(options_.method, ctx,
+                                 options_.index_options));
+  SVR_RETURN_NOT_OK(index_->Build());
+  score_view_->SetScoreUpdateHandler(
+      [this](DocId doc, double new_score) -> Status {
+        if (doc >= corpus_.num_docs()) {
+          // Score component rows may arrive before the scored row; the
+          // eventual document insert picks up the current view score.
+          return score_table_->Set(doc, new_score);
+        }
+        return index_->OnScoreUpdate(doc, new_score);
+      });
+  return Status::OK();
+}
+
+Status SvrEngine::HandleScoredTableWrite(const relational::Row* old_row,
+                                         const relational::Row& new_row) {
+  const DocId doc = static_cast<DocId>(new_row[pk_column_].as_int());
+  const std::string& text = new_row[text_column_].as_string();
+  if (old_row == nullptr) {
+    // Fresh document. Doc ids must stay dense.
+    if (doc != corpus_.num_docs()) {
+      return Status::InvalidArgument(
+          "scored-table primary keys must be dense 0..N-1");
+    }
+    corpus_.Add(TokenizeToDocument(text));
+    return index_->InsertDocument(doc, score_view_->ScoreOf(doc));
+  }
+  // Content update (only when the text actually changed).
+  const std::string& old_text = (*old_row)[text_column_].as_string();
+  if (old_text == text) return Status::OK();
+  text::Document old_doc = corpus_.doc(doc);
+  corpus_.Replace(doc, TokenizeToDocument(text));
+  return index_->UpdateContent(doc, old_doc);
+}
+
+Status SvrEngine::Insert(const std::string& table,
+                         const relational::Row& row) {
+  SVR_RETURN_NOT_OK(db_->Insert(table, row));
+  if (index_ != nullptr && table == scored_table_) {
+    SVR_RETURN_NOT_OK(HandleScoredTableWrite(nullptr, row));
+  }
+  if (score_view_ != nullptr) return score_view_->last_error();
+  return Status::OK();
+}
+
+Status SvrEngine::Update(const std::string& table,
+                         const relational::Row& row) {
+  relational::Row old_row;
+  if (index_ != nullptr && table == scored_table_) {
+    SVR_RETURN_NOT_OK(
+        db_->GetTable(table)->Get(row[pk_column_].as_int(), &old_row));
+  }
+  SVR_RETURN_NOT_OK(db_->Update(table, row));
+  if (index_ != nullptr && table == scored_table_) {
+    SVR_RETURN_NOT_OK(HandleScoredTableWrite(&old_row, row));
+  }
+  if (score_view_ != nullptr) return score_view_->last_error();
+  return Status::OK();
+}
+
+Status SvrEngine::Delete(const std::string& table, int64_t pk) {
+  SVR_RETURN_NOT_OK(db_->Delete(table, pk));
+  if (index_ != nullptr && table == scored_table_) {
+    SVR_RETURN_NOT_OK(index_->DeleteDocument(static_cast<DocId>(pk)));
+  }
+  if (score_view_ != nullptr) return score_view_->last_error();
+  return Status::OK();
+}
+
+Result<std::vector<ScoredRow>> SvrEngine::Search(
+    const std::string& keywords, size_t k, bool conjunctive) {
+  if (index_ == nullptr) {
+    return Status::InvalidArgument("no text index; CreateTextIndex first");
+  }
+  index::Query query;
+  query.conjunctive = conjunctive;
+  for (const std::string& tok : text::Tokenizer::Tokenize(keywords)) {
+    const TermId t = vocab_.Lookup(tok);
+    if (t == text::Vocabulary::kUnknownTerm) {
+      if (conjunctive) return std::vector<ScoredRow>{};  // impossible term
+      continue;
+    }
+    query.terms.push_back(t);
+  }
+  if (query.terms.empty()) return std::vector<ScoredRow>{};
+
+  std::vector<index::SearchResult> hits;
+  SVR_RETURN_NOT_OK(index_->TopK(query, k, &hits));
+
+  relational::Table* t = db_->GetTable(scored_table_);
+  std::vector<ScoredRow> out;
+  out.reserve(hits.size());
+  for (const auto& h : hits) {
+    ScoredRow r;
+    r.pk = static_cast<int64_t>(h.doc);
+    r.score = h.score;
+    SVR_RETURN_NOT_OK(t->Get(r.pk, &r.row));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace svr::core

@@ -1,0 +1,121 @@
+#ifndef SVR_CORE_SVR_ENGINE_H_
+#define SVR_CORE_SVR_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "index/index_factory.h"
+#include "relational/database.h"
+#include "relational/score_view.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+#include "text/corpus.h"
+#include "text/vocabulary.h"
+
+namespace svr::core {
+
+struct SvrEngineOptions {
+  uint32_t page_size = 4096;
+  /// Cache budget for tables / short lists (stays warm, §5.2).
+  uint64_t table_pool_pages = 8192;
+  /// Cache budget for the long inverted lists (cold-cache target).
+  uint64_t list_pool_pages = 8192;
+  index::Method method = index::Method::kChunk;
+  index::IndexOptions index_options;
+};
+
+/// One search hit joined back to its relational row.
+struct ScoredRow {
+  int64_t pk = 0;
+  double score = 0.0;
+  relational::Row row;
+};
+
+/// \brief The system of Figure 2, end to end: a relational database whose
+/// text column is ranked by Structured Value Ranking.
+///
+/// Usage sketch (the SQL/MM flow of §3):
+///
+///   auto engine = SvrEngine::Open(options).value();
+///   engine->CreateTable("Movies", ...);    // pk, ..., text column
+///   engine->CreateTable("Reviews", ...);
+///   engine->CreateTextIndex("Movies", "description",
+///                           {S1_avg_rating, S2_visits, S3_downloads},
+///                           AggFunction::WeightedSum({100, 0.5, 1}));
+///   engine->Insert("Reviews", {...});      // -> MV -> Algorithm 1
+///   auto top = engine->Search("golden gate", 10);
+///
+/// Every structured write is routed through the incrementally maintained
+/// Score view; score changes reach the index as Algorithm-1 updates, so
+/// searches always rank by the latest structured values.
+class SvrEngine {
+ public:
+  static Result<std::unique_ptr<SvrEngine>> Open(
+      const SvrEngineOptions& options);
+
+  SvrEngine(const SvrEngine&) = delete;
+  SvrEngine& operator=(const SvrEngine&) = delete;
+
+  Status CreateTable(const std::string& name, relational::Schema schema);
+
+  /// Declares `text_column` of `table` as the SVR-ranked column with the
+  /// given score components and combiner, then builds the text index over
+  /// the rows already present.
+  ///
+  /// Constraint: the scored table's primary keys must be the dense
+  /// sequence 0..N-1 in insertion order (they double as document ids).
+  Status CreateTextIndex(const std::string& table,
+                         const std::string& text_column,
+                         std::vector<relational::ScoreComponentSpec> specs,
+                         relational::AggFunction agg);
+
+  /// DML. Writes to the scored table also maintain the corpus and the
+  /// text index (insert / delete / content update, Appendix A).
+  Status Insert(const std::string& table, const relational::Row& row);
+  Status Update(const std::string& table, const relational::Row& row);
+  Status Delete(const std::string& table, int64_t pk);
+
+  /// Top-k keyword search over the indexed text column; results are
+  /// joined back to their rows.
+  Result<std::vector<ScoredRow>> Search(const std::string& keywords,
+                                        size_t k, bool conjunctive = true);
+
+  // --- component access (benchmarks, tests, diagnostics) --------------
+  relational::Database* database() { return db_.get(); }
+  relational::ScoreTable* score_table() { return score_table_.get(); }
+  index::TextIndex* text_index() { return index_.get(); }
+  text::Vocabulary* vocabulary() { return &vocab_; }
+  const text::Corpus* corpus() const { return &corpus_; }
+  storage::BufferPool* list_pool() { return list_pool_.get(); }
+  storage::BufferPool* table_pool() { return table_pool_.get(); }
+
+ private:
+  explicit SvrEngine(const SvrEngineOptions& options);
+
+  text::Document TokenizeToDocument(const std::string& text);
+  Status HandleScoredTableWrite(const relational::Row* old_row,
+                                const relational::Row& new_row);
+
+  SvrEngineOptions options_;
+  std::unique_ptr<storage::InMemoryPageStore> table_store_;
+  std::unique_ptr<storage::InMemoryPageStore> list_store_;
+  std::unique_ptr<storage::BufferPool> table_pool_;
+  std::unique_ptr<storage::BufferPool> list_pool_;
+  std::unique_ptr<relational::Database> db_;
+  std::unique_ptr<relational::ScoreTable> score_table_;
+  std::unique_ptr<relational::ScoreView> score_view_;
+  std::unique_ptr<index::TextIndex> index_;
+  text::Vocabulary vocab_;
+  text::Corpus corpus_;
+
+  std::string scored_table_;
+  int text_column_ = -1;
+  int pk_column_ = -1;
+};
+
+}  // namespace svr::core
+
+#endif  // SVR_CORE_SVR_ENGINE_H_

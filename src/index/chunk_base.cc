@@ -1,0 +1,360 @@
+#include "index/chunk_base.h"
+
+#include <algorithm>
+
+namespace svr::index {
+
+namespace {
+
+// (cid desc, doc asc) scan order.
+bool ChunkPosBefore(ChunkId ca, DocId da, ChunkId cb, DocId db) {
+  if (ca != cb) return ca > cb;
+  return da < db;
+}
+
+}  // namespace
+
+MergedChunkStream::MergedChunkStream(ChunkListReader long_reader,
+                                     ShortList::Cursor short_cursor,
+                                     uint64_t* scanned)
+    : long_(std::move(long_reader)),
+      short_(std::move(short_cursor)),
+      scanned_(scanned) {}
+
+Status MergedChunkStream::Init() {
+  SVR_RETURN_NOT_OK(long_.Init());
+  SVR_RETURN_NOT_OK(NormalizeLong());
+  return Advance();
+}
+
+Status MergedChunkStream::NormalizeLong() {
+  while (long_.HasGroup() && !long_.Valid()) {
+    SVR_RETURN_NOT_OK(long_.NextGroup());
+  }
+  return Status::OK();
+}
+
+Status MergedChunkStream::Advance() {
+  while (true) {
+    const bool l = long_.HasGroup() && long_.Valid();
+    const bool s = short_.Valid();
+    if (!l && !s) {
+      valid_ = false;
+      return Status::OK();
+    }
+    const ChunkId lc = l ? long_.cid() : 0;
+    const DocId ld = l ? long_.doc() : 0;
+    const ChunkId sc = s ? static_cast<ChunkId>(short_.sort_value()) : 0;
+    const DocId sd = s ? short_.doc() : 0;
+
+    if (l && (!s || ChunkPosBefore(lc, ld, sc, sd))) {
+      cid_ = lc;
+      doc_ = ld;
+      ts_ = long_.term_score();
+      from_short_ = false;
+      valid_ = true;
+      ++*scanned_;
+      SVR_RETURN_NOT_OK(long_.Next());
+      return NormalizeLong();
+    }
+    if (l && s && lc == sc && ld == sd) {
+      *scanned_ += 2;
+      const PostingOp op = short_.op();
+      cid_ = sc;
+      doc_ = sd;
+      ts_ = short_.term_score();
+      from_short_ = true;
+      SVR_RETURN_NOT_OK(long_.Next());
+      SVR_RETURN_NOT_OK(NormalizeLong());
+      short_.Next();
+      if (op == PostingOp::kRemove) continue;  // REM cancels the long one
+      valid_ = true;
+      return Status::OK();
+    }
+    // Short posting strictly first.
+    ++*scanned_;
+    const PostingOp op = short_.op();
+    cid_ = sc;
+    doc_ = sd;
+    ts_ = short_.term_score();
+    from_short_ = true;
+    short_.Next();
+    if (op == PostingOp::kRemove) continue;  // stray REM
+    valid_ = true;
+    return Status::OK();
+  }
+}
+
+Status MergedChunkStream::Next() { return Advance(); }
+
+Status MergedChunkStream::SkipChunk() {
+  if (!valid_) return Status::OK();
+  const ChunkId c = cid_;
+  // Long side: the current group (if still on cid c) plus no others —
+  // each cid appears in at most one group.
+  if (long_.HasGroup() && long_.cid() == c) {
+    SVR_RETURN_NOT_OK(long_.SkipGroup());
+    SVR_RETURN_NOT_OK(NormalizeLong());
+  }
+  while (short_.Valid() &&
+         static_cast<ChunkId>(short_.sort_value()) == c) {
+    short_.Next();
+  }
+  return Advance();
+}
+
+ChunkIndexBase::ChunkIndexBase(const IndexContext& ctx,
+                               ChunkIndexOptions options,
+                               bool with_term_scores)
+    : ctx_(ctx), options_(options), with_ts_(with_term_scores) {
+  blobs_ = std::make_unique<storage::BlobStore>(ctx_.list_pool);
+}
+
+float ChunkIndexBase::TsOf(DocId doc, TermId term) const {
+  if (!with_ts_) return 0.0f;
+  return static_cast<float>(ctx_.corpus->doc(doc).NormalizedTf(term));
+}
+
+Status ChunkIndexBase::Build() {
+  SVR_ASSIGN_OR_RETURN(
+      auto sl, ShortList::Create(ctx_.table_pool, ShortList::KeyKind::kChunk));
+  short_list_ = std::move(sl);
+  SVR_ASSIGN_OR_RETURN(auto ls, ListStateTable::Create(ctx_.table_pool));
+  list_state_ = std::move(ls);
+  SVR_RETURN_NOT_OK(BuildLongLists());
+  return BuildExtras();
+}
+
+Status ChunkIndexBase::BuildLongLists() {
+  const text::Corpus& corpus = *ctx_.corpus;
+
+  // Initial per-document scores drive the chunk boundaries (§4.3.2:
+  // "set the chunks based on the actual score distribution").
+  std::vector<double> scores(corpus.num_docs(), 0.0);
+  std::vector<bool> alive(corpus.num_docs(), true);
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    bool deleted = false;
+    Status st = ctx_.score_table->GetWithDeleted(d, &scores[d], &deleted);
+    if (st.IsNotFound()) {
+      scores[d] = 0.0;
+    } else {
+      SVR_RETURN_NOT_OK(st);
+      if (deleted) alive[d] = false;
+    }
+  }
+  SVR_ASSIGN_OR_RETURN(Chunker chunker,
+                       Chunker::Build(scores, options_.chunking));
+  chunker_ = std::make_unique<Chunker>(std::move(chunker));
+
+  // Postings per (term, cid), docs ascending (guaranteed by doc order).
+  struct TermPostings {
+    // parallel vectors grouped later; collect (cid, doc, ts) triples.
+    std::vector<ChunkGroup> groups;  // built after sort
+    std::vector<std::pair<ChunkId, IdPosting>> raw;
+  };
+  std::vector<TermPostings> per_term(corpus.vocab_size());
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    if (!alive[d]) continue;
+    const ChunkId cid = chunker_->ChunkOf(scores[d]);
+    const text::Document& doc = corpus.doc(d);
+    for (TermId t : doc.terms()) {
+      float ts = 0.0f;
+      if (with_ts_) ts = static_cast<float>(doc.NormalizedTf(t));
+      per_term[t].raw.push_back({cid, {d, ts}});
+    }
+  }
+
+  lists_.assign(corpus.vocab_size(), storage::BlobRef());
+  std::string buf;
+  for (TermId t = 0; t < per_term.size(); ++t) {
+    auto& raw = per_term[t].raw;
+    if (raw.empty()) continue;
+    // (cid desc, doc asc); doc order inside a cid is already ascending,
+    // stable_sort by cid desc preserves it.
+    std::stable_sort(raw.begin(), raw.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first > b.first;
+                     });
+    std::vector<ChunkGroup> groups;
+    for (size_t i = 0; i < raw.size();) {
+      size_t j = i;
+      ChunkGroup g;
+      g.cid = raw[i].first;
+      while (j < raw.size() && raw[j].first == g.cid) {
+        g.postings.push_back(raw[j].second);
+        ++j;
+      }
+      groups.push_back(std::move(g));
+      i = j;
+    }
+    buf.clear();
+    EncodeChunkList(groups, with_ts_, &buf);
+    SVR_ASSIGN_OR_RETURN(lists_[t], blobs_->Write(buf));
+    raw.clear();
+    raw.shrink_to_fit();
+  }
+  return Status::OK();
+}
+
+Status ChunkIndexBase::ListChunkOf(DocId doc, ChunkId* cid,
+                                   bool* in_short) const {
+  ListStateTable::Entry e;
+  Status st = list_state_->Get(doc, &e);
+  if (st.ok()) {
+    *cid = static_cast<ChunkId>(e.list_value);
+    *in_short = e.in_short_list;
+    return Status::OK();
+  }
+  if (!st.IsNotFound()) return st;
+  double score;
+  SVR_RETURN_NOT_OK(ctx_.score_table->Get(doc, &score));
+  *cid = chunker_->ChunkOf(score);
+  *in_short = false;
+  return Status::OK();
+}
+
+Status ChunkIndexBase::OnScoreUpdate(DocId doc, double new_score) {
+  ++stats_.score_updates;
+  // Algorithm 1 with chunks: newS -> newChunk, oldS -> oldChunk.
+  double old_score;
+  SVR_RETURN_NOT_OK(ctx_.score_table->Get(doc, &old_score));
+  SVR_RETURN_NOT_OK(ctx_.score_table->Set(doc, new_score));
+
+  ChunkId l_chunk;
+  bool in_short;
+  ListStateTable::Entry e;
+  Status st = list_state_->Get(doc, &e);
+  if (st.ok()) {
+    l_chunk = static_cast<ChunkId>(e.list_value);
+    in_short = e.in_short_list;
+  } else if (st.IsNotFound()) {
+    l_chunk = chunker_->ChunkOf(old_score);
+    in_short = false;
+    SVR_RETURN_NOT_OK(list_state_->Put(
+        doc, {static_cast<double>(l_chunk), false}));
+  } else {
+    return st;
+  }
+
+  const ChunkId new_chunk = chunker_->ChunkOf(new_score);
+  // thresholdValueOf(c) = c + 1: move only on a climb of >= 2 chunks,
+  // which kills the boundary-flapping corner case (§4.3.2).
+  if (new_chunk > Chunker::ThresholdValueOf(l_chunk)) {
+    for (TermId t : ctx_.corpus->doc(doc).terms()) {
+      // Retract the doc's posting at its old list chunk: either the
+      // previous short posting (in_short) or a content-update ADD
+      // posting parked there while inShortList was still false.
+      Status del = short_list_->Delete(t, l_chunk, doc);
+      if (!del.ok() && !del.IsNotFound()) return del;
+      SVR_RETURN_NOT_OK(short_list_->Put(t, new_chunk, doc,
+                                         PostingOp::kAdd, TsOf(doc, t)));
+      ++stats_.short_list_writes;
+    }
+    (void)in_short;
+    SVR_RETURN_NOT_OK(
+        list_state_->Put(doc, {static_cast<double>(new_chunk), true}));
+  }
+  return Status::OK();
+}
+
+Status ChunkIndexBase::InsertDocument(DocId doc, double score) {
+  SVR_RETURN_NOT_OK(ctx_.score_table->Set(doc, score));
+  const ChunkId cid = chunker_->ChunkOf(score);
+  SVR_RETURN_NOT_OK(
+      list_state_->Put(doc, {static_cast<double>(cid), true}));
+  for (TermId t : ctx_.corpus->doc(doc).terms()) {
+    SVR_RETURN_NOT_OK(
+        short_list_->Put(t, cid, doc, PostingOp::kAdd, TsOf(doc, t)));
+    ++stats_.short_list_writes;
+  }
+  return Status::OK();
+}
+
+Status ChunkIndexBase::DeleteDocument(DocId doc) {
+  has_deletions_ = true;
+  return ctx_.score_table->MarkDeleted(doc);
+}
+
+Status ChunkIndexBase::UpdateContent(DocId doc,
+                                     const text::Document& old_doc) {
+  ChunkId l_chunk;
+  bool in_short;
+  SVR_RETURN_NOT_OK(ListChunkOf(doc, &l_chunk, &in_short));
+  const text::Document& new_doc = ctx_.corpus->doc(doc);
+  for (TermId t : new_doc.terms()) {
+    if (!old_doc.Contains(t)) {
+      SVR_RETURN_NOT_OK(short_list_->Put(t, l_chunk, doc, PostingOp::kAdd,
+                                         TsOf(doc, t)));
+      ++stats_.short_list_writes;
+    }
+  }
+  for (TermId t : old_doc.terms()) {
+    if (!new_doc.Contains(t)) {
+      Status st = short_list_->Delete(t, l_chunk, doc);
+      if (st.IsNotFound()) {
+        st = short_list_->Put(t, l_chunk, doc, PostingOp::kRemove, 0.0f);
+      }
+      SVR_RETURN_NOT_OK(st);
+      ++stats_.short_list_writes;
+    }
+  }
+  return Status::OK();
+}
+
+Status ChunkIndexBase::MergeShortLists() {
+  for (const auto& ref : lists_) {
+    if (ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(ref));
+  }
+  SVR_RETURN_NOT_OK(short_list_->Clear());
+  SVR_RETURN_NOT_OK(list_state_->Clear());
+  has_deletions_ = false;
+  SVR_RETURN_NOT_OK(BuildLongLists());
+  return BuildExtras();
+}
+
+uint64_t ChunkIndexBase::LongListBytes() const {
+  return blobs_->TotalDataBytes();
+}
+
+uint64_t ChunkIndexBase::ShortListBytes() const {
+  return short_list_->SizeBytes() + list_state_->SizeBytes();
+}
+
+Status ChunkIndexBase::MakeStreams(const Query& query,
+                                   std::vector<MergedChunkStream>* streams) {
+  streams->clear();
+  streams->reserve(query.terms.size());
+  for (TermId t : query.terms) {
+    storage::BlobRef ref =
+        t < lists_.size() ? lists_[t] : storage::BlobRef();
+    streams->emplace_back(ChunkListReader(blobs_->NewReader(ref), with_ts_),
+                          short_list_->Scan(t), &stats_.postings_scanned);
+    SVR_RETURN_NOT_OK(streams->back().Init());
+  }
+  return Status::OK();
+}
+
+Status ChunkIndexBase::JudgeCandidate(DocId doc, bool from_short,
+                                      bool* live, double* current_score,
+                                      bool* deleted) {
+  *live = true;
+  *deleted = false;
+  if (!from_short) {
+    ListStateTable::Entry e;
+    Status st = list_state_->Get(doc, &e);
+    if (st.ok() && e.in_short_list) {
+      *live = false;  // stale long posting; the short list governs
+      return Status::OK();
+    }
+    if (!st.ok() && !st.IsNotFound()) return st;
+  }
+  // The Chunk family never stores scores in postings, so every live
+  // candidate costs one Score-table probe (cheap: the table is small and
+  // cached, §5.3.1).
+  SVR_RETURN_NOT_OK(
+      ctx_.score_table->GetWithDeleted(doc, current_score, deleted));
+  ++stats_.score_lookups;
+  return Status::OK();
+}
+
+}  // namespace svr::index

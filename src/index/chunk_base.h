@@ -1,0 +1,117 @@
+#ifndef SVR_INDEX_CHUNK_BASE_H_
+#define SVR_INDEX_CHUNK_BASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/chunker.h"
+#include "index/list_state.h"
+#include "index/posting_codec.h"
+#include "index/short_list.h"
+#include "index/text_index.h"
+#include "storage/blob_store.h"
+
+namespace svr::index {
+
+/// \brief Union of one term's chunked long list (blob) and chunk-keyed
+/// short list (B+-tree), in (cid desc, doc asc) order, with REM
+/// cancellation. The workhorse cursor of the Chunk-family query
+/// algorithms.
+class MergedChunkStream {
+ public:
+  MergedChunkStream(ChunkListReader long_reader,
+                    ShortList::Cursor short_cursor, uint64_t* scanned);
+
+  Status Init();
+
+  bool Valid() const { return valid_; }
+  ChunkId cid() const { return cid_; }
+  DocId doc() const { return doc_; }
+  float term_score() const { return ts_; }
+  bool from_short() const { return from_short_; }
+
+  Status Next();
+
+  /// Advances past every remaining posting of the current chunk. Long
+  /// groups are skipped by byte length — their pages are never fetched.
+  Status SkipChunk();
+
+ private:
+  Status NormalizeLong();  // move long_ to a valid posting or exhaust
+  Status Advance();
+
+  ChunkListReader long_;
+  ShortList::Cursor short_;
+  uint64_t* scanned_;
+  bool valid_ = false;
+  ChunkId cid_ = 0;
+  DocId doc_ = 0;
+  float ts_ = 0.0f;
+  bool from_short_ = false;
+};
+
+struct ChunkIndexOptions {
+  ChunkOptions chunking;
+  TermScoreOptions term_scores;
+};
+
+/// \brief State and maintenance shared by the Chunk method (§4.3.2) and
+/// Chunk-TermScore (§4.3.3): chunked long lists, chunk-keyed short list,
+/// the ListChunk table, and Algorithm 1 with the chunk threshold
+/// thresholdValueOf(cid) = cid + 1.
+class ChunkIndexBase : public TextIndex {
+ public:
+  ChunkIndexBase(const IndexContext& ctx, ChunkIndexOptions options,
+                 bool with_term_scores);
+
+  Status Build() override;
+  Status OnScoreUpdate(DocId doc, double new_score) override;
+
+  Status InsertDocument(DocId doc, double score) override;
+  Status DeleteDocument(DocId doc) override;
+  Status UpdateContent(DocId doc, const text::Document& old_doc) override;
+  Status MergeShortLists() override;
+
+  uint64_t LongListBytes() const override;
+  uint64_t ShortListBytes() const override;
+
+  const Chunker& chunker() const { return *chunker_; }
+
+  /// The doc's current list chunk (ListChunk entry, or the chunk of its
+  /// long-list postings). Public for invariant checking: the chunk
+  /// analogue of Lemma 1.2 is ChunkOf(score(d)) <= ListChunkOf(d) + 1.
+  Status ListChunkOf(DocId doc, ChunkId* cid, bool* in_short) const;
+
+ protected:
+  /// Hook for method-specific structures (fancy lists). Runs after the
+  /// long lists are (re)built.
+  virtual Status BuildExtras() { return Status::OK(); }
+
+  Status BuildLongLists();
+  float TsOf(DocId doc, TermId term) const;
+
+  /// One merged stream per query term.
+  Status MakeStreams(const Query& query,
+                     std::vector<MergedChunkStream>* streams);
+
+  /// Classifies a candidate seen at a list position: stale postings of
+  /// short-moved documents are skipped; live ones get their current score
+  /// from the Score table (plus the deleted flag).
+  Status JudgeCandidate(DocId doc, bool from_short, bool* live,
+                        double* current_score, bool* deleted);
+
+  IndexContext ctx_;
+  ChunkIndexOptions options_;
+  bool with_ts_;
+  std::unique_ptr<storage::BlobStore> blobs_;
+  std::vector<storage::BlobRef> lists_;
+  std::unique_ptr<ShortList> short_list_;
+  std::unique_ptr<ListStateTable> list_state_;
+  std::unique_ptr<Chunker> chunker_;
+  bool has_deletions_ = false;
+};
+
+}  // namespace svr::index
+
+#endif  // SVR_INDEX_CHUNK_BASE_H_

@@ -1,0 +1,228 @@
+#include "index/chunk_termscore_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "index/result_heap.h"
+
+namespace svr::index {
+
+Status ChunkTermScoreIndex::BuildExtras() {
+  const text::Corpus& corpus = *ctx_.corpus;
+  const uint32_t fancy_size = options_.term_scores.fancy_list_size;
+
+  // Free previous fancy lists on rebuild.
+  for (const auto& ref : fancy_refs_) {
+    if (ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(ref));
+  }
+
+  std::vector<std::vector<IdPosting>> per_term(corpus.vocab_size());
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    double score;
+    bool deleted = false;
+    if (ctx_.score_table->GetWithDeleted(d, &score, &deleted).ok() &&
+        deleted) {
+      continue;
+    }
+    const text::Document& doc = corpus.doc(d);
+    for (TermId t : doc.terms()) {
+      per_term[t].push_back(
+          {d, static_cast<float>(doc.NormalizedTf(t))});
+    }
+  }
+
+  fancy_refs_.assign(corpus.vocab_size(), storage::BlobRef());
+  std::string buf;
+  for (TermId t = 0; t < per_term.size(); ++t) {
+    auto& postings = per_term[t];
+    if (postings.empty()) continue;
+    const bool covers_all = postings.size() <= fancy_size;
+    // Keep the fancy_size highest term scores (ties by doc id).
+    std::sort(postings.begin(), postings.end(),
+              [](const IdPosting& a, const IdPosting& b) {
+                if (a.term_score != b.term_score) {
+                  return a.term_score > b.term_score;
+                }
+                return a.doc < b.doc;
+              });
+    if (postings.size() > fancy_size) postings.resize(fancy_size);
+    // Docs *outside* the fancy list have ts <= min kept ts; if the list
+    // covers every posting of the term, outsiders have ts = 0.
+    const float min_ts =
+        covers_all ? 0.0f : postings.back().term_score;
+    std::sort(postings.begin(), postings.end(),
+              [](const IdPosting& a, const IdPosting& b) {
+                return a.doc < b.doc;
+              });
+    buf.clear();
+    EncodeFancyList(postings, min_ts, &buf);
+    SVR_ASSIGN_OR_RETURN(fancy_refs_[t], blobs_->Write(buf));
+    postings.clear();
+    postings.shrink_to_fit();
+  }
+  return Status::OK();
+}
+
+Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
+                                 std::vector<SearchResult>* results) {
+  ++stats_.queries;
+  results->clear();
+  if (query.terms.empty() || k == 0) return Status::OK();
+  const size_t n_terms = query.terms.size();
+  if (n_terms > 64) {
+    return Status::InvalidArgument(
+        "Chunk-TermScore queries support at most 64 terms");
+  }
+  const double tw = options_.term_scores.term_weight;
+  const uint64_t full_mask =
+      n_terms == 64 ? ~0ull : ((1ull << n_terms) - 1);
+
+  // --- Phase 1: merge the fancy lists (Algorithm 3, lines 8-9) --------
+  std::vector<std::vector<IdPosting>> fancy(n_terms);
+  std::vector<float> min_fancy(n_terms, 0.0f);
+  for (size_t i = 0; i < n_terms; ++i) {
+    const TermId t = query.terms[i];
+    storage::BlobRef ref =
+        t < fancy_refs_.size() ? fancy_refs_[t] : storage::BlobRef();
+    SVR_RETURN_NOT_OK(
+        DecodeFancyList(blobs_->NewReader(ref), &fancy[i], &min_fancy[i]));
+    stats_.postings_scanned += fancy[i].size();
+  }
+
+  struct RemainEntry {
+    double known_ts_sum = 0.0;
+    uint64_t known_mask = 0;
+  };
+  std::unordered_map<DocId, RemainEntry> remain;
+  std::unordered_set<DocId> finalized;
+
+  ResultHeap heap(k);
+
+  {
+    // Single pass over all fancy postings, grouped by doc.
+    std::unordered_map<DocId, RemainEntry> seen;
+    for (size_t i = 0; i < n_terms; ++i) {
+      for (const IdPosting& p : fancy[i]) {
+        RemainEntry& e = seen[p.doc];
+        e.known_ts_sum += p.term_score;
+        e.known_mask |= (1ull << i);
+      }
+    }
+    for (auto& [doc, e] : seen) {
+      if (e.known_mask == full_mask) {
+        // Contained in every fancy list => exact combined score. Guard
+        // against content updates that removed a query term since the
+        // fancy lists were built.
+        bool still_contains_all = true;
+        for (TermId t : query.terms) {
+          if (!ctx_.corpus->doc(doc).Contains(t)) {
+            still_contains_all = false;
+            break;
+          }
+        }
+        if (still_contains_all) {
+          double svr;
+          bool deleted;
+          Status st =
+              ctx_.score_table->GetWithDeleted(doc, &svr, &deleted);
+          ++stats_.score_lookups;
+          if (st.ok() && !deleted) {
+            ++stats_.candidates_considered;
+            heap.Offer(doc, svr + tw * e.known_ts_sum);
+          } else if (!st.ok() && !st.IsNotFound()) {
+            return st;
+          }
+          finalized.insert(doc);
+          continue;
+        }
+      }
+      remain.emplace(doc, e);
+    }
+  }
+
+  // --- Phase 2: chunk-by-chunk merge (Algorithm 3, lines 10-34) -------
+  std::vector<MergedChunkStream> streams;
+  SVR_RETURN_NOT_OK(MakeStreams(query, &streams));
+
+  while (true) {
+    bool any_valid = false;
+    ChunkId current = 0;
+    for (const auto& s : streams) {
+      if (s.Valid()) {
+        current = any_valid ? std::max(current, s.cid()) : s.cid();
+        any_valid = true;
+      }
+    }
+    if (!any_valid) break;
+
+    // Union iteration over the chunk — no chunk skipping here: every
+    // encountered doc must be struck off the remainList (line 12).
+    while (true) {
+      DocId min_doc = kInvalidDocId;
+      for (const auto& s : streams) {
+        if (s.Valid() && s.cid() == current) {
+          min_doc = std::min(min_doc, s.doc());
+        }
+      }
+      if (min_doc == kInvalidDocId) break;
+
+      uint64_t mask = 0;
+      double ts_sum = 0.0;
+      bool from_short = false;
+      for (size_t i = 0; i < streams.size(); ++i) {
+        auto& s = streams[i];
+        if (s.Valid() && s.cid() == current && s.doc() == min_doc) {
+          mask |= (1ull << i);
+          ts_sum += s.term_score();
+          from_short = from_short || s.from_short();
+          SVR_RETURN_NOT_OK(s.Next());
+        }
+      }
+
+      remain.erase(min_doc);
+      if (finalized.count(min_doc) > 0) continue;
+      const bool is_candidate =
+          query.conjunctive ? (mask == full_mask) : (mask != 0);
+      if (!is_candidate) continue;
+
+      bool live, deleted;
+      double svr;
+      SVR_RETURN_NOT_OK(
+          JudgeCandidate(min_doc, from_short, &live, &svr, &deleted));
+      if (live && !deleted) {
+        ++stats_.candidates_considered;
+        heap.Offer(min_doc, svr + tw * ts_sum);
+      }
+    }
+
+    // --- end of chunk: prune the remainList and test the stop rule ----
+    if (heap.full()) {
+      // Any unseen doc's SVR score is strictly below this bound.
+      const double u_svr = chunker().LowerBound(current + 1);
+      for (auto it = remain.begin(); it != remain.end();) {
+        double ub = u_svr + tw * it->second.known_ts_sum;
+        for (size_t i = 0; i < n_terms; ++i) {
+          if ((it->second.known_mask & (1ull << i)) == 0) {
+            ub += tw * min_fancy[i];
+          }
+        }
+        if (ub <= heap.MinScore()) {
+          it = remain.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (remain.empty()) {
+        double m = u_svr;
+        for (size_t i = 0; i < n_terms; ++i) m += tw * min_fancy[i];
+        if (m <= heap.MinScore()) break;
+      }
+    }
+  }
+
+  *results = heap.TakeSorted();
+  return Status::OK();
+}
+
+}  // namespace svr::index

@@ -1,0 +1,126 @@
+#include "index/chunker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svr::index {
+
+Result<Chunker> Chunker::Build(const std::vector<double>& scores,
+                               const ChunkOptions& options) {
+  if (scores.empty()) {
+    return Status::InvalidArgument("chunker needs at least one score");
+  }
+  for (double s : scores) {
+    if (s < 0 || !std::isfinite(s)) {
+      return Status::InvalidArgument("scores must be finite and >= 0");
+    }
+  }
+
+  std::vector<double> sorted = scores;
+  std::sort(sorted.begin(), sorted.end());
+  const double max_score = sorted.back();
+
+  std::vector<double> lows;
+  double growth = 2.0;
+
+  switch (options.strategy) {
+    case ChunkStrategy::kRatio: {
+      if (options.chunk_ratio <= 1.0) {
+        return Status::InvalidArgument("chunk_ratio must be > 1");
+      }
+      growth = options.chunk_ratio;
+      // Start boundaries at the smallest positive score; everything below
+      // (zeros) shares chunk 0.
+      double min_pos = 0.0;
+      for (double s : sorted) {
+        if (s > 0) {
+          min_pos = s;
+          break;
+        }
+      }
+      lows.push_back(0.0);
+      if (min_pos > 0.0) {
+        for (double b = min_pos * options.chunk_ratio; b <= max_score;
+             b *= options.chunk_ratio) {
+          lows.push_back(b);
+        }
+      }
+      break;
+    }
+    case ChunkStrategy::kEqualCount: {
+      const uint32_t n = std::max(options.target_num_chunks, 1u);
+      lows.push_back(0.0);
+      for (uint32_t c = 1; c < n; ++c) {
+        const size_t idx = static_cast<size_t>(
+            (static_cast<uint64_t>(c) * sorted.size()) / n);
+        double b = sorted[std::min(idx, sorted.size() - 1)];
+        if (b > lows.back()) lows.push_back(b);
+      }
+      growth = 2.0;
+      break;
+    }
+    case ChunkStrategy::kEqualWidth: {
+      const uint32_t n = std::max(options.target_num_chunks, 1u);
+      const double width = max_score > 0 ? max_score / n : 1.0;
+      lows.push_back(0.0);
+      for (uint32_t c = 1; c < n; ++c) {
+        lows.push_back(width * c);
+      }
+      growth = 2.0;
+      break;
+    }
+  }
+
+  // Enforce the minimum chunk size by merging underpopulated chunks into
+  // their lower neighbour (the paper: "we also set a minimum size of a
+  // chunk so that each chunk has at least 100 documents").
+  if (options.min_chunk_size > 1 && lows.size() > 1) {
+    std::vector<double> merged;
+    merged.push_back(lows[0]);
+    size_t score_idx = 0;
+    uint64_t count_in_current = 0;
+    for (size_t b = 1; b < lows.size(); ++b) {
+      while (score_idx < sorted.size() && sorted[score_idx] < lows[b]) {
+        ++score_idx;
+        ++count_in_current;
+      }
+      if (count_in_current >= options.min_chunk_size) {
+        merged.push_back(lows[b]);
+        count_in_current = 0;
+      }
+      // else: drop boundary lows[b], merging its chunk downward.
+    }
+    lows = std::move(merged);
+  }
+
+  return Chunker(std::move(lows), growth);
+}
+
+ChunkId Chunker::ChunkOf(double score) const {
+  if (score < 0) score = 0;
+  if (score < lows_.back()) {
+    // Inside the base boundaries: last boundary <= score.
+    auto it = std::upper_bound(lows_.begin(), lows_.end(), score);
+    return static_cast<ChunkId>(it - lows_.begin() - 1);
+  }
+  // At or above the top base boundary: the top base chunk covers
+  // [lows_.back(), base*growth); extrapolate geometrically beyond.
+  const double base = lows_.back() > 0.0 ? lows_.back() : 1.0;
+  ChunkId cid = static_cast<ChunkId>(lows_.size() - 1);
+  double bound = base * growth_;
+  while (score >= bound) {
+    ++cid;
+    bound *= growth_;
+  }
+  return cid;
+}
+
+double Chunker::LowerBound(ChunkId cid) const {
+  if (cid < lows_.size()) return lows_[cid];
+  const uint32_t extra = cid - static_cast<uint32_t>(lows_.size()) + 1;
+  double b = lows_.back() > 0.0 ? lows_.back() : 1.0;
+  for (uint32_t i = 0; i < extra; ++i) b *= growth_;
+  return b;
+}
+
+}  // namespace svr::index

@@ -1,0 +1,69 @@
+#ifndef SVR_INDEX_CHUNKER_H_
+#define SVR_INDEX_CHUNKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace svr::index {
+
+/// How chunk boundaries are chosen from the initial score distribution
+/// (§4.3.2 — the paper "experimented with various methods ... and
+/// determined that a good strategy was to set the chunks based on the
+/// actual score distribution", i.e. kRatio; the others are kept for the
+/// ablation benchmark).
+enum class ChunkStrategy {
+  kRatio,       // low(i+1)/low(i) = chunk_ratio, min size enforced (paper)
+  kEqualCount,  // equal number of documents per chunk
+  kEqualWidth,  // equal score width per chunk
+};
+
+struct ChunkOptions {
+  ChunkStrategy strategy = ChunkStrategy::kRatio;
+  /// The paper's chunk ratio knob (Table 2). Must be > 1 for kRatio.
+  double chunk_ratio = 6.12;
+  /// Minimum documents per chunk ("at least 100 documents").
+  uint32_t min_chunk_size = 100;
+  /// Chunk count used by kEqualCount / kEqualWidth.
+  uint32_t target_num_chunks = 32;
+};
+
+/// \brief Maps scores to chunk ids and back.
+///
+/// Built once from the initial scores; scores above the original maximum
+/// land in geometrically extrapolated chunks so thresholdValueOf stays
+/// monotone for unbounded score growth.
+class Chunker {
+ public:
+  /// Builds boundaries from the initial per-document scores.
+  static Result<Chunker> Build(const std::vector<double>& scores,
+                               const ChunkOptions& options);
+
+  /// Chunk id owning `score` (score >= 0).
+  ChunkId ChunkOf(double score) const;
+
+  /// Smallest score belonging to chunk `cid` (lower boundary). For
+  /// cid == 0 this is 0; extrapolated above the base chunks.
+  double LowerBound(ChunkId cid) const;
+
+  /// The paper's thresholdValueOf for chunks: cid + 1 — postings move to
+  /// the short list only when a document climbs at least two chunks.
+  static ChunkId ThresholdValueOf(ChunkId cid) { return cid + 1; }
+
+  uint32_t num_base_chunks() const {
+    return static_cast<uint32_t>(lows_.size());
+  }
+
+ private:
+  Chunker(std::vector<double> lows, double growth)
+      : lows_(std::move(lows)), growth_(growth) {}
+
+  std::vector<double> lows_;  // lows_[c] = lower boundary of chunk c
+  double growth_;             // extrapolation ratio above the top chunk
+};
+
+}  // namespace svr::index
+
+#endif  // SVR_INDEX_CHUNKER_H_

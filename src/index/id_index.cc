@@ -1,0 +1,275 @@
+#include "index/id_index.h"
+
+#include <algorithm>
+
+#include "index/result_heap.h"
+
+namespace svr::index {
+
+// Merges the term's long list (doc-ordered blob) with its short list
+// (doc-ordered B+-tree range). REM short postings cancel the matching
+// long posting; ADD postings either replace a matching long posting or
+// stand alone (fresh documents).
+class IdIndex::TermStream {
+ public:
+  TermStream(IdListReader long_reader, ShortList::Cursor short_cursor,
+             uint64_t* scanned)
+      : long_(std::move(long_reader)),
+        short_(std::move(short_cursor)),
+        scanned_(scanned) {}
+
+  Status Init() {
+    SVR_RETURN_NOT_OK(long_.Init());
+    return Advance();
+  }
+
+  bool Valid() const { return valid_; }
+  DocId doc() const { return doc_; }
+  float term_score() const { return ts_; }
+
+  Status Next() { return Advance(); }
+
+ private:
+  Status Advance() {
+    while (true) {
+      const bool l = long_.Valid();
+      const bool s = short_.Valid();
+      if (!l && !s) {
+        valid_ = false;
+        return Status::OK();
+      }
+      if (l && (!s || long_.doc() < short_.doc())) {
+        doc_ = long_.doc();
+        ts_ = long_.term_score();
+        valid_ = true;
+        ++*scanned_;
+        return long_.Next();
+      }
+      if (l && s && long_.doc() == short_.doc()) {
+        // Same doc on both sides: the short posting governs.
+        ++*scanned_;
+        ++*scanned_;
+        const PostingOp op = short_.op();
+        doc_ = short_.doc();
+        ts_ = short_.term_score();
+        SVR_RETURN_NOT_OK(long_.Next());
+        short_.Next();
+        if (op == PostingOp::kRemove) continue;  // cancelled
+        valid_ = true;
+        return Status::OK();
+      }
+      // Short-only posting.
+      ++*scanned_;
+      const PostingOp op = short_.op();
+      doc_ = short_.doc();
+      ts_ = short_.term_score();
+      short_.Next();
+      if (op == PostingOp::kRemove) continue;  // stray REM, ignore
+      valid_ = true;
+      return Status::OK();
+    }
+  }
+
+  IdListReader long_;
+  ShortList::Cursor short_;
+  uint64_t* scanned_;
+  bool valid_ = false;
+  DocId doc_ = 0;
+  float ts_ = 0.0f;
+};
+
+IdIndex::IdIndex(const IndexContext& ctx, bool with_term_scores,
+                 TermScoreOptions ts_options)
+    : ctx_(ctx), with_ts_(with_term_scores), ts_options_(ts_options) {
+  blobs_ = std::make_unique<storage::BlobStore>(ctx_.list_pool);
+}
+
+float IdIndex::TsOf(DocId doc, TermId term) const {
+  if (!with_ts_) return 0.0f;
+  return static_cast<float>(ctx_.corpus->doc(doc).NormalizedTf(term));
+}
+
+Status IdIndex::Build() {
+  SVR_ASSIGN_OR_RETURN(auto sl, ShortList::Create(ctx_.table_pool,
+                                                  ShortList::KeyKind::kId));
+  short_list_ = std::move(sl);
+  return BuildLongLists();
+}
+
+Status IdIndex::BuildLongLists() {
+  const text::Corpus& corpus = *ctx_.corpus;
+  // Gather doc-ordered postings per term. Iterating docs in id order
+  // makes every per-term vector naturally sorted.
+  std::vector<std::vector<IdPosting>> postings(corpus.vocab_size());
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    double score;
+    bool deleted = false;
+    if (ctx_.score_table->GetWithDeleted(d, &score, &deleted).ok() &&
+        deleted) {
+      continue;  // rebuilt indexes drop deleted documents
+    }
+    const text::Document& doc = corpus.doc(d);
+    for (size_t i = 0; i < doc.terms().size(); ++i) {
+      const TermId t = doc.terms()[i];
+      float ts = 0.0f;
+      if (with_ts_) ts = static_cast<float>(doc.NormalizedTf(t));
+      postings[t].push_back({d, ts});
+    }
+  }
+
+  lists_.assign(corpus.vocab_size(), storage::BlobRef());
+  std::string buf;
+  for (TermId t = 0; t < postings.size(); ++t) {
+    if (postings[t].empty()) continue;
+    buf.clear();
+    EncodeIdTsList(postings[t], with_ts_, &buf);
+    SVR_ASSIGN_OR_RETURN(lists_[t], blobs_->Write(buf));
+  }
+  return Status::OK();
+}
+
+Status IdIndex::OnScoreUpdate(DocId doc, double new_score) {
+  ++stats_.score_updates;
+  // The whole point of the ID method: only the Score table changes.
+  return ctx_.score_table->Set(doc, new_score);
+}
+
+Status IdIndex::InsertDocument(DocId doc, double score) {
+  SVR_RETURN_NOT_OK(ctx_.score_table->Set(doc, score));
+  const text::Document& content = ctx_.corpus->doc(doc);
+  for (TermId t : content.terms()) {
+    SVR_RETURN_NOT_OK(
+        short_list_->Put(t, 0.0, doc, PostingOp::kAdd, TsOf(doc, t)));
+    ++stats_.short_list_writes;
+  }
+  return Status::OK();
+}
+
+Status IdIndex::DeleteDocument(DocId doc) {
+  has_deletions_ = true;
+  return ctx_.score_table->MarkDeleted(doc);
+}
+
+Status IdIndex::UpdateContent(DocId doc, const text::Document& old_doc) {
+  const text::Document& new_doc = ctx_.corpus->doc(doc);
+  for (TermId t : new_doc.terms()) {
+    if (!old_doc.Contains(t)) {
+      SVR_RETURN_NOT_OK(
+          short_list_->Put(t, 0.0, doc, PostingOp::kAdd, TsOf(doc, t)));
+      ++stats_.short_list_writes;
+    }
+  }
+  for (TermId t : old_doc.terms()) {
+    if (!new_doc.Contains(t)) {
+      // An earlier short ADD (fresh/added term) is simply retracted; a
+      // term backed by the long list needs an explicit REM marker.
+      Status st = short_list_->Delete(t, 0.0, doc);
+      if (st.IsNotFound()) {
+        st = short_list_->Put(t, 0.0, doc, PostingOp::kRemove, 0.0f);
+      }
+      SVR_RETURN_NOT_OK(st);
+      ++stats_.short_list_writes;
+    }
+  }
+  return Status::OK();
+}
+
+Status IdIndex::MergeShortLists() {
+  for (const auto& ref : lists_) {
+    if (ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(ref));
+  }
+  SVR_RETURN_NOT_OK(short_list_->Clear());
+  has_deletions_ = false;
+  return BuildLongLists();
+}
+
+uint64_t IdIndex::LongListBytes() const {
+  return blobs_->TotalDataBytes();
+}
+
+Status IdIndex::TopK(const Query& query, size_t k,
+                     std::vector<SearchResult>* results) {
+  ++stats_.queries;
+  results->clear();
+  if (query.terms.empty() || k == 0) return Status::OK();
+
+  std::vector<TermStream> streams;
+  streams.reserve(query.terms.size());
+  for (TermId t : query.terms) {
+    storage::BlobRef ref =
+        t < lists_.size() ? lists_[t] : storage::BlobRef();
+    streams.emplace_back(IdListReader(blobs_->NewReader(ref), with_ts_),
+                         short_list_->Scan(t), &stats_.postings_scanned);
+    SVR_RETURN_NOT_OK(streams.back().Init());
+  }
+
+  ResultHeap heap(k);
+  auto offer = [&](DocId doc, double ts_sum) -> Status {
+    double svr;
+    bool deleted;
+    Status st = ctx_.score_table->GetWithDeleted(doc, &svr, &deleted);
+    ++stats_.score_lookups;
+    if (st.IsNotFound()) return Status::OK();  // never scored: skip
+    SVR_RETURN_NOT_OK(st);
+    if (deleted) return Status::OK();
+    ++stats_.candidates_considered;
+    heap.Offer(doc, svr + (with_ts_ ? ts_options_.term_weight * ts_sum
+                                    : 0.0));
+    return Status::OK();
+  };
+
+  if (query.conjunctive) {
+    // Classic k-way leapfrog intersection over id-ordered streams.
+    while (true) {
+      bool all_valid = true;
+      DocId max_doc = 0;
+      for (const auto& s : streams) {
+        if (!s.Valid()) {
+          all_valid = false;
+          break;
+        }
+        max_doc = std::max(max_doc, s.doc());
+      }
+      if (!all_valid) break;
+
+      bool aligned = true;
+      for (auto& s : streams) {
+        while (s.Valid() && s.doc() < max_doc) {
+          SVR_RETURN_NOT_OK(s.Next());
+        }
+        if (!s.Valid() || s.doc() != max_doc) aligned = false;
+      }
+      if (!aligned) continue;
+
+      double ts_sum = 0.0;
+      for (auto& s : streams) ts_sum += s.term_score();
+      SVR_RETURN_NOT_OK(offer(max_doc, ts_sum));
+      for (auto& s : streams) {
+        SVR_RETURN_NOT_OK(s.Next());
+      }
+    }
+  } else {
+    // Union: emit every distinct doc with the term scores of the streams
+    // it appears in.
+    while (true) {
+      DocId min_doc = kInvalidDocId;
+      for (const auto& s : streams) {
+        if (s.Valid()) min_doc = std::min(min_doc, s.doc());
+      }
+      if (min_doc == kInvalidDocId) break;
+      double ts_sum = 0.0;
+      for (auto& s : streams) {
+        if (s.Valid() && s.doc() == min_doc) {
+          ts_sum += s.term_score();
+          SVR_RETURN_NOT_OK(s.Next());
+        }
+      }
+      SVR_RETURN_NOT_OK(offer(min_doc, ts_sum));
+    }
+  }
+
+  *results = heap.TakeSorted();
+  return Status::OK();
+}
+
+}  // namespace svr::index

@@ -1,0 +1,70 @@
+#ifndef SVR_INDEX_ID_INDEX_H_
+#define SVR_INDEX_ID_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/posting_codec.h"
+#include "index/short_list.h"
+#include "index/text_index.h"
+#include "storage/blob_store.h"
+
+namespace svr::index {
+
+/// \brief The ID method (§4.2.1) and its ID-TermScore extension (§5.3.5).
+///
+/// Long lists hold delta-compressed doc ids in increasing id order
+/// (optionally with per-posting term scores); the current score lives
+/// only in the Score table. Score updates touch nothing but the Score
+/// table — the best possible update cost — while every query must scan
+/// the full inverted list of each query term.
+///
+/// Document insertions/content updates go to an id-ordered short list
+/// (the standard IR technique the paper references), unioned with the
+/// long list at query time.
+class IdIndex final : public TextIndex {
+ public:
+  /// \param with_term_scores false -> "ID", true -> "ID-TermScore".
+  IdIndex(const IndexContext& ctx, bool with_term_scores,
+          TermScoreOptions ts_options = {});
+
+  std::string name() const override {
+    return with_ts_ ? "ID-TermScore" : "ID";
+  }
+
+  Status Build() override;
+  Status OnScoreUpdate(DocId doc, double new_score) override;
+  Status TopK(const Query& query, size_t k,
+              std::vector<SearchResult>* results) override;
+
+  Status InsertDocument(DocId doc, double score) override;
+  Status DeleteDocument(DocId doc) override;
+  Status UpdateContent(DocId doc, const text::Document& old_doc) override;
+  Status MergeShortLists() override;
+
+  uint64_t LongListBytes() const override;
+  uint64_t ShortListBytes() const override {
+    return short_list_->SizeBytes();
+  }
+
+ private:
+  // Unified (long ∪ short) doc-ordered stream for one term, with REM
+  // cancellation.
+  class TermStream;
+
+  Status BuildLongLists();
+  float TsOf(DocId doc, TermId term) const;
+
+  IndexContext ctx_;
+  bool with_ts_;
+  TermScoreOptions ts_options_;
+  std::unique_ptr<storage::BlobStore> blobs_;
+  std::vector<storage::BlobRef> lists_;  // indexed by TermId
+  std::unique_ptr<ShortList> short_list_;
+  bool has_deletions_ = false;
+};
+
+}  // namespace svr::index
+
+#endif  // SVR_INDEX_ID_INDEX_H_

@@ -1,0 +1,41 @@
+#ifndef SVR_INDEX_INDEX_FACTORY_H_
+#define SVR_INDEX_INDEX_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "index/chunk_base.h"
+#include "index/score_threshold_index.h"
+#include "index/text_index.h"
+
+namespace svr::index {
+
+/// The six inverted-list methods of §4 / §5.2.
+enum class Method {
+  kId,
+  kScore,
+  kScoreThreshold,
+  kChunk,
+  kIdTermScore,
+  kChunkTermScore,
+};
+
+/// Options for every method, bundled so benchmarks can sweep knobs.
+struct IndexOptions {
+  ScoreThresholdOptions score_threshold;
+  ChunkIndexOptions chunk;
+  TermScoreOptions term_scores;
+};
+
+/// Human-readable method name ("Chunk", "ID-TermScore", ...).
+std::string MethodName(Method method);
+
+/// Instantiates (but does not Build) the chosen method.
+Result<std::unique_ptr<TextIndex>> CreateIndex(Method method,
+                                               const IndexContext& ctx,
+                                               const IndexOptions& options);
+
+}  // namespace svr::index
+
+#endif  // SVR_INDEX_INDEX_FACTORY_H_

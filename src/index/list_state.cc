@@ -1,0 +1,60 @@
+#include "index/list_state.h"
+
+#include <vector>
+
+#include "common/coding.h"
+#include "common/key_codec.h"
+
+namespace svr::index {
+
+namespace {
+
+std::string DocKey(DocId doc) {
+  std::string k;
+  PutKeyU32(&k, doc);
+  return k;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ListStateTable>> ListStateTable::Create(
+    storage::BufferPool* pool) {
+  SVR_ASSIGN_OR_RETURN(auto tree, storage::BPlusTree::Create(pool));
+  return std::unique_ptr<ListStateTable>(
+      new ListStateTable(std::move(tree)));
+}
+
+Status ListStateTable::Put(DocId doc, const Entry& entry) {
+  std::string v;
+  PutFixedDouble(&v, entry.list_value);
+  v.push_back(entry.in_short_list ? 1 : 0);
+  return tree_->Put(DocKey(doc), v);
+}
+
+Status ListStateTable::Get(DocId doc, Entry* entry) const {
+  std::string v;
+  SVR_RETURN_NOT_OK(tree_->Get(DocKey(doc), &v));
+  if (v.size() != 9) return Status::Corruption("bad list-state entry");
+  entry->list_value = DecodeFixedDouble(v.data());
+  entry->in_short_list = v[8] != 0;
+  return Status::OK();
+}
+
+Status ListStateTable::Remove(DocId doc) {
+  return tree_->Delete(DocKey(doc));
+}
+
+Status ListStateTable::Clear() {
+  // Collect keys first: deleting while iterating would invalidate the
+  // cursor's leaf position.
+  std::vector<std::string> keys;
+  for (auto it = tree_->Begin(); it->Valid(); it->Next()) {
+    keys.push_back(it->key().ToString());
+  }
+  for (const auto& k : keys) {
+    SVR_RETURN_NOT_OK(tree_->Delete(k));
+  }
+  return Status::OK();
+}
+
+}  // namespace svr::index

@@ -1,0 +1,56 @@
+#ifndef SVR_INDEX_LIST_STATE_H_
+#define SVR_INDEX_LIST_STATE_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/bptree.h"
+
+namespace svr::index {
+
+/// \brief The paper's ListScore / ListChunk side table (Figures 4 and 5):
+/// one entry per document whose score has ever been updated, holding the
+/// document's current *list* position (its short- or long-list score for
+/// Score-Threshold, or chunk id for Chunk) and whether its postings have
+/// been moved into the short lists.
+///
+/// Stored as a B+-tree keyed by DocId; values are 9 bytes. Score-keyed
+/// methods store the score directly; chunk-keyed methods store the cid
+/// (losslessly representable in a double).
+class ListStateTable {
+ public:
+  struct Entry {
+    double list_value = 0.0;  // list score, or chunk id as a double
+    bool in_short_list = false;
+  };
+
+  static Result<std::unique_ptr<ListStateTable>> Create(
+      storage::BufferPool* pool);
+
+  /// Inserts or replaces the entry of `doc`.
+  Status Put(DocId doc, const Entry& entry);
+
+  /// NotFound if the doc's score was never updated.
+  Status Get(DocId doc, Entry* entry) const;
+
+  /// Drops the entry (used by offline merges).
+  Status Remove(DocId doc);
+
+  /// Removes every entry (offline merge resets list state).
+  Status Clear();
+
+  uint64_t size() const { return tree_->size(); }
+  uint64_t SizeBytes() const { return tree_->SizeBytes(); }
+
+ private:
+  explicit ListStateTable(std::unique_ptr<storage::BPlusTree> tree)
+      : tree_(std::move(tree)) {}
+
+  std::unique_ptr<storage::BPlusTree> tree_;
+};
+
+}  // namespace svr::index
+
+#endif  // SVR_INDEX_LIST_STATE_H_

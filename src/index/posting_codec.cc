@@ -1,0 +1,237 @@
+#include "index/posting_codec.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace svr::index {
+
+namespace {
+
+void PutFloat(std::string* out, float f) {
+  char buf[4];
+  std::memcpy(buf, &f, 4);
+  out->append(buf, 4);
+}
+
+}  // namespace
+
+void EncodeIdList(const std::vector<DocId>& docs, std::string* out) {
+  PutVarint32(out, static_cast<uint32_t>(docs.size()));
+  DocId last = 0;
+  for (DocId d : docs) {
+    assert(d >= last);
+    PutVarint32(out, d - last);
+    last = d;
+  }
+}
+
+void EncodeIdTsList(const std::vector<IdPosting>& postings, bool with_ts,
+                    std::string* out) {
+  PutVarint32(out, static_cast<uint32_t>(postings.size()));
+  DocId last = 0;
+  for (const IdPosting& p : postings) {
+    assert(p.doc >= last);
+    PutVarint32(out, p.doc - last);
+    last = p.doc;
+    if (with_ts) PutFloat(out, p.term_score);
+  }
+}
+
+void EncodeScoreList(const std::vector<ScorePosting>& postings,
+                     std::string* out) {
+  PutVarint32(out, static_cast<uint32_t>(postings.size()));
+  for (const ScorePosting& p : postings) {
+    PutFixedDouble(out, p.score);
+    PutFixed32(out, p.doc);
+  }
+}
+
+void EncodeChunkList(const std::vector<ChunkGroup>& groups, bool with_ts,
+                     std::string* out) {
+  PutVarint32(out, static_cast<uint32_t>(groups.size()));
+  for (const ChunkGroup& g : groups) {
+    std::string body;
+    DocId last = 0;
+    for (const IdPosting& p : g.postings) {
+      assert(p.doc >= last);
+      PutVarint32(&body, p.doc - last);
+      last = p.doc;
+      if (with_ts) PutFloat(&body, p.term_score);
+    }
+    PutVarint32(out, g.cid);
+    PutVarint32(out, static_cast<uint32_t>(g.postings.size()));
+    PutVarint64(out, body.size());
+    out->append(body);
+  }
+}
+
+void EncodeFancyList(const std::vector<IdPosting>& postings, float min_ts,
+                     std::string* out) {
+  PutFloat(out, min_ts);
+  PutVarint32(out, static_cast<uint32_t>(postings.size()));
+  DocId last = 0;
+  for (const IdPosting& p : postings) {
+    assert(p.doc >= last);
+    PutVarint32(out, p.doc - last);
+    last = p.doc;
+    PutFloat(out, p.term_score);
+  }
+}
+
+// --- IdListReader --------------------------------------------------------
+
+IdListReader::IdListReader(storage::BlobStore::Reader reader, bool with_ts)
+    : reader_(std::move(reader)), with_ts_(with_ts) {}
+
+Status IdListReader::Init() {
+  if (reader_.remaining() == 0) {
+    valid_ = false;
+    count_ = 0;
+    return Status::OK();
+  }
+  SVR_RETURN_NOT_OK(reader_.ReadVarint32(&count_));
+  return Next();
+}
+
+Status IdListReader::Next() {
+  if (consumed_ >= count_) {
+    valid_ = false;
+    return Status::OK();
+  }
+  uint32_t delta;
+  SVR_RETURN_NOT_OK(reader_.ReadVarint32(&delta));
+  last_doc_ = (consumed_ == 0) ? delta : last_doc_ + delta;
+  current_.doc = last_doc_;
+  if (with_ts_) {
+    SVR_RETURN_NOT_OK(reader_.ReadFloat(&current_.term_score));
+  }
+  ++consumed_;
+  valid_ = true;
+  return Status::OK();
+}
+
+// --- ScoreListReader -----------------------------------------------------
+
+ScoreListReader::ScoreListReader(storage::BlobStore::Reader reader)
+    : reader_(std::move(reader)) {}
+
+Status ScoreListReader::Init() {
+  if (reader_.remaining() == 0) {
+    valid_ = false;
+    return Status::OK();
+  }
+  SVR_RETURN_NOT_OK(reader_.ReadVarint32(&count_));
+  return Next();
+}
+
+Status ScoreListReader::Next() {
+  if (consumed_ >= count_) {
+    valid_ = false;
+    return Status::OK();
+  }
+  char buf[8];
+  SVR_RETURN_NOT_OK(reader_.ReadBytes(buf, 8));
+  current_.score = DecodeFixedDouble(buf);
+  SVR_RETURN_NOT_OK(reader_.ReadBytes(buf, 4));
+  current_.doc = DecodeFixed32(buf);
+  ++consumed_;
+  valid_ = true;
+  return Status::OK();
+}
+
+// --- ChunkListReader -----------------------------------------------------
+
+ChunkListReader::ChunkListReader(storage::BlobStore::Reader reader,
+                                 bool with_ts)
+    : reader_(std::move(reader)), with_ts_(with_ts) {}
+
+Status ChunkListReader::Init() {
+  if (reader_.remaining() == 0) {
+    n_groups_ = 0;
+    group_index_ = 0;
+    valid_ = false;
+    return Status::OK();
+  }
+  SVR_RETURN_NOT_OK(reader_.ReadVarint32(&n_groups_));
+  group_index_ = 0;
+  if (n_groups_ == 0) {
+    valid_ = false;
+    return Status::OK();
+  }
+  SVR_RETURN_NOT_OK(ReadGroupHeader());
+  return Next();
+}
+
+Status ChunkListReader::ReadGroupHeader() {
+  SVR_RETURN_NOT_OK(reader_.ReadVarint32(&cid_));
+  SVR_RETURN_NOT_OK(reader_.ReadVarint32(&group_count_));
+  uint64_t byte_len;
+  SVR_RETURN_NOT_OK(reader_.ReadVarint64(&byte_len));
+  group_end_offset_ = reader_.offset() + byte_len;
+  consumed_in_group_ = 0;
+  last_doc_ = 0;
+  valid_ = false;
+  return Status::OK();
+}
+
+Status ChunkListReader::Next() {
+  if (consumed_in_group_ >= group_count_) {
+    valid_ = false;
+    return Status::OK();
+  }
+  uint32_t delta;
+  SVR_RETURN_NOT_OK(reader_.ReadVarint32(&delta));
+  last_doc_ = (consumed_in_group_ == 0) ? delta : last_doc_ + delta;
+  current_.doc = last_doc_;
+  if (with_ts_) {
+    SVR_RETURN_NOT_OK(reader_.ReadFloat(&current_.term_score));
+  }
+  ++consumed_in_group_;
+  valid_ = true;
+  return Status::OK();
+}
+
+Status ChunkListReader::SkipGroup() {
+  const uint64_t off = reader_.offset();
+  if (off < group_end_offset_) {
+    SVR_RETURN_NOT_OK(reader_.Skip(group_end_offset_ - off));
+  }
+  consumed_in_group_ = group_count_;
+  valid_ = false;
+  return Status::OK();
+}
+
+Status ChunkListReader::NextGroup() {
+  ++group_index_;
+  if (group_index_ >= n_groups_) {
+    valid_ = false;
+    return Status::OK();
+  }
+  SVR_RETURN_NOT_OK(ReadGroupHeader());
+  return Next();
+}
+
+Status DecodeFancyList(storage::BlobStore::Reader reader,
+                       std::vector<IdPosting>* postings, float* min_ts) {
+  postings->clear();
+  *min_ts = 0.0f;
+  if (reader.remaining() == 0) return Status::OK();
+  SVR_RETURN_NOT_OK(reader.ReadFloat(min_ts));
+  uint32_t n;
+  SVR_RETURN_NOT_OK(reader.ReadVarint32(&n));
+  postings->reserve(n);
+  DocId last = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t delta;
+    SVR_RETURN_NOT_OK(reader.ReadVarint32(&delta));
+    last = (i == 0) ? delta : last + delta;
+    float ts;
+    SVR_RETURN_NOT_OK(reader.ReadFloat(&ts));
+    postings->push_back({last, ts});
+  }
+  return Status::OK();
+}
+
+}  // namespace svr::index

@@ -1,0 +1,75 @@
+#ifndef SVR_INDEX_RESULT_HEAP_H_
+#define SVR_INDEX_RESULT_HEAP_H_
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+#include "index/text_index.h"
+
+namespace svr::index {
+
+/// \brief Bounded top-k heap ("result heap" in Algorithms 2 and 3).
+///
+/// Ordering is deterministic: higher score wins; equal scores break
+/// toward the smaller DocId. This matches the brute-force oracle so
+/// differential tests can compare exact result lists.
+class ResultHeap {
+ public:
+  explicit ResultHeap(size_t k) : k_(k) {}
+
+  /// Considers (doc, score) for the top-k.
+  void Offer(DocId doc, double score) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back({doc, score});
+      std::push_heap(heap_.begin(), heap_.end(), WorseFirst);
+      return;
+    }
+    const SearchResult& worst = heap_.front();
+    if (Better({doc, score}, worst)) {
+      std::pop_heap(heap_.begin(), heap_.end(), WorseFirst);
+      heap_.back() = {doc, score};
+      std::push_heap(heap_.begin(), heap_.end(), WorseFirst);
+    }
+  }
+
+  bool full() const { return heap_.size() >= k_; }
+  size_t size() const { return heap_.size(); }
+
+  /// Lowest score currently kept; -inf while the heap is not full (so
+  /// stop rules never fire early).
+  double MinScore() const {
+    if (!full()) return -std::numeric_limits<double>::infinity();
+    return heap_.front().score;
+  }
+
+  /// Extracts the results ordered best-first.
+  std::vector<SearchResult> TakeSorted() {
+    std::vector<SearchResult> out = std::move(heap_);
+    std::sort(out.begin(), out.end(),
+              [](const SearchResult& a, const SearchResult& b) {
+                return Better(a, b);
+              });
+    return out;
+  }
+
+ private:
+  // Canonical "a ranks above b".
+  static bool Better(const SearchResult& a, const SearchResult& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  }
+  // std::*_heap comparator: true if a is *worse* (max-heap of the worst).
+  static bool WorseFirst(const SearchResult& a, const SearchResult& b) {
+    return Better(a, b);
+  }
+
+  size_t k_;
+  std::vector<SearchResult> heap_;
+};
+
+}  // namespace svr::index
+
+#endif  // SVR_INDEX_RESULT_HEAP_H_

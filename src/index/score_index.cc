@@ -1,0 +1,235 @@
+#include "index/score_index.h"
+
+#include <algorithm>
+
+#include "common/key_codec.h"
+#include "index/result_heap.h"
+
+namespace svr::index {
+
+// Iterates one term's postings in (score desc, doc asc) order via a
+// prefix range scan.
+class ScoreIndex::TermCursor {
+ public:
+  TermCursor(const storage::BPlusTree* tree, TermId term,
+             uint64_t* scanned)
+      : term_(term), scanned_(scanned) {
+    std::string prefix;
+    PutKeyU32(&prefix, term);
+    it_ = tree->Seek(prefix);
+    Decode();
+  }
+
+  bool Valid() const { return valid_; }
+  double score() const { return score_; }
+  DocId doc() const { return doc_; }
+
+  void Next() {
+    if (!it_->Valid()) {
+      valid_ = false;
+      return;
+    }
+    it_->Next();
+    Decode();
+  }
+
+ private:
+  void Decode() {
+    valid_ = false;
+    if (!it_->Valid()) return;
+    Slice key = it_->key();
+    uint32_t term;
+    if (!GetKeyU32(&key, &term) || term != term_) return;
+    double s;
+    uint32_t d;
+    if (!GetKeyDoubleDesc(&key, &s) || !GetKeyU32(&key, &d)) return;
+    score_ = s;
+    doc_ = d;
+    valid_ = true;
+    ++*scanned_;
+  }
+
+  TermId term_;
+  uint64_t* scanned_;
+  std::unique_ptr<storage::BPlusTree::Iterator> it_;
+  bool valid_ = false;
+  double score_ = 0.0;
+  DocId doc_ = 0;
+};
+
+ScoreIndex::ScoreIndex(const IndexContext& ctx) : ctx_(ctx) {}
+
+std::string ScoreIndex::PostingKey(TermId term, double score,
+                                   DocId doc) const {
+  std::string k;
+  PutKeyU32(&k, term);
+  PutKeyDoubleDesc(&k, score);
+  PutKeyU32(&k, doc);
+  return k;
+}
+
+Status ScoreIndex::Build() {
+  // The long list is mutable, so it lives in the *list* pool as a
+  // clustered B+-tree (cold-cache protocol still applies to it).
+  SVR_ASSIGN_OR_RETURN(auto tree,
+                       storage::BPlusTree::Create(ctx_.list_pool));
+  tree_ = std::move(tree);
+  const text::Corpus& corpus = *ctx_.corpus;
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    double score = 0.0;
+    bool deleted = false;
+    Status st = ctx_.score_table->GetWithDeleted(d, &score, &deleted);
+    if (st.IsNotFound()) {
+      score = 0.0;
+    } else {
+      SVR_RETURN_NOT_OK(st);
+      if (deleted) continue;
+    }
+    for (TermId t : corpus.doc(d).terms()) {
+      SVR_RETURN_NOT_OK(tree_->Put(PostingKey(t, score, d), Slice()));
+    }
+  }
+  return Status::OK();
+}
+
+Status ScoreIndex::OnScoreUpdate(DocId doc, double new_score) {
+  ++stats_.score_updates;
+  double old_score;
+  SVR_RETURN_NOT_OK(ctx_.score_table->Get(doc, &old_score));
+  SVR_RETURN_NOT_OK(ctx_.score_table->Set(doc, new_score));
+  if (old_score == new_score) return Status::OK();
+  // Relocate the posting in every distinct term's list: this is the
+  // method's Achilles heel the paper quantifies in Figure 7.
+  for (TermId t : ctx_.corpus->doc(doc).terms()) {
+    SVR_RETURN_NOT_OK(tree_->Delete(PostingKey(t, old_score, doc)));
+    SVR_RETURN_NOT_OK(tree_->Put(PostingKey(t, new_score, doc), Slice()));
+    ++stats_.short_list_writes;  // counted as list maintenance work
+  }
+  return Status::OK();
+}
+
+Status ScoreIndex::InsertDocument(DocId doc, double score) {
+  SVR_RETURN_NOT_OK(ctx_.score_table->Set(doc, score));
+  for (TermId t : ctx_.corpus->doc(doc).terms()) {
+    SVR_RETURN_NOT_OK(tree_->Put(PostingKey(t, score, doc), Slice()));
+  }
+  return Status::OK();
+}
+
+Status ScoreIndex::DeleteDocument(DocId doc) {
+  double score;
+  SVR_RETURN_NOT_OK(ctx_.score_table->Get(doc, &score));
+  for (TermId t : ctx_.corpus->doc(doc).terms()) {
+    SVR_RETURN_NOT_OK(tree_->Delete(PostingKey(t, score, doc)));
+  }
+  has_deletions_ = true;
+  return ctx_.score_table->MarkDeleted(doc);
+}
+
+Status ScoreIndex::UpdateContent(DocId doc, const text::Document& old_doc) {
+  double score;
+  SVR_RETURN_NOT_OK(ctx_.score_table->Get(doc, &score));
+  const text::Document& new_doc = ctx_.corpus->doc(doc);
+  for (TermId t : new_doc.terms()) {
+    if (!old_doc.Contains(t)) {
+      SVR_RETURN_NOT_OK(tree_->Put(PostingKey(t, score, doc), Slice()));
+    }
+  }
+  for (TermId t : old_doc.terms()) {
+    if (!new_doc.Contains(t)) {
+      SVR_RETURN_NOT_OK(tree_->Delete(PostingKey(t, score, doc)));
+    }
+  }
+  return Status::OK();
+}
+
+Status ScoreIndex::TopK(const Query& query, size_t k,
+                        std::vector<SearchResult>* results) {
+  ++stats_.queries;
+  results->clear();
+  if (query.terms.empty() || k == 0) return Status::OK();
+
+  std::vector<TermCursor> cursors;
+  cursors.reserve(query.terms.size());
+  for (TermId t : query.terms) {
+    cursors.emplace_back(tree_.get(), t, &stats_.postings_scanned);
+  }
+
+  ResultHeap heap(k);
+  auto offer = [&](DocId doc, double score) -> Status {
+    if (has_deletions_) {
+      double s;
+      bool deleted;
+      Status st = ctx_.score_table->GetWithDeleted(doc, &s, &deleted);
+      ++stats_.score_lookups;
+      if (st.IsNotFound() || deleted) return Status::OK();
+    }
+    ++stats_.candidates_considered;
+    heap.Offer(doc, score);
+    return Status::OK();
+  };
+
+  // Postings are in exact (score desc, doc asc) order in every cursor, so
+  // candidates are generated best-first and the scan can stop the moment
+  // the next posting cannot beat the k-th result.
+  auto before = [](const TermCursor& a, const TermCursor& b) {
+    if (a.score() != b.score()) return a.score() > b.score();
+    return a.doc() < b.doc();
+  };
+
+  if (query.conjunctive) {
+    while (true) {
+      // Find the cursor that is furthest along (smallest in scan order).
+      const TermCursor* furthest = nullptr;
+      bool any_invalid = false;
+      for (auto& c : cursors) {
+        if (!c.Valid()) {
+          any_invalid = true;
+          break;
+        }
+        if (furthest == nullptr || before(*furthest, c)) furthest = &c;
+      }
+      if (any_invalid) break;
+
+      if (heap.full() && furthest->score() <= heap.MinScore()) break;
+
+      bool aligned = true;
+      const double target_score = furthest->score();
+      const DocId target_doc = furthest->doc();
+      for (auto& c : cursors) {
+        while (c.Valid() && before(c, *furthest)) c.Next();
+        if (!c.Valid() || c.score() != target_score ||
+            c.doc() != target_doc) {
+          aligned = false;
+        }
+      }
+      if (!aligned) continue;
+
+      SVR_RETURN_NOT_OK(offer(target_doc, target_score));
+      for (auto& c : cursors) c.Next();
+    }
+  } else {
+    while (true) {
+      // Smallest posting in scan order across cursors.
+      const TermCursor* first = nullptr;
+      for (auto& c : cursors) {
+        if (c.Valid() && (first == nullptr || before(c, *first))) {
+          first = &c;
+        }
+      }
+      if (first == nullptr) break;
+      const double score = first->score();
+      const DocId doc = first->doc();
+      if (heap.full() && score <= heap.MinScore()) break;
+      for (auto& c : cursors) {
+        if (c.Valid() && c.score() == score && c.doc() == doc) c.Next();
+      }
+      SVR_RETURN_NOT_OK(offer(doc, score));
+    }
+  }
+
+  *results = heap.TakeSorted();
+  return Status::OK();
+}
+
+}  // namespace svr::index

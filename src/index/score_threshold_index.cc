@@ -1,0 +1,407 @@
+#include "index/score_threshold_index.h"
+
+#include <algorithm>
+
+#include "index/result_heap.h"
+
+namespace svr::index {
+
+namespace {
+
+// Scan order over (score desc, doc asc) positions.
+struct ListPos {
+  double score;
+  DocId doc;
+};
+
+bool PosBefore(const ListPos& a, const ListPos& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc < b.doc;
+}
+
+bool PosEqual(const ListPos& a, const ListPos& b) {
+  return a.score == b.score && a.doc == b.doc;
+}
+
+}  // namespace
+
+// Union of one term's short list and long list in (score desc, doc asc)
+// order. A short REM posting at the long posting's position cancels it;
+// a short ADD posting at the same position shadows it.
+class ScoreThresholdIndex::TermStream {
+ public:
+  TermStream(ScoreListReader long_reader, ShortList::Cursor short_cursor,
+             uint64_t* scanned)
+      : long_(std::move(long_reader)),
+        short_(std::move(short_cursor)),
+        scanned_(scanned) {}
+
+  Status Init() {
+    SVR_RETURN_NOT_OK(long_.Init());
+    return Advance();
+  }
+
+  bool Valid() const { return valid_; }
+  double score() const { return pos_.score; }
+  DocId doc() const { return pos_.doc; }
+  bool from_short() const { return from_short_; }
+  ListPos pos() const { return pos_; }
+
+  Status Next() { return Advance(); }
+
+ private:
+  Status Advance() {
+    while (true) {
+      const bool l = long_.Valid();
+      const bool s = short_.Valid();
+      if (!l && !s) {
+        valid_ = false;
+        return Status::OK();
+      }
+      ListPos lp{l ? long_.score() : 0.0, l ? long_.doc() : 0};
+      ListPos sp{s ? short_.sort_value() : 0.0, s ? short_.doc() : 0};
+
+      if (l && (!s || PosBefore(lp, sp))) {
+        pos_ = lp;
+        from_short_ = false;
+        valid_ = true;
+        ++*scanned_;
+        return long_.Next();
+      }
+      if (l && s && PosEqual(lp, sp)) {
+        *scanned_ += 2;
+        const PostingOp op = short_.op();
+        pos_ = sp;
+        from_short_ = true;
+        SVR_RETURN_NOT_OK(long_.Next());
+        short_.Next();
+        if (op == PostingOp::kRemove) continue;  // cancel both
+        valid_ = true;
+        return Status::OK();
+      }
+      // Short posting strictly first.
+      ++*scanned_;
+      const PostingOp op = short_.op();
+      pos_ = sp;
+      from_short_ = true;
+      short_.Next();
+      if (op == PostingOp::kRemove) continue;  // stray REM
+      valid_ = true;
+      return Status::OK();
+    }
+  }
+
+  ScoreListReader long_;
+  ShortList::Cursor short_;
+  uint64_t* scanned_;
+  bool valid_ = false;
+  ListPos pos_{0.0, 0};
+  bool from_short_ = false;
+};
+
+ScoreThresholdIndex::ScoreThresholdIndex(const IndexContext& ctx,
+                                         ScoreThresholdOptions options)
+    : ctx_(ctx), options_(options) {
+  blobs_ = std::make_unique<storage::BlobStore>(ctx_.list_pool);
+}
+
+Status ScoreThresholdIndex::Build() {
+  if (options_.threshold_ratio < 1.0) {
+    return Status::InvalidArgument("threshold_ratio must be >= 1");
+  }
+  SVR_ASSIGN_OR_RETURN(
+      auto sl, ShortList::Create(ctx_.table_pool, ShortList::KeyKind::kScore));
+  short_list_ = std::move(sl);
+  SVR_ASSIGN_OR_RETURN(auto ls, ListStateTable::Create(ctx_.table_pool));
+  list_state_ = std::move(ls);
+  return BuildLongLists();
+}
+
+Status ScoreThresholdIndex::BuildLongLists() {
+  const text::Corpus& corpus = *ctx_.corpus;
+  std::vector<std::vector<ScorePosting>> postings(corpus.vocab_size());
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    double score = 0.0;
+    bool deleted = false;
+    Status st = ctx_.score_table->GetWithDeleted(d, &score, &deleted);
+    if (st.IsNotFound()) {
+      score = 0.0;
+    } else {
+      SVR_RETURN_NOT_OK(st);
+      if (deleted) continue;
+    }
+    for (TermId t : corpus.doc(d).terms()) {
+      postings[t].push_back({score, d});
+    }
+  }
+
+  lists_.assign(corpus.vocab_size(), storage::BlobRef());
+  std::string buf;
+  for (TermId t = 0; t < postings.size(); ++t) {
+    if (postings[t].empty()) continue;
+    std::sort(postings[t].begin(), postings[t].end(),
+              [](const ScorePosting& a, const ScorePosting& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.doc < b.doc;
+              });
+    buf.clear();
+    EncodeScoreList(postings[t], &buf);
+    SVR_ASSIGN_OR_RETURN(lists_[t], blobs_->Write(buf));
+  }
+  return Status::OK();
+}
+
+Status ScoreThresholdIndex::ListScoreOf(DocId doc, double* list_score,
+                                        bool* in_short) const {
+  ListStateTable::Entry e;
+  Status st = list_state_->Get(doc, &e);
+  if (st.ok()) {
+    *list_score = e.list_value;
+    *in_short = e.in_short_list;
+    return Status::OK();
+  }
+  if (!st.IsNotFound()) return st;
+  SVR_RETURN_NOT_OK(ctx_.score_table->Get(doc, list_score));
+  *in_short = false;
+  return Status::OK();
+}
+
+Status ScoreThresholdIndex::OnScoreUpdate(DocId doc, double new_score) {
+  ++stats_.score_updates;
+  // Algorithm 1, lines 7-8.
+  double old_score;
+  SVR_RETURN_NOT_OK(ctx_.score_table->Get(doc, &old_score));
+  SVR_RETURN_NOT_OK(ctx_.score_table->Set(doc, new_score));
+
+  // Lines 9-17: establish the document's list score.
+  double l_score;
+  bool in_short;
+  ListStateTable::Entry e;
+  Status st = list_state_->Get(doc, &e);
+  if (st.ok()) {
+    l_score = e.list_value;
+    in_short = e.in_short_list;
+  } else if (st.IsNotFound()) {
+    l_score = old_score;
+    in_short = false;
+    SVR_RETURN_NOT_OK(list_state_->Put(doc, {old_score, false}));
+  } else {
+    return st;
+  }
+
+  // Lines 18-28: move postings only past the threshold.
+  if (new_score > thresholdValueOf(l_score)) {
+    for (TermId t : ctx_.corpus->doc(doc).terms()) {
+      // "Update" = relocate, since the score is part of the key. The
+      // delete also retracts content-update ADD postings parked at the
+      // old list score while inShortList was still false.
+      Status del = short_list_->Delete(t, l_score, doc);
+      if (!del.ok() && !del.IsNotFound()) return del;
+      SVR_RETURN_NOT_OK(
+          short_list_->Put(t, new_score, doc, PostingOp::kAdd, 0.0f));
+      ++stats_.short_list_writes;
+    }
+    (void)in_short;
+    SVR_RETURN_NOT_OK(list_state_->Put(doc, {new_score, true}));
+  }
+  return Status::OK();
+}
+
+Status ScoreThresholdIndex::InsertDocument(DocId doc, double score) {
+  SVR_RETURN_NOT_OK(ctx_.score_table->Set(doc, score));
+  SVR_RETURN_NOT_OK(list_state_->Put(doc, {score, true}));
+  for (TermId t : ctx_.corpus->doc(doc).terms()) {
+    SVR_RETURN_NOT_OK(
+        short_list_->Put(t, score, doc, PostingOp::kAdd, 0.0f));
+    ++stats_.short_list_writes;
+  }
+  return Status::OK();
+}
+
+Status ScoreThresholdIndex::DeleteDocument(DocId doc) {
+  has_deletions_ = true;
+  return ctx_.score_table->MarkDeleted(doc);
+}
+
+Status ScoreThresholdIndex::UpdateContent(DocId doc,
+                                          const text::Document& old_doc) {
+  double l_score;
+  bool in_short;
+  SVR_RETURN_NOT_OK(ListScoreOf(doc, &l_score, &in_short));
+  const text::Document& new_doc = ctx_.corpus->doc(doc);
+  for (TermId t : new_doc.terms()) {
+    if (!old_doc.Contains(t)) {
+      SVR_RETURN_NOT_OK(
+          short_list_->Put(t, l_score, doc, PostingOp::kAdd, 0.0f));
+      ++stats_.short_list_writes;
+    }
+  }
+  for (TermId t : old_doc.terms()) {
+    if (!new_doc.Contains(t)) {
+      Status st = short_list_->Delete(t, l_score, doc);
+      if (st.IsNotFound()) {
+        st = short_list_->Put(t, l_score, doc, PostingOp::kRemove, 0.0f);
+      }
+      SVR_RETURN_NOT_OK(st);
+      ++stats_.short_list_writes;
+    }
+  }
+  return Status::OK();
+}
+
+Status ScoreThresholdIndex::MergeShortLists() {
+  for (const auto& ref : lists_) {
+    if (ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(ref));
+  }
+  SVR_RETURN_NOT_OK(short_list_->Clear());
+  SVR_RETURN_NOT_OK(list_state_->Clear());
+  has_deletions_ = false;
+  return BuildLongLists();
+}
+
+Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
+                                 std::vector<SearchResult>* results) {
+  ++stats_.queries;
+  results->clear();
+  if (query.terms.empty() || k == 0) return Status::OK();
+
+  std::vector<TermStream> streams;
+  streams.reserve(query.terms.size());
+  for (TermId t : query.terms) {
+    storage::BlobRef ref =
+        t < lists_.size() ? lists_[t] : storage::BlobRef();
+    streams.emplace_back(ScoreListReader(blobs_->NewReader(ref)),
+                         short_list_->Scan(t), &stats_.postings_scanned);
+    SVR_RETURN_NOT_OK(streams.back().Init());
+  }
+
+  ResultHeap heap(k);
+  double threshold = -1.0;  // the paper's sentinel (line 6)
+  bool threshold_set = false;
+
+  // Processes one aligned candidate (Algorithm 2 lines 12-21); returns
+  // false if the scan may stop.
+  auto process = [&](const ListPos& pos, bool from_short) -> Result<bool> {
+    // Lines 9-11: the stop test against the candidate's list score.
+    if (threshold_set && thresholdValueOf(pos.score) < threshold) {
+      return false;
+    }
+    double curr;
+    bool deleted = false;
+    bool skip = false;
+    if (from_short) {
+      SVR_RETURN_NOT_OK(
+          ctx_.score_table->GetWithDeleted(pos.doc, &curr, &deleted));
+      ++stats_.score_lookups;
+    } else {
+      ListStateTable::Entry e;
+      Status st = list_state_->Get(pos.doc, &e);
+      if (st.ok()) {
+        if (e.in_short_list) {
+          skip = true;  // stale long posting; the short list governs
+        } else {
+          SVR_RETURN_NOT_OK(
+              ctx_.score_table->GetWithDeleted(pos.doc, &curr, &deleted));
+          ++stats_.score_lookups;
+        }
+      } else if (st.IsNotFound()) {
+        // Never updated: the list score is the current score (line 18).
+        curr = pos.score;
+        if (has_deletions_) {
+          double s;
+          SVR_RETURN_NOT_OK(
+              ctx_.score_table->GetWithDeleted(pos.doc, &s, &deleted));
+          ++stats_.score_lookups;
+        }
+      } else {
+        return st;
+      }
+    }
+    if (!skip && !deleted) {
+      ++stats_.candidates_considered;
+      heap.Offer(pos.doc, curr);
+    }
+    // Lines 22-24: arm the threshold once k results at/above this list
+    // score are in hand.
+    if (!threshold_set && heap.full() && heap.MinScore() >= pos.score) {
+      threshold = pos.score;
+      threshold_set = true;
+    }
+    return true;
+  };
+
+  if (query.conjunctive) {
+    while (true) {
+      const TermStream* furthest = nullptr;
+      bool any_invalid = false;
+      for (auto& s : streams) {
+        if (!s.Valid()) {
+          any_invalid = true;
+          break;
+        }
+        if (furthest == nullptr || PosBefore(furthest->pos(), s.pos())) {
+          furthest = &s;
+        }
+      }
+      if (any_invalid) break;
+
+      const ListPos target = furthest->pos();
+      bool aligned = true;
+      bool from_short = false;
+      for (auto& s : streams) {
+        while (s.Valid() && PosBefore(s.pos(), target)) {
+          SVR_RETURN_NOT_OK(s.Next());
+        }
+        if (!s.Valid() || !PosEqual(s.pos(), target)) {
+          aligned = false;
+        } else {
+          from_short = from_short || s.from_short();
+        }
+      }
+      if (!aligned) {
+        // Even a non-candidate position moves the scan frontier; check
+        // the stop rule against it so unbounded scans terminate.
+        if (threshold_set && thresholdValueOf(target.score) < threshold) {
+          break;
+        }
+        continue;
+      }
+
+      SVR_ASSIGN_OR_RETURN(bool keep_going, process(target, from_short));
+      if (!keep_going) break;
+      for (auto& s : streams) {
+        SVR_RETURN_NOT_OK(s.Next());
+      }
+    }
+  } else {
+    while (true) {
+      const TermStream* first = nullptr;
+      for (auto& s : streams) {
+        if (s.Valid() &&
+            (first == nullptr || PosBefore(s.pos(), first->pos()))) {
+          first = &s;
+        }
+      }
+      if (first == nullptr) break;
+      const ListPos pos = first->pos();
+      bool from_short = false;
+      for (auto& s : streams) {
+        if (s.Valid() && PosEqual(s.pos(), pos)) {
+          from_short = from_short || s.from_short();
+        }
+      }
+      SVR_ASSIGN_OR_RETURN(bool keep_going, process(pos, from_short));
+      if (!keep_going) break;
+      for (auto& s : streams) {
+        if (s.Valid() && PosEqual(s.pos(), pos)) {
+          SVR_RETURN_NOT_OK(s.Next());
+        }
+      }
+    }
+  }
+
+  *results = heap.TakeSorted();
+  return Status::OK();
+}
+
+}  // namespace svr::index

@@ -1,0 +1,80 @@
+#ifndef SVR_INDEX_SCORE_THRESHOLD_INDEX_H_
+#define SVR_INDEX_SCORE_THRESHOLD_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/list_state.h"
+#include "index/posting_codec.h"
+#include "index/short_list.h"
+#include "index/text_index.h"
+#include "storage/blob_store.h"
+
+namespace svr::index {
+
+struct ScoreThresholdOptions {
+  /// The paper's threshold ratio `t`: thresholdValueOf(s) = t * s, t >= 1.
+  /// 11.24 is the optimum the paper finds for the default workload.
+  double threshold_ratio = 11.24;
+};
+
+/// \brief The Score-Threshold method (§4.3.1).
+///
+/// Per term: an immutable score-ordered *long* list (blob) plus a small
+/// mutable score-ordered *short* list (B+-tree). A document's postings
+/// move into the short list only when its score exceeds
+/// `thresholdValueOf(listScore) = t * listScore` (Algorithm 1); queries
+/// merge short ∪ long per term and keep scanning past the first k hits
+/// until `thresholdValueOf(currentListScore) < kthListScore` (Algorithm 2),
+/// which provably yields the top-k under the *latest* scores.
+class ScoreThresholdIndex final : public TextIndex {
+ public:
+  ScoreThresholdIndex(const IndexContext& ctx,
+                      ScoreThresholdOptions options = {});
+
+  std::string name() const override { return "Score-Threshold"; }
+
+  Status Build() override;
+  Status OnScoreUpdate(DocId doc, double new_score) override;
+  Status TopK(const Query& query, size_t k,
+              std::vector<SearchResult>* results) override;
+
+  Status InsertDocument(DocId doc, double score) override;
+  Status DeleteDocument(DocId doc) override;
+  Status UpdateContent(DocId doc, const text::Document& old_doc) override;
+  Status MergeShortLists() override;
+
+  uint64_t LongListBytes() const override {
+    return blobs_->TotalDataBytes();
+  }
+  uint64_t ShortListBytes() const override {
+    return short_list_->SizeBytes() + list_state_->SizeBytes();
+  }
+
+  double thresholdValueOf(double score) const {
+    return options_.threshold_ratio * score;
+  }
+
+  /// The doc's list position: ListScore entry if present, else its
+  /// current (== original) score. Public for invariant checking
+  /// (Lemma 1.1/1.2 of Appendix B).
+  Status ListScoreOf(DocId doc, double* list_score, bool* in_short) const;
+
+ private:
+  class TermStream;
+
+  Status BuildLongLists();
+
+  IndexContext ctx_;
+  ScoreThresholdOptions options_;
+  std::unique_ptr<storage::BlobStore> blobs_;
+  std::vector<storage::BlobRef> lists_;
+  std::unique_ptr<ShortList> short_list_;
+  std::unique_ptr<ListStateTable> list_state_;
+  bool has_deletions_ = false;
+};
+
+}  // namespace svr::index
+
+#endif  // SVR_INDEX_SCORE_THRESHOLD_INDEX_H_

@@ -1,0 +1,111 @@
+#include "index/short_list.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/key_codec.h"
+#include "common/slice.h"
+
+namespace svr::index {
+
+Result<std::unique_ptr<ShortList>> ShortList::Create(
+    storage::BufferPool* pool, KeyKind kind) {
+  SVR_ASSIGN_OR_RETURN(auto tree, storage::BPlusTree::Create(pool));
+  return std::unique_ptr<ShortList>(new ShortList(std::move(tree), kind));
+}
+
+std::string ShortList::MakeKey(TermId term, double sort_value,
+                               DocId doc) const {
+  std::string k;
+  PutKeyU32(&k, term);
+  switch (kind_) {
+    case KeyKind::kScore:
+      PutKeyDoubleDesc(&k, sort_value);
+      break;
+    case KeyKind::kChunk:
+      PutKeyU32Desc(&k, static_cast<uint32_t>(sort_value));
+      break;
+    case KeyKind::kId:
+      break;  // doc only
+  }
+  PutKeyU32(&k, doc);
+  return k;
+}
+
+Status ShortList::Put(TermId term, double sort_value, DocId doc,
+                      PostingOp op, float term_score) {
+  std::string v;
+  v.push_back(static_cast<char>(op));
+  char buf[4];
+  std::memcpy(buf, &term_score, 4);
+  v.append(buf, 4);
+  return tree_->Put(MakeKey(term, sort_value, doc), v);
+}
+
+Status ShortList::Delete(TermId term, double sort_value, DocId doc) {
+  return tree_->Delete(MakeKey(term, sort_value, doc));
+}
+
+Status ShortList::Clear() {
+  std::vector<std::string> keys;
+  for (auto it = tree_->Begin(); it->Valid(); it->Next()) {
+    keys.push_back(it->key().ToString());
+  }
+  for (const auto& k : keys) {
+    SVR_RETURN_NOT_OK(tree_->Delete(k));
+  }
+  return Status::OK();
+}
+
+ShortList::Cursor::Cursor(const ShortList* list, TermId term)
+    : list_(list), term_(term) {
+  std::string prefix;
+  PutKeyU32(&prefix, term);
+  it_ = list_->tree_->Seek(prefix);
+  Decode();
+}
+
+void ShortList::Cursor::Decode() {
+  valid_ = false;
+  if (!it_->Valid()) return;
+  Slice key = it_->key();
+  uint32_t term;
+  if (!GetKeyU32(&key, &term) || term != term_) return;  // past the prefix
+  switch (list_->kind_) {
+    case KeyKind::kScore: {
+      double s;
+      if (!GetKeyDoubleDesc(&key, &s)) return;
+      sort_value_ = s;
+      break;
+    }
+    case KeyKind::kChunk: {
+      uint32_t c;
+      if (!GetKeyU32Desc(&key, &c)) return;
+      sort_value_ = static_cast<double>(c);
+      break;
+    }
+    case KeyKind::kId:
+      sort_value_ = 0.0;
+      break;
+  }
+  uint32_t doc;
+  if (!GetKeyU32(&key, &doc)) return;
+  doc_ = doc;
+
+  Slice value = it_->value();
+  if (value.size() < 5) return;
+  op_ = static_cast<PostingOp>(value[0]);
+  std::memcpy(&term_score_, value.data() + 1, 4);
+  valid_ = true;
+}
+
+void ShortList::Cursor::Next() {
+  if (!it_->Valid()) {
+    valid_ = false;
+    return;
+  }
+  it_->Next();
+  Decode();
+}
+
+}  // namespace svr::index

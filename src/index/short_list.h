@@ -1,0 +1,93 @@
+#ifndef SVR_INDEX_SHORT_LIST_H_
+#define SVR_INDEX_SHORT_LIST_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/bptree.h"
+
+namespace svr::index {
+
+/// Posting operation flag (Appendix A.1): regular/add vs removed term.
+enum class PostingOp : uint8_t {
+  kAdd = 0,
+  kRemove = 1,
+};
+
+/// \brief The *short* inverted lists of §4.3 — the small, mutable,
+/// B+-tree-resident companion of the immutable long lists. One tree holds
+/// the short lists of every term, keyed so that a forward range scan of a
+/// term's prefix yields postings in query order:
+///
+///   Score-keyed (Score-Threshold): (term asc, score desc, doc asc)
+///   Chunk-keyed (Chunk family):    (term asc, cid desc,  doc asc)
+///   Id-keyed    (ID family):       (term asc, doc asc)
+///
+/// Values carry the PostingOp and, for the *-TermScore methods, the
+/// posting's term score.
+class ShortList {
+ public:
+  enum class KeyKind { kScore, kChunk, kId };
+
+  static Result<std::unique_ptr<ShortList>> Create(
+      storage::BufferPool* pool, KeyKind kind);
+
+  /// Inserts/overwrites a posting. `sort_value` is the score (kScore),
+  /// the chunk id (kChunk) or ignored (kId).
+  Status Put(TermId term, double sort_value, DocId doc, PostingOp op,
+             float term_score);
+
+  /// Deletes a posting; NotFound if absent.
+  Status Delete(TermId term, double sort_value, DocId doc);
+
+  /// Cursor over one term's postings in key order.
+  class Cursor {
+   public:
+    bool Valid() const { return valid_; }
+    DocId doc() const { return doc_; }
+    /// score or chunk id, depending on the key kind.
+    double sort_value() const { return sort_value_; }
+    PostingOp op() const { return op_; }
+    float term_score() const { return term_score_; }
+    void Next();
+    Status status() const { return it_->status(); }
+
+   private:
+    friend class ShortList;
+    Cursor(const ShortList* list, TermId term);
+    void Decode();
+
+    const ShortList* list_;
+    TermId term_;
+    std::unique_ptr<storage::BPlusTree::Iterator> it_;
+    bool valid_ = false;
+    DocId doc_ = 0;
+    double sort_value_ = 0.0;
+    PostingOp op_ = PostingOp::kAdd;
+    float term_score_ = 0.0f;
+  };
+
+  Cursor Scan(TermId term) const { return Cursor(this, term); }
+
+  uint64_t num_postings() const { return tree_->size(); }
+  uint64_t SizeBytes() const { return tree_->SizeBytes(); }
+
+  /// Removes every posting (offline merge).
+  Status Clear();
+
+ private:
+  ShortList(std::unique_ptr<storage::BPlusTree> tree, KeyKind kind)
+      : tree_(std::move(tree)), kind_(kind) {}
+
+  std::string MakeKey(TermId term, double sort_value, DocId doc) const;
+
+  std::unique_ptr<storage::BPlusTree> tree_;
+  KeyKind kind_;
+};
+
+}  // namespace svr::index
+
+#endif  // SVR_INDEX_SHORT_LIST_H_

@@ -1,0 +1,138 @@
+#ifndef SVR_INDEX_TEXT_INDEX_H_
+#define SVR_INDEX_TEXT_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "relational/score_table.h"
+#include "storage/blob_store.h"
+#include "storage/buffer_pool.h"
+#include "text/corpus.h"
+
+namespace svr::index {
+
+/// One ranked search hit.
+struct SearchResult {
+  DocId doc = kInvalidDocId;
+  double score = 0.0;
+
+  bool operator==(const SearchResult& o) const {
+    return doc == o.doc && score == o.score;
+  }
+};
+
+/// A keyword search query against the indexed text column.
+struct Query {
+  std::vector<TermId> terms;
+  /// true: documents must contain all terms; false: at least one (§4.1).
+  bool conjunctive = true;
+};
+
+/// Counters for behavioural assertions and benchmark reporting.
+struct IndexStats {
+  uint64_t score_updates = 0;          // OnScoreUpdate calls
+  uint64_t short_list_writes = 0;      // short-list posting inserts/updates
+  uint64_t postings_scanned = 0;       // long+short postings consumed
+  uint64_t score_lookups = 0;          // Score-table probes during queries
+  uint64_t candidates_considered = 0;  // docs offered to the result heap
+  uint64_t queries = 0;
+};
+
+/// Everything an index method needs from the outside world.
+struct IndexContext {
+  /// Pool for B+-tree structures: short lists, ListScore/ListChunk.
+  /// (The Score table's tree lives in a pool chosen by its creator;
+  /// §5.2 keeps these small structures cached.)
+  storage::BufferPool* table_pool = nullptr;
+  /// Pool for the long-list blobs. Benchmarks evict this one before
+  /// queries — the paper's cold-cache protocol.
+  storage::BufferPool* list_pool = nullptr;
+  /// The shared, authoritative Score(Id, score) table.
+  relational::ScoreTable* score_table = nullptr;
+  /// Document contents; Algorithm 1 needs Content(id) when pushing
+  /// postings into short lists. The caller keeps it current.
+  const text::Corpus* corpus = nullptr;
+};
+
+/// Weighting for the combined SVR + term-score function of §4.3.3:
+/// `f(d) = svr(d) + term_weight * sum_t ts_t(d)`.
+struct TermScoreOptions {
+  /// Postings with the `fancy_list_size` highest term scores per term go
+  /// into the fancy list (Long & Suel [21]). Not stated in the paper;
+  /// default chosen so fancy lists stay a few pages.
+  uint32_t fancy_list_size = 64;
+  /// Multiplier that puts normalized TF on the same scale as SVR scores.
+  double term_weight = 1000.0;
+};
+
+/// \brief Interface shared by all six inverted-list methods of §4.
+///
+/// Lifecycle: construct -> Build(corpus snapshot + Score table already
+/// populated) -> interleave OnScoreUpdate / TopK / document operations.
+class TextIndex {
+ public:
+  virtual ~TextIndex() = default;
+
+  /// Human-readable method name ("Chunk", "Score-Threshold", ...).
+  virtual std::string name() const = 0;
+
+  /// Bulk-builds the long inverted lists from the context's corpus and
+  /// the current Score table contents.
+  virtual Status Build() = 0;
+
+  /// Algorithm 1: the document's SVR score changed to `new_score`.
+  /// Updates the Score table and, when the method requires it, the short
+  /// lists. The previous score is read from the Score table.
+  virtual Status OnScoreUpdate(DocId doc, double new_score) = 0;
+
+  /// Algorithm 2/3: top-k by the *latest* scores.
+  virtual Status TopK(const Query& query, size_t k,
+                      std::vector<SearchResult>* results) = 0;
+
+  /// Appendix A.2: index a new document. The corpus must already contain
+  /// `doc` with this content.
+  virtual Status InsertDocument(DocId doc, double score) {
+    (void)doc;
+    (void)score;
+    return Status::NotSupported(name() + ": document insertion");
+  }
+
+  /// Appendix A.2: delete a document (deleted flag in the Score table).
+  virtual Status DeleteDocument(DocId doc) {
+    (void)doc;
+    return Status::NotSupported(name() + ": document deletion");
+  }
+
+  /// Appendix A.1: the document's term set changed. `old_doc` is the
+  /// content the index last saw; the corpus must already hold the new
+  /// content.
+  virtual Status UpdateContent(DocId doc, const text::Document& old_doc) {
+    (void)doc;
+    (void)old_doc;
+    return Status::NotSupported(name() + ": content updates");
+  }
+
+  /// Offline maintenance: fold the short lists back into freshly built
+  /// long lists (§5.1 does this outside the measured path).
+  virtual Status MergeShortLists() {
+    return Status::NotSupported(name() + ": offline merge");
+  }
+
+  /// Size of the long inverted lists (Table 1).
+  virtual uint64_t LongListBytes() const = 0;
+  /// Size of the short lists + list-state tables, 0 if the method has none.
+  virtual uint64_t ShortListBytes() const { return 0; }
+
+  const IndexStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IndexStats(); }
+
+ protected:
+  IndexStats stats_;
+};
+
+}  // namespace svr::index
+
+#endif  // SVR_INDEX_TEXT_INDEX_H_

@@ -1,0 +1,22 @@
+#include "relational/schema.h"
+
+namespace svr::relational {
+
+void EncodeRow(std::string* dst, const Row& row) {
+  for (const Value& v : row) {
+    EncodeValue(dst, v);
+  }
+}
+
+Status DecodeRow(Slice* in, size_t num_columns, Row* row) {
+  row->clear();
+  row->reserve(num_columns);
+  for (size_t i = 0; i < num_columns; ++i) {
+    Value v;
+    SVR_RETURN_NOT_OK(DecodeValue(in, &v));
+    row->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+}  // namespace svr::relational

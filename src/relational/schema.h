@@ -1,0 +1,51 @@
+#ifndef SVR_RELATIONAL_SCHEMA_H_
+#define SVR_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace svr::relational {
+
+struct Column {
+  std::string name;
+  ValueType type;
+};
+
+/// \brief Column layout of a table. The first listed primary-key column
+/// must be an INT64; it doubles as the document id for text indexing.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<Column> columns, int pk_index)
+      : columns_(std::move(columns)), pk_index_(pk_index) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  int pk_index() const { return pk_index_; }
+
+  /// Index of `name`, or -1.
+  int FindColumn(const std::string& name) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<Column> columns_;
+  int pk_index_ = 0;
+};
+
+/// A row is simply a tuple of values matching the schema positionally.
+using Row = std::vector<Value>;
+
+/// Serializes all fields of `row`.
+void EncodeRow(std::string* dst, const Row& row);
+/// Decodes `num_columns` fields.
+Status DecodeRow(Slice* in, size_t num_columns, Row* row);
+
+}  // namespace svr::relational
+
+#endif  // SVR_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,68 @@
+#ifndef SVR_RELATIONAL_SCORE_FUNCTION_H_
+#define SVR_RELATIONAL_SCORE_FUNCTION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace svr::relational {
+
+/// Aggregate applied by a score component over its matching rows.
+enum class AggregateKind {
+  kAvg,    // SELECT avg(value_column)  — e.g. average review rating
+  kSum,    // SELECT sum(value_column)
+  kCount,  // SELECT count(*)
+  kValue,  // SELECT value_column       — 1:1 lookup, e.g. Statistics.nVisit
+};
+
+/// \brief One SVR score component `S_i`, the programmatic equivalent of
+/// the paper's SQL-bodied function (§3.1):
+///
+///   create function S1(id: integer) returns float
+///     return SELECT avg(R.rating) FROM Reviews R WHERE R.mID = id
+///
+/// maps to `{ "S1", "Reviews", "mID", "rating", AggregateKind::kAvg }`.
+struct ScoreComponentSpec {
+  std::string name;
+  std::string source_table;   // table the subquery ranges over
+  std::string match_column;   // FK column equated with the scored pk
+  std::string value_column;   // aggregated column (ignored for kCount)
+  AggregateKind kind = AggregateKind::kValue;
+};
+
+/// \brief The paper's `Agg(s1, ..., sm)` combiner. Defaults to a weighted
+/// sum (covering the paper's example `s1*100 + s2/2 + s3`); arbitrary
+/// monotone combinations are supported via Custom.
+class AggFunction {
+ public:
+  /// `Agg(s) = sum_i weights[i] * s[i]`.
+  static AggFunction WeightedSum(std::vector<double> weights) {
+    AggFunction f;
+    f.weights_ = std::move(weights);
+    return f;
+  }
+
+  static AggFunction Custom(
+      std::function<double(const std::vector<double>&)> fn) {
+    AggFunction f;
+    f.custom_ = std::move(fn);
+    return f;
+  }
+
+  double Apply(const std::vector<double>& components) const {
+    if (custom_) return custom_(components);
+    double total = 0.0;
+    for (size_t i = 0; i < components.size() && i < weights_.size(); ++i) {
+      total += weights_[i] * components[i];
+    }
+    return total;
+  }
+
+ private:
+  std::vector<double> weights_;
+  std::function<double(const std::vector<double>&)> custom_;
+};
+
+}  // namespace svr::relational
+
+#endif  // SVR_RELATIONAL_SCORE_FUNCTION_H_

@@ -1,0 +1,80 @@
+#include "relational/score_table.h"
+
+#include "common/coding.h"
+#include "common/key_codec.h"
+
+namespace svr::relational {
+
+namespace {
+
+std::string DocKey(DocId doc) {
+  std::string k;
+  PutKeyU32(&k, doc);
+  return k;
+}
+
+std::string ScoreValue(double score, bool deleted) {
+  std::string v;
+  PutFixedDouble(&v, score);
+  v.push_back(deleted ? 1 : 0);
+  return v;
+}
+
+Status ParseScoreValue(const std::string& v, double* score, bool* deleted) {
+  if (v.size() != 9) return Status::Corruption("bad score entry");
+  *score = DecodeFixedDouble(v.data());
+  *deleted = v[8] != 0;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ScoreTable>> ScoreTable::Create(
+    storage::BufferPool* pool) {
+  SVR_ASSIGN_OR_RETURN(auto tree, storage::BPlusTree::Create(pool));
+  return std::unique_ptr<ScoreTable>(new ScoreTable(std::move(tree)));
+}
+
+Status ScoreTable::Set(DocId doc, double score) {
+  return tree_->Put(DocKey(doc), ScoreValue(score, /*deleted=*/false));
+}
+
+Status ScoreTable::Get(DocId doc, double* score) const {
+  bool deleted;
+  return GetWithDeleted(doc, score, &deleted);
+}
+
+Status ScoreTable::GetWithDeleted(DocId doc, double* score,
+                                  bool* deleted) const {
+  std::string v;
+  SVR_RETURN_NOT_OK(tree_->Get(DocKey(doc), &v));
+  return ParseScoreValue(v, score, deleted);
+}
+
+Status ScoreTable::MarkDeleted(DocId doc) {
+  double score;
+  bool deleted;
+  SVR_RETURN_NOT_OK(GetWithDeleted(doc, &score, &deleted));
+  return tree_->Put(DocKey(doc), ScoreValue(score, /*deleted=*/true));
+}
+
+Status ScoreTable::Remove(DocId doc) { return tree_->Delete(DocKey(doc)); }
+
+Status ScoreTable::Scan(
+    const std::function<bool(DocId, double, bool)>& fn) const {
+  auto it = tree_->Begin();
+  while (it->Valid()) {
+    Slice k = it->key();
+    DocId doc;
+    if (!GetKeyU32(&k, &doc)) return Status::Corruption("bad score key");
+    std::string v = it->value().ToString();
+    double score;
+    bool deleted;
+    SVR_RETURN_NOT_OK(ParseScoreValue(v, &score, &deleted));
+    if (!fn(doc, score, deleted)) break;
+    it->Next();
+  }
+  return it->status();
+}
+
+}  // namespace svr::relational

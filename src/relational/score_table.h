@@ -1,0 +1,58 @@
+#ifndef SVR_RELATIONAL_SCORE_TABLE_H_
+#define SVR_RELATIONAL_SCORE_TABLE_H_
+
+#include <functional>
+#include <memory>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/bptree.h"
+
+namespace svr::relational {
+
+/// \brief The paper's `Score(Id, score)` table — the single authoritative
+/// map from document id to its *current* SVR score (§4.2.1), plus the
+/// deleted flag from Appendix A.2.
+///
+/// Physically a B+-tree keyed by doc id, so score lookups by id are one
+/// indexed probe, exactly as the paper requires. All index methods share
+/// one instance.
+class ScoreTable {
+ public:
+  static Result<std::unique_ptr<ScoreTable>> Create(
+      storage::BufferPool* pool);
+
+  /// Inserts or updates the score of `doc`.
+  Status Set(DocId doc, double score);
+
+  /// Current score; NotFound if the doc was never scored.
+  Status Get(DocId doc, double* score) const;
+
+  /// Current score and deleted flag in one probe.
+  Status GetWithDeleted(DocId doc, double* score, bool* deleted) const;
+
+  /// Appendix A.2: mark `doc` deleted without dropping its entry, so
+  /// queries can filter it out of result heaps.
+  Status MarkDeleted(DocId doc);
+
+  /// Physically removes the entry (used when doc ids can be recycled).
+  Status Remove(DocId doc);
+
+  /// In-order scan over (doc, score, deleted).
+  Status Scan(
+      const std::function<bool(DocId, double, bool)>& fn) const;
+
+  uint64_t size() const { return tree_->size(); }
+  uint64_t SizeBytes() const { return tree_->SizeBytes(); }
+
+ private:
+  explicit ScoreTable(std::unique_ptr<storage::BPlusTree> tree)
+      : tree_(std::move(tree)) {}
+
+  std::unique_ptr<storage::BPlusTree> tree_;
+};
+
+}  // namespace svr::relational
+
+#endif  // SVR_RELATIONAL_SCORE_TABLE_H_

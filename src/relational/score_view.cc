@@ -1,0 +1,180 @@
+#include "relational/score_view.h"
+
+namespace svr::relational {
+
+ScoreView::ScoreView(Database* db, std::string scored_table,
+                     std::vector<ScoreComponentSpec> specs, AggFunction agg,
+                     ScoreTable* score_table)
+    : db_(db),
+      scored_table_(std::move(scored_table)),
+      specs_(std::move(specs)),
+      agg_(std::move(agg)),
+      score_table_(score_table),
+      columns_(specs_.size()),
+      state_(specs_.size()) {}
+
+Status ScoreView::ResolveColumns() {
+  if (columns_resolved_) return Status::OK();
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const ScoreComponentSpec& spec = specs_[i];
+    Table* src = db_->GetTable(spec.source_table);
+    if (src == nullptr) {
+      return Status::NotFound("score component source table missing: " +
+                              spec.source_table);
+    }
+    columns_[i].match = src->schema().FindColumn(spec.match_column);
+    if (columns_[i].match < 0) {
+      return Status::InvalidArgument("bad match column " +
+                                     spec.match_column + " in " +
+                                     spec.source_table);
+    }
+    if (spec.kind != AggregateKind::kCount) {
+      columns_[i].value = src->schema().FindColumn(spec.value_column);
+      if (columns_[i].value < 0) {
+        return Status::InvalidArgument("bad value column " +
+                                       spec.value_column + " in " +
+                                       spec.source_table);
+      }
+    }
+  }
+  columns_resolved_ = true;
+  return Status::OK();
+}
+
+double ScoreView::ComponentValue(const ScoreComponentSpec& spec,
+                                 const ComponentState& s) const {
+  switch (spec.kind) {
+    case AggregateKind::kAvg:
+      return s.count == 0 ? 0.0 : s.sum / static_cast<double>(s.count);
+    case AggregateKind::kSum:
+      return s.sum;
+    case AggregateKind::kCount:
+      return static_cast<double>(s.count);
+    case AggregateKind::kValue:
+      return s.sum;  // 1:1 lookup keeps the latest value in `sum`
+  }
+  return 0.0;
+}
+
+double ScoreView::ScoreOf(DocId doc) const {
+  std::vector<double> components(specs_.size(), 0.0);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    auto it = state_[i].find(doc);
+    if (it != state_[i].end()) {
+      components[i] = ComponentValue(specs_[i], it->second);
+    }
+  }
+  return agg_.Apply(components);
+}
+
+Status ScoreView::FullRefresh() {
+  SVR_RETURN_NOT_OK(ResolveColumns());
+  for (auto& m : state_) m.clear();
+
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const ScoreComponentSpec& spec = specs_[i];
+    Table* src = db_->GetTable(spec.source_table);
+    const ComponentColumns& cols = columns_[i];
+    SVR_RETURN_NOT_OK(src->Scan([&](const Row& row) {
+      const DocId doc = static_cast<DocId>(row[cols.match].as_int());
+      ComponentState& s = state_[i][doc];
+      if (spec.kind == AggregateKind::kValue) {
+        s.sum = row[cols.value].ToNumber();
+        s.count = 1;
+      } else {
+        if (cols.value >= 0) s.sum += row[cols.value].ToNumber();
+        s.count += 1;
+      }
+      return true;
+    }));
+  }
+
+  // Publish a score for every row of the scored table, including docs
+  // with no component rows (they score Agg(0,...,0)).
+  Table* scored = db_->GetTable(scored_table_);
+  if (scored == nullptr) {
+    return Status::NotFound("scored table missing: " + scored_table_);
+  }
+  const int pk_col = scored->schema().pk_index();
+  Status publish_status;
+  SVR_RETURN_NOT_OK(scored->Scan([&](const Row& row) {
+    const DocId doc = static_cast<DocId>(row[pk_col].as_int());
+    publish_status = score_table_->Set(doc, ScoreOf(doc));
+    return publish_status.ok();
+  }));
+  return publish_status;
+}
+
+void ScoreView::OnDelta(const TableDelta& delta) {
+  Status st = ResolveColumns();
+  if (!st.ok()) {
+    // Columns of this delta's table may be unresolvable only because some
+    // *other* component's table is missing; treat as fatal either way.
+    if (last_error_.ok()) last_error_ = st;
+    return;
+  }
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].source_table == *delta.table) {
+      ApplyComponentDelta(i, delta);
+    }
+  }
+}
+
+void ScoreView::ApplyComponentDelta(size_t component,
+                                    const TableDelta& delta) {
+  const ScoreComponentSpec& spec = specs_[component];
+  const ComponentColumns& cols = columns_[component];
+
+  // A mutation that changes the FK (match column) splits into a delete
+  // under the old doc and an insert under the new one.
+  DocId old_doc = kInvalidDocId;
+  DocId new_doc = kInvalidDocId;
+  if (delta.old_row != nullptr) {
+    old_doc = static_cast<DocId>((*delta.old_row)[cols.match].as_int());
+  }
+  if (delta.new_row != nullptr) {
+    new_doc = static_cast<DocId>((*delta.new_row)[cols.match].as_int());
+  }
+
+  auto retract = [&](const Row& row, DocId doc) {
+    ComponentState& s = state_[component][doc];
+    if (spec.kind == AggregateKind::kValue) {
+      s.sum = 0.0;
+      s.count = 0;
+    } else {
+      if (cols.value >= 0) s.sum -= row[cols.value].ToNumber();
+      s.count -= 1;
+    }
+  };
+  auto apply = [&](const Row& row, DocId doc) {
+    ComponentState& s = state_[component][doc];
+    if (spec.kind == AggregateKind::kValue) {
+      s.sum = row[cols.value].ToNumber();
+      s.count = 1;
+    } else {
+      if (cols.value >= 0) s.sum += row[cols.value].ToNumber();
+      s.count += 1;
+    }
+  };
+
+  if (delta.old_row != nullptr) retract(*delta.old_row, old_doc);
+  if (delta.new_row != nullptr) apply(*delta.new_row, new_doc);
+
+  if (old_doc != kInvalidDocId) RecomputeAndPublish(old_doc);
+  if (new_doc != kInvalidDocId && new_doc != old_doc) {
+    RecomputeAndPublish(new_doc);
+  }
+}
+
+void ScoreView::RecomputeAndPublish(DocId doc) {
+  const double score = ScoreOf(doc);
+  Status st;
+  if (handler_) {
+    st = handler_(doc, score);
+  } else {
+    st = score_table_->Set(doc, score);
+  }
+  if (!st.ok() && last_error_.ok()) last_error_ = st;
+}
+
+}  // namespace svr::relational

@@ -1,0 +1,92 @@
+#ifndef SVR_RELATIONAL_SCORE_VIEW_H_
+#define SVR_RELATIONAL_SCORE_VIEW_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "relational/database.h"
+#include "relational/score_function.h"
+#include "relational/score_table.h"
+
+namespace svr::relational {
+
+/// \brief The incrementally maintained materialized view of §3.2:
+///
+///   create materialized view Score as
+///     SELECT R.Ck, Agg(S1(R.Ck), ..., Sm(R.Ck)) FROM R
+///
+/// The view observes base-table deltas, folds them into per-(component,
+/// doc) aggregate state (sum/count pairs — enough for AVG/SUM/COUNT/VALUE),
+/// recomputes `Agg`, and hands the new score to the registered handler
+/// (the text index's Algorithm-1 entry point). Without a handler it
+/// maintains the ScoreTable directly.
+class ScoreView : public TableObserver {
+ public:
+  /// Called with (doc, new_score) after each score change. Returns the
+  /// index's update status; errors are latched into last_error().
+  using ScoreUpdateHandler = std::function<Status(DocId, double)>;
+
+  /// \param db           catalog the base tables live in
+  /// \param scored_table name of the table whose text column is ranked
+  /// \param specs        component functions S1..Sm
+  /// \param agg          the Agg combiner
+  /// \param score_table  the persistent Score(Id, score) table
+  ScoreView(Database* db, std::string scored_table,
+            std::vector<ScoreComponentSpec> specs, AggFunction agg,
+            ScoreTable* score_table);
+
+  /// Recomputes the whole view from the base tables (initial build).
+  /// Writes scores straight to the ScoreTable (no handler involvement).
+  Status FullRefresh();
+
+  void SetScoreUpdateHandler(ScoreUpdateHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  /// Current aggregated score of `doc` per the in-memory state.
+  double ScoreOf(DocId doc) const;
+
+  void OnDelta(const TableDelta& delta) override;
+
+  /// First error any delta application hit (deltas arrive through a void
+  /// observer callback, so errors are latched here).
+  const Status& last_error() const { return last_error_; }
+
+ private:
+  struct ComponentState {
+    double sum = 0.0;
+    int64_t count = 0;
+  };
+
+  // Column positions of one component within its source table.
+  struct ComponentColumns {
+    int match = -1;
+    int value = -1;  // -1 for kCount
+  };
+
+  Status ResolveColumns();
+  double ComponentValue(const ScoreComponentSpec& spec,
+                        const ComponentState& s) const;
+  void ApplyComponentDelta(size_t component, const TableDelta& delta);
+  void RecomputeAndPublish(DocId doc);
+
+  Database* db_;
+  std::string scored_table_;
+  std::vector<ScoreComponentSpec> specs_;
+  AggFunction agg_;
+  ScoreTable* score_table_;
+  ScoreUpdateHandler handler_;
+  std::vector<ComponentColumns> columns_;
+  bool columns_resolved_ = false;
+  // state_[component][doc]
+  std::vector<std::unordered_map<DocId, ComponentState>> state_;
+  Status last_error_;
+};
+
+}  // namespace svr::relational
+
+#endif  // SVR_RELATIONAL_SCORE_VIEW_H_

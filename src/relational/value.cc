@@ -1,0 +1,69 @@
+#include "relational/value.h"
+
+#include "common/coding.h"
+
+namespace svr::relational {
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(as_int());
+    case ValueType::kDouble:
+      return std::to_string(as_double());
+    case ValueType::kString:
+      return "'" + as_string() + "'";
+  }
+  return "?";
+}
+
+void EncodeValue(std::string* dst, const Value& v) {
+  dst->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      PutVarint64(dst, ZigzagEncode64(v.as_int()));
+      break;
+    case ValueType::kDouble:
+      PutFixedDouble(dst, v.as_double());
+      break;
+    case ValueType::kString:
+      PutLengthPrefixed(dst, v.as_string());
+      break;
+  }
+}
+
+Status DecodeValue(Slice* in, Value* v) {
+  if (in->empty()) return Status::Corruption("truncated value");
+  auto type = static_cast<ValueType>((*in)[0]);
+  in->remove_prefix(1);
+  switch (type) {
+    case ValueType::kNull:
+      *v = Value::Null();
+      return Status::OK();
+    case ValueType::kInt64: {
+      uint64_t raw;
+      if (!GetVarint64(in, &raw)) return Status::Corruption("bad int value");
+      *v = Value::Int(ZigzagDecode64(raw));
+      return Status::OK();
+    }
+    case ValueType::kDouble: {
+      if (in->size() < 8) return Status::Corruption("bad double value");
+      *v = Value::Double(DecodeFixedDouble(in->data()));
+      in->remove_prefix(8);
+      return Status::OK();
+    }
+    case ValueType::kString: {
+      Slice s;
+      if (!GetLengthPrefixed(in, &s))
+        return Status::Corruption("bad string value");
+      *v = Value::String(s.ToString());
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown value type tag");
+}
+
+}  // namespace svr::relational

@@ -1,0 +1,79 @@
+#ifndef SVR_RELATIONAL_VALUE_H_
+#define SVR_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace svr::relational {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+};
+
+/// \brief A dynamically typed SQL value (NULL / BIGINT / DOUBLE / VARCHAR).
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 1:
+        return ValueType::kInt64;
+      case 2:
+        return ValueType::kDouble;
+      case 3:
+        return ValueType::kString;
+      default:
+        return ValueType::kNull;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  double as_double() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  /// Numeric coercion (int -> double); 0.0 for NULL — the behaviour SQL
+  /// aggregates need.
+  double ToNumber() const {
+    switch (type()) {
+      case ValueType::kInt64:
+        return static_cast<double>(as_int());
+      case ValueType::kDouble:
+        return as_double();
+      default:
+        return 0.0;
+    }
+  }
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+
+  std::string ToString() const;
+
+ private:
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+/// Serializes `v` (type tag + payload) onto `dst`.
+void EncodeValue(std::string* dst, const Value& v);
+/// Parses one value from the front of `*in`.
+Status DecodeValue(Slice* in, Value* v);
+
+}  // namespace svr::relational
+
+#endif  // SVR_RELATIONAL_VALUE_H_

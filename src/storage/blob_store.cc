@@ -1,0 +1,124 @@
+#include "storage/blob_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace svr::storage {
+
+Result<BlobRef> BlobStore::Write(const Slice& data) {
+  const uint32_t page_size = pool_->page_size();
+  const uint32_t num_pages = static_cast<uint32_t>(
+      (data.size() + page_size - 1) / page_size);
+  BlobRef ref;
+  ref.size_bytes = data.size();
+  ref.num_pages = std::max(num_pages, 1u);
+  SVR_ASSIGN_OR_RETURN(ref.first_page, pool_->AllocateRun(ref.num_pages));
+
+  std::string page_buf(page_size, '\0');
+  uint64_t written = 0;
+  for (uint32_t i = 0; i < ref.num_pages; ++i) {
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(page_size, data.size() - written));
+    std::memcpy(page_buf.data(), data.data() + written, n);
+    if (n < page_size) {
+      std::memset(page_buf.data() + n, 0, page_size - n);
+    }
+    SVR_RETURN_NOT_OK(
+        pool_->store()->Write(ref.first_page + i, page_buf.data()));
+    written += n;
+  }
+  total_pages_ += ref.num_pages;
+  total_data_bytes_ += ref.size_bytes;
+  return ref;
+}
+
+Status BlobStore::Free(const BlobRef& ref) {
+  if (!ref.valid()) return Status::OK();
+  for (uint32_t i = 0; i < ref.num_pages; ++i) {
+    SVR_RETURN_NOT_OK(pool_->FreePage(ref.first_page + i));
+  }
+  total_pages_ -= ref.num_pages;
+  total_data_bytes_ -= ref.size_bytes;
+  return Status::OK();
+}
+
+Status BlobStore::Reader::EnsurePage() {
+  const uint32_t page_size = pool_->page_size();
+  const uint32_t needed = static_cast<uint32_t>(offset_ / page_size);
+  if (!page_loaded_ || needed != page_index_) {
+    page_.Release();
+    SVR_RETURN_NOT_OK(pool_->Fetch(ref_.first_page + needed, &page_));
+    page_index_ = needed;
+    page_loaded_ = true;
+  }
+  return Status::OK();
+}
+
+Status BlobStore::Reader::ReadBytes(char* dst, size_t n) {
+  if (n > remaining()) {
+    return Status::OutOfRange("blob read past end");
+  }
+  const uint32_t page_size = pool_->page_size();
+  size_t copied = 0;
+  while (copied < n) {
+    SVR_RETURN_NOT_OK(EnsurePage());
+    const uint32_t in_page = static_cast<uint32_t>(offset_ % page_size);
+    const size_t avail = page_size - in_page;
+    const size_t take = std::min(avail, n - copied);
+    std::memcpy(dst + copied, page_.data() + in_page, take);
+    copied += take;
+    offset_ += take;
+  }
+  return Status::OK();
+}
+
+Status BlobStore::Reader::ReadByte(uint8_t* b) {
+  if (remaining() == 0) return Status::OutOfRange("blob read past end");
+  SVR_RETURN_NOT_OK(EnsurePage());
+  const uint32_t in_page =
+      static_cast<uint32_t>(offset_ % pool_->page_size());
+  *b = static_cast<uint8_t>(page_.data()[in_page]);
+  ++offset_;
+  return Status::OK();
+}
+
+Status BlobStore::Reader::ReadVarint64(uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    uint8_t byte;
+    SVR_RETURN_NOT_OK(ReadByte(&byte));
+    if (byte & 0x80) {
+      result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    } else {
+      result |= static_cast<uint64_t>(byte) << shift;
+      *v = result;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("malformed varint in blob");
+}
+
+Status BlobStore::Reader::ReadVarint32(uint32_t* v) {
+  uint64_t v64;
+  SVR_RETURN_NOT_OK(ReadVarint64(&v64));
+  if (v64 > UINT32_MAX) return Status::Corruption("varint32 overflow");
+  *v = static_cast<uint32_t>(v64);
+  return Status::OK();
+}
+
+Status BlobStore::Reader::ReadFloat(float* v) {
+  char buf[4];
+  SVR_RETURN_NOT_OK(ReadBytes(buf, 4));
+  std::memcpy(v, buf, 4);
+  return Status::OK();
+}
+
+Status BlobStore::Reader::Skip(uint64_t n) {
+  if (n > remaining()) return Status::OutOfRange("blob skip past end");
+  offset_ += n;
+  // The next read's EnsurePage() pulls whatever page the new offset is in;
+  // fully-skipped pages are never fetched.
+  return Status::OK();
+}
+
+}  // namespace svr::storage

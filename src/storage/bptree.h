@@ -1,0 +1,125 @@
+#ifndef SVR_STORAGE_BPTREE_H_
+#define SVR_STORAGE_BPTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace svr::storage {
+
+/// \brief A paged B+-tree with variable-length keys and values,
+/// equivalent in role to the BerkeleyDB BTREE access method used by the
+/// paper (§5.2): short inverted lists, the ListScore/ListChunk tables,
+/// the Score table and the relational tables all live in instances of
+/// this structure.
+///
+/// Keys are compared as raw bytes (memcmp); callers encode composite /
+/// descending orders with svr::PutKey* (see common/key_codec.h).
+///
+/// Properties:
+///  - upsert Put(), point Get(), Delete(), ordered forward iteration;
+///  - leaf pages are doubly linked for range scans;
+///  - pages that become empty are unlinked and freed (no proactive
+///    rebalancing — bounded space overhead traded for simplicity, same
+///    trade BerkeleyDB makes with its "reverse split off" default);
+///  - every page access goes through the BufferPool, so tree operations
+///    are fully accounted in the I/O statistics.
+class BPlusTree {
+ public:
+  /// Creates a new empty tree whose pages live in `pool`.
+  static Result<std::unique_ptr<BPlusTree>> Create(BufferPool* pool);
+
+  /// Re-opens a tree previously created in `pool` with root `root`.
+  /// `size` must be the entry count at close (or 0 to trust callers who
+  /// never use size()).
+  static std::unique_ptr<BPlusTree> Open(BufferPool* pool, PageId root,
+                                         uint64_t size);
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts or replaces `key`.
+  Status Put(const Slice& key, const Slice& value);
+
+  /// Looks up `key`; Status::NotFound if absent.
+  Status Get(const Slice& key, std::string* value) const;
+
+  /// Removes `key`; Status::NotFound if absent.
+  Status Delete(const Slice& key);
+
+  /// Ordered forward iterator. At most one leaf page is pinned at a time.
+  class Iterator {
+   public:
+    /// True if positioned on an entry.
+    bool Valid() const { return valid_; }
+    /// Advances to the next entry in key order.
+    void Next();
+    Slice key() const;
+    Slice value() const;
+    /// Non-OK if iteration hit an I/O error (Valid() turns false).
+    Status status() const { return status_; }
+
+   private:
+    friend class BPlusTree;
+    explicit Iterator(const BPlusTree* tree) : tree_(tree) {}
+    void LoadLeaf(PageId id, int slot);
+
+    const BPlusTree* tree_;
+    PageHandle leaf_;
+    int slot_ = 0;
+    int nslots_ = 0;
+    bool valid_ = false;
+    Status status_;
+  };
+
+  /// Returns an iterator positioned at the first entry >= `target`.
+  std::unique_ptr<Iterator> Seek(const Slice& target) const;
+  /// Returns an iterator positioned at the first entry.
+  std::unique_ptr<Iterator> Begin() const;
+
+  /// Number of live entries.
+  uint64_t size() const { return size_; }
+  /// Pages currently owned by this tree (space accounting for Table 1).
+  uint64_t num_pages() const { return num_pages_; }
+  uint64_t SizeBytes() const {
+    return num_pages_ * pool_->page_size();
+  }
+  PageId root() const { return root_; }
+
+ private:
+  BPlusTree(BufferPool* pool, PageId root, uint64_t size, uint64_t num_pages)
+      : pool_(pool), root_(root), size_(size), num_pages_(num_pages) {}
+
+  // Descends to the leaf that owns `key`; fills `path` with (page, slot)
+  // pairs for the internal nodes visited (slot = index of followed entry,
+  // or -1 for the rightmost pointer).
+  struct PathEntry {
+    PageId page;
+    int slot;
+  };
+  Status FindLeaf(const Slice& key, PageHandle* leaf,
+                  std::vector<PathEntry>* path) const;
+
+  Status InsertIntoParent(std::vector<PathEntry>* path, PageId left,
+                          const std::string& sep, PageId right);
+  Status RemoveFromParent(std::vector<PathEntry>* path, PageId child);
+
+  Result<PageId> NewNodePage(bool leaf, PageHandle* handle);
+  Status FreeNodePage(PageId id);
+
+  BufferPool* pool_;
+  PageId root_;
+  uint64_t size_;
+  uint64_t num_pages_;
+};
+
+}  // namespace svr::storage
+
+#endif  // SVR_STORAGE_BPTREE_H_

@@ -1,0 +1,167 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace svr::storage {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.id_ = kInvalidPageId;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+char* PageHandle::mutable_data() {
+  assert(valid());
+  // Mark dirty eagerly; the pool writes it back on eviction/flush.
+  auto it = pool_->frames_.find(id_);
+  assert(it != pool_->frames_.end());
+  it->second->dirty = true;
+  return data_;
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_, /*dirty=*/false);
+    pool_ = nullptr;
+    data_ = nullptr;
+    id_ = kInvalidPageId;
+  }
+}
+
+BufferPool::BufferPool(PageStore* store, uint64_t capacity_pages)
+    : store_(store), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
+
+BufferPool::~BufferPool() {
+  // Best-effort flush; errors are unreportable from a destructor.
+  (void)FlushAll();
+}
+
+Status BufferPool::Fetch(PageId id, PageHandle* handle) {
+  ++stats_.fetches;
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    Frame* f = it->second.get();
+    if (f->in_lru) {
+      lru_.erase(f->lru_it);
+      f->in_lru = false;
+    }
+    ++f->pin_count;
+    *handle = PageHandle(this, id, f->data.get());
+    return Status::OK();
+  }
+
+  ++stats_.misses;
+  SVR_RETURN_NOT_OK(MakeRoom());
+  auto frame = std::make_unique<Frame>();
+  frame->id = id;
+  frame->data = std::make_unique<char[]>(store_->page_size());
+  SVR_RETURN_NOT_OK(store_->Read(id, frame->data.get()));
+  frame->pin_count = 1;
+  Frame* raw = frame.get();
+  frames_.emplace(id, std::move(frame));
+  *handle = PageHandle(this, id, raw->data.get());
+  return Status::OK();
+}
+
+Status BufferPool::NewPage(PageHandle* handle) {
+  SVR_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
+  SVR_RETURN_NOT_OK(MakeRoom());
+  auto frame = std::make_unique<Frame>();
+  frame->id = id;
+  frame->data = std::make_unique<char[]>(store_->page_size());
+  std::memset(frame->data.get(), 0, store_->page_size());
+  frame->pin_count = 1;
+  frame->dirty = true;
+  Frame* raw = frame.get();
+  frames_.emplace(id, std::move(frame));
+  *handle = PageHandle(this, id, raw->data.get());
+  return Status::OK();
+}
+
+Result<PageId> BufferPool::AllocateRun(uint32_t n) {
+  return store_->AllocateRun(n);
+}
+
+Status BufferPool::FreePage(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    Frame* f = it->second.get();
+    if (f->pin_count > 0) {
+      return Status::InvalidArgument("freeing a pinned page");
+    }
+    if (f->in_lru) lru_.erase(f->lru_it);
+    frames_.erase(it);
+  }
+  return store_->Free(id);
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = frames_.find(id);
+  assert(it != frames_.end());
+  Frame* f = it->second.get();
+  assert(f->pin_count > 0);
+  if (dirty) f->dirty = true;
+  if (--f->pin_count == 0) {
+    lru_.push_front(id);
+    f->lru_it = lru_.begin();
+    f->in_lru = true;
+  }
+}
+
+Status BufferPool::MakeRoom() {
+  while (frames_.size() >= capacity_ && !lru_.empty()) {
+    PageId victim = lru_.back();
+    auto it = frames_.find(victim);
+    assert(it != frames_.end());
+    SVR_RETURN_NOT_OK(EvictFrame(it->second.get()));
+    lru_.pop_back();
+    frames_.erase(it);
+    ++stats_.evictions;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictFrame(Frame* frame) {
+  if (frame->dirty) {
+    SVR_RETURN_NOT_OK(store_->Write(frame->id, frame->data.get()));
+    ++stats_.writebacks;
+    frame->dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    if (frame->dirty) {
+      SVR_RETURN_NOT_OK(store_->Write(id, frame->data.get()));
+      ++stats_.writebacks;
+      frame->dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictAll() {
+  SVR_RETURN_NOT_OK(FlushAll());
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    Frame* f = it->second.get();
+    if (f->pin_count == 0) {
+      if (f->in_lru) lru_.erase(f->lru_it);
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace svr::storage

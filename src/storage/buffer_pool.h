@@ -1,0 +1,132 @@
+#ifndef SVR_STORAGE_BUFFER_POOL_H_
+#define SVR_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/page_store.h"
+
+namespace svr::storage {
+
+/// Cache statistics, the reproduction's scale-free cost model: a query's
+/// `misses` delta is the number of disk pages it would have touched on
+/// the paper's hardware.
+struct BufferPoolStats {
+  uint64_t fetches = 0;      // Fetch() calls
+  uint64_t hits = 0;         // served from cache
+  uint64_t misses = 0;       // required a PageStore read
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;   // dirty pages written on evict/flush
+
+  uint64_t io_reads() const { return misses; }
+};
+
+class BufferPool;
+
+/// RAII pin on a cached page. While a PageHandle is live the frame cannot
+/// be evicted. Move-only.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+
+  const char* data() const { return data_; }
+  /// Grants write access and marks the frame dirty.
+  char* mutable_data();
+
+  /// Drops the pin early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, PageId id, char* data)
+      : pool_(pool), id_(id), data_(data) {}
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  char* data_ = nullptr;
+};
+
+/// \brief LRU page cache over a PageStore — the analogue of the BerkeleyDB
+/// mpool cache (§5.2 of the paper used a 100 MB cache).
+///
+/// Capacity is expressed in pages. When every frame is pinned the pool
+/// grows past capacity rather than failing (and counts the overflow);
+/// steady-state working sets in this codebase pin O(tree depth) pages.
+class BufferPool {
+ public:
+  BufferPool(PageStore* store, uint64_t capacity_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from the store on miss.
+  Status Fetch(PageId id, PageHandle* handle);
+
+  /// Allocates a zeroed page, pins it, and marks it dirty.
+  Status NewPage(PageHandle* handle);
+
+  /// Allocates `n` contiguous pages without caching them (bulk blob
+  /// writes go straight to the store).
+  Result<PageId> AllocateRun(uint32_t n);
+
+  /// Drops page `id` from the cache (no writeback) and frees it in the
+  /// store. The page must not be pinned.
+  Status FreePage(PageId id);
+
+  /// Writes all dirty frames back to the store.
+  Status FlushAll();
+
+  /// Flush + drop every unpinned frame. This is the paper's "cold cache"
+  /// protocol for query measurements (§5.2).
+  Status EvictAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+
+  uint64_t capacity_pages() const { return capacity_; }
+  uint64_t cached_pages() const { return frames_.size(); }
+  uint32_t page_size() const { return store_->page_size(); }
+  PageStore* store() const { return store_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId id = kInvalidPageId;
+    std::unique_ptr<char[]> data;
+    int pin_count = 0;
+    bool dirty = false;
+    bool in_lru = false;
+    std::list<PageId>::iterator lru_it;
+  };
+
+  void Unpin(PageId id, bool dirty);
+  // Evicts unpinned frames until below capacity. Best effort.
+  Status MakeRoom();
+  Status EvictFrame(Frame* frame);
+
+  PageStore* store_;
+  uint64_t capacity_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  // Unpinned frames, most-recently-used at front; victims from the back.
+  std::list<PageId> lru_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace svr::storage
+
+#endif  // SVR_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,21 @@
+#ifndef SVR_STORAGE_PAGE_H_
+#define SVR_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace svr::storage {
+
+/// Identifier of a fixed-size page within a PageStore.
+using PageId = uint32_t;
+
+/// Sentinel for "no page" (e.g. end of a leaf chain).
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Default page size. BerkeleyDB's default is 4 KiB as well; all of the
+/// paper's structures (B+-trees, long-list blobs) are read and written in
+/// units of this size.
+inline constexpr uint32_t kDefaultPageSize = 4096;
+
+}  // namespace svr::storage
+
+#endif  // SVR_STORAGE_PAGE_H_

@@ -1,0 +1,160 @@
+#include "storage/page_store.h"
+
+#include <cstring>
+
+namespace svr::storage {
+
+InMemoryPageStore::InMemoryPageStore(uint32_t page_size)
+    : page_size_(page_size) {}
+
+bool InMemoryPageStore::IsLive(PageId id) const {
+  return id < pages_.size() && live_[id];
+}
+
+Status InMemoryPageStore::Read(PageId id, char* buf) {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("read of unallocated page");
+  }
+  std::memcpy(buf, pages_[id].get(), page_size_);
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status InMemoryPageStore::Write(PageId id, const char* buf) {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("write of unallocated page");
+  }
+  std::memcpy(pages_[id].get(), buf, page_size_);
+  ++stats_.writes;
+  return Status::OK();
+}
+
+Result<PageId> InMemoryPageStore::Allocate() {
+  ++stats_.allocations;
+  ++live_pages_;
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    live_[id] = true;
+    std::memset(pages_[id].get(), 0, page_size_);
+    return id;
+  }
+  PageId id = static_cast<PageId>(pages_.size());
+  pages_.push_back(std::make_unique<char[]>(page_size_));
+  std::memset(pages_.back().get(), 0, page_size_);
+  live_.push_back(true);
+  return id;
+}
+
+Result<PageId> InMemoryPageStore::AllocateRun(uint32_t n) {
+  if (n == 0) return Status::InvalidArgument("empty page run");
+  // Runs are always carved off the end so they are contiguous.
+  PageId first = static_cast<PageId>(pages_.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    pages_.push_back(std::make_unique<char[]>(page_size_));
+    std::memset(pages_.back().get(), 0, page_size_);
+    live_.push_back(true);
+  }
+  stats_.allocations += n;
+  live_pages_ += n;
+  return first;
+}
+
+Status InMemoryPageStore::Free(PageId id) {
+  if (!IsLive(id)) {
+    return Status::InvalidArgument("free of unallocated page");
+  }
+  live_[id] = false;
+  free_list_.push_back(id);
+  ++stats_.frees;
+  --live_pages_;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FilePageStore>> FilePageStore::Create(
+    const std::string& path, uint32_t page_size) {
+  std::FILE* f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::IOError("cannot create page file: " + path);
+  }
+  return std::unique_ptr<FilePageStore>(new FilePageStore(f, page_size));
+}
+
+FilePageStore::FilePageStore(std::FILE* file, uint32_t page_size)
+    : file_(file), page_size_(page_size) {}
+
+FilePageStore::~FilePageStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FilePageStore::Read(PageId id, char* buf) {
+  if (id >= num_pages_) {
+    return Status::InvalidArgument("read of unallocated page");
+  }
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fread(buf, 1, page_size_, file_) != page_size_) {
+    return Status::IOError("short page read");
+  }
+  ++stats_.reads;
+  return Status::OK();
+}
+
+Status FilePageStore::Write(PageId id, const char* buf) {
+  if (id >= num_pages_) {
+    return Status::InvalidArgument("write of unallocated page");
+  }
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fwrite(buf, 1, page_size_, file_) != page_size_) {
+    return Status::IOError("short page write");
+  }
+  ++stats_.writes;
+  return Status::OK();
+}
+
+Result<PageId> FilePageStore::Allocate() {
+  ++stats_.allocations;
+  ++live_pages_;
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    return id;
+  }
+  PageId id = static_cast<PageId>(num_pages_++);
+  // Extend the file with a zero page so Read() of a fresh page succeeds.
+  std::string zeros(page_size_, '\0');
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0 ||
+      std::fwrite(zeros.data(), 1, page_size_, file_) != page_size_) {
+    return Status::IOError("file extend failed");
+  }
+  return id;
+}
+
+Result<PageId> FilePageStore::AllocateRun(uint32_t n) {
+  if (n == 0) return Status::InvalidArgument("empty page run");
+  PageId first = static_cast<PageId>(num_pages_);
+  std::string zeros(static_cast<size_t>(page_size_) * n, '\0');
+  if (std::fseek(file_, static_cast<long>(first) * page_size_, SEEK_SET) != 0 ||
+      std::fwrite(zeros.data(), 1, zeros.size(), file_) != zeros.size()) {
+    return Status::IOError("file extend failed");
+  }
+  num_pages_ += n;
+  stats_.allocations += n;
+  live_pages_ += n;
+  return first;
+}
+
+Status FilePageStore::Free(PageId id) {
+  if (id >= num_pages_) {
+    return Status::InvalidArgument("free of unallocated page");
+  }
+  free_list_.push_back(id);
+  ++stats_.frees;
+  --live_pages_;
+  return Status::OK();
+}
+
+}  // namespace svr::storage

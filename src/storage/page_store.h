@@ -1,0 +1,116 @@
+#ifndef SVR_STORAGE_PAGE_STORE_H_
+#define SVR_STORAGE_PAGE_STORE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace svr::storage {
+
+/// Raw page-read/-write statistics for one backing store.
+struct PageStoreStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocations = 0;
+  uint64_t frees = 0;
+};
+
+/// \brief Abstraction over the physical page file, the analogue of
+/// BerkeleyDB's mpool backing file.
+///
+/// Implementations: InMemoryPageStore (the default substrate for the
+/// reproduction; "disk" reads are counted by the buffer pool above it)
+/// and FilePageStore (a real file, for running against an actual disk).
+class PageStore {
+ public:
+  virtual ~PageStore() = default;
+
+  /// Reads page `id` into `buf` (page_size() bytes).
+  virtual Status Read(PageId id, char* buf) = 0;
+  /// Writes page `id` from `buf` (page_size() bytes).
+  virtual Status Write(PageId id, const char* buf) = 0;
+  /// Allocates one page (possibly recycling a freed one).
+  virtual Result<PageId> Allocate() = 0;
+  /// Allocates `n` physically contiguous pages and returns the first id.
+  /// Used by the blob store so long inverted lists are sequential on disk.
+  virtual Result<PageId> AllocateRun(uint32_t n) = 0;
+  /// Returns page `id` to the free list.
+  virtual Status Free(PageId id) = 0;
+
+  virtual uint32_t page_size() const = 0;
+  /// Number of live (allocated and not freed) pages.
+  virtual uint64_t live_pages() const = 0;
+
+  const PageStoreStats& stats() const { return stats_; }
+
+ protected:
+  PageStoreStats stats_;
+};
+
+/// Heap-backed page store.
+class InMemoryPageStore final : public PageStore {
+ public:
+  explicit InMemoryPageStore(uint32_t page_size = kDefaultPageSize);
+
+  InMemoryPageStore(const InMemoryPageStore&) = delete;
+  InMemoryPageStore& operator=(const InMemoryPageStore&) = delete;
+
+  Status Read(PageId id, char* buf) override;
+  Status Write(PageId id, const char* buf) override;
+  Result<PageId> Allocate() override;
+  Result<PageId> AllocateRun(uint32_t n) override;
+  Status Free(PageId id) override;
+
+  uint32_t page_size() const override { return page_size_; }
+  uint64_t live_pages() const override { return live_pages_; }
+
+ private:
+  bool IsLive(PageId id) const;
+
+  uint32_t page_size_;
+  std::vector<std::unique_ptr<char[]>> pages_;
+  std::vector<bool> live_;
+  std::vector<PageId> free_list_;
+  uint64_t live_pages_ = 0;
+};
+
+/// File-backed page store. The free list is kept in memory (this store is
+/// used for single-process experiment runs, not for crash-safe persistence).
+class FilePageStore final : public PageStore {
+ public:
+  /// Creates (truncates) `path`.
+  static Result<std::unique_ptr<FilePageStore>> Create(
+      const std::string& path, uint32_t page_size = kDefaultPageSize);
+
+  ~FilePageStore() override;
+
+  FilePageStore(const FilePageStore&) = delete;
+  FilePageStore& operator=(const FilePageStore&) = delete;
+
+  Status Read(PageId id, char* buf) override;
+  Status Write(PageId id, const char* buf) override;
+  Result<PageId> Allocate() override;
+  Result<PageId> AllocateRun(uint32_t n) override;
+  Status Free(PageId id) override;
+
+  uint32_t page_size() const override { return page_size_; }
+  uint64_t live_pages() const override { return live_pages_; }
+
+ private:
+  FilePageStore(std::FILE* file, uint32_t page_size);
+
+  std::FILE* file_;
+  uint32_t page_size_;
+  uint64_t num_pages_ = 0;  // high-water mark
+  std::vector<PageId> free_list_;
+  uint64_t live_pages_ = 0;
+};
+
+}  // namespace svr::storage
+
+#endif  // SVR_STORAGE_PAGE_STORE_H_

@@ -1,0 +1,17 @@
+#include "text/corpus.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace svr::text {
+
+std::vector<TermId> Corpus::TermsByFrequency() const {
+  std::vector<TermId> terms(doc_freq_.size());
+  std::iota(terms.begin(), terms.end(), 0);
+  std::stable_sort(terms.begin(), terms.end(), [this](TermId a, TermId b) {
+    return doc_freq_[a] > doc_freq_[b];
+  });
+  return terms;
+}
+
+}  // namespace svr::text

@@ -1,0 +1,64 @@
+#ifndef SVR_TEXT_CORPUS_H_
+#define SVR_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "text/document.h"
+
+namespace svr::text {
+
+/// \brief An in-memory document collection addressed by dense DocId —
+/// the "text column" contents the index methods are built over. Also
+/// tracks per-term document frequencies for selectivity-based query
+/// pools and IDF.
+class Corpus {
+ public:
+  explicit Corpus(size_t vocab_size = 0) : doc_freq_(vocab_size, 0) {}
+
+  /// Appends a document; its DocId is its position.
+  DocId Add(Document doc) {
+    for (TermId t : doc.terms()) {
+      if (t >= doc_freq_.size()) doc_freq_.resize(t + 1, 0);
+      ++doc_freq_[t];
+    }
+    docs_.push_back(std::move(doc));
+    return static_cast<DocId>(docs_.size() - 1);
+  }
+
+  /// Replaces the content of `id` (document frequency bookkeeping
+  /// included). Used for Appendix-A content updates.
+  void Replace(DocId id, Document doc) {
+    for (TermId t : docs_[id].terms()) {
+      --doc_freq_[t];
+    }
+    for (TermId t : doc.terms()) {
+      if (t >= doc_freq_.size()) doc_freq_.resize(t + 1, 0);
+      ++doc_freq_[t];
+    }
+    docs_[id] = std::move(doc);
+  }
+
+  const Document& doc(DocId id) const { return docs_[id]; }
+  size_t num_docs() const { return docs_.size(); }
+  size_t vocab_size() const { return doc_freq_.size(); }
+
+  /// Number of documents containing `term`.
+  uint32_t DocFreq(TermId term) const {
+    return term < doc_freq_.size() ? doc_freq_[term] : 0;
+  }
+
+  /// Term ids sorted by document frequency, most frequent first — the
+  /// basis of the paper's unselective/medium/selective query pools
+  /// ("keywords randomly chosen from the N most frequent terms").
+  std::vector<TermId> TermsByFrequency() const;
+
+ private:
+  std::vector<Document> docs_;
+  std::vector<uint32_t> doc_freq_;
+};
+
+}  // namespace svr::text
+
+#endif  // SVR_TEXT_CORPUS_H_

@@ -1,0 +1,27 @@
+#include "text/corpus_generator.h"
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace svr::text {
+
+Corpus GenerateCorpus(const CorpusParams& params) {
+  Corpus corpus(params.vocab_size);
+  Random rng(params.seed);
+  ZipfDistribution term_dist(params.vocab_size, params.term_zipf);
+
+  std::vector<TermId> tokens;
+  tokens.reserve(params.terms_per_doc);
+  for (uint32_t d = 0; d < params.num_docs; ++d) {
+    tokens.clear();
+    for (uint32_t i = 0; i < params.terms_per_doc; ++i) {
+      tokens.push_back(static_cast<TermId>(term_dist.Sample(&rng)));
+    }
+    corpus.Add(Document::FromTokens(std::move(tokens)));
+    tokens = std::vector<TermId>();
+    tokens.reserve(params.terms_per_doc);
+  }
+  return corpus;
+}
+
+}  // namespace svr::text

@@ -1,0 +1,64 @@
+#ifndef SVR_TEXT_DOCUMENT_H_
+#define SVR_TEXT_DOCUMENT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace svr::text {
+
+/// \brief The indexed form of one text column value: the document's
+/// distinct terms (sorted by TermId) with their in-document frequencies.
+class Document {
+ public:
+  Document() = default;
+
+  /// Builds from a raw token stream (term ids, duplicates allowed).
+  static Document FromTokens(std::vector<TermId> tokens) {
+    Document d;
+    d.total_tokens_ = static_cast<uint32_t>(tokens.size());
+    std::sort(tokens.begin(), tokens.end());
+    for (size_t i = 0; i < tokens.size();) {
+      size_t j = i;
+      while (j < tokens.size() && tokens[j] == tokens[i]) ++j;
+      d.terms_.push_back(tokens[i]);
+      d.freqs_.push_back(static_cast<uint32_t>(j - i));
+      i = j;
+    }
+    return d;
+  }
+
+  const std::vector<TermId>& terms() const { return terms_; }
+  const std::vector<uint32_t>& freqs() const { return freqs_; }
+  /// Number of tokens including duplicates (for TF normalization).
+  uint32_t total_tokens() const { return total_tokens_; }
+  size_t num_distinct_terms() const { return terms_.size(); }
+
+  bool Contains(TermId term) const {
+    return std::binary_search(terms_.begin(), terms_.end(), term);
+  }
+
+  /// In-document frequency of `term` (0 if absent).
+  uint32_t FrequencyOf(TermId term) const {
+    auto it = std::lower_bound(terms_.begin(), terms_.end(), term);
+    if (it == terms_.end() || *it != term) return 0;
+    return freqs_[it - terms_.begin()];
+  }
+
+  /// The paper's normalized term score for (term, doc): tf / |doc|.
+  double NormalizedTf(TermId term) const {
+    if (total_tokens_ == 0) return 0.0;
+    return static_cast<double>(FrequencyOf(term)) / total_tokens_;
+  }
+
+ private:
+  std::vector<TermId> terms_;
+  std::vector<uint32_t> freqs_;
+  uint32_t total_tokens_ = 0;
+};
+
+}  // namespace svr::text
+
+#endif  // SVR_TEXT_DOCUMENT_H_

@@ -1,0 +1,22 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace svr::text {
+
+void Tokenizer::Tokenize(std::string_view text,
+                         std::vector<std::string>* out) {
+  std::string current;
+  for (char ch : text) {
+    const unsigned char uc = static_cast<unsigned char>(ch);
+    if (std::isalnum(uc)) {
+      current.push_back(static_cast<char>(std::tolower(uc)));
+    } else if (!current.empty()) {
+      out->push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) out->push_back(std::move(current));
+}
+
+}  // namespace svr::text

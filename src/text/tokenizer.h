@@ -1,0 +1,28 @@
+#ifndef SVR_TEXT_TOKENIZER_H_
+#define SVR_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace svr::text {
+
+/// \brief Splits raw text into lowercase alphanumeric tokens — the
+/// analysis step a SQL/MM text extender performs before indexing a text
+/// column.
+class Tokenizer {
+ public:
+  /// Appends the tokens of `text` to `out`.
+  static void Tokenize(std::string_view text, std::vector<std::string>* out);
+
+  /// Convenience overload.
+  static std::vector<std::string> Tokenize(std::string_view text) {
+    std::vector<std::string> out;
+    Tokenize(text, &out);
+    return out;
+  }
+};
+
+}  // namespace svr::text
+
+#endif  // SVR_TEXT_TOKENIZER_H_

@@ -1,0 +1,19 @@
+#include "text/vocabulary.h"
+
+namespace svr::text {
+
+TermId Vocabulary::Intern(const std::string& term) {
+  auto it = ids_.find(term);
+  if (it != ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  ids_.emplace(term, id);
+  return id;
+}
+
+TermId Vocabulary::Lookup(const std::string& term) const {
+  auto it = ids_.find(term);
+  return it == ids_.end() ? kUnknownTerm : it->second;
+}
+
+}  // namespace svr::text

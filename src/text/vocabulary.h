@@ -1,0 +1,35 @@
+#ifndef SVR_TEXT_VOCABULARY_H_
+#define SVR_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace svr::text {
+
+/// \brief Bidirectional term <-> TermId dictionary.
+///
+/// Term ids are dense and assigned in interning order, so they double as
+/// posting-list identifiers.
+class Vocabulary {
+ public:
+  /// Returns the id of `term`, interning it if new.
+  TermId Intern(const std::string& term);
+
+  /// Id of `term` or kInvalidDocId-like sentinel if unknown.
+  static constexpr TermId kUnknownTerm = 0xFFFFFFFFu;
+  TermId Lookup(const std::string& term) const;
+
+  const std::string& term(TermId id) const { return terms_[id]; }
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace svr::text
+
+#endif  // SVR_TEXT_VOCABULARY_H_

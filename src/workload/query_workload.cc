@@ -1,0 +1,46 @@
+#include "workload/query_workload.h"
+
+#include <algorithm>
+
+namespace svr::workload {
+
+QueryWorkload::QueryWorkload(const ExperimentConfig& config,
+                             const text::Corpus& corpus)
+    : config_(config),
+      rng_(config.seed ^ 0xabcdef12ULL),
+      terms_by_freq_(corpus.TermsByFrequency()) {}
+
+size_t QueryWorkload::PoolSize(QueryClass cls) const {
+  uint32_t reference_pool = 0;
+  switch (cls) {
+    case QueryClass::kUnselective:
+      reference_pool = config_.unselective_pool;
+      break;
+    case QueryClass::kMedium:
+      reference_pool = config_.medium_pool;
+      break;
+    case QueryClass::kSelective:
+      reference_pool = config_.selective_pool;
+      break;
+  }
+  const double scale = static_cast<double>(config_.corpus.vocab_size) /
+                       static_cast<double>(config_.reference_vocab);
+  size_t pool = static_cast<size_t>(reference_pool * scale);
+  pool = std::max<size_t>(pool, config_.query_terms + 1);
+  return std::min(pool, terms_by_freq_.size());
+}
+
+index::Query QueryWorkload::Next(QueryClass cls) {
+  const size_t pool = PoolSize(cls);
+  index::Query q;
+  q.conjunctive = config_.conjunctive;
+  while (q.terms.size() < config_.query_terms) {
+    const TermId t = terms_by_freq_[rng_.Uniform(pool)];
+    if (std::find(q.terms.begin(), q.terms.end(), t) == q.terms.end()) {
+      q.terms.push_back(t);
+    }
+  }
+  return q;
+}
+
+}  // namespace svr::workload

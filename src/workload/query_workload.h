@@ -1,0 +1,34 @@
+#ifndef SVR_WORKLOAD_QUERY_WORKLOAD_H_
+#define SVR_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "index/text_index.h"
+#include "text/corpus.h"
+#include "workload/params.h"
+
+namespace svr::workload {
+
+/// \brief The §5.1 keyword query stream: `query_terms` distinct keywords
+/// drawn uniformly from the top-N most-frequent-term pool of the chosen
+/// selectivity class (N scaled from the paper's 350/1600/15000 @ 200k
+/// vocabulary to the configured vocabulary).
+class QueryWorkload {
+ public:
+  QueryWorkload(const ExperimentConfig& config, const text::Corpus& corpus);
+
+  index::Query Next(QueryClass cls);
+
+  /// Effective pool size of `cls` after scaling.
+  size_t PoolSize(QueryClass cls) const;
+
+ private:
+  ExperimentConfig config_;
+  Random rng_;
+  std::vector<TermId> terms_by_freq_;
+};
+
+}  // namespace svr::workload
+
+#endif  // SVR_WORKLOAD_QUERY_WORKLOAD_H_

@@ -1,0 +1,26 @@
+#include "workload/score_generator.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/random.h"
+
+namespace svr::workload {
+
+std::vector<double> GenerateScores(size_t num_docs, double max_score,
+                                   double theta, uint64_t seed) {
+  std::vector<size_t> ranks(num_docs);
+  for (size_t i = 0; i < num_docs; ++i) ranks[i] = i;
+  Random rng(seed);
+  for (size_t i = num_docs; i > 1; --i) {
+    std::swap(ranks[i - 1], ranks[rng.Uniform(i)]);
+  }
+  std::vector<double> scores(num_docs);
+  for (size_t i = 0; i < num_docs; ++i) {
+    scores[i] =
+        max_score / std::pow(static_cast<double>(ranks[i] + 1), theta);
+  }
+  return scores;
+}
+
+}  // namespace svr::workload

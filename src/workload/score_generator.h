@@ -1,0 +1,17 @@
+#ifndef SVR_WORKLOAD_SCORE_GENERATOR_H_
+#define SVR_WORKLOAD_SCORE_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace svr::workload {
+
+/// Initial per-document SVR scores: Zipf(`theta`) over (0, `max_score`],
+/// assigned to documents in random order (§5.1). Deterministic in `seed`.
+std::vector<double> GenerateScores(size_t num_docs, double max_score,
+                                   double theta, uint64_t seed);
+
+}  // namespace svr::workload
+
+#endif  // SVR_WORKLOAD_SCORE_GENERATOR_H_

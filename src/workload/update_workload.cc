@@ -1,0 +1,61 @@
+#include "workload/update_workload.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace svr::workload {
+
+UpdateWorkload::UpdateWorkload(const ExperimentConfig& config,
+                               const std::vector<double>& initial_scores)
+    : config_(config),
+      rng_(config.seed ^ 0x5f5f5f5fULL),
+      victim_dist_(std::max<size_t>(initial_scores.size(), 1),
+                   config.update_zipf) {
+  const size_t n = initial_scores.size();
+  docs_by_score_.resize(n);
+  std::iota(docs_by_score_.begin(), docs_by_score_.end(), 0);
+  std::stable_sort(docs_by_score_.begin(), docs_by_score_.end(),
+                   [&](DocId a, DocId b) {
+                     return initial_scores[a] > initial_scores[b];
+                   });
+
+  // Focus membership is independent of current score (§5.1: documents
+  // that "temporarily receive a lot of attention, independent of their
+  // actual current score").
+  const size_t focus_n = static_cast<size_t>(
+      n * std::min(config.focus_set_pct, 100.0) / 100.0);
+  std::vector<DocId> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  for (size_t i = 0; i < focus_n && i < n; ++i) {
+    const size_t j = i + rng_.Uniform(n - i);
+    std::swap(all[i], all[j]);
+    focus_set_.push_back(all[i]);
+  }
+  focus_increases_.resize(focus_set_.size(), true);
+  if (config.focus_mode == FocusMode::kMixed) {
+    for (size_t i = 0; i < focus_increases_.size(); ++i) {
+      focus_increases_[i] = (i % 2 == 0);
+    }
+  } else if (config.focus_mode == FocusMode::kDecrease) {
+    std::fill(focus_increases_.begin(), focus_increases_.end(), false);
+  }
+}
+
+ScoreUpdate UpdateWorkload::Next() {
+  const double magnitude =
+      rng_.UniformDouble(0.0, 2.0 * config_.mean_update_step);
+  const bool to_focus =
+      !focus_set_.empty() &&
+      rng_.NextDouble() * 100.0 < config_.focus_update_pct;
+  if (to_focus) {
+    const size_t i = rng_.Uniform(focus_set_.size());
+    const double sign = focus_increases_[i] ? 1.0 : -1.0;
+    return {focus_set_[i], sign * magnitude, true};
+  }
+  const size_t rank = victim_dist_.Sample(&rng_);
+  const DocId doc = docs_by_score_[std::min(rank, docs_by_score_.size() - 1)];
+  const double sign = rng_.OneIn(2) ? 1.0 : -1.0;
+  return {doc, sign * magnitude, false};
+}
+
+}  // namespace svr::workload

@@ -1,0 +1,49 @@
+#ifndef SVR_WORKLOAD_UPDATE_WORKLOAD_H_
+#define SVR_WORKLOAD_UPDATE_WORKLOAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "common/zipf.h"
+#include "workload/params.h"
+
+namespace svr::workload {
+
+/// One generated score update: the victim and its signed delta. The
+/// driver clamps the resulting score at zero.
+struct ScoreUpdate {
+  DocId doc;
+  double delta;
+  bool is_focus;
+};
+
+/// \brief The §5.1 score-update stream: victims drawn Zipf-by-score-rank
+/// (popular documents are updated more often), deltas uniform in
+/// [0, 2*mean] with the sign chosen per config, plus a focus set of
+/// newly popular documents that receive `focus_update_pct` of all
+/// updates with (by default) strictly increasing scores.
+class UpdateWorkload {
+ public:
+  /// `initial_scores` fixes the popularity ranking used for victim
+  /// selection and the focus-set membership draw.
+  UpdateWorkload(const ExperimentConfig& config,
+                 const std::vector<double>& initial_scores);
+
+  ScoreUpdate Next();
+
+  const std::vector<DocId>& focus_set() const { return focus_set_; }
+
+ private:
+  ExperimentConfig config_;
+  Random rng_;
+  ZipfDistribution victim_dist_;
+  std::vector<DocId> docs_by_score_;  // rank -> doc (descending score)
+  std::vector<DocId> focus_set_;
+  std::vector<bool> focus_increases_;  // kMixed: per-doc direction
+};
+
+}  // namespace svr::workload
+
+#endif  // SVR_WORKLOAD_UPDATE_WORKLOAD_H_

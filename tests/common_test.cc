@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/key_codec.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/zipf.h"
+
+namespace svr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCodesAndMessages) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::NotFound("missing doc").ToString(),
+            "NotFound: missing doc");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    SVR_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsIOError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto make = [](bool ok) -> Result<std::string> {
+    if (ok) return std::string("hello");
+    return Status::Internal("boom");
+  };
+  auto user = [&](bool ok) -> Status {
+    SVR_ASSIGN_OR_RETURN(std::string v, make(ok));
+    EXPECT_EQ(v, "hello");
+    return Status::OK();
+  };
+  EXPECT_TRUE(user(true).ok());
+  EXPECT_TRUE(user(false).IsInternal());
+}
+
+TEST(SliceTest, BasicAccessors) {
+  Slice s("abc");
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s[1], 'b');
+  EXPECT_EQ(s.ToString(), "abc");
+}
+
+TEST(SliceTest, CompareIsLexicographic) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("abc") == Slice("abc"));
+  EXPECT_TRUE(Slice("abc") != Slice("abd"));
+}
+
+TEST(SliceTest, StartsWithAndRemovePrefix) {
+  Slice s("hello world");
+  EXPECT_TRUE(s.starts_with("hello"));
+  EXPECT_FALSE(s.starts_with("world"));
+  s.remove_prefix(6);
+  EXPECT_EQ(s.ToString(), "world");
+}
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 1);
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed32(&buf, UINT32_MAX);
+  EXPECT_EQ(buf.size(), 16u);
+  EXPECT_EQ(DecodeFixed32(buf.data()), 0u);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 4), 1u);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 8), 0xDEADBEEF);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 12), UINT32_MAX);
+}
+
+TEST(CodingTest, Fixed64AndDoubleRoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  PutFixedDouble(&buf, 3.14159);
+  EXPECT_EQ(DecodeFixed64(buf.data()), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(DecodeFixedDouble(buf.data() + 8), 3.14159);
+}
+
+TEST(CodingTest, VarintRoundTripBoundaries) {
+  const uint64_t cases[] = {0,       1,        127,        128,
+                            16383,   16384,    (1u << 21) - 1,
+                            1u << 21, UINT32_MAX, (1ull << 35),
+                            UINT64_MAX};
+  for (uint64_t v : cases) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v));
+    Slice in(buf);
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&in, &out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, static_cast<uint64_t>(UINT32_MAX) + 1);
+  Slice in(buf);
+  uint32_t out;
+  EXPECT_FALSE(GetVarint32(&in, &out));
+}
+
+TEST(CodingTest, VarintRejectsTruncation) {
+  std::string buf;
+  PutVarint64(&buf, 1u << 30);
+  buf.pop_back();
+  Slice in(buf);
+  uint64_t out;
+  EXPECT_FALSE(GetVarint64(&in, &out));
+}
+
+TEST(CodingTest, ZigzagRoundTrip) {
+  const int64_t cases[] = {0, -1, 1, -2, 2, INT64_MAX, INT64_MIN, -123456};
+  for (int64_t v : cases) {
+    EXPECT_EQ(ZigzagDecode64(ZigzagEncode64(v)), v);
+  }
+  // Small magnitudes encode small.
+  EXPECT_LE(ZigzagEncode64(-1), 2u);
+  EXPECT_LE(ZigzagEncode64(1), 2u);
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice("alpha"));
+  PutLengthPrefixed(&buf, Slice(""));
+  PutLengthPrefixed(&buf, Slice("beta"));
+  Slice in(buf);
+  Slice v;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &v));
+  EXPECT_EQ(v.ToString(), "alpha");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &v));
+  EXPECT_EQ(v.ToString(), "");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &v));
+  EXPECT_EQ(v.ToString(), "beta");
+  EXPECT_TRUE(in.empty());
+}
+
+// --- key codec: memcmp order must equal numeric order -----------------
+
+template <typename Put>
+std::string EncodeOne(Put put, double v) {
+  std::string s;
+  put(&s, v);
+  return s;
+}
+
+TEST(KeyCodecTest, U32AscendingOrder) {
+  const uint32_t vals[] = {0, 1, 2, 255, 256, 65535, 1u << 20, UINT32_MAX};
+  std::string prev;
+  for (uint32_t v : vals) {
+    std::string cur;
+    PutKeyU32(&cur, v);
+    if (!prev.empty()) {
+      EXPECT_LT(prev, cur) << v;
+    }
+    Slice in(cur);
+    uint32_t out;
+    ASSERT_TRUE(GetKeyU32(&in, &out));
+    EXPECT_EQ(out, v);
+    prev = cur;
+  }
+}
+
+TEST(KeyCodecTest, U32DescendingOrder) {
+  const uint32_t vals[] = {0, 1, 255, 65535, UINT32_MAX};
+  std::string prev;
+  for (uint32_t v : vals) {
+    std::string cur;
+    PutKeyU32Desc(&cur, v);
+    if (!prev.empty()) {
+      EXPECT_GT(prev, cur) << v;
+    }
+    Slice in(cur);
+    uint32_t out;
+    ASSERT_TRUE(GetKeyU32Desc(&in, &out));
+    EXPECT_EQ(out, v);
+    prev = cur;
+  }
+}
+
+TEST(KeyCodecTest, U64RoundTripAndOrder) {
+  const uint64_t vals[] = {0, 1, UINT32_MAX, 1ull << 40, UINT64_MAX};
+  std::string prev_asc, prev_desc;
+  for (uint64_t v : vals) {
+    std::string asc, desc;
+    PutKeyU64(&asc, v);
+    PutKeyU64Desc(&desc, v);
+    if (!prev_asc.empty()) {
+      EXPECT_LT(prev_asc, asc);
+      EXPECT_GT(prev_desc, desc);
+    }
+    Slice ia(asc), id(desc);
+    uint64_t oa, od;
+    ASSERT_TRUE(GetKeyU64(&ia, &oa));
+    ASSERT_TRUE(GetKeyU64Desc(&id, &od));
+    EXPECT_EQ(oa, v);
+    EXPECT_EQ(od, v);
+    prev_asc = asc;
+    prev_desc = desc;
+  }
+}
+
+TEST(KeyCodecTest, DoubleOrderIncludingNegativesAndZero) {
+  const double vals[] = {-1e300, -42.5, -1.0, -1e-300, 0.0,
+                         1e-300, 1.0,   42.5, 87.13,  1e300};
+  std::string prev;
+  for (double v : vals) {
+    std::string cur;
+    PutKeyDouble(&cur, v);
+    if (!prev.empty()) {
+      EXPECT_LT(prev, cur) << v;
+    }
+    Slice in(cur);
+    double out;
+    ASSERT_TRUE(GetKeyDouble(&in, &out));
+    EXPECT_DOUBLE_EQ(out, v);
+    prev = cur;
+  }
+}
+
+TEST(KeyCodecTest, DoubleDescendingOrder) {
+  const double vals[] = {-5.0, 0.0, 0.5, 100.0, 1e9};
+  std::string prev;
+  for (double v : vals) {
+    std::string cur;
+    PutKeyDoubleDesc(&cur, v);
+    if (!prev.empty()) {
+      EXPECT_GT(prev, cur) << v;
+    }
+    Slice in(cur);
+    double out;
+    ASSERT_TRUE(GetKeyDoubleDesc(&in, &out));
+    EXPECT_DOUBLE_EQ(out, v);
+    prev = cur;
+  }
+}
+
+TEST(KeyCodecTest, RandomizedDoubleOrderProperty) {
+  Random rng(2005);
+  for (int i = 0; i < 2000; ++i) {
+    double a = rng.UniformDouble(-1e6, 1e6);
+    double b = rng.UniformDouble(-1e6, 1e6);
+    std::string ka, kb;
+    PutKeyDouble(&ka, a);
+    PutKeyDouble(&kb, b);
+    EXPECT_EQ(a < b, ka < kb) << a << " vs " << b;
+  }
+}
+
+TEST(KeyCodecTest, CompositeKeyOrder) {
+  // (term asc, score desc, doc asc) — the short-list key shape.
+  auto make = [](uint32_t term, double score, uint32_t doc) {
+    std::string k;
+    PutKeyU32(&k, term);
+    PutKeyDoubleDesc(&k, score);
+    PutKeyU32(&k, doc);
+    return k;
+  };
+  EXPECT_LT(make(1, 50.0, 9), make(2, 99.0, 0));  // term dominates
+  EXPECT_LT(make(1, 90.0, 9), make(1, 50.0, 0));  // higher score first
+  EXPECT_LT(make(1, 50.0, 3), make(1, 50.0, 4));  // doc breaks ties
+}
+
+// --- random / zipf -----------------------------------------------------
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c.Next();
+  }
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    double u = rng.UniformDouble(5.0, 6.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 6.0);
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfDistribution z(1000, 0.75);
+  double total = 0;
+  for (size_t i = 0; i < 1000; ++i) total += z.Probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  ZipfDistribution z(100, 1.0);
+  EXPECT_GT(z.Probability(0), z.Probability(1));
+  EXPECT_GT(z.Probability(1), z.Probability(50));
+  Random rng(1);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) counts[z.Sample(&rng)]++;
+  EXPECT_GT(counts[0], counts[50]);
+  EXPECT_GT(counts[0], 20000 / 100);  // clearly above uniform share
+}
+
+TEST(ZipfTest, ThetaZeroIsUniformish) {
+  ZipfDistribution z(10, 0.0);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(z.Probability(i), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, SampleCoversSupport) {
+  ZipfDistribution z(5, 0.5);
+  Random rng(3);
+  std::vector<bool> seen(5, false);
+  for (int i = 0; i < 5000; ++i) seen[z.Sample(&rng)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace svr

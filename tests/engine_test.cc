@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/svr_engine.h"
+
+namespace svr::core {
+namespace {
+
+using relational::AggFunction;
+using relational::AggregateKind;
+using relational::Row;
+using relational::Schema;
+using relational::ScoreComponentSpec;
+using relational::Value;
+using relational::ValueType;
+
+// Rebuilds the paper's Figure 1 scenario: an Internet-Archive-style movie
+// database where keyword results are ranked by structured values.
+class EngineTest : public ::testing::TestWithParam<index::Method> {
+ protected:
+  void SetUp() override {
+    SvrEngineOptions opt;
+    opt.method = GetParam();
+    opt.index_options.chunk.chunking.chunk_ratio = 2.0;
+    opt.index_options.chunk.chunking.min_chunk_size = 1;
+    opt.index_options.score_threshold.threshold_ratio = 2.0;
+    auto e = SvrEngine::Open(opt);
+    ASSERT_TRUE(e.ok());
+    engine_ = std::move(e).value();
+
+    ASSERT_TRUE(engine_
+                    ->CreateTable("Movies", Schema({{"mID", ValueType::kInt64},
+                                                    {"desc", ValueType::kString}},
+                                                   0))
+                    .ok());
+    ASSERT_TRUE(engine_
+                    ->CreateTable("Reviews",
+                                  Schema({{"rID", ValueType::kInt64},
+                                          {"mID", ValueType::kInt64},
+                                          {"rating", ValueType::kDouble}},
+                                         0))
+                    .ok());
+    ASSERT_TRUE(engine_
+                    ->CreateTable("Statistics",
+                                  Schema({{"mID", ValueType::kInt64},
+                                          {"nVisit", ValueType::kInt64},
+                                          {"nDownload", ValueType::kInt64}},
+                                         0))
+                    .ok());
+
+    // Two movies mentioning "golden gate" (the paper's running example).
+    ASSERT_TRUE(Insert("Movies", {Value::Int(0),
+                                  Value::String(
+                                      "Amateur film about the golden gate "
+                                      "bridge in fog")}));
+    ASSERT_TRUE(Insert("Movies", {Value::Int(1),
+                                  Value::String(
+                                      "American Thrift classic crossing the "
+                                      "golden gate by tram")}));
+    ASSERT_TRUE(Insert("Movies", {Value::Int(2),
+                                  Value::String(
+                                      "Desert documentary with no bridges "
+                                      "at all")}));
+
+    ASSERT_TRUE(engine_
+                    ->CreateTextIndex(
+                        "Movies", "desc",
+                        {{"S1", "Reviews", "mID", "rating",
+                          AggregateKind::kAvg},
+                         {"S2", "Statistics", "mID", "nVisit",
+                          AggregateKind::kValue},
+                         {"S3", "Statistics", "mID", "nDownload",
+                          AggregateKind::kValue}},
+                        AggFunction::WeightedSum({100, 0.5, 1}))
+                    .ok());
+  }
+
+  bool Insert(const std::string& t, Row row) {
+    return engine_->Insert(t, row).ok();
+  }
+
+  std::unique_ptr<SvrEngine> engine_;
+};
+
+TEST_P(EngineTest, StructuredValuesDriveRanking) {
+  // "American Thrift" gets better ratings/visits/downloads.
+  ASSERT_TRUE(Insert("Reviews",
+                     {Value::Int(100), Value::Int(1), Value::Double(5.0)}));
+  ASSERT_TRUE(Insert("Statistics",
+                     {Value::Int(1), Value::Int(5000), Value::Int(1200)}));
+  ASSERT_TRUE(Insert("Reviews",
+                     {Value::Int(101), Value::Int(0), Value::Double(2.0)}));
+
+  auto r = engine_->Search("golden gate", 10);
+  ASSERT_TRUE(r.ok());
+  const auto& hits = r.value();
+  ASSERT_EQ(hits.size(), 2u);  // movie 2 lacks the keywords
+  EXPECT_EQ(hits[0].pk, 1);    // the popular movie ranks first
+  EXPECT_EQ(hits[1].pk, 0);
+  EXPECT_GT(hits[0].score, hits[1].score);
+  // Joined row data comes back with the hit.
+  EXPECT_NE(hits[0].row[1].as_string().find("American Thrift"),
+            std::string::npos);
+}
+
+TEST_P(EngineTest, FlashCrowdReordersResults) {
+  ASSERT_TRUE(Insert("Statistics",
+                     {Value::Int(1), Value::Int(10), Value::Int(0)}));
+  ASSERT_TRUE(Insert("Statistics",
+                     {Value::Int(0), Value::Int(5), Value::Int(0)}));
+  auto before = engine_->Search("golden gate", 1);
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before.value()[0].pk, 1);
+
+  // Movie 0 suddenly goes viral: visits explode.
+  ASSERT_TRUE(engine_
+                  ->Update("Statistics", {Value::Int(0), Value::Int(900000),
+                                          Value::Int(0)})
+                  .ok());
+  auto after = engine_->Search("golden gate", 1);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value()[0].pk, 0);  // the latest score wins immediately
+}
+
+TEST_P(EngineTest, UnknownKeywordsBehave) {
+  auto conj = engine_->Search("golden unicorn", 5, /*conjunctive=*/true);
+  ASSERT_TRUE(conj.ok());
+  EXPECT_TRUE(conj.value().empty());
+  auto disj = engine_->Search("golden unicorn", 5, /*conjunctive=*/false);
+  ASSERT_TRUE(disj.ok());
+  EXPECT_EQ(disj.value().size(), 2u);  // "golden" still matches
+}
+
+TEST_P(EngineTest, InsertedDocumentIsSearchable) {
+  ASSERT_TRUE(Insert("Movies", {Value::Int(3),
+                                Value::String("another golden gate story")}));
+  ASSERT_TRUE(Insert("Reviews",
+                     {Value::Int(102), Value::Int(3), Value::Double(4.0)}));
+  auto r = engine_->Search("golden gate", 10);
+  ASSERT_TRUE(r.ok());
+  bool found = false;
+  for (const auto& h : r.value()) found = found || h.pk == 3;
+  EXPECT_TRUE(found);
+}
+
+TEST_P(EngineTest, DeletedDocumentDisappears) {
+  auto before = engine_->Search("golden gate", 10);
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before.value().size(), 2u);
+  ASSERT_TRUE(engine_->Delete("Movies", 0).ok());
+  auto after = engine_->Search("golden gate", 10);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after.value().size(), 1u);
+  EXPECT_EQ(after.value()[0].pk, 1);
+}
+
+TEST_P(EngineTest, ContentUpdateChangesMatching) {
+  // Rewrite movie 2's description to mention the bridge.
+  ASSERT_TRUE(engine_
+                  ->Update("Movies", {Value::Int(2),
+                                      Value::String(
+                                          "recut with golden gate shots")})
+                  .ok());
+  auto r = engine_->Search("golden gate", 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+TEST_P(EngineTest, NonDensePkRejected) {
+  EXPECT_FALSE(Insert("Movies", {Value::Int(17),
+                                 Value::String("gap in the ids")}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, EngineTest,
+    ::testing::Values(index::Method::kId, index::Method::kScoreThreshold,
+                      index::Method::kChunk),
+    [](const ::testing::TestParamInfo<index::Method>& info) {
+      std::string n = index::MethodName(info.param);
+      std::string out;
+      for (char c : n) {
+        if (c != '-') out.push_back(c);
+      }
+      return out;
+    });
+
+}  // namespace
+}  // namespace svr::core

@@ -1,0 +1,447 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "index/index_factory.h"
+#include "tests/index_test_util.h"
+
+namespace svr::test {
+namespace {
+
+using index::Method;
+using index::Query;
+using index::SearchResult;
+
+// All six methods of §4 / §5.2.
+const Method kAllMethods[] = {
+    Method::kId,          Method::kScore,
+    Method::kScoreThreshold, Method::kChunk,
+    Method::kIdTermScore, Method::kChunkTermScore,
+};
+
+std::string PrintMethod(const ::testing::TestParamInfo<Method>& info) {
+  std::string n = index::MethodName(info.param);
+  std::string out;
+  for (char c : n) {
+    if (c == '-') continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+class IndexMethodTest : public ::testing::TestWithParam<Method> {
+ protected:
+  void SetUp() override {
+    params_.num_docs = 400;
+    params_.terms_per_doc = 40;
+    params_.vocab_size = 120;
+    params_.term_zipf = 0.6;
+    params_.seed = 7;
+    scores_ = MakeScores(params_.num_docs, 10000.0, 0.75, 99);
+    world_ = IndexWorld::Make(GetParam(), params_, scores_);
+    ASSERT_NE(world_, nullptr);
+  }
+
+  bool with_ts() const { return IsTermScoreMethod(GetParam()); }
+
+  // Runs query on both index and oracle and compares exactly.
+  void ExpectMatchesOracle(const Query& q, size_t k,
+                           const std::string& label) {
+    std::vector<SearchResult> got, want;
+    ASSERT_TRUE(world_->idx->TopK(q, k, &got).ok()) << label;
+    ASSERT_TRUE(world_->oracle->TopK(q, k, with_ts(), &want).ok()) << label;
+    ASSERT_EQ(got.size(), want.size()) << label;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].doc, want[i].doc)
+          << label << " rank " << i << " method "
+          << index::MethodName(GetParam());
+      EXPECT_NEAR(got[i].score, want[i].score, 1e-9)
+          << label << " rank " << i;
+    }
+  }
+
+  // A deterministic spread of queries over frequent & rare terms.
+  std::vector<Query> TestQueries(bool conjunctive) {
+    std::vector<TermId> by_freq = world_->corpus.TermsByFrequency();
+    std::vector<Query> qs;
+    auto add = [&](std::vector<TermId> terms) {
+      Query q;
+      q.terms = std::move(terms);
+      q.conjunctive = conjunctive;
+      qs.push_back(std::move(q));
+    };
+    add({by_freq[0]});
+    add({by_freq[0], by_freq[1]});
+    add({by_freq[2], by_freq[10]});
+    add({by_freq[5], by_freq[20], by_freq[40]});
+    add({by_freq[by_freq.size() / 2], by_freq[1]});
+    add({by_freq[by_freq.size() - 1], by_freq[0]});
+    return qs;
+  }
+
+  void ExpectAllQueriesMatch(const std::string& label) {
+    for (bool conj : {true, false}) {
+      int i = 0;
+      for (const Query& q : TestQueries(conj)) {
+        ExpectMatchesOracle(q, 10,
+                            label + (conj ? "/conj" : "/disj") +
+                                std::to_string(i++));
+      }
+    }
+  }
+
+  text::CorpusParams params_;
+  std::vector<double> scores_;
+  std::unique_ptr<IndexWorld> world_;
+};
+
+TEST_P(IndexMethodTest, FreshIndexMatchesOracle) {
+  ExpectAllQueriesMatch("fresh");
+}
+
+TEST_P(IndexMethodTest, VariousK) {
+  Query q;
+  auto by_freq = world_->corpus.TermsByFrequency();
+  q.terms = {by_freq[0], by_freq[1]};
+  q.conjunctive = true;
+  for (size_t k : {1u, 2u, 5u, 25u, 100u, 1000u}) {
+    std::vector<SearchResult> got, want;
+    ASSERT_TRUE(world_->idx->TopK(q, k, &got).ok());
+    ASSERT_TRUE(world_->oracle->TopK(q, k, with_ts(), &want).ok());
+    ASSERT_EQ(got.size(), want.size()) << "k=" << k;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].doc, want[i].doc) << "k=" << k << " rank " << i;
+    }
+  }
+}
+
+TEST_P(IndexMethodTest, EmptyAndDegenerateQueries) {
+  std::vector<SearchResult> got;
+  Query empty;
+  ASSERT_TRUE(world_->idx->TopK(empty, 10, &got).ok());
+  EXPECT_TRUE(got.empty());
+
+  Query q;
+  q.terms = {0};
+  ASSERT_TRUE(world_->idx->TopK(q, 0, &got).ok());
+  EXPECT_TRUE(got.empty());
+
+  // A term beyond the vocabulary has no postings.
+  q.terms = {static_cast<TermId>(params_.vocab_size + 5)};
+  q.conjunctive = true;
+  ASSERT_TRUE(world_->idx->TopK(q, 10, &got).ok());
+  EXPECT_TRUE(got.empty());
+}
+
+TEST_P(IndexMethodTest, ScoreIncreasesAreVisibleImmediately) {
+  auto by_freq = world_->corpus.TermsByFrequency();
+  Random rng(123);
+  for (int round = 0; round < 5; ++round) {
+    // Push 20 random docs sharply upward ("flash crowd").
+    for (int i = 0; i < 20; ++i) {
+      DocId d = static_cast<DocId>(rng.Uniform(params_.num_docs));
+      double s;
+      ASSERT_TRUE(world_->score_table->Get(d, &s).ok());
+      ASSERT_TRUE(world_->idx->OnScoreUpdate(d, s + 5000.0 * (round + 1)).ok());
+    }
+    ExpectAllQueriesMatch("increase-round" + std::to_string(round));
+  }
+}
+
+TEST_P(IndexMethodTest, ScoreDecreasesAreVisibleImmediately) {
+  Random rng(321);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      DocId d = static_cast<DocId>(rng.Uniform(params_.num_docs));
+      double s;
+      ASSERT_TRUE(world_->score_table->Get(d, &s).ok());
+      ASSERT_TRUE(world_->idx->OnScoreUpdate(d, s * 0.25).ok());
+    }
+    ExpectAllQueriesMatch("decrease-round" + std::to_string(round));
+  }
+}
+
+TEST_P(IndexMethodTest, MixedUpdateStreamMatchesOracle) {
+  // The paper's workload shape: Zipf-by-score picks, ±uniform steps,
+  // plus a focus set that only climbs.
+  Random rng(2005);
+  std::vector<DocId> focus;
+  for (int i = 0; i < 10; ++i) {
+    focus.push_back(static_cast<DocId>(rng.Uniform(params_.num_docs)));
+  }
+  for (int step = 0; step < 400; ++step) {
+    DocId d;
+    double delta;
+    if (rng.Uniform(100) < 30) {
+      d = focus[rng.Uniform(focus.size())];
+      delta = rng.UniformDouble(0, 2000.0);  // focus docs only increase
+    } else {
+      d = static_cast<DocId>(rng.Uniform(params_.num_docs));
+      delta = rng.UniformDouble(0, 200.0) * (rng.OneIn(2) ? 1 : -1);
+    }
+    double s;
+    ASSERT_TRUE(world_->score_table->Get(d, &s).ok());
+    ASSERT_TRUE(world_->idx->OnScoreUpdate(d, std::max(0.0, s + delta)).ok());
+    if (step % 80 == 79) {
+      ExpectAllQueriesMatch("mixed-step" + std::to_string(step));
+    }
+  }
+  ExpectAllQueriesMatch("mixed-final");
+}
+
+TEST_P(IndexMethodTest, RepeatedUpdatesOfOneDocument) {
+  // A single doc bouncing up and down stresses the ListScore/ListChunk
+  // bookkeeping (stale postings must never resurface).
+  auto by_freq = world_->corpus.TermsByFrequency();
+  DocId d = 0;
+  // Find a doc containing the two most frequent terms.
+  for (DocId c = 0; c < params_.num_docs; ++c) {
+    if (world_->corpus.doc(c).Contains(by_freq[0]) &&
+        world_->corpus.doc(c).Contains(by_freq[1])) {
+      d = c;
+      break;
+    }
+  }
+  const double seq[] = {50.0,   90000.0, 12.0,  500000.0, 0.0,
+                        7500.0, 7500.0,  80.0,  1e6,      3.0};
+  int i = 0;
+  for (double s : seq) {
+    ASSERT_TRUE(world_->idx->OnScoreUpdate(d, s).ok());
+    ExpectAllQueriesMatch("bounce" + std::to_string(i++));
+  }
+}
+
+TEST_P(IndexMethodTest, UpdateToZeroAndBack) {
+  for (DocId d = 0; d < 30; ++d) {
+    ASSERT_TRUE(world_->idx->OnScoreUpdate(d, 0.0).ok());
+  }
+  ExpectAllQueriesMatch("zeroed");
+  for (DocId d = 0; d < 30; ++d) {
+    ASSERT_TRUE(world_->idx->OnScoreUpdate(d, 123456.0).ok());
+  }
+  ExpectAllQueriesMatch("revived");
+}
+
+TEST_P(IndexMethodTest, ColdCacheQueriesStayCorrect) {
+  Random rng(5);
+  for (int i = 0; i < 100; ++i) {
+    DocId d = static_cast<DocId>(rng.Uniform(params_.num_docs));
+    double s;
+    ASSERT_TRUE(world_->score_table->Get(d, &s).ok());
+    ASSERT_TRUE(
+        world_->idx->OnScoreUpdate(d, s + rng.UniformDouble(0, 9000)).ok());
+  }
+  // The benchmark protocol evicts the long-list pool before queries.
+  ASSERT_TRUE(world_->list_pool->EvictAll().ok());
+  ExpectAllQueriesMatch("cold");
+}
+
+TEST_P(IndexMethodTest, StatsAreMaintained) {
+  auto by_freq = world_->corpus.TermsByFrequency();
+  world_->idx->ResetStats();
+  ASSERT_TRUE(world_->idx->OnScoreUpdate(3, 777.0).ok());
+  EXPECT_EQ(world_->idx->stats().score_updates, 1u);
+  Query q;
+  q.terms = {by_freq[0]};
+  std::vector<SearchResult> got;
+  ASSERT_TRUE(world_->idx->TopK(q, 5, &got).ok());
+  EXPECT_EQ(world_->idx->stats().queries, 1u);
+  EXPECT_GT(world_->idx->stats().postings_scanned, 0u);
+}
+
+TEST_P(IndexMethodTest, LongListSizeIsReported) {
+  EXPECT_GT(world_->idx->LongListBytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, IndexMethodTest,
+                         ::testing::ValuesIn(kAllMethods), PrintMethod);
+
+// --- document operations (Appendix A); TS methods excluded from content
+// updates (stale term scores documented in DESIGN.md) -------------------
+
+const Method kDocOpMethods[] = {
+    Method::kId,
+    Method::kScore,
+    Method::kScoreThreshold,
+    Method::kChunk,
+};
+
+class DocOpsTest : public ::testing::TestWithParam<Method> {
+ protected:
+  void SetUp() override {
+    params_.num_docs = 250;
+    params_.terms_per_doc = 30;
+    params_.vocab_size = 90;
+    params_.term_zipf = 0.5;
+    params_.seed = 17;
+    scores_ = MakeScores(params_.num_docs, 50000.0, 0.75, 4);
+    world_ = IndexWorld::Make(GetParam(), params_, scores_);
+    ASSERT_NE(world_, nullptr);
+  }
+
+  void ExpectAllQueriesMatch(const std::string& label) {
+    auto by_freq = world_->corpus.TermsByFrequency();
+    for (bool conj : {true, false}) {
+      for (size_t a : {0u, 3u, 20u}) {
+        Query q;
+        q.terms = {by_freq[a], by_freq[(a + 1) % by_freq.size()]};
+        q.conjunctive = conj;
+        std::vector<SearchResult> got, want;
+        ASSERT_TRUE(world_->idx->TopK(q, 10, &got).ok()) << label;
+        ASSERT_TRUE(world_->oracle->TopK(q, 10, false, &want).ok());
+        ASSERT_EQ(got.size(), want.size()) << label;
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].doc, want[i].doc) << label << " rank " << i;
+        }
+      }
+    }
+  }
+
+  // Makes a document from explicit term ranks (by frequency).
+  text::Document DocFromRanks(const std::vector<size_t>& ranks) {
+    auto by_freq = world_->corpus.TermsByFrequency();
+    std::vector<TermId> tokens;
+    for (size_t r : ranks) tokens.push_back(by_freq[r % by_freq.size()]);
+    return text::Document::FromTokens(std::move(tokens));
+  }
+
+  text::CorpusParams params_;
+  std::vector<double> scores_;
+  std::unique_ptr<IndexWorld> world_;
+};
+
+TEST_P(DocOpsTest, InsertedDocumentsAreSearchable) {
+  for (int i = 0; i < 25; ++i) {
+    DocId d = static_cast<DocId>(world_->corpus.num_docs());
+    world_->corpus.Add(DocFromRanks({0, 1, 2, static_cast<size_t>(3 + i)}));
+    ASSERT_TRUE(world_->idx->InsertDocument(d, 90000.0 + i).ok());
+  }
+  ExpectAllQueriesMatch("inserted");
+}
+
+TEST_P(DocOpsTest, InsertedThenUpdatedDocuments) {
+  DocId d = static_cast<DocId>(world_->corpus.num_docs());
+  world_->corpus.Add(DocFromRanks({0, 1, 5}));
+  ASSERT_TRUE(world_->idx->InsertDocument(d, 100.0).ok());
+  ExpectAllQueriesMatch("insert");
+  ASSERT_TRUE(world_->idx->OnScoreUpdate(d, 999999.0).ok());
+  ExpectAllQueriesMatch("insert+raise");
+  ASSERT_TRUE(world_->idx->OnScoreUpdate(d, 1.0).ok());
+  ExpectAllQueriesMatch("insert+drop");
+}
+
+TEST_P(DocOpsTest, DeletedDocumentsDisappear) {
+  // Delete the current top results of a frequent-term query.
+  auto by_freq = world_->corpus.TermsByFrequency();
+  Query q;
+  q.terms = {by_freq[0]};
+  std::vector<SearchResult> top;
+  ASSERT_TRUE(world_->idx->TopK(q, 5, &top).ok());
+  ASSERT_FALSE(top.empty());
+  for (const auto& r : top) {
+    ASSERT_TRUE(world_->idx->DeleteDocument(r.doc).ok());
+  }
+  ExpectAllQueriesMatch("deleted");
+  std::vector<SearchResult> after;
+  ASSERT_TRUE(world_->idx->TopK(q, 5, &after).ok());
+  for (const auto& r : after) {
+    for (const auto& gone : top) EXPECT_NE(r.doc, gone.doc);
+  }
+}
+
+TEST_P(DocOpsTest, ContentUpdateAddsAndRemovesTerms) {
+  auto by_freq = world_->corpus.TermsByFrequency();
+  const TermId rare = by_freq[by_freq.size() - 1];
+  // Give doc 7 a brand-new term and strip one it had.
+  const text::Document old_doc = world_->corpus.doc(7);
+  std::vector<TermId> tokens(old_doc.terms().begin(),
+                             old_doc.terms().end() - 1);
+  tokens.push_back(rare);
+  world_->corpus.Replace(7, text::Document::FromTokens(std::move(tokens)));
+  ASSERT_TRUE(world_->idx->UpdateContent(7, old_doc).ok());
+  ExpectAllQueriesMatch("content-update");
+
+  // The removed term must no longer match doc 7 conjunctively.
+  Query q;
+  q.terms = {old_doc.terms().back()};
+  std::vector<SearchResult> got;
+  ASSERT_TRUE(world_->idx->TopK(q, 1000, &got).ok());
+  for (const auto& r : got) EXPECT_NE(r.doc, 7u);
+}
+
+TEST_P(DocOpsTest, ContentUpdateThenScoreChurn) {
+  const text::Document old_doc = world_->corpus.doc(3);
+  auto by_freq = world_->corpus.TermsByFrequency();
+  std::vector<TermId> tokens(old_doc.terms().begin(), old_doc.terms().end());
+  tokens.push_back(by_freq[0]);
+  tokens.push_back(by_freq[1]);
+  world_->corpus.Replace(3, text::Document::FromTokens(std::move(tokens)));
+  ASSERT_TRUE(world_->idx->UpdateContent(3, old_doc).ok());
+  // Move the doc around afterwards: the moved postings must carry the
+  // *updated* term set.
+  ASSERT_TRUE(world_->idx->OnScoreUpdate(3, 1e6).ok());
+  ExpectAllQueriesMatch("content+raise");
+  ASSERT_TRUE(world_->idx->OnScoreUpdate(3, 2.0).ok());
+  ExpectAllQueriesMatch("content+drop");
+}
+
+INSTANTIATE_TEST_SUITE_P(DocOps, DocOpsTest,
+                         ::testing::ValuesIn(kDocOpMethods), PrintMethod);
+
+// --- offline merge -------------------------------------------------------
+
+class MergeTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(MergeTest, MergeShortListsPreservesResults) {
+  text::CorpusParams params;
+  params.num_docs = 200;
+  params.terms_per_doc = 25;
+  params.vocab_size = 80;
+  params.seed = 3;
+  auto scores = MakeScores(params.num_docs, 20000.0, 0.75, 8);
+  auto world = IndexWorld::Make(GetParam(), params, scores);
+  ASSERT_NE(world, nullptr);
+
+  Random rng(9);
+  for (int i = 0; i < 300; ++i) {
+    DocId d = static_cast<DocId>(rng.Uniform(params.num_docs));
+    double s;
+    ASSERT_TRUE(world->score_table->Get(d, &s).ok());
+    double delta = rng.UniformDouble(0, 5000) * (rng.OneIn(2) ? 1 : -1);
+    ASSERT_TRUE(
+        world->idx->OnScoreUpdate(d, std::max(0.0, s + delta)).ok());
+  }
+
+  auto by_freq = world->corpus.TermsByFrequency();
+  Query q;
+  q.terms = {by_freq[0], by_freq[1]};
+  std::vector<SearchResult> before;
+  ASSERT_TRUE(world->idx->TopK(q, 20, &before).ok());
+
+  ASSERT_TRUE(world->idx->MergeShortLists().ok());
+  EXPECT_EQ(world->idx->ShortListBytes() == 0 ||
+                world->idx->ShortListBytes() <= 3 * 4096ull,
+            true);  // short structures collapse to (near) empty trees
+
+  std::vector<SearchResult> after;
+  ASSERT_TRUE(world->idx->TopK(q, 20, &after).ok());
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].doc, after[i].doc) << i;
+  }
+}
+
+const Method kMergeMethods[] = {
+    Method::kId,
+    Method::kScoreThreshold,
+    Method::kChunk,
+    Method::kChunkTermScore,
+};
+
+INSTANTIATE_TEST_SUITE_P(Merge, MergeTest,
+                         ::testing::ValuesIn(kMergeMethods), PrintMethod);
+
+}  // namespace
+}  // namespace svr::test

@@ -1,0 +1,228 @@
+// Property-style sweeps: every point in the tuning-knob space must stay
+// *exactly* correct under update churn — the knobs trade performance,
+// never correctness (Theorems 1 and 2 of the paper). These sweeps
+// exercise the stop rules at their extremes (eager movement at ratio~1,
+// ID-like degeneration at huge ratios, single-chunk collections,
+// one-entry fancy lists).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "index/index_factory.h"
+#include "tests/index_test_util.h"
+
+namespace svr::test {
+namespace {
+
+using index::Method;
+using index::Query;
+using index::SearchResult;
+
+text::CorpusParams SweepCorpus() {
+  text::CorpusParams p;
+  p.num_docs = 350;
+  p.terms_per_doc = 35;
+  p.vocab_size = 110;
+  p.term_zipf = 0.7;
+  p.seed = 13;
+  return p;
+}
+
+// Churn + full differential validation against the oracle.
+void ChurnAndValidate(IndexWorld* w, bool with_ts, uint64_t seed) {
+  Random rng(seed);
+  const size_t n = w->corpus.num_docs();
+  auto validate = [&](const std::string& label) {
+    auto by_freq = w->corpus.TermsByFrequency();
+    for (bool conj : {true, false}) {
+      for (size_t k : {1u, 7u, 40u}) {
+        Query q;
+        q.terms = {by_freq[0], by_freq[4]};
+        q.conjunctive = conj;
+        std::vector<SearchResult> got, want;
+        ASSERT_TRUE(w->idx->TopK(q, k, &got).ok()) << label;
+        ASSERT_TRUE(w->oracle->TopK(q, k, with_ts, &want).ok()) << label;
+        ASSERT_EQ(got.size(), want.size()) << label << " k=" << k;
+        for (size_t i = 0; i < got.size(); ++i) {
+          ASSERT_EQ(got[i].doc, want[i].doc)
+              << label << " k=" << k << " rank " << i
+              << (conj ? " conj" : " disj");
+        }
+      }
+    }
+  };
+  for (int i = 0; i < 600; ++i) {
+    DocId d = static_cast<DocId>(rng.Uniform(n));
+    double s;
+    ASSERT_TRUE(w->score_table->Get(d, &s).ok());
+    double delta = rng.UniformDouble(0, 4000) * (rng.OneIn(2) ? 1 : -1);
+    if (rng.OneIn(40)) delta *= 200;  // flash crowds cross many chunks
+    ASSERT_TRUE(w->idx->OnScoreUpdate(d, std::max(0.0, s + delta)).ok());
+    if (i % 150 == 149) validate("step" + std::to_string(i));
+  }
+  validate("final");
+}
+
+// --- chunk ratio sweep ---------------------------------------------------
+
+class ChunkRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChunkRatioSweep, ExactAtEveryRatio) {
+  index::IndexOptions opt = IndexWorld::DefaultOptions();
+  opt.chunk.chunking.chunk_ratio = GetParam();
+  opt.chunk.chunking.min_chunk_size = 3;
+  auto scores = MakeScores(350, 80000.0, 0.75, 41);
+  auto w = IndexWorld::Make(Method::kChunk, SweepCorpus(), scores, opt);
+  ASSERT_NE(w, nullptr);
+  ChurnAndValidate(w.get(), false, 0xC0FFEE);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, ChunkRatioSweep,
+                         ::testing::Values(1.2, 1.6, 2.0, 4.0, 8.0, 32.0,
+                                           1024.0),
+                         [](const ::testing::TestParamInfo<double>& i) {
+                           std::string s = std::to_string(i.param);
+                           for (auto& c : s) {
+                             if (c == '.') c = '_';
+                           }
+                           return "r" + s.substr(0, s.find('_') + 2);
+                         });
+
+// --- chunk strategy sweep --------------------------------------------------
+
+class ChunkStrategySweep
+    : public ::testing::TestWithParam<index::ChunkStrategy> {};
+
+TEST_P(ChunkStrategySweep, ExactUnderEveryBoundaryScheme) {
+  index::IndexOptions opt = IndexWorld::DefaultOptions();
+  opt.chunk.chunking.strategy = GetParam();
+  opt.chunk.chunking.target_num_chunks = 6;
+  opt.chunk.chunking.min_chunk_size = 2;
+  auto scores = MakeScores(350, 80000.0, 0.75, 42);
+  auto w = IndexWorld::Make(Method::kChunk, SweepCorpus(), scores, opt);
+  ASSERT_NE(w, nullptr);
+  ChurnAndValidate(w.get(), false, 0xBEEF);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, ChunkStrategySweep,
+    ::testing::Values(index::ChunkStrategy::kRatio,
+                      index::ChunkStrategy::kEqualCount,
+                      index::ChunkStrategy::kEqualWidth),
+    [](const ::testing::TestParamInfo<index::ChunkStrategy>& i) {
+      switch (i.param) {
+        case index::ChunkStrategy::kRatio:
+          return std::string("Ratio");
+        case index::ChunkStrategy::kEqualCount:
+          return std::string("EqualCount");
+        case index::ChunkStrategy::kEqualWidth:
+          return std::string("EqualWidth");
+      }
+      return std::string("?");
+    });
+
+// --- threshold ratio sweep ---------------------------------------------
+
+class ThresholdRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdRatioSweep, ExactAtEveryThreshold) {
+  index::IndexOptions opt = IndexWorld::DefaultOptions();
+  opt.score_threshold.threshold_ratio = GetParam();
+  auto scores = MakeScores(350, 80000.0, 0.75, 43);
+  auto w = IndexWorld::Make(Method::kScoreThreshold, SweepCorpus(), scores,
+                            opt);
+  ASSERT_NE(w, nullptr);
+  ChurnAndValidate(w.get(), false, 0xF00D);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdRatioSweep,
+                         ::testing::Values(1.0, 1.05, 2.0, 10.0, 1e6),
+                         [](const ::testing::TestParamInfo<double>& i) {
+                           return "t" + std::to_string(i.index);
+                         });
+
+// --- fancy list size sweep (Algorithm 3 bound tightness) ----------------
+
+class FancySizeSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FancySizeSweep, ExactAtEveryFancySize) {
+  index::IndexOptions opt = IndexWorld::DefaultOptions();
+  opt.term_scores.fancy_list_size = GetParam();
+  opt.chunk.term_scores.fancy_list_size = GetParam();
+  auto scores = MakeScores(350, 80000.0, 0.75, 44);
+  auto w = IndexWorld::Make(Method::kChunkTermScore, SweepCorpus(), scores,
+                            opt);
+  ASSERT_NE(w, nullptr);
+  ChurnAndValidate(w.get(), /*with_ts=*/true, 0xFA2C);
+}
+
+INSTANTIATE_TEST_SUITE_P(FancySizes, FancySizeSweep,
+                         ::testing::Values(1u, 2u, 8u, 64u, 100000u),
+                         [](const ::testing::TestParamInfo<uint32_t>& i) {
+                           return "f" + std::to_string(i.param);
+                         });
+
+// --- query shape sweep ------------------------------------------------------
+
+struct QueryShape {
+  uint32_t num_terms;
+  bool conjunctive;
+};
+
+class QueryShapeSweep : public ::testing::TestWithParam<QueryShape> {};
+
+TEST_P(QueryShapeSweep, MultiTermQueriesExactForChunkFamily) {
+  auto scores = MakeScores(350, 80000.0, 0.75, 45);
+  for (Method m : {Method::kChunk, Method::kChunkTermScore}) {
+    auto w = IndexWorld::Make(m, SweepCorpus(), scores);
+    ASSERT_NE(w, nullptr);
+    Random rng(31337);
+    for (int i = 0; i < 200; ++i) {
+      DocId d = static_cast<DocId>(rng.Uniform(350));
+      double s;
+      ASSERT_TRUE(w->score_table->Get(d, &s).ok());
+      ASSERT_TRUE(
+          w->idx
+              ->OnScoreUpdate(d, std::max(0.0, s + rng.UniformDouble(
+                                                      -2000, 20000)))
+              .ok());
+    }
+    auto by_freq = w->corpus.TermsByFrequency();
+    const bool ts = IsTermScoreMethod(m);
+    for (int rep = 0; rep < 10; ++rep) {
+      Query q;
+      q.conjunctive = GetParam().conjunctive;
+      while (q.terms.size() < GetParam().num_terms) {
+        TermId t = by_freq[rng.Uniform(by_freq.size() / 2)];
+        if (std::find(q.terms.begin(), q.terms.end(), t) == q.terms.end()) {
+          q.terms.push_back(t);
+        }
+      }
+      std::vector<SearchResult> got, want;
+      ASSERT_TRUE(w->idx->TopK(q, 15, &got).ok());
+      ASSERT_TRUE(w->oracle->TopK(q, 15, ts, &want).ok());
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t r = 0; r < got.size(); ++r) {
+        ASSERT_EQ(got[r].doc, want[r].doc)
+            << index::MethodName(m) << " terms="
+            << GetParam().num_terms << " rank " << r;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QueryShapeSweep,
+    ::testing::Values(QueryShape{1, true}, QueryShape{2, true},
+                      QueryShape{3, true}, QueryShape{5, true},
+                      QueryShape{1, false}, QueryShape{3, false},
+                      QueryShape{5, false}),
+    [](const ::testing::TestParamInfo<QueryShape>& i) {
+      return std::string(i.param.conjunctive ? "conj" : "disj") +
+             std::to_string(i.param.num_terms);
+    });
+
+}  // namespace
+}  // namespace svr::test

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "text/corpus.h"
+#include "text/corpus_generator.h"
+#include "text/document.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace svr::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  auto toks = Tokenizer::Tokenize("The Golden-Gate bridge, 1937!");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0], "the");
+  EXPECT_EQ(toks[1], "golden");
+  EXPECT_EQ(toks[2], "gate");
+  EXPECT_EQ(toks[3], "bridge");
+  EXPECT_EQ(toks[4], "1937");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenizer::Tokenize("").empty());
+  EXPECT_TRUE(Tokenizer::Tokenize("..., --- !!").empty());
+}
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary v;
+  TermId a = v.Intern("golden");
+  TermId b = v.Intern("gate");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.Intern("golden"), a);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.term(a), "golden");
+  EXPECT_EQ(v.Lookup("gate"), b);
+  EXPECT_EQ(v.Lookup("missing"), Vocabulary::kUnknownTerm);
+}
+
+TEST(DocumentTest, FromTokensDeduplicatesAndCounts) {
+  Document d = Document::FromTokens({5, 3, 5, 5, 9, 3});
+  EXPECT_EQ(d.total_tokens(), 6u);
+  EXPECT_EQ(d.num_distinct_terms(), 3u);
+  EXPECT_EQ(d.FrequencyOf(5), 3u);
+  EXPECT_EQ(d.FrequencyOf(3), 2u);
+  EXPECT_EQ(d.FrequencyOf(9), 1u);
+  EXPECT_EQ(d.FrequencyOf(100), 0u);
+  EXPECT_TRUE(d.Contains(3));
+  EXPECT_FALSE(d.Contains(4));
+  // Terms sorted ascending.
+  EXPECT_TRUE(std::is_sorted(d.terms().begin(), d.terms().end()));
+}
+
+TEST(DocumentTest, NormalizedTf) {
+  Document d = Document::FromTokens({1, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(d.NormalizedTf(1), 0.5);
+  EXPECT_DOUBLE_EQ(d.NormalizedTf(2), 0.25);
+  EXPECT_DOUBLE_EQ(d.NormalizedTf(99), 0.0);
+}
+
+TEST(CorpusTest, DocFreqTracking) {
+  Corpus c(10);
+  c.Add(Document::FromTokens({1, 2, 2}));
+  c.Add(Document::FromTokens({2, 3}));
+  EXPECT_EQ(c.num_docs(), 2u);
+  EXPECT_EQ(c.DocFreq(2), 2u);  // distinct docs, not occurrences
+  EXPECT_EQ(c.DocFreq(1), 1u);
+  EXPECT_EQ(c.DocFreq(9), 0u);
+}
+
+TEST(CorpusTest, ReplaceAdjustsDocFreq) {
+  Corpus c(10);
+  c.Add(Document::FromTokens({1, 2}));
+  c.Replace(0, Document::FromTokens({2, 3}));
+  EXPECT_EQ(c.DocFreq(1), 0u);
+  EXPECT_EQ(c.DocFreq(2), 1u);
+  EXPECT_EQ(c.DocFreq(3), 1u);
+}
+
+TEST(CorpusTest, TermsByFrequencyOrder) {
+  Corpus c(5);
+  c.Add(Document::FromTokens({0, 1}));
+  c.Add(Document::FromTokens({0, 2}));
+  c.Add(Document::FromTokens({0, 1}));
+  auto by_freq = c.TermsByFrequency();
+  EXPECT_EQ(by_freq[0], 0u);  // in 3 docs
+  EXPECT_EQ(by_freq[1], 1u);  // in 2 docs
+}
+
+TEST(CorpusGeneratorTest, RespectsParameters) {
+  CorpusParams p;
+  p.num_docs = 50;
+  p.terms_per_doc = 30;
+  p.vocab_size = 200;
+  p.seed = 5;
+  Corpus c = GenerateCorpus(p);
+  EXPECT_EQ(c.num_docs(), 50u);
+  for (DocId d = 0; d < c.num_docs(); ++d) {
+    EXPECT_EQ(c.doc(d).total_tokens(), 30u);
+    for (TermId t : c.doc(d).terms()) EXPECT_LT(t, 200u);
+  }
+}
+
+TEST(CorpusGeneratorTest, DeterministicForSeed) {
+  CorpusParams p;
+  p.num_docs = 20;
+  p.terms_per_doc = 10;
+  p.vocab_size = 50;
+  p.seed = 42;
+  Corpus a = GenerateCorpus(p);
+  Corpus b = GenerateCorpus(p);
+  for (DocId d = 0; d < a.num_docs(); ++d) {
+    EXPECT_EQ(a.doc(d).terms(), b.doc(d).terms());
+  }
+}
+
+TEST(CorpusGeneratorTest, ZipfSkewsTermFrequencies) {
+  CorpusParams p;
+  p.num_docs = 300;
+  p.terms_per_doc = 50;
+  p.vocab_size = 1000;
+  p.term_zipf = 1.0;
+  p.seed = 9;
+  Corpus c = GenerateCorpus(p);
+  // Low term ids (high Zipf rank) should appear in far more documents.
+  EXPECT_GT(c.DocFreq(0), c.DocFreq(500));
+  EXPECT_GT(c.DocFreq(0) + c.DocFreq(1) + c.DocFreq(2),
+            c.DocFreq(900) + c.DocFreq(901) + c.DocFreq(902));
+}
+
+}  // namespace
+}  // namespace svr::text
