@@ -73,6 +73,8 @@ inline workload::ExperimentConfig DefaultConfig(const Flags& flags) {
   c.num_queries = static_cast<uint32_t>(flags.GetInt("queries", 50));
   c.top_k = static_cast<uint32_t>(flags.GetInt("k", 20));
   c.seed = static_cast<uint64_t>(flags.GetInt("seed", 2005));
+  c.posting_format = flags.GetInt("format", 2) == 1 ? PostingFormat::kV1
+                                                    : PostingFormat::kV2;
   return c;
 }
 

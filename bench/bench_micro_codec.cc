@@ -1,17 +1,26 @@
 // Micro-benchmarks (google-benchmark) for the posting codecs: the inner
-// loops every query method is built on.
+// loops every query method is built on. Every decode benchmark runs the
+// v1 (per-posting LEB128) and v2 (blocked group-varint) formats side by
+// side through the same cursor pipeline; the v1 rows double as the seed
+// baseline.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "index/posting_codec.h"
+#include "index/posting_cursor.h"
 #include "storage/blob_store.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
 
 namespace svr::index {
 namespace {
+
+PostingFormat Fmt(int64_t arg) {
+  return arg == 1 ? PostingFormat::kV1 : PostingFormat::kV2;
+}
 
 std::vector<DocId> MakeDocs(size_t n) {
   std::vector<DocId> docs(n);
@@ -23,28 +32,72 @@ std::vector<DocId> MakeDocs(size_t n) {
   return docs;
 }
 
+struct BlobFixture {
+  BlobFixture() : store(4096), pool(&store, 1 << 16), blobs(&pool) {}
+  storage::BlobRef Put(const std::string& buf) {
+    return blobs.Write(buf).value();
+  }
+  storage::InMemoryPageStore store;
+  storage::BufferPool pool;
+  storage::BlobStore blobs;
+};
+
+// --- encode --------------------------------------------------------------
+
 void BM_EncodeIdList(benchmark::State& state) {
   const auto docs = MakeDocs(state.range(0));
+  const PostingFormat fmt = Fmt(state.range(1));
   std::string out;
   for (auto _ : state) {
     out.clear();
-    EncodeIdList(docs, &out);
+    EncodeIdList(docs, &out, fmt);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(fmt == PostingFormat::kV1 ? "v1" : "v2");
 }
-BENCHMARK(BM_EncodeIdList)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_EncodeIdList)
+    ->Args({1000, 1})->Args({1000, 2})
+    ->Args({100000, 1})->Args({100000, 2});
+
+// --- decode: full scan ---------------------------------------------------
 
 void BM_DecodeIdList(benchmark::State& state) {
   const auto docs = MakeDocs(state.range(0));
+  const PostingFormat fmt = Fmt(state.range(1));
   std::string buf;
-  EncodeIdList(docs, &buf);
-  storage::InMemoryPageStore store(4096);
-  storage::BufferPool pool(&store, 1 << 16);
-  storage::BlobStore blobs(&pool);
-  auto ref = blobs.Write(buf).value();
+  EncodeIdList(docs, &buf, fmt);
+  BlobFixture fx;
+  auto ref = fx.Put(buf);
+  CursorScratch scratch;
   for (auto _ : state) {
-    IdListReader r(blobs.NewReader(ref), /*with_ts=*/false);
+    IdPostingCursor c(fx.blobs.NewReader(ref), /*with_ts=*/false, fmt,
+                      &scratch);
+    (void)c.Init();
+    uint64_t sum = 0;
+    while (c.Valid()) {
+      sum += c.doc();
+      (void)c.Next();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(fmt == PostingFormat::kV1 ? "v1" : "v2");
+}
+BENCHMARK(BM_DecodeIdList)
+    ->Args({1000, 1})->Args({1000, 2})
+    ->Args({100000, 1})->Args({100000, 2});
+
+// v1 baseline through the seed's per-posting reader, for an honest
+// old-pipeline reference point.
+void BM_DecodeIdListSeedReader(benchmark::State& state) {
+  const auto docs = MakeDocs(state.range(0));
+  std::string buf;
+  EncodeIdList(docs, &buf, PostingFormat::kV1);
+  BlobFixture fx;
+  auto ref = fx.Put(buf);
+  for (auto _ : state) {
+    IdListReader r(fx.blobs.NewReader(ref), /*with_ts=*/false);
     (void)r.Init();
     uint64_t sum = 0;
     while (r.Valid()) {
@@ -54,10 +107,46 @@ void BM_DecodeIdList(benchmark::State& state) {
     benchmark::DoNotOptimize(sum);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("v1-seed");
 }
-BENCHMARK(BM_DecodeIdList)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_DecodeIdListSeedReader)->Arg(1000)->Arg(100000);
 
-void BM_DecodeChunkListWithSkips(benchmark::State& state) {
+// --- decode: galloping intersection (SeekTo) -----------------------------
+
+void BM_SeekIdList(benchmark::State& state) {
+  const auto docs = MakeDocs(100000);
+  const PostingFormat fmt = Fmt(state.range(1));
+  const DocId stride = static_cast<DocId>(state.range(0));
+  std::string buf;
+  EncodeIdList(docs, &buf, fmt);
+  BlobFixture fx;
+  auto ref = fx.Put(buf);
+  CursorScratch scratch;
+  uint64_t seeks = 0;
+  for (auto _ : state) {
+    IdPostingCursor c(fx.blobs.NewReader(ref), false, fmt, &scratch);
+    (void)c.Init();
+    uint64_t sum = 0;
+    seeks = 0;
+    DocId target = 0;
+    while (c.Valid()) {
+      sum += c.doc();
+      target = c.doc() + stride;
+      (void)c.SeekTo(target);
+      ++seeks;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * seeks);
+  state.SetLabel(fmt == PostingFormat::kV1 ? "v1" : "v2");
+}
+BENCHMARK(BM_SeekIdList)
+    ->Args({500, 1})->Args({500, 2})      // sparse intersection
+    ->Args({5000, 1})->Args({5000, 2});   // very sparse
+
+// --- decode: chunk lists -------------------------------------------------
+
+std::vector<ChunkGroup> MakeGroups() {
   // 64 chunks; skipping every other one exercises the byte-length jump.
   std::vector<ChunkGroup> groups;
   DocId base = 0;
@@ -68,33 +157,97 @@ void BM_DecodeChunkListWithSkips(benchmark::State& state) {
     base += 1000;
     groups.push_back(std::move(g));
   }
+  return groups;
+}
+
+void BM_DecodeChunkList(benchmark::State& state) {
+  const auto groups = MakeGroups();
+  const PostingFormat fmt = Fmt(state.range(0));
   std::string buf;
-  EncodeChunkList(groups, false, &buf);
-  storage::InMemoryPageStore store(4096);
-  storage::BufferPool pool(&store, 1 << 16);
-  storage::BlobStore blobs(&pool);
-  auto ref = blobs.Write(buf).value();
+  EncodeChunkList(groups, false, &buf, fmt);
+  BlobFixture fx;
+  auto ref = fx.Put(buf);
+  CursorScratch scratch;
+  size_t total = 0;
+  for (const auto& g : groups) total += g.postings.size();
   for (auto _ : state) {
-    ChunkListReader r(blobs.NewReader(ref), false);
-    (void)r.Init();
+    ChunkPostingCursor c(fx.blobs.NewReader(ref), false, fmt, &scratch);
+    (void)c.Init();
     uint64_t sum = 0;
-    bool skip = false;
-    while (r.HasGroup()) {
-      if (skip) {
-        (void)r.SkipGroup();
-      } else {
-        while (r.Valid()) {
-          sum += r.doc();
-          (void)r.Next();
-        }
+    while (c.HasGroup()) {
+      while (c.Valid()) {
+        sum += c.doc();
+        (void)c.Next();
       }
-      skip = !skip;
-      (void)r.NextGroup();
+      (void)c.NextGroup();
     }
     benchmark::DoNotOptimize(sum);
   }
+  state.SetItemsProcessed(state.iterations() * total);
+  state.SetLabel(fmt == PostingFormat::kV1 ? "v1" : "v2");
 }
-BENCHMARK(BM_DecodeChunkListWithSkips);
+BENCHMARK(BM_DecodeChunkList)->Arg(1)->Arg(2);
+
+void BM_DecodeChunkListWithSkips(benchmark::State& state) {
+  const auto groups = MakeGroups();
+  const PostingFormat fmt = Fmt(state.range(0));
+  std::string buf;
+  EncodeChunkList(groups, false, &buf, fmt);
+  BlobFixture fx;
+  auto ref = fx.Put(buf);
+  CursorScratch scratch;
+  for (auto _ : state) {
+    ChunkPostingCursor c(fx.blobs.NewReader(ref), false, fmt, &scratch);
+    (void)c.Init();
+    uint64_t sum = 0;
+    bool skip = false;
+    while (c.HasGroup()) {
+      if (skip) {
+        (void)c.SkipGroup();
+      } else {
+        while (c.Valid()) {
+          sum += c.doc();
+          (void)c.Next();
+        }
+      }
+      skip = !skip;
+      (void)c.NextGroup();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetLabel(fmt == PostingFormat::kV1 ? "v1" : "v2");
+}
+BENCHMARK(BM_DecodeChunkListWithSkips)->Arg(1)->Arg(2);
+
+// --- decode: score lists -------------------------------------------------
+
+void BM_DecodeScoreList(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const PostingFormat fmt = Fmt(state.range(1));
+  std::vector<ScorePosting> ps;
+  for (size_t i = 0; i < n; ++i) {
+    ps.push_back({static_cast<double>(n - i), static_cast<DocId>(i * 3)});
+  }
+  std::string buf;
+  EncodeScoreList(ps, &buf, fmt);
+  BlobFixture fx;
+  auto ref = fx.Put(buf);
+  ScoreCursorScratch scratch;
+  for (auto _ : state) {
+    ScorePostingCursor c(fx.blobs.NewReader(ref), fmt, &scratch);
+    (void)c.Init();
+    double sum = 0;
+    while (c.Valid()) {
+      sum += c.score();
+      (void)c.Next();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(fmt == PostingFormat::kV1 ? "v1" : "v2");
+}
+BENCHMARK(BM_DecodeScoreList)
+    ->Args({100000, 1})->Args({100000, 2});
 
 }  // namespace
 }  // namespace svr::index

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (configure, build with -Wall -Wextra,
+# ctest) plus a smoke run of the codec micro-benchmarks.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+# Codec smoke run: quick pass so regressions in the hot decode loops
+# surface in CI output (full numbers live in BENCH_codec.json).
+if [ -x "$BUILD_DIR/bench_micro_codec" ]; then
+  "$BUILD_DIR/bench_micro_codec" --benchmark_min_time=0.05 \
+    --benchmark_filter='BM_Decode(IdList|ChunkList)/'
+fi
+
+echo "ci.sh: OK"

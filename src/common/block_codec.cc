@@ -1,0 +1,82 @@
+#include "common/block_codec.h"
+
+namespace svr {
+
+namespace {
+
+// 2-bit length code (bytes - 1) of a value.
+inline uint32_t LengthCode(uint32_t v) {
+  if (v < (1u << 8)) return 0;
+  if (v < (1u << 16)) return 1;
+  if (v < (1u << 24)) return 2;
+  return 3;
+}
+
+inline const uint32_t kValueMask[4] = {0xffu, 0xffffu, 0xffffffu,
+                                       0xffffffffu};
+
+}  // namespace
+
+void AppendGroupVarint(const uint32_t* values, size_t n, std::string* out) {
+  if (n == 0) return;
+  const size_t n_ctrl = (n + 3) / 4;
+  const size_t ctrl_start = out->size();
+  // Reserve the control bytes up front, fill them as values are coded.
+  out->append(n_ctrl, '\0');
+  for (size_t i = 0; i < n; i += 4) {
+    uint8_t ctrl = 0;
+    const size_t group_n = (n - i < 4) ? n - i : 4;
+    for (size_t j = 0; j < group_n; ++j) {
+      const uint32_t v = values[i + j];
+      const uint32_t code = LengthCode(v);
+      ctrl |= static_cast<uint8_t>(code << (2 * j));
+      char buf[4];
+      std::memcpy(buf, &v, 4);  // little-endian stores
+      out->append(buf, code + 1);
+    }
+    (*out)[ctrl_start + i / 4] = static_cast<char>(ctrl);
+  }
+}
+
+size_t DecodeGroupVarint(const char* p, size_t len, uint32_t* values,
+                         size_t n) {
+  if (n == 0) return 0;
+  const size_t n_ctrl = (n + 3) / 4;
+  if (len < n_ctrl) return 0;
+  const uint8_t* ctrl = reinterpret_cast<const uint8_t*>(p);
+  const char* data = p + n_ctrl;
+  const char* end = p + len;
+
+  size_t i = 0;
+  // Fast path: whole groups of 4 while >= 16 readable bytes remain, so
+  // every value can be loaded as an unaligned 4-byte word and masked.
+  while (i + 4 <= n && end - data >= 16) {
+    const uint8_t c = ctrl[i / 4];
+    uint32_t v;
+    std::memcpy(&v, data, 4);
+    values[i] = v & kValueMask[c & 3];
+    data += (c & 3) + 1;
+    std::memcpy(&v, data, 4);
+    values[i + 1] = v & kValueMask[(c >> 2) & 3];
+    data += ((c >> 2) & 3) + 1;
+    std::memcpy(&v, data, 4);
+    values[i + 2] = v & kValueMask[(c >> 4) & 3];
+    data += ((c >> 4) & 3) + 1;
+    std::memcpy(&v, data, 4);
+    values[i + 3] = v & kValueMask[(c >> 6) & 3];
+    data += ((c >> 6) & 3) + 1;
+    i += 4;
+  }
+  // Tail path: byte-exact reads with bounds checks.
+  for (; i < n; ++i) {
+    const uint32_t nbytes = ((ctrl[i / 4] >> (2 * (i % 4))) & 3) + 1;
+    if (static_cast<size_t>(end - data) < nbytes) return 0;
+    uint32_t v = 0;
+    std::memcpy(&v, data, nbytes);
+    values[i] = v;
+    data += nbytes;
+  }
+  return static_cast<size_t>(data - p);
+}
+
+}  // namespace svr

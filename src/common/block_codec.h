@@ -1,0 +1,59 @@
+#ifndef SVR_COMMON_BLOCK_CODEC_H_
+#define SVR_COMMON_BLOCK_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace svr {
+
+/// Group-varint codec for the block payloads of posting format v2.
+///
+/// A group of values is laid out as all control bytes first, then all
+/// value bytes (the stream-vbyte arrangement): each control byte packs
+/// four 2-bit length codes (bytes-1, little-endian within the byte), so
+/// the decoder consumes one control byte and emits four values per
+/// iteration without any bit-at-a-time branching. Values are stored
+/// little-endian, truncated to their coded length.
+///
+/// Compared to LEB128 this trades <= 0.25 bytes/value of space for a
+/// decode loop whose only branches are the loop condition — the 5-10x
+/// decode win block codecs are known for.
+
+/// Number of postings per block in format v2. One block's worth of
+/// decoded ids (128 * 4 bytes) spans two cache lines' worth of control
+/// bytes and fits scratch buffers comfortably on the stack.
+inline constexpr size_t kPostingBlockSize = 128;
+
+/// Upper bound on the encoded size of `n` values: ceil(n/4) control
+/// bytes plus up to 4 bytes per value.
+constexpr size_t GroupVarintMaxBytes(size_t n) {
+  return (n + 3) / 4 + n * 4;
+}
+
+/// Appends `n` values group-varint coded: ceil(n/4) control bytes, then
+/// the variable-length value bytes. A trailing partial group is padded
+/// with zero-length codes in the control byte; no value bytes are
+/// emitted for the padding.
+void AppendGroupVarint(const uint32_t* values, size_t n, std::string* out);
+
+/// Decodes `n` values from [p, p + len). Returns the number of payload
+/// bytes consumed, or 0 if the payload is truncated/overruns `len`.
+/// `values` must have room for `n` entries.
+size_t DecodeGroupVarint(const char* p, size_t len, uint32_t* values,
+                         size_t n);
+
+/// In-place inclusive prefix sum with an external base: turns deltas
+/// into absolute values. values[0] += base; values[i] += values[i-1].
+inline void DeltasToAbsolute(uint32_t* values, size_t n, uint32_t base) {
+  uint32_t acc = base;
+  for (size_t i = 0; i < n; ++i) {
+    acc += values[i];
+    values[i] = acc;
+  }
+}
+
+}  // namespace svr
+
+#endif  // SVR_COMMON_BLOCK_CODEC_H_

@@ -18,6 +18,15 @@ using ChunkId = uint32_t;
 
 inline constexpr DocId kInvalidDocId = 0xFFFFFFFFu;
 
+/// On-disk layout of the long inverted lists.
+///  - kV1: one LEB128 varint per posting (the paper's layout, §4/§5.2).
+///  - kV2: 128-posting blocks with per-block skip headers and
+///    group-varint payloads (see docs/posting_format.md).
+enum class PostingFormat : uint8_t {
+  kV1 = 1,
+  kV2 = 2,
+};
+
 }  // namespace svr
 
 #endif  // SVR_COMMON_TYPES_H_

@@ -80,6 +80,7 @@ Status SvrEngine::CreateTextIndex(
   ctx.list_pool = list_pool_.get();
   ctx.score_table = score_table_.get();
   ctx.corpus = &corpus_;
+  ctx.posting_format = options_.posting_format;
   SVR_ASSIGN_OR_RETURN(
       index_, index::CreateIndex(options_.method, ctx,
                                  options_.index_options));

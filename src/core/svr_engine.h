@@ -25,6 +25,8 @@ struct SvrEngineOptions {
   uint64_t list_pool_pages = 8192;
   index::Method method = index::Method::kChunk;
   index::IndexOptions index_options;
+  /// Long-list layout; v2 is the blocked skip-header format.
+  PostingFormat posting_format = PostingFormat::kV2;
 };
 
 /// One search hit joined back to its relational row.

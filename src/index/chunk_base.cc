@@ -14,10 +14,10 @@ bool ChunkPosBefore(ChunkId ca, DocId da, ChunkId cb, DocId db) {
 
 }  // namespace
 
-MergedChunkStream::MergedChunkStream(ChunkListReader long_reader,
+MergedChunkStream::MergedChunkStream(ChunkPostingCursor long_cursor,
                                      ShortList::Cursor short_cursor,
                                      uint64_t* scanned)
-    : long_(std::move(long_reader)),
+    : long_(std::move(long_cursor)),
       short_(std::move(short_cursor)),
       scanned_(scanned) {}
 
@@ -86,6 +86,21 @@ Status MergedChunkStream::Advance() {
 }
 
 Status MergedChunkStream::Next() { return Advance(); }
+
+Status MergedChunkStream::SeekInChunk(DocId target) {
+  if (!valid_ || doc_ >= target) return Status::OK();
+  const ChunkId c = cid_;
+  if (long_.HasGroup() && long_.cid() == c) {
+    SVR_RETURN_NOT_OK(long_.SeekInGroup(target));
+    SVR_RETURN_NOT_OK(NormalizeLong());
+  }
+  while (short_.Valid() &&
+         static_cast<ChunkId>(short_.sort_value()) == c &&
+         short_.doc() < target) {
+    short_.Next();
+  }
+  return Advance();
+}
 
 Status MergedChunkStream::SkipChunk() {
   if (!valid_) return Status::OK();
@@ -188,7 +203,7 @@ Status ChunkIndexBase::BuildLongLists() {
       i = j;
     }
     buf.clear();
-    EncodeChunkList(groups, with_ts_, &buf);
+    EncodeChunkList(groups, with_ts_, &buf, ctx_.posting_format);
     SVR_ASSIGN_OR_RETURN(lists_[t], blobs_->Write(buf));
     raw.clear();
     raw.shrink_to_fit();
@@ -321,14 +336,20 @@ uint64_t ChunkIndexBase::ShortListBytes() const {
 }
 
 Status ChunkIndexBase::MakeStreams(const Query& query,
+                                   std::vector<CursorScratch>* scratch,
                                    std::vector<MergedChunkStream>* streams) {
   streams->clear();
+  // Sized once before any cursor captures a pointer into it.
+  scratch->assign(query.terms.size(), CursorScratch());
   streams->reserve(query.terms.size());
-  for (TermId t : query.terms) {
+  for (size_t i = 0; i < query.terms.size(); ++i) {
+    const TermId t = query.terms[i];
     storage::BlobRef ref =
         t < lists_.size() ? lists_[t] : storage::BlobRef();
-    streams->emplace_back(ChunkListReader(blobs_->NewReader(ref), with_ts_),
-                          short_list_->Scan(t), &stats_.postings_scanned);
+    streams->emplace_back(
+        ChunkPostingCursor(blobs_->NewReader(ref), with_ts_,
+                           ctx_.posting_format, &(*scratch)[i]),
+        short_list_->Scan(t), &stats_.postings_scanned);
     SVR_RETURN_NOT_OK(streams->back().Init());
   }
   return Status::OK();

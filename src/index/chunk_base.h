@@ -8,6 +8,7 @@
 #include "index/chunker.h"
 #include "index/list_state.h"
 #include "index/posting_codec.h"
+#include "index/posting_cursor.h"
 #include "index/short_list.h"
 #include "index/text_index.h"
 #include "storage/blob_store.h"
@@ -20,7 +21,7 @@ namespace svr::index {
 /// algorithms.
 class MergedChunkStream {
  public:
-  MergedChunkStream(ChunkListReader long_reader,
+  MergedChunkStream(ChunkPostingCursor long_cursor,
                     ShortList::Cursor short_cursor, uint64_t* scanned);
 
   Status Init();
@@ -33,6 +34,11 @@ class MergedChunkStream {
 
   Status Next();
 
+  /// Positions the stream on its first posting of the *current* chunk
+  /// with doc >= target (or past the chunk if none remains). The long
+  /// side gallops over whole v2 blocks by their skip headers.
+  Status SeekInChunk(DocId target);
+
   /// Advances past every remaining posting of the current chunk. Long
   /// groups are skipped by byte length — their pages are never fetched.
   Status SkipChunk();
@@ -41,7 +47,7 @@ class MergedChunkStream {
   Status NormalizeLong();  // move long_ to a valid posting or exhaust
   Status Advance();
 
-  ChunkListReader long_;
+  ChunkPostingCursor long_;
   ShortList::Cursor short_;
   uint64_t* scanned_;
   bool valid_ = false;
@@ -91,8 +97,10 @@ class ChunkIndexBase : public TextIndex {
   Status BuildLongLists();
   float TsOf(DocId doc, TermId term) const;
 
-  /// One merged stream per query term.
+  /// One merged stream per query term. `scratch` must outlive `streams`
+  /// (the cursors refill blocks into it) and is sized by this call.
   Status MakeStreams(const Query& query,
+                     std::vector<CursorScratch>* scratch,
                      std::vector<MergedChunkStream>* streams);
 
   /// Classifies a candidate seen at a list position: stale postings of

@@ -12,8 +12,9 @@ Status ChunkIndex::TopK(const Query& query, size_t k,
   results->clear();
   if (query.terms.empty() || k == 0) return Status::OK();
 
+  std::vector<CursorScratch> scratch;
   std::vector<MergedChunkStream> streams;
-  SVR_RETURN_NOT_OK(MakeStreams(query, &streams));
+  SVR_RETURN_NOT_OK(MakeStreams(query, &scratch, &streams));
 
   ResultHeap heap(k);
 
@@ -76,8 +77,8 @@ Status ChunkIndex::TopK(const Query& query, size_t k,
           bool aligned = true;
           bool from_short = false;
           for (auto& s : streams) {
-            while (s.Valid() && s.cid() == current && s.doc() < max_doc) {
-              SVR_RETURN_NOT_OK(s.Next());
+            if (s.Valid() && s.cid() == current && s.doc() < max_doc) {
+              SVR_RETURN_NOT_OK(s.SeekInChunk(max_doc));
             }
             if (!s.Valid() || s.cid() != current || s.doc() != max_doc) {
               aligned = false;

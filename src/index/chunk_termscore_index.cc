@@ -56,7 +56,7 @@ Status ChunkTermScoreIndex::BuildExtras() {
                 return a.doc < b.doc;
               });
     buf.clear();
-    EncodeFancyList(postings, min_ts, &buf);
+    EncodeFancyList(postings, min_ts, &buf, ctx_.posting_format);
     SVR_ASSIGN_OR_RETURN(fancy_refs_[t], blobs_->Write(buf));
     postings.clear();
     postings.shrink_to_fit();
@@ -85,8 +85,8 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
     const TermId t = query.terms[i];
     storage::BlobRef ref =
         t < fancy_refs_.size() ? fancy_refs_[t] : storage::BlobRef();
-    SVR_RETURN_NOT_OK(
-        DecodeFancyList(blobs_->NewReader(ref), &fancy[i], &min_fancy[i]));
+    SVR_RETURN_NOT_OK(DecodeFancyList(blobs_->NewReader(ref), &fancy[i],
+                                      &min_fancy[i], ctx_.posting_format));
     stats_.postings_scanned += fancy[i].size();
   }
 
@@ -142,8 +142,9 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
   }
 
   // --- Phase 2: chunk-by-chunk merge (Algorithm 3, lines 10-34) -------
+  std::vector<CursorScratch> stream_scratch;
   std::vector<MergedChunkStream> streams;
-  SVR_RETURN_NOT_OK(MakeStreams(query, &streams));
+  SVR_RETURN_NOT_OK(MakeStreams(query, &stream_scratch, &streams));
 
   while (true) {
     bool any_valid = false;

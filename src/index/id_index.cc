@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "index/posting_cursor.h"
 #include "index/result_heap.h"
 
 namespace svr::index {
@@ -12,9 +13,9 @@ namespace svr::index {
 // stand alone (fresh documents).
 class IdIndex::TermStream {
  public:
-  TermStream(IdListReader long_reader, ShortList::Cursor short_cursor,
+  TermStream(IdPostingCursor long_cursor, ShortList::Cursor short_cursor,
              uint64_t* scanned)
-      : long_(std::move(long_reader)),
+      : long_(std::move(long_cursor)),
         short_(std::move(short_cursor)),
         scanned_(scanned) {}
 
@@ -28,6 +29,17 @@ class IdIndex::TermStream {
   float term_score() const { return ts_; }
 
   Status Next() { return Advance(); }
+
+  /// Positions the stream on its first posting with doc >= target. The
+  /// long side gallops over whole v2 blocks; skipped postings — and the
+  /// short postings they would have merged with — are irrelevant to a
+  /// conjunctive intersection that already passed them.
+  Status SeekTo(DocId target) {
+    if (!valid_ || doc_ >= target) return Status::OK();
+    SVR_RETURN_NOT_OK(long_.SeekTo(target));
+    while (short_.Valid() && short_.doc() < target) short_.Next();
+    return Advance();
+  }
 
  private:
   Status Advance() {
@@ -70,7 +82,7 @@ class IdIndex::TermStream {
     }
   }
 
-  IdListReader long_;
+  IdPostingCursor long_;
   ShortList::Cursor short_;
   uint64_t* scanned_;
   bool valid_ = false;
@@ -122,7 +134,7 @@ Status IdIndex::BuildLongLists() {
   for (TermId t = 0; t < postings.size(); ++t) {
     if (postings[t].empty()) continue;
     buf.clear();
-    EncodeIdTsList(postings[t], with_ts_, &buf);
+    EncodeIdTsList(postings[t], with_ts_, &buf, ctx_.posting_format);
     SVR_ASSIGN_OR_RETURN(lists_[t], blobs_->Write(buf));
   }
   return Status::OK();
@@ -193,13 +205,19 @@ Status IdIndex::TopK(const Query& query, size_t k,
   results->clear();
   if (query.terms.empty() || k == 0) return Status::OK();
 
+  // One scratch block per stream, owned here: the whole query decodes
+  // into these buffers with no per-posting allocation.
+  std::vector<CursorScratch> scratch(query.terms.size());
   std::vector<TermStream> streams;
   streams.reserve(query.terms.size());
-  for (TermId t : query.terms) {
+  for (size_t i = 0; i < query.terms.size(); ++i) {
+    const TermId t = query.terms[i];
     storage::BlobRef ref =
         t < lists_.size() ? lists_[t] : storage::BlobRef();
-    streams.emplace_back(IdListReader(blobs_->NewReader(ref), with_ts_),
-                         short_list_->Scan(t), &stats_.postings_scanned);
+    streams.emplace_back(
+        IdPostingCursor(blobs_->NewReader(ref), with_ts_,
+                        ctx_.posting_format, &scratch[i]),
+        short_list_->Scan(t), &stats_.postings_scanned);
     SVR_RETURN_NOT_OK(streams.back().Init());
   }
 
@@ -234,9 +252,7 @@ Status IdIndex::TopK(const Query& query, size_t k,
 
       bool aligned = true;
       for (auto& s : streams) {
-        while (s.Valid() && s.doc() < max_doc) {
-          SVR_RETURN_NOT_OK(s.Next());
-        }
+        SVR_RETURN_NOT_OK(s.SeekTo(max_doc));
         if (!s.Valid() || s.doc() != max_doc) aligned = false;
       }
       if (!aligned) continue;

@@ -1,9 +1,12 @@
 #include "index/posting_codec.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
+#include "common/block_codec.h"
 #include "common/coding.h"
+#include "index/posting_cursor.h"
 
 namespace svr::index {
 
@@ -15,10 +18,59 @@ void PutFloat(std::string* out, float f) {
   out->append(buf, 4);
 }
 
+/// Appends the v2 blocked encoding of `n` doc-ascending postings:
+/// [varint last_doc][varint byte_len][group-varint deltas (+ f32 ts)*]
+/// per block of up to kPostingBlockSize postings. The delta base starts
+/// at 0 and chains across blocks; `payload` is caller-provided scratch
+/// so encoding a list reuses one buffer. `doc_at(i)` / `ts_at(i)` read
+/// posting `i`, so DocId arrays encode without materializing postings.
+template <typename DocAt, typename TsAt>
+void AppendDocBlocksV2(size_t n, bool with_ts, DocAt doc_at, TsAt ts_at,
+                       std::string* payload, std::string* out) {
+  uint32_t deltas[kPostingBlockSize];
+  DocId prev = 0;
+  for (size_t i = 0; i < n; i += kPostingBlockSize) {
+    const size_t cnt = std::min(kPostingBlockSize, n - i);
+    for (size_t j = 0; j < cnt; ++j) {
+      const DocId d = doc_at(i + j);
+      assert(d >= prev);
+      deltas[j] = d - prev;
+      prev = d;
+    }
+    payload->clear();
+    AppendGroupVarint(deltas, cnt, payload);
+    if (with_ts) {
+      for (size_t j = 0; j < cnt; ++j) {
+        PutFloat(payload, ts_at(i + j));
+      }
+    }
+    PutVarint32(out, doc_at(i + cnt - 1));  // last_doc
+    PutVarint32(out, static_cast<uint32_t>(payload->size()));
+    out->append(*payload);
+  }
+}
+
+void AppendDocBlocksV2(const IdPosting* postings, size_t n, bool with_ts,
+                       std::string* payload, std::string* out) {
+  AppendDocBlocksV2(
+      n, with_ts, [postings](size_t i) { return postings[i].doc; },
+      [postings](size_t i) { return postings[i].term_score; }, payload,
+      out);
+}
+
 }  // namespace
 
-void EncodeIdList(const std::vector<DocId>& docs, std::string* out) {
+void EncodeIdList(const std::vector<DocId>& docs, std::string* out,
+                  PostingFormat format) {
   PutVarint32(out, static_cast<uint32_t>(docs.size()));
+  if (format == PostingFormat::kV2) {
+    std::string payload;
+    AppendDocBlocksV2(
+        docs.size(), /*with_ts=*/false,
+        [&docs](size_t i) { return docs[i]; }, [](size_t) { return 0.0f; },
+        &payload, out);
+    return;
+  }
   DocId last = 0;
   for (DocId d : docs) {
     assert(d >= last);
@@ -28,8 +80,14 @@ void EncodeIdList(const std::vector<DocId>& docs, std::string* out) {
 }
 
 void EncodeIdTsList(const std::vector<IdPosting>& postings, bool with_ts,
-                    std::string* out) {
+                    std::string* out, PostingFormat format) {
   PutVarint32(out, static_cast<uint32_t>(postings.size()));
+  if (format == PostingFormat::kV2) {
+    std::string payload;
+    AppendDocBlocksV2(postings.data(), postings.size(), with_ts, &payload,
+                      out);
+    return;
+  }
   DocId last = 0;
   for (const IdPosting& p : postings) {
     assert(p.doc >= last);
@@ -40,8 +98,23 @@ void EncodeIdTsList(const std::vector<IdPosting>& postings, bool with_ts,
 }
 
 void EncodeScoreList(const std::vector<ScorePosting>& postings,
-                     std::string* out) {
+                     std::string* out, PostingFormat format) {
   PutVarint32(out, static_cast<uint32_t>(postings.size()));
+  if (format == PostingFormat::kV2) {
+    const size_t n = postings.size();
+    for (size_t i = 0; i < n; i += kPostingBlockSize) {
+      const size_t cnt = std::min(kPostingBlockSize, n - i);
+      const ScorePosting& last = postings[i + cnt - 1];
+      PutFixedDouble(out, last.score);
+      PutFixed32(out, last.doc);
+      PutVarint32(out, static_cast<uint32_t>(cnt * 12));
+      for (size_t j = 0; j < cnt; ++j) {
+        PutFixedDouble(out, postings[i + j].score);
+        PutFixed32(out, postings[i + j].doc);
+      }
+    }
+    return;
+  }
   for (const ScorePosting& p : postings) {
     PutFixedDouble(out, p.score);
     PutFixed32(out, p.doc);
@@ -49,16 +122,23 @@ void EncodeScoreList(const std::vector<ScorePosting>& postings,
 }
 
 void EncodeChunkList(const std::vector<ChunkGroup>& groups, bool with_ts,
-                     std::string* out) {
+                     std::string* out, PostingFormat format) {
   PutVarint32(out, static_cast<uint32_t>(groups.size()));
+  std::string body;
+  std::string payload;
   for (const ChunkGroup& g : groups) {
-    std::string body;
-    DocId last = 0;
-    for (const IdPosting& p : g.postings) {
-      assert(p.doc >= last);
-      PutVarint32(&body, p.doc - last);
-      last = p.doc;
-      if (with_ts) PutFloat(&body, p.term_score);
+    body.clear();
+    if (format == PostingFormat::kV2) {
+      AppendDocBlocksV2(g.postings.data(), g.postings.size(), with_ts,
+                        &payload, &body);
+    } else {
+      DocId last = 0;
+      for (const IdPosting& p : g.postings) {
+        assert(p.doc >= last);
+        PutVarint32(&body, p.doc - last);
+        last = p.doc;
+        if (with_ts) PutFloat(&body, p.term_score);
+      }
     }
     PutVarint32(out, g.cid);
     PutVarint32(out, static_cast<uint32_t>(g.postings.size()));
@@ -68,9 +148,15 @@ void EncodeChunkList(const std::vector<ChunkGroup>& groups, bool with_ts,
 }
 
 void EncodeFancyList(const std::vector<IdPosting>& postings, float min_ts,
-                     std::string* out) {
+                     std::string* out, PostingFormat format) {
   PutFloat(out, min_ts);
   PutVarint32(out, static_cast<uint32_t>(postings.size()));
+  if (format == PostingFormat::kV2) {
+    std::string payload;
+    AppendDocBlocksV2(postings.data(), postings.size(), /*with_ts=*/true,
+                      &payload, out);
+    return;
+  }
   DocId last = 0;
   for (const IdPosting& p : postings) {
     assert(p.doc >= last);
@@ -92,6 +178,14 @@ Status IdListReader::Init() {
     return Status::OK();
   }
   SVR_RETURN_NOT_OK(reader_.ReadVarint32(&count_));
+  // Overlong-count guard: every posting takes at least one delta byte
+  // (plus the term score), so a count the buffer cannot possibly hold is
+  // corruption — fail now instead of running off the end mid-scan.
+  const uint64_t min_bytes =
+      static_cast<uint64_t>(count_) * (with_ts_ ? 5 : 1);
+  if (min_bytes > reader_.remaining()) {
+    return Status::Corruption("ID list count exceeds payload");
+  }
   return Next();
 }
 
@@ -123,6 +217,9 @@ Status ScoreListReader::Init() {
     return Status::OK();
   }
   SVR_RETURN_NOT_OK(reader_.ReadVarint32(&count_));
+  if (static_cast<uint64_t>(count_) * 12 > reader_.remaining()) {
+    return Status::Corruption("Score list count exceeds payload");
+  }
   return Next();
 }
 
@@ -169,6 +266,16 @@ Status ChunkListReader::ReadGroupHeader() {
   SVR_RETURN_NOT_OK(reader_.ReadVarint32(&group_count_));
   uint64_t byte_len;
   SVR_RETURN_NOT_OK(reader_.ReadVarint64(&byte_len));
+  // A group body that claims more bytes than the blob holds would make
+  // SkipGroup() jump past the end; reject it before using it.
+  if (byte_len > reader_.remaining()) {
+    return Status::Corruption("chunk group byte_len exceeds payload");
+  }
+  const uint64_t min_bytes =
+      static_cast<uint64_t>(group_count_) * (with_ts_ ? 5 : 1);
+  if (min_bytes > byte_len) {
+    return Status::Corruption("chunk group count exceeds byte_len");
+  }
   group_end_offset_ = reader_.offset() + byte_len;
   consumed_in_group_ = 0;
   last_doc_ = 0;
@@ -187,6 +294,9 @@ Status ChunkListReader::Next() {
   current_.doc = last_doc_;
   if (with_ts_) {
     SVR_RETURN_NOT_OK(reader_.ReadFloat(&current_.term_score));
+  }
+  if (reader_.offset() > group_end_offset_) {
+    return Status::Corruption("chunk group postings overrun byte_len");
   }
   ++consumed_in_group_;
   valid_ = true;
@@ -214,13 +324,29 @@ Status ChunkListReader::NextGroup() {
 }
 
 Status DecodeFancyList(storage::BlobStore::Reader reader,
-                       std::vector<IdPosting>* postings, float* min_ts) {
+                       std::vector<IdPosting>* postings, float* min_ts,
+                       PostingFormat format) {
   postings->clear();
   *min_ts = 0.0f;
   if (reader.remaining() == 0) return Status::OK();
   SVR_RETURN_NOT_OK(reader.ReadFloat(min_ts));
+  if (format == PostingFormat::kV2) {
+    CursorScratch scratch;
+    IdPostingCursor cursor(std::move(reader), /*with_ts=*/true, format,
+                           &scratch);
+    SVR_RETURN_NOT_OK(cursor.Init());
+    postings->reserve(cursor.count());
+    while (cursor.Valid()) {
+      postings->push_back({cursor.doc(), cursor.term_score()});
+      SVR_RETURN_NOT_OK(cursor.Next());
+    }
+    return Status::OK();
+  }
   uint32_t n;
   SVR_RETURN_NOT_OK(reader.ReadVarint32(&n));
+  if (static_cast<uint64_t>(n) * 5 > reader.remaining()) {
+    return Status::Corruption("fancy list count exceeds payload");
+  }
   postings->reserve(n);
   DocId last = 0;
   for (uint32_t i = 0; i < n; ++i) {

@@ -11,7 +11,7 @@
 
 namespace svr::index {
 
-/// Serialized long-inverted-list formats (§4 + §5.2):
+/// Serialized long-inverted-list formats (§4 + §5.2), v1 layout:
 ///
 ///  - ID list:           [varint n] (delta-varint doc)*            — §4.2.1
 ///  - ID+ts list:        [varint n] (delta-varint doc, f32 ts)*    — §5.2
@@ -27,6 +27,24 @@ namespace svr::index {
 ///  - Chunk+ts list:     same, postings (delta-varint doc, f32 ts)*
 ///  - Fancy list:        [f32 min_ts][varint n](delta-varint doc, f32 ts)*
 ///                       doc-ordered, the [21]-style high-term-score list.
+///
+/// The v2 layout (PostingFormat::kV2) keeps the same list headers but
+/// groups postings into kPostingBlockSize-posting blocks, each preceded
+/// by a skip header, with doc deltas group-varint coded (see
+/// docs/posting_format.md and common/block_codec.h):
+///
+///  - doc blocks:        [varint last_doc][varint byte_len]
+///                       payload = group-varint deltas (+ f32 ts each).
+///                       `last_doc` is the absolute id of the block's
+///                       final posting: a block whose last_doc is below a
+///                       seek target is skipped without decoding it.
+///  - Score blocks:      [f64 last_score][fix32 last_doc][varint byte_len]
+///                       payload = (f64 score, fix32 doc)*. The header is
+///                       the block's scan-order-final (lowest) position,
+///                       enabling block skips toward a score threshold.
+///
+/// The zero-allocation query-side counterparts of the v1 readers below
+/// live in index/posting_cursor.h; both formats decode through them.
 
 struct IdPosting {
   DocId doc;
@@ -44,21 +62,29 @@ struct ChunkGroup {
 };
 
 // --- encoders (bulk build) ---------------------------------------------
+//
+// `format` selects the on-disk layout; existing v1 call sites (and the
+// paper-faithful baseline) default to kV1.
 
 /// `docs` must be strictly ascending.
-void EncodeIdList(const std::vector<DocId>& docs, std::string* out);
+void EncodeIdList(const std::vector<DocId>& docs, std::string* out,
+                  PostingFormat format = PostingFormat::kV1);
 /// `postings` must be strictly ascending by doc.
 void EncodeIdTsList(const std::vector<IdPosting>& postings, bool with_ts,
-                    std::string* out);
+                    std::string* out,
+                    PostingFormat format = PostingFormat::kV1);
 /// `postings` must be sorted by (score desc, doc asc).
 void EncodeScoreList(const std::vector<ScorePosting>& postings,
-                     std::string* out);
+                     std::string* out,
+                     PostingFormat format = PostingFormat::kV1);
 /// `groups` must be sorted by cid descending; postings doc-ascending.
 void EncodeChunkList(const std::vector<ChunkGroup>& groups, bool with_ts,
-                     std::string* out);
+                     std::string* out,
+                     PostingFormat format = PostingFormat::kV1);
 /// `postings` doc-ascending; min_ts = smallest term score among them.
 void EncodeFancyList(const std::vector<IdPosting>& postings, float min_ts,
-                     std::string* out);
+                     std::string* out,
+                     PostingFormat format = PostingFormat::kV1);
 
 // --- streaming decoders (page-at-a-time over BlobStore) -----------------
 
@@ -146,7 +172,8 @@ class ChunkListReader {
 
 /// Loads an entire fancy list (they are small by construction).
 Status DecodeFancyList(storage::BlobStore::Reader reader,
-                       std::vector<IdPosting>* postings, float* min_ts);
+                       std::vector<IdPosting>* postings, float* min_ts,
+                       PostingFormat format = PostingFormat::kV1);
 
 }  // namespace svr::index
 

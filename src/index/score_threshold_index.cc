@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "index/posting_cursor.h"
 #include "index/result_heap.h"
 
 namespace svr::index {
@@ -30,9 +31,9 @@ bool PosEqual(const ListPos& a, const ListPos& b) {
 // a short ADD posting at the same position shadows it.
 class ScoreThresholdIndex::TermStream {
  public:
-  TermStream(ScoreListReader long_reader, ShortList::Cursor short_cursor,
+  TermStream(ScorePostingCursor long_cursor, ShortList::Cursor short_cursor,
              uint64_t* scanned)
-      : long_(std::move(long_reader)),
+      : long_(std::move(long_cursor)),
         short_(std::move(short_cursor)),
         scanned_(scanned) {}
 
@@ -48,6 +49,20 @@ class ScoreThresholdIndex::TermStream {
   ListPos pos() const { return pos_; }
 
   Status Next() { return Advance(); }
+
+  /// Positions the stream on its first posting at or after `target` in
+  /// (score desc, doc asc) scan order. The long side gallops over whole
+  /// v2 blocks by their (last_score, last_doc) headers.
+  Status SeekTo(const ListPos& target) {
+    if (!valid_ || !PosBefore(pos_, target)) return Status::OK();
+    SVR_RETURN_NOT_OK(long_.SeekTo(target.score, target.doc));
+    while (short_.Valid()) {
+      const ListPos sp{short_.sort_value(), short_.doc()};
+      if (!PosBefore(sp, target)) break;
+      short_.Next();
+    }
+    return Advance();
+  }
 
  private:
   Status Advance() {
@@ -91,7 +106,7 @@ class ScoreThresholdIndex::TermStream {
     }
   }
 
-  ScoreListReader long_;
+  ScorePostingCursor long_;
   ShortList::Cursor short_;
   uint64_t* scanned_;
   bool valid_ = false;
@@ -145,7 +160,7 @@ Status ScoreThresholdIndex::BuildLongLists() {
                 return a.doc < b.doc;
               });
     buf.clear();
-    EncodeScoreList(postings[t], &buf);
+    EncodeScoreList(postings[t], &buf, ctx_.posting_format);
     SVR_ASSIGN_OR_RETURN(lists_[t], blobs_->Write(buf));
   }
   return Status::OK();
@@ -265,13 +280,17 @@ Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
   results->clear();
   if (query.terms.empty() || k == 0) return Status::OK();
 
+  std::vector<ScoreCursorScratch> scratch(query.terms.size());
   std::vector<TermStream> streams;
   streams.reserve(query.terms.size());
-  for (TermId t : query.terms) {
+  for (size_t i = 0; i < query.terms.size(); ++i) {
+    const TermId t = query.terms[i];
     storage::BlobRef ref =
         t < lists_.size() ? lists_[t] : storage::BlobRef();
-    streams.emplace_back(ScoreListReader(blobs_->NewReader(ref)),
-                         short_list_->Scan(t), &stats_.postings_scanned);
+    streams.emplace_back(
+        ScorePostingCursor(blobs_->NewReader(ref), ctx_.posting_format,
+                           &scratch[i]),
+        short_list_->Scan(t), &stats_.postings_scanned);
     SVR_RETURN_NOT_OK(streams.back().Init());
   }
 
@@ -349,9 +368,7 @@ Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
       bool aligned = true;
       bool from_short = false;
       for (auto& s : streams) {
-        while (s.Valid() && PosBefore(s.pos(), target)) {
-          SVR_RETURN_NOT_OK(s.Next());
-        }
+        SVR_RETURN_NOT_OK(s.SeekTo(target));
         if (!s.Valid() || !PosEqual(s.pos(), target)) {
           aligned = false;
         } else {

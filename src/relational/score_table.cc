@@ -68,8 +68,8 @@ Status ScoreTable::Scan(
     DocId doc;
     if (!GetKeyU32(&k, &doc)) return Status::Corruption("bad score key");
     std::string v = it->value().ToString();
-    double score;
-    bool deleted;
+    double score = 0.0;
+    bool deleted = false;
     SVR_RETURN_NOT_OK(ParseScoreValue(v, &score, &deleted));
     if (!fn(doc, score, deleted)) break;
     it->Next();

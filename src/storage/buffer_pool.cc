@@ -9,30 +9,21 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
   if (this != &other) {
     Release();
     pool_ = other.pool_;
-    id_ = other.id_;
+    frame_ = other.frame_;
     data_ = other.data_;
     other.pool_ = nullptr;
-    other.id_ = kInvalidPageId;
+    other.frame_ = nullptr;
     other.data_ = nullptr;
   }
   return *this;
 }
 
-char* PageHandle::mutable_data() {
-  assert(valid());
-  // Mark dirty eagerly; the pool writes it back on eviction/flush.
-  auto it = pool_->frames_.find(id_);
-  assert(it != pool_->frames_.end());
-  it->second->dirty = true;
-  return data_;
-}
-
 void PageHandle::Release() {
-  if (pool_ != nullptr) {
-    pool_->Unpin(id_, /*dirty=*/false);
+  if (frame_ != nullptr) {
+    pool_->Unpin(frame_);
     pool_ = nullptr;
+    frame_ = nullptr;
     data_ = nullptr;
-    id_ = kInvalidPageId;
   }
 }
 
@@ -44,18 +35,41 @@ BufferPool::~BufferPool() {
   (void)FlushAll();
 }
 
+void BufferPool::LruUnlink(Frame* frame) {
+  if (!frame->in_lru) return;
+  if (frame->lru_prev != nullptr) {
+    frame->lru_prev->lru_next = frame->lru_next;
+  } else {
+    lru_head_ = frame->lru_next;
+  }
+  if (frame->lru_next != nullptr) {
+    frame->lru_next->lru_prev = frame->lru_prev;
+  } else {
+    lru_tail_ = frame->lru_prev;
+  }
+  frame->lru_prev = nullptr;
+  frame->lru_next = nullptr;
+  frame->in_lru = false;
+}
+
+void BufferPool::LruPushFront(Frame* frame) {
+  frame->lru_prev = nullptr;
+  frame->lru_next = lru_head_;
+  if (lru_head_ != nullptr) lru_head_->lru_prev = frame;
+  lru_head_ = frame;
+  if (lru_tail_ == nullptr) lru_tail_ = frame;
+  frame->in_lru = true;
+}
+
 Status BufferPool::Fetch(PageId id, PageHandle* handle) {
   ++stats_.fetches;
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++stats_.hits;
     Frame* f = it->second.get();
-    if (f->in_lru) {
-      lru_.erase(f->lru_it);
-      f->in_lru = false;
-    }
+    LruUnlink(f);
     ++f->pin_count;
-    *handle = PageHandle(this, id, f->data.get());
+    *handle = PageHandle(this, f, f->data.get());
     return Status::OK();
   }
 
@@ -68,7 +82,7 @@ Status BufferPool::Fetch(PageId id, PageHandle* handle) {
   frame->pin_count = 1;
   Frame* raw = frame.get();
   frames_.emplace(id, std::move(frame));
-  *handle = PageHandle(this, id, raw->data.get());
+  *handle = PageHandle(this, raw, raw->data.get());
   return Status::OK();
 }
 
@@ -83,7 +97,7 @@ Status BufferPool::NewPage(PageHandle* handle) {
   frame->dirty = true;
   Frame* raw = frame.get();
   frames_.emplace(id, std::move(frame));
-  *handle = PageHandle(this, id, raw->data.get());
+  *handle = PageHandle(this, raw, raw->data.get());
   return Status::OK();
 }
 
@@ -98,33 +112,25 @@ Status BufferPool::FreePage(PageId id) {
     if (f->pin_count > 0) {
       return Status::InvalidArgument("freeing a pinned page");
     }
-    if (f->in_lru) lru_.erase(f->lru_it);
+    LruUnlink(f);
     frames_.erase(it);
   }
   return store_->Free(id);
 }
 
-void BufferPool::Unpin(PageId id, bool dirty) {
-  auto it = frames_.find(id);
-  assert(it != frames_.end());
-  Frame* f = it->second.get();
-  assert(f->pin_count > 0);
-  if (dirty) f->dirty = true;
-  if (--f->pin_count == 0) {
-    lru_.push_front(id);
-    f->lru_it = lru_.begin();
-    f->in_lru = true;
+void BufferPool::Unpin(Frame* frame) {
+  assert(frame->pin_count > 0);
+  if (--frame->pin_count == 0) {
+    LruPushFront(frame);
   }
 }
 
 Status BufferPool::MakeRoom() {
-  while (frames_.size() >= capacity_ && !lru_.empty()) {
-    PageId victim = lru_.back();
-    auto it = frames_.find(victim);
-    assert(it != frames_.end());
-    SVR_RETURN_NOT_OK(EvictFrame(it->second.get()));
-    lru_.pop_back();
-    frames_.erase(it);
+  while (frames_.size() >= capacity_ && lru_tail_ != nullptr) {
+    Frame* victim = lru_tail_;
+    SVR_RETURN_NOT_OK(EvictFrame(victim));
+    LruUnlink(victim);
+    frames_.erase(victim->id);
     ++stats_.evictions;
   }
   return Status::OK();
@@ -155,7 +161,7 @@ Status BufferPool::EvictAll() {
   for (auto it = frames_.begin(); it != frames_.end();) {
     Frame* f = it->second.get();
     if (f->pin_count == 0) {
-      if (f->in_lru) lru_.erase(f->lru_it);
+      LruUnlink(f);
       it = frames_.erase(it);
     } else {
       ++it;

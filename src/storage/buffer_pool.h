@@ -1,8 +1,8 @@
 #ifndef SVR_STORAGE_BUFFER_POOL_H_
 #define SVR_STORAGE_BUFFER_POOL_H_
 
+#include <cassert>
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <unordered_map>
 
@@ -29,7 +29,9 @@ struct BufferPoolStats {
 class BufferPool;
 
 /// RAII pin on a cached page. While a PageHandle is live the frame cannot
-/// be evicted. Move-only.
+/// be evicted. Move-only. Holds the frame pointer directly, so releasing
+/// a pin (the hottest page-touch operation: every posting-block refill
+/// crosses it) performs no hash lookup and no allocation.
 class PageHandle {
  public:
   PageHandle() = default;
@@ -39,8 +41,8 @@ class PageHandle {
   PageHandle& operator=(const PageHandle&) = delete;
   ~PageHandle() { Release(); }
 
-  bool valid() const { return pool_ != nullptr; }
-  PageId id() const { return id_; }
+  bool valid() const { return frame_ != nullptr; }
+  PageId id() const;
 
   const char* data() const { return data_; }
   /// Grants write access and marks the frame dirty.
@@ -51,16 +53,22 @@ class PageHandle {
 
  private:
   friend class BufferPool;
-  PageHandle(BufferPool* pool, PageId id, char* data)
-      : pool_(pool), id_(id), data_(data) {}
+  struct Frame;
+  PageHandle(BufferPool* pool, Frame* frame, char* data)
+      : pool_(pool), frame_(frame), data_(data) {}
 
   BufferPool* pool_ = nullptr;
-  PageId id_ = kInvalidPageId;
+  Frame* frame_ = nullptr;
   char* data_ = nullptr;
 };
 
 /// \brief LRU page cache over a PageStore — the analogue of the BerkeleyDB
 /// mpool cache (§5.2 of the paper used a 100 MB cache).
+///
+/// The recency list is an intrusive doubly-linked list threaded through
+/// the frames themselves (head = most recent, tail = victim), so pinning
+/// and unpinning touch no allocator and no hash table: a cache hit costs
+/// one map lookup, an unpin costs two pointer writes.
 ///
 /// Capacity is expressed in pages. When every frame is pinned the pool
 /// grows past capacity rather than failing (and counts the overflow);
@@ -105,16 +113,13 @@ class BufferPool {
  private:
   friend class PageHandle;
 
-  struct Frame {
-    PageId id = kInvalidPageId;
-    std::unique_ptr<char[]> data;
-    int pin_count = 0;
-    bool dirty = false;
-    bool in_lru = false;
-    std::list<PageId>::iterator lru_it;
-  };
+  using Frame = PageHandle::Frame;
 
-  void Unpin(PageId id, bool dirty);
+  void Unpin(Frame* frame);
+  // Unlinks `frame` from the recency list if it is on it.
+  void LruUnlink(Frame* frame);
+  // Pushes `frame` at the most-recent end.
+  void LruPushFront(Frame* frame);
   // Evicts unpinned frames until below capacity. Best effort.
   Status MakeRoom();
   Status EvictFrame(Frame* frame);
@@ -122,10 +127,33 @@ class BufferPool {
   PageStore* store_;
   uint64_t capacity_;
   std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
-  // Unpinned frames, most-recently-used at front; victims from the back.
-  std::list<PageId> lru_;
+  // Intrusive recency list of unpinned frames; victims from the tail.
+  Frame* lru_head_ = nullptr;
+  Frame* lru_tail_ = nullptr;
   BufferPoolStats stats_;
 };
+
+/// Full frame definition (here so PageHandle's inline accessors and the
+/// pool share it; callers only see the opaque forward declaration).
+struct PageHandle::Frame {
+  PageId id = kInvalidPageId;
+  std::unique_ptr<char[]> data;
+  int pin_count = 0;
+  bool dirty = false;
+  bool in_lru = false;
+  Frame* lru_prev = nullptr;
+  Frame* lru_next = nullptr;
+};
+
+inline PageId PageHandle::id() const {
+  return frame_ != nullptr ? frame_->id : kInvalidPageId;
+}
+
+inline char* PageHandle::mutable_data() {
+  assert(valid());
+  frame_->dirty = true;
+  return data_;
+}
 
 }  // namespace svr::storage
 

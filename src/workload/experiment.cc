@@ -45,6 +45,7 @@ Result<std::unique_ptr<Experiment>> Experiment::Setup(
   ctx.list_pool = exp->list_pool_.get();
   ctx.score_table = exp->score_table_.get();
   ctx.corpus = &exp->corpus_;
+  ctx.posting_format = config.posting_format;
   SVR_ASSIGN_OR_RETURN(exp->index_,
                        index::CreateIndex(method, ctx, options));
   SVR_RETURN_NOT_OK(exp->index_->Build());

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/types.h"
 #include "text/corpus_generator.h"
 
 namespace svr::workload {
@@ -75,6 +76,10 @@ struct ExperimentConfig {
   /// fetch costs ~0.1-1 ms; our in-memory substrate makes the same reads
   /// nearly free, so this restores the I/O-dominated cost balance.
   double page_ms = 0.2;
+
+  /// Long-list layout (format=1|2 on the bench command lines): v1 is the
+  /// paper's per-posting varints, v2 the blocked skip-header codec.
+  PostingFormat posting_format = PostingFormat::kV2;
 };
 
 }  // namespace svr::workload

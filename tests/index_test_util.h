@@ -31,7 +31,8 @@ struct IndexWorld {
   static std::unique_ptr<IndexWorld> Make(
       index::Method method, const text::CorpusParams& corpus_params,
       const std::vector<double>& scores,
-      index::IndexOptions options = DefaultOptions()) {
+      index::IndexOptions options = DefaultOptions(),
+      PostingFormat posting_format = PostingFormat::kV2) {
     auto w = std::make_unique<IndexWorld>();
     w->table_store = std::make_unique<storage::InMemoryPageStore>(4096);
     w->list_store = std::make_unique<storage::InMemoryPageStore>(4096);
@@ -51,6 +52,7 @@ struct IndexWorld {
     ctx.list_pool = w->list_pool.get();
     ctx.score_table = w->score_table.get();
     ctx.corpus = &w->corpus;
+    ctx.posting_format = posting_format;
     auto idx = index::CreateIndex(method, ctx, options);
     if (!idx.ok()) return nullptr;
     w->idx = std::move(idx).value();
