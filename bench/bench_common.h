@@ -43,6 +43,11 @@ class Flags {
     if (it == flags_.end()) return def;
     return it->second != "0" && it->second != "false";
   }
+  std::string GetString(const std::string& key,
+                        const std::string& def) const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? def : it->second;
+  }
 
  private:
   std::map<std::string, std::string> flags_;
@@ -60,6 +65,10 @@ inline workload::ExperimentConfig DefaultConfig(const Flags& flags) {
       static_cast<uint32_t>(flags.GetInt("vocab", 30000));
   c.page_size = static_cast<uint32_t>(flags.GetInt("page", 1024));
   c.page_ms = flags.GetDouble("page_ms", 0.2);
+  c.table_pool_pages =
+      static_cast<uint64_t>(flags.GetInt("table_pages", 1 << 16));
+  c.list_pool_pages =
+      static_cast<uint64_t>(flags.GetInt("list_pages", 1 << 16));
   c.corpus.term_zipf = flags.GetDouble("term_zipf", 1.0);
   c.corpus.seed = static_cast<uint64_t>(flags.GetInt("seed", 2005));
   c.max_score = flags.GetDouble("max_score", 100000.0);
@@ -75,6 +84,16 @@ inline workload::ExperimentConfig DefaultConfig(const Flags& flags) {
   c.seed = static_cast<uint64_t>(flags.GetInt("seed", 2005));
   c.posting_format = flags.GetInt("format", 2) == 1 ? PostingFormat::kV1
                                                     : PostingFormat::kV2;
+  c.merge_policy.enabled = flags.GetBool("auto_merge", false);
+  c.merge_policy.short_ratio = flags.GetDouble("merge_ratio", 0.25);
+  c.merge_policy.min_short_postings =
+      static_cast<uint32_t>(flags.GetInt("merge_min", 64));
+  c.merge_policy.short_bytes_budget =
+      static_cast<uint64_t>(flags.GetInt("merge_budget_kb", 0)) * 1024;
+  c.merge_policy.max_terms_per_sweep =
+      static_cast<uint32_t>(flags.GetInt("merge_sweep", 64));
+  c.merge_policy.check_interval =
+      static_cast<uint32_t>(flags.GetInt("merge_interval", 256));
   return c;
 }
 

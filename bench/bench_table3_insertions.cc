@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
 
   // The paper notes short lists are periodically merged offline,
   // "bringing down document insertion cost again" — demonstrate it.
-  Check(exp->index()->MergeShortLists(), "offline merge");
+  Check(exp->index()->RebuildIndex(), "offline merge");
   auto ins = CheckResult(exp->InsertDocuments(100), "insert post-merge");
   auto qry = CheckResult(
       exp->RunQueries(workload::QueryClass::kUnselective, validate),

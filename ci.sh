@@ -17,4 +17,28 @@ if [ -x "$BUILD_DIR/bench_micro_codec" ]; then
     --benchmark_filter='BM_Decode(IdList|ChunkList)/'
 fi
 
+# Merge-policy smoke run: sustained churn with the incremental merge in
+# every mode, validated against the oracle, small enough for CI. The
+# emitted BENCH_merge.json records the update-path trajectory the same
+# way BENCH_codec.json records decode throughput.
+"$BUILD_DIR/bench_merge_policy" docs=3000 terms=40 vocab=2000 \
+  rounds=2 round_updates=500 round_inserts=100 queries=5 \
+  merge_min=8 merge_ratio=0.1 merge_budget_kb=64 merge_interval=128 \
+  validate=1 out=BENCH_merge.json
+if command -v python3 > /dev/null; then
+  python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_merge.json"))
+assert d["bench"] == "merge_policy" and d["series"], "empty merge bench"
+auto = [s for s in d["series"] if s["mode"] == "auto"]
+assert auto, "no auto-merge series"
+assert any(s["rounds"][-1]["term_merges"] > 0 for s in auto), \
+    "auto-merge policy never fired in the smoke run"
+print("BENCH_merge.json: OK (%d series)" % len(d["series"]))
+EOF
+else
+  grep -q '"bench": "merge_policy"' BENCH_merge.json
+  echo "BENCH_merge.json: present (python3 unavailable, shallow check)"
+fi
+
 echo "ci.sh: OK"

@@ -27,6 +27,32 @@ enum class PostingFormat : uint8_t {
   kV2 = 2,
 };
 
+/// When and how aggressively short lists are folded back into the long
+/// lists by the incremental per-term merge (docs/merge_policy.md). The
+/// defaults are off: callers opt in per engine/experiment.
+struct MergePolicy {
+  bool enabled = false;
+  /// Per-term trigger: merge term t once its short postings exceed
+  /// `short_ratio` times its long-list posting count. The merge cost is
+  /// proportional to the long list, so a fixed ratio amortizes it
+  /// against the churn that accumulated.
+  double short_ratio = 0.25;
+  /// Terms below this many short postings are never merged on their own
+  /// (a tiny short range is cheaper to merge at query time than to
+  /// rewrite a long list for).
+  uint32_t min_short_postings = 64;
+  /// Global backstop: when the short-list B+-tree exceeds this many
+  /// bytes, the largest short terms are merged (ratio or not) until the
+  /// projected size is back under budget. 0 disables the backstop.
+  uint64_t short_bytes_budget = 0;
+  /// Upper bound on terms merged by one policy sweep, so maintenance
+  /// never stalls the write path for long.
+  uint32_t max_terms_per_sweep = 64;
+  /// The engine / experiment driver evaluates the policy every this many
+  /// write operations.
+  uint32_t check_interval = 256;
+};
+
 }  // namespace svr
 
 #endif  // SVR_COMMON_TYPES_H_

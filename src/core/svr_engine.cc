@@ -1,5 +1,8 @@
 #include "core/svr_engine.h"
 
+#include <algorithm>
+
+#include "index/merge_policy.h"
 #include "text/tokenizer.h"
 
 namespace svr::core {
@@ -81,6 +84,7 @@ Status SvrEngine::CreateTextIndex(
   ctx.score_table = score_table_.get();
   ctx.corpus = &corpus_;
   ctx.posting_format = options_.posting_format;
+  ctx.merge_policy = options_.merge_policy;
   SVR_ASSIGN_OR_RETURN(
       index_, index::CreateIndex(options_.method, ctx,
                                  options_.index_options));
@@ -118,14 +122,23 @@ Status SvrEngine::HandleScoredTableWrite(const relational::Row* old_row,
   return index_->UpdateContent(doc, old_doc);
 }
 
+Status SvrEngine::MaybeRunMergePolicy() {
+  if (index_ == nullptr || !merge_ticks_.Tick(options_.merge_policy)) {
+    return Status::OK();
+  }
+  return index_->MaybeAutoMerge().status();
+}
+
 Status SvrEngine::Insert(const std::string& table,
                          const relational::Row& row) {
   SVR_RETURN_NOT_OK(db_->Insert(table, row));
   if (index_ != nullptr && table == scored_table_) {
     SVR_RETURN_NOT_OK(HandleScoredTableWrite(nullptr, row));
   }
-  if (score_view_ != nullptr) return score_view_->last_error();
-  return Status::OK();
+  if (score_view_ != nullptr) {
+    SVR_RETURN_NOT_OK(score_view_->last_error());
+  }
+  return MaybeRunMergePolicy();
 }
 
 Status SvrEngine::Update(const std::string& table,
@@ -139,8 +152,10 @@ Status SvrEngine::Update(const std::string& table,
   if (index_ != nullptr && table == scored_table_) {
     SVR_RETURN_NOT_OK(HandleScoredTableWrite(&old_row, row));
   }
-  if (score_view_ != nullptr) return score_view_->last_error();
-  return Status::OK();
+  if (score_view_ != nullptr) {
+    SVR_RETURN_NOT_OK(score_view_->last_error());
+  }
+  return MaybeRunMergePolicy();
 }
 
 Status SvrEngine::Delete(const std::string& table, int64_t pk) {
@@ -148,8 +163,10 @@ Status SvrEngine::Delete(const std::string& table, int64_t pk) {
   if (index_ != nullptr && table == scored_table_) {
     SVR_RETURN_NOT_OK(index_->DeleteDocument(static_cast<DocId>(pk)));
   }
-  if (score_view_ != nullptr) return score_view_->last_error();
-  return Status::OK();
+  if (score_view_ != nullptr) {
+    SVR_RETURN_NOT_OK(score_view_->last_error());
+  }
+  return MaybeRunMergePolicy();
 }
 
 Result<std::vector<ScoredRow>> SvrEngine::Search(
@@ -165,7 +182,12 @@ Result<std::vector<ScoredRow>> SvrEngine::Search(
       if (conjunctive) return std::vector<ScoredRow>{};  // impossible term
       continue;
     }
-    query.terms.push_back(t);
+    // Repeated keywords ("apple apple") must not double-count term
+    // scores or duplicate the stream work of the scans.
+    if (std::find(query.terms.begin(), query.terms.end(), t) ==
+        query.terms.end()) {
+      query.terms.push_back(t);
+    }
   }
   if (query.terms.empty()) return std::vector<ScoredRow>{};
 

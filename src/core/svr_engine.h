@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "index/index_factory.h"
+#include "index/merge_policy.h"
 #include "relational/database.h"
 #include "relational/score_view.h"
 #include "storage/buffer_pool.h"
@@ -27,6 +28,10 @@ struct SvrEngineOptions {
   index::IndexOptions index_options;
   /// Long-list layout; v2 is the blocked skip-header format.
   PostingFormat posting_format = PostingFormat::kV2;
+  /// Incremental short→long merge triggers (docs/merge_policy.md). When
+  /// enabled, the engine evaluates them every `check_interval` writes to
+  /// the scored corpus and merges the triggered terms in place.
+  MergePolicy merge_policy;
 };
 
 /// One search hit joined back to its relational row.
@@ -100,6 +105,11 @@ class SvrEngine {
   text::Document TokenizeToDocument(const std::string& text);
   Status HandleScoredTableWrite(const relational::Row* old_row,
                                 const relational::Row& new_row);
+  /// Runs the auto-merge policy once every `merge_policy.check_interval`
+  /// DML writes while a text index exists (any write may drive score
+  /// updates through the view; an off-cycle evaluation over the dirty
+  /// term map is cheap). No-op when the policy is disabled.
+  Status MaybeRunMergePolicy();
 
   SvrEngineOptions options_;
   std::unique_ptr<storage::InMemoryPageStore> table_store_;
@@ -116,6 +126,7 @@ class SvrEngine {
   std::string scored_table_;
   int text_column_ = -1;
   int pk_column_ = -1;
+  index::MergeCheckCounter merge_ticks_;
 };
 
 }  // namespace svr::core

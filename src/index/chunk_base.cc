@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "index/merge_policy.h"
+
 namespace svr::index {
 
 namespace {
@@ -169,6 +171,7 @@ Status ChunkIndexBase::BuildLongLists() {
   };
   std::vector<TermPostings> per_term(corpus.vocab_size());
   for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    ++stats_.corpus_docs_scanned;
     if (!alive[d]) continue;
     const ChunkId cid = chunker_->ChunkOf(scores[d]);
     const text::Document& doc = corpus.doc(d);
@@ -180,10 +183,12 @@ Status ChunkIndexBase::BuildLongLists() {
   }
 
   lists_.assign(corpus.vocab_size(), storage::BlobRef());
+  long_counts_.assign(corpus.vocab_size(), 0);
   std::string buf;
   for (TermId t = 0; t < per_term.size(); ++t) {
     auto& raw = per_term[t].raw;
     if (raw.empty()) continue;
+    long_counts_[t] = raw.size();
     // (cid desc, doc asc); doc order inside a cid is already ascending,
     // stable_sort by cid desc preserves it.
     std::stable_sort(raw.begin(), raw.end(),
@@ -221,8 +226,11 @@ Status ChunkIndexBase::ListChunkOf(DocId doc, ChunkId* cid,
     return Status::OK();
   }
   if (!st.IsNotFound()) return st;
-  double score;
-  SVR_RETURN_NOT_OK(ctx_.score_table->Get(doc, &score));
+  // Never-scored documents rank at 0.0, exactly as BuildLongLists placed
+  // them — NotFound must not fail a content update on such a doc.
+  double score = 0.0;
+  st = ctx_.score_table->Get(doc, &score);
+  if (!st.ok() && !st.IsNotFound()) return st;
   *cid = chunker_->ChunkOf(score);
   *in_short = false;
   return Status::OK();
@@ -230,9 +238,11 @@ Status ChunkIndexBase::ListChunkOf(DocId doc, ChunkId* cid,
 
 Status ChunkIndexBase::OnScoreUpdate(DocId doc, double new_score) {
   ++stats_.score_updates;
-  // Algorithm 1 with chunks: newS -> newChunk, oldS -> oldChunk.
-  double old_score;
-  SVR_RETURN_NOT_OK(ctx_.score_table->Get(doc, &old_score));
+  // Algorithm 1 with chunks: newS -> newChunk, oldS -> oldChunk. A doc
+  // that was never scored sits at 0.0 (matching BuildLongLists).
+  double old_score = 0.0;
+  Status get = ctx_.score_table->Get(doc, &old_score);
+  if (!get.ok() && !get.IsNotFound()) return get;
   SVR_RETURN_NOT_OK(ctx_.score_table->Set(doc, new_score));
 
   ChunkId l_chunk;
@@ -316,7 +326,7 @@ Status ChunkIndexBase::UpdateContent(DocId doc,
   return Status::OK();
 }
 
-Status ChunkIndexBase::MergeShortLists() {
+Status ChunkIndexBase::RebuildIndex() {
   for (const auto& ref : lists_) {
     if (ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(ref));
   }
@@ -325,6 +335,118 @@ Status ChunkIndexBase::MergeShortLists() {
   has_deletions_ = false;
   SVR_RETURN_NOT_OK(BuildLongLists());
   return BuildExtras();
+}
+
+Status ChunkIndexBase::MergeTerm(TermId term) {
+  if (term >= lists_.size()) {
+    lists_.resize(term + 1, storage::BlobRef());
+    long_counts_.resize(term + 1, 0);
+  }
+  if (!lists_[term].valid() && short_list_->TermPostingCount(term) == 0) {
+    return Status::OK();
+  }
+
+  // Stream the merged (long ∪ short) view in (cid desc, doc asc) order —
+  // the exact view queries consume. REM cancellation happens inside the
+  // stream; stale long postings of moved documents (chunk != current
+  // list chunk) and deleted documents are dropped here, so the new list
+  // holds only live postings, each at its document's list chunk.
+  std::vector<ChunkGroup> groups;
+  std::vector<DocId> from_short_docs;
+  uint64_t n_postings = 0;
+  {
+    // Scoped so the stream's reader unpins the old blob's pages before
+    // they are freed.
+    CursorScratch scratch;
+    uint64_t scanned = 0;
+    MergedChunkStream stream(
+        ChunkPostingCursor(blobs_->NewReader(lists_[term]), with_ts_,
+                           ctx_.posting_format, &scratch),
+        short_list_->Scan(term), &scanned);
+    SVR_RETURN_NOT_OK(stream.Init());
+    while (stream.Valid()) {
+      const DocId doc = stream.doc();
+      const ChunkId cid = stream.cid();
+      bool live = true;
+      if (stream.from_short()) {
+        from_short_docs.push_back(doc);
+      } else {
+        ListStateTable::Entry e;
+        Status st = list_state_->Get(doc, &e);
+        if (st.ok()) {
+          live = !e.in_short_list ||
+                 static_cast<ChunkId>(e.list_value) == cid;
+        } else if (!st.IsNotFound()) {
+          return st;
+        }
+      }
+      if (live) {
+        double score;
+        bool deleted = false;
+        Status st =
+            ctx_.score_table->GetWithDeleted(doc, &score, &deleted);
+        if (!st.ok() && !st.IsNotFound()) return st;
+        if (st.ok() && deleted) live = false;
+      }
+      if (live) {
+        if (groups.empty() || groups.back().cid != cid) {
+          groups.push_back(ChunkGroup{cid, {}});
+        }
+        groups.back().postings.push_back({doc, stream.term_score()});
+        ++n_postings;
+      }
+      SVR_RETURN_NOT_OK(stream.Next());
+    }
+  }
+
+  if (lists_[term].valid()) SVR_RETURN_NOT_OK(blobs_->Free(lists_[term]));
+  if (groups.empty()) {
+    lists_[term] = storage::BlobRef();
+  } else {
+    std::string buf;
+    EncodeChunkList(groups, with_ts_, &buf, ctx_.posting_format);
+    SVR_ASSIGN_OR_RETURN(lists_[term], blobs_->Write(buf));
+  }
+  long_counts_[term] = n_postings;
+  SVR_RETURN_NOT_OK(short_list_->DeleteTerm(term));
+
+  // ListChunk cleanup: entries that merely *record* an unmoved doc's
+  // list chunk (in_short == false) can go once the doc has no short
+  // postings left anywhere and the chunker would reproduce the value.
+  // Entries of moved docs must stay — they are what marks the doc's
+  // not-yet-merged long postings in *other* terms' lists as stale.
+  for (DocId doc : from_short_docs) {
+    if (short_list_->DocPostingCount(doc) != 0) continue;
+    ListStateTable::Entry e;
+    Status st = list_state_->Get(doc, &e);
+    if (st.IsNotFound()) continue;
+    SVR_RETURN_NOT_OK(st);
+    if (e.in_short_list) continue;
+    double score = 0.0;
+    st = ctx_.score_table->Get(doc, &score);
+    if (!st.ok() && !st.IsNotFound()) return st;
+    if (chunker_->ChunkOf(score) == static_cast<ChunkId>(e.list_value)) {
+      SVR_RETURN_NOT_OK(list_state_->Remove(doc));
+    }
+  }
+
+  ++stats_.term_merges;
+  stats_.merge_postings_written += n_postings;
+  return OnTermMerged(term, groups);
+}
+
+Status ChunkIndexBase::MergeAllTerms() {
+  return MergeEveryShortTerm(*short_list_,
+                             [this](TermId t) { return MergeTerm(t); });
+}
+
+Result<uint32_t> ChunkIndexBase::MaybeAutoMerge() {
+  SVR_ASSIGN_OR_RETURN(
+      uint32_t merged,
+      RunAutoMergeSweep(ctx_.merge_policy, *short_list_, long_counts_,
+                        [this](TermId t) { return MergeTerm(t); }));
+  if (merged > 0) ++stats_.auto_merge_sweeps;
+  return merged;
 }
 
 uint64_t ChunkIndexBase::LongListBytes() const {
@@ -355,16 +477,21 @@ Status ChunkIndexBase::MakeStreams(const Query& query,
   return Status::OK();
 }
 
-Status ChunkIndexBase::JudgeCandidate(DocId doc, bool from_short,
-                                      bool* live, double* current_score,
+Status ChunkIndexBase::JudgeCandidate(DocId doc, ChunkId cid,
+                                      bool from_short, bool* live,
+                                      double* current_score,
                                       bool* deleted) {
   *live = true;
   *deleted = false;
   if (!from_short) {
     ListStateTable::Entry e;
     Status st = list_state_->Get(doc, &e);
-    if (st.ok() && e.in_short_list) {
-      *live = false;  // stale long posting; the short list governs
+    if (st.ok() && e.in_short_list &&
+        static_cast<ChunkId>(e.list_value) != cid) {
+      // Stale long posting left at the chunk the doc moved away from;
+      // the short list (or the incrementally merged long posting at the
+      // doc's current list chunk) governs.
+      *live = false;
       return Status::OK();
     }
     if (!st.ok() && !st.IsNotFound()) return st;
@@ -372,10 +499,17 @@ Status ChunkIndexBase::JudgeCandidate(DocId doc, bool from_short,
   // The Chunk family never stores scores in postings, so every live
   // candidate costs one Score-table probe (cheap: the table is small and
   // cached, §5.3.1).
-  SVR_RETURN_NOT_OK(
-      ctx_.score_table->GetWithDeleted(doc, current_score, deleted));
+  Status st =
+      ctx_.score_table->GetWithDeleted(doc, current_score, deleted);
   ++stats_.score_lookups;
-  return Status::OK();
+  if (st.IsNotFound()) {
+    // Never-scored doc: not a result candidate (the oracle skips these
+    // too), but no longer a query-killing error.
+    *live = false;
+    *current_score = 0.0;
+    return Status::OK();
+  }
+  return st;
 }
 
 }  // namespace svr::index

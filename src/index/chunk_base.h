@@ -77,10 +77,16 @@ class ChunkIndexBase : public TextIndex {
   Status InsertDocument(DocId doc, double score) override;
   Status DeleteDocument(DocId doc) override;
   Status UpdateContent(DocId doc, const text::Document& old_doc) override;
-  Status MergeShortLists() override;
+  Status MergeTerm(TermId term) override;
+  Status MergeAllTerms() override;
+  Result<uint32_t> MaybeAutoMerge() override;
+  Status RebuildIndex() override;
 
   uint64_t LongListBytes() const override;
   uint64_t ShortListBytes() const override;
+  uint64_t ShortPostingCount() const override {
+    return short_list_->num_postings();
+  }
 
   const Chunker& chunker() const { return *chunker_; }
 
@@ -94,6 +100,15 @@ class ChunkIndexBase : public TextIndex {
   /// long lists are (re)built.
   virtual Status BuildExtras() { return Status::OK(); }
 
+  /// Hook for method-specific per-term structures after MergeTerm
+  /// rewrote `term`'s long list to exactly `groups` (fancy-list refresh).
+  virtual Status OnTermMerged(TermId term,
+                              const std::vector<ChunkGroup>& groups) {
+    (void)term;
+    (void)groups;
+    return Status::OK();
+  }
+
   Status BuildLongLists();
   float TsOf(DocId doc, TermId term) const;
 
@@ -103,17 +118,22 @@ class ChunkIndexBase : public TextIndex {
                      std::vector<CursorScratch>* scratch,
                      std::vector<MergedChunkStream>* streams);
 
-  /// Classifies a candidate seen at a list position: stale postings of
-  /// short-moved documents are skipped; live ones get their current score
-  /// from the Score table (plus the deleted flag).
-  Status JudgeCandidate(DocId doc, bool from_short, bool* live,
-                        double* current_score, bool* deleted);
+  /// Classifies a candidate seen at a list position: stale long postings
+  /// of short-moved documents are skipped; live ones get their current
+  /// score from the Score table (plus the deleted flag). `cid` is the
+  /// chunk the posting was found in — a long posting of a moved document
+  /// is stale exactly when it sits at a chunk other than the document's
+  /// current list chunk (incrementally merged postings sit *at* it and
+  /// are live; see docs/merge_policy.md).
+  Status JudgeCandidate(DocId doc, ChunkId cid, bool from_short,
+                        bool* live, double* current_score, bool* deleted);
 
   IndexContext ctx_;
   ChunkIndexOptions options_;
   bool with_ts_;
   std::unique_ptr<storage::BlobStore> blobs_;
   std::vector<storage::BlobRef> lists_;
+  std::vector<uint64_t> long_counts_;  // postings per long list
   std::unique_ptr<ShortList> short_list_;
   std::unique_ptr<ListStateTable> list_state_;
   std::unique_ptr<Chunker> chunker_;

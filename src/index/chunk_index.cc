@@ -18,10 +18,10 @@ Status ChunkIndex::TopK(const Query& query, size_t k,
 
   ResultHeap heap(k);
 
-  auto offer = [&](DocId doc, bool from_short) -> Status {
+  auto offer = [&](DocId doc, ChunkId cid, bool from_short) -> Status {
     bool live, deleted;
     double curr;
-    SVR_RETURN_NOT_OK(JudgeCandidate(doc, from_short, &live, &curr,
+    SVR_RETURN_NOT_OK(JudgeCandidate(doc, cid, from_short, &live, &curr,
                                      &deleted));
     if (live && !deleted) {
       ++stats_.candidates_considered;
@@ -88,7 +88,7 @@ Status ChunkIndex::TopK(const Query& query, size_t k,
           }
           if (!aligned) continue;
 
-          SVR_RETURN_NOT_OK(offer(max_doc, from_short));
+          SVR_RETURN_NOT_OK(offer(max_doc, current, from_short));
           for (auto& s : streams) {
             SVR_RETURN_NOT_OK(s.Next());
           }
@@ -118,7 +118,7 @@ Status ChunkIndex::TopK(const Query& query, size_t k,
             SVR_RETURN_NOT_OK(s.Next());
           }
         }
-        SVR_RETURN_NOT_OK(offer(min_doc, from_short));
+        SVR_RETURN_NOT_OK(offer(min_doc, current, from_short));
       }
     }
 

@@ -8,17 +8,47 @@
 
 namespace svr::index {
 
+Status ChunkTermScoreIndex::WriteFancyList(TermId term,
+                                           std::vector<IdPosting> postings) {
+  if (term >= fancy_refs_.size()) {
+    fancy_refs_.resize(term + 1, storage::BlobRef());
+  }
+  if (fancy_refs_[term].valid()) {
+    SVR_RETURN_NOT_OK(blobs_->Free(fancy_refs_[term]));
+    fancy_refs_[term] = storage::BlobRef();
+  }
+  if (postings.empty()) return Status::OK();
+
+  const uint32_t fancy_size = options_.term_scores.fancy_list_size;
+  const bool covers_all = postings.size() <= fancy_size;
+  // Keep the fancy_size highest term scores (ties by doc id).
+  std::sort(postings.begin(), postings.end(),
+            [](const IdPosting& a, const IdPosting& b) {
+              if (a.term_score != b.term_score) {
+                return a.term_score > b.term_score;
+              }
+              return a.doc < b.doc;
+            });
+  if (postings.size() > fancy_size) postings.resize(fancy_size);
+  // Docs *outside* the fancy list have ts <= min kept ts; if the list
+  // covers every posting of the term, outsiders have ts = 0.
+  const float min_ts = covers_all ? 0.0f : postings.back().term_score;
+  std::sort(postings.begin(), postings.end(),
+            [](const IdPosting& a, const IdPosting& b) {
+              return a.doc < b.doc;
+            });
+  std::string buf;
+  EncodeFancyList(postings, min_ts, &buf, ctx_.posting_format);
+  SVR_ASSIGN_OR_RETURN(fancy_refs_[term], blobs_->Write(buf));
+  return Status::OK();
+}
+
 Status ChunkTermScoreIndex::BuildExtras() {
   const text::Corpus& corpus = *ctx_.corpus;
-  const uint32_t fancy_size = options_.term_scores.fancy_list_size;
-
-  // Free previous fancy lists on rebuild.
-  for (const auto& ref : fancy_refs_) {
-    if (ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(ref));
-  }
 
   std::vector<std::vector<IdPosting>> per_term(corpus.vocab_size());
   for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    ++stats_.corpus_docs_scanned;
     double score;
     bool deleted = false;
     if (ctx_.score_table->GetWithDeleted(d, &score, &deleted).ok() &&
@@ -32,36 +62,21 @@ Status ChunkTermScoreIndex::BuildExtras() {
     }
   }
 
-  fancy_refs_.assign(corpus.vocab_size(), storage::BlobRef());
-  std::string buf;
   for (TermId t = 0; t < per_term.size(); ++t) {
-    auto& postings = per_term[t];
-    if (postings.empty()) continue;
-    const bool covers_all = postings.size() <= fancy_size;
-    // Keep the fancy_size highest term scores (ties by doc id).
-    std::sort(postings.begin(), postings.end(),
-              [](const IdPosting& a, const IdPosting& b) {
-                if (a.term_score != b.term_score) {
-                  return a.term_score > b.term_score;
-                }
-                return a.doc < b.doc;
-              });
-    if (postings.size() > fancy_size) postings.resize(fancy_size);
-    // Docs *outside* the fancy list have ts <= min kept ts; if the list
-    // covers every posting of the term, outsiders have ts = 0.
-    const float min_ts =
-        covers_all ? 0.0f : postings.back().term_score;
-    std::sort(postings.begin(), postings.end(),
-              [](const IdPosting& a, const IdPosting& b) {
-                return a.doc < b.doc;
-              });
-    buf.clear();
-    EncodeFancyList(postings, min_ts, &buf, ctx_.posting_format);
-    SVR_ASSIGN_OR_RETURN(fancy_refs_[t], blobs_->Write(buf));
-    postings.clear();
-    postings.shrink_to_fit();
+    SVR_RETURN_NOT_OK(WriteFancyList(t, std::move(per_term[t])));
   }
   return Status::OK();
+}
+
+Status ChunkTermScoreIndex::OnTermMerged(
+    TermId term, const std::vector<ChunkGroup>& groups) {
+  // The merged long list is the term's complete posting set; refresh the
+  // fancy list from it so the [21]-style bounds track the merged view.
+  std::vector<IdPosting> postings;
+  for (const ChunkGroup& g : groups) {
+    postings.insert(postings.end(), g.postings.begin(), g.postings.end());
+  }
+  return WriteFancyList(term, std::move(postings));
 }
 
 Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
@@ -121,7 +136,26 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
             break;
           }
         }
-        if (still_contains_all) {
+        // Fancy term scores are build-time values; a doc with short
+        // postings for a query term may carry fresher ones there
+        // (content updates change tf, and short-list moves re-read it).
+        // Such docs fall through to Phase 2, where the short posting's
+        // term score governs.
+        bool short_governs = false;
+        if (still_contains_all && short_list_->DocPostingCount(doc) > 0) {
+          ChunkId l_chunk = 0;
+          bool in_short = false;
+          SVR_RETURN_NOT_OK(ListChunkOf(doc, &l_chunk, &in_short));
+          for (TermId t : query.terms) {
+            if (short_list_->TermPostingCount(t) > 0 &&
+                short_list_->Contains(t, static_cast<double>(l_chunk),
+                                      doc)) {
+              short_governs = true;
+              break;
+            }
+          }
+        }
+        if (still_contains_all && !short_governs) {
           double svr;
           bool deleted;
           Status st =
@@ -145,6 +179,17 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
   std::vector<CursorScratch> stream_scratch;
   std::vector<MergedChunkStream> streams;
   SVR_RETURN_NOT_OK(MakeStreams(query, &stream_scratch, &streams));
+
+  // Per-term upper bound on the term score of any posting not seen in a
+  // fancy list: the build-time min_fancy bound, raised to cover short
+  // postings (which can carry term scores the build never saw — fresh
+  // inserts, content-updated docs). Without this, the prune/stop rules
+  // below could cut the scan before a high-ts short posting is reached.
+  std::vector<float> ts_cap(n_terms);
+  for (size_t i = 0; i < n_terms; ++i) {
+    ts_cap[i] =
+        std::max(min_fancy[i], short_list_->TermMaxTs(query.terms[i]));
+  }
 
   while (true) {
     bool any_valid = false;
@@ -189,8 +234,8 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
 
       bool live, deleted;
       double svr;
-      SVR_RETURN_NOT_OK(
-          JudgeCandidate(min_doc, from_short, &live, &svr, &deleted));
+      SVR_RETURN_NOT_OK(JudgeCandidate(min_doc, current, from_short,
+                                       &live, &svr, &deleted));
       if (live && !deleted) {
         ++stats_.candidates_considered;
         heap.Offer(min_doc, svr + tw * ts_sum);
@@ -202,10 +247,17 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
       // Any unseen doc's SVR score is strictly below this bound.
       const double u_svr = chunker().LowerBound(current + 1);
       for (auto it = remain.begin(); it != remain.end();) {
+        // A doc holding short postings may score higher than its
+        // (build-time) fancy values suggest; never prune it — it stays
+        // in the remainList until its chunk strikes it off.
+        if (short_list_->DocPostingCount(it->first) > 0) {
+          ++it;
+          continue;
+        }
         double ub = u_svr + tw * it->second.known_ts_sum;
         for (size_t i = 0; i < n_terms; ++i) {
           if ((it->second.known_mask & (1ull << i)) == 0) {
-            ub += tw * min_fancy[i];
+            ub += tw * ts_cap[i];
           }
         }
         if (ub <= heap.MinScore()) {
@@ -216,7 +268,7 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
       }
       if (remain.empty()) {
         double m = u_svr;
-        for (size_t i = 0; i < n_terms; ++i) m += tw * min_fancy[i];
+        for (size_t i = 0; i < n_terms; ++i) m += tw * ts_cap[i];
         if (m <= heap.MinScore()) break;
       }
     }

@@ -41,8 +41,14 @@ class ChunkTermScoreIndex final : public ChunkIndexBase {
 
  protected:
   Status BuildExtras() override;
+  Status OnTermMerged(TermId term,
+                      const std::vector<ChunkGroup>& groups) override;
 
  private:
+  /// Re-encodes one term's fancy list from `postings` (doc order not
+  /// required); frees the previous blob.
+  Status WriteFancyList(TermId term, std::vector<IdPosting> postings);
+
   std::vector<storage::BlobRef> fancy_refs_;  // indexed by TermId
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "index/merge_policy.h"
 #include "index/posting_cursor.h"
 #include "index/result_heap.h"
 
@@ -114,6 +115,7 @@ Status IdIndex::BuildLongLists() {
   // makes every per-term vector naturally sorted.
   std::vector<std::vector<IdPosting>> postings(corpus.vocab_size());
   for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    ++stats_.corpus_docs_scanned;
     double score;
     bool deleted = false;
     if (ctx_.score_table->GetWithDeleted(d, &score, &deleted).ok() &&
@@ -130,12 +132,14 @@ Status IdIndex::BuildLongLists() {
   }
 
   lists_.assign(corpus.vocab_size(), storage::BlobRef());
+  long_counts_.assign(corpus.vocab_size(), 0);
   std::string buf;
   for (TermId t = 0; t < postings.size(); ++t) {
     if (postings[t].empty()) continue;
     buf.clear();
     EncodeIdTsList(postings[t], with_ts_, &buf, ctx_.posting_format);
     SVR_ASSIGN_OR_RETURN(lists_[t], blobs_->Write(buf));
+    long_counts_[t] = postings[t].size();
   }
   return Status::OK();
 }
@@ -186,13 +190,79 @@ Status IdIndex::UpdateContent(DocId doc, const text::Document& old_doc) {
   return Status::OK();
 }
 
-Status IdIndex::MergeShortLists() {
+Status IdIndex::RebuildIndex() {
   for (const auto& ref : lists_) {
     if (ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(ref));
   }
   SVR_RETURN_NOT_OK(short_list_->Clear());
   has_deletions_ = false;
   return BuildLongLists();
+}
+
+Status IdIndex::MergeTerm(TermId term) {
+  // The vocabulary may have grown past the build-time long lists
+  // (inserted documents intern new terms).
+  if (term >= lists_.size()) {
+    lists_.resize(term + 1, storage::BlobRef());
+    long_counts_.resize(term + 1, 0);
+  }
+  if (!lists_[term].valid() && short_list_->TermPostingCount(term) == 0) {
+    return Status::OK();  // nothing on either side
+  }
+
+  // Stream the merged (long ∪ short) view — the exact view queries see,
+  // REM cancellation included — into a fresh posting vector. Deleted
+  // documents are dropped, like a rebuild would. The stream is scoped so
+  // its reader unpins the old blob's pages before they are freed.
+  std::vector<IdPosting> merged;
+  {
+    CursorScratch scratch;
+    uint64_t scanned = 0;
+    TermStream stream(
+        IdPostingCursor(blobs_->NewReader(lists_[term]), with_ts_,
+                        ctx_.posting_format, &scratch),
+        short_list_->Scan(term), &scanned);
+    SVR_RETURN_NOT_OK(stream.Init());
+    while (stream.Valid()) {
+      double score;
+      bool deleted = false;
+      Status st =
+          ctx_.score_table->GetWithDeleted(stream.doc(), &score, &deleted);
+      if (!st.ok() && !st.IsNotFound()) return st;
+      if (!(st.ok() && deleted)) {
+        merged.push_back({stream.doc(), stream.term_score()});
+      }
+      SVR_RETURN_NOT_OK(stream.Next());
+    }
+  }
+
+  if (lists_[term].valid()) SVR_RETURN_NOT_OK(blobs_->Free(lists_[term]));
+  if (merged.empty()) {
+    lists_[term] = storage::BlobRef();
+  } else {
+    std::string buf;
+    EncodeIdTsList(merged, with_ts_, &buf, ctx_.posting_format);
+    SVR_ASSIGN_OR_RETURN(lists_[term], blobs_->Write(buf));
+  }
+  long_counts_[term] = merged.size();
+  SVR_RETURN_NOT_OK(short_list_->DeleteTerm(term));
+  ++stats_.term_merges;
+  stats_.merge_postings_written += merged.size();
+  return Status::OK();
+}
+
+Status IdIndex::MergeAllTerms() {
+  return MergeEveryShortTerm(*short_list_,
+                             [this](TermId t) { return MergeTerm(t); });
+}
+
+Result<uint32_t> IdIndex::MaybeAutoMerge() {
+  SVR_ASSIGN_OR_RETURN(
+      uint32_t merged,
+      RunAutoMergeSweep(ctx_.merge_policy, *short_list_, long_counts_,
+                        [this](TermId t) { return MergeTerm(t); }));
+  if (merged > 0) ++stats_.auto_merge_sweeps;
+  return merged;
 }
 
 uint64_t IdIndex::LongListBytes() const {

@@ -41,11 +41,17 @@ class IdIndex final : public TextIndex {
   Status InsertDocument(DocId doc, double score) override;
   Status DeleteDocument(DocId doc) override;
   Status UpdateContent(DocId doc, const text::Document& old_doc) override;
-  Status MergeShortLists() override;
+  Status MergeTerm(TermId term) override;
+  Status MergeAllTerms() override;
+  Result<uint32_t> MaybeAutoMerge() override;
+  Status RebuildIndex() override;
 
   uint64_t LongListBytes() const override;
   uint64_t ShortListBytes() const override {
     return short_list_->SizeBytes();
+  }
+  uint64_t ShortPostingCount() const override {
+    return short_list_->num_postings();
   }
 
  private:
@@ -61,6 +67,7 @@ class IdIndex final : public TextIndex {
   TermScoreOptions ts_options_;
   std::unique_ptr<storage::BlobStore> blobs_;
   std::vector<storage::BlobRef> lists_;  // indexed by TermId
+  std::vector<uint64_t> long_counts_;    // postings per long list
   std::unique_ptr<ShortList> short_list_;
   bool has_deletions_ = false;
 };

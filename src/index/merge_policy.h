@@ -1,0 +1,68 @@
+#ifndef SVR_INDEX_MERGE_POLICY_H_
+#define SVR_INDEX_MERGE_POLICY_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "index/short_list.h"
+
+namespace svr::index {
+
+/// \brief Picks the terms one auto-merge sweep should fold back into
+/// their long lists (docs/merge_policy.md).
+///
+/// Two triggers, evaluated over the short list's in-memory per-term
+/// accounting (never the tree itself):
+///  1. per-term ratio — a term whose short postings exceed
+///     `short_ratio * long_count` (and the `min_short_postings` floor)
+///     has accumulated enough churn to amortize rewriting its long list;
+///  2. global byte budget — when the whole short structure exceeds
+///     `short_bytes_budget`, the largest terms are merged regardless of
+///     ratio until the projected size is back under budget.
+///
+/// Candidates are returned largest-short-count first, capped at
+/// `max_terms_per_sweep`. `long_counts[t]` is the term's long-list
+/// posting count (terms at or past the vector's end count as 0).
+std::vector<TermId> SelectMergeCandidates(
+    const MergePolicy& policy, const ShortList& short_list,
+    const std::vector<uint64_t>& long_counts, uint64_t short_bytes);
+
+/// Every term that currently has short postings (MergeAllTerms sweeps).
+std::vector<TermId> AllShortTerms(const ShortList& short_list);
+
+/// One policy sweep, shared by every index method's MaybeAutoMerge():
+/// selects candidates (budget measured against the short-list tree
+/// itself) and runs `merge_term` on each. Returns how many merged.
+Result<uint32_t> RunAutoMergeSweep(
+    const MergePolicy& policy, const ShortList& short_list,
+    const std::vector<uint64_t>& long_counts,
+    const std::function<Status(TermId)>& merge_term);
+
+/// `merge_term` over every term with short postings (MergeAllTerms).
+Status MergeEveryShortTerm(const ShortList& short_list,
+                           const std::function<Status(TermId)>& merge_term);
+
+/// Write-cadence gate shared by SvrEngine and workload::Experiment: one
+/// Tick per index-affecting write; returns true every `check_interval`
+/// ticks while the policy is enabled (the count persists across
+/// batches).
+class MergeCheckCounter {
+ public:
+  bool Tick(const MergePolicy& policy) {
+    if (!policy.enabled) return false;
+    const uint32_t interval =
+        policy.check_interval == 0 ? 1 : policy.check_interval;
+    if (++writes_ < interval) return false;
+    writes_ = 0;
+    return true;
+  }
+
+ private:
+  uint64_t writes_ = 0;
+};
+
+}  // namespace svr::index
+
+#endif  // SVR_INDEX_MERGE_POLICY_H_

@@ -94,8 +94,10 @@ Status ScoreIndex::Build() {
 
 Status ScoreIndex::OnScoreUpdate(DocId doc, double new_score) {
   ++stats_.score_updates;
-  double old_score;
-  SVR_RETURN_NOT_OK(ctx_.score_table->Get(doc, &old_score));
+  // Never-scored docs were built at 0.0; NotFound must not fail here.
+  double old_score = 0.0;
+  Status get = ctx_.score_table->Get(doc, &old_score);
+  if (!get.ok() && !get.IsNotFound()) return get;
   SVR_RETURN_NOT_OK(ctx_.score_table->Set(doc, new_score));
   if (old_score == new_score) return Status::OK();
   // Relocate the posting in every distinct term's list: this is the
@@ -117,8 +119,9 @@ Status ScoreIndex::InsertDocument(DocId doc, double score) {
 }
 
 Status ScoreIndex::DeleteDocument(DocId doc) {
-  double score;
-  SVR_RETURN_NOT_OK(ctx_.score_table->Get(doc, &score));
+  double score = 0.0;
+  Status get = ctx_.score_table->Get(doc, &score);
+  if (!get.ok() && !get.IsNotFound()) return get;
   for (TermId t : ctx_.corpus->doc(doc).terms()) {
     SVR_RETURN_NOT_OK(tree_->Delete(PostingKey(t, score, doc)));
   }
@@ -127,8 +130,10 @@ Status ScoreIndex::DeleteDocument(DocId doc) {
 }
 
 Status ScoreIndex::UpdateContent(DocId doc, const text::Document& old_doc) {
-  double score;
-  SVR_RETURN_NOT_OK(ctx_.score_table->Get(doc, &score));
+  // Postings of never-scored docs are keyed at 0.0 (as Build wrote them).
+  double score = 0.0;
+  Status get = ctx_.score_table->Get(doc, &score);
+  if (!get.ok() && !get.IsNotFound()) return get;
   const text::Document& new_doc = ctx_.corpus->doc(doc);
   for (TermId t : new_doc.terms()) {
     if (!old_doc.Contains(t)) {
@@ -157,10 +162,14 @@ Status ScoreIndex::TopK(const Query& query, size_t k,
 
   ResultHeap heap(k);
   auto offer = [&](DocId doc, double score) -> Status {
-    if (has_deletions_) {
+    // Probe only when deletions exist — or at score 0.0, the one place
+    // a never-scored doc (indexed at 0.0, no Score-table entry; the
+    // oracle skips it) can sit.
+    if (has_deletions_ || score == 0.0) {
       double s;
-      bool deleted;
+      bool deleted = false;
       Status st = ctx_.score_table->GetWithDeleted(doc, &s, &deleted);
+      if (!st.ok() && !st.IsNotFound()) return st;
       ++stats_.score_lookups;
       if (st.IsNotFound() || deleted) return Status::OK();
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "index/merge_policy.h"
 #include "index/posting_cursor.h"
 #include "index/result_heap.h"
 
@@ -136,6 +137,7 @@ Status ScoreThresholdIndex::BuildLongLists() {
   const text::Corpus& corpus = *ctx_.corpus;
   std::vector<std::vector<ScorePosting>> postings(corpus.vocab_size());
   for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    ++stats_.corpus_docs_scanned;
     double score = 0.0;
     bool deleted = false;
     Status st = ctx_.score_table->GetWithDeleted(d, &score, &deleted);
@@ -151,9 +153,11 @@ Status ScoreThresholdIndex::BuildLongLists() {
   }
 
   lists_.assign(corpus.vocab_size(), storage::BlobRef());
+  long_counts_.assign(corpus.vocab_size(), 0);
   std::string buf;
   for (TermId t = 0; t < postings.size(); ++t) {
     if (postings[t].empty()) continue;
+    long_counts_[t] = postings[t].size();
     std::sort(postings[t].begin(), postings[t].end(),
               [](const ScorePosting& a, const ScorePosting& b) {
                 if (a.score != b.score) return a.score > b.score;
@@ -176,16 +180,22 @@ Status ScoreThresholdIndex::ListScoreOf(DocId doc, double* list_score,
     return Status::OK();
   }
   if (!st.IsNotFound()) return st;
-  SVR_RETURN_NOT_OK(ctx_.score_table->Get(doc, list_score));
+  // Never-scored documents rank at 0.0, exactly as BuildLongLists placed
+  // them — NotFound must not fail a content update on such a doc.
+  *list_score = 0.0;
+  st = ctx_.score_table->Get(doc, list_score);
+  if (!st.ok() && !st.IsNotFound()) return st;
   *in_short = false;
   return Status::OK();
 }
 
 Status ScoreThresholdIndex::OnScoreUpdate(DocId doc, double new_score) {
   ++stats_.score_updates;
-  // Algorithm 1, lines 7-8.
-  double old_score;
-  SVR_RETURN_NOT_OK(ctx_.score_table->Get(doc, &old_score));
+  // Algorithm 1, lines 7-8. A never-scored doc sits at 0.0 (matching
+  // BuildLongLists).
+  double old_score = 0.0;
+  Status get = ctx_.score_table->Get(doc, &old_score);
+  if (!get.ok() && !get.IsNotFound()) return get;
   SVR_RETURN_NOT_OK(ctx_.score_table->Set(doc, new_score));
 
   // Lines 9-17: establish the document's list score.
@@ -264,7 +274,7 @@ Status ScoreThresholdIndex::UpdateContent(DocId doc,
   return Status::OK();
 }
 
-Status ScoreThresholdIndex::MergeShortLists() {
+Status ScoreThresholdIndex::RebuildIndex() {
   for (const auto& ref : lists_) {
     if (ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(ref));
   }
@@ -272,6 +282,109 @@ Status ScoreThresholdIndex::MergeShortLists() {
   SVR_RETURN_NOT_OK(list_state_->Clear());
   has_deletions_ = false;
   return BuildLongLists();
+}
+
+Status ScoreThresholdIndex::MergeTerm(TermId term) {
+  if (term >= lists_.size()) {
+    lists_.resize(term + 1, storage::BlobRef());
+    long_counts_.resize(term + 1, 0);
+  }
+  if (!lists_[term].valid() && short_list_->TermPostingCount(term) == 0) {
+    return Status::OK();
+  }
+
+  // Stream the merged (long ∪ short) view in (score desc, doc asc)
+  // order — the exact view queries consume, REM cancellation included.
+  // Stale long postings of moved documents (score != current list score)
+  // and deleted documents are dropped; every surviving posting sits at
+  // its document's list score, so Lemma 1 keeps holding for the new list.
+  std::vector<ScorePosting> merged;
+  std::vector<DocId> from_short_docs;
+  {
+    // Scoped so the stream's reader unpins the old blob's pages before
+    // they are freed.
+    ScoreCursorScratch scratch;
+    uint64_t scanned = 0;
+    TermStream stream(
+        ScorePostingCursor(blobs_->NewReader(lists_[term]),
+                           ctx_.posting_format, &scratch),
+        short_list_->Scan(term), &scanned);
+    SVR_RETURN_NOT_OK(stream.Init());
+    while (stream.Valid()) {
+      const DocId doc = stream.doc();
+      bool live = true;
+      if (stream.from_short()) {
+        from_short_docs.push_back(doc);
+      } else {
+        ListStateTable::Entry e;
+        Status st = list_state_->Get(doc, &e);
+        if (st.ok()) {
+          live = !e.in_short_list || e.list_value == stream.score();
+        } else if (!st.IsNotFound()) {
+          return st;
+        }
+      }
+      if (live) {
+        double score;
+        bool deleted = false;
+        Status st =
+            ctx_.score_table->GetWithDeleted(doc, &score, &deleted);
+        if (!st.ok() && !st.IsNotFound()) return st;
+        if (st.ok() && deleted) live = false;
+      }
+      if (live) merged.push_back({stream.score(), doc});
+      SVR_RETURN_NOT_OK(stream.Next());
+    }
+  }
+
+  if (lists_[term].valid()) SVR_RETURN_NOT_OK(blobs_->Free(lists_[term]));
+  if (merged.empty()) {
+    lists_[term] = storage::BlobRef();
+  } else {
+    std::string buf;
+    EncodeScoreList(merged, &buf, ctx_.posting_format);
+    SVR_ASSIGN_OR_RETURN(lists_[term], blobs_->Write(buf));
+  }
+  long_counts_[term] = merged.size();
+  SVR_RETURN_NOT_OK(short_list_->DeleteTerm(term));
+
+  // ListScore cleanup: an unmoved doc's entry (in_short == false) can go
+  // once the doc has no short postings left and its current score equals
+  // the recorded list score (the fallback reproduces it). Moved docs'
+  // entries must stay — they mark not-yet-merged long postings in other
+  // terms' lists as stale.
+  for (DocId doc : from_short_docs) {
+    if (short_list_->DocPostingCount(doc) != 0) continue;
+    ListStateTable::Entry e;
+    Status st = list_state_->Get(doc, &e);
+    if (st.IsNotFound()) continue;
+    SVR_RETURN_NOT_OK(st);
+    if (e.in_short_list) continue;
+    double score = 0.0;
+    st = ctx_.score_table->Get(doc, &score);
+    if (!st.ok() && !st.IsNotFound()) return st;
+    if (score == e.list_value) {
+      SVR_RETURN_NOT_OK(list_state_->Remove(doc));
+    }
+  }
+
+  ++stats_.term_merges;
+  stats_.merge_postings_written += merged.size();
+  return Status::OK();
+}
+
+Status ScoreThresholdIndex::MergeAllTerms() {
+  return MergeEveryShortTerm(*short_list_,
+                             [this](TermId t) { return MergeTerm(t); });
+}
+
+Result<uint32_t> ScoreThresholdIndex::MaybeAutoMerge() {
+  SVR_ASSIGN_OR_RETURN(
+      uint32_t merged,
+      RunAutoMergeSweep(ctx_.merge_policy, *short_list_, long_counts_,
+                        [this](TermId t) { return MergeTerm(t); }));
+  if (merged > 0) ++stats_.auto_merge_sweeps;
+  return merged;
 }
 
 Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
@@ -305,31 +418,50 @@ Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
     if (threshold_set && thresholdValueOf(pos.score) < threshold) {
       return false;
     }
-    double curr;
+    double curr = 0.0;
     bool deleted = false;
     bool skip = false;
     if (from_short) {
-      SVR_RETURN_NOT_OK(
-          ctx_.score_table->GetWithDeleted(pos.doc, &curr, &deleted));
+      Status st =
+          ctx_.score_table->GetWithDeleted(pos.doc, &curr, &deleted);
+      // Never-scored docs are not result candidates (the oracle skips
+      // them too) — but their postings must not kill the query.
+      if (st.IsNotFound()) {
+        skip = true;
+      } else if (!st.ok()) {
+        return st;
+      }
       ++stats_.score_lookups;
     } else {
       ListStateTable::Entry e;
       Status st = list_state_->Get(pos.doc, &e);
       if (st.ok()) {
-        if (e.in_short_list) {
-          skip = true;  // stale long posting; the short list governs
+        if (e.in_short_list && e.list_value != pos.score) {
+          // Stale long posting at the score the doc moved away from; the
+          // short list (or the incrementally merged long posting at the
+          // doc's current list score) governs.
+          skip = true;
         } else {
-          SVR_RETURN_NOT_OK(
-              ctx_.score_table->GetWithDeleted(pos.doc, &curr, &deleted));
+          Status st2 =
+              ctx_.score_table->GetWithDeleted(pos.doc, &curr, &deleted);
+          if (!st2.ok() && !st2.IsNotFound()) return st2;
           ++stats_.score_lookups;
         }
       } else if (st.IsNotFound()) {
         // Never updated: the list score is the current score (line 18).
+        // Probes are only needed once deletions exist — or at position
+        // 0.0, the one place a never-scored doc (indexed at 0.0, no
+        // Score-table entry; the oracle skips it) can sit.
         curr = pos.score;
-        if (has_deletions_) {
+        if (has_deletions_ || pos.score == 0.0) {
           double s;
-          SVR_RETURN_NOT_OK(
-              ctx_.score_table->GetWithDeleted(pos.doc, &s, &deleted));
+          Status st2 =
+              ctx_.score_table->GetWithDeleted(pos.doc, &s, &deleted);
+          if (st2.IsNotFound()) {
+            skip = true;  // never-scored: not a candidate
+          } else if (!st2.ok()) {
+            return st2;
+          }
           ++stats_.score_lookups;
         }
       } else {

@@ -43,13 +43,19 @@ class ScoreThresholdIndex final : public TextIndex {
   Status InsertDocument(DocId doc, double score) override;
   Status DeleteDocument(DocId doc) override;
   Status UpdateContent(DocId doc, const text::Document& old_doc) override;
-  Status MergeShortLists() override;
+  Status MergeTerm(TermId term) override;
+  Status MergeAllTerms() override;
+  Result<uint32_t> MaybeAutoMerge() override;
+  Status RebuildIndex() override;
 
   uint64_t LongListBytes() const override {
     return blobs_->TotalDataBytes();
   }
   uint64_t ShortListBytes() const override {
     return short_list_->SizeBytes() + list_state_->SizeBytes();
+  }
+  uint64_t ShortPostingCount() const override {
+    return short_list_->num_postings();
   }
 
   double thresholdValueOf(double score) const {
@@ -70,6 +76,7 @@ class ScoreThresholdIndex final : public TextIndex {
   ScoreThresholdOptions options_;
   std::unique_ptr<storage::BlobStore> blobs_;
   std::vector<storage::BlobRef> lists_;
+  std::vector<uint64_t> long_counts_;  // postings per long list
   std::unique_ptr<ShortList> short_list_;
   std::unique_ptr<ListStateTable> list_state_;
   bool has_deletions_ = false;

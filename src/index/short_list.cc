@@ -32,6 +32,43 @@ std::string ShortList::MakeKey(TermId term, double sort_value,
   return k;
 }
 
+uint64_t ShortList::EntryBytes() const {
+  // term + sort component + doc key bytes, plus the 5-byte (op, ts) value.
+  switch (kind_) {
+    case KeyKind::kScore:
+      return 4 + 8 + 4 + 5;
+    case KeyKind::kChunk:
+      return 4 + 4 + 4 + 5;
+    case KeyKind::kId:
+      return 4 + 4 + 5;
+  }
+  return 13;
+}
+
+void ShortList::Account(TermId term, DocId doc, int delta) {
+  if (delta > 0) {
+    term_counts_[term] += delta;
+    doc_counts_[doc] += delta;
+    return;
+  }
+  auto t = term_counts_.find(term);
+  if (t != term_counts_.end()) {
+    if (t->second <= static_cast<uint64_t>(-delta)) {
+      term_counts_.erase(t);
+    } else {
+      t->second += delta;
+    }
+  }
+  auto d = doc_counts_.find(doc);
+  if (d != doc_counts_.end()) {
+    if (d->second <= static_cast<uint64_t>(-delta)) {
+      doc_counts_.erase(d);
+    } else {
+      d->second += delta;
+    }
+  }
+}
+
 Status ShortList::Put(TermId term, double sort_value, DocId doc,
                       PostingOp op, float term_score) {
   std::string v;
@@ -39,11 +76,60 @@ Status ShortList::Put(TermId term, double sort_value, DocId doc,
   char buf[4];
   std::memcpy(buf, &term_score, 4);
   v.append(buf, 4);
-  return tree_->Put(MakeKey(term, sort_value, doc), v);
+  // Put is an upsert: only a genuinely new key changes the counts.
+  const uint64_t before = tree_->size();
+  SVR_RETURN_NOT_OK(tree_->Put(MakeKey(term, sort_value, doc), v));
+  if (tree_->size() > before) Account(term, doc, +1);
+  if (term_score > 0.0f) {
+    float& mx = term_max_ts_[term];
+    if (term_score > mx) mx = term_score;
+  }
+  return Status::OK();
 }
 
 Status ShortList::Delete(TermId term, double sort_value, DocId doc) {
-  return tree_->Delete(MakeKey(term, sort_value, doc));
+  SVR_RETURN_NOT_OK(tree_->Delete(MakeKey(term, sort_value, doc)));
+  Account(term, doc, -1);
+  return Status::OK();
+}
+
+bool ShortList::Contains(TermId term, double sort_value, DocId doc) const {
+  std::string v;
+  return tree_->Get(MakeKey(term, sort_value, doc), &v).ok();
+}
+
+Status ShortList::DeleteTerm(TermId term) {
+  std::vector<std::string> keys;
+  std::vector<DocId> docs;
+  for (Cursor c = Scan(term); c.Valid(); c.Next()) {
+    keys.push_back(MakeKey(term, c.sort_value(), c.doc()));
+    docs.push_back(c.doc());
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    SVR_RETURN_NOT_OK(tree_->Delete(keys[i]));
+    Account(term, docs[i], -1);
+  }
+  term_max_ts_.erase(term);
+  return Status::OK();
+}
+
+uint64_t ShortList::TermPostingCount(TermId term) const {
+  auto it = term_counts_.find(term);
+  return it == term_counts_.end() ? 0 : it->second;
+}
+
+uint64_t ShortList::DocPostingCount(DocId doc) const {
+  auto it = doc_counts_.find(doc);
+  return it == doc_counts_.end() ? 0 : it->second;
+}
+
+uint64_t ShortList::TermApproxBytes(TermId term) const {
+  return TermPostingCount(term) * EntryBytes();
+}
+
+float ShortList::TermMaxTs(TermId term) const {
+  auto it = term_max_ts_.find(term);
+  return it == term_max_ts_.end() ? 0.0f : it->second;
 }
 
 Status ShortList::Clear() {
@@ -54,6 +140,9 @@ Status ShortList::Clear() {
   for (const auto& k : keys) {
     SVR_RETURN_NOT_OK(tree_->Delete(k));
   }
+  term_counts_.clear();
+  doc_counts_.clear();
+  term_max_ts_.clear();
   return Status::OK();
 }
 

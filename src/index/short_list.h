@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -28,6 +29,10 @@ enum class PostingOp : uint8_t {
 ///
 /// Values carry the PostingOp and, for the *-TermScore methods, the
 /// posting's term score.
+///
+/// Per-term and per-doc posting counts are maintained in memory so the
+/// auto-merge policy can find its candidates without scanning the tree
+/// (docs/merge_policy.md).
 class ShortList {
  public:
   enum class KeyKind { kScore, kChunk, kId };
@@ -42,6 +47,13 @@ class ShortList {
 
   /// Deletes a posting; NotFound if absent.
   Status Delete(TermId term, double sort_value, DocId doc);
+
+  /// True iff a posting with this exact key exists.
+  bool Contains(TermId term, double sort_value, DocId doc) const;
+
+  /// Deletes every posting of `term` (the incremental merge's cleanup
+  /// step). OK even when the term has none.
+  Status DeleteTerm(TermId term);
 
   /// Cursor over one term's postings in key order.
   class Cursor {
@@ -75,7 +87,29 @@ class ShortList {
   uint64_t num_postings() const { return tree_->size(); }
   uint64_t SizeBytes() const { return tree_->SizeBytes(); }
 
-  /// Removes every posting (offline merge).
+  /// Live postings of one term / one doc (O(1), from the in-memory
+  /// accounting).
+  uint64_t TermPostingCount(TermId term) const;
+  uint64_t DocPostingCount(DocId doc) const;
+
+  /// Monotone upper bound on the term scores of `term`'s postings:
+  /// raised by Put, reset only when the whole term is dropped
+  /// (DeleteTerm/Clear) — single Deletes leave it high, which keeps it a
+  /// bound. Chunk-TermScore uses it to keep the fancy-list pruning and
+  /// stop rules sound for postings that live only in the short lists.
+  float TermMaxTs(TermId term) const;
+
+  /// Approximate bytes one term's postings occupy (key + value payload;
+  /// excludes B+-tree page overhead). Used by the policy's byte budget.
+  uint64_t TermApproxBytes(TermId term) const;
+
+  /// Terms that currently have postings, with their counts. The map the
+  /// auto-merge policy iterates — only churned terms appear.
+  const std::unordered_map<TermId, uint64_t>& term_counts() const {
+    return term_counts_;
+  }
+
+  /// Removes every posting (offline rebuild).
   Status Clear();
 
  private:
@@ -83,9 +117,14 @@ class ShortList {
       : tree_(std::move(tree)), kind_(kind) {}
 
   std::string MakeKey(TermId term, double sort_value, DocId doc) const;
+  uint64_t EntryBytes() const;
+  void Account(TermId term, DocId doc, int delta);
 
   std::unique_ptr<storage::BPlusTree> tree_;
   KeyKind kind_;
+  std::unordered_map<TermId, uint64_t> term_counts_;
+  std::unordered_map<DocId, uint64_t> doc_counts_;
+  std::unordered_map<TermId, float> term_max_ts_;
 };
 
 }  // namespace svr::index

@@ -39,6 +39,13 @@ struct IndexStats {
   uint64_t score_lookups = 0;          // Score-table probes during queries
   uint64_t candidates_considered = 0;  // docs offered to the result heap
   uint64_t queries = 0;
+  // Maintenance counters (docs/merge_policy.md). `corpus_docs_scanned`
+  // moves only on full (re)builds — the incremental merge must leave it
+  // untouched, which the merge tests assert.
+  uint64_t corpus_docs_scanned = 0;    // docs visited by Build/RebuildIndex
+  uint64_t term_merges = 0;            // incremental MergeTerm calls
+  uint64_t merge_postings_written = 0; // postings written by MergeTerm
+  uint64_t auto_merge_sweeps = 0;      // policy sweeps that merged >= 1 term
 };
 
 /// Everything an index method needs from the outside world.
@@ -59,6 +66,9 @@ struct IndexContext {
   /// headers) is the default; v1 is the paper-faithful per-posting
   /// varint baseline, kept for comparison benchmarks.
   PostingFormat posting_format = PostingFormat::kV2;
+  /// Auto-merge triggers for the incremental short→long merge; evaluated
+  /// by MaybeAutoMerge() (docs/merge_policy.md). Disabled by default.
+  MergePolicy merge_policy;
 };
 
 /// Weighting for the combined SVR + term-score function of §4.3.3:
@@ -119,16 +129,40 @@ class TextIndex {
     return Status::NotSupported(name() + ": content updates");
   }
 
-  /// Offline maintenance: fold the short lists back into freshly built
-  /// long lists (§5.1 does this outside the measured path).
-  virtual Status MergeShortLists() {
-    return Status::NotSupported(name() + ": offline merge");
+  /// Incremental maintenance: folds one term's short postings into a
+  /// freshly encoded long list for that term — streaming the merged
+  /// (long ∪ short) view with ADD/REM semantics and the deletion flags,
+  /// freeing the old blob, and erasing only that term's short range.
+  /// Never re-scans the corpus and never moves chunk boundaries.
+  virtual Status MergeTerm(TermId term) {
+    (void)term;
+    return Status::NotSupported(name() + ": incremental merge");
+  }
+
+  /// MergeTerm over every term that currently has short postings.
+  virtual Status MergeAllTerms() {
+    return Status::NotSupported(name() + ": incremental merge");
+  }
+
+  /// Evaluates the context's MergePolicy once and merges the triggered
+  /// terms; returns how many terms were merged. A no-op (0) when the
+  /// policy is disabled or the method has no short lists.
+  virtual Result<uint32_t> MaybeAutoMerge() { return uint32_t{0}; }
+
+  /// Offline maintenance: rebuilds the long lists from scratch (corpus
+  /// re-scan; chunk boundaries are re-fitted to the current score
+  /// distribution). The heavyweight counterpart of MergeTerm, kept for
+  /// re-chunking; §5.1 runs it outside the measured path.
+  virtual Status RebuildIndex() {
+    return Status::NotSupported(name() + ": offline rebuild");
   }
 
   /// Size of the long inverted lists (Table 1).
   virtual uint64_t LongListBytes() const = 0;
   /// Size of the short lists + list-state tables, 0 if the method has none.
   virtual uint64_t ShortListBytes() const { return 0; }
+  /// Number of live short-list postings, 0 if the method has none.
+  virtual uint64_t ShortPostingCount() const { return 0; }
 
   const IndexStats& stats() const { return stats_; }
   void ResetStats() { stats_ = IndexStats(); }

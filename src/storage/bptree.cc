@@ -384,6 +384,7 @@ Status BPlusTree::Put(const Slice& key, const Slice& value) {
   NodeView right(right_handle.mutable_data(), pool_->page_size());
 
   const PageId old_next = node.next();
+  const PageId old_prev = node.prev();
   const PageId left_id = leaf.id();
 
   // Rebuild left with the lower half.
@@ -400,7 +401,12 @@ Status BPlusTree::Put(const Slice& key, const Slice& value) {
     right.InsertCell(static_cast<int>(i - split_at), cells[i]);
   }
 
-  // Leaf chain: left <-> right <-> old_next.
+  // Leaf chain: old_prev <-> left <-> right <-> old_next. InitLeaf wiped
+  // the left page's header, so its prev link must be restored — losing
+  // it leaves the predecessor's next pointing at this leaf forever, and
+  // the unlink-on-empty path would then fail to patch the predecessor,
+  // leaving a dangling pointer to a freed page in the leaf chain.
+  node.set_prev(old_prev);
   node.set_next(right_id);
   right.set_prev(left_id);
   right.set_next(old_next);

@@ -70,6 +70,14 @@ struct ExperimentConfig {
   /// I/O-driven effects to be visible.
   uint32_t page_size = 4096;
 
+  /// Cache budgets, in pages. The paper fixes a 100 MB BDB cache that
+  /// comfortably holds every table-side structure (§5.2) — which is
+  /// exactly the assumption unbounded short lists break. Keeping these
+  /// sweepable lets bench_merge_policy charge short-list cache overflow
+  /// honestly (table_pages=... / list_pages=... flags).
+  uint64_t table_pool_pages = 1ull << 16;
+  uint64_t list_pool_pages = 1ull << 16;
+
   /// Simulated cost of one long-list page read from disk, in ms. Used
   /// only for the reported "simulated" times (wall + page_ms * misses):
   /// the paper's 2005 testbed read cold lists from a disk where a page
@@ -80,6 +88,13 @@ struct ExperimentConfig {
   /// Long-list layout (format=1|2 on the bench command lines): v1 is the
   /// paper's per-posting varints, v2 the blocked skip-header codec.
   PostingFormat posting_format = PostingFormat::kV2;
+
+  /// Incremental short→long auto-merge triggers (docs/merge_policy.md).
+  /// Off by default so the paper's figures keep their original
+  /// accumulate-only update path; bench_merge_policy switches it on
+  /// (auto_merge=1, merge_ratio=, merge_min=, merge_budget_kb=,
+  /// merge_interval=, merge_sweep= flags).
+  MergePolicy merge_policy;
 };
 
 }  // namespace svr::workload

@@ -172,6 +172,101 @@ TEST_P(EngineTest, NonDensePkRejected) {
                                  Value::String("gap in the ids")}));
 }
 
+TEST_P(EngineTest, RepeatedQueryKeywordsAreDeduped) {
+  ASSERT_TRUE(Insert("Reviews",
+                     {Value::Int(100), Value::Int(1), Value::Double(5.0)}));
+  auto plain = engine_->Search("golden gate", 10);
+  auto doubled = engine_->Search("golden golden gate gate golden", 10);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(doubled.ok());
+  ASSERT_EQ(plain.value().size(), doubled.value().size());
+  for (size_t i = 0; i < plain.value().size(); ++i) {
+    EXPECT_EQ(plain.value()[i].pk, doubled.value()[i].pk) << i;
+    // Identical scores: duplicate terms must not double-count term
+    // scores or rerun the same stream.
+    EXPECT_DOUBLE_EQ(plain.value()[i].score, doubled.value()[i].score) << i;
+  }
+}
+
+TEST_P(EngineTest, AutoMergePolicyKeepsResultsCorrect) {
+  // Re-open the engine with the auto-merge policy on a tiny interval and
+  // confirm sustained churn keeps answers identical while merges run.
+  SvrEngineOptions opt;
+  opt.method = GetParam();
+  opt.index_options.chunk.chunking.chunk_ratio = 2.0;
+  opt.index_options.chunk.chunking.min_chunk_size = 1;
+  opt.index_options.score_threshold.threshold_ratio = 2.0;
+  opt.merge_policy.enabled = true;
+  opt.merge_policy.short_ratio = 0.01;
+  opt.merge_policy.min_short_postings = 1;
+  opt.merge_policy.check_interval = 4;
+  auto e = SvrEngine::Open(opt);
+  ASSERT_TRUE(e.ok());
+  auto engine = std::move(e).value();
+  ASSERT_TRUE(engine
+                  ->CreateTable("Movies",
+                                Schema({{"mID", ValueType::kInt64},
+                                        {"desc", ValueType::kString}},
+                                       0))
+                  .ok());
+  ASSERT_TRUE(engine
+                  ->CreateTable("Statistics",
+                                Schema({{"mID", ValueType::kInt64},
+                                        {"nVisit", ValueType::kInt64},
+                                        {"nDownload", ValueType::kInt64}},
+                                       0))
+                  .ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(engine
+                    ->Insert("Movies",
+                             {Value::Int(i),
+                              Value::String("golden gate movie number " +
+                                            std::to_string(i))})
+                    .ok());
+  }
+  ASSERT_TRUE(engine
+                  ->CreateTextIndex(
+                      "Movies", "desc",
+                      {{"S2", "Statistics", "mID", "nVisit",
+                        AggregateKind::kValue}},
+                      AggFunction::WeightedSum({1.0}))
+                  .ok());
+  // Fresh documents after the index is built land in the short lists of
+  // every method (the ID family only churns through inserts).
+  for (int i = 30; i < 45; ++i) {
+    ASSERT_TRUE(engine
+                    ->Insert("Movies",
+                             {Value::Int(i),
+                              Value::String("late golden gate arrival " +
+                                            std::to_string(i))})
+                    .ok());
+  }
+  // Churn: visits climb, repeatedly reordering the ranking; the policy
+  // fires every 4 writes.
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(engine
+                    ->Insert("Statistics", {Value::Int(i), Value::Int(0),
+                                            Value::Int(0)})
+                    .ok());
+  }
+  for (int round = 1; round <= 20; ++round) {
+    for (int i = 0; i < 30; i += 3) {
+      ASSERT_TRUE(engine
+                      ->Update("Statistics",
+                               {Value::Int(i),
+                                Value::Int((i + 1) * round * 10),
+                                Value::Int(0)})
+                      .ok());
+    }
+  }
+  auto r = engine->Search("golden gate", 5);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r.value().empty());
+  // Highest visit count wins under WeightedSum({1.0}).
+  EXPECT_EQ(r.value()[0].pk, 27);
+  EXPECT_GT(engine->text_index()->stats().term_merges, 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Methods, EngineTest,
     ::testing::Values(index::Method::kId, index::Method::kScoreThreshold,

@@ -394,7 +394,7 @@ INSTANTIATE_TEST_SUITE_P(DocOps, DocOpsTest,
 
 class MergeTest : public ::testing::TestWithParam<Method> {};
 
-TEST_P(MergeTest, MergeShortListsPreservesResults) {
+TEST_P(MergeTest, RebuildIndexPreservesResults) {
   text::CorpusParams params;
   params.num_docs = 200;
   params.terms_per_doc = 25;
@@ -420,7 +420,7 @@ TEST_P(MergeTest, MergeShortListsPreservesResults) {
   std::vector<SearchResult> before;
   ASSERT_TRUE(world->idx->TopK(q, 20, &before).ok());
 
-  ASSERT_TRUE(world->idx->MergeShortLists().ok());
+  ASSERT_TRUE(world->idx->RebuildIndex().ok());
   EXPECT_EQ(world->idx->ShortListBytes() == 0 ||
                 world->idx->ShortListBytes() <= 3 * 4096ull,
             true);  // short structures collapse to (near) empty trees

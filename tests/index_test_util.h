@@ -28,11 +28,14 @@ struct IndexWorld {
   std::unique_ptr<index::TextIndex> idx;
   std::unique_ptr<core::BruteForceOracle> oracle;
 
+  /// A NaN in `scores` leaves that doc without a Score-table entry
+  /// (never-scored; indexed at 0.0 like BuildLongLists does).
   static std::unique_ptr<IndexWorld> Make(
       index::Method method, const text::CorpusParams& corpus_params,
       const std::vector<double>& scores,
       index::IndexOptions options = DefaultOptions(),
-      PostingFormat posting_format = PostingFormat::kV2) {
+      PostingFormat posting_format = PostingFormat::kV2,
+      MergePolicy merge_policy = {}) {
     auto w = std::make_unique<IndexWorld>();
     w->table_store = std::make_unique<storage::InMemoryPageStore>(4096);
     w->list_store = std::make_unique<storage::InMemoryPageStore>(4096);
@@ -45,6 +48,7 @@ struct IndexWorld {
     w->score_table = std::move(st).value();
     w->corpus = text::GenerateCorpus(corpus_params);
     for (DocId d = 0; d < w->corpus.num_docs(); ++d) {
+      if (std::isnan(scores[d])) continue;
       if (!w->score_table->Set(d, scores[d]).ok()) return nullptr;
     }
     index::IndexContext ctx;
@@ -53,6 +57,7 @@ struct IndexWorld {
     ctx.score_table = w->score_table.get();
     ctx.corpus = &w->corpus;
     ctx.posting_format = posting_format;
+    ctx.merge_policy = merge_policy;
     auto idx = index::CreateIndex(method, ctx, options);
     if (!idx.ok()) return nullptr;
     w->idx = std::move(idx).value();

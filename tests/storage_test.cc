@@ -402,6 +402,38 @@ TEST_F(BPlusTreeTest, RandomizedDifferentialAgainstStdMap) {
   EXPECT_FALSE(it->Valid());
 }
 
+TEST_F(BPlusTreeTest, EmptyingASplitLeafKeepsTheChainIntact) {
+  // Regression: the leaf split used to rebuild the left page with
+  // InitLeaf() and only restore `next`, wiping `prev`. Emptying such a
+  // leaf later skipped the predecessor fix-up on unlink, leaving the
+  // predecessor's next pointing at a freed page — range scans then
+  // walked into unallocated storage. Ascending inserts split the tail
+  // leaf (which has a predecessor) repeatedly, so deleting any middle
+  // run reproduces it.
+  const int n = 200;  // several leaves at 512-byte pages
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree_->Put(Key(i), "value-" + std::to_string(i)).ok());
+  }
+  // Delete a contiguous middle run long enough to empty whole leaves.
+  for (int i = 60; i < 140; ++i) {
+    ASSERT_TRUE(tree_->Delete(Key(i)).ok());
+  }
+  int count = 0;
+  auto it = tree_->Begin();
+  for (; it->Valid(); it->Next()) ++count;
+  EXPECT_TRUE(it->status().ok()) << it->status().ToString();
+  EXPECT_EQ(count, n - 80);
+  for (int i = 0; i < n; ++i) {
+    std::string v;
+    Status st = tree_->Get(Key(i), &v);
+    if (i >= 60 && i < 140) {
+      EXPECT_TRUE(st.IsNotFound()) << i;
+    } else {
+      ASSERT_TRUE(st.ok()) << i << ": " << st.ToString();
+    }
+  }
+}
+
 TEST_F(BPlusTreeTest, WorksUnderTinyBufferPool) {
   // Pool far smaller than the tree: exercises eviction + writeback under
   // structural changes.
