@@ -12,6 +12,11 @@
 // same way BENCH_codec.json tracks decode throughput. The headline
 // check: with auto-merge on, late-round query latency stays near the
 // fresh-index baseline while merge-off drifts upward.
+//
+// Simulated times use the split cost model: long-list misses at
+// list_page_ms (HDD-ish sequential scans), table-pool misses at
+// table_page_ms (SSD-ish point reads) — table_page_ms=... /
+// list_page_ms=... flags.
 
 #include <cstdio>
 #include <string>
@@ -115,12 +120,14 @@ int main(int argc, char** argv) {
                "{\n  \"bench\": \"merge_policy\",\n"
                "  \"docs\": %u,\n  \"terms_per_doc\": %u,\n"
                "  \"rounds\": %u,\n  \"round_updates\": %u,\n"
-               "  \"round_inserts\": %u,\n  \"page_ms\": %.3f,\n"
+               "  \"round_inserts\": %u,\n  \"list_page_ms\": %.3f,\n"
+               "  \"table_page_ms\": %.3f,\n"
                "  \"table_pages\": %llu,\n"
                "  \"merge_ratio\": %.3f,\n  \"merge_min\": %u,\n"
                "  \"merge_interval\": %u,\n  \"series\": [",
                base.corpus.num_docs, base.corpus.terms_per_doc, rounds,
                upd_per_round, ins_per_round, base.page_ms,
+               base.table_page_ms,
                static_cast<unsigned long long>(base.table_pool_pages),
                base.merge_policy.short_ratio,
                base.merge_policy.min_short_postings,
@@ -143,12 +150,14 @@ int main(int argc, char** argv) {
           "fresh queries");
       table.Row({exp->index()->name(), mode, "fresh", "-",
                  Ms(fresh.avg_ms()),
-                 Ms(fresh.sim_avg_ms_all(config.page_ms)),
+                 Ms(fresh.sim_avg_ms_split(config.page_ms,
+                                           config.table_page_ms)),
                  Num(fresh.avg_table_misses()),
                  Mb(exp->ShortListBytes()), "0"});
 
       std::vector<RoundRow> rows;
-      double last_sim = fresh.sim_avg_ms_all(config.page_ms);
+      double last_sim =
+          fresh.sim_avg_ms_split(config.page_ms, config.table_page_ms);
       for (uint32_t r = 0; r < rounds; ++r) {
         auto upd = CheckResult(exp->ApplyUpdates(upd_per_round), "updates");
         workload::OpStats ins;
@@ -166,7 +175,8 @@ int main(int argc, char** argv) {
         row.upd_ms = upd.avg_ms();
         row.ins_ms = ins.avg_ms();
         row.qry_ms = qry.avg_ms();
-        row.sim_qry_ms = qry.sim_avg_ms_all(config.page_ms);
+        row.sim_qry_ms = qry.sim_avg_ms_split(config.page_ms,
+                                              config.table_page_ms);
         row.tbl_misses = qry.avg_table_misses();
         row.short_postings = exp->index()->ShortPostingCount();
         row.short_bytes = exp->ShortListBytes();
@@ -179,7 +189,8 @@ int main(int argc, char** argv) {
                    std::to_string(row.term_merges)});
       }
 
-      const double fresh_sim = fresh.sim_avg_ms_all(config.page_ms);
+      const double fresh_sim =
+          fresh.sim_avg_ms_split(config.page_ms, config.table_page_ms);
       std::printf("# %s/%s: final sim query %.4f ms = %.2fx fresh\n",
                   exp->index()->name().c_str(), mode.c_str(), last_sim,
                   fresh_sim > 0 ? last_sim / fresh_sim : 0.0);

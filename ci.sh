@@ -1,14 +1,26 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify (configure, build with -Wall -Wextra,
-# ctest) plus a smoke run of the codec micro-benchmarks.
+# ctest), a ThreadSanitizer pass over the concurrency suite, and smoke
+# runs of the codec / merge-policy / concurrent-churn benchmarks.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 BUILD_DIR="${BUILD_DIR:-build}"
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+# ThreadSanitizer pass (docs/concurrency.md): the concurrency suite —
+# epoch manager, two-phase merge protocol, engine-level churn with the
+# background scheduler racing query threads — must be race-free. The
+# suite self-scales its workload sizes under TSan.
+cmake -B "$TSAN_BUILD_DIR" -S . \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$TSAN_BUILD_DIR" -j --target concurrency_test
+(cd "$TSAN_BUILD_DIR" && ./concurrency_test)
 
 # Codec smoke run: quick pass so regressions in the hot decode loops
 # surface in CI output (full numbers live in BENCH_codec.json).
@@ -39,6 +51,41 @@ EOF
 else
   grep -q '"bench": "merge_policy"' BENCH_merge.json
   echo "BENCH_merge.json: present (python3 unavailable, shallow check)"
+fi
+
+# Concurrency smoke run: query threads racing the background merger
+# under churn in all three modes, oracle-validated. The checks: no
+# concurrent top-k ever mismatched its snapshot's oracle, merges
+# actually ran in sync and background modes, and the background mode
+# kept merge work off the write path (write_merge_ms well under sync's).
+"$BUILD_DIR/bench_concurrent_churn" docs=2000 vocab=1500 terms=20 \
+  writer_ops=4000 query_threads=2 validate_every=8 \
+  merge_min=16 merge_ratio=0.15 merge_interval=150 \
+  out=BENCH_concurrency.json
+if command -v python3 > /dev/null; then
+  python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_concurrency.json"))
+assert d["bench"] == "concurrent_churn" and d["series"], "empty bench"
+by_mode = {s["mode"]: s for s in d["series"]}
+assert {"off", "sync", "background"} <= set(by_mode), "missing modes"
+for s in d["series"]:
+    assert s["mismatches"] == 0, "oracle mismatch in mode " + s["mode"]
+    assert s["validated"] > 0, "no validated queries in " + s["mode"]
+for mode in ("sync", "background"):
+    assert by_mode[mode]["term_merges"] > 0, mode + ": no merges ran"
+sync_ms = by_mode["sync"]["write_merge_ms"]
+bg_ms = by_mode["background"]["write_merge_ms"]
+assert bg_ms < sync_ms, \
+    "background write-path merge time %.2f not below sync %.2f" % (
+        bg_ms, sync_ms)
+print("BENCH_concurrency.json: OK (bg write-path merge %.2f ms vs "
+      "sync %.2f ms; %d series validated)" % (
+          bg_ms, sync_ms, len(d["series"])))
+EOF
+else
+  grep -q '"bench": "concurrent_churn"' BENCH_concurrency.json
+  echo "BENCH_concurrency.json: present (python3 unavailable, shallow check)"
 fi
 
 echo "ci.sh: OK"

@@ -135,12 +135,13 @@ int main() {
   }
   ShowTop(engine, "vintage camera");
 
+  const svr::core::EngineStats stats = engine.GetStats();
   std::printf("\n%d bids and %d clock ticks -> %llu score updates, "
-              "%llu short-list posting writes\n",
+              "%llu short-list posting writes, %llu term merges\n",
               bid_id, 360 * kListings,
+              static_cast<unsigned long long>(stats.index.score_updates),
               static_cast<unsigned long long>(
-                  engine.text_index()->stats().score_updates),
-              static_cast<unsigned long long>(
-                  engine.text_index()->stats().short_list_writes));
+                  stats.index.short_list_writes),
+              static_cast<unsigned long long>(stats.index.term_merges));
   return 0;
 }

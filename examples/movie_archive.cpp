@@ -147,7 +147,8 @@ int main() {
   }
   ShowTop(engine, "golden gate");
 
-  const auto& stats = engine.text_index()->stats();
+  const svr::core::EngineStats stats_all = engine.GetStats();
+  const svr::index::IndexStats& stats = stats_all.index;
   std::printf(
       "\nindex stats: %llu score updates, %llu short-list writes "
       "(%.2f%% of updates touched the lists)\n",

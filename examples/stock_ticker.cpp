@@ -139,8 +139,10 @@ int main() {
   }
   ShowTop(engine, "earnings merger");
 
-  std::printf("\nnews volume churn handled: %llu score updates\n",
-              static_cast<unsigned long long>(
-                  engine.text_index()->stats().score_updates));
+  const svr::core::EngineStats stats = engine.GetStats();
+  std::printf("\nnews volume churn handled: %llu score updates "
+              "(write-path merge time %.2f ms)\n",
+              static_cast<unsigned long long>(stats.index.score_updates),
+              stats.write_merge_ms);
   return 0;
 }

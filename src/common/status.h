@@ -24,6 +24,11 @@ class Status {
     kAlreadyExists = 6,
     kOutOfRange = 7,
     kInternal = 8,
+    /// Optimistic-concurrency conflict: the operation observed state
+    /// that changed before it could commit (e.g. a background merge
+    /// install finding the term's short list modified since Prepare).
+    /// Retryable by re-running from the start.
+    kAborted = 9,
   };
 
   Status() : code_(Code::kOk) {}
@@ -59,6 +64,9 @@ class Status {
   static Status Internal(std::string_view msg) {
     return Status(Code::kInternal, msg);
   }
+  static Status Aborted(std::string_view msg) {
+    return Status(Code::kAborted, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -69,6 +77,7 @@ class Status {
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -1,0 +1,81 @@
+#include "concurrency/epoch.h"
+
+#include <utility>
+#include <vector>
+
+namespace svr::concurrency {
+
+EpochManager::~EpochManager() {
+  // No guard can outlive the manager; run everything still pending.
+  for (auto& r : retired_) {
+    if (r.reclaim) r.reclaim();
+    ++reclaimed_total_;
+  }
+  retired_.clear();
+}
+
+EpochManager::Guard EpochManager::Enter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++active_[epoch_];
+  return Guard(this, epoch_);
+}
+
+void EpochManager::Exit(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(epoch);
+  if (it != active_.end() && --it->second == 0) {
+    active_.erase(it);
+  }
+}
+
+void EpochManager::Retire(std::function<void()> reclaim) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_.push_back({epoch_, std::move(reclaim)});
+  // Readers entering from now on get a strictly larger epoch: they can
+  // no longer resolve the unpublished object, so the stamp above is the
+  // last epoch whose guards matter.
+  ++epoch_;
+}
+
+size_t EpochManager::ReclaimExpired() {
+  std::vector<std::function<void()>> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t min_active =
+        active_.empty() ? UINT64_MAX : active_.begin()->first;
+    while (!retired_.empty() && retired_.front().epoch < min_active) {
+      ready.push_back(std::move(retired_.front().reclaim));
+      retired_.pop_front();
+    }
+    reclaimed_total_ += ready.size();
+  }
+  // Outside the mutex: callbacks free pages and may take storage locks.
+  for (auto& fn : ready) {
+    if (fn) fn();
+  }
+  return ready.size();
+}
+
+size_t EpochManager::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_.size();
+}
+
+uint64_t EpochManager::reclaimed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reclaimed_total_;
+}
+
+size_t EpochManager::active_guards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [epoch, count] : active_) n += count;
+  return n;
+}
+
+uint64_t EpochManager::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+}  // namespace svr::concurrency

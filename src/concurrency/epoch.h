@@ -1,0 +1,122 @@
+#ifndef SVR_CONCURRENCY_EPOCH_H_
+#define SVR_CONCURRENCY_EPOCH_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+
+namespace svr::concurrency {
+
+/// \brief Epoch-based deferred reclamation for immutable structures that
+/// readers traverse without holding the resource's own lock — in this
+/// codebase, the long-list blobs (docs/concurrency.md).
+///
+/// Protocol:
+///  1. Every reader that may dereference a published blob holds a Guard
+///     for the duration of its traversal (queries, the scheduler's
+///     prepare phase).
+///  2. A writer that replaces a blob first *unpublishes* it (swaps the
+///     term's BlobRef so no new reader can resolve it), then hands the
+///     old blob to Retire() instead of freeing it.
+///  3. Retire() stamps the object with the current epoch and advances
+///     the epoch, so readers that entered later provably never saw it.
+///  4. ReclaimExpired() frees every retired object whose stamp is below
+///     the oldest live guard's epoch — i.e. whose last possible reader
+///     has exited. With no live guards, everything pending is freed.
+///
+/// The manager itself is a small mutex-protected structure: guard
+/// enter/exit is two map operations, far off any per-posting hot path
+/// (one Enter per query). Reclaim callbacks run *outside* the manager's
+/// mutex, so they may take storage locks freely.
+class EpochManager {
+ public:
+  /// RAII reader registration. Move-only; Release() (or destruction)
+  /// exits the epoch.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept { *this = std::move(other); }
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        mgr_ = other.mgr_;
+        epoch_ = other.epoch_;
+        other.mgr_ = nullptr;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { Release(); }
+
+    bool active() const { return mgr_ != nullptr; }
+    uint64_t epoch() const { return epoch_; }
+
+    void Release() {
+      if (mgr_ != nullptr) {
+        mgr_->Exit(epoch_);
+        mgr_ = nullptr;
+      }
+    }
+
+   private:
+    friend class EpochManager;
+    Guard(EpochManager* mgr, uint64_t epoch) : mgr_(mgr), epoch_(epoch) {}
+
+    EpochManager* mgr_ = nullptr;
+    uint64_t epoch_ = 0;
+  };
+
+  EpochManager() = default;
+  /// Destruction runs every still-pending reclaim callback (there can be
+  /// no readers left if the manager itself is going away).
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Registers the calling reader in the current epoch.
+  Guard Enter();
+
+  /// Defers `reclaim` until every guard that could have observed the
+  /// object has been released. The caller must already have unpublished
+  /// the object — after Retire() returns, readers entering a fresh epoch
+  /// must have no path to it.
+  void Retire(std::function<void()> reclaim);
+
+  /// Runs the reclaim callbacks of every expired retirement; returns how
+  /// many ran. Callbacks execute outside the manager's mutex.
+  size_t ReclaimExpired();
+
+  /// Retirements still waiting for their readers to exit.
+  size_t pending() const;
+  /// Total retirements reclaimed over the manager's lifetime.
+  uint64_t reclaimed_total() const;
+  /// Live guards (diagnostics).
+  size_t active_guards() const;
+  uint64_t current_epoch() const;
+
+ private:
+  friend class Guard;
+
+  void Exit(uint64_t epoch);
+
+  struct Retired {
+    uint64_t epoch;  // last epoch whose readers could see the object
+    std::function<void()> reclaim;
+  };
+
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 1;
+  /// epoch -> number of live guards that entered at it. Ordered so the
+  /// oldest live epoch is begin().
+  std::map<uint64_t, uint32_t> active_;
+  std::deque<Retired> retired_;
+  uint64_t reclaimed_total_ = 0;
+};
+
+}  // namespace svr::concurrency
+
+#endif  // SVR_CONCURRENCY_EPOCH_H_

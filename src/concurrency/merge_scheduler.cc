@@ -1,0 +1,190 @@
+#include "concurrency/merge_scheduler.h"
+
+#include <chrono>
+#include <utility>
+
+namespace svr::concurrency {
+
+MergeScheduler::MergeScheduler(index::TextIndex* index, EpochManager* epochs,
+                               std::shared_mutex* state_mu,
+                               MergeSchedulerOptions options)
+    : index_(index),
+      epochs_(epochs),
+      state_mu_(state_mu),
+      options_(options) {
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  // Installs hand replaced blobs here instead of freeing them: pages a
+  // concurrent reader may still stream stay live until its guard exits.
+  retirer_ = [this](const storage::BlobRef& ref) {
+    epochs_->Retire([index = index_, ref] { (void)index->ReclaimBlob(ref); });
+  };
+}
+
+MergeScheduler::~MergeScheduler() { Stop(); }
+
+void MergeScheduler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void MergeScheduler::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    // Claim the shutdown under the lock (running_ flips before the
+    // join) so concurrent Stop callers can't both join the worker.
+    running_ = false;
+    stop_ = true;
+    to_join = std::move(worker_);
+  }
+  work_cv_.notify_all();
+  to_join.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.clear();
+    pending_.clear();
+  }
+  idle_cv_.notify_all();
+}
+
+bool MergeScheduler::Enqueue(TermId term) {
+  bool accepted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_ || stop_) return false;
+    if (pending_.count(term) != 0) {
+      ++stats_.dedup_hits;
+      return false;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      ++stats_.dropped_full;
+      return false;
+    }
+    queue_.push_back(term);
+    pending_.insert(term);
+    ++stats_.enqueued;
+    accepted = true;
+  }
+  work_cv_.notify_one();
+  return accepted;
+}
+
+size_t MergeScheduler::EnqueueMany(const std::vector<TermId>& terms) {
+  size_t accepted = 0;
+  for (TermId t : terms) {
+    if (Enqueue(t)) ++accepted;
+  }
+  return accepted;
+}
+
+void MergeScheduler::WaitIdle() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] {
+      return !running_ || (queue_.empty() && !in_flight_);
+    });
+  }
+  epochs_->ReclaimExpired();
+}
+
+bool MergeScheduler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+MergeSchedulerStats MergeScheduler::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MergeSchedulerStats s = stats_;
+  s.queue_depth = queue_.size() + (in_flight_ ? 1 : 0);
+  return s;
+}
+
+Status MergeScheduler::first_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+void MergeScheduler::WorkerLoop() {
+  while (true) {
+    TermId term = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.idle_reclaim_ms),
+          [this] { return stop_ || !queue_.empty(); });
+      if (stop_) break;
+      if (queue_.empty()) {
+        // Idle wakeup: only the reclaim pass below has work to do.
+        lock.unlock();
+        epochs_->ReclaimExpired();
+        continue;
+      }
+      term = queue_.front();
+      queue_.pop_front();
+      in_flight_ = true;
+    }
+
+    Status st = RunJob(term);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ = false;
+      // Erase after the job so a mid-merge Enqueue of the same term is a
+      // dedup hit — the install re-validates against the live short
+      // list, so nothing the duplicate would observe is missed.
+      pending_.erase(term);
+      if (!st.ok() && first_error_.ok()) first_error_ = st;
+    }
+    idle_cv_.notify_all();
+    epochs_->ReclaimExpired();
+  }
+}
+
+Status MergeScheduler::RunJob(TermId term) {
+  for (uint32_t attempt = 0;; ++attempt) {
+    std::unique_ptr<index::TermMergePlan> plan;
+    {
+      // Reader phase: the guard pins the epoch so the blob pages the
+      // prepare streams cannot be reclaimed under it, and the shared
+      // lock keeps the short list / score state it snapshots stable.
+      EpochManager::Guard guard = epochs_->Enter();
+      std::shared_lock<std::shared_mutex> lock(*state_mu_);
+      auto prepared = index_->PrepareMergeTerm(term);
+      SVR_RETURN_NOT_OK(prepared.status());
+      plan = std::move(prepared).value();
+    }
+    if (plan == nullptr) return Status::OK();  // nothing to merge
+
+    Status install;
+    {
+      std::unique_lock<std::shared_mutex> lock(*state_mu_);
+      install = index_->InstallMergeTerm(plan.get(), retirer_);
+    }
+    if (install.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.completed;
+      return Status::OK();
+    }
+    if (!install.IsAborted()) return install;
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.aborted;
+    }
+    if (attempt >= options_.max_retries) {
+      // Hot term: stop chasing it optimistically and take the writer
+      // lock once for a synchronous merge (bounded stall).
+      std::unique_lock<std::shared_mutex> lock(*state_mu_);
+      Status st = index_->MergeTerm(term);
+      std::lock_guard<std::mutex> slock(mu_);
+      ++stats_.sync_fallbacks;
+      return st;
+    }
+  }
+}
+
+}  // namespace svr::concurrency

@@ -1,0 +1,119 @@
+#ifndef SVR_CONCURRENCY_MERGE_SCHEDULER_H_
+#define SVR_CONCURRENCY_MERGE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "concurrency/epoch.h"
+#include "index/text_index.h"
+
+namespace svr::concurrency {
+
+struct MergeSchedulerOptions {
+  /// Bounded job queue; Enqueue drops the job (returns false) when full.
+  /// Dropped triggers are harmless — the policy re-fires on a later
+  /// write-path evaluation while the term still qualifies.
+  size_t queue_capacity = 1024;
+  /// Optimistic install conflicts tolerated per job before the scheduler
+  /// falls back to one synchronous MergeTerm under the writer lock — a
+  /// bounded stall that guarantees hot terms still converge.
+  uint32_t max_retries = 4;
+  /// Idle wakeup period for the epoch reclaim pass, in milliseconds.
+  uint32_t idle_reclaim_ms = 20;
+};
+
+/// Snapshot of the scheduler's counters (single mutex, no torn reads).
+struct MergeSchedulerStats {
+  uint64_t enqueued = 0;        // jobs accepted into the queue
+  uint64_t dedup_hits = 0;      // enqueue no-ops: term already queued
+  uint64_t dropped_full = 0;    // enqueue rejections: queue at capacity
+  uint64_t completed = 0;       // jobs whose install published a blob
+  uint64_t aborted = 0;         // install conflicts that led to a retry
+  uint64_t sync_fallbacks = 0;  // jobs finished via synchronous MergeTerm
+  uint64_t queue_depth = 0;     // jobs currently waiting
+};
+
+/// \brief The background maintenance thread of docs/concurrency.md: pops
+/// per-term merge jobs off a bounded dedup queue and runs the two-phase
+/// PrepareMergeTerm/InstallMergeTerm protocol against the index —
+/// prepare under the shared (reader) side of `state_mu`, install under
+/// the exclusive side — so the write path only ever pays for trigger
+/// evaluation plus an enqueue, and queries never wait on merge work.
+///
+/// Blob lifetime: installs retire replaced blobs to the epoch manager;
+/// the worker runs ReclaimExpired() after every job and on an idle
+/// timer, freeing pages once the last guard that could observe them has
+/// exited.
+class MergeScheduler {
+ public:
+  MergeScheduler(index::TextIndex* index, EpochManager* epochs,
+                 std::shared_mutex* state_mu,
+                 MergeSchedulerOptions options = {});
+  ~MergeScheduler();
+
+  MergeScheduler(const MergeScheduler&) = delete;
+  MergeScheduler& operator=(const MergeScheduler&) = delete;
+
+  /// Starts the worker thread. Idempotent.
+  void Start();
+
+  /// Stops the worker after the in-flight job (queued jobs are
+  /// discarded — merge triggers re-fire while their terms qualify) and
+  /// joins it. Idempotent; also called by the destructor. Does not drain
+  /// the epoch manager: the owner does that once no readers remain.
+  void Stop();
+
+  /// Queues a merge job for `term`. Returns false (and counts why) when
+  /// the term is already queued/in flight or the queue is full.
+  bool Enqueue(TermId term);
+  /// Enqueue for each term; returns how many were accepted.
+  size_t EnqueueMany(const std::vector<TermId>& terms);
+
+  /// Blocks until the queue is empty and no job is in flight, then runs
+  /// a reclaim pass. Must not be called while holding `state_mu` (the
+  /// worker needs it to finish). Test/bench quiescence hook.
+  void WaitIdle();
+
+  bool running() const;
+  MergeSchedulerStats StatsSnapshot() const;
+  /// First non-retryable job failure, if any (sticky; surfaced by the
+  /// engine on the next write).
+  Status first_error() const;
+
+ private:
+  void WorkerLoop();
+  /// One job: prepare (reader) -> install (writer), retrying on Aborted
+  /// up to max_retries, then synchronous fallback.
+  Status RunJob(TermId term);
+
+  index::TextIndex* index_;
+  EpochManager* epochs_;
+  std::shared_mutex* state_mu_;
+  MergeSchedulerOptions options_;
+  index::BlobRetirer retirer_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // worker wakeups
+  std::condition_variable idle_cv_;   // WaitIdle wakeups
+  std::deque<TermId> queue_;
+  std::unordered_set<TermId> pending_;  // queued or in flight
+  bool in_flight_ = false;
+  bool stop_ = false;
+  bool running_ = false;
+  MergeSchedulerStats stats_;
+  Status first_error_;
+  std::thread worker_;
+};
+
+}  // namespace svr::concurrency
+
+#endif  // SVR_CONCURRENCY_MERGE_SCHEDULER_H_

@@ -1,7 +1,9 @@
 #include "core/svr_engine.h"
 
 #include <algorithm>
+#include <mutex>
 
+#include "common/stopwatch.h"
 #include "index/merge_policy.h"
 #include "text/tokenizer.h"
 
@@ -17,7 +19,10 @@ SvrEngine::SvrEngine(const SvrEngineOptions& options) : options_(options) {
   list_pool_ = std::make_unique<storage::BufferPool>(
       list_store_.get(), options.list_pool_pages);
   db_ = std::make_unique<relational::Database>(table_pool_.get());
+  epochs_ = std::make_unique<concurrency::EpochManager>();
 }
+
+SvrEngine::~SvrEngine() { Stop(); }
 
 Result<std::unique_ptr<SvrEngine>> SvrEngine::Open(
     const SvrEngineOptions& options) {
@@ -30,6 +35,7 @@ Result<std::unique_ptr<SvrEngine>> SvrEngine::Open(
 
 Status SvrEngine::CreateTable(const std::string& name,
                               relational::Schema schema) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   return db_->CreateTable(name, std::move(schema)).status();
 }
 
@@ -45,60 +51,104 @@ Status SvrEngine::CreateTextIndex(
     const std::string& table, const std::string& text_column,
     std::vector<relational::ScoreComponentSpec> specs,
     relational::AggFunction agg) {
-  relational::Table* t = db_->GetTable(table);
-  if (t == nullptr) return Status::NotFound("no such table: " + table);
-  text_column_ = t->schema().FindColumn(text_column);
-  if (text_column_ < 0) {
-    return Status::InvalidArgument("no such column: " + text_column);
-  }
-  pk_column_ = t->schema().pk_index();
-  scored_table_ = table;
-
-  // Materialize the Score view over existing rows.
-  score_view_ = std::make_unique<relational::ScoreView>(
-      db_.get(), table, std::move(specs), std::move(agg),
-      score_table_.get());
-  db_->AddObserver(score_view_.get());
-  SVR_RETURN_NOT_OK(score_view_->FullRefresh());
-
-  // Ingest existing rows into the corpus; pk must be dense 0..N-1.
-  DocId expected = 0;
-  Status ingest_status;
-  SVR_RETURN_NOT_OK(t->Scan([&](const relational::Row& row) {
-    const int64_t pk = row[pk_column_].as_int();
-    if (pk != static_cast<int64_t>(expected)) {
-      ingest_status = Status::InvalidArgument(
-          "scored-table primary keys must be dense 0..N-1");
-      return false;
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    relational::Table* t = db_->GetTable(table);
+    if (t == nullptr) return Status::NotFound("no such table: " + table);
+    text_column_ = t->schema().FindColumn(text_column);
+    if (text_column_ < 0) {
+      return Status::InvalidArgument("no such column: " + text_column);
     }
-    corpus_.Add(TokenizeToDocument(row[text_column_].as_string()));
-    ++expected;
-    return true;
-  }));
-  SVR_RETURN_NOT_OK(ingest_status);
+    pk_column_ = t->schema().pk_index();
+    scored_table_ = table;
 
-  // Build the index and route future score changes into Algorithm 1.
-  index::IndexContext ctx;
-  ctx.table_pool = table_pool_.get();
-  ctx.list_pool = list_pool_.get();
-  ctx.score_table = score_table_.get();
-  ctx.corpus = &corpus_;
-  ctx.posting_format = options_.posting_format;
-  ctx.merge_policy = options_.merge_policy;
-  SVR_ASSIGN_OR_RETURN(
-      index_, index::CreateIndex(options_.method, ctx,
-                                 options_.index_options));
-  SVR_RETURN_NOT_OK(index_->Build());
-  score_view_->SetScoreUpdateHandler(
-      [this](DocId doc, double new_score) -> Status {
-        if (doc >= corpus_.num_docs()) {
-          // Score component rows may arrive before the scored row; the
-          // eventual document insert picks up the current view score.
-          return score_table_->Set(doc, new_score);
-        }
-        return index_->OnScoreUpdate(doc, new_score);
-      });
+    // Materialize the Score view over existing rows.
+    score_view_ = std::make_unique<relational::ScoreView>(
+        db_.get(), table, std::move(specs), std::move(agg),
+        score_table_.get());
+    db_->AddObserver(score_view_.get());
+    SVR_RETURN_NOT_OK(score_view_->FullRefresh());
+
+    // Ingest existing rows into the corpus; pk must be dense 0..N-1.
+    DocId expected = 0;
+    Status ingest_status;
+    SVR_RETURN_NOT_OK(t->Scan([&](const relational::Row& row) {
+      const int64_t pk = row[pk_column_].as_int();
+      if (pk != static_cast<int64_t>(expected)) {
+        ingest_status = Status::InvalidArgument(
+            "scored-table primary keys must be dense 0..N-1");
+        return false;
+      }
+      corpus_.Add(TokenizeToDocument(row[text_column_].as_string()));
+      ++expected;
+      return true;
+    }));
+    SVR_RETURN_NOT_OK(ingest_status);
+
+    // Build the index and route future score changes into Algorithm 1.
+    index::IndexContext ctx;
+    ctx.table_pool = table_pool_.get();
+    ctx.list_pool = list_pool_.get();
+    ctx.score_table = score_table_.get();
+    ctx.corpus = &corpus_;
+    ctx.posting_format = options_.posting_format;
+    ctx.merge_policy = options_.merge_policy;
+    SVR_ASSIGN_OR_RETURN(
+        index_, index::CreateIndex(options_.method, ctx,
+                                   options_.index_options));
+    SVR_RETURN_NOT_OK(index_->Build());
+    score_view_->SetScoreUpdateHandler(
+        [this](DocId doc, double new_score) -> Status {
+          if (doc >= corpus_.num_docs()) {
+            // Score component rows may arrive before the scored row; the
+            // eventual document insert picks up the current view score.
+            return score_table_->Set(doc, new_score);
+          }
+          return index_->OnScoreUpdate(doc, new_score);
+        });
+  }
+  return Start();
+}
+
+Status SvrEngine::Start() {
+  concurrency::MergeScheduler* scheduler = nullptr;
+  {
+    // The scheduler_ pointer itself is guarded by the state lock (it is
+    // read by GetStats and the write path); once set it is never reset,
+    // so the raw pointer stays valid outside the critical section.
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    if (!options_.background_merge || index_ == nullptr) {
+      return Status::OK();
+    }
+    if (scheduler_ == nullptr) {
+      scheduler_ = std::make_unique<concurrency::MergeScheduler>(
+          index_.get(), epochs_.get(), &state_mu_, options_.scheduler);
+    }
+    scheduler = scheduler_.get();
+  }
+  // Outside the lock: Start is internally synchronized, and the worker
+  // it spawns immediately contends for the state lock.
+  scheduler->Start();
   return Status::OK();
+}
+
+void SvrEngine::Stop() {
+  concurrency::MergeScheduler* scheduler = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    scheduler = scheduler_.get();
+  }
+  if (scheduler != nullptr) {
+    // Must not hold the state lock here: the worker needs it to finish
+    // its in-flight job before joining.
+    scheduler->Stop();
+  }
+  // No readers remain once the scheduler is down and callers have
+  // stopped querying (the Stop contract), so everything retired is
+  // reclaimable now.
+  if (epochs_ != nullptr) {
+    epochs_->ReclaimExpired();
+  }
 }
 
 Status SvrEngine::HandleScoredTableWrite(const relational::Row* old_row,
@@ -124,13 +174,30 @@ Status SvrEngine::HandleScoredTableWrite(const relational::Row* old_row,
 
 Status SvrEngine::MaybeRunMergePolicy() {
   if (index_ == nullptr || !merge_ticks_.Tick(options_.merge_policy)) {
+    // Off-interval writes stay free of scheduler-mutex traffic; a
+    // background failure is surfaced at the next interval instead of
+    // the very next write.
     return Status::OK();
   }
-  return index_->MaybeAutoMerge().status();
+  Stopwatch sw;
+  Status st;
+  if (scheduler_ != nullptr) {
+    // A failed background merge must not fail silently.
+    SVR_RETURN_NOT_OK(scheduler_->first_error());
+    // Background mode: the write path pays for trigger evaluation plus
+    // an enqueue; the merges themselves happen on the worker.
+    scheduler_->EnqueueMany(index_->AutoMergeCandidates());
+    st = Status::OK();
+  } else {
+    st = index_->MaybeAutoMerge().status();
+  }
+  write_merge_ms_ += sw.ElapsedMillis();
+  return st;
 }
 
 Status SvrEngine::Insert(const std::string& table,
                          const relational::Row& row) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   SVR_RETURN_NOT_OK(db_->Insert(table, row));
   if (index_ != nullptr && table == scored_table_) {
     SVR_RETURN_NOT_OK(HandleScoredTableWrite(nullptr, row));
@@ -143,6 +210,7 @@ Status SvrEngine::Insert(const std::string& table,
 
 Status SvrEngine::Update(const std::string& table,
                          const relational::Row& row) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   relational::Row old_row;
   if (index_ != nullptr && table == scored_table_) {
     SVR_RETURN_NOT_OK(
@@ -159,6 +227,7 @@ Status SvrEngine::Update(const std::string& table,
 }
 
 Status SvrEngine::Delete(const std::string& table, int64_t pk) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   SVR_RETURN_NOT_OK(db_->Delete(table, pk));
   if (index_ != nullptr && table == scored_table_) {
     SVR_RETURN_NOT_OK(index_->DeleteDocument(static_cast<DocId>(pk)));
@@ -171,6 +240,13 @@ Status SvrEngine::Delete(const std::string& table, int64_t pk) {
 
 Result<std::vector<ScoredRow>> SvrEngine::Search(
     const std::string& keywords, size_t k, bool conjunctive) {
+  // Reader: everything below — term resolution, the scan, the score
+  // probes, the row join — observes the single serialization point at
+  // which this lock was granted. The epoch guard pins the long-list
+  // blobs the scan resolves, keeping reclamation honest about readers
+  // that are not writer-serialized (docs/concurrency.md).
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  concurrency::EpochManager::Guard guard = epochs_->Enter();
   if (index_ == nullptr) {
     return Status::InvalidArgument("no text index; CreateTextIndex first");
   }
@@ -205,6 +281,32 @@ Result<std::vector<ScoredRow>> SvrEngine::Search(
     out.push_back(std::move(r));
   }
   return out;
+}
+
+Status SvrEngine::ReadSnapshot(const std::function<Status()>& fn) {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  concurrency::EpochManager::Guard guard = epochs_->Enter();
+  return fn();
+}
+
+EngineStats SvrEngine::GetStats() const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  EngineStats s;
+  if (index_ != nullptr) s.index = index_->stats();
+  s.background_merge = scheduler_ != nullptr;
+  if (scheduler_ != nullptr) {
+    const concurrency::MergeSchedulerStats ms = scheduler_->StatsSnapshot();
+    s.merge_queue_depth = ms.queue_depth;
+    s.merge_jobs_enqueued = ms.enqueued;
+    s.merge_jobs_completed = ms.completed;
+    s.merge_jobs_aborted = ms.aborted;
+    s.merge_jobs_dropped = ms.dropped_full;
+    s.merge_sync_fallbacks = ms.sync_fallbacks;
+  }
+  s.reclaim_pending = epochs_->pending();
+  s.blobs_reclaimed = epochs_->reclaimed_total();
+  s.write_merge_ms = write_merge_ms_;
+  return s;
 }
 
 }  // namespace svr::core

@@ -1,12 +1,16 @@
 #ifndef SVR_CORE_SVR_ENGINE_H_
 #define SVR_CORE_SVR_ENGINE_H_
 
+#include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "concurrency/epoch.h"
+#include "concurrency/merge_scheduler.h"
 #include "index/index_factory.h"
 #include "index/merge_policy.h"
 #include "relational/database.h"
@@ -30,8 +34,16 @@ struct SvrEngineOptions {
   PostingFormat posting_format = PostingFormat::kV2;
   /// Incremental short→long merge triggers (docs/merge_policy.md). When
   /// enabled, the engine evaluates them every `check_interval` writes to
-  /// the scored corpus and merges the triggered terms in place.
+  /// the scored corpus; triggered terms are merged in place (synchronous
+  /// mode) or handed to the background scheduler (below).
   MergePolicy merge_policy;
+  /// Background maintenance (docs/concurrency.md): when true the engine
+  /// runs a merge-scheduler thread — trigger hits become queue jobs, the
+  /// merge work happens off the write path as a reader, and the new
+  /// blobs are installed with an atomic per-term swap. Started by
+  /// CreateTextIndex (or Start()), stopped by Stop()/destruction.
+  bool background_merge = false;
+  concurrency::MergeSchedulerOptions scheduler;
 };
 
 /// One search hit joined back to its relational row.
@@ -39,6 +51,27 @@ struct ScoredRow {
   int64_t pk = 0;
   double score = 0.0;
   relational::Row row;
+};
+
+/// Engine-level counter snapshot: the index's own counters plus the
+/// concurrency subsystem's (merge queue, epoch reclamation, write-path
+/// merge cost). All values are coherent against one reader lock.
+struct EngineStats {
+  index::IndexStats index;
+  bool background_merge = false;
+  uint64_t merge_queue_depth = 0;     // jobs queued or in flight
+  uint64_t merge_jobs_enqueued = 0;
+  uint64_t merge_jobs_completed = 0;
+  uint64_t merge_jobs_aborted = 0;    // optimistic conflicts retried
+  uint64_t merge_jobs_dropped = 0;    // queue-full rejections
+  uint64_t merge_sync_fallbacks = 0;
+  uint64_t reclaim_pending = 0;       // blobs awaiting epoch reclamation
+  uint64_t blobs_reclaimed = 0;
+  /// Wall time the *write path* has spent on merge maintenance: whole
+  /// sweeps in synchronous mode, trigger evaluation + enqueue in
+  /// background mode (the headline "write-path merge time ~0" metric of
+  /// bench_concurrent_churn).
+  double write_merge_ms = 0.0;
 };
 
 /// \brief The system of Figure 2, end to end: a relational database whose
@@ -58,6 +91,14 @@ struct ScoredRow {
 /// Every structured write is routed through the incrementally maintained
 /// Score view; score changes reach the index as Algorithm-1 updates, so
 /// searches always rank by the latest structured values.
+///
+/// Thread model (docs/concurrency.md): DML is a writer (exclusive lock);
+/// Search and ReadSnapshot are readers (shared lock + epoch guard) and
+/// may run concurrently with each other and with the background merge
+/// scheduler's prepare phase. Every Search is therefore consistent with
+/// one serialization point — the instant its reader lock was granted —
+/// even while merges land between queries. The raw component accessors
+/// at the bottom bypass the lock: quiescent use only.
 class SvrEngine {
  public:
   static Result<std::unique_ptr<SvrEngine>> Open(
@@ -66,11 +107,15 @@ class SvrEngine {
   SvrEngine(const SvrEngine&) = delete;
   SvrEngine& operator=(const SvrEngine&) = delete;
 
+  /// Stops background maintenance and reclaims retired blobs.
+  ~SvrEngine();
+
   Status CreateTable(const std::string& name, relational::Schema schema);
 
   /// Declares `text_column` of `table` as the SVR-ranked column with the
   /// given score components and combiner, then builds the text index over
-  /// the rows already present.
+  /// the rows already present. Starts the background merge scheduler
+  /// when the options ask for it.
   ///
   /// Constraint: the scored table's primary keys must be the dense
   /// sequence 0..N-1 in insertion order (they double as document ids).
@@ -86,11 +131,29 @@ class SvrEngine {
   Status Delete(const std::string& table, int64_t pk);
 
   /// Top-k keyword search over the indexed text column; results are
-  /// joined back to their rows.
+  /// joined back to their rows. Safe to call from any number of threads
+  /// concurrently with DML and background merges.
   Result<std::vector<ScoredRow>> Search(const std::string& keywords,
                                         size_t k, bool conjunctive = true);
 
+  /// Runs `fn` under the engine's reader lock and an epoch guard — the
+  /// same view one Search observes. Multi-statement snapshot reads
+  /// (e.g. a query plus an oracle check over the same state, as the
+  /// concurrency tests do).
+  Status ReadSnapshot(const std::function<Status()>& fn);
+
+  /// Starts background maintenance (no-op unless options enable it and
+  /// a text index exists). CreateTextIndex calls this automatically.
+  Status Start();
+  /// Stops the scheduler thread and reclaims every retired blob. Callers
+  /// must have stopped issuing queries. Idempotent.
+  void Stop();
+
+  /// Index + concurrency counters, coherent under the reader lock.
+  EngineStats GetStats() const;
+
   // --- component access (benchmarks, tests, diagnostics) --------------
+  // Unlocked: use only while no other thread touches the engine.
   relational::Database* database() { return db_.get(); }
   relational::ScoreTable* score_table() { return score_table_.get(); }
   index::TextIndex* text_index() { return index_.get(); }
@@ -98,6 +161,8 @@ class SvrEngine {
   const text::Corpus* corpus() const { return &corpus_; }
   storage::BufferPool* list_pool() { return list_pool_.get(); }
   storage::BufferPool* table_pool() { return table_pool_.get(); }
+  concurrency::MergeScheduler* merge_scheduler() { return scheduler_.get(); }
+  concurrency::EpochManager* epoch_manager() { return epochs_.get(); }
 
  private:
   explicit SvrEngine(const SvrEngineOptions& options);
@@ -108,7 +173,9 @@ class SvrEngine {
   /// Runs the auto-merge policy once every `merge_policy.check_interval`
   /// DML writes while a text index exists (any write may drive score
   /// updates through the view; an off-cycle evaluation over the dirty
-  /// term map is cheap). No-op when the policy is disabled.
+  /// term map is cheap). Synchronous mode merges in place; background
+  /// mode enqueues the triggered terms. No-op when the policy is
+  /// disabled. Caller holds the writer lock.
   Status MaybeRunMergePolicy();
 
   SvrEngineOptions options_;
@@ -122,6 +189,15 @@ class SvrEngine {
   std::unique_ptr<index::TextIndex> index_;
   text::Vocabulary vocab_;
   text::Corpus corpus_;
+
+  /// The engine-wide reader/writer serialization point: DML, merge
+  /// installs and rebuilds hold it exclusively; Search, ReadSnapshot,
+  /// GetStats and the scheduler's prepare phase hold it shared.
+  mutable std::shared_mutex state_mu_;
+  std::unique_ptr<concurrency::EpochManager> epochs_;
+  std::unique_ptr<concurrency::MergeScheduler> scheduler_;
+  /// Wall ms the write path spent in MaybeRunMergePolicy (writer-locked).
+  double write_merge_ms_ = 0.0;
 
   std::string scored_table_;
   int text_column_ = -1;

@@ -315,11 +315,13 @@ Status ChunkIndexBase::UpdateContent(DocId doc,
   }
   for (TermId t : old_doc.terms()) {
     if (!new_doc.Contains(t)) {
-      Status st = short_list_->Delete(t, l_chunk, doc);
-      if (st.IsNotFound()) {
-        st = short_list_->Put(t, l_chunk, doc, PostingOp::kRemove, 0.0f);
-      }
-      SVR_RETURN_NOT_OK(st);
+      // Always a REM marker, never a plain retraction: an ADD sitting at
+      // this key may be *shadowing* a long posting (remove → re-add
+      // overwrote the earlier REM), and deleting it would resurrect the
+      // long posting. A REM over nothing is skipped by every stream and
+      // folded away by the next merge, so the marker is always safe.
+      SVR_RETURN_NOT_OK(
+          short_list_->Put(t, l_chunk, doc, PostingOp::kRemove, 0.0f));
       ++stats_.short_list_writes;
     }
   }
@@ -337,30 +339,42 @@ Status ChunkIndexBase::RebuildIndex() {
   return BuildExtras();
 }
 
-Status ChunkIndexBase::MergeTerm(TermId term) {
-  if (term >= lists_.size()) {
-    lists_.resize(term + 1, storage::BlobRef());
-    long_counts_.resize(term + 1, 0);
+struct ChunkIndexBase::MergePlanImpl : TermMergePlan {
+  explicit MergePlanImpl(TermId t) : TermMergePlan(t) {}
+
+  uint64_t short_version = 0;   // ShortList::TermVersion at Prepare
+  storage::BlobRef old_ref;     // the published blob Prepare streamed
+  storage::BlobRef new_ref;     // written but unpublished replacement
+  uint64_t n_postings = 0;
+  std::vector<ChunkGroup> groups;         // for OnTermMerged
+  std::vector<DocId> from_short_docs;     // for the ListChunk cleanup
+};
+
+Result<std::unique_ptr<TermMergePlan>> ChunkIndexBase::PrepareMergeTerm(
+    TermId term) {
+  // Reader phase: must not mutate anything a concurrent query can see
+  // (the lists_ resize for grown vocabularies waits for Install).
+  const storage::BlobRef old_ref =
+      term < lists_.size() ? lists_[term] : storage::BlobRef();
+  if (!old_ref.valid() && short_list_->TermPostingCount(term) == 0) {
+    return std::unique_ptr<TermMergePlan>();
   }
-  if (!lists_[term].valid() && short_list_->TermPostingCount(term) == 0) {
-    return Status::OK();
-  }
+  auto plan = std::make_unique<MergePlanImpl>(term);
+  plan->short_version = short_list_->TermVersion(term);
+  plan->old_ref = old_ref;
 
   // Stream the merged (long ∪ short) view in (cid desc, doc asc) order —
   // the exact view queries consume. REM cancellation happens inside the
   // stream; stale long postings of moved documents (chunk != current
   // list chunk) and deleted documents are dropped here, so the new list
   // holds only live postings, each at its document's list chunk.
-  std::vector<ChunkGroup> groups;
-  std::vector<DocId> from_short_docs;
-  uint64_t n_postings = 0;
   {
     // Scoped so the stream's reader unpins the old blob's pages before
-    // they are freed.
+    // the plan is installed.
     CursorScratch scratch;
     uint64_t scanned = 0;
     MergedChunkStream stream(
-        ChunkPostingCursor(blobs_->NewReader(lists_[term]), with_ts_,
+        ChunkPostingCursor(blobs_->NewReader(old_ref), with_ts_,
                            ctx_.posting_format, &scratch),
         short_list_->Scan(term), &scanned);
     SVR_RETURN_NOT_OK(stream.Init());
@@ -369,7 +383,7 @@ Status ChunkIndexBase::MergeTerm(TermId term) {
       const ChunkId cid = stream.cid();
       bool live = true;
       if (stream.from_short()) {
-        from_short_docs.push_back(doc);
+        plan->from_short_docs.push_back(doc);
       } else {
         ListStateTable::Entry e;
         Status st = list_state_->Get(doc, &e);
@@ -389,25 +403,58 @@ Status ChunkIndexBase::MergeTerm(TermId term) {
         if (st.ok() && deleted) live = false;
       }
       if (live) {
-        if (groups.empty() || groups.back().cid != cid) {
-          groups.push_back(ChunkGroup{cid, {}});
+        if (plan->groups.empty() || plan->groups.back().cid != cid) {
+          plan->groups.push_back(ChunkGroup{cid, {}});
         }
-        groups.back().postings.push_back({doc, stream.term_score()});
-        ++n_postings;
+        plan->groups.back().postings.push_back({doc, stream.term_score()});
+        ++plan->n_postings;
       }
       SVR_RETURN_NOT_OK(stream.Next());
     }
   }
 
-  if (lists_[term].valid()) SVR_RETURN_NOT_OK(blobs_->Free(lists_[term]));
-  if (groups.empty()) {
-    lists_[term] = storage::BlobRef();
-  } else {
+  if (!plan->groups.empty()) {
     std::string buf;
-    EncodeChunkList(groups, with_ts_, &buf, ctx_.posting_format);
-    SVR_ASSIGN_OR_RETURN(lists_[term], blobs_->Write(buf));
+    EncodeChunkList(plan->groups, with_ts_, &buf, ctx_.posting_format);
+    SVR_ASSIGN_OR_RETURN(plan->new_ref, blobs_->Write(buf));
   }
-  long_counts_[term] = n_postings;
+  return std::unique_ptr<TermMergePlan>(std::move(plan));
+}
+
+Status ChunkIndexBase::InstallMergeTerm(TermMergePlan* plan,
+                                        const BlobRetirer& retire) {
+  auto* p = dynamic_cast<MergePlanImpl*>(plan);
+  if (p == nullptr) {
+    return Status::InvalidArgument("foreign merge plan");
+  }
+  const TermId term = p->term();
+  const storage::BlobRef current =
+      term < lists_.size() ? lists_[term] : storage::BlobRef();
+  if (short_list_->TermVersion(term) != p->short_version ||
+      current != p->old_ref) {
+    // The term changed between phases; the prepared blob was never
+    // published, so it is freed directly.
+    if (p->new_ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(p->new_ref));
+    p->new_ref = storage::BlobRef();
+    return Status::Aborted("term changed since PrepareMergeTerm");
+  }
+
+  if (term >= lists_.size()) {
+    lists_.resize(term + 1, storage::BlobRef());
+    long_counts_.resize(term + 1, 0);
+  }
+  // The publish point: one BlobRef swap. Everything after only retires
+  // state no reader resolves anymore.
+  lists_[term] = p->new_ref;
+  long_counts_[term] = p->n_postings;
+  p->new_ref = storage::BlobRef();  // consumed
+  if (current.valid()) {
+    if (retire) {
+      retire(current);
+    } else {
+      SVR_RETURN_NOT_OK(blobs_->Free(current));
+    }
+  }
   SVR_RETURN_NOT_OK(short_list_->DeleteTerm(term));
 
   // ListChunk cleanup: entries that merely *record* an unmoved doc's
@@ -415,7 +462,7 @@ Status ChunkIndexBase::MergeTerm(TermId term) {
   // postings left anywhere and the chunker would reproduce the value.
   // Entries of moved docs must stay — they are what marks the doc's
   // not-yet-merged long postings in *other* terms' lists as stale.
-  for (DocId doc : from_short_docs) {
+  for (DocId doc : p->from_short_docs) {
     if (short_list_->DocPostingCount(doc) != 0) continue;
     ListStateTable::Entry e;
     Status st = list_state_->Get(doc, &e);
@@ -431,8 +478,20 @@ Status ChunkIndexBase::MergeTerm(TermId term) {
   }
 
   ++stats_.term_merges;
-  stats_.merge_postings_written += n_postings;
-  return OnTermMerged(term, groups);
+  stats_.merge_postings_written += p->n_postings;
+  return OnTermMerged(term, p->groups);
+}
+
+Status ChunkIndexBase::ReclaimBlob(const storage::BlobRef& ref) {
+  return blobs_->Free(ref);
+}
+
+Status ChunkIndexBase::MergeTerm(TermId term) {
+  SVR_ASSIGN_OR_RETURN(auto plan, PrepareMergeTerm(term));
+  if (plan == nullptr) return Status::OK();
+  // Exclusive access: nothing can interleave, so the install cannot
+  // abort and the old blob is freed immediately.
+  return InstallMergeTerm(plan.get(), nullptr);
 }
 
 Status ChunkIndexBase::MergeAllTerms() {
@@ -449,6 +508,11 @@ Result<uint32_t> ChunkIndexBase::MaybeAutoMerge() {
   return merged;
 }
 
+std::vector<TermId> ChunkIndexBase::AutoMergeCandidates() const {
+  return SelectMergeCandidates(ctx_.merge_policy, *short_list_,
+                               long_counts_, short_list_->SizeBytes());
+}
+
 uint64_t ChunkIndexBase::LongListBytes() const {
   return blobs_->TotalDataBytes();
 }
@@ -459,7 +523,8 @@ uint64_t ChunkIndexBase::ShortListBytes() const {
 
 Status ChunkIndexBase::MakeStreams(const Query& query,
                                    std::vector<CursorScratch>* scratch,
-                                   std::vector<MergedChunkStream>* streams) {
+                                   std::vector<MergedChunkStream>* streams,
+                                   uint64_t* scanned) {
   streams->clear();
   // Sized once before any cursor captures a pointer into it.
   scratch->assign(query.terms.size(), CursorScratch());
@@ -471,7 +536,7 @@ Status ChunkIndexBase::MakeStreams(const Query& query,
     streams->emplace_back(
         ChunkPostingCursor(blobs_->NewReader(ref), with_ts_,
                            ctx_.posting_format, &(*scratch)[i]),
-        short_list_->Scan(t), &stats_.postings_scanned);
+        short_list_->Scan(t), scanned);
     SVR_RETURN_NOT_OK(streams->back().Init());
   }
   return Status::OK();
@@ -480,7 +545,7 @@ Status ChunkIndexBase::MakeStreams(const Query& query,
 Status ChunkIndexBase::JudgeCandidate(DocId doc, ChunkId cid,
                                       bool from_short, bool* live,
                                       double* current_score,
-                                      bool* deleted) {
+                                      bool* deleted, QueryStats* qs) {
   *live = true;
   *deleted = false;
   if (!from_short) {
@@ -501,7 +566,7 @@ Status ChunkIndexBase::JudgeCandidate(DocId doc, ChunkId cid,
   // cached, §5.3.1).
   Status st =
       ctx_.score_table->GetWithDeleted(doc, current_score, deleted);
-  ++stats_.score_lookups;
+  ++qs->score_lookups;
   if (st.IsNotFound()) {
     // Never-scored doc: not a result candidate (the oracle skips these
     // too), but no longer a query-killing error.

@@ -80,6 +80,12 @@ class ChunkIndexBase : public TextIndex {
   Status MergeTerm(TermId term) override;
   Status MergeAllTerms() override;
   Result<uint32_t> MaybeAutoMerge() override;
+  std::vector<TermId> AutoMergeCandidates() const override;
+  Result<std::unique_ptr<TermMergePlan>> PrepareMergeTerm(
+      TermId term) override;
+  Status InstallMergeTerm(TermMergePlan* plan,
+                          const BlobRetirer& retire) override;
+  Status ReclaimBlob(const storage::BlobRef& ref) override;
   Status RebuildIndex() override;
 
   uint64_t LongListBytes() const override;
@@ -109,14 +115,19 @@ class ChunkIndexBase : public TextIndex {
     return Status::OK();
   }
 
+  struct MergePlanImpl;
+
   Status BuildLongLists();
   float TsOf(DocId doc, TermId term) const;
 
-  /// One merged stream per query term. `scratch` must outlive `streams`
-  /// (the cursors refill blocks into it) and is sized by this call.
+  /// One merged stream per query term, charging scan work to `scanned`
+  /// (the calling query's local counter). `scratch` must outlive
+  /// `streams` (the cursors refill blocks into it) and is sized by this
+  /// call.
   Status MakeStreams(const Query& query,
                      std::vector<CursorScratch>* scratch,
-                     std::vector<MergedChunkStream>* streams);
+                     std::vector<MergedChunkStream>* streams,
+                     uint64_t* scanned);
 
   /// Classifies a candidate seen at a list position: stale long postings
   /// of short-moved documents are skipped; live ones get their current
@@ -124,9 +135,11 @@ class ChunkIndexBase : public TextIndex {
   /// chunk the posting was found in — a long posting of a moved document
   /// is stale exactly when it sits at a chunk other than the document's
   /// current list chunk (incrementally merged postings sit *at* it and
-  /// are live; see docs/merge_policy.md).
+  /// are live; see docs/merge_policy.md). Probe work is charged to the
+  /// calling query's counters `qs`.
   Status JudgeCandidate(DocId doc, ChunkId cid, bool from_short,
-                        bool* live, double* current_score, bool* deleted);
+                        bool* live, double* current_score, bool* deleted,
+                        QueryStats* qs);
 
   IndexContext ctx_;
   ChunkIndexOptions options_;

@@ -8,13 +8,19 @@ namespace svr::index {
 
 Status ChunkIndex::TopK(const Query& query, size_t k,
                         std::vector<SearchResult>* results) {
-  ++stats_.queries;
+  // Queries may run concurrently (reader side of the engine lock):
+  // accumulate counters locally and fold them once at the end.
+  QueryStats qs;
   results->clear();
-  if (query.terms.empty() || k == 0) return Status::OK();
+  if (query.terms.empty() || k == 0) {
+    FoldQueryStats(qs);
+    return Status::OK();
+  }
 
   std::vector<CursorScratch> scratch;
   std::vector<MergedChunkStream> streams;
-  SVR_RETURN_NOT_OK(MakeStreams(query, &scratch, &streams));
+  SVR_RETURN_NOT_OK(
+      MakeStreams(query, &scratch, &streams, &qs.postings_scanned));
 
   ResultHeap heap(k);
 
@@ -22,9 +28,9 @@ Status ChunkIndex::TopK(const Query& query, size_t k,
     bool live, deleted;
     double curr;
     SVR_RETURN_NOT_OK(JudgeCandidate(doc, cid, from_short, &live, &curr,
-                                     &deleted));
+                                     &deleted, &qs));
     if (live && !deleted) {
-      ++stats_.candidates_considered;
+      ++qs.candidates_considered;
       heap.Offer(doc, curr);
     }
     return Status::OK();
@@ -132,6 +138,7 @@ Status ChunkIndex::TopK(const Query& query, size_t k,
   }
 
   *results = heap.TakeSorted();
+  FoldQueryStats(qs);
   return Status::OK();
 }
 

@@ -81,9 +81,14 @@ Status ChunkTermScoreIndex::OnTermMerged(
 
 Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
                                  std::vector<SearchResult>* results) {
-  ++stats_.queries;
+  // Queries may run concurrently (reader side of the engine lock):
+  // accumulate counters locally and fold them once at the end.
+  QueryStats qs;
   results->clear();
-  if (query.terms.empty() || k == 0) return Status::OK();
+  if (query.terms.empty() || k == 0) {
+    FoldQueryStats(qs);
+    return Status::OK();
+  }
   const size_t n_terms = query.terms.size();
   if (n_terms > 64) {
     return Status::InvalidArgument(
@@ -102,7 +107,7 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
         t < fancy_refs_.size() ? fancy_refs_[t] : storage::BlobRef();
     SVR_RETURN_NOT_OK(DecodeFancyList(blobs_->NewReader(ref), &fancy[i],
                                       &min_fancy[i], ctx_.posting_format));
-    stats_.postings_scanned += fancy[i].size();
+    qs.postings_scanned += fancy[i].size();
   }
 
   struct RemainEntry {
@@ -160,9 +165,9 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
           bool deleted;
           Status st =
               ctx_.score_table->GetWithDeleted(doc, &svr, &deleted);
-          ++stats_.score_lookups;
+          ++qs.score_lookups;
           if (st.ok() && !deleted) {
-            ++stats_.candidates_considered;
+            ++qs.candidates_considered;
             heap.Offer(doc, svr + tw * e.known_ts_sum);
           } else if (!st.ok() && !st.IsNotFound()) {
             return st;
@@ -178,7 +183,8 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
   // --- Phase 2: chunk-by-chunk merge (Algorithm 3, lines 10-34) -------
   std::vector<CursorScratch> stream_scratch;
   std::vector<MergedChunkStream> streams;
-  SVR_RETURN_NOT_OK(MakeStreams(query, &stream_scratch, &streams));
+  SVR_RETURN_NOT_OK(MakeStreams(query, &stream_scratch, &streams,
+                                &qs.postings_scanned));
 
   // Per-term upper bound on the term score of any posting not seen in a
   // fancy list: the build-time min_fancy bound, raised to cover short
@@ -235,9 +241,9 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
       bool live, deleted;
       double svr;
       SVR_RETURN_NOT_OK(JudgeCandidate(min_doc, current, from_short,
-                                       &live, &svr, &deleted));
+                                       &live, &svr, &deleted, &qs));
       if (live && !deleted) {
-        ++stats_.candidates_considered;
+        ++qs.candidates_considered;
         heap.Offer(min_doc, svr + tw * ts_sum);
       }
     }
@@ -275,6 +281,7 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
   }
 
   *results = heap.TakeSorted();
+  FoldQueryStats(qs);
   return Status::OK();
 }
 

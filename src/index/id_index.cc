@@ -177,13 +177,13 @@ Status IdIndex::UpdateContent(DocId doc, const text::Document& old_doc) {
   }
   for (TermId t : old_doc.terms()) {
     if (!new_doc.Contains(t)) {
-      // An earlier short ADD (fresh/added term) is simply retracted; a
-      // term backed by the long list needs an explicit REM marker.
-      Status st = short_list_->Delete(t, 0.0, doc);
-      if (st.IsNotFound()) {
-        st = short_list_->Put(t, 0.0, doc, PostingOp::kRemove, 0.0f);
-      }
-      SVR_RETURN_NOT_OK(st);
+      // Always a REM marker, never a plain retraction: an ADD sitting at
+      // this key may be *shadowing* a long posting (remove → re-add
+      // overwrote the earlier REM), and deleting it would resurrect the
+      // long posting. A REM over nothing is skipped by every stream and
+      // folded away by the next merge, so the marker is always safe.
+      SVR_RETURN_NOT_OK(
+          short_list_->Put(t, 0.0, doc, PostingOp::kRemove, 0.0f));
       ++stats_.short_list_writes;
     }
   }
@@ -199,27 +199,39 @@ Status IdIndex::RebuildIndex() {
   return BuildLongLists();
 }
 
-Status IdIndex::MergeTerm(TermId term) {
-  // The vocabulary may have grown past the build-time long lists
-  // (inserted documents intern new terms).
-  if (term >= lists_.size()) {
-    lists_.resize(term + 1, storage::BlobRef());
-    long_counts_.resize(term + 1, 0);
+struct IdIndex::MergePlanImpl : TermMergePlan {
+  explicit MergePlanImpl(TermId t) : TermMergePlan(t) {}
+
+  uint64_t short_version = 0;   // ShortList::TermVersion at Prepare
+  storage::BlobRef old_ref;     // the published blob Prepare streamed
+  storage::BlobRef new_ref;     // written but unpublished replacement
+  uint64_t n_postings = 0;
+};
+
+Result<std::unique_ptr<TermMergePlan>> IdIndex::PrepareMergeTerm(
+    TermId term) {
+  // Reader phase: must not mutate anything a concurrent query can see —
+  // the vocabulary may have grown past the build-time long lists, but
+  // the resize waits for Install.
+  const storage::BlobRef old_ref =
+      term < lists_.size() ? lists_[term] : storage::BlobRef();
+  if (!old_ref.valid() && short_list_->TermPostingCount(term) == 0) {
+    return std::unique_ptr<TermMergePlan>();  // nothing on either side
   }
-  if (!lists_[term].valid() && short_list_->TermPostingCount(term) == 0) {
-    return Status::OK();  // nothing on either side
-  }
+  auto plan = std::make_unique<MergePlanImpl>(term);
+  plan->short_version = short_list_->TermVersion(term);
+  plan->old_ref = old_ref;
 
   // Stream the merged (long ∪ short) view — the exact view queries see,
   // REM cancellation included — into a fresh posting vector. Deleted
   // documents are dropped, like a rebuild would. The stream is scoped so
-  // its reader unpins the old blob's pages before they are freed.
+  // its reader unpins the old blob's pages before the plan is installed.
   std::vector<IdPosting> merged;
   {
     CursorScratch scratch;
     uint64_t scanned = 0;
     TermStream stream(
-        IdPostingCursor(blobs_->NewReader(lists_[term]), with_ts_,
+        IdPostingCursor(blobs_->NewReader(old_ref), with_ts_,
                         ctx_.posting_format, &scratch),
         short_list_->Scan(term), &scanned);
     SVR_RETURN_NOT_OK(stream.Init());
@@ -236,19 +248,65 @@ Status IdIndex::MergeTerm(TermId term) {
     }
   }
 
-  if (lists_[term].valid()) SVR_RETURN_NOT_OK(blobs_->Free(lists_[term]));
-  if (merged.empty()) {
-    lists_[term] = storage::BlobRef();
-  } else {
+  if (!merged.empty()) {
     std::string buf;
     EncodeIdTsList(merged, with_ts_, &buf, ctx_.posting_format);
-    SVR_ASSIGN_OR_RETURN(lists_[term], blobs_->Write(buf));
+    SVR_ASSIGN_OR_RETURN(plan->new_ref, blobs_->Write(buf));
   }
-  long_counts_[term] = merged.size();
+  plan->n_postings = merged.size();
+  return std::unique_ptr<TermMergePlan>(std::move(plan));
+}
+
+Status IdIndex::InstallMergeTerm(TermMergePlan* plan,
+                                 const BlobRetirer& retire) {
+  auto* p = dynamic_cast<MergePlanImpl*>(plan);
+  if (p == nullptr) {
+    return Status::InvalidArgument("foreign merge plan");
+  }
+  const TermId term = p->term();
+  const storage::BlobRef current =
+      term < lists_.size() ? lists_[term] : storage::BlobRef();
+  if (short_list_->TermVersion(term) != p->short_version ||
+      current != p->old_ref) {
+    // The term changed between phases; the prepared blob was never
+    // published, so it is freed directly.
+    if (p->new_ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(p->new_ref));
+    p->new_ref = storage::BlobRef();
+    return Status::Aborted("term changed since PrepareMergeTerm");
+  }
+
+  if (term >= lists_.size()) {
+    lists_.resize(term + 1, storage::BlobRef());
+    long_counts_.resize(term + 1, 0);
+  }
+  // The publish point: one BlobRef swap. Everything after only retires
+  // state no reader resolves anymore.
+  lists_[term] = p->new_ref;
+  long_counts_[term] = p->n_postings;
+  p->new_ref = storage::BlobRef();  // consumed
+  if (current.valid()) {
+    if (retire) {
+      retire(current);
+    } else {
+      SVR_RETURN_NOT_OK(blobs_->Free(current));
+    }
+  }
   SVR_RETURN_NOT_OK(short_list_->DeleteTerm(term));
   ++stats_.term_merges;
-  stats_.merge_postings_written += merged.size();
+  stats_.merge_postings_written += p->n_postings;
   return Status::OK();
+}
+
+Status IdIndex::ReclaimBlob(const storage::BlobRef& ref) {
+  return blobs_->Free(ref);
+}
+
+Status IdIndex::MergeTerm(TermId term) {
+  SVR_ASSIGN_OR_RETURN(auto plan, PrepareMergeTerm(term));
+  if (plan == nullptr) return Status::OK();
+  // Exclusive access: nothing can interleave, so the install cannot
+  // abort and the old blob is freed immediately.
+  return InstallMergeTerm(plan.get(), nullptr);
 }
 
 Status IdIndex::MergeAllTerms() {
@@ -265,15 +323,25 @@ Result<uint32_t> IdIndex::MaybeAutoMerge() {
   return merged;
 }
 
+std::vector<TermId> IdIndex::AutoMergeCandidates() const {
+  return SelectMergeCandidates(ctx_.merge_policy, *short_list_,
+                               long_counts_, short_list_->SizeBytes());
+}
+
 uint64_t IdIndex::LongListBytes() const {
   return blobs_->TotalDataBytes();
 }
 
 Status IdIndex::TopK(const Query& query, size_t k,
                      std::vector<SearchResult>* results) {
-  ++stats_.queries;
+  // Queries may run concurrently (reader side of the engine lock):
+  // accumulate counters locally and fold them once at the end.
+  QueryStats qs;
   results->clear();
-  if (query.terms.empty() || k == 0) return Status::OK();
+  if (query.terms.empty() || k == 0) {
+    FoldQueryStats(qs);
+    return Status::OK();
+  }
 
   // One scratch block per stream, owned here: the whole query decodes
   // into these buffers with no per-posting allocation.
@@ -287,7 +355,7 @@ Status IdIndex::TopK(const Query& query, size_t k,
     streams.emplace_back(
         IdPostingCursor(blobs_->NewReader(ref), with_ts_,
                         ctx_.posting_format, &scratch[i]),
-        short_list_->Scan(t), &stats_.postings_scanned);
+        short_list_->Scan(t), &qs.postings_scanned);
     SVR_RETURN_NOT_OK(streams.back().Init());
   }
 
@@ -296,11 +364,11 @@ Status IdIndex::TopK(const Query& query, size_t k,
     double svr;
     bool deleted;
     Status st = ctx_.score_table->GetWithDeleted(doc, &svr, &deleted);
-    ++stats_.score_lookups;
+    ++qs.score_lookups;
     if (st.IsNotFound()) return Status::OK();  // never scored: skip
     SVR_RETURN_NOT_OK(st);
     if (deleted) return Status::OK();
-    ++stats_.candidates_considered;
+    ++qs.candidates_considered;
     heap.Offer(doc, svr + (with_ts_ ? ts_options_.term_weight * ts_sum
                                     : 0.0));
     return Status::OK();
@@ -355,6 +423,7 @@ Status IdIndex::TopK(const Query& query, size_t k,
   }
 
   *results = heap.TakeSorted();
+  FoldQueryStats(qs);
   return Status::OK();
 }
 

@@ -44,6 +44,12 @@ class IdIndex final : public TextIndex {
   Status MergeTerm(TermId term) override;
   Status MergeAllTerms() override;
   Result<uint32_t> MaybeAutoMerge() override;
+  std::vector<TermId> AutoMergeCandidates() const override;
+  Result<std::unique_ptr<TermMergePlan>> PrepareMergeTerm(
+      TermId term) override;
+  Status InstallMergeTerm(TermMergePlan* plan,
+                          const BlobRetirer& retire) override;
+  Status ReclaimBlob(const storage::BlobRef& ref) override;
   Status RebuildIndex() override;
 
   uint64_t LongListBytes() const override;
@@ -58,6 +64,7 @@ class IdIndex final : public TextIndex {
   // Unified (long ∪ short) doc-ordered stream for one term, with REM
   // cancellation.
   class TermStream;
+  struct MergePlanImpl;
 
   Status BuildLongLists();
   float TsOf(DocId doc, TermId term) const;

@@ -263,11 +263,13 @@ Status ScoreThresholdIndex::UpdateContent(DocId doc,
   }
   for (TermId t : old_doc.terms()) {
     if (!new_doc.Contains(t)) {
-      Status st = short_list_->Delete(t, l_score, doc);
-      if (st.IsNotFound()) {
-        st = short_list_->Put(t, l_score, doc, PostingOp::kRemove, 0.0f);
-      }
-      SVR_RETURN_NOT_OK(st);
+      // Always a REM marker, never a plain retraction: an ADD sitting at
+      // this key may be *shadowing* a long posting (remove → re-add
+      // overwrote the earlier REM), and deleting it would resurrect the
+      // long posting. A REM over nothing is skipped by every stream and
+      // folded away by the next merge, so the marker is always safe.
+      SVR_RETURN_NOT_OK(
+          short_list_->Put(t, l_score, doc, PostingOp::kRemove, 0.0f));
       ++stats_.short_list_writes;
     }
   }
@@ -284,14 +286,28 @@ Status ScoreThresholdIndex::RebuildIndex() {
   return BuildLongLists();
 }
 
-Status ScoreThresholdIndex::MergeTerm(TermId term) {
-  if (term >= lists_.size()) {
-    lists_.resize(term + 1, storage::BlobRef());
-    long_counts_.resize(term + 1, 0);
+struct ScoreThresholdIndex::MergePlanImpl : TermMergePlan {
+  explicit MergePlanImpl(TermId t) : TermMergePlan(t) {}
+
+  uint64_t short_version = 0;   // ShortList::TermVersion at Prepare
+  storage::BlobRef old_ref;     // the published blob Prepare streamed
+  storage::BlobRef new_ref;     // written but unpublished replacement
+  uint64_t n_postings = 0;
+  std::vector<DocId> from_short_docs;  // for the ListScore cleanup
+};
+
+Result<std::unique_ptr<TermMergePlan>> ScoreThresholdIndex::PrepareMergeTerm(
+    TermId term) {
+  // Reader phase: must not mutate anything a concurrent query can see
+  // (the lists_ resize for grown vocabularies waits for Install).
+  const storage::BlobRef old_ref =
+      term < lists_.size() ? lists_[term] : storage::BlobRef();
+  if (!old_ref.valid() && short_list_->TermPostingCount(term) == 0) {
+    return std::unique_ptr<TermMergePlan>();
   }
-  if (!lists_[term].valid() && short_list_->TermPostingCount(term) == 0) {
-    return Status::OK();
-  }
+  auto plan = std::make_unique<MergePlanImpl>(term);
+  plan->short_version = short_list_->TermVersion(term);
+  plan->old_ref = old_ref;
 
   // Stream the merged (long ∪ short) view in (score desc, doc asc)
   // order — the exact view queries consume, REM cancellation included.
@@ -299,14 +315,13 @@ Status ScoreThresholdIndex::MergeTerm(TermId term) {
   // and deleted documents are dropped; every surviving posting sits at
   // its document's list score, so Lemma 1 keeps holding for the new list.
   std::vector<ScorePosting> merged;
-  std::vector<DocId> from_short_docs;
   {
     // Scoped so the stream's reader unpins the old blob's pages before
-    // they are freed.
+    // the plan is installed.
     ScoreCursorScratch scratch;
     uint64_t scanned = 0;
     TermStream stream(
-        ScorePostingCursor(blobs_->NewReader(lists_[term]),
+        ScorePostingCursor(blobs_->NewReader(old_ref),
                            ctx_.posting_format, &scratch),
         short_list_->Scan(term), &scanned);
     SVR_RETURN_NOT_OK(stream.Init());
@@ -314,7 +329,7 @@ Status ScoreThresholdIndex::MergeTerm(TermId term) {
       const DocId doc = stream.doc();
       bool live = true;
       if (stream.from_short()) {
-        from_short_docs.push_back(doc);
+        plan->from_short_docs.push_back(doc);
       } else {
         ListStateTable::Entry e;
         Status st = list_state_->Get(doc, &e);
@@ -337,15 +352,49 @@ Status ScoreThresholdIndex::MergeTerm(TermId term) {
     }
   }
 
-  if (lists_[term].valid()) SVR_RETURN_NOT_OK(blobs_->Free(lists_[term]));
-  if (merged.empty()) {
-    lists_[term] = storage::BlobRef();
-  } else {
+  if (!merged.empty()) {
     std::string buf;
     EncodeScoreList(merged, &buf, ctx_.posting_format);
-    SVR_ASSIGN_OR_RETURN(lists_[term], blobs_->Write(buf));
+    SVR_ASSIGN_OR_RETURN(plan->new_ref, blobs_->Write(buf));
   }
-  long_counts_[term] = merged.size();
+  plan->n_postings = merged.size();
+  return std::unique_ptr<TermMergePlan>(std::move(plan));
+}
+
+Status ScoreThresholdIndex::InstallMergeTerm(TermMergePlan* plan,
+                                             const BlobRetirer& retire) {
+  auto* p = dynamic_cast<MergePlanImpl*>(plan);
+  if (p == nullptr) {
+    return Status::InvalidArgument("foreign merge plan");
+  }
+  const TermId term = p->term();
+  const storage::BlobRef current =
+      term < lists_.size() ? lists_[term] : storage::BlobRef();
+  if (short_list_->TermVersion(term) != p->short_version ||
+      current != p->old_ref) {
+    // The term changed between phases; the prepared blob was never
+    // published, so it is freed directly.
+    if (p->new_ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(p->new_ref));
+    p->new_ref = storage::BlobRef();
+    return Status::Aborted("term changed since PrepareMergeTerm");
+  }
+
+  if (term >= lists_.size()) {
+    lists_.resize(term + 1, storage::BlobRef());
+    long_counts_.resize(term + 1, 0);
+  }
+  // The publish point: one BlobRef swap. Everything after only retires
+  // state no reader resolves anymore.
+  lists_[term] = p->new_ref;
+  long_counts_[term] = p->n_postings;
+  p->new_ref = storage::BlobRef();  // consumed
+  if (current.valid()) {
+    if (retire) {
+      retire(current);
+    } else {
+      SVR_RETURN_NOT_OK(blobs_->Free(current));
+    }
+  }
   SVR_RETURN_NOT_OK(short_list_->DeleteTerm(term));
 
   // ListScore cleanup: an unmoved doc's entry (in_short == false) can go
@@ -353,7 +402,7 @@ Status ScoreThresholdIndex::MergeTerm(TermId term) {
   // the recorded list score (the fallback reproduces it). Moved docs'
   // entries must stay — they mark not-yet-merged long postings in other
   // terms' lists as stale.
-  for (DocId doc : from_short_docs) {
+  for (DocId doc : p->from_short_docs) {
     if (short_list_->DocPostingCount(doc) != 0) continue;
     ListStateTable::Entry e;
     Status st = list_state_->Get(doc, &e);
@@ -369,8 +418,20 @@ Status ScoreThresholdIndex::MergeTerm(TermId term) {
   }
 
   ++stats_.term_merges;
-  stats_.merge_postings_written += merged.size();
+  stats_.merge_postings_written += p->n_postings;
   return Status::OK();
+}
+
+Status ScoreThresholdIndex::ReclaimBlob(const storage::BlobRef& ref) {
+  return blobs_->Free(ref);
+}
+
+Status ScoreThresholdIndex::MergeTerm(TermId term) {
+  SVR_ASSIGN_OR_RETURN(auto plan, PrepareMergeTerm(term));
+  if (plan == nullptr) return Status::OK();
+  // Exclusive access: nothing can interleave, so the install cannot
+  // abort and the old blob is freed immediately.
+  return InstallMergeTerm(plan.get(), nullptr);
 }
 
 Status ScoreThresholdIndex::MergeAllTerms() {
@@ -387,11 +448,21 @@ Result<uint32_t> ScoreThresholdIndex::MaybeAutoMerge() {
   return merged;
 }
 
+std::vector<TermId> ScoreThresholdIndex::AutoMergeCandidates() const {
+  return SelectMergeCandidates(ctx_.merge_policy, *short_list_,
+                               long_counts_, short_list_->SizeBytes());
+}
+
 Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
                                  std::vector<SearchResult>* results) {
-  ++stats_.queries;
+  // Queries may run concurrently (reader side of the engine lock):
+  // accumulate counters locally and fold them once at the end.
+  QueryStats qs;
   results->clear();
-  if (query.terms.empty() || k == 0) return Status::OK();
+  if (query.terms.empty() || k == 0) {
+    FoldQueryStats(qs);
+    return Status::OK();
+  }
 
   std::vector<ScoreCursorScratch> scratch(query.terms.size());
   std::vector<TermStream> streams;
@@ -403,7 +474,7 @@ Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
     streams.emplace_back(
         ScorePostingCursor(blobs_->NewReader(ref), ctx_.posting_format,
                            &scratch[i]),
-        short_list_->Scan(t), &stats_.postings_scanned);
+        short_list_->Scan(t), &qs.postings_scanned);
     SVR_RETURN_NOT_OK(streams.back().Init());
   }
 
@@ -431,7 +502,7 @@ Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
       } else if (!st.ok()) {
         return st;
       }
-      ++stats_.score_lookups;
+      ++qs.score_lookups;
     } else {
       ListStateTable::Entry e;
       Status st = list_state_->Get(pos.doc, &e);
@@ -445,7 +516,7 @@ Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
           Status st2 =
               ctx_.score_table->GetWithDeleted(pos.doc, &curr, &deleted);
           if (!st2.ok() && !st2.IsNotFound()) return st2;
-          ++stats_.score_lookups;
+          ++qs.score_lookups;
         }
       } else if (st.IsNotFound()) {
         // Never updated: the list score is the current score (line 18).
@@ -462,14 +533,14 @@ Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
           } else if (!st2.ok()) {
             return st2;
           }
-          ++stats_.score_lookups;
+          ++qs.score_lookups;
         }
       } else {
         return st;
       }
     }
     if (!skip && !deleted) {
-      ++stats_.candidates_considered;
+      ++qs.candidates_considered;
       heap.Offer(pos.doc, curr);
     }
     // Lines 22-24: arm the threshold once k results at/above this list
@@ -550,6 +621,7 @@ Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
   }
 
   *results = heap.TakeSorted();
+  FoldQueryStats(qs);
   return Status::OK();
 }
 

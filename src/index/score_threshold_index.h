@@ -46,6 +46,12 @@ class ScoreThresholdIndex final : public TextIndex {
   Status MergeTerm(TermId term) override;
   Status MergeAllTerms() override;
   Result<uint32_t> MaybeAutoMerge() override;
+  std::vector<TermId> AutoMergeCandidates() const override;
+  Result<std::unique_ptr<TermMergePlan>> PrepareMergeTerm(
+      TermId term) override;
+  Status InstallMergeTerm(TermMergePlan* plan,
+                          const BlobRetirer& retire) override;
+  Status ReclaimBlob(const storage::BlobRef& ref) override;
   Status RebuildIndex() override;
 
   uint64_t LongListBytes() const override {
@@ -69,6 +75,7 @@ class ScoreThresholdIndex final : public TextIndex {
 
  private:
   class TermStream;
+  struct MergePlanImpl;
 
   Status BuildLongLists();
 

@@ -80,6 +80,7 @@ Status ShortList::Put(TermId term, double sort_value, DocId doc,
   const uint64_t before = tree_->size();
   SVR_RETURN_NOT_OK(tree_->Put(MakeKey(term, sort_value, doc), v));
   if (tree_->size() > before) Account(term, doc, +1);
+  BumpVersion(term);
   if (term_score > 0.0f) {
     float& mx = term_max_ts_[term];
     if (term_score > mx) mx = term_score;
@@ -90,6 +91,7 @@ Status ShortList::Put(TermId term, double sort_value, DocId doc,
 Status ShortList::Delete(TermId term, double sort_value, DocId doc) {
   SVR_RETURN_NOT_OK(tree_->Delete(MakeKey(term, sort_value, doc)));
   Account(term, doc, -1);
+  BumpVersion(term);
   return Status::OK();
 }
 
@@ -110,6 +112,7 @@ Status ShortList::DeleteTerm(TermId term) {
     Account(term, docs[i], -1);
   }
   term_max_ts_.erase(term);
+  if (!keys.empty()) BumpVersion(term);
   return Status::OK();
 }
 
@@ -127,6 +130,11 @@ uint64_t ShortList::TermApproxBytes(TermId term) const {
   return TermPostingCount(term) * EntryBytes();
 }
 
+uint64_t ShortList::TermVersion(TermId term) const {
+  auto it = term_versions_.find(term);
+  return it == term_versions_.end() ? 0 : it->second;
+}
+
 float ShortList::TermMaxTs(TermId term) const {
   auto it = term_max_ts_.find(term);
   return it == term_max_ts_.end() ? 0.0f : it->second;
@@ -139,6 +147,10 @@ Status ShortList::Clear() {
   }
   for (const auto& k : keys) {
     SVR_RETURN_NOT_OK(tree_->Delete(k));
+  }
+  for (const auto& [term, count] : term_counts_) {
+    (void)count;
+    BumpVersion(term);
   }
   term_counts_.clear();
   doc_counts_.clear();

@@ -103,6 +103,13 @@ class ShortList {
   /// excludes B+-tree page overhead). Used by the policy's byte budget.
   uint64_t TermApproxBytes(TermId term) const;
 
+  /// Monotone per-term modification stamp: changes whenever any posting
+  /// of `term` is inserted, overwritten, deleted or range-erased. The
+  /// two-phase merge captures it at Prepare and re-checks it at Install
+  /// to detect writes that landed in between (docs/concurrency.md).
+  /// 0 means "never modified".
+  uint64_t TermVersion(TermId term) const;
+
   /// Terms that currently have postings, with their counts. The map the
   /// auto-merge policy iterates — only churned terms appear.
   const std::unordered_map<TermId, uint64_t>& term_counts() const {
@@ -119,12 +126,19 @@ class ShortList {
   std::string MakeKey(TermId term, double sort_value, DocId doc) const;
   uint64_t EntryBytes() const;
   void Account(TermId term, DocId doc, int delta);
+  void BumpVersion(TermId term) {
+    term_versions_[term] = ++version_counter_;
+  }
 
   std::unique_ptr<storage::BPlusTree> tree_;
   KeyKind kind_;
   std::unordered_map<TermId, uint64_t> term_counts_;
   std::unordered_map<DocId, uint64_t> doc_counts_;
   std::unordered_map<TermId, float> term_max_ts_;
+  /// Stamps are drawn from one list-wide counter so they never repeat,
+  /// even across DeleteTerm/Clear cycles (an ABA-free version check).
+  std::unordered_map<TermId, uint64_t> term_versions_;
+  uint64_t version_counter_ = 0;
 };
 
 }  // namespace svr::index

@@ -2,9 +2,13 @@
 #define SVR_INDEX_TEXT_INDEX_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "relational/score_table.h"
@@ -29,6 +33,16 @@ struct Query {
   std::vector<TermId> terms;
   /// true: documents must contain all terms; false: at least one (§4.1).
   bool conjunctive = true;
+};
+
+/// Per-query counter sink. TopK implementations accumulate into a local
+/// instance and fold it into the shared stats once per query, so
+/// concurrent readers (docs/concurrency.md) contend on one mutex
+/// acquisition per query instead of one per posting.
+struct QueryStats {
+  uint64_t postings_scanned = 0;
+  uint64_t score_lookups = 0;
+  uint64_t candidates_considered = 0;
 };
 
 /// Counters for behavioural assertions and benchmark reporting.
@@ -82,10 +96,43 @@ struct TermScoreOptions {
   double term_weight = 1000.0;
 };
 
+/// \brief Opaque product of PrepareMergeTerm, consumed once by
+/// InstallMergeTerm. Each index method derives its own plan carrying the
+/// freshly encoded (but not yet published) long-list blob plus whatever
+/// the install step needs to validate and publish it.
+class TermMergePlan {
+ public:
+  virtual ~TermMergePlan() = default;
+
+  TermId term() const { return term_; }
+
+ protected:
+  explicit TermMergePlan(TermId term) : term_(term) {}
+
+ private:
+  TermId term_;
+};
+
+/// How InstallMergeTerm disposes of the blob it replaces. When null the
+/// old blob is freed immediately (safe under exclusive access, i.e. the
+/// synchronous MergeTerm path); the background scheduler passes a
+/// callback that retires the blob to the epoch manager instead, so pages
+/// a concurrent reader may still be streaming are reclaimed only after
+/// its epoch guard is released (docs/concurrency.md).
+using BlobRetirer = std::function<void(const storage::BlobRef&)>;
+
 /// \brief Interface shared by all six inverted-list methods of §4.
 ///
 /// Lifecycle: construct -> Build(corpus snapshot + Score table already
 /// populated) -> interleave OnScoreUpdate / TopK / document operations.
+///
+/// Thread model (docs/concurrency.md): the index itself is not
+/// internally synchronized. Callers enforce a reader/writer discipline —
+/// TopK and PrepareMergeTerm are reader operations that may run
+/// concurrently with each other; everything that mutates (DML hooks,
+/// InstallMergeTerm, MergeTerm, rebuilds) requires exclusive access.
+/// The stats are the one exception: they are safe to fold/read from
+/// concurrent readers via the internal stats mutex.
 class TextIndex {
  public:
   virtual ~TextIndex() = default;
@@ -149,6 +196,50 @@ class TextIndex {
   /// policy is disabled or the method has no short lists.
   virtual Result<uint32_t> MaybeAutoMerge() { return uint32_t{0}; }
 
+  /// The terms one policy sweep would merge right now (the trigger
+  /// evaluation of MaybeAutoMerge without the merging). The background
+  /// scheduler turns these into queue jobs on the write path.
+  virtual std::vector<TermId> AutoMergeCandidates() const { return {}; }
+
+  // --- two-phase merge (background scheduler; docs/concurrency.md) ----
+  //
+  // MergeTerm(t) == InstallMergeTerm(PrepareMergeTerm(t)) with immediate
+  // blob disposal. The split lets the expensive phase — streaming the
+  // merged long ∪ short view and encoding the replacement blob — run as
+  // a *reader*, concurrently with queries, while the publish step is a
+  // short exclusive critical section: swap the term's BlobRef, erase the
+  // short range, retire the old blob.
+
+  /// Reader phase: streams term's merged view and writes the replacement
+  /// blob (unpublished — no reader can resolve it yet). Returns null when
+  /// the term has nothing to merge. Must be called with at least shared
+  /// (reader) access; never mutates reader-visible state.
+  virtual Result<std::unique_ptr<TermMergePlan>> PrepareMergeTerm(
+      TermId term) {
+    (void)term;
+    return Status::NotSupported(name() + ": two-phase merge");
+  }
+
+  /// Writer phase: validates that the term's short list is unchanged
+  /// since Prepare (else frees the prepared blob and returns Aborted —
+  /// the caller re-runs the job), then publishes the new blob with a
+  /// single BlobRef swap and erases the term's short range. The replaced
+  /// blob goes to `retire` (or is freed immediately when null).
+  virtual Status InstallMergeTerm(TermMergePlan* plan,
+                                  const BlobRetirer& retire) {
+    (void)plan;
+    (void)retire;
+    return Status::NotSupported(name() + ": two-phase merge");
+  }
+
+  /// Frees a blob previously handed to a BlobRetirer. Called by the
+  /// epoch manager's reclaim pass, possibly from another thread; only
+  /// touches the (internally synchronized) blob store.
+  virtual Status ReclaimBlob(const storage::BlobRef& ref) {
+    (void)ref;
+    return Status::NotSupported(name() + ": blob reclamation");
+  }
+
   /// Offline maintenance: rebuilds the long lists from scratch (corpus
   /// re-scan; chunk boundaries are re-fitted to the current score
   /// distribution). The heavyweight counterpart of MergeTerm, kept for
@@ -164,11 +255,34 @@ class TextIndex {
   /// Number of live short-list postings, 0 if the method has none.
   virtual uint64_t ShortPostingCount() const { return 0; }
 
-  const IndexStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IndexStats(); }
+  /// Snapshot of the counters. Copied under the stats mutex so it is
+  /// safe against concurrent queries folding their per-query counts.
+  IndexStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = IndexStats();
+  }
 
  protected:
+  /// Folds one finished query's counters into the shared stats. The only
+  /// stats path that may run outside exclusive access.
+  void FoldQueryStats(const QueryStats& q) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.queries;
+    stats_.postings_scanned += q.postings_scanned;
+    stats_.score_lookups += q.score_lookups;
+    stats_.candidates_considered += q.candidates_considered;
+  }
+
+  /// Write-path counters are mutated directly (always under exclusive
+  /// access); reads from other threads go through stats().
   IndexStats stats_;
+
+ private:
+  mutable std::mutex stats_mu_;
 };
 
 }  // namespace svr::index

@@ -1,6 +1,7 @@
 #ifndef SVR_STORAGE_BLOB_STORE_H_
 #define SVR_STORAGE_BLOB_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -19,6 +20,12 @@ struct BlobRef {
   uint64_t size_bytes = 0;
 
   bool valid() const { return first_page != kInvalidPageId; }
+
+  bool operator==(const BlobRef& o) const {
+    return first_page == o.first_page && num_pages == o.num_pages &&
+           size_bytes == o.size_bytes;
+  }
+  bool operator!=(const BlobRef& o) const { return !(*this == o); }
 };
 
 /// \brief Storage for immutable byte blobs, used for the *long* inverted
@@ -29,6 +36,12 @@ struct BlobRef {
 /// Writes go straight to the PageStore (bulk build); reads go through the
 /// BufferPool so the cold-cache protocol and the page-I/O statistics see
 /// them.
+///
+/// Thread-safe to the extent the concurrency model needs: Write and Free
+/// ride on the internally synchronized pool/store, the size accounting
+/// is atomic, and Readers over distinct (published, immutable) blobs may
+/// run on any number of threads. Publication of a blob's *ref* is the
+/// caller's job (docs/concurrency.md).
 class BlobStore {
  public:
   explicit BlobStore(BufferPool* pool) : pool_(pool) {}
@@ -94,8 +107,8 @@ class BlobStore {
 
  private:
   BufferPool* pool_;
-  uint64_t total_pages_ = 0;
-  uint64_t total_data_bytes_ = 0;
+  std::atomic<uint64_t> total_pages_{0};
+  std::atomic<uint64_t> total_data_bytes_{0};
 };
 
 }  // namespace svr::storage

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/result.h"
@@ -73,6 +74,14 @@ class PageHandle {
 /// Capacity is expressed in pages. When every frame is pinned the pool
 /// grows past capacity rather than failing (and counts the overflow);
 /// steady-state working sets in this codebase pin O(tree depth) pages.
+///
+/// Thread-safe: the frame table, recency list and statistics are guarded
+/// by an internal mutex, so pins/unpins may come from any thread
+/// (queries, the background merge worker, epoch reclamation). Page
+/// *contents* are not synchronized here — writers of a given page must
+/// be serialized by the caller (docs/concurrency.md: table-side pages
+/// are only written under the engine's exclusive lock; blob pages are
+/// immutable once published).
 class BufferPool {
  public:
   BufferPool(PageStore* store, uint64_t capacity_pages);
@@ -102,11 +111,23 @@ class BufferPool {
   /// protocol for query measurements (§5.2).
   Status EvictAll();
 
+  /// Unsynchronized view for single-threaded measurement loops; use
+  /// StatsSnapshot() when other threads may be touching the pool.
   const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  BufferPoolStats StatsSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = BufferPoolStats();
+  }
 
   uint64_t capacity_pages() const { return capacity_; }
-  uint64_t cached_pages() const { return frames_.size(); }
+  uint64_t cached_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_.size();
+  }
   uint32_t page_size() const { return store_->page_size(); }
   PageStore* store() const { return store_; }
 
@@ -116,6 +137,8 @@ class BufferPool {
   using Frame = PageHandle::Frame;
 
   void Unpin(Frame* frame);
+  // Dirty-page writeback shared by FlushAll/EvictAll; caller holds mu_.
+  Status FlushAllLocked();
   // Unlinks `frame` from the recency list if it is on it.
   void LruUnlink(Frame* frame);
   // Pushes `frame` at the most-recent end.
@@ -126,6 +149,8 @@ class BufferPool {
 
   PageStore* store_;
   uint64_t capacity_;
+  /// Guards frames_, the recency list, pin counts and stats_.
+  mutable std::mutex mu_;
   std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
   // Intrusive recency list of unpinned frames; victims from the tail.
   Frame* lru_head_ = nullptr;

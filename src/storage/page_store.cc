@@ -12,6 +12,7 @@ bool InMemoryPageStore::IsLive(PageId id) const {
 }
 
 Status InMemoryPageStore::Read(PageId id, char* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!IsLive(id)) {
     return Status::InvalidArgument("read of unallocated page");
   }
@@ -21,6 +22,7 @@ Status InMemoryPageStore::Read(PageId id, char* buf) {
 }
 
 Status InMemoryPageStore::Write(PageId id, const char* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!IsLive(id)) {
     return Status::InvalidArgument("write of unallocated page");
   }
@@ -30,6 +32,7 @@ Status InMemoryPageStore::Write(PageId id, const char* buf) {
 }
 
 Result<PageId> InMemoryPageStore::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.allocations;
   ++live_pages_;
   if (!free_list_.empty()) {
@@ -47,6 +50,7 @@ Result<PageId> InMemoryPageStore::Allocate() {
 }
 
 Result<PageId> InMemoryPageStore::AllocateRun(uint32_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (n == 0) return Status::InvalidArgument("empty page run");
   // Runs are always carved off the end so they are contiguous.
   PageId first = static_cast<PageId>(pages_.size());
@@ -61,6 +65,7 @@ Result<PageId> InMemoryPageStore::AllocateRun(uint32_t n) {
 }
 
 Status InMemoryPageStore::Free(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!IsLive(id)) {
     return Status::InvalidArgument("free of unallocated page");
   }
@@ -88,6 +93,7 @@ FilePageStore::~FilePageStore() {
 }
 
 Status FilePageStore::Read(PageId id, char* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= num_pages_) {
     return Status::InvalidArgument("read of unallocated page");
   }
@@ -102,6 +108,7 @@ Status FilePageStore::Read(PageId id, char* buf) {
 }
 
 Status FilePageStore::Write(PageId id, const char* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= num_pages_) {
     return Status::InvalidArgument("write of unallocated page");
   }
@@ -116,6 +123,7 @@ Status FilePageStore::Write(PageId id, const char* buf) {
 }
 
 Result<PageId> FilePageStore::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.allocations;
   ++live_pages_;
   if (!free_list_.empty()) {
@@ -134,6 +142,7 @@ Result<PageId> FilePageStore::Allocate() {
 }
 
 Result<PageId> FilePageStore::AllocateRun(uint32_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (n == 0) return Status::InvalidArgument("empty page run");
   PageId first = static_cast<PageId>(num_pages_);
   std::string zeros(static_cast<size_t>(page_size_) * n, '\0');
@@ -148,6 +157,7 @@ Result<PageId> FilePageStore::AllocateRun(uint32_t n) {
 }
 
 Status FilePageStore::Free(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= num_pages_) {
     return Status::InvalidArgument("free of unallocated page");
   }

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -52,7 +53,9 @@ class PageStore {
   PageStoreStats stats_;
 };
 
-/// Heap-backed page store.
+/// Heap-backed page store. Thread-safe: the page table, free list and
+/// statistics are mutex-guarded so buffer pools above it can be shared
+/// across query, write and maintenance threads.
 class InMemoryPageStore final : public PageStore {
  public:
   explicit InMemoryPageStore(uint32_t page_size = kDefaultPageSize);
@@ -67,12 +70,16 @@ class InMemoryPageStore final : public PageStore {
   Status Free(PageId id) override;
 
   uint32_t page_size() const override { return page_size_; }
-  uint64_t live_pages() const override { return live_pages_; }
+  uint64_t live_pages() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_pages_;
+  }
 
  private:
   bool IsLive(PageId id) const;
 
   uint32_t page_size_;
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<char[]>> pages_;
   std::vector<bool> live_;
   std::vector<PageId> free_list_;
@@ -99,13 +106,17 @@ class FilePageStore final : public PageStore {
   Status Free(PageId id) override;
 
   uint32_t page_size() const override { return page_size_; }
-  uint64_t live_pages() const override { return live_pages_; }
+  uint64_t live_pages() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_pages_;
+  }
 
  private:
   FilePageStore(std::FILE* file, uint32_t page_size);
 
   std::FILE* file_;
   uint32_t page_size_;
+  mutable std::mutex mu_;  // guards the FILE*, free list and stats
   uint64_t num_pages_ = 0;  // high-water mark
   std::vector<PageId> free_list_;
   uint64_t live_pages_ = 0;

@@ -1,0 +1,315 @@
+#include "workload/concurrent_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/zipf.h"
+#include "core/oracle.h"
+#include "index/text_index.h"
+#include "workload/score_generator.h"
+
+namespace svr::workload {
+
+namespace {
+
+std::string MakeToken(size_t rank) { return "t" + std::to_string(rank); }
+
+std::string MakeDocText(const ZipfDistribution& terms, uint32_t n,
+                        Random* rng) {
+  std::string text;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!text.empty()) text.push_back(' ');
+    text += MakeToken(terms.Sample(rng));
+  }
+  return text;
+}
+
+double DrawScore(const ConcurrentChurnConfig& config, Random* rng) {
+  return config.max_score /
+         std::pow(1.0 + rng->Uniform(1000), config.score_zipf);
+}
+
+/// Collects one thread's error without clobbering an earlier one.
+class ErrorSink {
+ public:
+  void Offer(const Status& st) {
+    if (st.ok()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_.ok()) first_ = st;
+  }
+  Status first() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Status first_;
+};
+
+}  // namespace
+
+LatencySummary SummarizeLatencies(std::vector<double> ms) {
+  LatencySummary s;
+  s.count = ms.size();
+  if (ms.empty()) return s;
+  std::sort(ms.begin(), ms.end());
+  double total = 0.0;
+  for (double v : ms) total += v;
+  s.mean_ms = total / static_cast<double>(ms.size());
+  auto pct = [&](double p) {
+    const size_t idx = static_cast<size_t>(p * (ms.size() - 1));
+    return ms[idx];
+  };
+  s.p50_ms = pct(0.50);
+  s.p95_ms = pct(0.95);
+  s.p99_ms = pct(0.99);
+  s.max_ms = ms.back();
+  return s;
+}
+
+Result<std::unique_ptr<core::SvrEngine>> SetupChurnEngine(
+    const core::SvrEngineOptions& options,
+    const ConcurrentChurnConfig& config) {
+  using relational::Schema;
+  using relational::Value;
+  using relational::ValueType;
+
+  SVR_ASSIGN_OR_RETURN(auto engine, core::SvrEngine::Open(options));
+  SVR_RETURN_NOT_OK(engine->CreateTable(
+      "docs",
+      Schema({{"id", ValueType::kInt64}, {"text", ValueType::kString}}, 0)));
+  SVR_RETURN_NOT_OK(engine->CreateTable(
+      "scores",
+      Schema({{"id", ValueType::kInt64}, {"val", ValueType::kDouble}}, 0)));
+
+  Random rng(config.seed);
+  ZipfDistribution terms(config.vocab, config.term_zipf);
+  const std::vector<double> scores = GenerateScores(
+      config.initial_docs, config.max_score, config.score_zipf, config.seed);
+  for (uint32_t d = 0; d < config.initial_docs; ++d) {
+    SVR_RETURN_NOT_OK(engine->Insert(
+        "docs", {Value::Int(d),
+                 Value::String(
+                     MakeDocText(terms, config.terms_per_doc, &rng))}));
+    SVR_RETURN_NOT_OK(engine->Insert(
+        "scores", {Value::Int(d), Value::Double(scores[d])}));
+  }
+
+  SVR_RETURN_NOT_OK(engine->CreateTextIndex(
+      "docs", "text", {{"S1", "scores", "id", "val",
+                        relational::AggregateKind::kValue}},
+      relational::AggFunction::WeightedSum({1.0})));
+  return engine;
+}
+
+Result<ConcurrentChurnResult> RunConcurrentChurn(
+    core::SvrEngine* engine, const ConcurrentChurnConfig& config_in) {
+  using relational::Value;
+
+  // *-TermScore methods rank by the combined function; the oracle must
+  // match. Detection by name keeps the driver independent of how the
+  // engine was configured (both benches and tests use the default
+  // TermScoreOptions this assumes).
+  const bool with_ts =
+      engine->text_index()->name().find("TermScore") != std::string::npos;
+  ConcurrentChurnConfig config = config_in;
+  if (with_ts) {
+    // Same carve-out as the single-threaded merge tests: a content
+    // update that keeps a term but changes the document's length leaves
+    // the long/fancy lists' build-time term scores stale by design, so
+    // oracle-validated term-score runs redirect content churn into
+    // score churn.
+    config.content_pct = 0.0;
+  }
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<uint64_t> validated{0};
+  std::atomic<uint64_t> mismatches{0};
+  ErrorSink errors;
+
+  ConcurrentChurnResult out;
+  Stopwatch wall;
+
+  // --- query threads --------------------------------------------------
+  const uint32_t frequent_pool =
+      std::max<uint32_t>(10, config.vocab / 20);
+  std::vector<std::vector<double>> query_ms(config.query_threads);
+  std::vector<std::thread> searchers;
+  searchers.reserve(config.query_threads);
+  for (uint32_t qt = 0; qt < config.query_threads; ++qt) {
+    searchers.emplace_back([&, qt] {
+      Random rng(config.seed ^ (0xC0FFEEull * (qt + 1)));
+      uint64_t n = 0;
+      while (!writer_done.load(std::memory_order_acquire)) {
+        std::string keywords;
+        for (uint32_t i = 0; i < config.query_terms; ++i) {
+          if (!keywords.empty()) keywords.push_back(' ');
+          keywords += MakeToken(rng.Uniform(frequent_pool));
+        }
+        Stopwatch sw;
+        auto r = engine->Search(keywords, config.top_k);
+        query_ms[qt].push_back(sw.ElapsedMillis());
+        if (!r.ok()) {
+          errors.Offer(r.status());
+          return;
+        }
+        ++n;
+
+        if (config.validate_every != 0 &&
+            n % config.validate_every == 0) {
+          // Snapshot check: the same query at index level plus the
+          // brute-force oracle, both under one reader lock — results
+          // must agree exactly even while merges land between queries.
+          Status st = engine->ReadSnapshot([&]() -> Status {
+            index::Query q;
+            q.conjunctive = true;
+            for (uint32_t i = 0; i < config.query_terms; ++i) {
+              // Re-draw from a forked stream so validated queries cover
+              // fresh term combinations.
+              const TermId t = engine->vocabulary()->Lookup(
+                  MakeToken(rng.Uniform(frequent_pool)));
+              if (t == text::Vocabulary::kUnknownTerm) return Status::OK();
+              if (std::find(q.terms.begin(), q.terms.end(), t) ==
+                  q.terms.end()) {
+                q.terms.push_back(t);
+              }
+            }
+            if (q.terms.empty()) return Status::OK();
+            std::vector<index::SearchResult> got, want;
+            SVR_RETURN_NOT_OK(
+                engine->text_index()->TopK(q, config.top_k, &got));
+            core::BruteForceOracle oracle(engine->corpus(),
+                                          engine->score_table());
+            SVR_RETURN_NOT_OK(
+                oracle.TopK(q, config.top_k, with_ts, &want));
+            bool equal = got.size() == want.size();
+            for (size_t i = 0; equal && i < got.size(); ++i) {
+              equal = got[i].doc == want[i].doc;
+            }
+            validated.fetch_add(1, std::memory_order_relaxed);
+            if (!equal) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+              // Diagnostic dump: which query diverged and how (stderr so
+              // bench JSON stays clean).
+              std::string diag = "oracle mismatch: terms=[";
+              for (TermId t : q.terms) diag += std::to_string(t) + ",";
+              diag += "] got=[";
+              for (const auto& r : got) {
+                diag += std::to_string(r.doc) + ":" +
+                        std::to_string(r.score) + ",";
+              }
+              diag += "] want=[";
+              for (const auto& r : want) {
+                diag += std::to_string(r.doc) + ":" +
+                        std::to_string(r.score) + ",";
+              }
+              diag += "]\n";
+              std::fputs(diag.c_str(), stderr);
+            }
+            return Status::OK();
+          });
+          if (!st.ok()) {
+            errors.Offer(st);
+            return;
+          }
+        }
+      }
+    });
+  }
+
+  // --- writer (this thread) -------------------------------------------
+  {
+    Random rng(config.seed ^ 0xD00D5ull);
+    ZipfDistribution terms(config.vocab, config.term_zipf);
+    std::vector<bool> alive(config.initial_docs, true);
+    uint32_t live_count = config.initial_docs;
+    std::vector<double> write_ms;
+    write_ms.reserve(config.writer_ops);
+
+    auto pick_alive = [&]() -> int64_t {
+      if (live_count == 0) return -1;
+      for (int tries = 0; tries < 64; ++tries) {
+        const size_t d = rng.Uniform(alive.size());
+        if (alive[d]) return static_cast<int64_t>(d);
+      }
+      return -1;
+    };
+
+    for (uint32_t op = 0; op < config.writer_ops; ++op) {
+      const double roll = rng.NextDouble() * 100.0;
+      Status st;
+      Stopwatch sw;
+      if (roll < config.insert_pct) {
+        const int64_t id = static_cast<int64_t>(alive.size());
+        st = engine->Insert(
+            "docs", {Value::Int(id),
+                     Value::String(MakeDocText(terms, config.terms_per_doc,
+                                               &rng))});
+        if (st.ok()) {
+          st = engine->Insert(
+              "scores", {Value::Int(id), Value::Double(DrawScore(config,
+                                                                 &rng))});
+        }
+        alive.push_back(true);
+        ++live_count;
+      } else if (roll < config.insert_pct + config.delete_pct) {
+        const int64_t id = pick_alive();
+        if (id < 0) continue;
+        st = engine->Delete("docs", id);
+        alive[id] = false;
+        --live_count;
+      } else if (roll <
+                 config.insert_pct + config.delete_pct + config.content_pct) {
+        const int64_t id = pick_alive();
+        if (id < 0) continue;
+        st = engine->Update(
+            "docs", {Value::Int(id),
+                     Value::String(MakeDocText(terms, config.terms_per_doc,
+                                               &rng))});
+      } else {
+        const int64_t id = pick_alive();
+        if (id < 0) continue;
+        st = engine->Update(
+            "scores", {Value::Int(id), Value::Double(DrawScore(config,
+                                                               &rng))});
+      }
+      write_ms.push_back(sw.ElapsedMillis());
+      if (!st.ok()) {
+        errors.Offer(st);
+        break;
+      }
+    }
+    out.write = SummarizeLatencies(std::move(write_ms));
+  }
+
+  writer_done.store(true, std::memory_order_release);
+  for (auto& t : searchers) t.join();
+  out.wall_ms = wall.ElapsedMillis();
+
+  std::vector<double> all_queries;
+  for (auto& v : query_ms) {
+    all_queries.insert(all_queries.end(), v.begin(), v.end());
+    out.queries_run += v.size();
+  }
+  out.query = SummarizeLatencies(std::move(all_queries));
+  out.validated_queries = validated.load();
+  out.mismatches = mismatches.load();
+  out.stats = engine->GetStats();
+
+  SVR_RETURN_NOT_OK(errors.first());
+  if (config.validate_every != 0 && out.mismatches != 0) {
+    return Status::Internal("concurrent top-k mismatched the oracle " +
+                            std::to_string(out.mismatches) + " time(s)");
+  }
+  return out;
+}
+
+}  // namespace svr::workload

@@ -1,0 +1,91 @@
+#ifndef SVR_WORKLOAD_CONCURRENT_DRIVER_H_
+#define SVR_WORKLOAD_CONCURRENT_DRIVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/svr_engine.h"
+
+namespace svr::workload {
+
+/// Parameters for one multi-threaded churn run against an SvrEngine
+/// (bench_concurrent_churn, concurrency_test).
+struct ConcurrentChurnConfig {
+  // Synthetic collection seeded through the engine's DML path.
+  uint32_t initial_docs = 5000;
+  uint32_t vocab = 4000;
+  uint32_t terms_per_doc = 40;
+  double term_zipf = 1.0;
+  double max_score = 100000.0;
+  double score_zipf = 0.75;
+
+  // Writer workload: `writer_ops` operations, split by percentage into
+  // document inserts, deletes, content updates — the rest are score
+  // updates through the Score view.
+  uint32_t writer_ops = 20000;
+  double insert_pct = 10.0;
+  double delete_pct = 2.0;
+  double content_pct = 5.0;
+
+  // Query workload: `query_threads` threads issue top-k searches over
+  // frequent terms until the writer finishes.
+  uint32_t query_threads = 2;
+  uint32_t query_terms = 2;
+  uint32_t top_k = 20;
+  /// Every Nth query per thread additionally runs under ReadSnapshot
+  /// and is checked against the brute-force oracle at that snapshot.
+  /// 0 disables validation.
+  uint32_t validate_every = 0;
+
+  uint64_t seed = 2005;
+};
+
+/// Latency distribution of one operation class, in milliseconds.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Computes the summary of a latency sample (sorts a copy).
+LatencySummary SummarizeLatencies(std::vector<double> ms);
+
+struct ConcurrentChurnResult {
+  LatencySummary query;   // per-Search wall latency across all threads
+  LatencySummary write;   // per-DML-op wall latency on the writer
+  uint64_t queries_run = 0;
+  uint64_t validated_queries = 0;
+  uint64_t mismatches = 0;  // oracle disagreements (must stay 0)
+  core::EngineStats stats;  // engine counters at the end of the run
+  double wall_ms = 0.0;     // whole run, writer start to last join
+};
+
+/// \brief Multi-threaded driver mode (docs/concurrency.md): one writer
+/// thread applying mixed insert/update/delete/content churn through the
+/// engine's DML path, racing `query_threads` searcher threads, with
+/// optional per-snapshot oracle validation.
+///
+/// `SetupChurnEngine` opens an engine with the given options, creates a
+/// scored table ("docs": pk + text) plus a 1:1 score-component table
+/// ("scores"), loads `initial_docs` synthetic documents and builds the
+/// text index — the churn then runs entirely through public engine DML.
+Result<std::unique_ptr<core::SvrEngine>> SetupChurnEngine(
+    const core::SvrEngineOptions& options,
+    const ConcurrentChurnConfig& config);
+
+/// Runs the churn against an engine prepared by SetupChurnEngine.
+/// Returns an error if any thread saw one; oracle mismatches are
+/// reported in the result (and also as an Internal error when
+/// `validate_every` > 0), so callers can assert mismatches == 0.
+Result<ConcurrentChurnResult> RunConcurrentChurn(
+    core::SvrEngine* engine, const ConcurrentChurnConfig& config);
+
+}  // namespace svr::workload
+
+#endif  // SVR_WORKLOAD_CONCURRENT_DRIVER_H_

@@ -40,10 +40,18 @@ struct OpStats {
   double sim_avg_ms(double page_ms) const {
     return avg_ms() + page_ms * avg_misses();
   }
-  /// Same, also charging table-pool misses: the honest cost once the
-  /// short lists outgrow the fixed table cache (bench_merge_policy).
+  /// Same, also charging table-pool misses at the *same* rate — kept for
+  /// single-rate comparisons; the split model below supersedes it.
   double sim_avg_ms_all(double page_ms) const {
     return avg_ms() + page_ms * (avg_misses() + avg_table_misses());
+  }
+  /// Split cost model (ROADMAP): long-list misses are sequential scans
+  /// priced HDD-ish (`list_page_ms`), table-pool misses are point reads
+  /// priced SSD-ish (`table_page_ms`). The Fig. 7-style curves of
+  /// bench_merge_policy are reported under this model.
+  double sim_avg_ms_split(double list_page_ms, double table_page_ms) const {
+    return avg_ms() + list_page_ms * avg_misses() +
+           table_page_ms * avg_table_misses();
   }
 };
 

@@ -83,7 +83,17 @@ struct ExperimentConfig {
   /// the paper's 2005 testbed read cold lists from a disk where a page
   /// fetch costs ~0.1-1 ms; our in-memory substrate makes the same reads
   /// nearly free, so this restores the I/O-dominated cost balance.
+  /// The long lists are the HDD-ish sequential-scan side of the split
+  /// cost model (list_page_ms flag).
   double page_ms = 0.2;
+
+  /// Simulated cost of one *table-pool* page miss, in ms — B+-tree pages
+  /// of the Score/ListScore/ListChunk tables and the short lists. These
+  /// are point reads a production deployment serves from SSD (or keeps
+  /// pinned), so they are charged cheaper than the long-list scans;
+  /// bench_merge_policy's split model uses this to price short-list
+  /// cache overflow honestly (table_page_ms flag).
+  double table_page_ms = 0.05;
 
   /// Long-list layout (format=1|2 on the bench command lines): v1 is the
   /// paper's per-posting varints, v2 the blocked skip-header codec.

@@ -546,5 +546,75 @@ TEST(ChunkTermScoreStaleFancyTest, ShortPostingsGovernAfterContentUpdate) {
   }
 }
 
+// Regression (found by the concurrent churn driver at scale): removing a
+// long-list-backed term, re-adding it, and removing it again must leave
+// the term dead for the document. The re-add's short ADD overwrites the
+// first removal's REM marker at the same key; the second removal then
+// used to *retract* that ADD instead of writing a REM — resurrecting the
+// long posting. UpdateContent now always writes REM markers for removed
+// terms (a stray REM is skipped by every stream and folded by merges).
+class RemoveReaddRemoveTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(RemoveReaddRemoveTest, SecondRemovalKeepsTheTermDead) {
+  text::CorpusParams params;
+  params.num_docs = 200;
+  params.terms_per_doc = 20;
+  params.vocab_size = 60;
+  params.seed = 97;
+  auto scores = MakeScores(params.num_docs, 10000.0, 0.75, 11);
+  auto world = IndexWorld::Make(GetParam(), params, scores);
+  ASSERT_NE(world, nullptr);
+
+  const DocId d = 5;
+  const std::vector<TermId> original(world->corpus.doc(d).terms().begin(),
+                                     world->corpus.doc(d).terms().end());
+  ASSERT_GE(original.size(), 2u);
+  const TermId t = original[0];  // backed by the long list since Build
+  std::vector<TermId> without;
+  for (TermId x : original) {
+    if (x != t) without.push_back(x);
+  }
+
+  auto apply = [&](const std::vector<TermId>& tokens) {
+    const text::Document old_doc = world->corpus.doc(d);
+    world->corpus.Replace(
+        d, text::Document::FromTokens(std::vector<TermId>(tokens)));
+    ASSERT_TRUE(world->idx->UpdateContent(d, old_doc).ok());
+  };
+  auto expect_dead = [&](const char* label) {
+    Query q;
+    q.terms = {t};
+    std::vector<SearchResult> got;
+    ASSERT_TRUE(world->idx->TopK(q, 1000, &got).ok()) << label;
+    for (const auto& r : got) {
+      EXPECT_NE(r.doc, d) << label
+                          << ": removed term still matches the doc";
+    }
+  };
+
+  apply(without);   // remove t -> REM marker over the long posting
+  expect_dead("first removal");
+  apply(original);  // re-add t -> ADD overwrites the REM at the same key
+  apply(without);   // remove again -> must leave a REM, not retract
+  expect_dead("second removal");
+
+  // The incremental merge folds the marker away and stays dead.
+  ASSERT_TRUE(world->idx->MergeTerm(t).ok());
+  expect_dead("after merge");
+
+  // And a final re-add resurfaces the doc for the term.
+  apply(original);
+  Query q;
+  q.terms = {t};
+  std::vector<SearchResult> got;
+  ASSERT_TRUE(world->idx->TopK(q, 1000, &got).ok());
+  bool found = false;
+  for (const auto& r : got) found = found || r.doc == d;
+  EXPECT_TRUE(found) << "re-added term no longer matches";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMergeMethods, RemoveReaddRemoveTest,
+                         ::testing::ValuesIn(kMergeMethods), PrintMethod);
+
 }  // namespace
 }  // namespace svr::test
