@@ -115,6 +115,20 @@ inline index::IndexOptions DefaultIndexOptions(const Flags& flags) {
   return o;
 }
 
+/// Splits a comma-separated flag value ("off,sync,background"); empty
+/// segments are skipped. Shared by every bench that sweeps a list flag.
+inline std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
 /// Markdown-ish fixed-width table writer for the per-experiment reports.
 class TablePrinter {
  public:

@@ -36,18 +36,6 @@ index::Method ParseMethod(const std::string& name) {
   return index::Method::kChunk;
 }
 
-std::vector<std::string> SplitCsv(const std::string& s) {
-  std::vector<std::string> out;
-  size_t start = 0;
-  while (start <= s.size()) {
-    size_t comma = s.find(',', start);
-    if (comma == std::string::npos) comma = s.size();
-    if (comma > start) out.push_back(s.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -85,6 +73,8 @@ int main(int argc, char** argv) {
       static_cast<uint32_t>(flags.GetInt("merge_interval", 200));
   base.scheduler.queue_capacity =
       static_cast<size_t>(flags.GetInt("merge_queue", 1024));
+  base.scheduler.workers =
+      static_cast<size_t>(flags.GetInt("merge_workers", 1));
 
   const std::string out_path =
       flags.GetString("out", "BENCH_concurrency.json");

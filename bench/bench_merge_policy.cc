@@ -37,18 +37,6 @@ index::Method ParseMethod(const std::string& name) {
   return index::Method::kChunk;
 }
 
-std::vector<std::string> SplitCsv(const std::string& s) {
-  std::vector<std::string> out;
-  size_t start = 0;
-  while (start <= s.size()) {
-    size_t comma = s.find(',', start);
-    if (comma == std::string::npos) comma = s.size();
-    if (comma > start) out.push_back(s.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return out;
-}
-
 struct RoundRow {
   uint32_t round;
   double upd_ms;

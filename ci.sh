@@ -1,91 +1,96 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (configure, build with -Wall -Wextra,
-# ctest), a ThreadSanitizer pass over the concurrency suite, and smoke
-# runs of the codec / merge-policy / concurrent-churn benchmarks.
+# CI entry point. Two halves, sliceable for CI jobs:
+#
+#   tier-1   — configure, build with -Wall -Wextra, ctest -L tier1, and
+#              validated smoke runs of the codec / merge-policy /
+#              concurrent-churn / sharded-churn benchmarks (JSON checked
+#              by tools/check_bench_json.py).
+#   sanitize — ThreadSanitizer over the `concurrency`-labelled suites
+#              and an ASan+UBSan build of the FULL ctest suite.
+#
+# Knobs: SANITIZERS=0 skips the sanitizer half (fast local/tier-1 run);
+# SANITIZERS_ONLY=1 runs only the sanitizer half (the CI matrix job).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 BUILD_DIR="${BUILD_DIR:-build}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
+SANITIZERS="${SANITIZERS:-1}"
+SANITIZERS_ONLY="${SANITIZERS_ONLY:-0}"
 
-cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j
-(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+if [ "$SANITIZERS_ONLY" != "1" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j
+  (cd "$BUILD_DIR" && ctest -L tier1 --output-on-failure -j)
 
-# ThreadSanitizer pass (docs/concurrency.md): the concurrency suite —
-# epoch manager, two-phase merge protocol, engine-level churn with the
-# background scheduler racing query threads — must be race-free. The
-# suite self-scales its workload sizes under TSan.
-cmake -B "$TSAN_BUILD_DIR" -S . \
-  -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "$TSAN_BUILD_DIR" -j --target concurrency_test
-(cd "$TSAN_BUILD_DIR" && ./concurrency_test)
+  # Codec smoke run: quick pass so regressions in the hot decode loops
+  # surface in CI output (full numbers live in BENCH_codec.json).
+  if [ -x "$BUILD_DIR/bench_micro_codec" ]; then
+    "$BUILD_DIR/bench_micro_codec" --benchmark_min_time=0.05 \
+      --benchmark_filter='BM_Decode(IdList|ChunkList)/'
+  fi
 
-# Codec smoke run: quick pass so regressions in the hot decode loops
-# surface in CI output (full numbers live in BENCH_codec.json).
-if [ -x "$BUILD_DIR/bench_micro_codec" ]; then
-  "$BUILD_DIR/bench_micro_codec" --benchmark_min_time=0.05 \
-    --benchmark_filter='BM_Decode(IdList|ChunkList)/'
+  # Merge-policy smoke run: sustained churn with the incremental merge
+  # in every mode, validated against the oracle, small enough for CI.
+  "$BUILD_DIR/bench_merge_policy" docs=3000 terms=40 vocab=2000 \
+    rounds=2 round_updates=500 round_inserts=100 queries=5 \
+    merge_min=8 merge_ratio=0.1 merge_budget_kb=64 merge_interval=128 \
+    validate=1 out=BENCH_merge.json
+
+  # Concurrency smoke run: query threads racing the background merger
+  # under churn in all three modes, oracle-validated.
+  "$BUILD_DIR/bench_concurrent_churn" docs=2000 vocab=1500 terms=20 \
+    writer_ops=4000 query_threads=2 validate_every=8 \
+    merge_min=16 merge_ratio=0.15 merge_interval=150 \
+    out=BENCH_concurrency.json
+
+  # Sharding smoke run: writer threads scaled with the shard count under
+  # scatter-gather query load; every validated query is checked per
+  # shard against the brute-force oracle at a cross-shard snapshot. The
+  # JSON check asserts writer throughput is monotone non-decreasing from
+  # 1 to 4 shards (docs/sharding.md).
+  # (3 query threads over a corpus this size keep reader pressure the
+  # writer bottleneck at low shard counts, so the curve is monotone by a
+  # wide margin even on a single core; the committed BENCH_sharding.json
+  # is a larger run of the same shape.)
+  "$BUILD_DIR/bench_sharded_churn" docs=2500 vocab=2000 terms=25 \
+    run_ms=3000 shards=1,2,4 query_threads=3 validate_every=32 \
+    merge_min=16 merge_ratio=0.15 merge_interval=150 \
+    out=BENCH_sharding.json
+
+  if command -v python3 > /dev/null; then
+    python3 tools/check_bench_json.py BENCH_merge.json \
+      BENCH_concurrency.json BENCH_sharding.json
+  else
+    grep -q '"bench": "merge_policy"' BENCH_merge.json
+    grep -q '"bench": "concurrent_churn"' BENCH_concurrency.json
+    grep -q '"bench": "sharded_churn"' BENCH_sharding.json
+    echo "bench JSONs present (python3 unavailable, shallow check)"
+  fi
 fi
 
-# Merge-policy smoke run: sustained churn with the incremental merge in
-# every mode, validated against the oracle, small enough for CI. The
-# emitted BENCH_merge.json records the update-path trajectory the same
-# way BENCH_codec.json records decode throughput.
-"$BUILD_DIR/bench_merge_policy" docs=3000 terms=40 vocab=2000 \
-  rounds=2 round_updates=500 round_inserts=100 queries=5 \
-  merge_min=8 merge_ratio=0.1 merge_budget_kb=64 merge_interval=128 \
-  validate=1 out=BENCH_merge.json
-if command -v python3 > /dev/null; then
-  python3 - <<'EOF'
-import json
-d = json.load(open("BENCH_merge.json"))
-assert d["bench"] == "merge_policy" and d["series"], "empty merge bench"
-auto = [s for s in d["series"] if s["mode"] == "auto"]
-assert auto, "no auto-merge series"
-assert any(s["rounds"][-1]["term_merges"] > 0 for s in auto), \
-    "auto-merge policy never fired in the smoke run"
-print("BENCH_merge.json: OK (%d series)" % len(d["series"]))
-EOF
-else
-  grep -q '"bench": "merge_policy"' BENCH_merge.json
-  echo "BENCH_merge.json: present (python3 unavailable, shallow check)"
-fi
+if [ "$SANITIZERS" = "1" ]; then
+  # ThreadSanitizer pass (docs/concurrency.md, docs/sharding.md): the
+  # `concurrency`-labelled suites — epoch manager, two-phase merge
+  # protocol, scheduler worker pool, engine-level churn, sharded
+  # scatter-gather churn — must be race-free. The suites self-scale
+  # their workload sizes under TSan.
+  cmake -B "$TSAN_BUILD_DIR" -S . \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build "$TSAN_BUILD_DIR" -j --target concurrency_test \
+    --target sharded_engine_test
+  (cd "$TSAN_BUILD_DIR" && ctest -L concurrency --output-on-failure)
 
-# Concurrency smoke run: query threads racing the background merger
-# under churn in all three modes, oracle-validated. The checks: no
-# concurrent top-k ever mismatched its snapshot's oracle, merges
-# actually ran in sync and background modes, and the background mode
-# kept merge work off the write path (write_merge_ms well under sync's).
-"$BUILD_DIR/bench_concurrent_churn" docs=2000 vocab=1500 terms=20 \
-  writer_ops=4000 query_threads=2 validate_every=8 \
-  merge_min=16 merge_ratio=0.15 merge_interval=150 \
-  out=BENCH_concurrency.json
-if command -v python3 > /dev/null; then
-  python3 - <<'EOF'
-import json
-d = json.load(open("BENCH_concurrency.json"))
-assert d["bench"] == "concurrent_churn" and d["series"], "empty bench"
-by_mode = {s["mode"]: s for s in d["series"]}
-assert {"off", "sync", "background"} <= set(by_mode), "missing modes"
-for s in d["series"]:
-    assert s["mismatches"] == 0, "oracle mismatch in mode " + s["mode"]
-    assert s["validated"] > 0, "no validated queries in " + s["mode"]
-for mode in ("sync", "background"):
-    assert by_mode[mode]["term_merges"] > 0, mode + ": no merges ran"
-sync_ms = by_mode["sync"]["write_merge_ms"]
-bg_ms = by_mode["background"]["write_merge_ms"]
-assert bg_ms < sync_ms, \
-    "background write-path merge time %.2f not below sync %.2f" % (
-        bg_ms, sync_ms)
-print("BENCH_concurrency.json: OK (bg write-path merge %.2f ms vs "
-      "sync %.2f ms; %d series validated)" % (
-          bg_ms, sync_ms, len(d["series"])))
-EOF
-else
-  grep -q '"bench": "concurrent_churn"' BENCH_concurrency.json
-  echo "BENCH_concurrency.json: present (python3 unavailable, shallow check)"
+  # AddressSanitizer + UndefinedBehaviorSanitizer over the FULL suite:
+  # memory and UB bugs rarely sit where the thread bugs do, so this pass
+  # runs every tier-1 test, not just the concurrency slice.
+  cmake -B "$ASAN_BUILD_DIR" -S . \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build "$ASAN_BUILD_DIR" -j --target svr_tests
+  (cd "$ASAN_BUILD_DIR" && ctest -L tier1 --output-on-failure)
 fi
 
 echo "ci.sh: OK"

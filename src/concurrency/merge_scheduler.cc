@@ -13,6 +13,7 @@ MergeScheduler::MergeScheduler(index::TextIndex* index, EpochManager* epochs,
       state_mu_(state_mu),
       options_(options) {
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.workers == 0) options_.workers = 1;
   // Installs hand replaced blobs here instead of freeing them: pages a
   // concurrent reader may still stream stay live until its guard exits.
   retirer_ = [this](const storage::BlobRef& ref) {
@@ -23,26 +24,41 @@ MergeScheduler::MergeScheduler(index::TextIndex* index, EpochManager* epochs,
 MergeScheduler::~MergeScheduler() { Stop(); }
 
 void MergeScheduler::Start() {
+  // The lifecycle mutex serializes whole Start/Stop transitions: a
+  // Start racing a Stop waits until the old workers are joined and the
+  // old run's queue/pending state is cleared, so a new run can never
+  // share the pending set (the per-term in-flight guard) with old
+  // workers that are still finishing jobs.
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   std::lock_guard<std::mutex> lock(mu_);
   if (running_) return;
   stop_ = false;
   running_ = true;
-  worker_ = std::thread([this] { WorkerLoop(); });
+  // A restarted scheduler starts with a clean slate: the previous run's
+  // sticky failure was already surfaced (or belongs to state that a
+  // Stop/Start cycle deliberately reset) and must not fail fresh writes.
+  first_error_ = Status::OK();
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
 }
 
 void MergeScheduler::Stop() {
-  std::thread to_join;
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  std::vector<std::thread> to_join;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_) return;
     // Claim the shutdown under the lock (running_ flips before the
-    // join) so concurrent Stop callers can't both join the worker.
+    // join) so concurrent Stop callers can't both join the workers.
     running_ = false;
     stop_ = true;
-    to_join = std::move(worker_);
+    to_join = std::move(workers_);
+    workers_.clear();
   }
   work_cv_.notify_all();
-  to_join.join();
+  for (std::thread& t : to_join) t.join();
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.clear();
@@ -85,7 +101,7 @@ void MergeScheduler::WaitIdle() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     idle_cv_.wait(lock, [this] {
-      return !running_ || (queue_.empty() && !in_flight_);
+      return !running_ || (queue_.empty() && in_flight_ == 0);
     });
   }
   epochs_->ReclaimExpired();
@@ -99,7 +115,8 @@ bool MergeScheduler::running() const {
 MergeSchedulerStats MergeScheduler::StatsSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MergeSchedulerStats s = stats_;
-  s.queue_depth = queue_.size() + (in_flight_ ? 1 : 0);
+  s.queue_depth = queue_.size() + in_flight_;
+  s.workers = running_ ? options_.workers : 0;
   return s;
 }
 
@@ -125,14 +142,14 @@ void MergeScheduler::WorkerLoop() {
       }
       term = queue_.front();
       queue_.pop_front();
-      in_flight_ = true;
+      ++in_flight_;
     }
 
     Status st = RunJob(term);
 
     {
       std::lock_guard<std::mutex> lock(mu_);
-      in_flight_ = false;
+      --in_flight_;
       // Erase after the job so a mid-merge Enqueue of the same term is a
       // dedup hit — the install re-validates against the live short
       // list, so nothing the duplicate would observe is missed.

@@ -23,6 +23,11 @@ struct MergeSchedulerOptions {
   /// Dropped triggers are harmless — the policy re-fires on a later
   /// write-path evaluation while the term still qualifies.
   size_t queue_capacity = 1024;
+  /// Worker threads draining the queue. Per-term jobs are independent
+  /// (the pending set guarantees a term is never prepared twice
+  /// concurrently), so hot churn across many terms no longer serializes
+  /// on one worker. 0 is treated as 1.
+  size_t workers = 1;
   /// Optimistic install conflicts tolerated per job before the scheduler
   /// falls back to one synchronous MergeTerm under the writer lock — a
   /// bounded stall that guarantees hot terms still converge.
@@ -39,15 +44,19 @@ struct MergeSchedulerStats {
   uint64_t completed = 0;       // jobs whose install published a blob
   uint64_t aborted = 0;         // install conflicts that led to a retry
   uint64_t sync_fallbacks = 0;  // jobs finished via synchronous MergeTerm
-  uint64_t queue_depth = 0;     // jobs currently waiting
+  uint64_t queue_depth = 0;     // jobs waiting or in flight
+  uint64_t workers = 0;         // pool size while running
 };
 
-/// \brief The background maintenance thread of docs/concurrency.md: pops
-/// per-term merge jobs off a bounded dedup queue and runs the two-phase
-/// PrepareMergeTerm/InstallMergeTerm protocol against the index —
-/// prepare under the shared (reader) side of `state_mu`, install under
-/// the exclusive side — so the write path only ever pays for trigger
-/// evaluation plus an enqueue, and queries never wait on merge work.
+/// \brief The background maintenance pool of docs/concurrency.md: worker
+/// threads pop per-term merge jobs off a bounded dedup queue and run the
+/// two-phase PrepareMergeTerm/InstallMergeTerm protocol against the
+/// index — prepare under the shared (reader) side of `state_mu`, install
+/// under the exclusive side — so the write path only ever pays for
+/// trigger evaluation plus an enqueue, and queries never wait on merge
+/// work. The pending set doubles as the per-term in-flight guard: a term
+/// that is queued *or* being merged cannot be enqueued again, so two
+/// workers never prepare the same term concurrently.
 ///
 /// Blob lifetime: installs retire replaced blobs to the epoch manager;
 /// the worker runs ReclaimExpired() after every job and on an idle
@@ -63,13 +72,16 @@ class MergeScheduler {
   MergeScheduler(const MergeScheduler&) = delete;
   MergeScheduler& operator=(const MergeScheduler&) = delete;
 
-  /// Starts the worker thread. Idempotent.
+  /// Starts the worker pool and clears any sticky error left by a
+  /// previous run (a restarted scheduler must not keep reporting a
+  /// stale failure). Idempotent.
   void Start();
 
-  /// Stops the worker after the in-flight job (queued jobs are
+  /// Stops the workers after their in-flight jobs (queued jobs are
   /// discarded — merge triggers re-fire while their terms qualify) and
-  /// joins it. Idempotent; also called by the destructor. Does not drain
-  /// the epoch manager: the owner does that once no readers remain.
+  /// joins them. Idempotent; also called by the destructor. Does not
+  /// drain the epoch manager: the owner does that once no readers
+  /// remain.
   void Stop();
 
   /// Queues a merge job for `term`. Returns false (and counts why) when
@@ -85,8 +97,9 @@ class MergeScheduler {
 
   bool running() const;
   MergeSchedulerStats StatsSnapshot() const;
-  /// First non-retryable job failure, if any (sticky; surfaced by the
-  /// engine on the next write).
+  /// First non-retryable job failure, if any (sticky for the lifetime of
+  /// one run; surfaced by the engine on the next write and cleared by
+  /// the next Start()).
   Status first_error() const;
 
  private:
@@ -101,17 +114,21 @@ class MergeScheduler {
   MergeSchedulerOptions options_;
   index::BlobRetirer retirer_;
 
+  /// Serializes whole Start/Stop transitions (held across the worker
+  /// join), so a Start racing a Stop cannot spawn a new run whose
+  /// queue/pending state the old Stop would then clear from under it.
+  std::mutex lifecycle_mu_;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // worker wakeups
   std::condition_variable idle_cv_;   // WaitIdle wakeups
   std::deque<TermId> queue_;
   std::unordered_set<TermId> pending_;  // queued or in flight
-  bool in_flight_ = false;
+  size_t in_flight_ = 0;                // jobs currently being merged
   bool stop_ = false;
   bool running_ = false;
   MergeSchedulerStats stats_;
   Status first_error_;
-  std::thread worker_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace svr::concurrency

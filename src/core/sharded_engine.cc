@@ -1,0 +1,549 @@
+#include "core/sharded_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "index/result_heap.h"
+
+namespace svr::core {
+
+namespace {
+
+/// SplitMix64 finalizer: consecutive keys spread uniformly over shards.
+uint64_t MixId(int64_t gid) {
+  uint64_t z = static_cast<uint64_t>(gid) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void AddIndexStats(index::IndexStats* into, const index::IndexStats& s) {
+  into->score_updates += s.score_updates;
+  into->short_list_writes += s.short_list_writes;
+  into->postings_scanned += s.postings_scanned;
+  into->score_lookups += s.score_lookups;
+  into->candidates_considered += s.candidates_considered;
+  into->queries += s.queries;
+  into->corpus_docs_scanned += s.corpus_docs_scanned;
+  into->term_merges += s.term_merges;
+  into->merge_postings_written += s.merge_postings_written;
+  into->auto_merge_sweeps += s.auto_merge_sweeps;
+}
+
+void AddEngineStats(EngineStats* into, const EngineStats& s) {
+  AddIndexStats(&into->index, s.index);
+  into->background_merge = into->background_merge || s.background_merge;
+  into->merge_workers += s.merge_workers;
+  into->merge_queue_depth += s.merge_queue_depth;
+  into->merge_jobs_enqueued += s.merge_jobs_enqueued;
+  into->merge_jobs_completed += s.merge_jobs_completed;
+  into->merge_jobs_aborted += s.merge_jobs_aborted;
+  into->merge_jobs_dropped += s.merge_jobs_dropped;
+  into->merge_dedup_hits += s.merge_dedup_hits;
+  into->merge_sync_fallbacks += s.merge_sync_fallbacks;
+  into->reclaim_pending += s.reclaim_pending;
+  into->blobs_reclaimed += s.blobs_reclaimed;
+  into->write_merge_ms += s.write_merge_ms;
+}
+
+}  // namespace
+
+ShardedSvrEngine::ShardedSvrEngine(
+    std::vector<std::unique_ptr<SvrEngine>> shards)
+    : shards_(std::move(shards)),
+      local_to_global_(shards_.size()) {
+  shard_insert_mu_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shard_insert_mu_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+ShardedSvrEngine::~ShardedSvrEngine() { Stop(); }
+
+Result<std::unique_ptr<ShardedSvrEngine>> ShardedSvrEngine::Open(
+    const ShardedSvrEngineOptions& options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  SvrEngineOptions per_shard = options.shard;
+  if (options.split_pool_budgets && options.num_shards > 1) {
+    per_shard.table_pool_pages = std::max<uint64_t>(
+        64, per_shard.table_pool_pages / options.num_shards);
+    per_shard.list_pool_pages = std::max<uint64_t>(
+        64, per_shard.list_pool_pages / options.num_shards);
+  }
+  std::vector<std::unique_ptr<SvrEngine>> shards;
+  shards.reserve(options.num_shards);
+  for (uint32_t i = 0; i < options.num_shards; ++i) {
+    SVR_ASSIGN_OR_RETURN(auto shard, SvrEngine::Open(per_shard));
+    shards.push_back(std::move(shard));
+  }
+  return std::unique_ptr<ShardedSvrEngine>(
+      new ShardedSvrEngine(std::move(shards)));
+}
+
+uint32_t ShardedSvrEngine::ShardOf(int64_t gid) const {
+  return static_cast<uint32_t>(MixId(gid) % shards_.size());
+}
+
+Status ShardedSvrEngine::CreateTable(const std::string& name,
+                                     relational::Schema schema) {
+  for (auto& shard : shards_) {
+    SVR_RETURN_NOT_OK(shard->CreateTable(name, schema));
+  }
+  // Registered only once every shard has the table, so a failed create
+  // leaves no routing entry behind (CreateTextIndex trusts tables_ to
+  // mean "exists on every shard").
+  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  TableRoute route;
+  route.pk_index = schema.pk_index();
+  route.route_column = schema.pk_index();
+  tables_[name] = route;
+  return Status::OK();
+}
+
+Status ShardedSvrEngine::CreateTextIndex(
+    const std::string& table, const std::string& text_column,
+    std::vector<relational::ScoreComponentSpec> specs,
+    relational::AggFunction agg) {
+  // Validate-then-commit: every check runs before any metadata mutates,
+  // and a failed shard create restores what was committed — a failed
+  // CreateTextIndex must not leave permanently different DML semantics
+  // behind (same invariant CreateTable keeps by registering only after
+  // every shard succeeded).
+  std::string old_scored_table;
+  std::vector<std::pair<std::string, int>> old_routes;
+  std::vector<std::pair<std::string, int>> new_routes;
+  {
+    std::unique_lock<std::shared_mutex> lock(map_mu_);
+    if (tables_.count(table) == 0) {
+      return Status::NotFound("no such table: " + table);
+    }
+    // Component tables whose match column is not their primary key are
+    // join-routed from here on: the match column carries the document
+    // id that decides the owning shard. (Tables matching on their pk —
+    // the 1:1 score tables of the workloads — were pk-routed all
+    // along.)
+    for (const auto& spec : specs) {
+      if (tables_.count(spec.source_table) == 0) {
+        return Status::NotFound("no such table: " + spec.source_table);
+      }
+      relational::Table* t =
+          shards_[0]->database()->GetTable(spec.source_table);
+      if (t == nullptr) {
+        return Status::NotFound("no such table: " + spec.source_table);
+      }
+      const int match = t->schema().FindColumn(spec.match_column);
+      if (match < 0) {
+        return Status::InvalidArgument("no such column: " +
+                                       spec.match_column);
+      }
+      new_routes.emplace_back(spec.source_table, match);
+    }
+    old_scored_table = scored_table_;
+    scored_table_ = table;
+    for (const auto& [name, column] : new_routes) {
+      old_routes.emplace_back(name, tables_[name].route_column);
+      tables_[name].route_column = column;
+    }
+  }
+  for (auto& shard : shards_) {
+    Status st = shard->CreateTextIndex(table, text_column, specs, agg);
+    if (!st.ok()) {
+      // Routing metadata is restored so DML semantics do not change,
+      // but shards that already built keep their index (per-shard
+      // CreateTextIndex is not undoable; a retry on them returns
+      // AlreadyExists). A partially-indexed engine should be
+      // discarded — docs/sharding.md.
+      std::unique_lock<std::shared_mutex> lock(map_mu_);
+      scored_table_ = old_scored_table;
+      for (const auto& [name, column] : old_routes) {
+        tables_[name].route_column = column;
+      }
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+Result<const ShardedSvrEngine::TableRoute*> ShardedSvrEngine::RouteOf(
+    const std::string& table) const {
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + table);
+  }
+  // unordered_map values are node-stable; routes only change during
+  // (quiescent) CreateTextIndex, so the pointer is safe to hold.
+  return &it->second;
+}
+
+ShardedSvrEngine::Loc ShardedSvrEngine::MapOrAllocate(
+    int64_t gid, std::unique_lock<std::mutex>* insert_lock, bool* fresh) {
+  *fresh = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    auto it = id_map_.find(gid);
+    if (it != id_map_.end()) return it->second;
+  }
+  const uint32_t s = ShardOf(gid);
+  // The insert mutex spans local-id allocation AND the caller's shard
+  // write, so allocation order equals the shard's insert order — the
+  // per-shard density the underlying engine requires.
+  *insert_lock = std::unique_lock<std::mutex>(*shard_insert_mu_[s]);
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  auto it = id_map_.find(gid);
+  if (it != id_map_.end()) {
+    insert_lock->unlock();  // lost the race; the key is mapped now
+    return it->second;
+  }
+  // A fresh key is only *reserved* here (the insert mutex keeps the
+  // shard's next local stable); it is published by the caller once the
+  // row actually landed. Nothing can observe — or attach dependent
+  // rows to — a mapping whose insert may still fail, so there is never
+  // anything to roll back.
+  Loc loc;
+  loc.shard = s;
+  loc.local = static_cast<DocId>(local_to_global_[s].size());
+  *fresh = true;
+  return loc;
+}
+
+Result<std::pair<uint32_t, DocId>> ShardedSvrEngine::Route(
+    int64_t gid) const {
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  auto it = id_map_.find(gid);
+  if (it == id_map_.end()) {
+    return Status::NotFound("key never routed: " + std::to_string(gid));
+  }
+  return std::make_pair(it->second.shard, it->second.local);
+}
+
+int64_t ShardedSvrEngine::GlobalIdOf(uint32_t shard, DocId local) const {
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  if (shard >= local_to_global_.size() ||
+      local >= local_to_global_[shard].size()) {
+    return kInvalidGlobalId;
+  }
+  return local_to_global_[shard][local];
+}
+
+Status ShardedSvrEngine::Insert(const std::string& table,
+                                const relational::Row& row) {
+  SVR_ASSIGN_OR_RETURN(const TableRoute* route, RouteOf(table));
+  if (route->route_column < 0 ||
+      static_cast<size_t>(route->route_column) >= row.size() ||
+      row[route->route_column].type() != relational::ValueType::kInt64) {
+    return Status::InvalidArgument("row misses the INT64 routing column");
+  }
+  const int64_t gid = row[route->route_column].as_int();
+  if (gid < 0 || gid >= static_cast<int64_t>(kInvalidDocId)) {
+    // Global keys double as document ids end to end (GatherTopK carries
+    // them through index::SearchResult), so they must fit DocId.
+    return Status::InvalidArgument("document keys must be in [0, 2^32-1)");
+  }
+  if (route->route_column != route->pk_index) {
+    return InsertJoinRouted(table, *route, row, gid);
+  }
+  std::unique_lock<std::mutex> insert_lock;
+  bool fresh = false;
+  const Loc loc = MapOrAllocate(gid, &insert_lock, &fresh);
+  relational::Row translated = row;
+  translated[route->route_column] =
+      relational::Value::Int(static_cast<int64_t>(loc.local));
+  const Status st = shards_[loc.shard]->Insert(table, translated);
+  if (fresh) {
+    // Publish the reservation iff the row actually reached the shard —
+    // an unpublished failed key leaves no trace, so a rejected insert
+    // cannot wedge the shard's dense pk sequence. Some engine errors
+    // surface *after* the row landed (score-view latch, background-
+    // merge first_error): the row probe keeps those keys mapped, since
+    // their slot in the shard's sequence is consumed.
+    bool landed = st.ok();
+    if (!landed) {
+      (void)shards_[loc.shard]->ReadSnapshot([&]() -> Status {
+        relational::Table* t =
+            shards_[loc.shard]->database()->GetTable(table);
+        relational::Row probe;
+        landed = t != nullptr &&
+                 t->Get(static_cast<int64_t>(loc.local), &probe).ok();
+        return Status::OK();
+      });
+    }
+    if (landed) {
+      // Still under the shard's insert mutex, so the reserved local is
+      // still the shard's next slot.
+      std::unique_lock<std::shared_mutex> lock(map_mu_);
+      local_to_global_[loc.shard].push_back(gid);
+      id_map_.emplace(gid, Loc{loc.shard, loc.local});
+    }
+  }
+  return st;
+}
+
+Status ShardedSvrEngine::InsertJoinRouted(const std::string& table,
+                                          const TableRoute& route,
+                                          const relational::Row& row,
+                                          int64_t gid) {
+  // Join-routed rows reference a document, they never create one: a doc
+  // id may only be allocated by the scored table's own insert, so an
+  // unknown gid here is an error rather than a fresh allocation (which
+  // would hold a local slot no docs row ever fills and wedge the
+  // shard's dense sequence).
+  SVR_ASSIGN_OR_RETURN(auto loc, Route(gid));
+  if (static_cast<size_t>(route.pk_index) >= row.size() ||
+      row[route.pk_index].type() != relational::ValueType::kInt64) {
+    return Status::InvalidArgument("row misses the INT64 primary key");
+  }
+  const int64_t pk = row[route.pk_index].as_int();
+  {
+    // Claim the pk before the shard write: shard-level duplicate checks
+    // only see their own partition, so rows with one pk routed to two
+    // different shards would otherwise both land (the first becoming
+    // unreachable). The claim is rolled back if the insert fails.
+    std::unique_lock<std::shared_mutex> lock(map_mu_);
+    auto [it, inserted] =
+        join_routed_rows_[table].emplace(pk, loc.first);
+    if (!inserted) {
+      return Status::AlreadyExists("duplicate primary key in " + table);
+    }
+  }
+  relational::Row translated = row;
+  translated[route.route_column] =
+      relational::Value::Int(static_cast<int64_t>(loc.second));
+  const Status st = shards_[loc.first]->Insert(table, translated);
+  if (!st.ok()) {
+    std::unique_lock<std::shared_mutex> lock(map_mu_);
+    join_routed_rows_[table].erase(pk);
+  }
+  return st;
+}
+
+Status ShardedSvrEngine::Update(const std::string& table,
+                                const relational::Row& row) {
+  SVR_ASSIGN_OR_RETURN(const TableRoute* route, RouteOf(table));
+  if (route->route_column < 0 ||
+      static_cast<size_t>(route->route_column) >= row.size() ||
+      row[route->route_column].type() != relational::ValueType::kInt64) {
+    return Status::InvalidArgument("row misses the INT64 routing column");
+  }
+  const int64_t gid = row[route->route_column].as_int();
+  SVR_ASSIGN_OR_RETURN(auto loc, Route(gid));
+  if (route->route_column != route->pk_index) {
+    if (static_cast<size_t>(route->pk_index) >= row.size() ||
+        row[route->pk_index].type() != relational::ValueType::kInt64) {
+      return Status::InvalidArgument("row misses the INT64 primary key");
+    }
+    // Join-routed rows live where their document lives; moving a row to
+    // a document of another shard would be a cross-shard migration.
+    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    auto table_it = join_routed_rows_.find(table);
+    if (table_it == join_routed_rows_.end()) {
+      return Status::NotFound(table + ": row was never inserted here");
+    }
+    auto row_it = table_it->second.find(row[route->pk_index].as_int());
+    if (row_it == table_it->second.end()) {
+      return Status::NotFound(table + ": row was never inserted here");
+    }
+    if (row_it->second != loc.first) {
+      return Status::NotSupported(
+          table + ": update would move the row across shards");
+    }
+  }
+  relational::Row translated = row;
+  translated[route->route_column] =
+      relational::Value::Int(static_cast<int64_t>(loc.second));
+  return shards_[loc.first]->Update(table, translated);
+}
+
+Status ShardedSvrEngine::Delete(const std::string& table, int64_t pk) {
+  SVR_ASSIGN_OR_RETURN(const TableRoute* route, RouteOf(table));
+  if (route->route_column != route->pk_index) {
+    uint32_t shard = 0;
+    {
+      std::shared_lock<std::shared_mutex> lock(map_mu_);
+      auto table_it = join_routed_rows_.find(table);
+      if (table_it == join_routed_rows_.end()) {
+        return Status::NotFound(table + ": row was never inserted here");
+      }
+      auto row_it = table_it->second.find(pk);
+      if (row_it == table_it->second.end()) {
+        return Status::NotFound(table + ": row was never inserted here");
+      }
+      shard = row_it->second;
+    }
+    // Join-routed rows keep their own (untranslated) primary key. The
+    // shard record is dropped only after the shard delete succeeded — a
+    // failed delete must stay reachable for a retry.
+    SVR_RETURN_NOT_OK(shards_[shard]->Delete(table, pk));
+    std::unique_lock<std::shared_mutex> lock(map_mu_);
+    auto table_it = join_routed_rows_.find(table);
+    if (table_it != join_routed_rows_.end()) table_it->second.erase(pk);
+    return Status::OK();
+  }
+  SVR_ASSIGN_OR_RETURN(auto loc, Route(pk));
+  return shards_[loc.first]->Delete(table,
+                                    static_cast<int64_t>(loc.second));
+}
+
+std::vector<std::vector<index::SearchResult>>
+ShardedSvrEngine::TranslateToGlobal(
+    const std::vector<std::vector<index::SearchResult>>& lists,
+    const std::vector<uint32_t>& shard_of_list) const {
+  std::vector<std::vector<index::SearchResult>> out(lists.size());
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  for (size_t i = 0; i < lists.size(); ++i) {
+    const size_t s = i < shard_of_list.size() ? shard_of_list[i]
+                                              : local_to_global_.size();
+    out[i].reserve(lists[i].size());
+    for (const index::SearchResult& r : lists[i]) {
+      const int64_t gid = s < local_to_global_.size() &&
+                                  r.doc < local_to_global_[s].size()
+                              ? local_to_global_[s][r.doc]
+                              : kInvalidGlobalId;
+      // Unmapped locals — documents fed to a shard behind the engine's
+      // back, or an insert whose mapping is not yet published — have no
+      // global identity and must not occupy top-k slots.
+      if (gid == kInvalidGlobalId) continue;
+      // Global keys double as document ids and stay within DocId range
+      // (validated at Insert; docs/sharding.md).
+      out[i].push_back({static_cast<DocId>(gid), r.score});
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<index::SearchResult>>
+ShardedSvrEngine::TranslateToGlobal(
+    const std::vector<std::vector<index::SearchResult>>& per_shard)
+    const {
+  std::vector<uint32_t> identity(per_shard.size());
+  for (size_t s = 0; s < identity.size(); ++s) {
+    identity[s] = static_cast<uint32_t>(s);
+  }
+  return TranslateToGlobal(per_shard, identity);
+}
+
+std::vector<index::SearchResult> ShardedSvrEngine::MergeTopK(
+    const std::vector<std::vector<index::SearchResult>>& translated,
+    size_t k) {
+  index::ResultHeap heap(k);
+  for (const auto& list : translated) {
+    for (const index::SearchResult& r : list) heap.Offer(r.doc, r.score);
+  }
+  return heap.TakeSorted();
+}
+
+std::vector<index::SearchResult> ShardedSvrEngine::GatherTopK(
+    const std::vector<std::vector<index::SearchResult>>& per_shard,
+    size_t k) const {
+  return MergeTopK(TranslateToGlobal(per_shard), k);
+}
+
+Result<std::vector<ScoredRow>> ShardedSvrEngine::Search(
+    const std::string& keywords, size_t k, bool conjunctive) {
+  // Scatter: each shard answers its own top-k under its own reader lock
+  // and epoch guard (per-shard snapshot consistency).
+  std::vector<std::vector<ScoredRow>> shard_rows(shards_.size());
+  std::vector<std::vector<index::SearchResult>> shard_hits(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    SVR_ASSIGN_OR_RETURN(shard_rows[s],
+                         shards_[s]->Search(keywords, k, conjunctive));
+    shard_hits[s].reserve(shard_rows[s].size());
+    for (const ScoredRow& r : shard_rows[s]) {
+      shard_hits[s].push_back(
+          {static_cast<DocId>(r.pk), r.score});
+    }
+  }
+
+  // Gather: one bounded merge heap over (score desc, global id asc).
+  const std::vector<index::SearchResult> merged = GatherTopK(shard_hits, k);
+
+  int pk_index = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    auto it = tables_.find(scored_table_);
+    if (it != tables_.end()) pk_index = it->second.pk_index;
+  }
+  // Local pk -> position within each shard's result list, so resolving
+  // the merged hits back to their rows stays O(k) rather than O(k^2).
+  std::vector<std::unordered_map<int64_t, size_t>> row_index(
+      shards_.size());
+  for (size_t s = 0; s < shard_rows.size(); ++s) {
+    row_index[s].reserve(shard_rows[s].size());
+    for (size_t i = 0; i < shard_rows[s].size(); ++i) {
+      row_index[s].emplace(shard_rows[s][i].pk, i);
+    }
+  }
+  // One shared map acquisition resolves every merged hit back to its
+  // (shard, local) — per-hit Route() calls would re-take the lock k
+  // times on the hot query path.
+  std::vector<Loc> hit_locs(merged.size());
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    for (size_t i = 0; i < merged.size(); ++i) {
+      auto it = id_map_.find(static_cast<int64_t>(merged[i].doc));
+      if (it == id_map_.end()) {
+        return Status::Internal("gather produced an unmapped key");
+      }
+      hit_locs[i] = it->second;
+    }
+  }
+  std::vector<ScoredRow> out;
+  out.reserve(merged.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    const index::SearchResult& hit = merged[i];
+    const int64_t gid = static_cast<int64_t>(hit.doc);
+    const Loc loc = hit_locs[i];
+    const auto row_it =
+        row_index[loc.shard].find(static_cast<int64_t>(loc.local));
+    if (row_it == row_index[loc.shard].end()) {
+      return Status::Internal("gather produced a hit no shard returned");
+    }
+    ScoredRow r = shard_rows[loc.shard][row_it->second];
+    r.pk = gid;  // restore the caller's key space
+    if (pk_index >= 0 && static_cast<size_t>(pk_index) < r.row.size()) {
+      r.row[pk_index] = relational::Value::Int(gid);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Status ShardedSvrEngine::ReadSnapshotAll(
+    const std::function<Status()>& fn) {
+  // Nested ReadSnapshot per shard, ascending — every caller acquires in
+  // the same order, so the all-shard snapshot cannot deadlock with
+  // itself (single-shard writers never hold two shard locks).
+  std::function<Status(size_t)> nest = [&](size_t i) -> Status {
+    if (i == shards_.size()) return fn();
+    return shards_[i]->ReadSnapshot([&] { return nest(i + 1); });
+  };
+  return nest(0);
+}
+
+Status ShardedSvrEngine::Start() {
+  for (auto& shard : shards_) {
+    SVR_RETURN_NOT_OK(shard->Start());
+  }
+  return Status::OK();
+}
+
+void ShardedSvrEngine::Stop() {
+  for (auto& shard : shards_) shard->Stop();
+}
+
+ShardedEngineStats ShardedSvrEngine::GetStats() const {
+  ShardedEngineStats out;
+  out.num_shards = static_cast<uint32_t>(shards_.size());
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    out.shards.push_back(shard->GetStats());
+    AddEngineStats(&out.total, out.shards.back());
+  }
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  out.num_ids = id_map_.size();
+  return out;
+}
+
+}  // namespace svr::core

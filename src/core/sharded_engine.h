@@ -1,0 +1,231 @@
+#ifndef SVR_CORE_SHARDED_ENGINE_H_
+#define SVR_CORE_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/svr_engine.h"
+#include "index/text_index.h"
+
+namespace svr::core {
+
+struct ShardedSvrEngineOptions {
+  /// Number of independent SvrEngine shards. 1 degenerates to a plain
+  /// engine behind the same API.
+  uint32_t num_shards = 1;
+  /// Options applied to every shard. Each shard gets its own page
+  /// stores, buffer pools, score view, text index and (when enabled)
+  /// merge scheduler, so DML against different shards never contends.
+  SvrEngineOptions shard;
+  /// Divide `shard.table_pool_pages` / `shard.list_pool_pages` by
+  /// `num_shards` (floored at 64 pages) so the total cache budget stays
+  /// constant as the shard count sweeps — the fair comparison the
+  /// sharding bench wants. Disable to give every shard the full budget.
+  bool split_pool_budgets = true;
+};
+
+/// Counter snapshot across all shards: per-shard `EngineStats` plus the
+/// field-wise sum (`total`). Per-shard snapshots are each coherent under
+/// that shard's reader lock; the vector as a whole is gathered shard by
+/// shard, not under one global lock.
+struct ShardedEngineStats {
+  std::vector<EngineStats> shards;
+  EngineStats total;
+  uint32_t num_shards = 0;
+  /// Distinct global primary keys routed so far.
+  uint64_t num_ids = 0;
+};
+
+/// \brief N independent `SvrEngine` shards behind the single-engine API:
+/// documents are hash-partitioned by primary key, DML routes to the
+/// owning shard under that shard's lock, and `Search` scatter-gathers
+/// per-shard top-k lists into one bounded merge heap (docs/sharding.md).
+///
+/// Gather bound: every shard returns its best k, so any document of the
+/// global top-k — which ranks at least as high within its own shard —
+/// is contained in its shard's list, and the merged heap (ordered by
+/// score desc, then global id asc) cannot miss it. This is the classic
+/// top-k scatter-gather argument (cf. the TA/NRA family), and makes the
+/// partitioned answer equal to the single-engine answer. Exact equality
+/// *under ties at a shard's k-boundary* additionally needs the shard's
+/// internal (score, local id) order to agree with (score, global id):
+/// local ids follow insert order, so this holds when keys reach each
+/// shard in increasing order (sequential loads; see docs/sharding.md).
+/// Concurrent writers racing on tied scores may truncate a tie group
+/// differently than a single engine would — per-shard correctness and
+/// the oracle checks are unaffected.
+///
+/// Id routing. Shards require their scored-table primary keys to be the
+/// dense sequence 0..n-1 (they double as document ids), so the sharded
+/// engine keeps a global-id -> (shard, local-id) map: the first insert
+/// bearing a given key allocates the owning shard's next local id, and
+/// results are translated back on the way out. Tables are routed by the
+/// column that carries the document id — the primary key by default, or
+/// the component spec's match column for score-component tables declared
+/// via CreateTextIndex (declare such tables *before* inserting their
+/// rows). Every table routed through this engine must be keyed by
+/// document id in that sense; see docs/sharding.md for the exact
+/// constraints inherited from the per-shard density rule.
+///
+/// Consistency. Each shard's slice of a Search is snapshot-consistent
+/// (that shard's reader lock + epoch guard), but the gather is NOT a
+/// cross-shard snapshot: shard i+1 may already reflect a write that
+/// shard i's slice predates. `ReadSnapshotAll` takes every shard's
+/// reader lock (ascending, deadlock-free) for callers that need one
+/// global serialization point — the oracle validation in the tests and
+/// the sharded churn driver use it.
+class ShardedSvrEngine {
+ public:
+  static Result<std::unique_ptr<ShardedSvrEngine>> Open(
+      const ShardedSvrEngineOptions& options);
+
+  ShardedSvrEngine(const ShardedSvrEngine&) = delete;
+  ShardedSvrEngine& operator=(const ShardedSvrEngine&) = delete;
+
+  ~ShardedSvrEngine();
+
+  /// Creates `name` on every shard (each holds its partition's rows).
+  Status CreateTable(const std::string& name, relational::Schema schema);
+
+  /// Declares the SVR-ranked column on every shard. Score-component
+  /// tables whose match column differs from their primary key become
+  /// join-routed from here on: their rows are partitioned (and their
+  /// match column translated) by the document id they reference.
+  Status CreateTextIndex(const std::string& table,
+                         const std::string& text_column,
+                         std::vector<relational::ScoreComponentSpec> specs,
+                         relational::AggFunction agg);
+
+  /// DML, routed to the owning shard and run under that shard's lock.
+  /// Writes to different shards proceed in parallel; only the first
+  /// insert of a *new* key serializes briefly against other new-key
+  /// inserts of the same shard (local-id allocation order must match
+  /// the shard's insert order).
+  Status Insert(const std::string& table, const relational::Row& row);
+  Status Update(const std::string& table, const relational::Row& row);
+  Status Delete(const std::string& table, int64_t pk);
+
+  /// Scatter-gather top-k: fetches k from every shard, merges on one
+  /// bounded heap by (score desc, global id asc), and returns rows with
+  /// their global primary keys restored. Per-shard snapshot-consistent;
+  /// see the class comment for what that does and does not promise.
+  Result<std::vector<ScoredRow>> Search(const std::string& keywords,
+                                        size_t k, bool conjunctive = true);
+
+  /// Runs `fn` while holding every shard's reader lock + epoch guard:
+  /// one cross-shard serialization point. Do not issue engine calls from
+  /// inside `fn` (they would re-acquire shard locks); use the component
+  /// accessors, as the oracle checks do.
+  Status ReadSnapshotAll(const std::function<Status()>& fn);
+
+  /// Merges per-shard top-k lists (local document ids, as returned by a
+  /// shard's TopK) into the global top-k with global ids — the gather
+  /// step of Search, exposed so validation code compares index results
+  /// and oracle results through the identical merge. Equivalent to
+  /// MergeTopK(TranslateToGlobal(per_shard), k).
+  std::vector<index::SearchResult> GatherTopK(
+      const std::vector<std::vector<index::SearchResult>>& per_shard,
+      size_t k) const;
+
+  /// Rewrites result lists from local to global document ids under ONE
+  /// map acquisition; `shard_of_list[i]` names the shard whose locals
+  /// list i uses (several lists may reference one shard). Locals with
+  /// no published mapping are dropped. Validation code translates the
+  /// index side and the oracle side in a single call, so a concurrent
+  /// fresh-key publish cannot land between the two and skew one of
+  /// them. The one-argument form treats entry i as shard i's list.
+  std::vector<std::vector<index::SearchResult>> TranslateToGlobal(
+      const std::vector<std::vector<index::SearchResult>>& lists,
+      const std::vector<uint32_t>& shard_of_list) const;
+  std::vector<std::vector<index::SearchResult>> TranslateToGlobal(
+      const std::vector<std::vector<index::SearchResult>>& per_shard)
+      const;
+
+  /// The gather merge over already-translated lists: one bounded heap
+  /// on (score desc, global id asc). Pure function of its inputs.
+  static std::vector<index::SearchResult> MergeTopK(
+      const std::vector<std::vector<index::SearchResult>>& translated,
+      size_t k);
+
+  /// Starts / stops background maintenance on every shard.
+  Status Start();
+  void Stop();
+
+  ShardedEngineStats GetStats() const;
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  SvrEngine* shard(uint32_t i) { return shards_[i].get(); }
+
+  /// Owning shard of key `gid` under this engine's hash partitioning
+  /// (fixed at Open; independent of whether the key was seen yet).
+  uint32_t ShardOf(int64_t gid) const;
+  /// (shard, local doc id) of a routed key; NotFound if never inserted.
+  Result<std::pair<uint32_t, DocId>> Route(int64_t gid) const;
+  /// Global key of a shard-local document id; kInvalidGlobalId if out of
+  /// range.
+  int64_t GlobalIdOf(uint32_t shard, DocId local) const;
+
+  static constexpr int64_t kInvalidGlobalId = -1;
+
+ private:
+  struct Loc {
+    uint32_t shard = 0;
+    DocId local = 0;
+  };
+
+  explicit ShardedSvrEngine(std::vector<std::unique_ptr<SvrEngine>> shards);
+
+  /// Routing metadata of one table: which column carries the document id
+  /// and whether it is the primary key.
+  struct TableRoute {
+    int pk_index = 0;
+    int route_column = 0;  // == pk_index unless join-routed
+  };
+
+  Result<const TableRoute*> RouteOf(const std::string& table) const;
+  /// Insert of a row whose routing column is a match column rather than
+  /// its pk: requires the referenced document to exist, claims the
+  /// row's own pk engine-wide (shard-level duplicate checks only see
+  /// one partition), translates the match column and forwards.
+  Status InsertJoinRouted(const std::string& table, const TableRoute& route,
+                          const relational::Row& row, int64_t gid);
+  /// Existing mapping of `gid`, or allocates one (owning shard's next
+  /// local id) for a first-seen key. `serialized` reports whether the
+  /// caller must keep holding the shard's insert mutex across the shard
+  /// write (true exactly for fresh allocations).
+  Loc MapOrAllocate(int64_t gid, std::unique_lock<std::mutex>* insert_lock,
+                    bool* fresh);
+
+  std::vector<std::unique_ptr<SvrEngine>> shards_;
+
+  /// Guards the id map, the reverse maps and the table routing metadata.
+  mutable std::shared_mutex map_mu_;
+  std::unordered_map<int64_t, Loc> id_map_;
+  /// Per shard: local doc id -> global key (locals are dense).
+  std::vector<std::vector<int64_t>> local_to_global_;
+  /// Per-shard serialization of new-key inserts: local-id allocation
+  /// order must equal the shard's scored-table insert order.
+  std::vector<std::unique_ptr<std::mutex>> shard_insert_mu_;
+  /// Table name -> routing metadata (populated by CreateTable /
+  /// CreateTextIndex).
+  std::unordered_map<std::string, TableRoute> tables_;
+  /// Rows of join-routed tables: pk -> owning shard (their own pk does
+  /// not determine the shard, so Update/Delete need the record).
+  std::unordered_map<std::string, std::unordered_map<int64_t, uint32_t>>
+      join_routed_rows_;
+  std::string scored_table_;
+};
+
+}  // namespace svr::core
+
+#endif  // SVR_CORE_SHARDED_ENGINE_H_

@@ -53,6 +53,13 @@ Status SvrEngine::CreateTextIndex(
     relational::AggFunction agg) {
   {
     std::unique_lock<std::shared_mutex> lock(state_mu_);
+    if (index_ != nullptr) {
+      // Re-creating would replace score_view_ while the database's
+      // observer list still holds the old raw pointer (AddObserver has
+      // no remove), and re-scan a corpus that was already ingested —
+      // open a fresh engine to re-index instead.
+      return Status::AlreadyExists("text index already created");
+    }
     relational::Table* t = db_->GetTable(table);
     if (t == nullptr) return Status::NotFound("no such table: " + table);
     text_column_ = t->schema().FindColumn(text_column);
@@ -296,11 +303,13 @@ EngineStats SvrEngine::GetStats() const {
   s.background_merge = scheduler_ != nullptr;
   if (scheduler_ != nullptr) {
     const concurrency::MergeSchedulerStats ms = scheduler_->StatsSnapshot();
+    s.merge_workers = ms.workers;
     s.merge_queue_depth = ms.queue_depth;
     s.merge_jobs_enqueued = ms.enqueued;
     s.merge_jobs_completed = ms.completed;
     s.merge_jobs_aborted = ms.aborted;
     s.merge_jobs_dropped = ms.dropped_full;
+    s.merge_dedup_hits = ms.dedup_hits;
     s.merge_sync_fallbacks = ms.sync_fallbacks;
   }
   s.reclaim_pending = epochs_->pending();

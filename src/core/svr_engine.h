@@ -59,11 +59,13 @@ struct ScoredRow {
 struct EngineStats {
   index::IndexStats index;
   bool background_merge = false;
+  uint64_t merge_workers = 0;         // scheduler pool size while running
   uint64_t merge_queue_depth = 0;     // jobs queued or in flight
   uint64_t merge_jobs_enqueued = 0;
   uint64_t merge_jobs_completed = 0;
   uint64_t merge_jobs_aborted = 0;    // optimistic conflicts retried
   uint64_t merge_jobs_dropped = 0;    // queue-full rejections
+  uint64_t merge_dedup_hits = 0;      // enqueues of already-pending terms
   uint64_t merge_sync_fallbacks = 0;
   uint64_t reclaim_pending = 0;       // blobs awaiting epoch reclamation
   uint64_t blobs_reclaimed = 0;

@@ -8,7 +8,19 @@ namespace svr::index {
 Result<Chunker> Chunker::Build(const std::vector<double>& scores,
                                const ChunkOptions& options) {
   if (scores.empty()) {
-    return Status::InvalidArgument("chunker needs at least one score");
+    // An empty collection — a fresh engine, or an empty shard of a
+    // sharded one — gets the degenerate single-boundary chunker: chunk
+    // 0 starts at 0 and documents inserted later land in geometrically
+    // extrapolated chunks above it. Correctness never depends on the
+    // boundaries, only rebuild-time fit does.
+    double growth = 2.0;
+    if (options.strategy == ChunkStrategy::kRatio) {
+      if (options.chunk_ratio <= 1.0) {
+        return Status::InvalidArgument("chunk_ratio must be > 1");
+      }
+      growth = options.chunk_ratio;
+    }
+    return Chunker({0.0}, growth);
   }
   for (double s : scores) {
     if (s < 0 || !std::isfinite(s)) {

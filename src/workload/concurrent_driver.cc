@@ -75,14 +75,18 @@ LatencySummary SummarizeLatencies(std::vector<double> ms) {
   return s;
 }
 
-Result<std::unique_ptr<core::SvrEngine>> SetupChurnEngine(
-    const core::SvrEngineOptions& options,
-    const ConcurrentChurnConfig& config) {
+namespace {
+
+/// The churn schema + synthetic load + index declaration, shared by the
+/// single-engine and sharded setups (both expose the identical
+/// CreateTable/Insert/CreateTextIndex surface).
+template <typename Engine>
+Status SetupChurnTables(Engine* engine,
+                        const ConcurrentChurnConfig& config) {
   using relational::Schema;
   using relational::Value;
   using relational::ValueType;
 
-  SVR_ASSIGN_OR_RETURN(auto engine, core::SvrEngine::Open(options));
   SVR_RETURN_NOT_OK(engine->CreateTable(
       "docs",
       Schema({{"id", ValueType::kInt64}, {"text", ValueType::kString}}, 0)));
@@ -103,10 +107,19 @@ Result<std::unique_ptr<core::SvrEngine>> SetupChurnEngine(
         "scores", {Value::Int(d), Value::Double(scores[d])}));
   }
 
-  SVR_RETURN_NOT_OK(engine->CreateTextIndex(
+  return engine->CreateTextIndex(
       "docs", "text", {{"S1", "scores", "id", "val",
                         relational::AggregateKind::kValue}},
-      relational::AggFunction::WeightedSum({1.0})));
+      relational::AggFunction::WeightedSum({1.0}));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<core::SvrEngine>> SetupChurnEngine(
+    const core::SvrEngineOptions& options,
+    const ConcurrentChurnConfig& config) {
+  SVR_ASSIGN_OR_RETURN(auto engine, core::SvrEngine::Open(options));
+  SVR_RETURN_NOT_OK(SetupChurnTables(engine.get(), config));
   return engine;
 }
 
@@ -307,6 +320,295 @@ Result<ConcurrentChurnResult> RunConcurrentChurn(
   SVR_RETURN_NOT_OK(errors.first());
   if (config.validate_every != 0 && out.mismatches != 0) {
     return Status::Internal("concurrent top-k mismatched the oracle " +
+                            std::to_string(out.mismatches) + " time(s)");
+  }
+  return out;
+}
+
+// --- sharded engine churn ---------------------------------------------
+
+Result<std::unique_ptr<core::ShardedSvrEngine>> SetupShardedChurnEngine(
+    const core::ShardedSvrEngineOptions& options,
+    const ConcurrentChurnConfig& config) {
+  SVR_ASSIGN_OR_RETURN(auto engine,
+                       core::ShardedSvrEngine::Open(options));
+  SVR_RETURN_NOT_OK(SetupChurnTables(engine.get(), config));
+  return engine;
+}
+
+namespace {
+
+/// One cross-shard oracle validation at one ReadSnapshotAll
+/// serialization point: every shard's index top-k must equal its
+/// brute-force oracle, and the GatherTopK merge of the two sides must
+/// agree. Returns OK with *mismatch set on divergence.
+Status ValidateShardedQuery(core::ShardedSvrEngine* engine,
+                            const std::vector<std::string>& tokens,
+                            uint32_t top_k, bool with_ts, bool* mismatch) {
+  *mismatch = false;
+  const uint32_t shards = engine->num_shards();
+  std::vector<std::vector<index::SearchResult>> got(shards), want(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    core::SvrEngine* shard = engine->shard(s);
+    index::Query q;
+    q.conjunctive = true;
+    bool impossible = false;
+    for (const std::string& tok : tokens) {
+      const TermId t = shard->vocabulary()->Lookup(tok);
+      if (t == text::Vocabulary::kUnknownTerm) {
+        impossible = true;  // no doc of this shard holds every term
+        break;
+      }
+      if (std::find(q.terms.begin(), q.terms.end(), t) == q.terms.end()) {
+        q.terms.push_back(t);
+      }
+    }
+    if (impossible || q.terms.empty()) continue;
+    SVR_RETURN_NOT_OK(shard->text_index()->TopK(q, top_k, &got[s]));
+    core::BruteForceOracle oracle(shard->corpus(), shard->score_table());
+    SVR_RETURN_NOT_OK(oracle.TopK(q, top_k, with_ts, &want[s]));
+    if (got[s] != want[s]) *mismatch = true;
+  }
+  // Cross-shard check of the gather itself: the engine's merge of the
+  // index results must equal an *independent* merge of the oracle
+  // results — a plain sort on the canonical (score desc, global id asc)
+  // order. A defect in the gather (wrong translation, wrong heap bound)
+  // cannot hide here, because the reference side never goes through it.
+  // Both sides are translated to global ids in ONE TranslateToGlobal
+  // call (a single map acquisition), so a concurrent fresh-key publish
+  // cannot land between the two translations and skew one of them.
+  std::vector<std::vector<index::SearchResult>> both = got;
+  both.insert(both.end(), want.begin(), want.end());
+  std::vector<uint32_t> shard_of(both.size());
+  for (uint32_t i = 0; i < both.size(); ++i) shard_of[i] = i % shards;
+  both = engine->TranslateToGlobal(both, shard_of);
+  const std::vector<std::vector<index::SearchResult>> got_global(
+      both.begin(), both.begin() + shards);
+  std::vector<index::SearchResult> reference;
+  for (uint32_t s = 0; s < shards; ++s) {
+    const auto& list = both[shards + s];
+    reference.insert(reference.end(), list.begin(), list.end());
+  }
+  std::sort(reference.begin(), reference.end(),
+            [](const index::SearchResult& a, const index::SearchResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (reference.size() > top_k) reference.resize(top_k);
+  if (core::ShardedSvrEngine::MergeTopK(got_global, top_k) != reference) {
+    *mismatch = true;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ShardedChurnResult> RunShardedChurn(
+    core::ShardedSvrEngine* engine, const ConcurrentChurnConfig& config_in,
+    uint32_t writer_threads, uint32_t run_ms) {
+  using relational::Value;
+
+  const bool with_ts =
+      engine->shard(0)->text_index()->name().find("TermScore") !=
+      std::string::npos;
+  ConcurrentChurnConfig config = config_in;
+  if (with_ts) {
+    // Same carve-out as RunConcurrentChurn: oracle-validated term-score
+    // runs redirect content churn into score churn.
+    config.content_pct = 0.0;
+  }
+  if (writer_threads == 0) writer_threads = 1;
+
+  std::atomic<bool> writers_done{false};
+  std::atomic<int64_t> next_gid{config.initial_docs};
+  std::atomic<uint64_t> validated{0};
+  std::atomic<uint64_t> mismatches{0};
+  ErrorSink errors;
+
+  ShardedChurnResult out;
+  Stopwatch wall;
+
+  // --- query threads --------------------------------------------------
+  const uint32_t frequent_pool =
+      std::max<uint32_t>(10, config.vocab / 20);
+  std::vector<std::vector<double>> query_ms(config.query_threads);
+  std::vector<std::thread> searchers;
+  searchers.reserve(config.query_threads);
+  for (uint32_t qt = 0; qt < config.query_threads; ++qt) {
+    searchers.emplace_back([&, qt] {
+      Random rng(config.seed ^ (0xC0FFEEull * (qt + 1)));
+      uint64_t n = 0;
+      while (!writers_done.load(std::memory_order_acquire)) {
+        std::string keywords;
+        for (uint32_t i = 0; i < config.query_terms; ++i) {
+          if (!keywords.empty()) keywords.push_back(' ');
+          keywords += MakeToken(rng.Uniform(frequent_pool));
+        }
+        Stopwatch sw;
+        auto r = engine->Search(keywords, config.top_k);
+        query_ms[qt].push_back(sw.ElapsedMillis());
+        if (!r.ok()) {
+          errors.Offer(r.status());
+          return;
+        }
+        ++n;
+
+        if (config.validate_every != 0 &&
+            n % config.validate_every == 0) {
+          std::vector<std::string> tokens;
+          for (uint32_t i = 0; i < config.query_terms; ++i) {
+            tokens.push_back(MakeToken(rng.Uniform(frequent_pool)));
+          }
+          Status st = engine->ReadSnapshotAll([&]() -> Status {
+            bool mismatch = false;
+            SVR_RETURN_NOT_OK(ValidateShardedQuery(
+                engine, tokens, config.top_k, with_ts, &mismatch));
+            validated.fetch_add(1, std::memory_order_relaxed);
+            if (mismatch) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+              std::string diag = "sharded oracle mismatch: tokens=[";
+              for (const auto& t : tokens) diag += t + ",";
+              diag += "]\n";
+              std::fputs(diag.c_str(), stderr);
+            }
+            return Status::OK();
+          });
+          if (!st.ok()) {
+            errors.Offer(st);
+            return;
+          }
+        }
+      }
+    });
+  }
+
+  // --- writer threads -------------------------------------------------
+  std::vector<std::vector<double>> write_ms(writer_threads);
+  std::vector<std::thread> writers;
+  writers.reserve(writer_threads);
+  Stopwatch writer_wall;
+  const uint32_t ops_per_writer =
+      run_ms > 0 ? 0 : std::max<uint32_t>(1, config.writer_ops /
+                                                 writer_threads);
+  for (uint32_t w = 0; w < writer_threads; ++w) {
+    writers.emplace_back([&, w] {
+      Random rng(config.seed ^ (0xD00D5ull * (w + 1)));
+      ZipfDistribution terms(config.vocab, config.term_zipf);
+      // Each writer owns a slice of the documents (initial ids congruent
+      // to it mod writer_threads, plus everything it inserts), so alive
+      // bookkeeping needs no cross-thread coordination.
+      std::vector<int64_t> mine;
+      std::vector<bool> alive;
+      for (int64_t d = w; d < static_cast<int64_t>(config.initial_docs);
+           d += writer_threads) {
+        mine.push_back(d);
+        alive.push_back(true);
+      }
+      size_t live_count = mine.size();
+
+      auto pick_alive = [&]() -> int64_t {
+        if (live_count == 0) return -1;
+        for (int tries = 0; tries < 64; ++tries) {
+          const size_t i = rng.Uniform(mine.size());
+          if (alive[i]) return static_cast<int64_t>(i);
+        }
+        return -1;
+      };
+
+      Stopwatch elapsed;
+      for (uint32_t op = 0;; ++op) {
+        if (run_ms > 0) {
+          // Throughput mode: run out the wall budget, but always finish
+          // a handful of ops — under extreme reader starvation (the
+          // 1-shard configs this driver exists to measure) the budget
+          // can elapse before the writer ever gets the lock, and a
+          // zero-op series would make the reported rate meaningless.
+          // The measured wall time grows accordingly, so the ops/sec
+          // figure stays honest.
+          if (elapsed.ElapsedMillis() >= run_ms && op >= 8) break;
+        } else if (op >= ops_per_writer) {
+          break;
+        }
+        const double roll = rng.NextDouble() * 100.0;
+        Status st;
+        Stopwatch sw;
+        if (roll < config.insert_pct) {
+          const int64_t id = next_gid.fetch_add(1);
+          st = engine->Insert(
+              "docs",
+              {Value::Int(id),
+               Value::String(MakeDocText(terms, config.terms_per_doc,
+                                         &rng))});
+          if (st.ok()) {
+            st = engine->Insert(
+                "scores",
+                {Value::Int(id), Value::Double(DrawScore(config, &rng))});
+          }
+          mine.push_back(id);
+          alive.push_back(true);
+          ++live_count;
+        } else if (roll < config.insert_pct + config.delete_pct) {
+          const int64_t i = pick_alive();
+          if (i < 0) continue;
+          st = engine->Delete("docs", mine[i]);
+          alive[i] = false;
+          --live_count;
+        } else if (roll < config.insert_pct + config.delete_pct +
+                              config.content_pct) {
+          const int64_t i = pick_alive();
+          if (i < 0) continue;
+          st = engine->Update(
+              "docs",
+              {Value::Int(mine[i]),
+               Value::String(MakeDocText(terms, config.terms_per_doc,
+                                         &rng))});
+        } else {
+          const int64_t i = pick_alive();
+          if (i < 0) continue;
+          st = engine->Update(
+              "scores",
+              {Value::Int(mine[i]), Value::Double(DrawScore(config,
+                                                            &rng))});
+        }
+        write_ms[w].push_back(sw.ElapsedMillis());
+        if (!st.ok()) {
+          errors.Offer(st);
+          break;
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  out.writer_wall_ms = writer_wall.ElapsedMillis();
+
+  writers_done.store(true, std::memory_order_release);
+  for (auto& t : searchers) t.join();
+  out.wall_ms = wall.ElapsedMillis();
+
+  std::vector<double> all_writes;
+  for (auto& v : write_ms) {
+    all_writes.insert(all_writes.end(), v.begin(), v.end());
+    out.writer_ops_done += v.size();
+  }
+  out.write = SummarizeLatencies(std::move(all_writes));
+  std::vector<double> all_queries;
+  for (auto& v : query_ms) {
+    all_queries.insert(all_queries.end(), v.begin(), v.end());
+    out.queries_run += v.size();
+  }
+  out.query = SummarizeLatencies(std::move(all_queries));
+  out.validated_queries = validated.load();
+  out.mismatches = mismatches.load();
+  out.writer_ops_per_sec =
+      out.writer_wall_ms > 0.0
+          ? 1000.0 * static_cast<double>(out.writer_ops_done) /
+                out.writer_wall_ms
+          : 0.0;
+  out.stats = engine->GetStats();
+
+  SVR_RETURN_NOT_OK(errors.first());
+  if (config.validate_every != 0 && out.mismatches != 0) {
+    return Status::Internal("sharded top-k mismatched the oracle " +
                             std::to_string(out.mismatches) + " time(s)");
   }
   return out;

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "core/sharded_engine.h"
 #include "core/svr_engine.h"
 
 namespace svr::workload {
@@ -85,6 +86,44 @@ Result<std::unique_ptr<core::SvrEngine>> SetupChurnEngine(
 /// `validate_every` > 0), so callers can assert mismatches == 0.
 Result<ConcurrentChurnResult> RunConcurrentChurn(
     core::SvrEngine* engine, const ConcurrentChurnConfig& config);
+
+// --- sharded engine churn (docs/sharding.md) --------------------------
+
+struct ShardedChurnResult {
+  LatencySummary query;  // per-Search wall latency across query threads
+  LatencySummary write;  // per-DML-op wall latency across writer threads
+  uint64_t queries_run = 0;
+  uint64_t writer_ops_done = 0;  // DML ops completed across all writers
+  uint64_t validated_queries = 0;
+  uint64_t mismatches = 0;  // per-shard index vs oracle, or gather drift
+  double wall_ms = 0.0;
+  double writer_wall_ms = 0.0;  // writer start to last writer join
+  /// The sharding bench's headline: writer_ops_done / writer_wall_ms,
+  /// scaled to ops per second.
+  double writer_ops_per_sec = 0.0;
+  core::ShardedEngineStats stats;
+};
+
+/// SetupChurnEngine against a ShardedSvrEngine: same "docs" + "scores"
+/// schema and synthetic corpus, loaded through the sharded DML path
+/// (global ids 0..initial_docs-1, hash-partitioned), then a text index
+/// on every shard.
+Result<std::unique_ptr<core::ShardedSvrEngine>> SetupShardedChurnEngine(
+    const core::ShardedSvrEngineOptions& options,
+    const ConcurrentChurnConfig& config);
+
+/// Multi-writer churn against a sharded engine: `writer_threads` threads
+/// apply mixed DML (each owns a slice of the documents; fresh global ids
+/// come from one atomic counter) while `config.query_threads` threads
+/// scatter-gather searches. When `run_ms` > 0 writers run for that wall
+/// budget (throughput mode, `config.writer_ops` ignored); otherwise they
+/// split `config.writer_ops` evenly. Every `validate_every`-th query per
+/// thread re-runs under ReadSnapshotAll: each shard's top-k must equal
+/// its brute-force oracle at that cross-shard snapshot, and the
+/// GatherTopK merge of both sides must agree.
+Result<ShardedChurnResult> RunShardedChurn(
+    core::ShardedSvrEngine* engine, const ConcurrentChurnConfig& config,
+    uint32_t writer_threads, uint32_t run_ms);
 
 }  // namespace svr::workload
 

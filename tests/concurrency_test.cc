@@ -396,6 +396,151 @@ TEST(MergeSchedulerTest, DedupsAndBoundsTheQueue) {
   engine->Stop();
 }
 
+// Deterministic scheduler harness: a stub index whose PrepareMergeTerm
+// can block (to pin jobs in flight) or fail (to set the sticky error),
+// so pool behaviour is testable without racing a real engine.
+class StubIndex : public index::TextIndex {
+ public:
+  std::string name() const override { return "Stub"; }
+  Status Build() override { return Status::OK(); }
+  Status OnScoreUpdate(DocId, double) override { return Status::OK(); }
+  Status TopK(const index::Query&, size_t,
+              std::vector<index::SearchResult>*) override {
+    return Status::OK();
+  }
+  uint64_t LongListBytes() const override { return 0; }
+
+  Result<std::unique_ptr<index::TermMergePlan>> PrepareMergeTerm(
+      TermId term) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++active_;
+      ++calls_;
+      entered_.notify_all();
+      release_cv_.wait(lock, [this] { return !hold_; });
+      --active_;
+    }
+    if (fail_) return Status::Internal("stub prepare failure");
+    (void)term;
+    return std::unique_ptr<index::TermMergePlan>();  // nothing to merge
+  }
+
+  void Hold() {
+    std::lock_guard<std::mutex> lock(mu_);
+    hold_ = true;
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      hold_ = false;
+    }
+    release_cv_.notify_all();
+  }
+  /// Blocks until `n` prepares are simultaneously in flight (requires a
+  /// prior Hold()); false on timeout — the pool is smaller than `n`.
+  bool AwaitActive(size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return entered_.wait_for(lock, std::chrono::seconds(10),
+                             [&] { return active_ >= n; });
+  }
+  void set_fail(bool fail) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_ = fail;
+  }
+  size_t calls() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return calls_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable entered_;
+  std::condition_variable release_cv_;
+  size_t active_ = 0;
+  size_t calls_ = 0;
+  bool hold_ = false;
+  bool fail_ = false;
+};
+
+TEST(MergeSchedulerPoolTest, WorkersRunIndependentTermsConcurrently) {
+  StubIndex stub;
+  concurrency::EpochManager epochs;
+  std::shared_mutex state_mu;
+  concurrency::MergeSchedulerOptions opt;
+  opt.workers = 4;
+  concurrency::MergeScheduler sched(&stub, &epochs, &state_mu, opt);
+  sched.Start();
+  EXPECT_EQ(sched.StatsSnapshot().workers, 4u);
+
+  stub.Hold();
+  for (TermId t = 0; t < 4; ++t) EXPECT_TRUE(sched.Enqueue(t));
+  // All four jobs must be *simultaneously* inside prepare: a pool of one
+  // (the PR-3 scheduler) would never get past 1.
+  EXPECT_TRUE(stub.AwaitActive(4)) << "pool did not run 4 jobs at once";
+  stub.Release();
+  sched.WaitIdle();
+  const concurrency::MergeSchedulerStats stats = sched.StatsSnapshot();
+  EXPECT_EQ(stats.enqueued, 4u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_TRUE(sched.first_error().ok());
+  sched.Stop();
+}
+
+TEST(MergeSchedulerPoolTest, InFlightTermsDedupAcrossTheWholePool) {
+  StubIndex stub;
+  concurrency::EpochManager epochs;
+  std::shared_mutex state_mu;
+  concurrency::MergeSchedulerOptions opt;
+  opt.workers = 3;
+  concurrency::MergeScheduler sched(&stub, &epochs, &state_mu, opt);
+  sched.Start();
+
+  stub.Hold();
+  ASSERT_TRUE(sched.Enqueue(7));
+  ASSERT_TRUE(stub.AwaitActive(1));
+  // The term is in flight (not merely queued): re-enqueues must be
+  // dedup hits, so no second worker can prepare the same term.
+  EXPECT_FALSE(sched.Enqueue(7));
+  EXPECT_FALSE(sched.Enqueue(7));
+  EXPECT_EQ(sched.StatsSnapshot().dedup_hits, 2u);
+  stub.Release();
+  sched.WaitIdle();
+  EXPECT_EQ(stub.calls(), 1u) << "a duplicate of an in-flight term ran";
+
+  // Once the job finished, the term may be queued again.
+  EXPECT_TRUE(sched.Enqueue(7));
+  sched.WaitIdle();
+  EXPECT_EQ(stub.calls(), 2u);
+  sched.Stop();
+}
+
+TEST(MergeSchedulerPoolTest, FirstErrorIsStickyWithinARunAndClearsOnRestart) {
+  StubIndex stub;
+  concurrency::EpochManager epochs;
+  std::shared_mutex state_mu;
+  concurrency::MergeScheduler sched(&stub, &epochs, &state_mu, {});
+  sched.Start();
+
+  stub.set_fail(true);
+  ASSERT_TRUE(sched.Enqueue(1));
+  sched.WaitIdle();
+  EXPECT_FALSE(sched.first_error().ok());
+
+  // Regression: the sticky error used to survive Stop()/Start(), so a
+  // restarted scheduler kept failing every write with a stale status.
+  sched.Stop();
+  sched.Start();
+  EXPECT_TRUE(sched.first_error().ok())
+      << "restart must clear the previous run's sticky error, got "
+      << sched.first_error().ToString();
+
+  // And the restarted run latches fresh failures again.
+  ASSERT_TRUE(sched.Enqueue(2));
+  sched.WaitIdle();
+  EXPECT_FALSE(sched.first_error().ok());
+  sched.Stop();
+}
+
 TEST(MergeSchedulerTest, StopIsIdempotentAndRestartable) {
   workload::ConcurrentChurnConfig cfg;
   cfg.initial_docs = 100;

@@ -162,10 +162,26 @@ TEST(ChunkerTest, EqualCountStrategy) {
 
 TEST(ChunkerTest, RejectsBadInput) {
   ChunkOptions opt;
-  EXPECT_FALSE(Chunker::Build({}, opt).ok());
   EXPECT_FALSE(Chunker::Build({-1.0}, opt).ok());
   opt.chunk_ratio = 0.9;
   EXPECT_FALSE(Chunker::Build({1.0}, opt).ok());
+  EXPECT_FALSE(Chunker::Build({}, opt).ok());
+}
+
+TEST(ChunkerTest, EmptyCollectionGetsDegenerateChunker) {
+  // A fresh engine — or an empty shard of a sharded one — builds a
+  // single-boundary chunker; documents inserted later land in
+  // geometrically extrapolated chunks above it.
+  ChunkOptions opt;
+  opt.min_chunk_size = 1;
+  auto c = Chunker::Build({}, opt);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c.value().num_base_chunks(), 1u);
+  EXPECT_EQ(c.value().ChunkOf(0.0), 0u);
+  EXPECT_DOUBLE_EQ(c.value().LowerBound(0), 0.0);
+  const ChunkId high = c.value().ChunkOf(1e6);
+  EXPECT_GT(high, 0u);
+  EXPECT_LE(c.value().LowerBound(high), 1e6);
 }
 
 // --- posting codecs --------------------------------------------------------

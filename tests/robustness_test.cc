@@ -247,11 +247,12 @@ TEST(FailureInjectionTest, QueriesFailCleanlyOnListIOErrors) {
   params.seed = 9;
   auto scores = MakeScores(params.num_docs, 1000.0, 0.75, 4);
 
-  // Hand-build a world around a flaky list store.
-  auto w = std::make_unique<IndexWorld>();
-  w->table_store = std::make_unique<storage::InMemoryPageStore>(4096);
+  // Hand-build a world around a flaky list store. The store is declared
+  // before the world so it outlives the pools that reference it.
   auto flaky = std::make_unique<FlakyPageStore>(4096);
   FlakyPageStore* flaky_raw = flaky.get();
+  auto w = std::make_unique<IndexWorld>();
+  w->table_store = std::make_unique<storage::InMemoryPageStore>(4096);
   w->table_pool =
       std::make_unique<storage::BufferPool>(w->table_store.get(), 4096);
   w->list_pool = std::make_unique<storage::BufferPool>(flaky.get(), 4096);
@@ -278,10 +279,6 @@ TEST(FailureInjectionTest, QueriesFailCleanlyOnListIOErrors) {
   std::vector<index::SearchResult> out;
   Status st = idx->TopK(q, 5, &out);
   EXPECT_TRUE(st.IsIOError()) << st.ToString();
-
-  // The flaky store must outlive the index teardown.
-  idx.reset();
-  (void)flaky.release();  // intentionally leaked into the test scope
 }
 
 }  // namespace

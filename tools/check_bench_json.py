@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validates the bench JSON artifacts ci.sh produces.
+
+One checker per bench family, dispatched on the "bench" field, so the
+assertions that used to live as three inline heredocs in ci.sh are in
+one place and run identically in CI and locally:
+
+    python3 tools/check_bench_json.py BENCH_merge.json \
+        BENCH_concurrency.json BENCH_sharding.json
+
+Exit status is non-zero on the first failed assertion; every passing
+file prints a one-line summary.
+"""
+
+import json
+import sys
+
+
+def check_merge_policy(d):
+    assert d["series"], "empty merge bench"
+    auto = [s for s in d["series"] if s["mode"] == "auto"]
+    assert auto, "no auto-merge series"
+    assert any(s["rounds"][-1]["term_merges"] > 0 for s in auto), \
+        "auto-merge policy never fired in the smoke run"
+    return "%d series" % len(d["series"])
+
+
+def check_concurrent_churn(d):
+    assert d["series"], "empty bench"
+    by_mode = {s["mode"]: s for s in d["series"]}
+    assert {"off", "sync", "background"} <= set(by_mode), "missing modes"
+    for s in d["series"]:
+        assert s["mismatches"] == 0, "oracle mismatch in mode " + s["mode"]
+        assert s["validated"] > 0, "no validated queries in " + s["mode"]
+    for mode in ("sync", "background"):
+        assert by_mode[mode]["term_merges"] > 0, mode + ": no merges ran"
+    sync_ms = by_mode["sync"]["write_merge_ms"]
+    bg_ms = by_mode["background"]["write_merge_ms"]
+    assert bg_ms < sync_ms, \
+        "background write-path merge time %.2f not below sync %.2f" % (
+            bg_ms, sync_ms)
+    return "bg write-path merge %.2f ms vs sync %.2f ms; %d series" % (
+        bg_ms, sync_ms, len(d["series"]))
+
+
+def check_sharded_churn(d):
+    assert d["series"], "empty sharding bench"
+    for s in d["series"]:
+        assert s["mismatches"] == 0, \
+            "oracle mismatch at shards=%d" % s["shards"]
+        assert s["validated"] > 0, \
+            "no validated queries at shards=%d" % s["shards"]
+        assert s["writer_ops"] > 0, \
+            "writers made no progress at shards=%d" % s["shards"]
+    # The headline claim: aggregate writer throughput must be monotone
+    # non-decreasing from 1 to 4 shards (beyond the physical core count
+    # the curve may flatten or dip, so 8+ is reported but not gated).
+    curve = sorted((s for s in d["series"] if s["shards"] <= 4),
+                   key=lambda s: s["shards"])
+    assert curve and curve[0]["shards"] == 1, "missing shards=1 baseline"
+    for lo, hi in zip(curve, curve[1:]):
+        assert hi["writer_ops_per_sec"] >= lo["writer_ops_per_sec"], \
+            "throughput regressed %d->%d shards: %.0f -> %.0f ops/s" % (
+                lo["shards"], hi["shards"], lo["writer_ops_per_sec"],
+                hi["writer_ops_per_sec"])
+    return "writer throughput %s ops/s over shards %s" % (
+        "/".join("%.0f" % s["writer_ops_per_sec"] for s in curve),
+        "/".join(str(s["shards"]) for s in curve))
+
+
+CHECKERS = {
+    "merge_policy": check_merge_policy,
+    "concurrent_churn": check_concurrent_churn,
+    "sharded_churn": check_sharded_churn,
+}
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_bench_json.py BENCH_*.json...", file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        with open(path) as f:
+            d = json.load(f)
+        bench = d.get("bench")
+        checker = CHECKERS.get(bench)
+        if checker is None:
+            print("%s: unknown bench kind %r" % (path, bench),
+                  file=sys.stderr)
+            return 1
+        try:
+            summary = checker(d)
+        except AssertionError as e:
+            print("%s: FAIL: %s" % (path, e), file=sys.stderr)
+            return 1
+        print("%s: OK (%s)" % (path, summary))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
