@@ -124,7 +124,7 @@ int main(int argc, char** argv) {
                Ms(result.write.p50_ms), Ms(result.write.p99_ms),
                Ms(result.stats.write_merge_ms),
                std::to_string(result.stats.index.term_merges),
-               std::to_string(result.stats.blobs_reclaimed),
+               std::to_string(result.stats.objects_reclaimed),
                std::to_string(result.validated_queries)});
 
     std::fprintf(
@@ -138,7 +138,7 @@ int main(int argc, char** argv) {
         "\"write_merge_ms\": %.5f,\n"
         "     \"term_merges\": %llu, \"merge_jobs_completed\": %llu, "
         "\"merge_jobs_aborted\": %llu, \"merge_sync_fallbacks\": %llu,\n"
-        "     \"blobs_reclaimed\": %llu, \"reclaim_pending\": %llu,\n"
+        "     \"objects_reclaimed\": %llu, \"reclaim_pending\": %llu,\n"
         "     \"validated\": %llu, \"mismatches\": %llu, "
         "\"wall_ms\": %.2f}",
         first_series ? "" : ",", mode.c_str(),
@@ -153,7 +153,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(result.stats.merge_jobs_completed),
         static_cast<unsigned long long>(result.stats.merge_jobs_aborted),
         static_cast<unsigned long long>(result.stats.merge_sync_fallbacks),
-        static_cast<unsigned long long>(result.stats.blobs_reclaimed),
+        static_cast<unsigned long long>(result.stats.objects_reclaimed),
         static_cast<unsigned long long>(result.stats.reclaim_pending),
         static_cast<unsigned long long>(result.validated_queries),
         static_cast<unsigned long long>(result.mismatches),

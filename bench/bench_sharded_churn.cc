@@ -151,7 +151,7 @@ int main(int argc, char** argv) {
         "     \"queries\": %llu, \"qry_p50_ms\": %.5f, "
         "\"qry_p99_ms\": %.5f,\n"
         "     \"term_merges\": %llu, \"merge_jobs_completed\": %llu, "
-        "\"merge_workers\": %llu, \"blobs_reclaimed\": %llu,\n"
+        "\"merge_workers\": %llu, \"objects_reclaimed\": %llu,\n"
         "     \"validated\": %llu, \"mismatches\": %llu, "
         "\"wall_ms\": %.2f}",
         first_series ? "" : ",", shards, shards,
@@ -166,7 +166,7 @@ int main(int argc, char** argv) {
             result.stats.total.merge_jobs_completed),
         static_cast<unsigned long long>(result.stats.total.merge_workers),
         static_cast<unsigned long long>(
-            result.stats.total.blobs_reclaimed),
+            result.stats.total.objects_reclaimed),
         static_cast<unsigned long long>(result.validated_queries),
         static_cast<unsigned long long>(result.mismatches),
         result.wall_ms);

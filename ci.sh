@@ -59,13 +59,24 @@ if [ "$SANITIZERS_ONLY" != "1" ]; then
     merge_min=16 merge_ratio=0.15 merge_interval=150 \
     out=BENCH_sharding.json
 
+  # MVCC smoke run (docs/concurrency.md): the lock-based baseline vs the
+  # versioned read path at 1 and 4 shards, oracle-validated at pinned
+  # cross-shard read timestamps. The JSON check asserts 0 mismatches,
+  # MVCC reader p95 <= the lock-based baseline, and MVCC writer
+  # throughput >= the lock-based baseline at every gated shard count.
+  "$BUILD_DIR/bench_mvcc_churn" docs=2000 vocab=1500 terms=20 \
+    run_ms=2500 shards=1,4 query_threads=3 validate_every=32 \
+    merge_min=16 merge_ratio=0.15 merge_interval=150 \
+    out=BENCH_mvcc.json
+
   if command -v python3 > /dev/null; then
     python3 tools/check_bench_json.py BENCH_merge.json \
-      BENCH_concurrency.json BENCH_sharding.json
+      BENCH_concurrency.json BENCH_sharding.json BENCH_mvcc.json
   else
     grep -q '"bench": "merge_policy"' BENCH_merge.json
     grep -q '"bench": "concurrent_churn"' BENCH_concurrency.json
     grep -q '"bench": "sharded_churn"' BENCH_sharding.json
+    grep -q '"bench": "mvcc_churn"' BENCH_mvcc.json
     echo "bench JSONs present (python3 unavailable, shallow check)"
   fi
 fi
@@ -80,7 +91,7 @@ if [ "$SANITIZERS" = "1" ]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build "$TSAN_BUILD_DIR" -j --target concurrency_test \
-    --target sharded_engine_test
+    --target sharded_engine_test --target mvcc_test
   (cd "$TSAN_BUILD_DIR" && ctest -L concurrency --output-on-failure)
 
   # AddressSanitizer + UndefinedBehaviorSanitizer over the FULL suite:

@@ -1,0 +1,34 @@
+#ifndef SVR_CONCURRENCY_COMMIT_CLOCK_H_
+#define SVR_CONCURRENCY_COMMIT_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace svr::concurrency {
+
+/// \brief A shared monotone commit-timestamp source. Every engine commit
+/// (DML statement or merge install) draws one tick; a sharded engine
+/// hands the same clock to every shard, so commit timestamps are
+/// globally ordered and a multi-shard gather can report one watermark —
+/// the cross-shard read timestamp of docs/concurrency.md.
+class CommitClock {
+ public:
+  CommitClock() = default;
+  CommitClock(const CommitClock&) = delete;
+  CommitClock& operator=(const CommitClock&) = delete;
+
+  /// Draws the next commit timestamp (>= 1, strictly increasing).
+  uint64_t Tick() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Latest timestamp handed out (0 before the first Tick).
+  uint64_t Now() const {
+    return next_.load(std::memory_order_relaxed) - 1;
+  }
+
+ private:
+  std::atomic<uint64_t> next_{1};
+};
+
+}  // namespace svr::concurrency
+
+#endif  // SVR_CONCURRENCY_COMMIT_CLOCK_H_

@@ -10,8 +10,10 @@ EpochManager::~EpochManager() {
   for (auto& r : retired_) {
     if (r.reclaim) r.reclaim();
     ++reclaimed_total_;
+    objects_reclaimed_ += r.objects;
   }
   retired_.clear();
+  objects_pending_ = 0;
 }
 
 EpochManager::Guard EpochManager::Enter() {
@@ -28,9 +30,10 @@ void EpochManager::Exit(uint64_t epoch) {
   }
 }
 
-void EpochManager::Retire(std::function<void()> reclaim) {
+void EpochManager::Retire(std::function<void()> reclaim, uint64_t objects) {
   std::lock_guard<std::mutex> lock(mu_);
-  retired_.push_back({epoch_, std::move(reclaim)});
+  retired_.push_back({epoch_, objects, std::move(reclaim)});
+  objects_pending_ += objects;
   // Readers entering from now on get a strictly larger epoch: they can
   // no longer resolve the unpublished object, so the stamp above is the
   // last epoch whose guards matter.
@@ -44,6 +47,8 @@ size_t EpochManager::ReclaimExpired() {
     const uint64_t min_active =
         active_.empty() ? UINT64_MAX : active_.begin()->first;
     while (!retired_.empty() && retired_.front().epoch < min_active) {
+      objects_pending_ -= retired_.front().objects;
+      objects_reclaimed_ += retired_.front().objects;
       ready.push_back(std::move(retired_.front().reclaim));
       retired_.pop_front();
     }
@@ -64,6 +69,16 @@ size_t EpochManager::pending() const {
 uint64_t EpochManager::reclaimed_total() const {
   std::lock_guard<std::mutex> lock(mu_);
   return reclaimed_total_;
+}
+
+uint64_t EpochManager::objects_pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_pending_;
+}
+
+uint64_t EpochManager::objects_reclaimed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_reclaimed_;
 }
 
 size_t EpochManager::active_guards() const {

@@ -10,8 +10,13 @@
 namespace svr::concurrency {
 
 /// \brief Epoch-based deferred reclamation for immutable structures that
-/// readers traverse without holding the resource's own lock — in this
-/// codebase, the long-list blobs (docs/concurrency.md).
+/// readers traverse without holding the resource's own lock — the
+/// long-list blobs, and since the MVCC read path also the retired pages
+/// of sealed copy-on-write B+-tree versions and any other dead version
+/// state a commit unpublishes (docs/concurrency.md). Retirements are
+/// generic callbacks; `objects` lets one callback account for a whole
+/// batch (a commit retires all of its dead pages and blobs in one
+/// retirement).
 ///
 /// Protocol:
 ///  1. Every reader that may dereference a published blob holds a Guard
@@ -83,8 +88,10 @@ class EpochManager {
   /// Defers `reclaim` until every guard that could have observed the
   /// object has been released. The caller must already have unpublished
   /// the object — after Retire() returns, readers entering a fresh epoch
-  /// must have no path to it.
-  void Retire(std::function<void()> reclaim);
+  /// must have no path to it. `objects` is how many dead objects the
+  /// callback frees (accounting only; a commit batches all of its dead
+  /// pages and blobs into one retirement).
+  void Retire(std::function<void()> reclaim, uint64_t objects = 1);
 
   /// Runs the reclaim callbacks of every expired retirement; returns how
   /// many ran. Callbacks execute outside the manager's mutex.
@@ -94,6 +101,9 @@ class EpochManager {
   size_t pending() const;
   /// Total retirements reclaimed over the manager's lifetime.
   uint64_t reclaimed_total() const;
+  /// Object counts behind the retirements (sum of the `objects` args).
+  uint64_t objects_pending() const;
+  uint64_t objects_reclaimed() const;
   /// Live guards (diagnostics).
   size_t active_guards() const;
   uint64_t current_epoch() const;
@@ -105,6 +115,7 @@ class EpochManager {
 
   struct Retired {
     uint64_t epoch;  // last epoch whose readers could see the object
+    uint64_t objects;
     std::function<void()> reclaim;
   };
 
@@ -115,6 +126,8 @@ class EpochManager {
   std::map<uint64_t, uint32_t> active_;
   std::deque<Retired> retired_;
   uint64_t reclaimed_total_ = 0;
+  uint64_t objects_pending_ = 0;
+  uint64_t objects_reclaimed_ = 0;
 };
 
 }  // namespace svr::concurrency

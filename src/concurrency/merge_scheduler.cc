@@ -5,20 +5,11 @@
 
 namespace svr::concurrency {
 
-MergeScheduler::MergeScheduler(index::TextIndex* index, EpochManager* epochs,
-                               std::shared_mutex* state_mu,
+MergeScheduler::MergeScheduler(EpochManager* epochs, MergeHostHooks hooks,
                                MergeSchedulerOptions options)
-    : index_(index),
-      epochs_(epochs),
-      state_mu_(state_mu),
-      options_(options) {
+    : epochs_(epochs), hooks_(std::move(hooks)), options_(options) {
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   if (options_.workers == 0) options_.workers = 1;
-  // Installs hand replaced blobs here instead of freeing them: pages a
-  // concurrent reader may still stream stay live until its guard exits.
-  retirer_ = [this](const storage::BlobRef& ref) {
-    epochs_->Retire([index = index_, ref] { (void)index->ReclaimBlob(ref); });
-  };
 }
 
 MergeScheduler::~MergeScheduler() { Stop(); }
@@ -163,24 +154,17 @@ void MergeScheduler::WorkerLoop() {
 
 Status MergeScheduler::RunJob(TermId term) {
   for (uint32_t attempt = 0;; ++attempt) {
+    // Reader phase: the host pins a ReadView (epoch guard + sealed
+    // snapshot), so the blob pages the prepare streams cannot be
+    // reclaimed under it and the short list / score state it reads is
+    // one immutable version — no lock taken at all.
     std::unique_ptr<index::TermMergePlan> plan;
-    {
-      // Reader phase: the guard pins the epoch so the blob pages the
-      // prepare streams cannot be reclaimed under it, and the shared
-      // lock keeps the short list / score state it snapshots stable.
-      EpochManager::Guard guard = epochs_->Enter();
-      std::shared_lock<std::shared_mutex> lock(*state_mu_);
-      auto prepared = index_->PrepareMergeTerm(term);
-      SVR_RETURN_NOT_OK(prepared.status());
-      plan = std::move(prepared).value();
-    }
+    SVR_RETURN_NOT_OK(hooks_.prepare(term, &plan));
     if (plan == nullptr) return Status::OK();  // nothing to merge
 
-    Status install;
-    {
-      std::unique_lock<std::shared_mutex> lock(*state_mu_);
-      install = index_->InstallMergeTerm(plan.get(), retirer_);
-    }
+    // Writer phase: the host installs under its writer mutex and
+    // publishes the next snapshot.
+    Status install = hooks_.install(plan.get());
     if (install.ok()) {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.completed;
@@ -193,10 +177,9 @@ Status MergeScheduler::RunJob(TermId term) {
       ++stats_.aborted;
     }
     if (attempt >= options_.max_retries) {
-      // Hot term: stop chasing it optimistically and take the writer
-      // lock once for a synchronous merge (bounded stall).
-      std::unique_lock<std::shared_mutex> lock(*state_mu_);
-      Status st = index_->MergeTerm(term);
+      // Hot term: stop chasing it optimistically and run one synchronous
+      // merge on the writer side (bounded stall).
+      Status st = hooks_.sync_merge(term);
       std::lock_guard<std::mutex> slock(mu_);
       ++stats_.sync_fallbacks;
       return st;

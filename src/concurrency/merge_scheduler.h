@@ -4,9 +4,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -30,10 +30,27 @@ struct MergeSchedulerOptions {
   size_t workers = 1;
   /// Optimistic install conflicts tolerated per job before the scheduler
   /// falls back to one synchronous MergeTerm under the writer lock — a
-  /// bounded stall that guarantees hot terms still converge.
+  /// bounded stall that guarantees hot terms still converge. With the
+  /// fine-grained install this only triggers on competing blob swaps.
   uint32_t max_retries = 4;
   /// Idle wakeup period for the epoch reclaim pass, in milliseconds.
   uint32_t idle_reclaim_ms = 20;
+};
+
+/// How the scheduler reaches its host engine. The scheduler itself knows
+/// nothing about locks or snapshots — under MVCC the prepare hook pins a
+/// ReadView (epoch guard + sealed snapshot, no lock) and the install /
+/// sync hooks run under the host's writer mutex and publish a fresh
+/// snapshot (docs/concurrency.md).
+struct MergeHostHooks {
+  /// Reader phase: prepare `term` against a pinned view. Null *plan
+  /// means nothing to merge.
+  std::function<Status(TermId, std::unique_ptr<index::TermMergePlan>*)>
+      prepare;
+  /// Writer phase: install the plan (and publish). Aborted = retry.
+  std::function<Status(index::TermMergePlan*)> install;
+  /// Synchronous whole merge (writer side), the bounded fallback.
+  std::function<Status(TermId)> sync_merge;
 };
 
 /// Snapshot of the scheduler's counters (single mutex, no torn reads).
@@ -50,22 +67,21 @@ struct MergeSchedulerStats {
 
 /// \brief The background maintenance pool of docs/concurrency.md: worker
 /// threads pop per-term merge jobs off a bounded dedup queue and run the
-/// two-phase PrepareMergeTerm/InstallMergeTerm protocol against the
-/// index — prepare under the shared (reader) side of `state_mu`, install
-/// under the exclusive side — so the write path only ever pays for
-/// trigger evaluation plus an enqueue, and queries never wait on merge
-/// work. The pending set doubles as the per-term in-flight guard: a term
-/// that is queued *or* being merged cannot be enqueued again, so two
-/// workers never prepare the same term concurrently.
+/// two-phase PrepareMergeTerm/InstallMergeTerm protocol through the
+/// host's hooks — prepare against a pinned ReadView (no lock at all),
+/// install under the host's writer mutex — so the write path only ever
+/// pays for trigger evaluation plus an enqueue, and queries never wait
+/// on merge work. The pending set doubles as the per-term in-flight
+/// guard: a term that is queued *or* being merged cannot be enqueued
+/// again, so two workers never prepare the same term concurrently.
 ///
-/// Blob lifetime: installs retire replaced blobs to the epoch manager;
-/// the worker runs ReclaimExpired() after every job and on an idle
-/// timer, freeing pages once the last guard that could observe them has
-/// exited.
+/// Blob lifetime: the host's install hook retires replaced blobs to the
+/// epoch manager; the worker runs ReclaimExpired() after every job and
+/// on an idle timer, freeing pages once the last guard that could
+/// observe them has exited.
 class MergeScheduler {
  public:
-  MergeScheduler(index::TextIndex* index, EpochManager* epochs,
-                 std::shared_mutex* state_mu,
+  MergeScheduler(EpochManager* epochs, MergeHostHooks hooks,
                  MergeSchedulerOptions options = {});
   ~MergeScheduler();
 
@@ -91,8 +107,8 @@ class MergeScheduler {
   size_t EnqueueMany(const std::vector<TermId>& terms);
 
   /// Blocks until the queue is empty and no job is in flight, then runs
-  /// a reclaim pass. Must not be called while holding `state_mu` (the
-  /// worker needs it to finish). Test/bench quiescence hook.
+  /// a reclaim pass. Must not be called from the host's writer section
+  /// (the worker needs it to finish). Test/bench quiescence hook.
   void WaitIdle();
 
   bool running() const;
@@ -104,15 +120,13 @@ class MergeScheduler {
 
  private:
   void WorkerLoop();
-  /// One job: prepare (reader) -> install (writer), retrying on Aborted
-  /// up to max_retries, then synchronous fallback.
+  /// One job: prepare (pinned view) -> install (writer), retrying on
+  /// Aborted up to max_retries, then synchronous fallback.
   Status RunJob(TermId term);
 
-  index::TextIndex* index_;
   EpochManager* epochs_;
-  std::shared_mutex* state_mu_;
+  MergeHostHooks hooks_;
   MergeSchedulerOptions options_;
-  index::BlobRetirer retirer_;
 
   /// Serializes whole Start/Stop transitions (held across the worker
   /// join), so a Start racing a Stop cannot spawn a new run whose

@@ -1,0 +1,73 @@
+#include "concurrency/query_pool.h"
+
+#include <utility>
+
+namespace svr::concurrency {
+
+QueryPool::QueryPool(size_t workers) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryPool::~QueryPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void QueryPool::Finish(Task* task) {
+  Batch* batch = task->batch;
+  std::lock_guard<std::mutex> lock(batch->mu);
+  if (--batch->remaining == 0) batch->done_cv.notify_all();
+}
+
+void QueryPool::WorkerLoop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.fn();
+    Finish(&task);
+  }
+}
+
+void QueryPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  Batch batch;
+  batch.remaining = tasks.size();
+
+  // The calling thread keeps the last task for itself: with one worker
+  // and one caller the scatter still runs two lanes, and a pool whose
+  // workers are all busy with other batches cannot stall this one.
+  std::function<void()> mine = std::move(tasks.back());
+  tasks.pop_back();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& fn : tasks) {
+      queue_.push_back(Task{std::move(fn), &batch});
+    }
+  }
+  work_cv_.notify_all();
+
+  mine();
+  {
+    std::lock_guard<std::mutex> lock(batch.mu);
+    if (--batch.remaining == 0) batch.done_cv.notify_all();
+  }
+
+  std::unique_lock<std::mutex> lock(batch.mu);
+  batch.done_cv.wait(lock, [&] { return batch.remaining == 0; });
+}
+
+}  // namespace svr::concurrency

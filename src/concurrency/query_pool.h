@@ -1,0 +1,60 @@
+#ifndef SVR_CONCURRENCY_QUERY_POOL_H_
+#define SVR_CONCURRENCY_QUERY_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace svr::concurrency {
+
+/// \brief A small persistent thread pool for query-side fan-out: the
+/// sharded engine scatters per-shard top-k work across it instead of
+/// running the shards sequentially in the calling thread
+/// (docs/sharding.md). Many callers may RunAll() concurrently — tasks
+/// from different batches interleave freely on the workers, and the
+/// calling thread always participates in its own batch, so a pool of W
+/// workers gives a scatter W+1 lanes and can never deadlock on pool
+/// exhaustion.
+class QueryPool {
+ public:
+  /// Spawns `workers` threads (0 is treated as 1).
+  explicit QueryPool(size_t workers);
+  ~QueryPool();
+
+  QueryPool(const QueryPool&) = delete;
+  QueryPool& operator=(const QueryPool&) = delete;
+
+  /// Runs every task and returns once all of them completed. Tasks must
+  /// not themselves call RunAll on the same pool.
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+  size_t workers() const { return workers_.size(); }
+
+ private:
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t remaining = 0;
+  };
+  struct Task {
+    std::function<void()> fn;
+    Batch* batch;
+  };
+
+  void WorkerLoop();
+  static void Finish(Task* task);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Task> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace svr::concurrency
+
+#endif  // SVR_CONCURRENCY_QUERY_POOL_H_

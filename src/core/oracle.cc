@@ -4,15 +4,25 @@
 
 namespace svr::core {
 
-Status BruteForceOracle::TopK(const index::Query& query, size_t k,
-                              bool with_term_scores,
-                              std::vector<index::SearchResult>* results) const {
+Status BruteForceOracle::TopK(
+    const index::Query& query, size_t k, bool with_term_scores,
+    std::vector<index::SearchResult>* results) const {
+  return TopKAt(corpus_->Seal(), scores_->LiveView(), query, k,
+                with_term_scores, results, ts_options_);
+}
+
+Status BruteForceOracle::TopKAt(const text::Corpus::Snapshot& corpus,
+                                const relational::ScoreTable::View& scores,
+                                const index::Query& query, size_t k,
+                                bool with_term_scores,
+                                std::vector<index::SearchResult>* results,
+                                index::TermScoreOptions ts_options) {
   results->clear();
   if (query.terms.empty() || k == 0) return Status::OK();
 
   index::ResultHeap heap(k);
-  for (DocId d = 0; d < corpus_->num_docs(); ++d) {
-    const text::Document& doc = corpus_->doc(d);
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    const text::Document& doc = corpus.doc(d);
     size_t matches = 0;
     double ts_sum = 0.0;
     for (TermId t : query.terms) {
@@ -29,13 +39,13 @@ Status BruteForceOracle::TopK(const index::Query& query, size_t k,
 
     double svr;
     bool deleted;
-    Status st = scores_->GetWithDeleted(d, &svr, &deleted);
+    Status st = scores.GetWithDeleted(d, &svr, &deleted);
     if (st.IsNotFound()) continue;  // never scored
     SVR_RETURN_NOT_OK(st);
     if (deleted) continue;
 
     double total = svr;
-    if (with_term_scores) total += ts_options_.term_weight * ts_sum;
+    if (with_term_scores) total += ts_options.term_weight * ts_sum;
     heap.Offer(d, total);
   }
   *results = heap.TakeSorted();

@@ -17,6 +17,12 @@ namespace svr::core {
 ///
 /// Used by the differential test suites — every index method must return
 /// exactly this — and available to applications as a correctness check.
+///
+/// Two forms: the pointer constructor reads the live corpus and Score
+/// table (exclusive access only), while TopKAt evaluates against a
+/// pinned snapshot (a ReadView's corpus/score views), so validation can
+/// race writers and still compare exactly against a lock-free query at
+/// the same commit timestamp (docs/concurrency.md).
 class BruteForceOracle {
  public:
   BruteForceOracle(const text::Corpus* corpus,
@@ -24,11 +30,19 @@ class BruteForceOracle {
                    index::TermScoreOptions ts_options = {})
       : corpus_(corpus), scores_(scores), ts_options_(ts_options) {}
 
-  /// Exact top-k. `with_term_scores` selects the §4.3.3 combined
-  /// function (term scores are rounded through float, matching the
-  /// 4-byte posting payloads).
+  /// Exact top-k over the live state. `with_term_scores` selects the
+  /// §4.3.3 combined function (term scores are rounded through float,
+  /// matching the 4-byte posting payloads).
   Status TopK(const index::Query& query, size_t k, bool with_term_scores,
               std::vector<index::SearchResult>* results) const;
+
+  /// Exact top-k against a pinned snapshot.
+  static Status TopKAt(const text::Corpus::Snapshot& corpus,
+                       const relational::ScoreTable::View& scores,
+                       const index::Query& query, size_t k,
+                       bool with_term_scores,
+                       std::vector<index::SearchResult>* results,
+                       index::TermScoreOptions ts_options = {});
 
  private:
   const text::Corpus* corpus_;

@@ -28,10 +28,14 @@ void AddIndexStats(index::IndexStats* into, const index::IndexStats& s) {
   into->term_merges += s.term_merges;
   into->merge_postings_written += s.merge_postings_written;
   into->auto_merge_sweeps += s.auto_merge_sweeps;
+  into->merge_installs_fine += s.merge_installs_fine;
+  into->merge_install_aborts += s.merge_install_aborts;
+  into->list_state_retired += s.list_state_retired;
 }
 
 void AddEngineStats(EngineStats* into, const EngineStats& s) {
   AddIndexStats(&into->index, s.index);
+  into->commit_ts = std::max(into->commit_ts, s.commit_ts);
   into->background_merge = into->background_merge || s.background_merge;
   into->merge_workers += s.merge_workers;
   into->merge_queue_depth += s.merge_queue_depth;
@@ -42,19 +46,28 @@ void AddEngineStats(EngineStats* into, const EngineStats& s) {
   into->merge_dedup_hits += s.merge_dedup_hits;
   into->merge_sync_fallbacks += s.merge_sync_fallbacks;
   into->reclaim_pending += s.reclaim_pending;
-  into->blobs_reclaimed += s.blobs_reclaimed;
+  into->objects_reclaimed += s.objects_reclaimed;
   into->write_merge_ms += s.write_merge_ms;
 }
 
 }  // namespace
 
 ShardedSvrEngine::ShardedSvrEngine(
-    std::vector<std::unique_ptr<SvrEngine>> shards)
+    std::vector<std::unique_ptr<SvrEngine>> shards,
+    std::shared_ptr<concurrency::CommitClock> clock,
+    uint32_t num_query_threads)
     : shards_(std::move(shards)),
+      clock_(std::move(clock)),
       local_to_global_(shards_.size()) {
   shard_insert_mu_.reserve(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
     shard_insert_mu_.push_back(std::make_unique<std::mutex>());
+  }
+  if (num_query_threads > 1 && shards_.size() > 1) {
+    // The caller participates in every scatter, so N threads = N - 1
+    // pool workers.
+    query_pool_ =
+        std::make_unique<concurrency::QueryPool>(num_query_threads - 1);
   }
 }
 
@@ -72,14 +85,21 @@ Result<std::unique_ptr<ShardedSvrEngine>> ShardedSvrEngine::Open(
     per_shard.list_pool_pages = std::max<uint64_t>(
         64, per_shard.list_pool_pages / options.num_shards);
   }
+  // One clock for every shard: commit timestamps become globally
+  // ordered, which is what makes the gather watermark a cross-shard
+  // read timestamp.
+  auto clock = per_shard.commit_clock != nullptr
+                   ? per_shard.commit_clock
+                   : std::make_shared<concurrency::CommitClock>();
+  per_shard.commit_clock = clock;
   std::vector<std::unique_ptr<SvrEngine>> shards;
   shards.reserve(options.num_shards);
   for (uint32_t i = 0; i < options.num_shards; ++i) {
     SVR_ASSIGN_OR_RETURN(auto shard, SvrEngine::Open(per_shard));
     shards.push_back(std::move(shard));
   }
-  return std::unique_ptr<ShardedSvrEngine>(
-      new ShardedSvrEngine(std::move(shards)));
+  return std::unique_ptr<ShardedSvrEngine>(new ShardedSvrEngine(
+      std::move(shards), std::move(clock), options.num_query_threads));
 }
 
 uint32_t ShardedSvrEngine::ShardOf(int64_t gid) const {
@@ -261,14 +281,8 @@ Status ShardedSvrEngine::Insert(const std::string& table,
     // their slot in the shard's sequence is consumed.
     bool landed = st.ok();
     if (!landed) {
-      (void)shards_[loc.shard]->ReadSnapshot([&]() -> Status {
-        relational::Table* t =
-            shards_[loc.shard]->database()->GetTable(table);
-        relational::Row probe;
-        landed = t != nullptr &&
-                 t->Get(static_cast<int64_t>(loc.local), &probe).ok();
-        return Status::OK();
-      });
+      landed = shards_[loc.shard]->RowExists(
+          table, static_cast<int64_t>(loc.local));
     }
     if (landed) {
       // Still under the shard's insert mutex, so the reserved local is
@@ -440,20 +454,57 @@ std::vector<index::SearchResult> ShardedSvrEngine::GatherTopK(
   return MergeTopK(TranslateToGlobal(per_shard), k);
 }
 
+ShardedReadView ShardedSvrEngine::PinReadViewAll() const {
+  ShardedReadView view;
+  view.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    view.shards.push_back(shard->PinReadView());
+    view.watermark =
+        std::max(view.watermark, view.shards.back().commit_ts());
+  }
+  return view;
+}
+
 Result<std::vector<ScoredRow>> ShardedSvrEngine::Search(
     const std::string& keywords, size_t k, bool conjunctive) {
-  // Scatter: each shard answers its own top-k under its own reader lock
-  // and epoch guard (per-shard snapshot consistency).
-  std::vector<std::vector<ScoredRow>> shard_rows(shards_.size());
-  std::vector<std::vector<index::SearchResult>> shard_hits(shards_.size());
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    SVR_ASSIGN_OR_RETURN(shard_rows[s],
-                         shards_[s]->Search(keywords, k, conjunctive));
-    shard_hits[s].reserve(shard_rows[s].size());
-    for (const ScoredRow& r : shard_rows[s]) {
-      shard_hits[s].push_back(
-          {static_cast<DocId>(r.pk), r.score});
+  return SearchAt(PinReadViewAll(), keywords, k, conjunctive);
+}
+
+Result<std::vector<ScoredRow>> ShardedSvrEngine::SearchAt(
+    const ShardedReadView& view, const std::string& keywords, size_t k,
+    bool conjunctive) {
+  // Scatter: each shard answers its own top-k against its pinned
+  // version — the whole gather observes the view's single watermark.
+  const size_t n = shards_.size();
+  std::vector<std::vector<ScoredRow>> shard_rows(n);
+  std::vector<std::vector<index::SearchResult>> shard_hits(n);
+  std::vector<Status> shard_status(n);
+  auto run_shard = [&](size_t s) {
+    auto r = shards_[s]->SearchAt(view.shards[s], keywords, k, conjunctive);
+    if (!r.ok()) {
+      shard_status[s] = r.status();
+      return;
     }
+    shard_rows[s] = std::move(r).value();
+    shard_hits[s].reserve(shard_rows[s].size());
+    for (const ScoredRow& row : shard_rows[s]) {
+      shard_hits[s].push_back({static_cast<DocId>(row.pk), row.score});
+    }
+  };
+  if (query_pool_ != nullptr && n > 1) {
+    // Query-side fan-out (docs/sharding.md): one task per shard on the
+    // persistent pool; the calling thread runs one of them.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+      tasks.emplace_back([&run_shard, s] { run_shard(s); });
+    }
+    query_pool_->RunAll(std::move(tasks));
+  } else {
+    for (size_t s = 0; s < n; ++s) run_shard(s);
+  }
+  for (const Status& st : shard_status) {
+    SVR_RETURN_NOT_OK(st);
   }
 
   // Gather: one bounded merge heap over (score desc, global id asc).
@@ -511,15 +562,13 @@ Result<std::vector<ScoredRow>> ShardedSvrEngine::Search(
 }
 
 Status ShardedSvrEngine::ReadSnapshotAll(
-    const std::function<Status()>& fn) {
-  // Nested ReadSnapshot per shard, ascending — every caller acquires in
-  // the same order, so the all-shard snapshot cannot deadlock with
-  // itself (single-shard writers never hold two shard locks).
-  std::function<Status(size_t)> nest = [&](size_t i) -> Status {
-    if (i == shards_.size()) return fn();
-    return shards_[i]->ReadSnapshot([&] { return nest(i + 1); });
-  };
-  return nest(0);
+    const std::function<Status(const ShardedReadView&)>& fn) {
+  // Lock-free: pin every shard's published snapshot (epoch guard + one
+  // atomic load each) and hand the whole pinned view to the callback.
+  // No shard can invalidate any of it while the view is held — the
+  // all-shard lock acquisition of the pre-MVCC engine is gone.
+  const ShardedReadView view = PinReadViewAll();
+  return fn(view);
 }
 
 Status ShardedSvrEngine::Start() {
@@ -541,6 +590,7 @@ ShardedEngineStats ShardedSvrEngine::GetStats() const {
     out.shards.push_back(shard->GetStats());
     AddEngineStats(&out.total, out.shards.back());
   }
+  out.commit_watermark = clock_->Now();
   std::shared_lock<std::shared_mutex> lock(map_mu_);
   out.num_ids = id_map_.size();
   return out;

@@ -12,6 +12,8 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "concurrency/commit_clock.h"
+#include "concurrency/query_pool.h"
 #include "core/svr_engine.h"
 #include "index/text_index.h"
 
@@ -24,12 +26,34 @@ struct ShardedSvrEngineOptions {
   /// Options applied to every shard. Each shard gets its own page
   /// stores, buffer pools, score view, text index and (when enabled)
   /// merge scheduler, so DML against different shards never contends.
+  /// All shards share ONE commit clock (installed by Open), so their
+  /// commit timestamps are globally ordered and a gather reports a
+  /// single read watermark.
   SvrEngineOptions shard;
   /// Divide `shard.table_pool_pages` / `shard.list_pool_pages` by
   /// `num_shards` (floored at 64 pages) so the total cache budget stays
   /// constant as the shard count sweeps — the fair comparison the
   /// sharding bench wants. Disable to give every shard the full budget.
   bool split_pool_budgets = true;
+  /// Query-side fan-out: > 1 scatters per-shard top-k work onto a small
+  /// persistent thread pool instead of running shards sequentially in
+  /// the caller (the calling thread always participates, so N means N
+  /// lanes). 1 (the default) keeps the scatter sequential — single-core
+  /// benches are unchanged.
+  uint32_t num_query_threads = 1;
+};
+
+/// \brief One pinned cross-shard read point: every shard's ReadView plus
+/// the gather watermark (the highest commit timestamp among them, drawn
+/// from the shared clock). Because each DML statement commits on exactly
+/// one shard, the vector of per-shard versions is a consistent global
+/// snapshot; holding it keeps every referenced version alive on every
+/// shard. Move-only.
+struct ShardedReadView {
+  std::vector<SvrEngine::ReadView> shards;
+  /// Highest commit_ts across the pinned views — the cross-shard read
+  /// timestamp this gather observes.
+  uint64_t watermark = 0;
 };
 
 /// Counter snapshot across all shards: per-shard `EngineStats` plus the
@@ -42,6 +66,8 @@ struct ShardedEngineStats {
   uint32_t num_shards = 0;
   /// Distinct global primary keys routed so far.
   uint64_t num_ids = 0;
+  /// Latest commit timestamp drawn from the shared clock.
+  uint64_t commit_watermark = 0;
 };
 
 /// \brief N independent `SvrEngine` shards behind the single-engine API:
@@ -75,13 +101,16 @@ struct ShardedEngineStats {
 /// document id in that sense; see docs/sharding.md for the exact
 /// constraints inherited from the per-shard density rule.
 ///
-/// Consistency. Each shard's slice of a Search is snapshot-consistent
-/// (that shard's reader lock + epoch guard), but the gather is NOT a
-/// cross-shard snapshot: shard i+1 may already reflect a write that
-/// shard i's slice predates. `ReadSnapshotAll` takes every shard's
-/// reader lock (ascending, deadlock-free) for callers that need one
-/// global serialization point — the oracle validation in the tests and
-/// the sharded churn driver use it.
+/// Consistency (docs/concurrency.md, docs/sharding.md). All shards draw
+/// commit timestamps from one shared clock. `Search` pins every shard's
+/// published snapshot up front (`PinReadViewAll`, lock-free) and runs
+/// the whole scatter + gather + row join against that one
+/// ShardedReadView — a true cross-shard snapshot at the view's
+/// watermark, since single-shard commits have no cross-shard
+/// dependencies. `ReadSnapshotAll` hands the same pinned view to a
+/// callback for multi-statement snapshot reads (the oracle validation);
+/// it acquires no shard locks — the all-shard lock acquisition of the
+/// pre-MVCC engine is gone.
 class ShardedSvrEngine {
  public:
   static Result<std::unique_ptr<ShardedSvrEngine>> Open(
@@ -113,18 +142,28 @@ class ShardedSvrEngine {
   Status Update(const std::string& table, const relational::Row& row);
   Status Delete(const std::string& table, int64_t pk);
 
-  /// Scatter-gather top-k: fetches k from every shard, merges on one
-  /// bounded heap by (score desc, global id asc), and returns rows with
-  /// their global primary keys restored. Per-shard snapshot-consistent;
-  /// see the class comment for what that does and does not promise.
+  /// Scatter-gather top-k at one pinned cross-shard read timestamp:
+  /// pins every shard's snapshot, fetches k from each (on the query
+  /// pool when `num_query_threads` > 1), merges on one bounded heap by
+  /// (score desc, global id asc), and returns rows with their global
+  /// primary keys restored — all from the same pinned views.
   Result<std::vector<ScoredRow>> Search(const std::string& keywords,
                                         size_t k, bool conjunctive = true);
+  /// Search against an already-pinned view (validation compares index
+  /// and oracle answers at the identical watermark this way).
+  Result<std::vector<ScoredRow>> SearchAt(const ShardedReadView& view,
+                                          const std::string& keywords,
+                                          size_t k, bool conjunctive = true);
 
-  /// Runs `fn` while holding every shard's reader lock + epoch guard:
-  /// one cross-shard serialization point. Do not issue engine calls from
-  /// inside `fn` (they would re-acquire shard locks); use the component
-  /// accessors, as the oracle checks do.
-  Status ReadSnapshotAll(const std::function<Status()>& fn);
+  /// Pins one cross-shard read point. Lock-free: one epoch-guard
+  /// registration and one atomic snapshot load per shard.
+  ShardedReadView PinReadViewAll() const;
+
+  /// Pins a cross-shard view and runs `fn` against it. `fn` must read
+  /// only through the view (per-shard TopKAt / the snapshot oracle /
+  /// SearchAt), as the oracle checks do. No shard locks are taken.
+  Status ReadSnapshotAll(
+      const std::function<Status(const ShardedReadView&)>& fn);
 
   /// Merges per-shard top-k lists (local document ids, as returned by a
   /// shard's TopK) into the global top-k with global ids — the gather
@@ -183,7 +222,9 @@ class ShardedSvrEngine {
     DocId local = 0;
   };
 
-  explicit ShardedSvrEngine(std::vector<std::unique_ptr<SvrEngine>> shards);
+  ShardedSvrEngine(std::vector<std::unique_ptr<SvrEngine>> shards,
+                   std::shared_ptr<concurrency::CommitClock> clock,
+                   uint32_t num_query_threads);
 
   /// Routing metadata of one table: which column carries the document id
   /// and whether it is the primary key.
@@ -207,8 +248,14 @@ class ShardedSvrEngine {
                     bool* fresh);
 
   std::vector<std::unique_ptr<SvrEngine>> shards_;
+  /// The shared commit clock every shard stamps its commits from.
+  std::shared_ptr<concurrency::CommitClock> clock_;
+  /// Query-side fan-out pool (null when num_query_threads <= 1).
+  std::unique_ptr<concurrency::QueryPool> query_pool_;
 
   /// Guards the id map, the reverse maps and the table routing metadata.
+  /// Bounded hash-map critical sections (routing metadata, not engine
+  /// state); the read path never blocks behind a DML statement on it.
   mutable std::shared_mutex map_mu_;
   std::unordered_map<int64_t, Loc> id_map_;
   /// Per shard: local doc id -> global key (locals are dense).

@@ -1,7 +1,7 @@
 #include "core/svr_engine.h"
 
 #include <algorithm>
-#include <mutex>
+#include <utility>
 
 #include "common/stopwatch.h"
 #include "index/merge_policy.h"
@@ -18,8 +18,25 @@ SvrEngine::SvrEngine(const SvrEngineOptions& options) : options_(options) {
       table_store_.get(), options.table_pool_pages);
   list_pool_ = std::make_unique<storage::BufferPool>(
       list_store_.get(), options.list_pool_pages);
-  db_ = std::make_unique<relational::Database>(table_pool_.get());
   epochs_ = std::make_unique<concurrency::EpochManager>();
+  clock_ = options.commit_clock != nullptr
+               ? options.commit_clock
+               : std::make_shared<concurrency::CommitClock>();
+  // The buffering disposers: dead pages/blobs of the statement in
+  // progress collect here (under writer_mu_) and are retired as one
+  // epoch batch when the next snapshot publishes — never freed while a
+  // sealed version could still reach them.
+  table_page_retirer_ = [this](storage::PageId id) {
+    pending_pages_.emplace_back(table_pool_.get(), id);
+  };
+  list_page_retirer_ = [this](storage::PageId id) {
+    pending_pages_.emplace_back(list_pool_.get(), id);
+  };
+  blob_retirer_ = [this](const storage::BlobRef& ref) {
+    pending_blobs_.push_back(ref);
+  };
+  db_ = std::make_unique<relational::Database>(table_pool_.get(),
+                                               table_page_retirer_);
 }
 
 SvrEngine::~SvrEngine() { Stop(); }
@@ -27,16 +44,89 @@ SvrEngine::~SvrEngine() { Stop(); }
 Result<std::unique_ptr<SvrEngine>> SvrEngine::Open(
     const SvrEngineOptions& options) {
   auto engine = std::unique_ptr<SvrEngine>(new SvrEngine(options));
-  SVR_ASSIGN_OR_RETURN(auto score_table, relational::ScoreTable::Create(
-                                             engine->table_pool_.get()));
+  SVR_ASSIGN_OR_RETURN(
+      auto score_table,
+      relational::ScoreTable::Create(engine->table_pool_.get(),
+                                     engine->table_page_retirer_));
   engine->score_table_ = std::move(score_table);
+  {
+    // Publish the initial (empty) version so ReadViews are never null.
+    std::lock_guard<std::mutex> lock(engine->writer_mu_);
+    engine->PublishCommit();
+  }
   return engine;
+}
+
+std::unique_lock<std::shared_mutex> SvrEngine::LockLegacyExclusive() {
+  if (options_.read_locking == ReadLocking::kSharedLock) {
+    return std::unique_lock<std::shared_mutex>(legacy_mu_);
+  }
+  return std::unique_lock<std::shared_mutex>();
+}
+
+void SvrEngine::PublishCommit() {
+  auto snap = std::make_shared<EngineSnapshot>();
+  snap->commit_ts = clock_->Tick();
+  index::TextIndex* idx = index_.get();
+  if (idx != nullptr) {
+    snap->has_index = true;
+    snap->index = idx->SealSnapshot();
+  }
+  if (scored_rows_table_ != nullptr) {
+    snap->scored_rows = scored_rows_table_->Seal();
+  }
+  std::atomic_store_explicit(
+      &published_, std::shared_ptr<const EngineSnapshot>(std::move(snap)),
+      std::memory_order_release);
+  // Unpublish-then-retire: the version just published no longer
+  // references the statement's dead pages/blobs; readers pinned on
+  // older versions hold epoch guards, so the batch is freed only after
+  // the last of them exits.
+  if (!pending_pages_.empty() || !pending_blobs_.empty()) {
+    const uint64_t n = pending_pages_.size() + pending_blobs_.size();
+    epochs_->Retire(
+        [idx, pages = std::move(pending_pages_),
+         blobs = std::move(pending_blobs_)] {
+          for (const auto& [pool, id] : pages) {
+            (void)pool->FreePage(id);
+          }
+          for (const auto& b : blobs) {
+            if (idx != nullptr) (void)idx->ReclaimBlob(b);
+          }
+        },
+        n);
+    pending_pages_.clear();
+    pending_blobs_.clear();
+    // Drain whatever expired. Without this the synchronous-merge /
+    // no-scheduler configurations would accumulate every statement's
+    // dead version objects until Stop() — nothing else runs reclaim
+    // passes there. One uncontended mutex check per commit; the actual
+    // frees happen outside the epoch mutex.
+    epochs_->ReclaimExpired();
+  }
+}
+
+SvrEngine::ReadView SvrEngine::PinReadView() const {
+  ReadView v;
+  if (options_.read_locking == ReadLocking::kSharedLock) {
+    v.legacy_lock = std::shared_lock<std::shared_mutex>(legacy_mu_);
+  }
+  // Order matters: enter the epoch *before* loading the snapshot, so
+  // anything retired after the load carries an epoch stamp >= ours and
+  // cannot be reclaimed under us.
+  v.guard = epochs_->Enter();
+  v.state = std::atomic_load_explicit(&published_,
+                                      std::memory_order_acquire);
+  return v;
 }
 
 Status SvrEngine::CreateTable(const std::string& name,
                               relational::Schema schema) {
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
-  return db_->CreateTable(name, std::move(schema)).status();
+  auto legacy = LockLegacyExclusive();
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Status st = db_->CreateTable(name, std::move(schema)).status();
+  PublishCommit();
+  return st;
 }
 
 text::Document SvrEngine::TokenizeToDocument(const std::string& text) {
@@ -52,101 +142,143 @@ Status SvrEngine::CreateTextIndex(
     std::vector<relational::ScoreComponentSpec> specs,
     relational::AggFunction agg) {
   {
-    std::unique_lock<std::shared_mutex> lock(state_mu_);
-    if (index_ != nullptr) {
-      // Re-creating would replace score_view_ while the database's
-      // observer list still holds the old raw pointer (AddObserver has
-      // no remove), and re-scan a corpus that was already ingested —
-      // open a fresh engine to re-index instead.
-      return Status::AlreadyExists("text index already created");
-    }
-    relational::Table* t = db_->GetTable(table);
-    if (t == nullptr) return Status::NotFound("no such table: " + table);
-    text_column_ = t->schema().FindColumn(text_column);
-    if (text_column_ < 0) {
-      return Status::InvalidArgument("no such column: " + text_column);
-    }
-    pk_column_ = t->schema().pk_index();
-    scored_table_ = table;
-
-    // Materialize the Score view over existing rows.
-    score_view_ = std::make_unique<relational::ScoreView>(
-        db_.get(), table, std::move(specs), std::move(agg),
-        score_table_.get());
-    db_->AddObserver(score_view_.get());
-    SVR_RETURN_NOT_OK(score_view_->FullRefresh());
-
-    // Ingest existing rows into the corpus; pk must be dense 0..N-1.
-    DocId expected = 0;
-    Status ingest_status;
-    SVR_RETURN_NOT_OK(t->Scan([&](const relational::Row& row) {
-      const int64_t pk = row[pk_column_].as_int();
-      if (pk != static_cast<int64_t>(expected)) {
-        ingest_status = Status::InvalidArgument(
-            "scored-table primary keys must be dense 0..N-1");
-        return false;
+    auto legacy = LockLegacyExclusive();
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    Status st = [&]() -> Status {
+      if (index_ != nullptr) {
+        // Re-creating would replace score_view_ while the database's
+        // observer list still holds the old raw pointer (AddObserver has
+        // no remove), and re-scan a corpus that was already ingested —
+        // open a fresh engine to re-index instead.
+        return Status::AlreadyExists("text index already created");
       }
-      corpus_.Add(TokenizeToDocument(row[text_column_].as_string()));
-      ++expected;
-      return true;
-    }));
-    SVR_RETURN_NOT_OK(ingest_status);
+      relational::Table* t = db_->GetTable(table);
+      if (t == nullptr) return Status::NotFound("no such table: " + table);
+      text_column_ = t->schema().FindColumn(text_column);
+      if (text_column_ < 0) {
+        return Status::InvalidArgument("no such column: " + text_column);
+      }
+      pk_column_ = t->schema().pk_index();
+      scored_table_ = table;
 
-    // Build the index and route future score changes into Algorithm 1.
-    index::IndexContext ctx;
-    ctx.table_pool = table_pool_.get();
-    ctx.list_pool = list_pool_.get();
-    ctx.score_table = score_table_.get();
-    ctx.corpus = &corpus_;
-    ctx.posting_format = options_.posting_format;
-    ctx.merge_policy = options_.merge_policy;
-    SVR_ASSIGN_OR_RETURN(
-        index_, index::CreateIndex(options_.method, ctx,
-                                   options_.index_options));
-    SVR_RETURN_NOT_OK(index_->Build());
-    score_view_->SetScoreUpdateHandler(
-        [this](DocId doc, double new_score) -> Status {
-          if (doc >= corpus_.num_docs()) {
-            // Score component rows may arrive before the scored row; the
-            // eventual document insert picks up the current view score.
-            return score_table_->Set(doc, new_score);
-          }
-          return index_->OnScoreUpdate(doc, new_score);
-        });
+      // Materialize the Score view over existing rows.
+      score_view_ = std::make_unique<relational::ScoreView>(
+          db_.get(), table, std::move(specs), std::move(agg),
+          score_table_.get());
+      db_->AddObserver(score_view_.get());
+      SVR_RETURN_NOT_OK(score_view_->FullRefresh());
+
+      // Ingest existing rows into the corpus; pk must be dense 0..N-1.
+      DocId expected = 0;
+      Status ingest_status;
+      SVR_RETURN_NOT_OK(t->Scan([&](const relational::Row& row) {
+        const int64_t pk = row[pk_column_].as_int();
+        if (pk != static_cast<int64_t>(expected)) {
+          ingest_status = Status::InvalidArgument(
+              "scored-table primary keys must be dense 0..N-1");
+          return false;
+        }
+        corpus_.Add(TokenizeToDocument(row[text_column_].as_string()));
+        ++expected;
+        return true;
+      }));
+      SVR_RETURN_NOT_OK(ingest_status);
+
+      // Build the index and route future score changes into Algorithm 1.
+      index::IndexContext ctx;
+      ctx.table_pool = table_pool_.get();
+      ctx.list_pool = list_pool_.get();
+      ctx.score_table = score_table_.get();
+      ctx.corpus = &corpus_;
+      ctx.posting_format = options_.posting_format;
+      ctx.merge_policy = options_.merge_policy;
+      ctx.table_page_retirer = table_page_retirer_;
+      ctx.list_page_retirer = list_page_retirer_;
+      ctx.blob_retirer = blob_retirer_;
+      SVR_ASSIGN_OR_RETURN(
+          index_, index::CreateIndex(options_.method, ctx,
+                                     options_.index_options));
+      SVR_RETURN_NOT_OK(index_->Build());
+      score_view_->SetScoreUpdateHandler(
+          [this](DocId doc, double new_score) -> Status {
+            if (doc >= corpus_.num_docs()) {
+              // Score component rows may arrive before the scored row;
+              // the eventual document insert picks up the current view
+              // score.
+              return score_table_->Set(doc, new_score);
+            }
+            return index_->OnScoreUpdate(doc, new_score);
+          });
+      scored_rows_table_ = t;
+      index_ptr_.store(index_.get(), std::memory_order_release);
+      return Status::OK();
+    }();
+    // Publish regardless: partial table/view state mutated above must
+    // reach the next version exactly as the in-place model exposed it.
+    PublishCommit();
+    SVR_RETURN_NOT_OK(st);
   }
   return Start();
+}
+
+concurrency::MergeHostHooks SvrEngine::MakeMergeHooks() {
+  concurrency::MergeHostHooks hooks;
+  hooks.prepare =
+      [this](TermId term,
+             std::unique_ptr<index::TermMergePlan>* plan) -> Status {
+    plan->reset();
+    ReadView view = PinReadView();
+    if (!view.indexed()) return Status::OK();
+    auto prepared = index_->PrepareMergeTermAt(view.state->index, term);
+    SVR_RETURN_NOT_OK(prepared.status());
+    *plan = std::move(prepared).value();
+    return Status::OK();
+  };
+  hooks.install = [this](index::TermMergePlan* plan) -> Status {
+    auto legacy = LockLegacyExclusive();
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    Status st = index_->InstallMergeTerm(plan, blob_retirer_);
+    PublishCommit();
+    return st;
+  };
+  hooks.sync_merge = [this](TermId term) -> Status {
+    auto legacy = LockLegacyExclusive();
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    Status st = index_->MergeTerm(term);
+    PublishCommit();
+    return st;
+  };
+  return hooks;
 }
 
 Status SvrEngine::Start() {
   concurrency::MergeScheduler* scheduler = nullptr;
   {
-    // The scheduler_ pointer itself is guarded by the state lock (it is
-    // read by GetStats and the write path); once set it is never reset,
-    // so the raw pointer stays valid outside the critical section.
-    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    // The scheduler_ pointer itself is guarded by the writer mutex (it
+    // is read by the write path); once set it is never reset, so the
+    // raw pointer stays valid outside the critical section.
+    std::lock_guard<std::mutex> lock(writer_mu_);
     if (!options_.background_merge || index_ == nullptr) {
       return Status::OK();
     }
     if (scheduler_ == nullptr) {
       scheduler_ = std::make_unique<concurrency::MergeScheduler>(
-          index_.get(), epochs_.get(), &state_mu_, options_.scheduler);
+          epochs_.get(), MakeMergeHooks(), options_.scheduler);
+      scheduler_ptr_.store(scheduler_.get(), std::memory_order_release);
     }
     scheduler = scheduler_.get();
   }
   // Outside the lock: Start is internally synchronized, and the worker
-  // it spawns immediately contends for the state lock.
+  // it spawns immediately contends for the writer mutex.
   scheduler->Start();
   return Status::OK();
 }
 
 void SvrEngine::Stop() {
-  concurrency::MergeScheduler* scheduler = nullptr;
-  {
-    std::shared_lock<std::shared_mutex> lock(state_mu_);
-    scheduler = scheduler_.get();
-  }
+  concurrency::MergeScheduler* scheduler =
+      scheduler_ptr_.load(std::memory_order_acquire);
   if (scheduler != nullptr) {
-    // Must not hold the state lock here: the worker needs it to finish
+    // Must not hold the writer mutex here: the worker needs it to finish
     // its in-flight job before joining.
     scheduler->Stop();
   }
@@ -198,65 +330,86 @@ Status SvrEngine::MaybeRunMergePolicy() {
   } else {
     st = index_->MaybeAutoMerge().status();
   }
-  write_merge_ms_ += sw.ElapsedMillis();
+  write_merge_ms_.store(
+      write_merge_ms_.load(std::memory_order_relaxed) + sw.ElapsedMillis(),
+      std::memory_order_relaxed);
   return st;
 }
 
 Status SvrEngine::Insert(const std::string& table,
                          const relational::Row& row) {
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
-  SVR_RETURN_NOT_OK(db_->Insert(table, row));
-  if (index_ != nullptr && table == scored_table_) {
-    SVR_RETURN_NOT_OK(HandleScoredTableWrite(nullptr, row));
-  }
-  if (score_view_ != nullptr) {
-    SVR_RETURN_NOT_OK(score_view_->last_error());
-  }
-  return MaybeRunMergePolicy();
+  auto legacy = LockLegacyExclusive();
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Status st = [&]() -> Status {
+    SVR_RETURN_NOT_OK(db_->Insert(table, row));
+    if (index_ != nullptr && table == scored_table_) {
+      SVR_RETURN_NOT_OK(HandleScoredTableWrite(nullptr, row));
+    }
+    if (score_view_ != nullptr) {
+      SVR_RETURN_NOT_OK(score_view_->last_error());
+    }
+    return MaybeRunMergePolicy();
+  }();
+  PublishCommit();
+  return st;
 }
 
 Status SvrEngine::Update(const std::string& table,
                          const relational::Row& row) {
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
-  relational::Row old_row;
-  if (index_ != nullptr && table == scored_table_) {
-    SVR_RETURN_NOT_OK(
-        db_->GetTable(table)->Get(row[pk_column_].as_int(), &old_row));
-  }
-  SVR_RETURN_NOT_OK(db_->Update(table, row));
-  if (index_ != nullptr && table == scored_table_) {
-    SVR_RETURN_NOT_OK(HandleScoredTableWrite(&old_row, row));
-  }
-  if (score_view_ != nullptr) {
-    SVR_RETURN_NOT_OK(score_view_->last_error());
-  }
-  return MaybeRunMergePolicy();
+  auto legacy = LockLegacyExclusive();
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Status st = [&]() -> Status {
+    relational::Row old_row;
+    if (index_ != nullptr && table == scored_table_) {
+      SVR_RETURN_NOT_OK(
+          db_->GetTable(table)->Get(row[pk_column_].as_int(), &old_row));
+    }
+    SVR_RETURN_NOT_OK(db_->Update(table, row));
+    if (index_ != nullptr && table == scored_table_) {
+      SVR_RETURN_NOT_OK(HandleScoredTableWrite(&old_row, row));
+    }
+    if (score_view_ != nullptr) {
+      SVR_RETURN_NOT_OK(score_view_->last_error());
+    }
+    return MaybeRunMergePolicy();
+  }();
+  PublishCommit();
+  return st;
 }
 
 Status SvrEngine::Delete(const std::string& table, int64_t pk) {
-  std::unique_lock<std::shared_mutex> lock(state_mu_);
-  SVR_RETURN_NOT_OK(db_->Delete(table, pk));
-  if (index_ != nullptr && table == scored_table_) {
-    SVR_RETURN_NOT_OK(index_->DeleteDocument(static_cast<DocId>(pk)));
-  }
-  if (score_view_ != nullptr) {
-    SVR_RETURN_NOT_OK(score_view_->last_error());
-  }
-  return MaybeRunMergePolicy();
+  auto legacy = LockLegacyExclusive();
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Status st = [&]() -> Status {
+    SVR_RETURN_NOT_OK(db_->Delete(table, pk));
+    if (index_ != nullptr && table == scored_table_) {
+      SVR_RETURN_NOT_OK(index_->DeleteDocument(static_cast<DocId>(pk)));
+    }
+    if (score_view_ != nullptr) {
+      SVR_RETURN_NOT_OK(score_view_->last_error());
+    }
+    return MaybeRunMergePolicy();
+  }();
+  PublishCommit();
+  return st;
 }
 
 Result<std::vector<ScoredRow>> SvrEngine::Search(
     const std::string& keywords, size_t k, bool conjunctive) {
-  // Reader: everything below — term resolution, the scan, the score
-  // probes, the row join — observes the single serialization point at
-  // which this lock was granted. The epoch guard pins the long-list
-  // blobs the scan resolves, keeping reclamation honest about readers
-  // that are not writer-serialized (docs/concurrency.md).
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
-  concurrency::EpochManager::Guard guard = epochs_->Enter();
-  if (index_ == nullptr) {
+  return SearchAt(PinReadView(), keywords, k, conjunctive);
+}
+
+Result<std::vector<ScoredRow>> SvrEngine::SearchAt(
+    const ReadView& view, const std::string& keywords, size_t k,
+    bool conjunctive) {
+  // Everything below — term resolution, the scan, the score probes, the
+  // row join — observes the single sealed version the view pinned. The
+  // epoch guard keeps reclamation honest about the blobs and tree pages
+  // that version references (docs/concurrency.md).
+  if (!view.indexed()) {
     return Status::InvalidArgument("no text index; CreateTextIndex first");
   }
+  const EngineSnapshot& snap = *view.state;
   index::Query query;
   query.conjunctive = conjunctive;
   for (const std::string& tok : text::Tokenizer::Tokenize(keywords)) {
@@ -275,34 +428,46 @@ Result<std::vector<ScoredRow>> SvrEngine::Search(
   if (query.terms.empty()) return std::vector<ScoredRow>{};
 
   std::vector<index::SearchResult> hits;
-  SVR_RETURN_NOT_OK(index_->TopK(query, k, &hits));
+  SVR_RETURN_NOT_OK(index_->TopKAt(snap.index, query, k, &hits));
 
-  relational::Table* t = db_->GetTable(scored_table_);
   std::vector<ScoredRow> out;
   out.reserve(hits.size());
   for (const auto& h : hits) {
     ScoredRow r;
     r.pk = static_cast<int64_t>(h.doc);
     r.score = h.score;
-    SVR_RETURN_NOT_OK(t->Get(r.pk, &r.row));
+    SVR_RETURN_NOT_OK(
+        scored_rows_table_->GetAt(snap.scored_rows, r.pk, &r.row));
     out.push_back(std::move(r));
   }
   return out;
 }
 
-Status SvrEngine::ReadSnapshot(const std::function<Status()>& fn) {
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
-  concurrency::EpochManager::Guard guard = epochs_->Enter();
-  return fn();
+Status SvrEngine::ReadSnapshot(
+    const std::function<Status(const ReadView&)>& fn) {
+  ReadView view = PinReadView();
+  return fn(view);
+}
+
+bool SvrEngine::RowExists(const std::string& table, int64_t pk) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  relational::Table* t = db_->GetTable(table);
+  relational::Row row;
+  return t != nullptr && t->Get(pk, &row).ok();
 }
 
 EngineStats SvrEngine::GetStats() const {
-  std::shared_lock<std::shared_mutex> lock(state_mu_);
   EngineStats s;
-  if (index_ != nullptr) s.index = index_->stats();
-  s.background_merge = scheduler_ != nullptr;
-  if (scheduler_ != nullptr) {
-    const concurrency::MergeSchedulerStats ms = scheduler_->StatsSnapshot();
+  index::TextIndex* idx = index_ptr_.load(std::memory_order_acquire);
+  if (idx != nullptr) s.index = idx->stats();
+  const auto snap = std::atomic_load_explicit(&published_,
+                                              std::memory_order_acquire);
+  if (snap != nullptr) s.commit_ts = snap->commit_ts;
+  concurrency::MergeScheduler* sched =
+      scheduler_ptr_.load(std::memory_order_acquire);
+  s.background_merge = sched != nullptr;
+  if (sched != nullptr) {
+    const concurrency::MergeSchedulerStats ms = sched->StatsSnapshot();
     s.merge_workers = ms.workers;
     s.merge_queue_depth = ms.queue_depth;
     s.merge_jobs_enqueued = ms.enqueued;
@@ -312,9 +477,9 @@ EngineStats SvrEngine::GetStats() const {
     s.merge_dedup_hits = ms.dedup_hits;
     s.merge_sync_fallbacks = ms.sync_fallbacks;
   }
-  s.reclaim_pending = epochs_->pending();
-  s.blobs_reclaimed = epochs_->reclaimed_total();
-  s.write_merge_ms = write_merge_ms_;
+  s.reclaim_pending = epochs_->objects_pending();
+  s.objects_reclaimed = epochs_->objects_reclaimed();
+  s.write_merge_ms = write_merge_ms_.load(std::memory_order_relaxed);
   return s;
 }
 

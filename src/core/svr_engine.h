@@ -1,14 +1,18 @@
 #ifndef SVR_CORE_SVR_ENGINE_H_
 #define SVR_CORE_SVR_ENGINE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "concurrency/commit_clock.h"
 #include "concurrency/epoch.h"
 #include "concurrency/merge_scheduler.h"
 #include "index/index_factory.h"
@@ -21,6 +25,18 @@
 #include "text/vocabulary.h"
 
 namespace svr::core {
+
+/// How readers serialize against the writer (docs/concurrency.md).
+enum class ReadLocking {
+  /// MVCC: readers pin the latest published snapshot (epoch guard + one
+  /// atomic shared_ptr load) and never block on or behind writers.
+  kMvcc,
+  /// The pre-MVCC model: readers take an engine-wide shared_mutex that
+  /// DML holds exclusively. Kept as the measured baseline of
+  /// bench_mvcc_churn; the snapshot machinery still runs underneath, so
+  /// results are identical — only the contention differs.
+  kSharedLock,
+};
 
 struct SvrEngineOptions {
   uint32_t page_size = 4096;
@@ -39,11 +55,19 @@ struct SvrEngineOptions {
   MergePolicy merge_policy;
   /// Background maintenance (docs/concurrency.md): when true the engine
   /// runs a merge-scheduler thread — trigger hits become queue jobs, the
-  /// merge work happens off the write path as a reader, and the new
-  /// blobs are installed with an atomic per-term swap. Started by
+  /// merge work happens off the write path against a pinned ReadView,
+  /// and the new blobs are installed under the writer mutex. Started by
   /// CreateTextIndex (or Start()), stopped by Stop()/destruction.
   bool background_merge = false;
   concurrency::MergeSchedulerOptions scheduler;
+  /// Reader serialization model; kMvcc is the default and the point of
+  /// the versioned read path.
+  ReadLocking read_locking = ReadLocking::kMvcc;
+  /// Commit-timestamp source. Shared across engines (the sharded layer
+  /// hands every shard one clock, making commit timestamps globally
+  /// ordered — the cross-shard read timestamp). Null = the engine
+  /// creates a private clock.
+  std::shared_ptr<concurrency::CommitClock> commit_clock;
 };
 
 /// One search hit joined back to its relational row.
@@ -53,11 +77,24 @@ struct ScoredRow {
   relational::Row row;
 };
 
-/// Engine-level counter snapshot: the index's own counters plus the
-/// concurrency subsystem's (merge queue, epoch reclamation, write-path
-/// merge cost). All values are coherent against one reader lock.
+/// \brief One published engine version: everything the read path needs,
+/// sealed at a single commit timestamp. Immutable once published;
+/// readers hold it through a shared_ptr inside a ReadView.
+struct EngineSnapshot {
+  uint64_t commit_ts = 0;
+  bool has_index = false;
+  index::IndexSnapshot index;
+  /// The scored table's rows (for the Search join).
+  storage::TreeSnapshot scored_rows;
+};
+
+/// Engine-level counter snapshot. Gathered from internally synchronized
+/// sources with no engine lock — fields are individually fresh but not
+/// mutually atomic (they never were load-bearing together).
 struct EngineStats {
   index::IndexStats index;
+  /// Commit timestamp of the currently published snapshot.
+  uint64_t commit_ts = 0;
   bool background_merge = false;
   uint64_t merge_workers = 0;         // scheduler pool size while running
   uint64_t merge_queue_depth = 0;     // jobs queued or in flight
@@ -67,8 +104,12 @@ struct EngineStats {
   uint64_t merge_jobs_dropped = 0;    // queue-full rejections
   uint64_t merge_dedup_hits = 0;      // enqueues of already-pending terms
   uint64_t merge_sync_fallbacks = 0;
-  uint64_t reclaim_pending = 0;       // blobs awaiting epoch reclamation
-  uint64_t blobs_reclaimed = 0;
+  /// Dead version objects (replaced blobs + retired tree pages)
+  /// awaiting / past epoch reclamation. Counts objects, not blobs: the
+  /// pre-MVCC `blobs_reclaimed` field grew into this when commits
+  /// started retiring shadowed pages too.
+  uint64_t reclaim_pending = 0;
+  uint64_t objects_reclaimed = 0;
   /// Wall time the *write path* has spent on merge maintenance: whole
   /// sweeps in synchronous mode, trigger evaluation + enqueue in
   /// background mode (the headline "write-path merge time ~0" metric of
@@ -94,22 +135,42 @@ struct EngineStats {
 /// Score view; score changes reach the index as Algorithm-1 updates, so
 /// searches always rank by the latest structured values.
 ///
-/// Thread model (docs/concurrency.md): DML is a writer (exclusive lock);
-/// Search and ReadSnapshot are readers (shared lock + epoch guard) and
-/// may run concurrently with each other and with the background merge
-/// scheduler's prepare phase. Every Search is therefore consistent with
-/// one serialization point — the instant its reader lock was granted —
-/// even while merges land between queries. The raw component accessors
-/// at the bottom bypass the lock: quiescent use only.
+/// Thread model (docs/concurrency.md): the engine is multi-versioned.
+/// Writers (DML, merge installs) serialize on a plain mutex, mutate
+/// copy-on-write structures, and publish an immutable EngineSnapshot
+/// stamped by the commit clock. Readers — Search, ReadSnapshot, GetStats
+/// — acquire no engine lock at all: they pin a ReadView (epoch guard +
+/// atomic snapshot load) and run entirely against that version, so they
+/// never block on or behind writers, and writers never wait for readers
+/// to drain. Dead versions (replaced blobs, shadowed tree pages) are
+/// reclaimed through the epoch manager once the last reader that could
+/// see them exits. The raw component accessors at the bottom bypass the
+/// versioning: quiescent use only.
 class SvrEngine {
  public:
+  /// A pinned, immutable view of the engine at one commit timestamp.
+  /// Holding it keeps every structure it references alive (the epoch
+  /// guard defers reclamation; the shared_ptr keeps the snapshot).
+  /// Move-only; release by destruction.
+  struct ReadView {
+    uint64_t commit_ts() const {
+      return state != nullptr ? state->commit_ts : 0;
+    }
+    bool indexed() const { return state != nullptr && state->has_index; }
+
+    std::shared_ptr<const EngineSnapshot> state;
+    concurrency::EpochManager::Guard guard;
+    /// Held only in ReadLocking::kSharedLock mode (the baseline model).
+    std::shared_lock<std::shared_mutex> legacy_lock;
+  };
+
   static Result<std::unique_ptr<SvrEngine>> Open(
       const SvrEngineOptions& options);
 
   SvrEngine(const SvrEngine&) = delete;
   SvrEngine& operator=(const SvrEngine&) = delete;
 
-  /// Stops background maintenance and reclaims retired blobs.
+  /// Stops background maintenance and reclaims retired versions.
   ~SvrEngine();
 
   Status CreateTable(const std::string& name, relational::Schema schema);
@@ -127,35 +188,51 @@ class SvrEngine {
                          relational::AggFunction agg);
 
   /// DML. Writes to the scored table also maintain the corpus and the
-  /// text index (insert / delete / content update, Appendix A).
+  /// text index (insert / delete / content update, Appendix A). Each
+  /// statement publishes a new snapshot on return.
   Status Insert(const std::string& table, const relational::Row& row);
   Status Update(const std::string& table, const relational::Row& row);
   Status Delete(const std::string& table, int64_t pk);
 
+  /// Pins the latest published snapshot. Lock-free (one epoch-guard
+  /// registration plus an atomic shared_ptr load).
+  ReadView PinReadView() const;
+
   /// Top-k keyword search over the indexed text column; results are
   /// joined back to their rows. Safe to call from any number of threads
-  /// concurrently with DML and background merges.
+  /// concurrently with DML and background merges; never blocks on them.
   Result<std::vector<ScoredRow>> Search(const std::string& keywords,
                                         size_t k, bool conjunctive = true);
+  /// Search against an already-pinned view (the sharded gather pins one
+  /// view per shard up front so the whole scatter reads one watermark).
+  Result<std::vector<ScoredRow>> SearchAt(const ReadView& view,
+                                          const std::string& keywords,
+                                          size_t k,
+                                          bool conjunctive = true);
 
-  /// Runs `fn` under the engine's reader lock and an epoch guard — the
-  /// same view one Search observes. Multi-statement snapshot reads
-  /// (e.g. a query plus an oracle check over the same state, as the
-  /// concurrency tests do).
-  Status ReadSnapshot(const std::function<Status()>& fn);
+  /// Pins a view and runs `fn` against it — multi-statement snapshot
+  /// reads (a query plus an oracle check over the same version, as the
+  /// concurrency tests do). `fn` must read only through the view (index
+  /// TopKAt, the snapshot oracle, vocabulary lookups).
+  Status ReadSnapshot(const std::function<Status(const ReadView&)>& fn);
+
+  /// True iff `table` currently holds a row with primary key `pk`.
+  /// Serializes briefly on the writer mutex — rare error-path probes
+  /// only (the sharded router's failed-insert check), never hot reads.
+  bool RowExists(const std::string& table, int64_t pk);
 
   /// Starts background maintenance (no-op unless options enable it and
   /// a text index exists). CreateTextIndex calls this automatically.
   Status Start();
-  /// Stops the scheduler thread and reclaims every retired blob. Callers
-  /// must have stopped issuing queries. Idempotent.
+  /// Stops the scheduler thread and reclaims every retired version.
+  /// Callers must have stopped issuing queries. Idempotent.
   void Stop();
 
-  /// Index + concurrency counters, coherent under the reader lock.
+  /// Index + concurrency counters; lock-free.
   EngineStats GetStats() const;
 
   // --- component access (benchmarks, tests, diagnostics) --------------
-  // Unlocked: use only while no other thread touches the engine.
+  // Unversioned: use only while no other thread touches the engine.
   relational::Database* database() { return db_.get(); }
   relational::ScoreTable* score_table() { return score_table_.get(); }
   index::TextIndex* text_index() { return index_.get(); }
@@ -165,6 +242,7 @@ class SvrEngine {
   storage::BufferPool* table_pool() { return table_pool_.get(); }
   concurrency::MergeScheduler* merge_scheduler() { return scheduler_.get(); }
   concurrency::EpochManager* epoch_manager() { return epochs_.get(); }
+  concurrency::CommitClock* commit_clock() { return clock_.get(); }
 
  private:
   explicit SvrEngine(const SvrEngineOptions& options);
@@ -177,8 +255,20 @@ class SvrEngine {
   /// updates through the view; an off-cycle evaluation over the dirty
   /// term map is cheap). Synchronous mode merges in place; background
   /// mode enqueues the triggered terms. No-op when the policy is
-  /// disabled. Caller holds the writer lock.
+  /// disabled. Caller holds the writer mutex.
   Status MaybeRunMergePolicy();
+
+  /// Seals every copy-on-write structure, stamps a commit timestamp,
+  /// publishes the new EngineSnapshot, and hands the statement's dead
+  /// pages/blobs to the epoch manager (the unpublish-then-retire
+  /// discipline). Caller holds the writer mutex.
+  void PublishCommit();
+
+  /// Exclusive side of the legacy lock (kSharedLock mode only; an empty
+  /// lock otherwise). Acquired *before* writer_mu_ everywhere.
+  std::unique_lock<std::shared_mutex> LockLegacyExclusive();
+
+  concurrency::MergeHostHooks MakeMergeHooks();
 
   SvrEngineOptions options_;
   std::unique_ptr<storage::InMemoryPageStore> table_store_;
@@ -192,16 +282,34 @@ class SvrEngine {
   text::Vocabulary vocab_;
   text::Corpus corpus_;
 
-  /// The engine-wide reader/writer serialization point: DML, merge
-  /// installs and rebuilds hold it exclusively; Search, ReadSnapshot,
-  /// GetStats and the scheduler's prepare phase hold it shared.
-  mutable std::shared_mutex state_mu_;
+  /// Writer serialization: DML, merge installs, lifecycle. Readers never
+  /// touch it.
+  std::mutex writer_mu_;
+  /// The baseline reader/writer lock, used only in kSharedLock mode.
+  mutable std::shared_mutex legacy_mu_;
+  /// The published version, swapped atomically at each commit.
+  std::shared_ptr<const EngineSnapshot> published_;
+  std::shared_ptr<concurrency::CommitClock> clock_;
   std::unique_ptr<concurrency::EpochManager> epochs_;
   std::unique_ptr<concurrency::MergeScheduler> scheduler_;
-  /// Wall ms the write path spent in MaybeRunMergePolicy (writer-locked).
-  double write_merge_ms_ = 0.0;
+  /// Lock-free mirrors for GetStats (set once, before first use).
+  std::atomic<index::TextIndex*> index_ptr_{nullptr};
+  std::atomic<concurrency::MergeScheduler*> scheduler_ptr_{nullptr};
+
+  /// Dead state accumulated by the current statement, retired as one
+  /// epoch batch at PublishCommit. Guarded by writer_mu_.
+  std::vector<std::pair<storage::BufferPool*, storage::PageId>> pending_pages_;
+  std::vector<storage::BlobRef> pending_blobs_;
+  /// The buffering disposers wired into trees / the index context.
+  storage::PageRetirer table_page_retirer_;
+  storage::PageRetirer list_page_retirer_;
+  index::BlobRetirer blob_retirer_;
+
+  /// Wall ms the write path spent in MaybeRunMergePolicy.
+  std::atomic<double> write_merge_ms_{0.0};
 
   std::string scored_table_;
+  relational::Table* scored_rows_table_ = nullptr;
   int text_column_ = -1;
   int pk_column_ = -1;
   index::MergeCheckCounter merge_ticks_;

@@ -134,9 +134,12 @@ float ChunkIndexBase::TsOf(DocId doc, TermId term) const {
 
 Status ChunkIndexBase::Build() {
   SVR_ASSIGN_OR_RETURN(
-      auto sl, ShortList::Create(ctx_.table_pool, ShortList::KeyKind::kChunk));
+      auto sl, ShortList::Create(ctx_.table_pool, ShortList::KeyKind::kChunk,
+                                 ctx_.table_page_retirer));
   short_list_ = std::move(sl);
-  SVR_ASSIGN_OR_RETURN(auto ls, ListStateTable::Create(ctx_.table_pool));
+  SVR_ASSIGN_OR_RETURN(
+      auto ls, ListStateTable::Create(ctx_.table_pool,
+                                      ctx_.table_page_retirer));
   list_state_ = std::move(ls);
   SVR_RETURN_NOT_OK(BuildLongLists());
   return BuildExtras();
@@ -171,7 +174,7 @@ Status ChunkIndexBase::BuildLongLists() {
   };
   std::vector<TermPostings> per_term(corpus.vocab_size());
   for (DocId d = 0; d < corpus.num_docs(); ++d) {
-    ++stats_.corpus_docs_scanned;
+    BumpStat(&IndexStats::corpus_docs_scanned);
     if (!alive[d]) continue;
     const ChunkId cid = chunker_->ChunkOf(scores[d]);
     const text::Document& doc = corpus.doc(d);
@@ -182,12 +185,14 @@ Status ChunkIndexBase::BuildLongLists() {
     }
   }
 
-  lists_.assign(corpus.vocab_size(), storage::BlobRef());
   long_counts_.assign(corpus.vocab_size(), 0);
   std::string buf;
   for (TermId t = 0; t < per_term.size(); ++t) {
     auto& raw = per_term[t].raw;
-    if (raw.empty()) continue;
+    if (raw.empty()) {
+      if (longs_.Get(t).valid()) longs_.Set(t, storage::BlobRef());
+      continue;
+    }
     long_counts_[t] = raw.size();
     // (cid desc, doc asc); doc order inside a cid is already ascending,
     // stable_sort by cid desc preserves it.
@@ -209,17 +214,37 @@ Status ChunkIndexBase::BuildLongLists() {
     }
     buf.clear();
     EncodeChunkList(groups, with_ts_, &buf, ctx_.posting_format);
-    SVR_ASSIGN_OR_RETURN(lists_[t], blobs_->Write(buf));
+    SVR_ASSIGN_OR_RETURN(storage::BlobRef ref, blobs_->Write(buf));
+    longs_.Set(t, ref);
     raw.clear();
     raw.shrink_to_fit();
   }
   return Status::OK();
 }
 
+IndexSnapshot ChunkIndexBase::SealSnapshot() {
+  IndexSnapshot s;
+  s.short_list = short_list_->Seal();
+  s.list_state = list_state_->Seal();
+  s.score = ctx_.score_table->Seal();
+  s.longs = longs_.Seal();
+  s.corpus = ctx_.corpus->Seal();
+  s.has_deletions = has_deletions_;
+  return s;
+}
+
 Status ChunkIndexBase::ListChunkOf(DocId doc, ChunkId* cid,
                                    bool* in_short) const {
+  return ListChunkOfAt(list_state_->LiveSnapshot(),
+                       ctx_.score_table->LiveView(), doc, cid, in_short);
+}
+
+Status ChunkIndexBase::ListChunkOfAt(
+    const storage::TreeSnapshot& list_state,
+    const relational::ScoreTable::View& scores, DocId doc, ChunkId* cid,
+    bool* in_short) const {
   ListStateTable::Entry e;
-  Status st = list_state_->Get(doc, &e);
+  Status st = list_state_->GetAt(list_state, doc, &e);
   if (st.ok()) {
     *cid = static_cast<ChunkId>(e.list_value);
     *in_short = e.in_short_list;
@@ -229,15 +254,16 @@ Status ChunkIndexBase::ListChunkOf(DocId doc, ChunkId* cid,
   // Never-scored documents rank at 0.0, exactly as BuildLongLists placed
   // them — NotFound must not fail a content update on such a doc.
   double score = 0.0;
-  st = ctx_.score_table->Get(doc, &score);
+  st = scores.Get(doc, &score);
   if (!st.ok() && !st.IsNotFound()) return st;
+  if (st.IsNotFound()) score = 0.0;
   *cid = chunker_->ChunkOf(score);
   *in_short = false;
   return Status::OK();
 }
 
 Status ChunkIndexBase::OnScoreUpdate(DocId doc, double new_score) {
-  ++stats_.score_updates;
+  BumpStat(&IndexStats::score_updates);
   // Algorithm 1 with chunks: newS -> newChunk, oldS -> oldChunk. A doc
   // that was never scored sits at 0.0 (matching BuildLongLists).
   double old_score = 0.0;
@@ -273,11 +299,12 @@ Status ChunkIndexBase::OnScoreUpdate(DocId doc, double new_score) {
       if (!del.ok() && !del.IsNotFound()) return del;
       SVR_RETURN_NOT_OK(short_list_->Put(t, new_chunk, doc,
                                          PostingOp::kAdd, TsOf(doc, t)));
-      ++stats_.short_list_writes;
+      BumpStat(&IndexStats::short_list_writes);
     }
     (void)in_short;
     SVR_RETURN_NOT_OK(
         list_state_->Put(doc, {static_cast<double>(new_chunk), true}));
+    sweep_.NoteMove(doc);
   }
   return Status::OK();
 }
@@ -287,10 +314,11 @@ Status ChunkIndexBase::InsertDocument(DocId doc, double score) {
   const ChunkId cid = chunker_->ChunkOf(score);
   SVR_RETURN_NOT_OK(
       list_state_->Put(doc, {static_cast<double>(cid), true}));
+  sweep_.NoteMove(doc);
   for (TermId t : ctx_.corpus->doc(doc).terms()) {
     SVR_RETURN_NOT_OK(
         short_list_->Put(t, cid, doc, PostingOp::kAdd, TsOf(doc, t)));
-    ++stats_.short_list_writes;
+    BumpStat(&IndexStats::short_list_writes);
   }
   return Status::OK();
 }
@@ -310,7 +338,7 @@ Status ChunkIndexBase::UpdateContent(DocId doc,
     if (!old_doc.Contains(t)) {
       SVR_RETURN_NOT_OK(short_list_->Put(t, l_chunk, doc, PostingOp::kAdd,
                                          TsOf(doc, t)));
-      ++stats_.short_list_writes;
+      BumpStat(&IndexStats::short_list_writes);
     }
   }
   for (TermId t : old_doc.terms()) {
@@ -322,19 +350,24 @@ Status ChunkIndexBase::UpdateContent(DocId doc,
       // folded away by the next merge, so the marker is always safe.
       SVR_RETURN_NOT_OK(
           short_list_->Put(t, l_chunk, doc, PostingOp::kRemove, 0.0f));
-      ++stats_.short_list_writes;
+      BumpStat(&IndexStats::short_list_writes);
     }
   }
   return Status::OK();
 }
 
 Status ChunkIndexBase::RebuildIndex() {
-  for (const auto& ref : lists_) {
+  // Offline maintenance: requires quiescence (blobs are freed in place
+  // and the chunker is replaced).
+  for (size_t t = 0; t < longs_.size(); ++t) {
+    const storage::BlobRef ref = longs_.Get(t);
     if (ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(ref));
+    longs_.Set(t, storage::BlobRef());
   }
   SVR_RETURN_NOT_OK(short_list_->Clear());
   SVR_RETURN_NOT_OK(list_state_->Clear());
   has_deletions_ = false;
+  sweep_.Clear();
   SVR_RETURN_NOT_OK(BuildLongLists());
   return BuildExtras();
 }
@@ -348,20 +381,29 @@ struct ChunkIndexBase::MergePlanImpl : TermMergePlan {
   uint64_t n_postings = 0;
   std::vector<ChunkGroup> groups;         // for OnTermMerged
   std::vector<DocId> from_short_docs;     // for the ListChunk cleanup
+  /// Exact short postings the prepare folded in (fine-grained install).
+  std::vector<ShortList::RawEntry> read_entries;
 };
 
 Result<std::unique_ptr<TermMergePlan>> ChunkIndexBase::PrepareMergeTerm(
     TermId term) {
-  // Reader phase: must not mutate anything a concurrent query can see
-  // (the lists_ resize for grown vocabularies waits for Install).
-  const storage::BlobRef old_ref =
-      term < lists_.size() ? lists_[term] : storage::BlobRef();
-  if (!old_ref.valid() && short_list_->TermPostingCount(term) == 0) {
+  return PrepareMergeTermAt(SealSnapshot(), term);
+}
+
+Result<std::unique_ptr<TermMergePlan>> ChunkIndexBase::PrepareMergeTermAt(
+    const IndexSnapshot& snap, TermId term) {
+  // Reader phase against a sealed snapshot: mutates nothing a concurrent
+  // query can see (the new blob stays unpublished until Install).
+  const ShortList::View shorts(short_list_.get(), snap.short_list);
+  const relational::ScoreTable::View scores(ctx_.score_table, snap.score);
+  const storage::BlobRef old_ref = snap.longs.Get(term);
+  if (!old_ref.valid() && shorts.TermPostingCount(term) == 0) {
     return std::unique_ptr<TermMergePlan>();
   }
   auto plan = std::make_unique<MergePlanImpl>(term);
-  plan->short_version = short_list_->TermVersion(term);
+  plan->short_version = shorts.TermVersion(term);
   plan->old_ref = old_ref;
+  SVR_RETURN_NOT_OK(shorts.ScanRaw(term, &plan->read_entries));
 
   // Stream the merged (long ∪ short) view in (cid desc, doc asc) order —
   // the exact view queries consume. REM cancellation happens inside the
@@ -376,7 +418,7 @@ Result<std::unique_ptr<TermMergePlan>> ChunkIndexBase::PrepareMergeTerm(
     MergedChunkStream stream(
         ChunkPostingCursor(blobs_->NewReader(old_ref), with_ts_,
                            ctx_.posting_format, &scratch),
-        short_list_->Scan(term), &scanned);
+        shorts.Scan(term), &scanned);
     SVR_RETURN_NOT_OK(stream.Init());
     while (stream.Valid()) {
       const DocId doc = stream.doc();
@@ -386,7 +428,7 @@ Result<std::unique_ptr<TermMergePlan>> ChunkIndexBase::PrepareMergeTerm(
         plan->from_short_docs.push_back(doc);
       } else {
         ListStateTable::Entry e;
-        Status st = list_state_->Get(doc, &e);
+        Status st = list_state_->GetAt(snap.list_state, doc, &e);
         if (st.ok()) {
           live = !e.in_short_list ||
                  static_cast<ChunkId>(e.list_value) == cid;
@@ -397,8 +439,7 @@ Result<std::unique_ptr<TermMergePlan>> ChunkIndexBase::PrepareMergeTerm(
       if (live) {
         double score;
         bool deleted = false;
-        Status st =
-            ctx_.score_table->GetWithDeleted(doc, &score, &deleted);
+        Status st = scores.GetWithDeleted(doc, &score, &deleted);
         if (!st.ok() && !st.IsNotFound()) return st;
         if (st.ok() && deleted) live = false;
       }
@@ -428,24 +469,21 @@ Status ChunkIndexBase::InstallMergeTerm(TermMergePlan* plan,
     return Status::InvalidArgument("foreign merge plan");
   }
   const TermId term = p->term();
-  const storage::BlobRef current =
-      term < lists_.size() ? lists_[term] : storage::BlobRef();
-  if (short_list_->TermVersion(term) != p->short_version ||
-      current != p->old_ref) {
-    // The term changed between phases; the prepared blob was never
-    // published, so it is freed directly.
+  const storage::BlobRef current = longs_.Get(term);
+  if (current != p->old_ref) {
+    // A competing merge republished the term's blob; the prepared blob
+    // was never published, so it is freed directly.
     if (p->new_ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(p->new_ref));
     p->new_ref = storage::BlobRef();
-    return Status::Aborted("term changed since PrepareMergeTerm");
+    BumpStat(&IndexStats::merge_install_aborts);
+    return Status::Aborted("long list republished since PrepareMergeTerm");
   }
 
-  if (term >= lists_.size()) {
-    lists_.resize(term + 1, storage::BlobRef());
+  if (term >= long_counts_.size()) {
     long_counts_.resize(term + 1, 0);
   }
-  // The publish point: one BlobRef swap. Everything after only retires
-  // state no reader resolves anymore.
-  lists_[term] = p->new_ref;
+  // The publish point: one BlobRef swap in the versioned directory.
+  longs_.Set(term, p->new_ref);
   long_counts_[term] = p->n_postings;
   p->new_ref = storage::BlobRef();  // consumed
   if (current.valid()) {
@@ -455,30 +493,60 @@ Status ChunkIndexBase::InstallMergeTerm(TermMergePlan* plan,
       SVR_RETURN_NOT_OK(blobs_->Free(current));
     }
   }
-  SVR_RETURN_NOT_OK(short_list_->DeleteTerm(term));
+  if (short_list_->TermVersion(term) == p->short_version) {
+    SVR_RETURN_NOT_OK(short_list_->DeleteTerm(term));
+  } else {
+    // Fine-grained path (docs/concurrency.md): delete exactly the
+    // postings the prepare folded in; survivors keep layering over the
+    // new blob.
+    SVR_RETURN_NOT_OK(short_list_->DeleteUnchanged(term, p->read_entries));
+    BumpStat(&IndexStats::merge_installs_fine);
+  }
+  sweep_.NoteMerge(term);
 
-  // ListChunk cleanup: entries that merely *record* an unmoved doc's
+  // ListChunk cleanup. Entries that merely *record* an unmoved doc's
   // list chunk (in_short == false) can go once the doc has no short
   // postings left anywhere and the chunker would reproduce the value.
-  // Entries of moved docs must stay — they are what marks the doc's
-  // not-yet-merged long postings in *other* terms' lists as stale.
+  // Moved docs' entries (in_short == true) are what marks the doc's
+  // not-yet-merged long postings in *other* terms' lists as stale; they
+  // retire only once the doc is *fully merged* — no short postings left
+  // and every term of its content merged at/after its last move, so all
+  // its long postings sit at the current list chunk (the "fully merged
+  // sweep" of docs/merge_policy.md). When the chunker does not reproduce
+  // the chunk from the current score, the entry is downgraded to
+  // in_short == false instead of removed (the recorded chunk is still
+  // where the long postings live).
   for (DocId doc : p->from_short_docs) {
     if (short_list_->DocPostingCount(doc) != 0) continue;
     ListStateTable::Entry e;
     Status st = list_state_->Get(doc, &e);
     if (st.IsNotFound()) continue;
     SVR_RETURN_NOT_OK(st);
-    if (e.in_short_list) continue;
     double score = 0.0;
     st = ctx_.score_table->Get(doc, &score);
     if (!st.ok() && !st.IsNotFound()) return st;
-    if (chunker_->ChunkOf(score) == static_cast<ChunkId>(e.list_value)) {
-      SVR_RETURN_NOT_OK(list_state_->Remove(doc));
+    const bool reproduces =
+        chunker_->ChunkOf(score) == static_cast<ChunkId>(e.list_value);
+    if (!e.in_short_list) {
+      if (reproduces) {
+        SVR_RETURN_NOT_OK(list_state_->Remove(doc));
+        BumpStat(&IndexStats::list_state_retired);
+      }
+      continue;
     }
+    if (!sweep_.FullyMerged(*ctx_.corpus, doc)) continue;
+    if (reproduces) {
+      SVR_RETURN_NOT_OK(list_state_->Remove(doc));
+    } else {
+      SVR_RETURN_NOT_OK(
+          list_state_->Put(doc, {e.list_value, false}));
+    }
+    sweep_.Forget(doc);
+    BumpStat(&IndexStats::list_state_retired);
   }
 
-  ++stats_.term_merges;
-  stats_.merge_postings_written += p->n_postings;
+  BumpStat(&IndexStats::term_merges);
+  BumpStat(&IndexStats::merge_postings_written, p->n_postings);
   return OnTermMerged(term, p->groups);
 }
 
@@ -489,9 +557,10 @@ Status ChunkIndexBase::ReclaimBlob(const storage::BlobRef& ref) {
 Status ChunkIndexBase::MergeTerm(TermId term) {
   SVR_ASSIGN_OR_RETURN(auto plan, PrepareMergeTerm(term));
   if (plan == nullptr) return Status::OK();
-  // Exclusive access: nothing can interleave, so the install cannot
-  // abort and the old blob is freed immediately.
-  return InstallMergeTerm(plan.get(), nullptr);
+  // Single writer: the install cannot abort. The replaced blob still
+  // goes through the context's retirer when one is wired — under MVCC a
+  // sealed snapshot may be streaming it.
+  return InstallMergeTerm(plan.get(), ctx_.blob_retirer);
 }
 
 Status ChunkIndexBase::MergeAllTerms() {
@@ -504,7 +573,7 @@ Result<uint32_t> ChunkIndexBase::MaybeAutoMerge() {
       uint32_t merged,
       RunAutoMergeSweep(ctx_.merge_policy, *short_list_, long_counts_,
                         [this](TermId t) { return MergeTerm(t); }));
-  if (merged > 0) ++stats_.auto_merge_sweeps;
+  if (merged > 0) BumpStat(&IndexStats::auto_merge_sweeps);
   return merged;
 }
 
@@ -521,36 +590,37 @@ uint64_t ChunkIndexBase::ShortListBytes() const {
   return short_list_->SizeBytes() + list_state_->SizeBytes();
 }
 
-Status ChunkIndexBase::MakeStreams(const Query& query,
+Status ChunkIndexBase::MakeStreams(const IndexSnapshot& snap,
+                                   const Query& query,
                                    std::vector<CursorScratch>* scratch,
                                    std::vector<MergedChunkStream>* streams,
                                    uint64_t* scanned) {
   streams->clear();
+  const ShortList::View shorts(short_list_.get(), snap.short_list);
   // Sized once before any cursor captures a pointer into it.
   scratch->assign(query.terms.size(), CursorScratch());
   streams->reserve(query.terms.size());
   for (size_t i = 0; i < query.terms.size(); ++i) {
     const TermId t = query.terms[i];
-    storage::BlobRef ref =
-        t < lists_.size() ? lists_[t] : storage::BlobRef();
+    const storage::BlobRef ref = snap.longs.Get(t);
     streams->emplace_back(
         ChunkPostingCursor(blobs_->NewReader(ref), with_ts_,
                            ctx_.posting_format, &(*scratch)[i]),
-        short_list_->Scan(t), scanned);
+        shorts.Scan(t), scanned);
     SVR_RETURN_NOT_OK(streams->back().Init());
   }
   return Status::OK();
 }
 
-Status ChunkIndexBase::JudgeCandidate(DocId doc, ChunkId cid,
-                                      bool from_short, bool* live,
-                                      double* current_score,
-                                      bool* deleted, QueryStats* qs) {
+Status ChunkIndexBase::JudgeCandidate(
+    const IndexSnapshot& snap, const relational::ScoreTable::View& scores,
+    DocId doc, ChunkId cid, bool from_short, bool* live,
+    double* current_score, bool* deleted, QueryStats* qs) {
   *live = true;
   *deleted = false;
   if (!from_short) {
     ListStateTable::Entry e;
-    Status st = list_state_->Get(doc, &e);
+    Status st = list_state_->GetAt(snap.list_state, doc, &e);
     if (st.ok() && e.in_short_list &&
         static_cast<ChunkId>(e.list_value) != cid) {
       // Stale long posting left at the chunk the doc moved away from;
@@ -564,8 +634,7 @@ Status ChunkIndexBase::JudgeCandidate(DocId doc, ChunkId cid,
   // The Chunk family never stores scores in postings, so every live
   // candidate costs one Score-table probe (cheap: the table is small and
   // cached, §5.3.1).
-  Status st =
-      ctx_.score_table->GetWithDeleted(doc, current_score, deleted);
+  Status st = scores.GetWithDeleted(doc, current_score, deleted);
   ++qs->score_lookups;
   if (st.IsNotFound()) {
     // Never-scored doc: not a result candidate (the oracle skips these

@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "common/versioned_array.h"
 #include "index/chunker.h"
 #include "index/list_state.h"
+#include "index/merge_policy.h"
 #include "index/posting_codec.h"
 #include "index/posting_cursor.h"
 #include "index/short_list.h"
@@ -73,6 +75,7 @@ class ChunkIndexBase : public TextIndex {
 
   Status Build() override;
   Status OnScoreUpdate(DocId doc, double new_score) override;
+  IndexSnapshot SealSnapshot() override;
 
   Status InsertDocument(DocId doc, double score) override;
   Status DeleteDocument(DocId doc) override;
@@ -83,6 +86,8 @@ class ChunkIndexBase : public TextIndex {
   std::vector<TermId> AutoMergeCandidates() const override;
   Result<std::unique_ptr<TermMergePlan>> PrepareMergeTerm(
       TermId term) override;
+  Result<std::unique_ptr<TermMergePlan>> PrepareMergeTermAt(
+      const IndexSnapshot& snap, TermId term) override;
   Status InstallMergeTerm(TermMergePlan* plan,
                           const BlobRetirer& retire) override;
   Status ReclaimBlob(const storage::BlobRef& ref) override;
@@ -94,12 +99,18 @@ class ChunkIndexBase : public TextIndex {
     return short_list_->num_postings();
   }
 
+  /// The chunk boundaries. Immutable between (offline, quiescent)
+  /// RebuildIndex calls, so snapshot queries read it with no lock.
   const Chunker& chunker() const { return *chunker_; }
 
   /// The doc's current list chunk (ListChunk entry, or the chunk of its
   /// long-list postings). Public for invariant checking: the chunk
   /// analogue of Lemma 1.2 is ChunkOf(score(d)) <= ListChunkOf(d) + 1.
   Status ListChunkOf(DocId doc, ChunkId* cid, bool* in_short) const;
+
+  /// Live ListChunk entries (diagnostics: the fully-merged sweep must
+  /// keep this from growing under long uptimes).
+  uint64_t ListStateSize() const { return list_state_->size(); }
 
  protected:
   /// Hook for method-specific structures (fancy lists). Runs after the
@@ -120,11 +131,16 @@ class ChunkIndexBase : public TextIndex {
   Status BuildLongLists();
   float TsOf(DocId doc, TermId term) const;
 
-  /// One merged stream per query term, charging scan work to `scanned`
-  /// (the calling query's local counter). `scratch` must outlive
-  /// `streams` (the cursors refill blocks into it) and is sized by this
-  /// call.
-  Status MakeStreams(const Query& query,
+  /// ListChunkOf against snapshot views (lock-free query path).
+  Status ListChunkOfAt(const storage::TreeSnapshot& list_state,
+                       const relational::ScoreTable::View& scores,
+                       DocId doc, ChunkId* cid, bool* in_short) const;
+
+  /// One merged stream per query term over `snap`, charging scan work to
+  /// `scanned` (the calling query's local counter). `scratch` must
+  /// outlive `streams` (the cursors refill blocks into it) and is sized
+  /// by this call.
+  Status MakeStreams(const IndexSnapshot& snap, const Query& query,
                      std::vector<CursorScratch>* scratch,
                      std::vector<MergedChunkStream>* streams,
                      uint64_t* scanned);
@@ -136,8 +152,10 @@ class ChunkIndexBase : public TextIndex {
   /// is stale exactly when it sits at a chunk other than the document's
   /// current list chunk (incrementally merged postings sit *at* it and
   /// are live; see docs/merge_policy.md). Probe work is charged to the
-  /// calling query's counters `qs`.
-  Status JudgeCandidate(DocId doc, ChunkId cid, bool from_short,
+  /// calling query's counters `qs`. Reads only the given snapshot views.
+  Status JudgeCandidate(const IndexSnapshot& snap,
+                        const relational::ScoreTable::View& scores,
+                        DocId doc, ChunkId cid, bool from_short,
                         bool* live, double* current_score, bool* deleted,
                         QueryStats* qs);
 
@@ -145,12 +163,18 @@ class ChunkIndexBase : public TextIndex {
   ChunkIndexOptions options_;
   bool with_ts_;
   std::unique_ptr<storage::BlobStore> blobs_;
-  std::vector<storage::BlobRef> lists_;
+  /// term -> published long-list blob (versioned for snapshot readers).
+  VersionedArray<storage::BlobRef, 128> longs_;
   std::vector<uint64_t> long_counts_;  // postings per long list
   std::unique_ptr<ShortList> short_list_;
   std::unique_ptr<ListStateTable> list_state_;
   std::unique_ptr<Chunker> chunker_;
   bool has_deletions_ = false;
+
+  /// Fully-merged sweep bookkeeping (docs/merge_policy.md): retires an
+  /// in_short ListChunk entry once the doc has no short postings left
+  /// and every term of its content merged at/after the doc's last move.
+  MergeSweepTracker sweep_;
 };
 
 }  // namespace svr::index

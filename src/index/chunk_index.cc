@@ -8,27 +8,33 @@ namespace svr::index {
 
 Status ChunkIndex::TopK(const Query& query, size_t k,
                         std::vector<SearchResult>* results) {
-  // Queries may run concurrently (reader side of the engine lock):
-  // accumulate counters locally and fold them once at the end.
+  return TopKAt(SealSnapshot(), query, k, results);
+}
+
+Status ChunkIndex::TopKAt(const IndexSnapshot& snap, const Query& query,
+                          size_t k, std::vector<SearchResult>* results) {
+  // Queries may run concurrently against sealed snapshots: accumulate
+  // counters locally and fold them once at the end.
   QueryStats qs;
   results->clear();
   if (query.terms.empty() || k == 0) {
     FoldQueryStats(qs);
     return Status::OK();
   }
+  const relational::ScoreTable::View scores(ctx_.score_table, snap.score);
 
   std::vector<CursorScratch> scratch;
   std::vector<MergedChunkStream> streams;
   SVR_RETURN_NOT_OK(
-      MakeStreams(query, &scratch, &streams, &qs.postings_scanned));
+      MakeStreams(snap, query, &scratch, &streams, &qs.postings_scanned));
 
   ResultHeap heap(k);
 
   auto offer = [&](DocId doc, ChunkId cid, bool from_short) -> Status {
     bool live, deleted;
     double curr;
-    SVR_RETURN_NOT_OK(JudgeCandidate(doc, cid, from_short, &live, &curr,
-                                     &deleted, &qs));
+    SVR_RETURN_NOT_OK(JudgeCandidate(snap, scores, doc, cid, from_short,
+                                     &live, &curr, &deleted, &qs));
     if (live && !deleted) {
       ++qs.candidates_considered;
       heap.Offer(doc, curr);

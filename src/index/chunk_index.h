@@ -25,6 +25,8 @@ class ChunkIndex final : public ChunkIndexBase {
 
   Status TopK(const Query& query, size_t k,
               std::vector<SearchResult>* results) override;
+  Status TopKAt(const IndexSnapshot& snap, const Query& query, size_t k,
+                std::vector<SearchResult>* results) override;
 };
 
 }  // namespace svr::index

@@ -10,12 +10,16 @@ namespace svr::index {
 
 Status ChunkTermScoreIndex::WriteFancyList(TermId term,
                                            std::vector<IdPosting> postings) {
-  if (term >= fancy_refs_.size()) {
-    fancy_refs_.resize(term + 1, storage::BlobRef());
-  }
-  if (fancy_refs_[term].valid()) {
-    SVR_RETURN_NOT_OK(blobs_->Free(fancy_refs_[term]));
-    fancy_refs_[term] = storage::BlobRef();
+  const storage::BlobRef old_ref = fancy_refs_.Get(term);
+  if (old_ref.valid()) {
+    fancy_refs_.Set(term, storage::BlobRef());
+    if (ctx_.blob_retirer) {
+      // A sealed snapshot may still resolve the old fancy list; its
+      // pages are reclaimed after the last pinned reader exits.
+      ctx_.blob_retirer(old_ref);
+    } else {
+      SVR_RETURN_NOT_OK(blobs_->Free(old_ref));
+    }
   }
   if (postings.empty()) return Status::OK();
 
@@ -39,7 +43,8 @@ Status ChunkTermScoreIndex::WriteFancyList(TermId term,
             });
   std::string buf;
   EncodeFancyList(postings, min_ts, &buf, ctx_.posting_format);
-  SVR_ASSIGN_OR_RETURN(fancy_refs_[term], blobs_->Write(buf));
+  SVR_ASSIGN_OR_RETURN(storage::BlobRef ref, blobs_->Write(buf));
+  fancy_refs_.Set(term, ref);
   return Status::OK();
 }
 
@@ -48,7 +53,7 @@ Status ChunkTermScoreIndex::BuildExtras() {
 
   std::vector<std::vector<IdPosting>> per_term(corpus.vocab_size());
   for (DocId d = 0; d < corpus.num_docs(); ++d) {
-    ++stats_.corpus_docs_scanned;
+    BumpStat(&IndexStats::corpus_docs_scanned);
     double score;
     bool deleted = false;
     if (ctx_.score_table->GetWithDeleted(d, &score, &deleted).ok() &&
@@ -68,6 +73,12 @@ Status ChunkTermScoreIndex::BuildExtras() {
   return Status::OK();
 }
 
+IndexSnapshot ChunkTermScoreIndex::SealSnapshot() {
+  IndexSnapshot s = ChunkIndexBase::SealSnapshot();
+  s.fancy = fancy_refs_.Seal();
+  return s;
+}
+
 Status ChunkTermScoreIndex::OnTermMerged(
     TermId term, const std::vector<ChunkGroup>& groups) {
   // The merged long list is the term's complete posting set; refresh the
@@ -81,8 +92,14 @@ Status ChunkTermScoreIndex::OnTermMerged(
 
 Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
                                  std::vector<SearchResult>* results) {
-  // Queries may run concurrently (reader side of the engine lock):
-  // accumulate counters locally and fold them once at the end.
+  return TopKAt(SealSnapshot(), query, k, results);
+}
+
+Status ChunkTermScoreIndex::TopKAt(const IndexSnapshot& snap,
+                                   const Query& query, size_t k,
+                                   std::vector<SearchResult>* results) {
+  // Queries may run concurrently against sealed snapshots: accumulate
+  // counters locally and fold them once at the end.
   QueryStats qs;
   results->clear();
   if (query.terms.empty() || k == 0) {
@@ -94,6 +111,8 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
     return Status::InvalidArgument(
         "Chunk-TermScore queries support at most 64 terms");
   }
+  const ShortList::View shorts(short_list_.get(), snap.short_list);
+  const relational::ScoreTable::View scores(ctx_.score_table, snap.score);
   const double tw = options_.term_scores.term_weight;
   const uint64_t full_mask =
       n_terms == 64 ? ~0ull : ((1ull << n_terms) - 1);
@@ -103,8 +122,7 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
   std::vector<float> min_fancy(n_terms, 0.0f);
   for (size_t i = 0; i < n_terms; ++i) {
     const TermId t = query.terms[i];
-    storage::BlobRef ref =
-        t < fancy_refs_.size() ? fancy_refs_[t] : storage::BlobRef();
+    const storage::BlobRef ref = snap.fancy.Get(t);
     SVR_RETURN_NOT_OK(DecodeFancyList(blobs_->NewReader(ref), &fancy[i],
                                       &min_fancy[i], ctx_.posting_format));
     qs.postings_scanned += fancy[i].size();
@@ -133,10 +151,11 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
       if (e.known_mask == full_mask) {
         // Contained in every fancy list => exact combined score. Guard
         // against content updates that removed a query term since the
-        // fancy lists were built.
+        // fancy lists were built. All checks read the pinned snapshot.
         bool still_contains_all = true;
         for (TermId t : query.terms) {
-          if (!ctx_.corpus->doc(doc).Contains(t)) {
+          if (doc >= snap.corpus.num_docs() ||
+              !snap.corpus.doc(doc).Contains(t)) {
             still_contains_all = false;
             break;
           }
@@ -147,14 +166,14 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
         // Such docs fall through to Phase 2, where the short posting's
         // term score governs.
         bool short_governs = false;
-        if (still_contains_all && short_list_->DocPostingCount(doc) > 0) {
+        if (still_contains_all && shorts.DocPostingCount(doc) > 0) {
           ChunkId l_chunk = 0;
           bool in_short = false;
-          SVR_RETURN_NOT_OK(ListChunkOf(doc, &l_chunk, &in_short));
+          SVR_RETURN_NOT_OK(ListChunkOfAt(snap.list_state, scores, doc,
+                                          &l_chunk, &in_short));
           for (TermId t : query.terms) {
-            if (short_list_->TermPostingCount(t) > 0 &&
-                short_list_->Contains(t, static_cast<double>(l_chunk),
-                                      doc)) {
+            if (shorts.TermPostingCount(t) > 0 &&
+                shorts.Contains(t, static_cast<double>(l_chunk), doc)) {
               short_governs = true;
               break;
             }
@@ -163,8 +182,7 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
         if (still_contains_all && !short_governs) {
           double svr;
           bool deleted;
-          Status st =
-              ctx_.score_table->GetWithDeleted(doc, &svr, &deleted);
+          Status st = scores.GetWithDeleted(doc, &svr, &deleted);
           ++qs.score_lookups;
           if (st.ok() && !deleted) {
             ++qs.candidates_considered;
@@ -183,7 +201,7 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
   // --- Phase 2: chunk-by-chunk merge (Algorithm 3, lines 10-34) -------
   std::vector<CursorScratch> stream_scratch;
   std::vector<MergedChunkStream> streams;
-  SVR_RETURN_NOT_OK(MakeStreams(query, &stream_scratch, &streams,
+  SVR_RETURN_NOT_OK(MakeStreams(snap, query, &stream_scratch, &streams,
                                 &qs.postings_scanned));
 
   // Per-term upper bound on the term score of any posting not seen in a
@@ -193,8 +211,7 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
   // below could cut the scan before a high-ts short posting is reached.
   std::vector<float> ts_cap(n_terms);
   for (size_t i = 0; i < n_terms; ++i) {
-    ts_cap[i] =
-        std::max(min_fancy[i], short_list_->TermMaxTs(query.terms[i]));
+    ts_cap[i] = std::max(min_fancy[i], shorts.TermMaxTs(query.terms[i]));
   }
 
   while (true) {
@@ -240,8 +257,9 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
 
       bool live, deleted;
       double svr;
-      SVR_RETURN_NOT_OK(JudgeCandidate(min_doc, current, from_short,
-                                       &live, &svr, &deleted, &qs));
+      SVR_RETURN_NOT_OK(JudgeCandidate(snap, scores, min_doc, current,
+                                       from_short, &live, &svr, &deleted,
+                                       &qs));
       if (live && !deleted) {
         ++qs.candidates_considered;
         heap.Offer(min_doc, svr + tw * ts_sum);
@@ -256,7 +274,7 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
         // A doc holding short postings may score higher than its
         // (build-time) fancy values suggest; never prune it — it stays
         // in the remainList until its chunk strikes it off.
-        if (short_list_->DocPostingCount(it->first) > 0) {
+        if (shorts.DocPostingCount(it->first) > 0) {
           ++it;
           continue;
         }

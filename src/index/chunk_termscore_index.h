@@ -33,6 +33,9 @@ class ChunkTermScoreIndex final : public ChunkIndexBase {
 
   Status TopK(const Query& query, size_t k,
               std::vector<SearchResult>* results) override;
+  Status TopKAt(const IndexSnapshot& snap, const Query& query, size_t k,
+                std::vector<SearchResult>* results) override;
+  IndexSnapshot SealSnapshot() override;
 
   /// Includes the fancy lists (they live next to the long lists).
   uint64_t LongListBytes() const override {
@@ -46,10 +49,12 @@ class ChunkTermScoreIndex final : public ChunkIndexBase {
 
  private:
   /// Re-encodes one term's fancy list from `postings` (doc order not
-  /// required); frees the previous blob.
+  /// required); the previous blob goes to the context's retirer (or is
+  /// freed when none is wired — sealed snapshots may still resolve it).
   Status WriteFancyList(TermId term, std::vector<IdPosting> postings);
 
-  std::vector<storage::BlobRef> fancy_refs_;  // indexed by TermId
+  /// term -> published fancy-list blob (versioned for snapshot readers).
+  VersionedArray<storage::BlobRef, 128> fancy_refs_;
 };
 
 }  // namespace svr::index

@@ -103,8 +103,9 @@ float IdIndex::TsOf(DocId doc, TermId term) const {
 }
 
 Status IdIndex::Build() {
-  SVR_ASSIGN_OR_RETURN(auto sl, ShortList::Create(ctx_.table_pool,
-                                                  ShortList::KeyKind::kId));
+  SVR_ASSIGN_OR_RETURN(
+      auto sl, ShortList::Create(ctx_.table_pool, ShortList::KeyKind::kId,
+                                 ctx_.table_page_retirer));
   short_list_ = std::move(sl);
   return BuildLongLists();
 }
@@ -115,7 +116,7 @@ Status IdIndex::BuildLongLists() {
   // makes every per-term vector naturally sorted.
   std::vector<std::vector<IdPosting>> postings(corpus.vocab_size());
   for (DocId d = 0; d < corpus.num_docs(); ++d) {
-    ++stats_.corpus_docs_scanned;
+    BumpStat(&IndexStats::corpus_docs_scanned);
     double score;
     bool deleted = false;
     if (ctx_.score_table->GetWithDeleted(d, &score, &deleted).ok() &&
@@ -131,21 +132,34 @@ Status IdIndex::BuildLongLists() {
     }
   }
 
-  lists_.assign(corpus.vocab_size(), storage::BlobRef());
   long_counts_.assign(corpus.vocab_size(), 0);
   std::string buf;
   for (TermId t = 0; t < postings.size(); ++t) {
-    if (postings[t].empty()) continue;
+    if (postings[t].empty()) {
+      if (longs_.Get(t).valid()) longs_.Set(t, storage::BlobRef());
+      continue;
+    }
     buf.clear();
     EncodeIdTsList(postings[t], with_ts_, &buf, ctx_.posting_format);
-    SVR_ASSIGN_OR_RETURN(lists_[t], blobs_->Write(buf));
+    SVR_ASSIGN_OR_RETURN(storage::BlobRef ref, blobs_->Write(buf));
+    longs_.Set(t, ref);
     long_counts_[t] = postings[t].size();
   }
   return Status::OK();
 }
 
+IndexSnapshot IdIndex::SealSnapshot() {
+  IndexSnapshot s;
+  s.short_list = short_list_->Seal();
+  s.score = ctx_.score_table->Seal();
+  s.longs = longs_.Seal();
+  s.corpus = ctx_.corpus->Seal();
+  s.has_deletions = has_deletions_;
+  return s;
+}
+
 Status IdIndex::OnScoreUpdate(DocId doc, double new_score) {
-  ++stats_.score_updates;
+  BumpStat(&IndexStats::score_updates);
   // The whole point of the ID method: only the Score table changes.
   return ctx_.score_table->Set(doc, new_score);
 }
@@ -156,7 +170,7 @@ Status IdIndex::InsertDocument(DocId doc, double score) {
   for (TermId t : content.terms()) {
     SVR_RETURN_NOT_OK(
         short_list_->Put(t, 0.0, doc, PostingOp::kAdd, TsOf(doc, t)));
-    ++stats_.short_list_writes;
+    BumpStat(&IndexStats::short_list_writes);
   }
   return Status::OK();
 }
@@ -172,7 +186,7 @@ Status IdIndex::UpdateContent(DocId doc, const text::Document& old_doc) {
     if (!old_doc.Contains(t)) {
       SVR_RETURN_NOT_OK(
           short_list_->Put(t, 0.0, doc, PostingOp::kAdd, TsOf(doc, t)));
-      ++stats_.short_list_writes;
+      BumpStat(&IndexStats::short_list_writes);
     }
   }
   for (TermId t : old_doc.terms()) {
@@ -184,15 +198,18 @@ Status IdIndex::UpdateContent(DocId doc, const text::Document& old_doc) {
       // folded away by the next merge, so the marker is always safe.
       SVR_RETURN_NOT_OK(
           short_list_->Put(t, 0.0, doc, PostingOp::kRemove, 0.0f));
-      ++stats_.short_list_writes;
+      BumpStat(&IndexStats::short_list_writes);
     }
   }
   return Status::OK();
 }
 
 Status IdIndex::RebuildIndex() {
-  for (const auto& ref : lists_) {
+  // Offline maintenance: requires quiescence (blobs are freed in place).
+  for (size_t t = 0; t < longs_.size(); ++t) {
+    const storage::BlobRef ref = longs_.Get(t);
     if (ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(ref));
+    longs_.Set(t, storage::BlobRef());
   }
   SVR_RETURN_NOT_OK(short_list_->Clear());
   has_deletions_ = false;
@@ -206,21 +223,31 @@ struct IdIndex::MergePlanImpl : TermMergePlan {
   storage::BlobRef old_ref;     // the published blob Prepare streamed
   storage::BlobRef new_ref;     // written but unpublished replacement
   uint64_t n_postings = 0;
+  /// Exact short postings the prepare folded into the new blob — the
+  /// fine-grained install deletes these (each only if unchanged) when
+  /// the term moved on after Prepare.
+  std::vector<ShortList::RawEntry> read_entries;
 };
 
 Result<std::unique_ptr<TermMergePlan>> IdIndex::PrepareMergeTerm(
     TermId term) {
-  // Reader phase: must not mutate anything a concurrent query can see —
-  // the vocabulary may have grown past the build-time long lists, but
-  // the resize waits for Install.
-  const storage::BlobRef old_ref =
-      term < lists_.size() ? lists_[term] : storage::BlobRef();
-  if (!old_ref.valid() && short_list_->TermPostingCount(term) == 0) {
+  return PrepareMergeTermAt(SealSnapshot(), term);
+}
+
+Result<std::unique_ptr<TermMergePlan>> IdIndex::PrepareMergeTermAt(
+    const IndexSnapshot& snap, TermId term) {
+  // Reader phase against a sealed snapshot: mutates nothing a concurrent
+  // query can see (the new blob stays unpublished until Install).
+  const ShortList::View shorts(short_list_.get(), snap.short_list);
+  const relational::ScoreTable::View scores(ctx_.score_table, snap.score);
+  const storage::BlobRef old_ref = snap.longs.Get(term);
+  if (!old_ref.valid() && shorts.TermPostingCount(term) == 0) {
     return std::unique_ptr<TermMergePlan>();  // nothing on either side
   }
   auto plan = std::make_unique<MergePlanImpl>(term);
-  plan->short_version = short_list_->TermVersion(term);
+  plan->short_version = shorts.TermVersion(term);
   plan->old_ref = old_ref;
+  SVR_RETURN_NOT_OK(shorts.ScanRaw(term, &plan->read_entries));
 
   // Stream the merged (long ∪ short) view — the exact view queries see,
   // REM cancellation included — into a fresh posting vector. Deleted
@@ -233,13 +260,12 @@ Result<std::unique_ptr<TermMergePlan>> IdIndex::PrepareMergeTerm(
     TermStream stream(
         IdPostingCursor(blobs_->NewReader(old_ref), with_ts_,
                         ctx_.posting_format, &scratch),
-        short_list_->Scan(term), &scanned);
+        shorts.Scan(term), &scanned);
     SVR_RETURN_NOT_OK(stream.Init());
     while (stream.Valid()) {
       double score;
       bool deleted = false;
-      Status st =
-          ctx_.score_table->GetWithDeleted(stream.doc(), &score, &deleted);
+      Status st = scores.GetWithDeleted(stream.doc(), &score, &deleted);
       if (!st.ok() && !st.IsNotFound()) return st;
       if (!(st.ok() && deleted)) {
         merged.push_back({stream.doc(), stream.term_score()});
@@ -264,24 +290,25 @@ Status IdIndex::InstallMergeTerm(TermMergePlan* plan,
     return Status::InvalidArgument("foreign merge plan");
   }
   const TermId term = p->term();
-  const storage::BlobRef current =
-      term < lists_.size() ? lists_[term] : storage::BlobRef();
-  if (short_list_->TermVersion(term) != p->short_version ||
-      current != p->old_ref) {
-    // The term changed between phases; the prepared blob was never
-    // published, so it is freed directly.
+  const storage::BlobRef current = longs_.Get(term);
+  if (current != p->old_ref) {
+    // A competing merge republished the term's blob: the prepared view
+    // is stale in a way the short list can no longer reconcile. The
+    // prepared blob was never published, so it is freed directly.
     if (p->new_ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(p->new_ref));
     p->new_ref = storage::BlobRef();
-    return Status::Aborted("term changed since PrepareMergeTerm");
+    BumpStat(&IndexStats::merge_install_aborts);
+    return Status::Aborted("long list republished since PrepareMergeTerm");
   }
 
-  if (term >= lists_.size()) {
-    lists_.resize(term + 1, storage::BlobRef());
+  if (term >= long_counts_.size()) {
     long_counts_.resize(term + 1, 0);
   }
-  // The publish point: one BlobRef swap. Everything after only retires
-  // state no reader resolves anymore.
-  lists_[term] = p->new_ref;
+  // The publish point: one BlobRef swap in the versioned directory.
+  // Everything after only retires state the *next* sealed snapshot no
+  // longer resolves; already-sealed snapshots keep the old blob until
+  // their readers exit (epoch retirement).
+  longs_.Set(term, p->new_ref);
   long_counts_[term] = p->n_postings;
   p->new_ref = storage::BlobRef();  // consumed
   if (current.valid()) {
@@ -291,9 +318,18 @@ Status IdIndex::InstallMergeTerm(TermMergePlan* plan,
       SVR_RETURN_NOT_OK(blobs_->Free(current));
     }
   }
-  SVR_RETURN_NOT_OK(short_list_->DeleteTerm(term));
-  ++stats_.term_merges;
-  stats_.merge_postings_written += p->n_postings;
+  if (short_list_->TermVersion(term) == p->short_version) {
+    // Unchanged since Prepare: the whole range is folded in.
+    SVR_RETURN_NOT_OK(short_list_->DeleteTerm(term));
+  } else {
+    // Fine-grained path (the old protocol aborted here): delete exactly
+    // the postings the prepare folded in; survivors keep layering over
+    // the new blob (docs/concurrency.md).
+    SVR_RETURN_NOT_OK(short_list_->DeleteUnchanged(term, p->read_entries));
+    BumpStat(&IndexStats::merge_installs_fine);
+  }
+  BumpStat(&IndexStats::term_merges);
+  BumpStat(&IndexStats::merge_postings_written, p->n_postings);
   return Status::OK();
 }
 
@@ -304,9 +340,10 @@ Status IdIndex::ReclaimBlob(const storage::BlobRef& ref) {
 Status IdIndex::MergeTerm(TermId term) {
   SVR_ASSIGN_OR_RETURN(auto plan, PrepareMergeTerm(term));
   if (plan == nullptr) return Status::OK();
-  // Exclusive access: nothing can interleave, so the install cannot
-  // abort and the old blob is freed immediately.
-  return InstallMergeTerm(plan.get(), nullptr);
+  // Single writer: the install cannot abort. The replaced blob still
+  // goes through the context's retirer when one is wired — under MVCC a
+  // sealed snapshot may be streaming it (docs/concurrency.md).
+  return InstallMergeTerm(plan.get(), ctx_.blob_retirer);
 }
 
 Status IdIndex::MergeAllTerms() {
@@ -319,7 +356,7 @@ Result<uint32_t> IdIndex::MaybeAutoMerge() {
       uint32_t merged,
       RunAutoMergeSweep(ctx_.merge_policy, *short_list_, long_counts_,
                         [this](TermId t) { return MergeTerm(t); }));
-  if (merged > 0) ++stats_.auto_merge_sweeps;
+  if (merged > 0) BumpStat(&IndexStats::auto_merge_sweeps);
   return merged;
 }
 
@@ -334,14 +371,21 @@ uint64_t IdIndex::LongListBytes() const {
 
 Status IdIndex::TopK(const Query& query, size_t k,
                      std::vector<SearchResult>* results) {
-  // Queries may run concurrently (reader side of the engine lock):
-  // accumulate counters locally and fold them once at the end.
+  return TopKAt(SealSnapshot(), query, k, results);
+}
+
+Status IdIndex::TopKAt(const IndexSnapshot& snap, const Query& query,
+                       size_t k, std::vector<SearchResult>* results) {
+  // Queries may run concurrently against sealed snapshots: accumulate
+  // counters locally and fold them once at the end.
   QueryStats qs;
   results->clear();
   if (query.terms.empty() || k == 0) {
     FoldQueryStats(qs);
     return Status::OK();
   }
+  const ShortList::View shorts(short_list_.get(), snap.short_list);
+  const relational::ScoreTable::View scores(ctx_.score_table, snap.score);
 
   // One scratch block per stream, owned here: the whole query decodes
   // into these buffers with no per-posting allocation.
@@ -350,12 +394,11 @@ Status IdIndex::TopK(const Query& query, size_t k,
   streams.reserve(query.terms.size());
   for (size_t i = 0; i < query.terms.size(); ++i) {
     const TermId t = query.terms[i];
-    storage::BlobRef ref =
-        t < lists_.size() ? lists_[t] : storage::BlobRef();
+    const storage::BlobRef ref = snap.longs.Get(t);
     streams.emplace_back(
         IdPostingCursor(blobs_->NewReader(ref), with_ts_,
                         ctx_.posting_format, &scratch[i]),
-        short_list_->Scan(t), &qs.postings_scanned);
+        shorts.Scan(t), &qs.postings_scanned);
     SVR_RETURN_NOT_OK(streams.back().Init());
   }
 
@@ -363,7 +406,7 @@ Status IdIndex::TopK(const Query& query, size_t k,
   auto offer = [&](DocId doc, double ts_sum) -> Status {
     double svr;
     bool deleted;
-    Status st = ctx_.score_table->GetWithDeleted(doc, &svr, &deleted);
+    Status st = scores.GetWithDeleted(doc, &svr, &deleted);
     ++qs.score_lookups;
     if (st.IsNotFound()) return Status::OK();  // never scored: skip
     SVR_RETURN_NOT_OK(st);

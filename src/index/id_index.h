@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/versioned_array.h"
 #include "index/posting_codec.h"
 #include "index/short_list.h"
 #include "index/text_index.h"
@@ -37,6 +38,9 @@ class IdIndex final : public TextIndex {
   Status OnScoreUpdate(DocId doc, double new_score) override;
   Status TopK(const Query& query, size_t k,
               std::vector<SearchResult>* results) override;
+  Status TopKAt(const IndexSnapshot& snap, const Query& query, size_t k,
+                std::vector<SearchResult>* results) override;
+  IndexSnapshot SealSnapshot() override;
 
   Status InsertDocument(DocId doc, double score) override;
   Status DeleteDocument(DocId doc) override;
@@ -47,6 +51,8 @@ class IdIndex final : public TextIndex {
   std::vector<TermId> AutoMergeCandidates() const override;
   Result<std::unique_ptr<TermMergePlan>> PrepareMergeTerm(
       TermId term) override;
+  Result<std::unique_ptr<TermMergePlan>> PrepareMergeTermAt(
+      const IndexSnapshot& snap, TermId term) override;
   Status InstallMergeTerm(TermMergePlan* plan,
                           const BlobRetirer& retire) override;
   Status ReclaimBlob(const storage::BlobRef& ref) override;
@@ -73,7 +79,9 @@ class IdIndex final : public TextIndex {
   bool with_ts_;
   TermScoreOptions ts_options_;
   std::unique_ptr<storage::BlobStore> blobs_;
-  std::vector<storage::BlobRef> lists_;  // indexed by TermId
+  /// term -> published long-list blob; versioned so sealed snapshots
+  /// keep resolving the blob a pinned reader streams.
+  VersionedArray<storage::BlobRef, 128> longs_;
   std::vector<uint64_t> long_counts_;    // postings per long list
   std::unique_ptr<ShortList> short_list_;
   bool has_deletions_ = false;

@@ -15,13 +15,23 @@ std::string DocKey(DocId doc) {
   return k;
 }
 
+Status ParseEntry(const std::string& v, ListStateTable::Entry* entry) {
+  if (v.size() != 9) return Status::Corruption("bad list-state entry");
+  entry->list_value = DecodeFixedDouble(v.data());
+  entry->in_short_list = v[8] != 0;
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<std::unique_ptr<ListStateTable>> ListStateTable::Create(
-    storage::BufferPool* pool) {
-  SVR_ASSIGN_OR_RETURN(auto tree, storage::BPlusTree::Create(pool));
+    storage::BufferPool* pool, storage::PageRetirer retire) {
+  auto tree = retire != nullptr
+                  ? storage::BPlusTree::CreateCow(pool, std::move(retire))
+                  : storage::BPlusTree::Create(pool);
+  SVR_RETURN_NOT_OK(tree.status());
   return std::unique_ptr<ListStateTable>(
-      new ListStateTable(std::move(tree)));
+      new ListStateTable(std::move(tree).value()));
 }
 
 Status ListStateTable::Put(DocId doc, const Entry& entry) {
@@ -32,12 +42,14 @@ Status ListStateTable::Put(DocId doc, const Entry& entry) {
 }
 
 Status ListStateTable::Get(DocId doc, Entry* entry) const {
+  return GetAt(tree_->LiveSnapshot(), doc, entry);
+}
+
+Status ListStateTable::GetAt(const storage::TreeSnapshot& snap, DocId doc,
+                             Entry* entry) const {
   std::string v;
-  SVR_RETURN_NOT_OK(tree_->Get(DocKey(doc), &v));
-  if (v.size() != 9) return Status::Corruption("bad list-state entry");
-  entry->list_value = DecodeFixedDouble(v.data());
-  entry->in_short_list = v[8] != 0;
-  return Status::OK();
+  SVR_RETURN_NOT_OK(tree_->GetAt(snap, DocKey(doc), &v));
+  return ParseEntry(v, entry);
 }
 
 Status ListStateTable::Remove(DocId doc) {

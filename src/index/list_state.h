@@ -18,7 +18,9 @@ namespace svr::index {
 ///
 /// Stored as a B+-tree keyed by DocId; values are 9 bytes. Score-keyed
 /// methods store the score directly; chunk-keyed methods store the cid
-/// (losslessly representable in a double).
+/// (losslessly representable in a double). Created with a PageRetirer
+/// the tree is copy-on-write: sealed versions serve lock-free snapshot
+/// queries (docs/concurrency.md).
 class ListStateTable {
  public:
   struct Entry {
@@ -27,7 +29,7 @@ class ListStateTable {
   };
 
   static Result<std::unique_ptr<ListStateTable>> Create(
-      storage::BufferPool* pool);
+      storage::BufferPool* pool, storage::PageRetirer retire = nullptr);
 
   /// Inserts or replaces the entry of `doc`.
   Status Put(DocId doc, const Entry& entry);
@@ -35,11 +37,23 @@ class ListStateTable {
   /// NotFound if the doc's score was never updated.
   Status Get(DocId doc, Entry* entry) const;
 
-  /// Drops the entry (used by offline merges).
+  /// Same probe against a sealed version (lock-free snapshot reads).
+  Status GetAt(const storage::TreeSnapshot& snap, DocId doc,
+               Entry* entry) const;
+
+  /// Drops the entry (offline merges, and the fully-merged sweep that
+  /// retires stale in_short entries — docs/merge_policy.md).
   Status Remove(DocId doc);
 
   /// Removes every entry (offline merge resets list state).
   Status Clear();
+
+  /// Freezes the current version; see storage::BPlusTree::Seal.
+  storage::TreeSnapshot Seal() { return tree_->Seal(); }
+  /// Current (unsealed) version — exclusive access only.
+  storage::TreeSnapshot LiveSnapshot() const {
+    return tree_->LiveSnapshot();
+  }
 
   uint64_t size() const { return tree_->size(); }
   uint64_t SizeBytes() const { return tree_->SizeBytes(); }

@@ -2,11 +2,13 @@
 #define SVR_INDEX_MERGE_POLICY_H_
 
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/types.h"
 #include "index/short_list.h"
+#include "text/corpus.h"
 
 namespace svr::index {
 
@@ -43,6 +45,44 @@ Result<uint32_t> RunAutoMergeSweep(
 /// `merge_term` over every term with short postings (MergeAllTerms).
 Status MergeEveryShortTerm(const ShortList& short_list,
                            const std::function<Status(TermId)>& merge_term);
+
+/// \brief Bookkeeping for the fully-merged list-state sweep, shared by
+/// the Chunk family and Score-Threshold (docs/merge_policy.md): one
+/// counter orders "doc last moved into the short lists" against "term
+/// last merged". A moved doc's ListScore/ListChunk entry may retire
+/// once it has no short postings left (the caller checks that) and
+/// every term of its content merged at/after its last move — all its
+/// long postings then sit at the current list position. Write-path
+/// only.
+class MergeSweepTracker {
+ public:
+  void NoteMove(DocId doc) { doc_move_stamp_[doc] = ++counter_; }
+  void NoteMerge(TermId term) { term_merge_stamp_[term] = ++counter_; }
+  /// Call when the doc's entry is retired (keeps the map bounded).
+  void Forget(DocId doc) { doc_move_stamp_.erase(doc); }
+  void Clear() {
+    doc_move_stamp_.clear();
+    term_merge_stamp_.clear();
+  }
+
+  bool FullyMerged(const text::Corpus& corpus, DocId doc) const {
+    auto ms = doc_move_stamp_.find(doc);
+    const uint64_t moved_at =
+        ms == doc_move_stamp_.end() ? 0 : ms->second;
+    for (TermId u : corpus.doc(doc).terms()) {
+      auto it = term_merge_stamp_.find(u);
+      if (it == term_merge_stamp_.end() || it->second < moved_at) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  uint64_t counter_ = 0;
+  std::unordered_map<DocId, uint64_t> doc_move_stamp_;
+  std::unordered_map<TermId, uint64_t> term_merge_stamp_;
+};
 
 /// Write-cadence gate shared by SvrEngine and workload::Experiment: one
 /// Tick per index-affecting write; returns true every `check_interval`

@@ -11,12 +11,13 @@ namespace svr::index {
 // prefix range scan.
 class ScoreIndex::TermCursor {
  public:
-  TermCursor(const storage::BPlusTree* tree, TermId term,
+  TermCursor(const storage::BPlusTree* tree,
+             const storage::TreeSnapshot& snap, TermId term,
              uint64_t* scanned)
       : term_(term), scanned_(scanned) {
     std::string prefix;
     PutKeyU32(&prefix, term);
-    it_ = tree->Seek(prefix);
+    it_ = tree->SeekAt(snap, prefix);
     Decode();
   }
 
@@ -70,10 +71,15 @@ std::string ScoreIndex::PostingKey(TermId term, double score,
 
 Status ScoreIndex::Build() {
   // The long list is mutable, so it lives in the *list* pool as a
-  // clustered B+-tree (cold-cache protocol still applies to it).
-  SVR_ASSIGN_OR_RETURN(auto tree,
-                       storage::BPlusTree::Create(ctx_.list_pool));
-  tree_ = std::move(tree);
+  // clustered B+-tree (cold-cache protocol still applies to it). Under
+  // MVCC the tree is copy-on-write so snapshot queries never lock.
+  auto tree =
+      ctx_.list_page_retirer != nullptr
+          ? storage::BPlusTree::CreateCow(ctx_.list_pool,
+                                          ctx_.list_page_retirer)
+          : storage::BPlusTree::Create(ctx_.list_pool);
+  SVR_RETURN_NOT_OK(tree.status());
+  tree_ = std::move(tree).value();
   const text::Corpus& corpus = *ctx_.corpus;
   for (DocId d = 0; d < corpus.num_docs(); ++d) {
     double score = 0.0;
@@ -93,7 +99,7 @@ Status ScoreIndex::Build() {
 }
 
 Status ScoreIndex::OnScoreUpdate(DocId doc, double new_score) {
-  ++stats_.score_updates;
+  BumpStat(&IndexStats::score_updates);
   // Never-scored docs were built at 0.0; NotFound must not fail here.
   double old_score = 0.0;
   Status get = ctx_.score_table->Get(doc, &old_score);
@@ -105,7 +111,7 @@ Status ScoreIndex::OnScoreUpdate(DocId doc, double new_score) {
   for (TermId t : ctx_.corpus->doc(doc).terms()) {
     SVR_RETURN_NOT_OK(tree_->Delete(PostingKey(t, old_score, doc)));
     SVR_RETURN_NOT_OK(tree_->Put(PostingKey(t, new_score, doc), Slice()));
-    ++stats_.short_list_writes;  // counted as list maintenance work
+    BumpStat(&IndexStats::short_list_writes);  // counted as list maintenance work
   }
   return Status::OK();
 }
@@ -148,16 +154,38 @@ Status ScoreIndex::UpdateContent(DocId doc, const text::Document& old_doc) {
   return Status::OK();
 }
 
+IndexSnapshot ScoreIndex::SealSnapshot() {
+  IndexSnapshot s;
+  s.score_postings = tree_->Seal();
+  s.score = ctx_.score_table->Seal();
+  s.corpus = ctx_.corpus->Seal();
+  s.has_deletions = has_deletions_;
+  return s;
+}
+
 Status ScoreIndex::TopK(const Query& query, size_t k,
                         std::vector<SearchResult>* results) {
-  ++stats_.queries;
+  return TopKAt(SealSnapshot(), query, k, results);
+}
+
+Status ScoreIndex::TopKAt(const IndexSnapshot& snap, const Query& query,
+                          size_t k, std::vector<SearchResult>* results) {
+  // Queries may run concurrently against sealed snapshots: accumulate
+  // counters locally and fold them once at the end.
+  QueryStats qs;
   results->clear();
-  if (query.terms.empty() || k == 0) return Status::OK();
+  if (query.terms.empty() || k == 0) {
+    FoldQueryStats(qs);
+    return Status::OK();
+  }
+  const relational::ScoreTable::View scores(ctx_.score_table, snap.score);
+  const bool has_deletions = snap.has_deletions;
 
   std::vector<TermCursor> cursors;
   cursors.reserve(query.terms.size());
   for (TermId t : query.terms) {
-    cursors.emplace_back(tree_.get(), t, &stats_.postings_scanned);
+    cursors.emplace_back(tree_.get(), snap.score_postings, t,
+                         &qs.postings_scanned);
   }
 
   ResultHeap heap(k);
@@ -165,15 +193,15 @@ Status ScoreIndex::TopK(const Query& query, size_t k,
     // Probe only when deletions exist — or at score 0.0, the one place
     // a never-scored doc (indexed at 0.0, no Score-table entry; the
     // oracle skips it) can sit.
-    if (has_deletions_ || score == 0.0) {
+    if (has_deletions || score == 0.0) {
       double s;
       bool deleted = false;
-      Status st = ctx_.score_table->GetWithDeleted(doc, &s, &deleted);
+      Status st = scores.GetWithDeleted(doc, &s, &deleted);
       if (!st.ok() && !st.IsNotFound()) return st;
-      ++stats_.score_lookups;
+      ++qs.score_lookups;
       if (st.IsNotFound() || deleted) return Status::OK();
     }
-    ++stats_.candidates_considered;
+    ++qs.candidates_considered;
     heap.Offer(doc, score);
     return Status::OK();
   };
@@ -238,6 +266,7 @@ Status ScoreIndex::TopK(const Query& query, size_t k,
   }
 
   *results = heap.TakeSorted();
+  FoldQueryStats(qs);
   return Status::OK();
 }
 

@@ -28,6 +28,9 @@ class ScoreIndex final : public TextIndex {
   Status OnScoreUpdate(DocId doc, double new_score) override;
   Status TopK(const Query& query, size_t k,
               std::vector<SearchResult>* results) override;
+  Status TopKAt(const IndexSnapshot& snap, const Query& query, size_t k,
+                std::vector<SearchResult>* results) override;
+  IndexSnapshot SealSnapshot() override;
 
   Status InsertDocument(DocId doc, double score) override;
   Status DeleteDocument(DocId doc) override;

@@ -126,9 +126,12 @@ Status ScoreThresholdIndex::Build() {
     return Status::InvalidArgument("threshold_ratio must be >= 1");
   }
   SVR_ASSIGN_OR_RETURN(
-      auto sl, ShortList::Create(ctx_.table_pool, ShortList::KeyKind::kScore));
+      auto sl, ShortList::Create(ctx_.table_pool, ShortList::KeyKind::kScore,
+                                 ctx_.table_page_retirer));
   short_list_ = std::move(sl);
-  SVR_ASSIGN_OR_RETURN(auto ls, ListStateTable::Create(ctx_.table_pool));
+  SVR_ASSIGN_OR_RETURN(
+      auto ls, ListStateTable::Create(ctx_.table_pool,
+                                      ctx_.table_page_retirer));
   list_state_ = std::move(ls);
   return BuildLongLists();
 }
@@ -137,7 +140,7 @@ Status ScoreThresholdIndex::BuildLongLists() {
   const text::Corpus& corpus = *ctx_.corpus;
   std::vector<std::vector<ScorePosting>> postings(corpus.vocab_size());
   for (DocId d = 0; d < corpus.num_docs(); ++d) {
-    ++stats_.corpus_docs_scanned;
+    BumpStat(&IndexStats::corpus_docs_scanned);
     double score = 0.0;
     bool deleted = false;
     Status st = ctx_.score_table->GetWithDeleted(d, &score, &deleted);
@@ -152,11 +155,13 @@ Status ScoreThresholdIndex::BuildLongLists() {
     }
   }
 
-  lists_.assign(corpus.vocab_size(), storage::BlobRef());
   long_counts_.assign(corpus.vocab_size(), 0);
   std::string buf;
   for (TermId t = 0; t < postings.size(); ++t) {
-    if (postings[t].empty()) continue;
+    if (postings[t].empty()) {
+      if (longs_.Get(t).valid()) longs_.Set(t, storage::BlobRef());
+      continue;
+    }
     long_counts_[t] = postings[t].size();
     std::sort(postings[t].begin(), postings[t].end(),
               [](const ScorePosting& a, const ScorePosting& b) {
@@ -165,15 +170,36 @@ Status ScoreThresholdIndex::BuildLongLists() {
               });
     buf.clear();
     EncodeScoreList(postings[t], &buf, ctx_.posting_format);
-    SVR_ASSIGN_OR_RETURN(lists_[t], blobs_->Write(buf));
+    SVR_ASSIGN_OR_RETURN(storage::BlobRef ref, blobs_->Write(buf));
+    longs_.Set(t, ref);
   }
   return Status::OK();
 }
 
+IndexSnapshot ScoreThresholdIndex::SealSnapshot() {
+  IndexSnapshot s;
+  s.short_list = short_list_->Seal();
+  s.list_state = list_state_->Seal();
+  s.score = ctx_.score_table->Seal();
+  s.longs = longs_.Seal();
+  s.corpus = ctx_.corpus->Seal();
+  s.has_deletions = has_deletions_;
+  return s;
+}
+
 Status ScoreThresholdIndex::ListScoreOf(DocId doc, double* list_score,
                                         bool* in_short) const {
+  return ListScoreOfAt(list_state_->LiveSnapshot(),
+                       ctx_.score_table->LiveView(), doc, list_score,
+                       in_short);
+}
+
+Status ScoreThresholdIndex::ListScoreOfAt(
+    const storage::TreeSnapshot& list_state,
+    const relational::ScoreTable::View& scores, DocId doc,
+    double* list_score, bool* in_short) const {
   ListStateTable::Entry e;
-  Status st = list_state_->Get(doc, &e);
+  Status st = list_state_->GetAt(list_state, doc, &e);
   if (st.ok()) {
     *list_score = e.list_value;
     *in_short = e.in_short_list;
@@ -183,14 +209,14 @@ Status ScoreThresholdIndex::ListScoreOf(DocId doc, double* list_score,
   // Never-scored documents rank at 0.0, exactly as BuildLongLists placed
   // them — NotFound must not fail a content update on such a doc.
   *list_score = 0.0;
-  st = ctx_.score_table->Get(doc, list_score);
+  st = scores.Get(doc, list_score);
   if (!st.ok() && !st.IsNotFound()) return st;
   *in_short = false;
   return Status::OK();
 }
 
 Status ScoreThresholdIndex::OnScoreUpdate(DocId doc, double new_score) {
-  ++stats_.score_updates;
+  BumpStat(&IndexStats::score_updates);
   // Algorithm 1, lines 7-8. A never-scored doc sits at 0.0 (matching
   // BuildLongLists).
   double old_score = 0.0;
@@ -224,10 +250,11 @@ Status ScoreThresholdIndex::OnScoreUpdate(DocId doc, double new_score) {
       if (!del.ok() && !del.IsNotFound()) return del;
       SVR_RETURN_NOT_OK(
           short_list_->Put(t, new_score, doc, PostingOp::kAdd, 0.0f));
-      ++stats_.short_list_writes;
+      BumpStat(&IndexStats::short_list_writes);
     }
     (void)in_short;
     SVR_RETURN_NOT_OK(list_state_->Put(doc, {new_score, true}));
+    sweep_.NoteMove(doc);
   }
   return Status::OK();
 }
@@ -235,10 +262,11 @@ Status ScoreThresholdIndex::OnScoreUpdate(DocId doc, double new_score) {
 Status ScoreThresholdIndex::InsertDocument(DocId doc, double score) {
   SVR_RETURN_NOT_OK(ctx_.score_table->Set(doc, score));
   SVR_RETURN_NOT_OK(list_state_->Put(doc, {score, true}));
+  sweep_.NoteMove(doc);
   for (TermId t : ctx_.corpus->doc(doc).terms()) {
     SVR_RETURN_NOT_OK(
         short_list_->Put(t, score, doc, PostingOp::kAdd, 0.0f));
-    ++stats_.short_list_writes;
+    BumpStat(&IndexStats::short_list_writes);
   }
   return Status::OK();
 }
@@ -258,7 +286,7 @@ Status ScoreThresholdIndex::UpdateContent(DocId doc,
     if (!old_doc.Contains(t)) {
       SVR_RETURN_NOT_OK(
           short_list_->Put(t, l_score, doc, PostingOp::kAdd, 0.0f));
-      ++stats_.short_list_writes;
+      BumpStat(&IndexStats::short_list_writes);
     }
   }
   for (TermId t : old_doc.terms()) {
@@ -270,19 +298,23 @@ Status ScoreThresholdIndex::UpdateContent(DocId doc,
       // folded away by the next merge, so the marker is always safe.
       SVR_RETURN_NOT_OK(
           short_list_->Put(t, l_score, doc, PostingOp::kRemove, 0.0f));
-      ++stats_.short_list_writes;
+      BumpStat(&IndexStats::short_list_writes);
     }
   }
   return Status::OK();
 }
 
 Status ScoreThresholdIndex::RebuildIndex() {
-  for (const auto& ref : lists_) {
+  // Offline maintenance: requires quiescence (blobs are freed in place).
+  for (size_t t = 0; t < longs_.size(); ++t) {
+    const storage::BlobRef ref = longs_.Get(t);
     if (ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(ref));
+    longs_.Set(t, storage::BlobRef());
   }
   SVR_RETURN_NOT_OK(short_list_->Clear());
   SVR_RETURN_NOT_OK(list_state_->Clear());
   has_deletions_ = false;
+  sweep_.Clear();
   return BuildLongLists();
 }
 
@@ -294,20 +326,30 @@ struct ScoreThresholdIndex::MergePlanImpl : TermMergePlan {
   storage::BlobRef new_ref;     // written but unpublished replacement
   uint64_t n_postings = 0;
   std::vector<DocId> from_short_docs;  // for the ListScore cleanup
+  /// Exact short postings the prepare folded in (fine-grained install).
+  std::vector<ShortList::RawEntry> read_entries;
 };
 
 Result<std::unique_ptr<TermMergePlan>> ScoreThresholdIndex::PrepareMergeTerm(
     TermId term) {
-  // Reader phase: must not mutate anything a concurrent query can see
-  // (the lists_ resize for grown vocabularies waits for Install).
-  const storage::BlobRef old_ref =
-      term < lists_.size() ? lists_[term] : storage::BlobRef();
-  if (!old_ref.valid() && short_list_->TermPostingCount(term) == 0) {
+  return PrepareMergeTermAt(SealSnapshot(), term);
+}
+
+Result<std::unique_ptr<TermMergePlan>>
+ScoreThresholdIndex::PrepareMergeTermAt(const IndexSnapshot& snap,
+                                        TermId term) {
+  // Reader phase against a sealed snapshot: mutates nothing a concurrent
+  // query can see (the new blob stays unpublished until Install).
+  const ShortList::View shorts(short_list_.get(), snap.short_list);
+  const relational::ScoreTable::View scores(ctx_.score_table, snap.score);
+  const storage::BlobRef old_ref = snap.longs.Get(term);
+  if (!old_ref.valid() && shorts.TermPostingCount(term) == 0) {
     return std::unique_ptr<TermMergePlan>();
   }
   auto plan = std::make_unique<MergePlanImpl>(term);
-  plan->short_version = short_list_->TermVersion(term);
+  plan->short_version = shorts.TermVersion(term);
   plan->old_ref = old_ref;
+  SVR_RETURN_NOT_OK(shorts.ScanRaw(term, &plan->read_entries));
 
   // Stream the merged (long ∪ short) view in (score desc, doc asc)
   // order — the exact view queries consume, REM cancellation included.
@@ -323,7 +365,7 @@ Result<std::unique_ptr<TermMergePlan>> ScoreThresholdIndex::PrepareMergeTerm(
     TermStream stream(
         ScorePostingCursor(blobs_->NewReader(old_ref),
                            ctx_.posting_format, &scratch),
-        short_list_->Scan(term), &scanned);
+        shorts.Scan(term), &scanned);
     SVR_RETURN_NOT_OK(stream.Init());
     while (stream.Valid()) {
       const DocId doc = stream.doc();
@@ -332,7 +374,7 @@ Result<std::unique_ptr<TermMergePlan>> ScoreThresholdIndex::PrepareMergeTerm(
         plan->from_short_docs.push_back(doc);
       } else {
         ListStateTable::Entry e;
-        Status st = list_state_->Get(doc, &e);
+        Status st = list_state_->GetAt(snap.list_state, doc, &e);
         if (st.ok()) {
           live = !e.in_short_list || e.list_value == stream.score();
         } else if (!st.IsNotFound()) {
@@ -342,8 +384,7 @@ Result<std::unique_ptr<TermMergePlan>> ScoreThresholdIndex::PrepareMergeTerm(
       if (live) {
         double score;
         bool deleted = false;
-        Status st =
-            ctx_.score_table->GetWithDeleted(doc, &score, &deleted);
+        Status st = scores.GetWithDeleted(doc, &score, &deleted);
         if (!st.ok() && !st.IsNotFound()) return st;
         if (st.ok() && deleted) live = false;
       }
@@ -368,24 +409,21 @@ Status ScoreThresholdIndex::InstallMergeTerm(TermMergePlan* plan,
     return Status::InvalidArgument("foreign merge plan");
   }
   const TermId term = p->term();
-  const storage::BlobRef current =
-      term < lists_.size() ? lists_[term] : storage::BlobRef();
-  if (short_list_->TermVersion(term) != p->short_version ||
-      current != p->old_ref) {
-    // The term changed between phases; the prepared blob was never
-    // published, so it is freed directly.
+  const storage::BlobRef current = longs_.Get(term);
+  if (current != p->old_ref) {
+    // A competing merge republished the term's blob; the prepared blob
+    // was never published, so it is freed directly.
     if (p->new_ref.valid()) SVR_RETURN_NOT_OK(blobs_->Free(p->new_ref));
     p->new_ref = storage::BlobRef();
-    return Status::Aborted("term changed since PrepareMergeTerm");
+    BumpStat(&IndexStats::merge_install_aborts);
+    return Status::Aborted("long list republished since PrepareMergeTerm");
   }
 
-  if (term >= lists_.size()) {
-    lists_.resize(term + 1, storage::BlobRef());
+  if (term >= long_counts_.size()) {
     long_counts_.resize(term + 1, 0);
   }
-  // The publish point: one BlobRef swap. Everything after only retires
-  // state no reader resolves anymore.
-  lists_[term] = p->new_ref;
+  // The publish point: one BlobRef swap in the versioned directory.
+  longs_.Set(term, p->new_ref);
   long_counts_[term] = p->n_postings;
   p->new_ref = storage::BlobRef();  // consumed
   if (current.valid()) {
@@ -395,30 +433,55 @@ Status ScoreThresholdIndex::InstallMergeTerm(TermMergePlan* plan,
       SVR_RETURN_NOT_OK(blobs_->Free(current));
     }
   }
-  SVR_RETURN_NOT_OK(short_list_->DeleteTerm(term));
+  if (short_list_->TermVersion(term) == p->short_version) {
+    SVR_RETURN_NOT_OK(short_list_->DeleteTerm(term));
+  } else {
+    // Fine-grained path (docs/concurrency.md): delete exactly the
+    // postings the prepare folded in; survivors keep layering over the
+    // new blob.
+    SVR_RETURN_NOT_OK(short_list_->DeleteUnchanged(term, p->read_entries));
+    BumpStat(&IndexStats::merge_installs_fine);
+  }
+  sweep_.NoteMerge(term);
 
-  // ListScore cleanup: an unmoved doc's entry (in_short == false) can go
+  // ListScore cleanup. An unmoved doc's entry (in_short == false) can go
   // once the doc has no short postings left and its current score equals
   // the recorded list score (the fallback reproduces it). Moved docs'
-  // entries must stay — they mark not-yet-merged long postings in other
-  // terms' lists as stale.
+  // entries retire only once the doc is *fully merged* — no short
+  // postings left and every term of its content merged at/after its
+  // last move, so all its long postings sit at the current list score
+  // (the "fully merged sweep" of docs/merge_policy.md). When the score
+  // drifted without crossing the move threshold, the entry is
+  // downgraded to in_short == false instead of removed.
   for (DocId doc : p->from_short_docs) {
     if (short_list_->DocPostingCount(doc) != 0) continue;
     ListStateTable::Entry e;
     Status st = list_state_->Get(doc, &e);
     if (st.IsNotFound()) continue;
     SVR_RETURN_NOT_OK(st);
-    if (e.in_short_list) continue;
     double score = 0.0;
     st = ctx_.score_table->Get(doc, &score);
     if (!st.ok() && !st.IsNotFound()) return st;
-    if (score == e.list_value) {
-      SVR_RETURN_NOT_OK(list_state_->Remove(doc));
+    const bool reproduces = score == e.list_value;
+    if (!e.in_short_list) {
+      if (reproduces) {
+        SVR_RETURN_NOT_OK(list_state_->Remove(doc));
+        BumpStat(&IndexStats::list_state_retired);
+      }
+      continue;
     }
+    if (!sweep_.FullyMerged(*ctx_.corpus, doc)) continue;
+    if (reproduces) {
+      SVR_RETURN_NOT_OK(list_state_->Remove(doc));
+    } else {
+      SVR_RETURN_NOT_OK(list_state_->Put(doc, {e.list_value, false}));
+    }
+    sweep_.Forget(doc);
+    BumpStat(&IndexStats::list_state_retired);
   }
 
-  ++stats_.term_merges;
-  stats_.merge_postings_written += p->n_postings;
+  BumpStat(&IndexStats::term_merges);
+  BumpStat(&IndexStats::merge_postings_written, p->n_postings);
   return Status::OK();
 }
 
@@ -429,9 +492,10 @@ Status ScoreThresholdIndex::ReclaimBlob(const storage::BlobRef& ref) {
 Status ScoreThresholdIndex::MergeTerm(TermId term) {
   SVR_ASSIGN_OR_RETURN(auto plan, PrepareMergeTerm(term));
   if (plan == nullptr) return Status::OK();
-  // Exclusive access: nothing can interleave, so the install cannot
-  // abort and the old blob is freed immediately.
-  return InstallMergeTerm(plan.get(), nullptr);
+  // Single writer: the install cannot abort. The replaced blob still
+  // goes through the context's retirer when one is wired — under MVCC a
+  // sealed snapshot may be streaming it.
+  return InstallMergeTerm(plan.get(), ctx_.blob_retirer);
 }
 
 Status ScoreThresholdIndex::MergeAllTerms() {
@@ -444,7 +508,7 @@ Result<uint32_t> ScoreThresholdIndex::MaybeAutoMerge() {
       uint32_t merged,
       RunAutoMergeSweep(ctx_.merge_policy, *short_list_, long_counts_,
                         [this](TermId t) { return MergeTerm(t); }));
-  if (merged > 0) ++stats_.auto_merge_sweeps;
+  if (merged > 0) BumpStat(&IndexStats::auto_merge_sweeps);
   return merged;
 }
 
@@ -455,26 +519,34 @@ std::vector<TermId> ScoreThresholdIndex::AutoMergeCandidates() const {
 
 Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
                                  std::vector<SearchResult>* results) {
-  // Queries may run concurrently (reader side of the engine lock):
-  // accumulate counters locally and fold them once at the end.
+  return TopKAt(SealSnapshot(), query, k, results);
+}
+
+Status ScoreThresholdIndex::TopKAt(const IndexSnapshot& snap,
+                                   const Query& query, size_t k,
+                                   std::vector<SearchResult>* results) {
+  // Queries may run concurrently against sealed snapshots: accumulate
+  // counters locally and fold them once at the end.
   QueryStats qs;
   results->clear();
   if (query.terms.empty() || k == 0) {
     FoldQueryStats(qs);
     return Status::OK();
   }
+  const ShortList::View shorts(short_list_.get(), snap.short_list);
+  const relational::ScoreTable::View scores(ctx_.score_table, snap.score);
+  const bool has_deletions = snap.has_deletions;
 
   std::vector<ScoreCursorScratch> scratch(query.terms.size());
   std::vector<TermStream> streams;
   streams.reserve(query.terms.size());
   for (size_t i = 0; i < query.terms.size(); ++i) {
     const TermId t = query.terms[i];
-    storage::BlobRef ref =
-        t < lists_.size() ? lists_[t] : storage::BlobRef();
+    const storage::BlobRef ref = snap.longs.Get(t);
     streams.emplace_back(
         ScorePostingCursor(blobs_->NewReader(ref), ctx_.posting_format,
                            &scratch[i]),
-        short_list_->Scan(t), &qs.postings_scanned);
+        shorts.Scan(t), &qs.postings_scanned);
     SVR_RETURN_NOT_OK(streams.back().Init());
   }
 
@@ -493,8 +565,7 @@ Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
     bool deleted = false;
     bool skip = false;
     if (from_short) {
-      Status st =
-          ctx_.score_table->GetWithDeleted(pos.doc, &curr, &deleted);
+      Status st = scores.GetWithDeleted(pos.doc, &curr, &deleted);
       // Never-scored docs are not result candidates (the oracle skips
       // them too) — but their postings must not kill the query.
       if (st.IsNotFound()) {
@@ -505,7 +576,7 @@ Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
       ++qs.score_lookups;
     } else {
       ListStateTable::Entry e;
-      Status st = list_state_->Get(pos.doc, &e);
+      Status st = list_state_->GetAt(snap.list_state, pos.doc, &e);
       if (st.ok()) {
         if (e.in_short_list && e.list_value != pos.score) {
           // Stale long posting at the score the doc moved away from; the
@@ -513,8 +584,7 @@ Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
           // doc's current list score) governs.
           skip = true;
         } else {
-          Status st2 =
-              ctx_.score_table->GetWithDeleted(pos.doc, &curr, &deleted);
+          Status st2 = scores.GetWithDeleted(pos.doc, &curr, &deleted);
           if (!st2.ok() && !st2.IsNotFound()) return st2;
           ++qs.score_lookups;
         }
@@ -524,10 +594,9 @@ Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
         // 0.0, the one place a never-scored doc (indexed at 0.0, no
         // Score-table entry; the oracle skips it) can sit.
         curr = pos.score;
-        if (has_deletions_ || pos.score == 0.0) {
+        if (has_deletions || pos.score == 0.0) {
           double s;
-          Status st2 =
-              ctx_.score_table->GetWithDeleted(pos.doc, &s, &deleted);
+          Status st2 = scores.GetWithDeleted(pos.doc, &s, &deleted);
           if (st2.IsNotFound()) {
             skip = true;  // never-scored: not a candidate
           } else if (!st2.ok()) {

@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "common/versioned_array.h"
 #include "index/list_state.h"
+#include "index/merge_policy.h"
 #include "index/posting_codec.h"
 #include "index/short_list.h"
 #include "index/text_index.h"
@@ -39,6 +41,9 @@ class ScoreThresholdIndex final : public TextIndex {
   Status OnScoreUpdate(DocId doc, double new_score) override;
   Status TopK(const Query& query, size_t k,
               std::vector<SearchResult>* results) override;
+  Status TopKAt(const IndexSnapshot& snap, const Query& query, size_t k,
+                std::vector<SearchResult>* results) override;
+  IndexSnapshot SealSnapshot() override;
 
   Status InsertDocument(DocId doc, double score) override;
   Status DeleteDocument(DocId doc) override;
@@ -49,6 +54,8 @@ class ScoreThresholdIndex final : public TextIndex {
   std::vector<TermId> AutoMergeCandidates() const override;
   Result<std::unique_ptr<TermMergePlan>> PrepareMergeTerm(
       TermId term) override;
+  Result<std::unique_ptr<TermMergePlan>> PrepareMergeTermAt(
+      const IndexSnapshot& snap, TermId term) override;
   Status InstallMergeTerm(TermMergePlan* plan,
                           const BlobRetirer& retire) override;
   Status ReclaimBlob(const storage::BlobRef& ref) override;
@@ -73,20 +80,31 @@ class ScoreThresholdIndex final : public TextIndex {
   /// (Lemma 1.1/1.2 of Appendix B).
   Status ListScoreOf(DocId doc, double* list_score, bool* in_short) const;
 
+  /// Live ListScore entries (diagnostics: the fully-merged sweep must
+  /// keep this from growing under long uptimes).
+  uint64_t ListStateSize() const { return list_state_->size(); }
+
  private:
   class TermStream;
   struct MergePlanImpl;
 
   Status BuildLongLists();
+  Status ListScoreOfAt(const storage::TreeSnapshot& list_state,
+                       const relational::ScoreTable::View& scores,
+                       DocId doc, double* list_score, bool* in_short) const;
 
   IndexContext ctx_;
   ScoreThresholdOptions options_;
   std::unique_ptr<storage::BlobStore> blobs_;
-  std::vector<storage::BlobRef> lists_;
+  /// term -> published long-list blob (versioned for snapshot readers).
+  VersionedArray<storage::BlobRef, 128> longs_;
   std::vector<uint64_t> long_counts_;  // postings per long list
   std::unique_ptr<ShortList> short_list_;
   std::unique_ptr<ListStateTable> list_state_;
   bool has_deletions_ = false;
+
+  /// Fully-merged sweep bookkeeping (docs/merge_policy.md).
+  MergeSweepTracker sweep_;
 };
 
 }  // namespace svr::index

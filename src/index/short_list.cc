@@ -9,9 +9,13 @@
 namespace svr::index {
 
 Result<std::unique_ptr<ShortList>> ShortList::Create(
-    storage::BufferPool* pool, KeyKind kind) {
-  SVR_ASSIGN_OR_RETURN(auto tree, storage::BPlusTree::Create(pool));
-  return std::unique_ptr<ShortList>(new ShortList(std::move(tree), kind));
+    storage::BufferPool* pool, KeyKind kind, storage::PageRetirer retire) {
+  auto tree = retire != nullptr
+                  ? storage::BPlusTree::CreateCow(pool, std::move(retire))
+                  : storage::BPlusTree::Create(pool);
+  SVR_RETURN_NOT_OK(tree.status());
+  return std::unique_ptr<ShortList>(
+      new ShortList(std::move(tree).value(), kind));
 }
 
 std::string ShortList::MakeKey(TermId term, double sort_value,
@@ -49,24 +53,30 @@ void ShortList::Account(TermId term, DocId doc, int delta) {
   if (delta > 0) {
     term_counts_[term] += delta;
     doc_counts_[doc] += delta;
-    return;
-  }
-  auto t = term_counts_.find(term);
-  if (t != term_counts_.end()) {
-    if (t->second <= static_cast<uint64_t>(-delta)) {
-      term_counts_.erase(t);
-    } else {
-      t->second += delta;
+  } else {
+    auto t = term_counts_.find(term);
+    if (t != term_counts_.end()) {
+      if (t->second <= static_cast<uint64_t>(-delta)) {
+        term_counts_.erase(t);
+      } else {
+        t->second += delta;
+      }
+    }
+    auto d = doc_counts_.find(doc);
+    if (d != doc_counts_.end()) {
+      if (d->second <= static_cast<uint64_t>(-delta)) {
+        doc_counts_.erase(d);
+      } else {
+        d->second += delta;
+      }
     }
   }
-  auto d = doc_counts_.find(doc);
-  if (d != doc_counts_.end()) {
-    if (d->second <= static_cast<uint64_t>(-delta)) {
-      doc_counts_.erase(d);
-    } else {
-      d->second += delta;
-    }
-  }
+  // Mirror into the snapshot-consistent arrays.
+  TermMeta m = term_meta_arr_.Get(term);
+  m.count = TermPostingCount(term);
+  term_meta_arr_.Set(term, m);
+  doc_count_arr_.Set(doc,
+                     static_cast<uint32_t>(DocPostingCount(doc)));
 }
 
 Status ShortList::Put(TermId term, double sort_value, DocId doc,
@@ -83,7 +93,12 @@ Status ShortList::Put(TermId term, double sort_value, DocId doc,
   BumpVersion(term);
   if (term_score > 0.0f) {
     float& mx = term_max_ts_[term];
-    if (term_score > mx) mx = term_score;
+    if (term_score > mx) {
+      mx = term_score;
+      TermMeta m = term_meta_arr_.Get(term);
+      m.max_ts = term_score;
+      term_meta_arr_.Set(term, m);
+    }
   }
   return Status::OK();
 }
@@ -100,6 +115,32 @@ bool ShortList::Contains(TermId term, double sort_value, DocId doc) const {
   return tree_->Get(MakeKey(term, sort_value, doc), &v).ok();
 }
 
+Status ShortList::GetRaw(const std::string& key, std::string* value) const {
+  return tree_->Get(key, value);
+}
+
+Status ShortList::DeleteRaw(const std::string& key, TermId term,
+                            DocId doc) {
+  SVR_RETURN_NOT_OK(tree_->Delete(key));
+  Account(term, doc, -1);
+  BumpVersion(term);
+  return Status::OK();
+}
+
+Status ShortList::DeleteUnchanged(TermId term,
+                                  const std::vector<RawEntry>& entries) {
+  for (const RawEntry& e : entries) {
+    std::string v;
+    Status st = GetRaw(e.key, &v);
+    if (st.IsNotFound()) continue;  // deleted in between: nothing to do
+    SVR_RETURN_NOT_OK(st);
+    if (v == e.value) {
+      SVR_RETURN_NOT_OK(DeleteRaw(e.key, term, e.doc));
+    }
+  }
+  return Status::OK();
+}
+
 Status ShortList::DeleteTerm(TermId term) {
   std::vector<std::string> keys;
   std::vector<DocId> docs;
@@ -112,6 +153,11 @@ Status ShortList::DeleteTerm(TermId term) {
     Account(term, docs[i], -1);
   }
   term_max_ts_.erase(term);
+  {
+    TermMeta m = term_meta_arr_.Get(term);
+    m.max_ts = 0.0f;
+    term_meta_arr_.Set(term, m);
+  }
   if (!keys.empty()) BumpVersion(term);
   return Status::OK();
 }
@@ -150,7 +196,15 @@ Status ShortList::Clear() {
   }
   for (const auto& [term, count] : term_counts_) {
     (void)count;
+    TermMeta m = term_meta_arr_.Get(term);
+    m.count = 0;
+    m.max_ts = 0.0f;
+    term_meta_arr_.Set(term, m);
     BumpVersion(term);
+  }
+  for (const auto& [doc, count] : doc_counts_) {
+    (void)count;
+    doc_count_arr_.Set(doc, 0);
   }
   term_counts_.clear();
   doc_counts_.clear();
@@ -158,11 +212,12 @@ Status ShortList::Clear() {
   return Status::OK();
 }
 
-ShortList::Cursor::Cursor(const ShortList* list, TermId term)
+ShortList::Cursor::Cursor(const ShortList* list, TermId term,
+                          const storage::TreeSnapshot& snap)
     : list_(list), term_(term) {
   std::string prefix;
   PutKeyU32(&prefix, term);
-  it_ = list_->tree_->Seek(prefix);
+  it_ = list_->tree_->SeekAt(snap, prefix);
   Decode();
 }
 
@@ -207,6 +262,44 @@ void ShortList::Cursor::Next() {
   }
   it_->Next();
   Decode();
+}
+
+bool ShortList::View::Contains(TermId term, double sort_value,
+                               DocId doc) const {
+  std::string v;
+  return list_->tree_
+      ->GetAt(snap_.tree, list_->MakeKey(term, sort_value, doc), &v)
+      .ok();
+}
+
+Status ShortList::View::ScanRaw(TermId term,
+                                std::vector<RawEntry>* out) const {
+  out->clear();
+  std::string prefix;
+  PutKeyU32(&prefix, term);
+  auto it = list_->tree_->SeekAt(snap_.tree, prefix);
+  while (it->Valid()) {
+    Slice key = it->key();
+    Slice probe = key;
+    uint32_t t;
+    if (!GetKeyU32(&probe, &t) || t != term) break;
+    // The doc id is the trailing 4 key bytes in every key kind.
+    if (probe.size() < 4) {
+      return Status::Corruption("short-list key too small");
+    }
+    Slice doc_part(key.data() + key.size() - 4, 4);
+    uint32_t doc;
+    if (!GetKeyU32(&doc_part, &doc)) {
+      return Status::Corruption("bad short-list key");
+    }
+    RawEntry e;
+    e.key = key.ToString();
+    e.value = it->value().ToString();
+    e.doc = doc;
+    out->push_back(std::move(e));
+    it->Next();
+  }
+  return it->status();
 }
 
 }  // namespace svr::index

@@ -4,10 +4,12 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "common/versioned_array.h"
 #include "storage/bptree.h"
 
 namespace svr::index {
@@ -30,15 +32,27 @@ enum class PostingOp : uint8_t {
 /// Values carry the PostingOp and, for the *-TermScore methods, the
 /// posting's term score.
 ///
-/// Per-term and per-doc posting counts are maintained in memory so the
-/// auto-merge policy can find its candidates without scanning the tree
-/// (docs/merge_policy.md).
+/// Per-term and per-doc posting counts are maintained twice: in
+/// unordered maps holding only *live* terms/docs (what the auto-merge
+/// policy iterates, write path only), and in VersionedArrays indexed by
+/// the dense ids, which Seal() freezes together with the tree so a
+/// pinned snapshot reads counts / versions / term-score bounds that are
+/// consistent with the postings it scans (docs/concurrency.md).
 class ShortList {
  public:
   enum class KeyKind { kScore, kChunk, kId };
 
+  /// Per-term side metadata, snapshot-consistent with the tree.
+  struct TermMeta {
+    uint64_t count = 0;    // live postings of the term
+    uint64_t version = 0;  // monotone modification stamp (0 = never)
+    float max_ts = 0.0f;   // monotone term-score upper bound
+  };
+
+  /// `retire` non-null makes the tree copy-on-write (MVCC read path).
   static Result<std::unique_ptr<ShortList>> Create(
-      storage::BufferPool* pool, KeyKind kind);
+      storage::BufferPool* pool, KeyKind kind,
+      storage::PageRetirer retire = nullptr);
 
   /// Inserts/overwrites a posting. `sort_value` is the score (kScore),
   /// the chunk id (kChunk) or ignored (kId).
@@ -55,6 +69,30 @@ class ShortList {
   /// step). OK even when the term has none.
   Status DeleteTerm(TermId term);
 
+  /// Raw-key point lookup / conditional delete, used by the fine-grained
+  /// merge install: `key` must be a key this list produced (ScanRaw).
+  /// DeleteRaw maintains the per-term/per-doc accounting and bumps the
+  /// term's version.
+  Status GetRaw(const std::string& key, std::string* value) const;
+  Status DeleteRaw(const std::string& key, TermId term, DocId doc);
+
+  /// One raw posting as stored: exact key/value bytes plus the decoded
+  /// doc (for accounting on delete).
+  struct RawEntry {
+    std::string key;
+    std::string value;
+    DocId doc = 0;
+  };
+
+  /// The fine-grained merge install's delete step, shared by every
+  /// method (docs/concurrency.md): removes each of `entries` (the
+  /// postings a prepare folded into the new blob) only if its stored
+  /// bytes are unchanged — an overwrite carries newer state and an
+  /// already-deleted key needs nothing; both keep layering over the new
+  /// blob at query time.
+  Status DeleteUnchanged(TermId term,
+                         const std::vector<RawEntry>& entries);
+
   /// Cursor over one term's postings in key order.
   class Cursor {
    public:
@@ -69,7 +107,8 @@ class ShortList {
 
    private:
     friend class ShortList;
-    Cursor(const ShortList* list, TermId term);
+    Cursor(const ShortList* list, TermId term,
+           const storage::TreeSnapshot& snap);
     void Decode();
 
     const ShortList* list_;
@@ -82,7 +121,70 @@ class ShortList {
     float term_score_ = 0.0f;
   };
 
-  Cursor Scan(TermId term) const { return Cursor(this, term); }
+  Cursor Scan(TermId term) const {
+    return Cursor(this, term, tree_->LiveSnapshot());
+  }
+
+  /// \brief One sealed version of the short lists: tree root plus the
+  /// side metadata frozen at the same instant. Copyable and lock-free to
+  /// read once published through the engine snapshot.
+  struct Snapshot {
+    storage::TreeSnapshot tree;
+    VersionedArray<TermMeta>::Snapshot terms;
+    VersionedArray<uint32_t, 512>::Snapshot docs;
+  };
+
+  Snapshot Seal() const {
+    Snapshot s;
+    s.tree = tree_->Seal();
+    s.terms = term_meta_arr_.Seal();
+    s.docs = doc_count_arr_.Seal();
+    return s;
+  }
+
+  /// \brief Read adapter over one Snapshot — what queries and the merge
+  /// prepare phase consume at a pinned ReadView. The ShortList must
+  /// outlive it.
+  class View {
+   public:
+    View() = default;
+    View(const ShortList* list, Snapshot snap)
+        : list_(list), snap_(std::move(snap)) {}
+
+    Cursor Scan(TermId term) const {
+      return Cursor(list_, term, snap_.tree);
+    }
+    uint64_t TermPostingCount(TermId term) const {
+      return snap_.terms.Get(term).count;
+    }
+    uint64_t TermVersion(TermId term) const {
+      return snap_.terms.Get(term).version;
+    }
+    float TermMaxTs(TermId term) const {
+      return snap_.terms.Get(term).max_ts;
+    }
+    uint64_t DocPostingCount(DocId doc) const {
+      return snap_.docs.Get(doc);
+    }
+    bool Contains(TermId term, double sort_value, DocId doc) const;
+    /// Every posting of `term` as raw key/value bytes — what the merge
+    /// prepare records so the install can later delete exactly the
+    /// entries it folded in (and only if unchanged).
+    Status ScanRaw(TermId term, std::vector<RawEntry>* out) const;
+
+   private:
+    const ShortList* list_ = nullptr;
+    Snapshot snap_;
+  };
+
+  /// View over the current (unsealed) contents — exclusive access only.
+  View LiveView() const {
+    Snapshot s;
+    s.tree = tree_->LiveSnapshot();
+    s.terms = term_meta_arr_.Seal();
+    s.docs = doc_count_arr_.Seal();
+    return View(this, std::move(s));
+  }
 
   uint64_t num_postings() const { return tree_->size(); }
   uint64_t SizeBytes() const { return tree_->SizeBytes(); }
@@ -105,9 +207,9 @@ class ShortList {
 
   /// Monotone per-term modification stamp: changes whenever any posting
   /// of `term` is inserted, overwritten, deleted or range-erased. The
-  /// two-phase merge captures it at Prepare and re-checks it at Install
-  /// to detect writes that landed in between (docs/concurrency.md).
-  /// 0 means "never modified".
+  /// two-phase merge captures it at Prepare; an unchanged stamp lets the
+  /// install take the cheap whole-range erase instead of the per-key
+  /// fine path (docs/concurrency.md). 0 means "never modified".
   uint64_t TermVersion(TermId term) const;
 
   /// Terms that currently have postings, with their counts. The map the
@@ -127,7 +229,11 @@ class ShortList {
   uint64_t EntryBytes() const;
   void Account(TermId term, DocId doc, int delta);
   void BumpVersion(TermId term) {
-    term_versions_[term] = ++version_counter_;
+    const uint64_t v = ++version_counter_;
+    term_versions_[term] = v;
+    TermMeta m = term_meta_arr_.Get(term);
+    m.version = v;
+    term_meta_arr_.Set(term, m);
   }
 
   std::unique_ptr<storage::BPlusTree> tree_;
@@ -139,6 +245,9 @@ class ShortList {
   /// even across DeleteTerm/Clear cycles (an ABA-free version check).
   std::unordered_map<TermId, uint64_t> term_versions_;
   uint64_t version_counter_ = 0;
+  /// Snapshot-consistent mirrors of the side maps (dense-id indexed).
+  VersionedArray<TermMeta> term_meta_arr_;
+  VersionedArray<uint32_t, 512> doc_count_arr_;
 };
 
 }  // namespace svr::index

@@ -11,8 +11,11 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "common/versioned_array.h"
+#include "index/short_list.h"
 #include "relational/score_table.h"
 #include "storage/blob_store.h"
+#include "storage/bptree.h"
 #include "storage/buffer_pool.h"
 #include "text/corpus.h"
 
@@ -60,6 +63,34 @@ struct IndexStats {
   uint64_t term_merges = 0;            // incremental MergeTerm calls
   uint64_t merge_postings_written = 0; // postings written by MergeTerm
   uint64_t auto_merge_sweeps = 0;      // policy sweeps that merged >= 1 term
+  // Two-phase install outcomes (docs/concurrency.md): fine-grained
+  // installs deleted exactly the prepare-read postings because the term
+  // changed in between (the old protocol would have aborted); aborts now
+  // only happen when the term's published blob itself was swapped.
+  uint64_t merge_installs_fine = 0;
+  uint64_t merge_install_aborts = 0;
+  // ListScore/ListChunk entries retired (removed or downgraded) by the
+  // fully-merged sweep, so the list-state table stops growing under long
+  // uptimes (docs/merge_policy.md).
+  uint64_t list_state_retired = 0;
+};
+
+/// \brief One sealed, immutable version of everything a query touches:
+/// tree roots (short lists, list-state, Score table, the Score method's
+/// clustered list tree), the per-term blob directories, the corpus, and
+/// the deletion flag. Built by the writer via TextIndex::SealSnapshot()
+/// at each commit; consumed lock-free by TopKAt / PrepareMergeTermAt at
+/// a pinned ReadView (docs/concurrency.md). One concrete struct serves
+/// all methods — fields a method does not use stay empty.
+struct IndexSnapshot {
+  ShortList::Snapshot short_list;
+  storage::TreeSnapshot list_state;
+  storage::TreeSnapshot score;           // the shared Score table
+  storage::TreeSnapshot score_postings;  // Score method's clustered lists
+  VersionedArray<storage::BlobRef, 128>::Snapshot longs;
+  VersionedArray<storage::BlobRef, 128>::Snapshot fancy;
+  text::Corpus::Snapshot corpus;
+  bool has_deletions = false;
 };
 
 /// Everything an index method needs from the outside world.
@@ -83,6 +114,20 @@ struct IndexContext {
   /// Auto-merge triggers for the incremental short→long merge; evaluated
   /// by MaybeAutoMerge() (docs/merge_policy.md). Disabled by default.
   MergePolicy merge_policy;
+  /// Non-null puts the method's B+-trees (short lists, list state, the
+  /// Score method's clustered lists) in copy-on-write mode: pages of
+  /// sealed versions go to these callbacks instead of being freed, and
+  /// the owner defers the free past the last reader epoch. Table-side
+  /// trees use `table_page_retirer`; the Score method's list tree (it
+  /// lives in the list pool) uses `list_page_retirer`. Null = in-place
+  /// trees, the pre-MVCC single-writer model.
+  storage::PageRetirer table_page_retirer;
+  storage::PageRetirer list_page_retirer;
+  /// Non-null routes every write-path blob disposal (merge installs,
+  /// fancy-list refreshes) here instead of freeing immediately — under
+  /// MVCC a sealed snapshot may still resolve the old blob. Null =
+  /// immediate free (exclusive access).
+  std::function<void(const storage::BlobRef&)> blob_retirer;
 };
 
 /// Weighting for the combined SVR + term-score function of §4.3.3:
@@ -127,12 +172,15 @@ using BlobRetirer = std::function<void(const storage::BlobRef&)>;
 /// populated) -> interleave OnScoreUpdate / TopK / document operations.
 ///
 /// Thread model (docs/concurrency.md): the index itself is not
-/// internally synchronized. Callers enforce a reader/writer discipline —
-/// TopK and PrepareMergeTerm are reader operations that may run
-/// concurrently with each other; everything that mutates (DML hooks,
-/// InstallMergeTerm, MergeTerm, rebuilds) requires exclusive access.
-/// The stats are the one exception: they are safe to fold/read from
-/// concurrent readers via the internal stats mutex.
+/// internally synchronized. TopKAt and PrepareMergeTermAt read only the
+/// sealed IndexSnapshot they are given, so any number of them may run
+/// against pinned snapshots with no lock while the single writer keeps
+/// mutating; everything that mutates (DML hooks, InstallMergeTerm,
+/// MergeTerm, rebuilds, SealSnapshot) runs on the writer. The live
+/// TopK/PrepareMergeTerm forms seal the current state themselves and
+/// need exclusive access. The stats are the one exception: they are
+/// safe to fold/read from concurrent readers via the internal stats
+/// mutex.
 class TextIndex {
  public:
   virtual ~TextIndex() = default;
@@ -149,9 +197,30 @@ class TextIndex {
   /// lists. The previous score is read from the Score table.
   virtual Status OnScoreUpdate(DocId doc, double new_score) = 0;
 
-  /// Algorithm 2/3: top-k by the *latest* scores.
+  /// Algorithm 2/3: top-k by the *latest* scores, against the current
+  /// contents. Requires at least reader-serialized access in the
+  /// pre-MVCC sense (exclusive access in standalone use).
   virtual Status TopK(const Query& query, size_t k,
                       std::vector<SearchResult>* results) = 0;
+
+  /// Top-k against one sealed snapshot. Safe from any number of threads
+  /// with no lock while writers keep mutating, as long as the snapshot
+  /// was pinned under an epoch guard (docs/concurrency.md).
+  virtual Status TopKAt(const IndexSnapshot& snap, const Query& query,
+                        size_t k, std::vector<SearchResult>* results) {
+    (void)snap;
+    (void)query;
+    (void)k;
+    (void)results;
+    return Status::NotSupported(name() + ": snapshot queries");
+  }
+
+  /// Freezes the current contents of everything TopKAt reads — trees,
+  /// blob directories, side counters, the shared Score table, the
+  /// corpus's document array — and returns the snapshot. Called by the
+  /// engine once per commit (writer-serialized); cheap, O(state touched
+  /// since the previous seal).
+  virtual IndexSnapshot SealSnapshot() { return IndexSnapshot(); }
 
   /// Appendix A.2: index a new document. The corpus must already contain
   /// `doc` with this content.
@@ -212,19 +281,33 @@ class TextIndex {
 
   /// Reader phase: streams term's merged view and writes the replacement
   /// blob (unpublished — no reader can resolve it yet). Returns null when
-  /// the term has nothing to merge. Must be called with at least shared
-  /// (reader) access; never mutates reader-visible state.
+  /// the term has nothing to merge. The plain form snapshots the live
+  /// state (requires reader-serialized access, the synchronous-merge
+  /// path); the At form runs against a pinned snapshot with no lock at
+  /// all (the background scheduler's path). Neither mutates
+  /// reader-visible state.
   virtual Result<std::unique_ptr<TermMergePlan>> PrepareMergeTerm(
       TermId term) {
     (void)term;
     return Status::NotSupported(name() + ": two-phase merge");
   }
+  virtual Result<std::unique_ptr<TermMergePlan>> PrepareMergeTermAt(
+      const IndexSnapshot& snap, TermId term) {
+    (void)snap;
+    (void)term;
+    return Status::NotSupported(name() + ": two-phase merge");
+  }
 
-  /// Writer phase: validates that the term's short list is unchanged
-  /// since Prepare (else frees the prepared blob and returns Aborted —
-  /// the caller re-runs the job), then publishes the new blob with a
-  /// single BlobRef swap and erases the term's short range. The replaced
-  /// blob goes to `retire` (or is freed immediately when null).
+  /// Writer phase: publishes the prepared blob with a single BlobRef
+  /// swap and erases the term's prepare-read short postings. When the
+  /// term's short list changed since Prepare, the install takes the
+  /// fine-grained path — it deletes exactly the postings the prepare
+  /// folded in (each only if its bytes are unchanged), so appends and
+  /// overwrites it never saw survive and keep layering over the new
+  /// blob. Aborted is returned only when the term's *published blob*
+  /// was swapped in between (a competing merge); the prepared blob is
+  /// then freed and the caller re-runs the job. The replaced blob goes
+  /// to `retire` (or is freed immediately when null).
   virtual Status InstallMergeTerm(TermMergePlan* plan,
                                   const BlobRetirer& retire) {
     (void)plan;
@@ -277,11 +360,16 @@ class TextIndex {
     stats_.candidates_considered += q.candidates_considered;
   }
 
-  /// Write-path counters are mutated directly (always under exclusive
-  /// access); reads from other threads go through stats().
-  IndexStats stats_;
+  /// Bumps one write-path counter under the stats mutex. Writers are
+  /// exclusive among themselves, but stats()/GetStats() read with no
+  /// engine lock under MVCC, so every mutation must synchronize here.
+  void BumpStat(uint64_t IndexStats::*field, uint64_t delta = 1) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.*field += delta;
+  }
 
  private:
+  IndexStats stats_;
   mutable std::mutex stats_mu_;
 };
 

@@ -7,8 +7,8 @@ Result<Table*> Database::CreateTable(const std::string& name,
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table exists: " + name);
   }
-  SVR_ASSIGN_OR_RETURN(auto table,
-                       Table::Create(name, std::move(schema), pool_));
+  SVR_ASSIGN_OR_RETURN(
+      auto table, Table::Create(name, std::move(schema), pool_, retire_));
   Table* raw = table.get();
   tables_.emplace(name, std::move(table));
   return raw;

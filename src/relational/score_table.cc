@@ -27,12 +27,34 @@ Status ParseScoreValue(const std::string& v, double* score, bool* deleted) {
   return Status::OK();
 }
 
+Status ScanTree(const storage::BPlusTree* tree,
+                const storage::TreeSnapshot& snap,
+                const std::function<bool(DocId, double, bool)>& fn) {
+  auto it = tree->SeekAt(snap, Slice());
+  while (it->Valid()) {
+    Slice k = it->key();
+    DocId doc;
+    if (!GetKeyU32(&k, &doc)) return Status::Corruption("bad score key");
+    std::string v = it->value().ToString();
+    double score = 0.0;
+    bool deleted = false;
+    SVR_RETURN_NOT_OK(ParseScoreValue(v, &score, &deleted));
+    if (!fn(doc, score, deleted)) break;
+    it->Next();
+  }
+  return it->status();
+}
+
 }  // namespace
 
 Result<std::unique_ptr<ScoreTable>> ScoreTable::Create(
-    storage::BufferPool* pool) {
-  SVR_ASSIGN_OR_RETURN(auto tree, storage::BPlusTree::Create(pool));
-  return std::unique_ptr<ScoreTable>(new ScoreTable(std::move(tree)));
+    storage::BufferPool* pool, storage::PageRetirer retire) {
+  auto tree = retire != nullptr
+                  ? storage::BPlusTree::CreateCow(pool, std::move(retire))
+                  : storage::BPlusTree::Create(pool);
+  SVR_RETURN_NOT_OK(tree.status());
+  return std::unique_ptr<ScoreTable>(
+      new ScoreTable(std::move(tree).value()));
 }
 
 Status ScoreTable::Set(DocId doc, double score) {
@@ -62,19 +84,24 @@ Status ScoreTable::Remove(DocId doc) { return tree_->Delete(DocKey(doc)); }
 
 Status ScoreTable::Scan(
     const std::function<bool(DocId, double, bool)>& fn) const {
-  auto it = tree_->Begin();
-  while (it->Valid()) {
-    Slice k = it->key();
-    DocId doc;
-    if (!GetKeyU32(&k, &doc)) return Status::Corruption("bad score key");
-    std::string v = it->value().ToString();
-    double score = 0.0;
-    bool deleted = false;
-    SVR_RETURN_NOT_OK(ParseScoreValue(v, &score, &deleted));
-    if (!fn(doc, score, deleted)) break;
-    it->Next();
-  }
-  return it->status();
+  return ScanTree(tree_.get(), tree_->LiveSnapshot(), fn);
+}
+
+Status ScoreTable::View::Get(DocId doc, double* score) const {
+  bool deleted;
+  return GetWithDeleted(doc, score, &deleted);
+}
+
+Status ScoreTable::View::GetWithDeleted(DocId doc, double* score,
+                                        bool* deleted) const {
+  std::string v;
+  SVR_RETURN_NOT_OK(table_->tree_->GetAt(snap_, DocKey(doc), &v));
+  return ParseScoreValue(v, score, deleted);
+}
+
+Status ScoreTable::View::Scan(
+    const std::function<bool(DocId, double, bool)>& fn) const {
+  return ScanTree(table_->tree_.get(), snap_, fn);
 }
 
 }  // namespace svr::relational

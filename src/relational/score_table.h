@@ -17,11 +17,14 @@ namespace svr::relational {
 ///
 /// Physically a B+-tree keyed by doc id, so score lookups by id are one
 /// indexed probe, exactly as the paper requires. All index methods share
-/// one instance.
+/// one instance. Created with a PageRetirer the tree is copy-on-write:
+/// Seal() publishes a version snapshot that queries probe with no lock
+/// (docs/concurrency.md).
 class ScoreTable {
  public:
+  /// `retire` non-null makes the tree copy-on-write (MVCC read path).
   static Result<std::unique_ptr<ScoreTable>> Create(
-      storage::BufferPool* pool);
+      storage::BufferPool* pool, storage::PageRetirer retire = nullptr);
 
   /// Inserts or updates the score of `doc`.
   Status Set(DocId doc, double score);
@@ -42,6 +45,30 @@ class ScoreTable {
   /// In-order scan over (doc, score, deleted).
   Status Scan(
       const std::function<bool(DocId, double, bool)>& fn) const;
+
+  /// Freezes the current version; see storage::BPlusTree::Seal.
+  storage::TreeSnapshot Seal() { return tree_->Seal(); }
+
+  /// \brief Read adapter over one sealed version — the Score table a
+  /// pinned ReadView probes. Copyable; the ScoreTable must outlive it.
+  class View {
+   public:
+    View() = default;
+    View(const ScoreTable* table, storage::TreeSnapshot snap)
+        : table_(table), snap_(snap) {}
+
+    bool valid() const { return table_ != nullptr; }
+    Status Get(DocId doc, double* score) const;
+    Status GetWithDeleted(DocId doc, double* score, bool* deleted) const;
+    Status Scan(const std::function<bool(DocId, double, bool)>& fn) const;
+
+   private:
+    const ScoreTable* table_ = nullptr;
+    storage::TreeSnapshot snap_;
+  };
+
+  /// View over the current (unsealed) contents — exclusive access only.
+  View LiveView() const { return View(this, tree_->LiveSnapshot()); }
 
   uint64_t size() const { return tree_->size(); }
   uint64_t SizeBytes() const { return tree_->SizeBytes(); }

@@ -5,7 +5,8 @@
 namespace svr::relational {
 
 Result<std::unique_ptr<Table>> Table::Create(std::string name, Schema schema,
-                                             storage::BufferPool* pool) {
+                                             storage::BufferPool* pool,
+                                             storage::PageRetirer retire) {
   if (schema.num_columns() == 0) {
     return Status::InvalidArgument("table needs at least one column");
   }
@@ -14,9 +15,12 @@ Result<std::unique_ptr<Table>> Table::Create(std::string name, Schema schema,
       schema.column(pk).type != ValueType::kInt64) {
     return Status::InvalidArgument("primary key must be an INT64 column");
   }
-  SVR_ASSIGN_OR_RETURN(auto tree, storage::BPlusTree::Create(pool));
-  return std::unique_ptr<Table>(
-      new Table(std::move(name), std::move(schema), std::move(tree)));
+  auto tree = retire != nullptr
+                  ? storage::BPlusTree::CreateCow(pool, std::move(retire))
+                  : storage::BPlusTree::Create(pool);
+  SVR_RETURN_NOT_OK(tree.status());
+  return std::unique_ptr<Table>(new Table(std::move(name), std::move(schema),
+                                          std::move(tree).value()));
 }
 
 std::string Table::EncodePk(int64_t pk) const {
@@ -67,8 +71,13 @@ Status Table::Upsert(const Row& row) {
 }
 
 Status Table::Get(int64_t pk, Row* row) const {
+  return GetAt(tree_->LiveSnapshot(), pk, row);
+}
+
+Status Table::GetAt(const storage::TreeSnapshot& snap, int64_t pk,
+                    Row* row) const {
   std::string payload;
-  SVR_RETURN_NOT_OK(tree_->Get(EncodePk(pk), &payload));
+  SVR_RETURN_NOT_OK(tree_->GetAt(snap, EncodePk(pk), &payload));
   Slice in(payload);
   return DecodeRow(&in, schema_.num_columns(), row);
 }

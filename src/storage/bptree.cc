@@ -24,6 +24,12 @@ namespace {
 // Cells grow down from the end of the page.
 //   leaf cell:     varint klen | key | varint vlen | value
 //   internal cell: varint klen | key | fixed32 child page id
+//
+// The leaf prev/next header fields are vestigial: iterators advance
+// through their root-to-leaf descent path (sibling links would make
+// copy-on-write shadowing cascade into neighbours), so no code reads or
+// maintains a leaf chain anymore. Internal nodes still use the "next"
+// slot as their rightmost child pointer.
 constexpr int kHeaderSize = 16;
 
 uint16_t Load16(const char* p) {
@@ -98,6 +104,12 @@ class NodeView {
     char* p = data_ + (cell.data() - data_) + klen;
     (void)base;
     Store32(p, child);
+  }
+
+  /// Child pointer by *child index* in [0, nslots()]: entry children
+  /// first, the rightmost pointer last.
+  PageId ChildAt(int i) const {
+    return i < nslots() ? Child(i) : rightmost();
   }
 
   // First slot whose key is >= `key`; sets *exact if equal.
@@ -260,9 +272,23 @@ Result<std::unique_ptr<BPlusTree>> BPlusTree::Create(BufferPool* pool) {
   return std::unique_ptr<BPlusTree>(new BPlusTree(pool, root, 0, 1));
 }
 
+Result<std::unique_ptr<BPlusTree>> BPlusTree::CreateCow(BufferPool* pool,
+                                                        PageRetirer retire) {
+  SVR_ASSIGN_OR_RETURN(auto tree, Create(pool));
+  tree->cow_ = true;
+  tree->retire_ = std::move(retire);
+  tree->private_pages_.insert(tree->root_);
+  return tree;
+}
+
 std::unique_ptr<BPlusTree> BPlusTree::Open(BufferPool* pool, PageId root,
                                            uint64_t size) {
   return std::unique_ptr<BPlusTree>(new BPlusTree(pool, root, size, 0));
+}
+
+TreeSnapshot BPlusTree::Seal() {
+  if (cow_) private_pages_.clear();
+  return TreeSnapshot{root_, size_};
 }
 
 Result<PageId> BPlusTree::NewNodePage(bool leaf, PageHandle* handle) {
@@ -274,18 +300,32 @@ Result<PageId> BPlusTree::NewNodePage(bool leaf, PageHandle* handle) {
     node.InitInternal();
   }
   ++num_pages_;
+  if (cow_) private_pages_.insert(handle->id());
   return handle->id();
 }
 
-Status BPlusTree::FreeNodePage(PageId id) {
-  SVR_RETURN_NOT_OK(pool_->FreePage(id));
-  --num_pages_;
-  return Status::OK();
+Status BPlusTree::RetireSharedPage(PageId id) {
+  if (retire_) {
+    retire_(id);
+    return Status::OK();
+  }
+  return pool_->FreePage(id);
 }
 
-Status BPlusTree::FindLeaf(const Slice& key, PageHandle* leaf,
+Status BPlusTree::FreeNodePage(PageId id) {
+  --num_pages_;
+  if (cow_ && private_pages_.count(id) == 0) {
+    // The page belongs to a sealed version: a snapshot reader may still
+    // be descending through it, so the actual free is deferred.
+    return RetireSharedPage(id);
+  }
+  private_pages_.erase(id);
+  return pool_->FreePage(id);
+}
+
+Status BPlusTree::FindLeaf(PageId from, const Slice& key, PageHandle* leaf,
                            std::vector<PathEntry>* path) const {
-  PageId current = root_;
+  PageId current = from;
   while (true) {
     PageHandle h;
     SVR_RETURN_NOT_OK(pool_->Fetch(current, &h));
@@ -307,9 +347,68 @@ Status BPlusTree::FindLeaf(const Slice& key, PageHandle* leaf,
   }
 }
 
+Status BPlusTree::FindLeafForWrite(const Slice& key, PageHandle* leaf,
+                                   std::vector<PathEntry>* path) {
+  if (!cow_) return FindLeaf(root_, key, leaf, path);
+
+  // Shadowed descent: every page on the path ends up private, relinked
+  // in its (already private) parent before we step into it, so the
+  // caller and InsertIntoParent/RemoveFromParent may mutate any of them
+  // in place. Sealed versions keep the originals.
+  PageId current = root_;
+  PageHandle parent;  // pinned private parent of `current`
+  int parent_slot = -1;
+  while (true) {
+    PageHandle h;
+    SVR_RETURN_NOT_OK(pool_->Fetch(current, &h));
+    if (private_pages_.count(current) == 0) {
+      PageHandle copy;
+      SVR_RETURN_NOT_OK(pool_->NewPage(&copy));
+      std::memcpy(copy.mutable_data(), h.data(), pool_->page_size());
+      h.Release();  // a null retirer frees immediately; drop the pin first
+      private_pages_.insert(copy.id());
+      if (!parent.valid()) {
+        root_ = copy.id();
+      } else {
+        NodeView pv(parent.mutable_data(), pool_->page_size());
+        if (parent_slot == -1) {
+          pv.set_rightmost(copy.id());
+        } else {
+          pv.SetChild(parent_slot, copy.id());
+        }
+      }
+      SVR_RETURN_NOT_OK(RetireSharedPage(current));
+      current = copy.id();
+      h = std::move(copy);
+    }
+    NodeView node(h.mutable_data(), pool_->page_size());
+    if (node.leaf()) {
+      *leaf = std::move(h);
+      return Status::OK();
+    }
+    int slot = node.UpperBound(key);
+    if (slot < node.nslots()) {
+      if (path != nullptr) path->push_back({current, slot});
+      parent_slot = slot;
+      current = node.Child(slot);
+    } else {
+      if (path != nullptr) path->push_back({current, -1});
+      parent_slot = -1;
+      current = node.rightmost();
+    }
+    parent = std::move(h);
+  }
+}
+
 Status BPlusTree::Get(const Slice& key, std::string* value) const {
+  return GetAt(TreeSnapshot{root_, size_}, key, value);
+}
+
+Status BPlusTree::GetAt(const TreeSnapshot& snap, const Slice& key,
+                        std::string* value) const {
+  if (!snap.valid()) return Status::NotFound("key not in tree");
   PageHandle leaf;
-  SVR_RETURN_NOT_OK(FindLeaf(key, &leaf, nullptr));
+  SVR_RETURN_NOT_OK(FindLeaf(snap.root, key, &leaf, nullptr));
   NodeView node(const_cast<char*>(leaf.data()), pool_->page_size());
   bool exact;
   int slot = node.LowerBound(key, &exact);
@@ -327,7 +426,7 @@ Status BPlusTree::Put(const Slice& key, const Slice& value) {
 
   std::vector<PathEntry> path;
   PageHandle leaf;
-  SVR_RETURN_NOT_OK(FindLeaf(key, &leaf, &path));
+  SVR_RETURN_NOT_OK(FindLeafForWrite(key, &leaf, &path));
   NodeView node(leaf.mutable_data(), pool_->page_size());
 
   bool exact;
@@ -383,38 +482,19 @@ Status BPlusTree::Put(const Slice& key, const Slice& value) {
                        NewNodePage(/*leaf=*/true, &right_handle));
   NodeView right(right_handle.mutable_data(), pool_->page_size());
 
-  const PageId old_next = node.next();
-  const PageId old_prev = node.prev();
   const PageId left_id = leaf.id();
 
-  // Rebuild left with the lower half.
+  // Rebuild left with the lower half. No leaf chain to patch: iterators
+  // advance through their descent path, never through sibling links.
   {
-    std::string scratch;
     NodeView fresh(node.data(), pool_->page_size());
     fresh.InitLeaf();
-    (void)scratch;
     for (size_t i = 0; i < split_at; ++i) {
       fresh.InsertCell(static_cast<int>(i), cells[i]);
     }
   }
   for (size_t i = split_at; i < cells.size(); ++i) {
     right.InsertCell(static_cast<int>(i - split_at), cells[i]);
-  }
-
-  // Leaf chain: old_prev <-> left <-> right <-> old_next. InitLeaf wiped
-  // the left page's header, so its prev link must be restored — losing
-  // it leaves the predecessor's next pointing at this leaf forever, and
-  // the unlink-on-empty path would then fail to patch the predecessor,
-  // leaving a dangling pointer to a freed page in the leaf chain.
-  node.set_prev(old_prev);
-  node.set_next(right_id);
-  right.set_prev(left_id);
-  right.set_next(old_next);
-  if (old_next != kInvalidPageId) {
-    PageHandle nh;
-    SVR_RETURN_NOT_OK(pool_->Fetch(old_next, &nh));
-    NodeView nn(nh.mutable_data(), pool_->page_size());
-    nn.set_prev(right_id);
   }
 
   std::string sep = right.Key(0).ToString();
@@ -441,6 +521,8 @@ Status BPlusTree::InsertIntoParent(std::vector<PathEntry>* path, PageId left,
   PathEntry pe = path->back();
   path->pop_back();
 
+  // In COW mode the whole path was already shadowed by FindLeafForWrite,
+  // so this page is private and safe to mutate in place.
   PageHandle h;
   SVR_RETURN_NOT_OK(pool_->Fetch(pe.page, &h));
   NodeView node(h.mutable_data(), pool_->page_size());
@@ -519,9 +601,20 @@ Status BPlusTree::InsertIntoParent(std::vector<PathEntry>* path, PageId left,
 }
 
 Status BPlusTree::Delete(const Slice& key) {
+  if (cow_) {
+    // Probe read-only first: a miss must not shadow (and retire) the
+    // whole descent path for nothing — NotFound deletes are common on
+    // the score-update path.
+    PageHandle probe;
+    SVR_RETURN_NOT_OK(FindLeaf(root_, key, &probe, nullptr));
+    NodeView pn(const_cast<char*>(probe.data()), pool_->page_size());
+    bool present;
+    pn.LowerBound(key, &present);
+    if (!present) return Status::NotFound("key not in tree");
+  }
   std::vector<PathEntry> path;
   PageHandle leaf;
-  SVR_RETURN_NOT_OK(FindLeaf(key, &leaf, &path));
+  SVR_RETURN_NOT_OK(FindLeafForWrite(key, &leaf, &path));
   NodeView node(leaf.mutable_data(), pool_->page_size());
   bool exact;
   int slot = node.LowerBound(key, &exact);
@@ -533,22 +626,8 @@ Status BPlusTree::Delete(const Slice& key) {
     return Status::OK();  // non-empty, or empty root leaf (allowed)
   }
 
-  // Unlink the empty leaf from the chain and remove it from its parent.
+  // Remove the empty leaf from its parent (no leaf chain to unlink).
   const PageId leaf_id = leaf.id();
-  const PageId prev = node.prev();
-  const PageId next = node.next();
-  if (prev != kInvalidPageId) {
-    PageHandle ph;
-    SVR_RETURN_NOT_OK(pool_->Fetch(prev, &ph));
-    NodeView pn(ph.mutable_data(), pool_->page_size());
-    pn.set_next(next);
-  }
-  if (next != kInvalidPageId) {
-    PageHandle nh;
-    SVR_RETURN_NOT_OK(pool_->Fetch(next, &nh));
-    NodeView nn(nh.mutable_data(), pool_->page_size());
-    nn.set_prev(prev);
-  }
   leaf.Release();
   SVR_RETURN_NOT_OK(RemoveFromParent(&path, leaf_id));
   return FreeNodePage(leaf_id);
@@ -614,37 +693,99 @@ Status BPlusTree::RemoveFromParent(std::vector<PathEntry>* path,
   return Status::OK();
 }
 
-void BPlusTree::Iterator::LoadLeaf(PageId id, int slot) {
+// --- iterator ----------------------------------------------------------
+
+void BPlusTree::Iterator::SeekInternal(PageId root, const Slice& target) {
+  path_.clear();
   leaf_.Release();
-  while (id != kInvalidPageId) {
-    Status st = tree_->pool_->Fetch(id, &leaf_);
+  valid_ = false;
+  if (root == kInvalidPageId) return;
+
+  PageId current = root;
+  while (true) {
+    PageHandle h;
+    Status st = tree_->pool_->Fetch(current, &h);
+    if (!st.ok()) {
+      status_ = st;
+      return;
+    }
+    NodeView node(const_cast<char*>(h.data()), tree_->pool_->page_size());
+    if (node.leaf()) {
+      nslots_ = node.nslots();
+      bool exact;
+      slot_ = node.LowerBound(target, &exact);
+      leaf_ = std::move(h);
+      if (slot_ < nslots_) {
+        valid_ = true;
+      } else {
+        // The target is past this leaf's last key (or the leaf is
+        // empty): continue at the next leaf via the descent path.
+        AdvanceLeaf();
+      }
+      return;
+    }
+    const int slot = node.UpperBound(target);
+    path_.push_back({current, slot, node.nslots() + 1});
+    current = node.ChildAt(slot);
+  }
+}
+
+void BPlusTree::Iterator::DescendToLeaf(PageId page) {
+  PageId current = page;
+  while (true) {
+    PageHandle h;
+    Status st = tree_->pool_->Fetch(current, &h);
     if (!st.ok()) {
       status_ = st;
       valid_ = false;
       return;
     }
-    NodeView node(const_cast<char*>(leaf_.data()), tree_->pool_->page_size());
-    nslots_ = node.nslots();
-    if (slot < nslots_) {
-      slot_ = slot;
-      valid_ = true;
+    NodeView node(const_cast<char*>(h.data()), tree_->pool_->page_size());
+    if (node.leaf()) {
+      nslots_ = node.nslots();
+      slot_ = 0;
+      leaf_ = std::move(h);
+      if (slot_ < nslots_) {
+        valid_ = true;
+      } else {
+        AdvanceLeaf();  // empty leaf: keep ascending
+      }
       return;
     }
-    id = node.next();
-    slot = 0;
-    leaf_.Release();
+    path_.push_back({current, 0, node.nslots() + 1});
+    current = node.ChildAt(0);
   }
+}
+
+void BPlusTree::Iterator::AdvanceLeaf() {
+  leaf_.Release();
   valid_ = false;
+  while (!path_.empty()) {
+    Level& level = path_.back();
+    if (level.child + 1 < level.nchildren) {
+      ++level.child;
+      PageHandle h;
+      Status st = tree_->pool_->Fetch(level.page, &h);
+      if (!st.ok()) {
+        status_ = st;
+        return;
+      }
+      NodeView node(const_cast<char*>(h.data()),
+                    tree_->pool_->page_size());
+      const PageId child = node.ChildAt(level.child);
+      h.Release();
+      DescendToLeaf(child);
+      return;
+    }
+    path_.pop_back();
+  }
+  // Whole tree exhausted.
 }
 
 void BPlusTree::Iterator::Next() {
   assert(valid_);
   ++slot_;
-  if (slot_ >= nslots_) {
-    NodeView node(const_cast<char*>(leaf_.data()), tree_->pool_->page_size());
-    PageId next = node.next();
-    LoadLeaf(next, 0);
-  }
+  if (slot_ >= nslots_) AdvanceLeaf();
 }
 
 Slice BPlusTree::Iterator::key() const {
@@ -659,22 +800,21 @@ Slice BPlusTree::Iterator::value() const {
   return node.Value(slot_);
 }
 
+std::unique_ptr<BPlusTree::Iterator> BPlusTree::SeekAt(
+    const TreeSnapshot& snap, const Slice& target) const {
+  auto it = std::unique_ptr<Iterator>(new Iterator(this));
+  it->SeekInternal(snap.valid() ? snap.root : kInvalidPageId, target);
+  return it;
+}
+
+std::unique_ptr<BPlusTree::Iterator> BPlusTree::BeginAt(
+    const TreeSnapshot& snap) const {
+  return SeekAt(snap, Slice());
+}
+
 std::unique_ptr<BPlusTree::Iterator> BPlusTree::Seek(
     const Slice& target) const {
-  auto it = std::unique_ptr<Iterator>(new Iterator(this));
-  PageHandle leaf;
-  Status st = FindLeaf(target, &leaf, nullptr);
-  if (!st.ok()) {
-    it->status_ = st;
-    return it;
-  }
-  NodeView node(const_cast<char*>(leaf.data()), pool_->page_size());
-  bool exact;
-  int slot = node.LowerBound(target, &exact);
-  PageId id = leaf.id();
-  leaf.Release();
-  it->LoadLeaf(id, slot);
-  return it;
+  return SeekAt(TreeSnapshot{root_, size_}, target);
 }
 
 std::unique_ptr<BPlusTree::Iterator> BPlusTree::Begin() const {

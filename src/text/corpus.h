@@ -2,9 +2,12 @@
 #define SVR_TEXT_CORPUS_H_
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
+#include "common/versioned_array.h"
 #include "text/document.h"
 
 namespace svr::text {
@@ -13,6 +16,12 @@ namespace svr::text {
 /// the "text column" contents the index methods are built over. Also
 /// tracks per-term document frequencies for selectivity-based query
 /// pools and IDF.
+///
+/// Documents live behind shared_ptrs in a VersionedArray, so Seal()
+/// returns a Snapshot whose contents lock-free readers (chunk-termscore
+/// queries, the oracle at a pinned ReadView) may traverse while the
+/// writer keeps Add()ing and Replace()ing. The doc-frequency counters
+/// are writer-side only (query pools and IDF are built quiescently).
 class Corpus {
  public:
   explicit Corpus(size_t vocab_size = 0) : doc_freq_(vocab_size, 0) {}
@@ -23,24 +32,28 @@ class Corpus {
       if (t >= doc_freq_.size()) doc_freq_.resize(t + 1, 0);
       ++doc_freq_[t];
     }
-    docs_.push_back(std::move(doc));
-    return static_cast<DocId>(docs_.size() - 1);
+    const DocId id = static_cast<DocId>(docs_.size());
+    docs_.Set(id, std::make_shared<const Document>(std::move(doc)));
+    return id;
   }
 
   /// Replaces the content of `id` (document frequency bookkeeping
-  /// included). Used for Appendix-A content updates.
+  /// included). Used for Appendix-A content updates. Readers of sealed
+  /// snapshots keep seeing the previous content.
   void Replace(DocId id, Document doc) {
-    for (TermId t : docs_[id].terms()) {
+    for (TermId t : this->doc(id).terms()) {
       --doc_freq_[t];
     }
     for (TermId t : doc.terms()) {
       if (t >= doc_freq_.size()) doc_freq_.resize(t + 1, 0);
       ++doc_freq_[t];
     }
-    docs_[id] = std::move(doc);
+    docs_.Set(id, std::make_shared<const Document>(std::move(doc)));
   }
 
-  const Document& doc(DocId id) const { return docs_[id]; }
+  /// Writer-side access to the current content. The reference is valid
+  /// until the next Replace() of the same document.
+  const Document& doc(DocId id) const { return *docs_.Get(id); }
   size_t num_docs() const { return docs_.size(); }
   size_t vocab_size() const { return doc_freq_.size(); }
 
@@ -54,8 +67,34 @@ class Corpus {
   /// ("keywords randomly chosen from the N most frequent terms").
   std::vector<TermId> TermsByFrequency() const;
 
+  /// \brief An immutable view of the collection at one Seal() point.
+  /// Cheap to copy; contents stay valid (and unchanged) while any copy
+  /// is alive.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+
+    bool valid() const { return docs_.Find(0) != nullptr || num_docs() == 0; }
+    size_t num_docs() const { return docs_.size(); }
+    const Document& doc(DocId id) const { return *(*docs_.Find(id)); }
+
+   private:
+    friend class Corpus;
+    explicit Snapshot(
+        VersionedArray<std::shared_ptr<const Document>>::Snapshot docs)
+        : docs_(std::move(docs)) {}
+
+    VersionedArray<std::shared_ptr<const Document>>::Snapshot docs_;
+  };
+
+  /// Freezes the current contents. Const for the same reason
+  /// VersionedArray::Seal is: sealing changes no observable state, and
+  /// exclusive-access read paths (standalone index queries, the oracle)
+  /// seal through const pointers. Writer-serialized.
+  Snapshot Seal() const { return Snapshot(docs_.Seal()); }
+
  private:
-  std::vector<Document> docs_;
+  VersionedArray<std::shared_ptr<const Document>> docs_;
   std::vector<uint32_t> doc_freq_;
 };
 

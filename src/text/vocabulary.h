@@ -1,6 +1,7 @@
 #ifndef SVR_TEXT_VOCABULARY_H_
 #define SVR_TEXT_VOCABULARY_H_
 
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -13,6 +14,14 @@ namespace svr::text {
 ///
 /// Term ids are dense and assigned in interning order, so they double as
 /// posting-list identifiers.
+///
+/// Thread model: append-only under an internal shared_mutex, so the MVCC
+/// read path may Lookup() with no engine lock while writers Intern().
+/// The critical sections are single hash operations — bounded and tiny,
+/// unlike the engine-wide lock the MVCC refactor removed. A term
+/// interned after a reader pinned its snapshot resolves to an id past
+/// every sealed structure, which reads as "no postings" — exactly the
+/// snapshot semantics (docs/concurrency.md).
 class Vocabulary {
  public:
   /// Returns the id of `term`, interning it if new.
@@ -22,10 +31,13 @@ class Vocabulary {
   static constexpr TermId kUnknownTerm = 0xFFFFFFFFu;
   TermId Lookup(const std::string& term) const;
 
-  const std::string& term(TermId id) const { return terms_[id]; }
-  size_t size() const { return terms_.size(); }
+  /// Term spelled by `id` (by value: the backing store may grow
+  /// concurrently).
+  std::string term(TermId id) const;
+  size_t size() const;
 
  private:
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, TermId> ids_;
   std::vector<std::string> terms_;
 };

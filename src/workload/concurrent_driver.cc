@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <mutex>
@@ -167,6 +168,10 @@ Result<ConcurrentChurnResult> RunConcurrentChurn(
           if (!keywords.empty()) keywords.push_back(' ');
           keywords += MakeToken(rng.Uniform(frequent_pool));
         }
+        if (config.query_think_us > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(config.query_think_us));
+        }
         Stopwatch sw;
         auto r = engine->Search(keywords, config.top_k);
         query_ms[qt].push_back(sw.ElapsedMillis());
@@ -179,9 +184,13 @@ Result<ConcurrentChurnResult> RunConcurrentChurn(
         if (config.validate_every != 0 &&
             n % config.validate_every == 0) {
           // Snapshot check: the same query at index level plus the
-          // brute-force oracle, both under one reader lock — results
-          // must agree exactly even while merges land between queries.
-          Status st = engine->ReadSnapshot([&]() -> Status {
+          // brute-force oracle, both against one pinned ReadView (no
+          // lock) — results must agree exactly even while writers and
+          // merges land concurrently.
+          Status st = engine->ReadSnapshot([&](const core::SvrEngine::
+                                                   ReadView& view)
+                                               -> Status {
+            if (!view.indexed()) return Status::OK();
             index::Query q;
             q.conjunctive = true;
             for (uint32_t i = 0; i < config.query_terms; ++i) {
@@ -196,13 +205,15 @@ Result<ConcurrentChurnResult> RunConcurrentChurn(
               }
             }
             if (q.terms.empty()) return Status::OK();
+            const index::IndexSnapshot& snap = view.state->index;
             std::vector<index::SearchResult> got, want;
-            SVR_RETURN_NOT_OK(
-                engine->text_index()->TopK(q, config.top_k, &got));
-            core::BruteForceOracle oracle(engine->corpus(),
-                                          engine->score_table());
-            SVR_RETURN_NOT_OK(
-                oracle.TopK(q, config.top_k, with_ts, &want));
+            SVR_RETURN_NOT_OK(engine->text_index()->TopKAt(
+                snap, q, config.top_k, &got));
+            SVR_RETURN_NOT_OK(core::BruteForceOracle::TopKAt(
+                snap.corpus,
+                relational::ScoreTable::View(engine->score_table(),
+                                             snap.score),
+                q, config.top_k, with_ts, &want));
             bool equal = got.size() == want.size();
             for (size_t i = 0; equal && i < got.size(); ++i) {
               equal = got[i].doc == want[i].doc;
@@ -338,11 +349,13 @@ Result<std::unique_ptr<core::ShardedSvrEngine>> SetupShardedChurnEngine(
 
 namespace {
 
-/// One cross-shard oracle validation at one ReadSnapshotAll
-/// serialization point: every shard's index top-k must equal its
-/// brute-force oracle, and the GatherTopK merge of the two sides must
-/// agree. Returns OK with *mismatch set on divergence.
+/// One cross-shard oracle validation at one pinned ShardedReadView (the
+/// cross-shard read timestamp): every shard's index top-k at its pinned
+/// version must equal its brute-force oracle at the same version, and
+/// the GatherTopK merge of the two sides must agree. Returns OK with
+/// *mismatch set on divergence.
 Status ValidateShardedQuery(core::ShardedSvrEngine* engine,
+                            const core::ShardedReadView& view,
                             const std::vector<std::string>& tokens,
                             uint32_t top_k, bool with_ts, bool* mismatch) {
   *mismatch = false;
@@ -350,6 +363,7 @@ Status ValidateShardedQuery(core::ShardedSvrEngine* engine,
   std::vector<std::vector<index::SearchResult>> got(shards), want(shards);
   for (uint32_t s = 0; s < shards; ++s) {
     core::SvrEngine* shard = engine->shard(s);
+    if (!view.shards[s].indexed()) continue;
     index::Query q;
     q.conjunctive = true;
     bool impossible = false;
@@ -364,9 +378,13 @@ Status ValidateShardedQuery(core::ShardedSvrEngine* engine,
       }
     }
     if (impossible || q.terms.empty()) continue;
-    SVR_RETURN_NOT_OK(shard->text_index()->TopK(q, top_k, &got[s]));
-    core::BruteForceOracle oracle(shard->corpus(), shard->score_table());
-    SVR_RETURN_NOT_OK(oracle.TopK(q, top_k, with_ts, &want[s]));
+    const index::IndexSnapshot& snap = view.shards[s].state->index;
+    SVR_RETURN_NOT_OK(
+        shard->text_index()->TopKAt(snap, q, top_k, &got[s]));
+    SVR_RETURN_NOT_OK(core::BruteForceOracle::TopKAt(
+        snap.corpus,
+        relational::ScoreTable::View(shard->score_table(), snap.score), q,
+        top_k, with_ts, &want[s]));
     if (got[s] != want[s]) *mismatch = true;
   }
   // Cross-shard check of the gather itself: the engine's merge of the
@@ -444,6 +462,10 @@ Result<ShardedChurnResult> RunShardedChurn(
           if (!keywords.empty()) keywords.push_back(' ');
           keywords += MakeToken(rng.Uniform(frequent_pool));
         }
+        if (config.query_think_us > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(config.query_think_us));
+        }
         Stopwatch sw;
         auto r = engine->Search(keywords, config.top_k);
         query_ms[qt].push_back(sw.ElapsedMillis());
@@ -459,10 +481,12 @@ Result<ShardedChurnResult> RunShardedChurn(
           for (uint32_t i = 0; i < config.query_terms; ++i) {
             tokens.push_back(MakeToken(rng.Uniform(frequent_pool)));
           }
-          Status st = engine->ReadSnapshotAll([&]() -> Status {
+          Status st = engine->ReadSnapshotAll([&](const core::
+                                                     ShardedReadView& view)
+                                                  -> Status {
             bool mismatch = false;
             SVR_RETURN_NOT_OK(ValidateShardedQuery(
-                engine, tokens, config.top_k, with_ts, &mismatch));
+                engine, view, tokens, config.top_k, with_ts, &mismatch));
             validated.fetch_add(1, std::memory_order_relaxed);
             if (mismatch) {
               mismatches.fetch_add(1, std::memory_order_relaxed);

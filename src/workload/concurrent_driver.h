@@ -36,6 +36,14 @@ struct ConcurrentChurnConfig {
   uint32_t query_threads = 2;
   uint32_t query_terms = 2;
   uint32_t top_k = 20;
+  /// Think time between queries per thread, in microseconds. 0 =
+  /// closed-loop saturation (the default; every pre-MVCC bench ran so).
+  /// The MVCC A/B bench sets it > 0: a saturating reader pool on a
+  /// reader-preferring shared_mutex starves lock-mode writers to a
+  /// handful of ops, which would compare reader latencies over wildly
+  /// different write rates. With think time both modes face the same
+  /// query arrival process and writers genuinely contend.
+  uint32_t query_think_us = 0;
   /// Every Nth query per thread additionally runs under ReadSnapshot
   /// and is checked against the brute-force oracle at that snapshot.
   /// 0 disables validation.
