@@ -69,14 +69,24 @@ if [ "$SANITIZERS_ONLY" != "1" ]; then
     merge_min=16 merge_ratio=0.15 merge_interval=150 \
     out=BENCH_mvcc.json
 
+  # Durability smoke run (docs/durability.md): group commit vs
+  # fsync-per-statement on a latency-padded WAL, plus timed recovery
+  # with and without a covering checkpoint. The JSON check asserts group
+  # commit >= 3x sync-each throughput, checkpoints shorten replay, and
+  # the recovered engine answers the pre-restart query set identically.
+  "$BUILD_DIR/bench_durability" docs=200 threads=8 ops=100 \
+    wal_ops=800,2000 queries=15 out=BENCH_durability.json
+
   if command -v python3 > /dev/null; then
     python3 tools/check_bench_json.py BENCH_merge.json \
-      BENCH_concurrency.json BENCH_sharding.json BENCH_mvcc.json
+      BENCH_concurrency.json BENCH_sharding.json BENCH_mvcc.json \
+      BENCH_durability.json
   else
     grep -q '"bench": "merge_policy"' BENCH_merge.json
     grep -q '"bench": "concurrent_churn"' BENCH_concurrency.json
     grep -q '"bench": "sharded_churn"' BENCH_sharding.json
     grep -q '"bench": "mvcc_churn"' BENCH_mvcc.json
+    grep -q '"bench": "durability"' BENCH_durability.json
     echo "bench JSONs present (python3 unavailable, shallow check)"
   fi
 fi
@@ -96,7 +106,11 @@ if [ "$SANITIZERS" = "1" ]; then
 
   # AddressSanitizer + UndefinedBehaviorSanitizer over the FULL suite:
   # memory and UB bugs rarely sit where the thread bugs do, so this pass
-  # runs every tier-1 test, not just the concurrency slice.
+  # runs every tier-1 test, not just the concurrency slice. This is also
+  # the kill-and-recover smoke under sanitizers: durability_test's sweep
+  # crashes the engine at 20+ randomized fault points (short writes,
+  # fsync failures, mid-checkpoint kills) and recovers each one against
+  # the brute-force oracle.
   cmake -B "$ASAN_BUILD_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"

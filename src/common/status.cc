@@ -26,6 +26,8 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kAborted:
       return "Aborted";
+    case Status::Code::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

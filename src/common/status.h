@@ -29,6 +29,12 @@ class Status {
     /// install finding the term's short list modified since Prepare).
     /// Retryable by re-running from the start.
     kAborted = 9,
+    /// Durable state is missing or incomplete but in an *expected* way —
+    /// a torn WAL tail after a crash, a checkpoint whose footer never
+    /// made it to disk. Recovery handles these by truncating / falling
+    /// back, unlike kCorruption (a CRC mismatch on bytes that claim to
+    /// be complete), which is never replayed past.
+    kDataLoss = 10,
   };
 
   Status() : code_(Code::kOk) {}
@@ -67,6 +73,9 @@ class Status {
   static Status Aborted(std::string_view msg) {
     return Status(Code::kAborted, msg);
   }
+  static Status DataLoss(std::string_view msg) {
+    return Status(Code::kDataLoss, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -78,6 +87,7 @@ class Status {
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsDataLoss() const { return code_ == Code::kDataLoss; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

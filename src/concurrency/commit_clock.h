@@ -25,6 +25,18 @@ class CommitClock {
     return next_.load(std::memory_order_relaxed) - 1;
   }
 
+  /// Ensures future ticks are > `ts`. Recovery replays a WAL whose
+  /// records carry the *original* run's timestamps; advancing past the
+  /// highest one keeps post-recovery commits above everything already on
+  /// disk, so the cross-segment sort-by-timestamp stays a total order.
+  void AdvanceTo(uint64_t ts) {
+    uint64_t cur = next_.load(std::memory_order_relaxed);
+    while (cur < ts + 1 &&
+           !next_.compare_exchange_weak(cur, ts + 1,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
  private:
   std::atomic<uint64_t> next_{1};
 };

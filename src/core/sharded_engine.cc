@@ -1,6 +1,7 @@
 #include "core/sharded_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "index/result_heap.h"
@@ -33,6 +34,22 @@ void AddIndexStats(index::IndexStats* into, const index::IndexStats& s) {
   into->list_state_retired += s.list_state_retired;
 }
 
+/// Placeholder for the non-pk, non-text columns of a reconstructed
+/// dead-slot row (see BuildCheckpointStatementsLocked — the row is
+/// deleted again before the checkpoint stream ends).
+relational::Value DefaultValueFor(relational::ValueType type) {
+  switch (type) {
+    case relational::ValueType::kInt64:
+      return relational::Value::Int(0);
+    case relational::ValueType::kDouble:
+      return relational::Value::Double(0.0);
+    case relational::ValueType::kString:
+      return relational::Value::String("");
+    default:
+      return relational::Value::Null();
+  }
+}
+
 void AddEngineStats(EngineStats* into, const EngineStats& s) {
   AddIndexStats(&into->index, s.index);
   into->commit_ts = std::max(into->commit_ts, s.commit_ts);
@@ -60,8 +77,10 @@ ShardedSvrEngine::ShardedSvrEngine(
       clock_(std::move(clock)),
       local_to_global_(shards_.size()) {
   shard_insert_mu_.reserve(shards_.size());
+  shard_log_mu_.reserve(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
     shard_insert_mu_.push_back(std::make_unique<std::mutex>());
+    shard_log_mu_.push_back(std::make_unique<std::mutex>());
   }
   if (num_query_threads > 1 && shards_.size() > 1) {
     // The caller participates in every scatter, so N threads = N - 1
@@ -92,14 +111,21 @@ Result<std::unique_ptr<ShardedSvrEngine>> ShardedSvrEngine::Open(
                    ? per_shard.commit_clock
                    : std::make_shared<concurrency::CommitClock>();
   per_shard.commit_clock = clock;
+  // Shards never run their own WAL — the sharded engine logs global-key
+  // statements itself, one segment per shard (docs/durability.md).
+  per_shard.durability = durability::DurabilityOptions{};
   std::vector<std::unique_ptr<SvrEngine>> shards;
   shards.reserve(options.num_shards);
   for (uint32_t i = 0; i < options.num_shards; ++i) {
     SVR_ASSIGN_OR_RETURN(auto shard, SvrEngine::Open(per_shard));
     shards.push_back(std::move(shard));
   }
-  return std::unique_ptr<ShardedSvrEngine>(new ShardedSvrEngine(
+  auto engine = std::unique_ptr<ShardedSvrEngine>(new ShardedSvrEngine(
       std::move(shards), std::move(clock), options.num_query_threads));
+  if (options.durability.enabled) {
+    SVR_RETURN_NOT_OK(engine->InitDurability(options.durability));
+  }
+  return engine;
 }
 
 uint32_t ShardedSvrEngine::ShardOf(int64_t gid) const {
@@ -114,11 +140,21 @@ Status ShardedSvrEngine::CreateTable(const std::string& name,
   // Registered only once every shard has the table, so a failed create
   // leaves no routing entry behind (CreateTextIndex trusts tables_ to
   // mean "exists on every shard").
-  std::unique_lock<std::shared_mutex> lock(map_mu_);
-  TableRoute route;
-  route.pk_index = schema.pk_index();
-  route.route_column = schema.pk_index();
-  tables_[name] = route;
+  {
+    std::unique_lock<std::shared_mutex> lock(map_mu_);
+    TableRoute route;
+    route.pk_index = schema.pk_index();
+    route.route_column = schema.pk_index();
+    tables_[name] = route;
+  }
+  if (dur_.enabled) {
+    durability::WalStatement ddl;
+    ddl.kind = durability::StatementKind::kCreateTable;
+    ddl.table = name;
+    ddl.schema = std::move(schema);
+    ddl_history_.push_back(ddl);
+    return LogDdl(std::move(ddl));
+  }
   return Status::OK();
 }
 
@@ -131,6 +167,12 @@ Status ShardedSvrEngine::CreateTextIndex(
   // CreateTextIndex must not leave permanently different DML semantics
   // behind (same invariant CreateTable keeps by registering only after
   // every shard succeeded).
+  if (dur_.enabled && agg.is_custom()) {
+    // A custom std::function cannot be re-instantiated from a log
+    // record; only the serializable WeightedSum family survives replay.
+    return Status::NotSupported(
+        "durability requires a serializable Agg (WeightedSum)");
+  }
   std::string old_scored_table;
   std::vector<std::pair<std::string, int>> old_routes;
   std::vector<std::pair<std::string, int>> new_routes;
@@ -182,6 +224,16 @@ Status ShardedSvrEngine::CreateTextIndex(
       }
       return st;
     }
+  }
+  if (dur_.enabled) {
+    durability::WalStatement ddl;
+    ddl.kind = durability::StatementKind::kCreateTextIndex;
+    ddl.table = table;
+    ddl.text_column = text_column;
+    ddl.specs = std::move(specs);
+    ddl.agg_weights = agg.weights();
+    ddl_history_.push_back(ddl);
+    return LogDdl(std::move(ddl));
   }
   return Status::OK();
 }
@@ -271,7 +323,26 @@ Status ShardedSvrEngine::Insert(const std::string& table,
   relational::Row translated = row;
   translated[route->route_column] =
       relational::Value::Int(static_cast<int64_t>(loc.local));
-  const Status st = shards_[loc.shard]->Insert(table, translated);
+  uint64_t ticket = 0;
+  bool logged = false;
+  Status st;
+  {
+    // Execution and log append under one lock: the shard's WAL file
+    // order equals its commit-timestamp order. The durability wait
+    // happens after every lock is released, so concurrent statements
+    // batch onto one fsync.
+    std::lock_guard<std::mutex> log_lock(*shard_log_mu_[loc.shard]);
+    uint64_t ts = 0;
+    st = shards_[loc.shard]->Insert(table, translated, &ts);
+    if (st.ok() && logging_armed_) {
+      durability::WalStatement stmt;
+      stmt.kind = durability::StatementKind::kInsert;
+      stmt.table = table;
+      stmt.row = row;  // the caller's global-key row, not `translated`
+      ticket = LogStatementLocked(loc.shard, &stmt, ts);
+      logged = true;
+    }
+  }
   if (fresh) {
     // Publish the reservation iff the row actually reached the shard —
     // an unpublished failed key leaves no trace, so a rejected insert
@@ -292,6 +363,8 @@ Status ShardedSvrEngine::Insert(const std::string& table,
       id_map_.emplace(gid, Loc{loc.shard, loc.local});
     }
   }
+  if (insert_lock.owns_lock()) insert_lock.unlock();
+  if (logged) SVR_RETURN_NOT_OK(log_writers_[loc.shard]->WaitDurable(ticket));
   return st;
 }
 
@@ -325,11 +398,27 @@ Status ShardedSvrEngine::InsertJoinRouted(const std::string& table,
   relational::Row translated = row;
   translated[route.route_column] =
       relational::Value::Int(static_cast<int64_t>(loc.second));
-  const Status st = shards_[loc.first]->Insert(table, translated);
+  uint64_t ticket = 0;
+  bool logged = false;
+  Status st;
+  {
+    std::lock_guard<std::mutex> log_lock(*shard_log_mu_[loc.first]);
+    uint64_t ts = 0;
+    st = shards_[loc.first]->Insert(table, translated, &ts);
+    if (st.ok() && logging_armed_) {
+      durability::WalStatement stmt;
+      stmt.kind = durability::StatementKind::kInsert;
+      stmt.table = table;
+      stmt.row = row;
+      ticket = LogStatementLocked(loc.first, &stmt, ts);
+      logged = true;
+    }
+  }
   if (!st.ok()) {
     std::unique_lock<std::shared_mutex> lock(map_mu_);
     join_routed_rows_[table].erase(pk);
   }
+  if (logged) SVR_RETURN_NOT_OK(log_writers_[loc.first]->WaitDurable(ticket));
   return st;
 }
 
@@ -367,7 +456,24 @@ Status ShardedSvrEngine::Update(const std::string& table,
   relational::Row translated = row;
   translated[route->route_column] =
       relational::Value::Int(static_cast<int64_t>(loc.second));
-  return shards_[loc.first]->Update(table, translated);
+  uint64_t ticket = 0;
+  bool logged = false;
+  Status st;
+  {
+    std::lock_guard<std::mutex> log_lock(*shard_log_mu_[loc.first]);
+    uint64_t ts = 0;
+    st = shards_[loc.first]->Update(table, translated, &ts);
+    if (st.ok() && logging_armed_) {
+      durability::WalStatement stmt;
+      stmt.kind = durability::StatementKind::kUpdate;
+      stmt.table = table;
+      stmt.row = row;
+      ticket = LogStatementLocked(loc.first, &stmt, ts);
+      logged = true;
+    }
+  }
+  if (logged) SVR_RETURN_NOT_OK(log_writers_[loc.first]->WaitDurable(ticket));
+  return st;
 }
 
 Status ShardedSvrEngine::Delete(const std::string& table, int64_t pk) {
@@ -389,15 +495,49 @@ Status ShardedSvrEngine::Delete(const std::string& table, int64_t pk) {
     // Join-routed rows keep their own (untranslated) primary key. The
     // shard record is dropped only after the shard delete succeeded — a
     // failed delete must stay reachable for a retry.
-    SVR_RETURN_NOT_OK(shards_[shard]->Delete(table, pk));
-    std::unique_lock<std::shared_mutex> lock(map_mu_);
-    auto table_it = join_routed_rows_.find(table);
-    if (table_it != join_routed_rows_.end()) table_it->second.erase(pk);
+    uint64_t ticket = 0;
+    bool logged = false;
+    {
+      std::lock_guard<std::mutex> log_lock(*shard_log_mu_[shard]);
+      uint64_t ts = 0;
+      SVR_RETURN_NOT_OK(shards_[shard]->Delete(table, pk, &ts));
+      if (logging_armed_) {
+        durability::WalStatement stmt;
+        stmt.kind = durability::StatementKind::kDelete;
+        stmt.table = table;
+        stmt.pk = pk;
+        ticket = LogStatementLocked(shard, &stmt, ts);
+        logged = true;
+      }
+    }
+    {
+      std::unique_lock<std::shared_mutex> lock(map_mu_);
+      auto table_it = join_routed_rows_.find(table);
+      if (table_it != join_routed_rows_.end()) table_it->second.erase(pk);
+    }
+    if (logged) SVR_RETURN_NOT_OK(log_writers_[shard]->WaitDurable(ticket));
     return Status::OK();
   }
   SVR_ASSIGN_OR_RETURN(auto loc, Route(pk));
-  return shards_[loc.first]->Delete(table,
-                                    static_cast<int64_t>(loc.second));
+  uint64_t ticket = 0;
+  bool logged = false;
+  Status st;
+  {
+    std::lock_guard<std::mutex> log_lock(*shard_log_mu_[loc.first]);
+    uint64_t ts = 0;
+    st = shards_[loc.first]->Delete(table,
+                                    static_cast<int64_t>(loc.second), &ts);
+    if (st.ok() && logging_armed_) {
+      durability::WalStatement stmt;
+      stmt.kind = durability::StatementKind::kDelete;
+      stmt.table = table;
+      stmt.pk = pk;
+      ticket = LogStatementLocked(loc.first, &stmt, ts);
+      logged = true;
+    }
+  }
+  if (logged) SVR_RETURN_NOT_OK(log_writers_[loc.first]->WaitDurable(ticket));
+  return st;
 }
 
 std::vector<std::vector<index::SearchResult>>
@@ -579,7 +719,360 @@ Status ShardedSvrEngine::Start() {
 }
 
 void ShardedSvrEngine::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(ckpt_mu_);
+    ckpt_stop_ = true;
+  }
+  ckpt_cv_.notify_all();
+  if (ckpt_thread_.joinable()) ckpt_thread_.join();
+  {
+    // Disarm under every log mutex: no in-flight DML can append to a
+    // writer that is about to shut down (its WaitDurable would hang).
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shard_log_mu_.size());
+    for (auto& mu : shard_log_mu_) locks.emplace_back(*mu);
+    logging_armed_ = false;
+  }
+  for (auto& writer : log_writers_) {
+    if (writer) (void)writer->Stop();
+  }
   for (auto& shard : shards_) shard->Stop();
+}
+
+// --- durability (docs/durability.md) ----------------------------------
+
+uint64_t ShardedSvrEngine::LogStatementLocked(uint32_t s,
+                                              durability::WalStatement* stmt,
+                                              uint64_t ts) {
+  stmt->commit_ts = ts;
+  stmt->seq = last_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::string payload;
+  durability::EncodeStatement(*stmt, &payload);
+  std::string frame;
+  durability::AppendFrame(&frame, Slice(payload));
+  stmts_since_ckpt_.fetch_add(1, std::memory_order_relaxed);
+  return log_writers_[s]->Append(Slice(frame));
+}
+
+Status ShardedSvrEngine::LogDdl(durability::WalStatement stmt) {
+  uint64_t ticket = 0;
+  {
+    std::lock_guard<std::mutex> log_lock(*shard_log_mu_[0]);
+    if (!logging_armed_) return Status::OK();  // recovery replay
+    // DDL runs quiescent, so Now() is >= every logged commit timestamp
+    // and the (ts, seq) replay order puts it after all of them.
+    ticket = LogStatementLocked(0, &stmt, clock_->Now());
+  }
+  return log_writers_[0]->WaitDurable(ticket);
+}
+
+Status ShardedSvrEngine::ApplyStatement(
+    const durability::WalStatement& stmt) {
+  switch (stmt.kind) {
+    case durability::StatementKind::kCreateTable:
+      return CreateTable(stmt.table, stmt.schema);
+    case durability::StatementKind::kCreateTextIndex:
+      return CreateTextIndex(
+          stmt.table, stmt.text_column, stmt.specs,
+          relational::AggFunction::WeightedSum(stmt.agg_weights));
+    case durability::StatementKind::kInsert:
+      return Insert(stmt.table, stmt.row);
+    case durability::StatementKind::kUpdate:
+      return Update(stmt.table, stmt.row);
+    case durability::StatementKind::kDelete:
+      return Delete(stmt.table, stmt.pk);
+    case durability::StatementKind::kCheckpointHeader:
+    case durability::StatementKind::kCheckpointFooter:
+      return Status::OK();
+  }
+  return Status::Corruption("unknown statement kind");
+}
+
+Status ShardedSvrEngine::InitDurability(
+    const durability::DurabilityOptions& options) {
+  dur_ = options;
+  if (!dur_.file_factory) {
+    dur_.file_factory = durability::OpenPosixWalFile;
+  }
+  SVR_RETURN_NOT_OK(durability::EnsureDirectory(dur_.dir));
+
+  recovery_stats_ = durability::RecoveryStats{};
+  recovery_stats_.ran = true;
+
+  // Replay goes through the public sharded DML path: every statement
+  // carries global keys, so routing (id map, join-routed records, local
+  // id allocation) is rebuilt as a side effect — and keeps working if
+  // num_shards differs from the run that wrote the log.
+  durability::LoadedCheckpoint ckpt;
+  SVR_RETURN_NOT_OK(durability::LoadLatestCheckpoint(dur_.dir, &ckpt));
+  uint64_t min_seq = 0;
+  if (ckpt.found) {
+    recovery_stats_.used_checkpoint = true;
+    recovery_stats_.checkpoint_seq = ckpt.last_seq;
+    min_seq = ckpt.last_seq;
+    for (const durability::WalStatement& stmt : ckpt.statements) {
+      if (!ApplyStatement(stmt).ok()) ++recovery_stats_.replay_errors;
+    }
+  }
+  durability::DurabilityDirListing listing;
+  SVR_RETURN_NOT_OK(durability::ListDurabilityDir(dur_.dir, &listing));
+  durability::WalRecovery rec;
+  SVR_RETURN_NOT_OK(
+      durability::RecoverWalRecords(listing.segments, min_seq, &rec));
+  for (const durability::WalStatement& stmt : rec.records) {
+    if (!ApplyStatement(stmt).ok()) ++recovery_stats_.replay_errors;
+  }
+  recovery_stats_.wal_records_replayed = rec.records.size();
+  recovery_stats_.torn_tail_bytes = rec.torn_tail_bytes;
+  recovery_stats_.segments_read = rec.segments_read;
+  const uint64_t max_seq =
+      std::max(rec.max_seen_seq, ckpt.found ? ckpt.last_seq : 0);
+  const uint64_t max_ts =
+      std::max(rec.max_seen_ts, ckpt.found ? ckpt.last_ts : 0);
+  recovery_stats_.recovered_seq = max_seq;
+  clock_->AdvanceTo(max_ts);
+
+  last_seq_.store(max_seq, std::memory_order_relaxed);
+  segment_ordinal_ = 1;
+  for (const durability::SegmentInfo& seg : listing.segments) {
+    segment_ordinal_ = std::max(segment_ordinal_, seg.ordinal + 1);
+    live_segments_.push_back(seg.path);
+  }
+  if (!listing.checkpoints.empty()) {
+    next_ckpt_ordinal_ = listing.checkpoints.back().ordinal + 1;
+  }
+  log_writers_.reserve(shards_.size());
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    const std::string path =
+        durability::WalSegmentPath(dur_.dir, s, segment_ordinal_);
+    std::unique_ptr<durability::WalFile> file;
+    SVR_RETURN_NOT_OK(dur_.file_factory(path, &file));
+    log_writers_.push_back(std::make_unique<durability::LogWriter>(
+        std::move(file), dur_.sync_mode));
+    live_segments_.push_back(path);
+  }
+  logging_armed_ = true;  // no concurrency yet: Open has not returned
+  if (dur_.checkpoint_interval_statements > 0) {
+    ckpt_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
+  return Status::OK();
+}
+
+Status ShardedSvrEngine::BuildCheckpointStatementsLocked(
+    durability::CheckpointData* data) {
+  auto add = [&](const durability::WalStatement& stmt) {
+    std::string payload;
+    durability::EncodeStatement(stmt, &payload);
+    data->statement_payloads.push_back(std::move(payload));
+  };
+  // Routing metadata is read under map_mu_ (map_mu_ nests inside the
+  // insert/log mutexes the caller holds; no DML path ever acquires them
+  // while holding map_mu_).
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  // 1. Tables, in creation order.
+  std::string text_column;
+  bool indexed = false;
+  for (const durability::WalStatement& ddl : ddl_history_) {
+    if (ddl.kind == durability::StatementKind::kCreateTable) {
+      add(ddl);
+    } else if (ddl.kind == durability::StatementKind::kCreateTextIndex) {
+      indexed = true;
+      text_column = ddl.text_column;
+    }
+  }
+  // 2. Scored-table slots, shard by shard, each shard's locals in
+  // order: alive rows as they stand, dead slots reconstructed from the
+  // shard's corpus (their final content still decides the per-shard
+  // document frequencies; CreateTextIndex's rebuild scan needs every
+  // shard's pk sequence dense). Emitted before every other table so
+  // that, on replay, a component row never references a document that
+  // does not exist yet.
+  std::vector<int64_t> dead;
+  if (indexed) {
+    auto route_it = tables_.find(scored_table_);
+    if (route_it == tables_.end()) {
+      return Status::Internal("scored table has no route: " + scored_table_);
+    }
+    const int pk_col = route_it->second.pk_index;
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      relational::Table* t =
+          shards_[s]->database()->GetTable(scored_table_);
+      if (t == nullptr) {
+        return Status::Internal("scored table vanished: " + scored_table_);
+      }
+      const relational::Schema& schema = t->schema();
+      const int text_col = schema.FindColumn(text_column);
+      if (text_col < 0) {
+        return Status::Internal("text column vanished: " + text_column);
+      }
+      const text::Corpus* corpus = shards_[s]->corpus();
+      const size_t n = corpus->num_docs();
+      if (n != local_to_global_[s].size()) {
+        return Status::Internal(
+            "shard corpus and id map disagree on document count");
+      }
+      for (size_t local = 0; local < n; ++local) {
+        const int64_t gid = local_to_global_[s][local];
+        durability::WalStatement stmt;
+        stmt.kind = durability::StatementKind::kInsert;
+        stmt.table = scored_table_;
+        if (t->Get(static_cast<int64_t>(local), &stmt.row).ok()) {
+          stmt.row[pk_col] = relational::Value::Int(gid);
+        } else {
+          dead.push_back(gid);
+          stmt.row.clear();
+          stmt.row.reserve(schema.num_columns());
+          for (size_t c = 0; c < schema.num_columns(); ++c) {
+            stmt.row.push_back(DefaultValueFor(schema.column(c).type));
+          }
+          stmt.row[pk_col] = relational::Value::Int(gid);
+          stmt.row[text_col] = relational::Value::String(ReconstructDocText(
+              corpus->doc(static_cast<DocId>(local)),
+              *shards_[s]->vocabulary()));
+        }
+        add(stmt);
+      }
+    }
+  }
+  // 3. Every other table, shard by shard, routing column translated
+  // back to the global key space (join-routed rows keep their own pk;
+  // only the match column was translated on the way in).
+  for (const durability::WalStatement& ddl : ddl_history_) {
+    if (ddl.kind != durability::StatementKind::kCreateTable) continue;
+    if (indexed && ddl.table == scored_table_) continue;
+    auto route_it = tables_.find(ddl.table);
+    if (route_it == tables_.end()) {
+      return Status::Internal("table has no route: " + ddl.table);
+    }
+    const int route_col = route_it->second.route_column;
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      relational::Table* t = shards_[s]->database()->GetTable(ddl.table);
+      if (t == nullptr) continue;
+      durability::WalStatement stmt;
+      stmt.kind = durability::StatementKind::kInsert;
+      stmt.table = ddl.table;
+      Status scan_st;
+      SVR_RETURN_NOT_OK(t->Scan([&](const relational::Row& row) {
+        stmt.row = row;
+        const int64_t local = row[route_col].as_int();
+        if (local < 0 ||
+            static_cast<size_t>(local) >= local_to_global_[s].size()) {
+          scan_st = Status::Internal("row references an unmapped local id");
+          return false;
+        }
+        stmt.row[route_col] =
+            relational::Value::Int(local_to_global_[s][local]);
+        add(stmt);
+        return true;
+      }));
+      SVR_RETURN_NOT_OK(scan_st);
+    }
+  }
+  // 4. The index, built over the dense per-shard slot sets.
+  for (const durability::WalStatement& ddl : ddl_history_) {
+    if (ddl.kind == durability::StatementKind::kCreateTextIndex) add(ddl);
+  }
+  // 5. Kill the dead slots again, now that the index records deletions.
+  for (const int64_t gid : dead) {
+    durability::WalStatement stmt;
+    stmt.kind = durability::StatementKind::kDelete;
+    stmt.table = scored_table_;
+    stmt.pk = gid;
+    add(stmt);
+  }
+  return Status::OK();
+}
+
+Status ShardedSvrEngine::CheckpointNow() {
+  std::lock_guard<std::mutex> run(ckpt_run_mu_);
+  durability::CheckpointData data;
+  std::vector<std::string> covered;
+  uint64_t ordinal = 0;
+  {
+    // ALL insert mutexes, then ALL log mutexes (each vector in index
+    // order): with everything held, every statement that executed has
+    // also been appended and numbered, and no fresh-key insert sits
+    // between its shard write and its id-map publication — the capture
+    // is a consistent cut at last_seq_.
+    std::vector<std::unique_lock<std::mutex>> insert_locks;
+    insert_locks.reserve(shard_insert_mu_.size());
+    for (auto& mu : shard_insert_mu_) insert_locks.emplace_back(*mu);
+    std::vector<std::unique_lock<std::mutex>> log_locks;
+    log_locks.reserve(shard_log_mu_.size());
+    for (auto& mu : shard_log_mu_) log_locks.emplace_back(*mu);
+    if (!logging_armed_) {
+      return Status::InvalidArgument("durability is not armed");
+    }
+    SVR_RETURN_NOT_OK(BuildCheckpointStatementsLocked(&data));
+    data.last_seq = last_seq_.load(std::memory_order_relaxed);
+    data.last_ts = clock_->Now();
+    ++segment_ordinal_;
+    std::vector<std::string> next_paths;
+    next_paths.reserve(shards_.size());
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      const std::string path =
+          durability::WalSegmentPath(dur_.dir, s, segment_ordinal_);
+      std::unique_ptr<durability::WalFile> next;
+      Status st = dur_.file_factory(path, &next);
+      if (st.ok()) st = log_writers_[s]->Rotate(std::move(next));
+      if (!st.ok()) {
+        // Already-rotated shards keep appending to segments recovery
+        // will find by directory scan; they are merely never deleted.
+        live_segments_.insert(live_segments_.end(), next_paths.begin(),
+                              next_paths.end());
+        return st;
+      }
+      next_paths.push_back(path);
+    }
+    covered = std::exchange(live_segments_, std::move(next_paths));
+    ordinal = next_ckpt_ordinal_++;
+    stmts_since_ckpt_.store(0, std::memory_order_relaxed);
+  }
+  // The slow write happens outside every lock — DML keeps committing
+  // into the rotated segments meanwhile.
+  const Status st = durability::WriteCheckpoint(dur_.dir, ordinal, data,
+                                                dur_.file_factory);
+  if (!st.ok()) {
+    // The covered segments are still the only durable copy. (Safe
+    // without a lock: live_segments_ is only touched under ckpt_run_mu_
+    // once Open returned.)
+    live_segments_.insert(live_segments_.begin(), covered.begin(),
+                          covered.end());
+    return st;
+  }
+  for (const std::string& path : covered) {
+    SVR_RETURN_NOT_OK(durability::RemoveFile(path));
+  }
+  durability::DurabilityDirListing listing;
+  SVR_RETURN_NOT_OK(durability::ListDurabilityDir(dur_.dir, &listing));
+  for (const durability::CheckpointInfo& c : listing.checkpoints) {
+    if (c.ordinal < ordinal) {
+      SVR_RETURN_NOT_OK(durability::RemoveFile(c.path));
+    }
+  }
+  return Status::OK();
+}
+
+void ShardedSvrEngine::CheckpointLoop() {
+  std::unique_lock<std::mutex> lk(ckpt_mu_);
+  while (!ckpt_stop_) {
+    ckpt_cv_.wait_for(lk,
+                      std::chrono::milliseconds(dur_.checkpoint_poll_ms));
+    if (ckpt_stop_) break;
+    if (stmts_since_ckpt_.load(std::memory_order_relaxed) <
+        dur_.checkpoint_interval_statements) {
+      continue;
+    }
+    lk.unlock();
+    const Status st = CheckpointNow();
+    lk.lock();
+    if (!st.ok() && ckpt_error_.ok()) ckpt_error_ = st;
+  }
+}
+
+Status ShardedSvrEngine::last_checkpoint_error() const {
+  std::lock_guard<std::mutex> lk(const_cast<std::mutex&>(ckpt_mu_));
+  return ckpt_error_;
 }
 
 ShardedEngineStats ShardedSvrEngine::GetStats() const {

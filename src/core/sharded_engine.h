@@ -1,12 +1,15 @@
 #ifndef SVR_CORE_SHARDED_ENGINE_H_
 #define SVR_CORE_SHARDED_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -15,6 +18,9 @@
 #include "concurrency/commit_clock.h"
 #include "concurrency/query_pool.h"
 #include "core/svr_engine.h"
+#include "durability/checkpoint.h"
+#include "durability/log_writer.h"
+#include "durability/options.h"
 #include "index/text_index.h"
 
 namespace svr::core {
@@ -41,6 +47,13 @@ struct ShardedSvrEngineOptions {
   /// lanes). 1 (the default) keeps the scatter sequential — single-core
   /// benches are unchanged.
   uint32_t num_query_threads = 1;
+  /// Engine-level durability (docs/durability.md): one WAL segment per
+  /// shard in one shared directory, statements logged with their
+  /// *global* keys so recovery replays through the sharded DML path
+  /// (rebuilding all routing state — and tolerating a different
+  /// num_shards than the log was written under). The per-shard option
+  /// `shard.durability` is ignored — shards never run their own WAL.
+  durability::DurabilityOptions durability;
 };
 
 /// \brief One pinned cross-shard read point: every shard's ReadView plus
@@ -198,6 +211,20 @@ class ShardedSvrEngine {
   Status Start();
   void Stop();
 
+  /// Writes a checkpoint now: captures all shards under every insert and
+  /// log mutex, rotates every shard's WAL segment, persists one
+  /// checkpoint file and deletes the covered segments. See
+  /// docs/durability.md for why the capture is a consistent cut.
+  Status CheckpointNow();
+
+  /// What recovery did during Open (all-zero when durability is off or
+  /// the directory was empty).
+  const durability::RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+  /// Sticky first error of the background checkpoint thread.
+  Status last_checkpoint_error() const;
+
   ShardedEngineStats GetStats() const;
 
   uint32_t num_shards() const {
@@ -247,6 +274,27 @@ class ShardedSvrEngine {
   Loc MapOrAllocate(int64_t gid, std::unique_lock<std::mutex>* insert_lock,
                     bool* fresh);
 
+  // --- durability (docs/durability.md) --------------------------------
+  /// Directory scan + checkpoint load + WAL replay through the public
+  /// sharded DML path; then arms per-shard logging. Called by Open.
+  Status InitDurability(const durability::DurabilityOptions& options);
+  /// Re-executes one logged statement (recovery).
+  Status ApplyStatement(const durability::WalStatement& stmt);
+  /// Stamps (seq, ts), frames and appends `stmt` to shard `s`'s log.
+  /// Caller holds shard_log_mu_[s] — the same lock that ordered the
+  /// statement's execution, so each shard's file order equals its
+  /// commit-timestamp order. Returns the WaitDurable ticket.
+  uint64_t LogStatementLocked(uint32_t s, durability::WalStatement* stmt,
+                              uint64_t ts);
+  /// Logs a DDL statement to shard 0's WAL, stamped at clock_->Now().
+  /// DDL runs quiescent (no concurrent DML — the engines' standing
+  /// contract), so Now() orders it after everything already logged.
+  Status LogDdl(durability::WalStatement stmt);
+  /// Serializes all shards into `data` with global keys. Caller holds
+  /// every shard_insert_mu_ and every shard_log_mu_.
+  Status BuildCheckpointStatementsLocked(durability::CheckpointData* data);
+  void CheckpointLoop();
+
   std::vector<std::unique_ptr<SvrEngine>> shards_;
   /// The shared commit clock every shard stamps its commits from.
   std::shared_ptr<concurrency::CommitClock> clock_;
@@ -271,6 +319,39 @@ class ShardedSvrEngine {
   std::unordered_map<std::string, std::unordered_map<int64_t, uint32_t>>
       join_routed_rows_;
   std::string scored_table_;
+
+  // --- durability state -----------------------------------------------
+  durability::DurabilityOptions dur_;
+  /// Set once logging may begin; cleared by Stop while holding every
+  /// shard_log_mu_, so no append can race the log writers shutting down.
+  bool logging_armed_ = false;
+  /// Per shard: spans statement execution + seq assignment + log append.
+  /// Lock order: shard_insert_mu_[s] -> shard_log_mu_[s]; the checkpoint
+  /// takes ALL insert mutexes, then ALL log mutexes (ascending), so its
+  /// capture sits on a statement boundary of every shard at once.
+  std::vector<std::unique_ptr<std::mutex>> shard_log_mu_;
+  std::vector<std::unique_ptr<durability::LogWriter>> log_writers_;
+  /// Engine-wide dense statement sequence, assigned under the owning
+  /// shard's log mutex. When the checkpoint holds every log mutex, all
+  /// seqs <= last_seq_ have fully executed AND been appended — seq is
+  /// the exact cut line between checkpoint and WAL suffix.
+  std::atomic<uint64_t> last_seq_{0};
+  uint64_t segment_ordinal_ = 0;  // shared by all shards' segments
+  uint64_t next_ckpt_ordinal_ = 1;
+  /// Segments not yet covered by a checkpoint. Touched only by
+  /// InitDurability and CheckpointNow (serialized by ckpt_run_mu_).
+  std::vector<std::string> live_segments_;
+  /// DDL in execution order, for checkpoint synthesis. Appended while
+  /// quiescent, read under all log mutexes.
+  std::vector<durability::WalStatement> ddl_history_;
+  std::atomic<uint64_t> stmts_since_ckpt_{0};
+  durability::RecoveryStats recovery_stats_;
+  std::mutex ckpt_run_mu_;  // one checkpoint at a time
+  std::thread ckpt_thread_;
+  std::mutex ckpt_mu_;  // guards ckpt_stop_/ckpt_error_ + the loop's cv
+  std::condition_variable ckpt_cv_;
+  bool ckpt_stop_ = false;
+  Status ckpt_error_;
 };
 
 }  // namespace svr::core

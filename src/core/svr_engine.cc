@@ -1,6 +1,7 @@
 #include "core/svr_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -54,6 +55,9 @@ Result<std::unique_ptr<SvrEngine>> SvrEngine::Open(
     std::lock_guard<std::mutex> lock(engine->writer_mu_);
     engine->PublishCommit();
   }
+  if (options.durability.enabled) {
+    SVR_RETURN_NOT_OK(engine->InitDurability());
+  }
   return engine;
 }
 
@@ -64,9 +68,10 @@ std::unique_lock<std::shared_mutex> SvrEngine::LockLegacyExclusive() {
   return std::unique_lock<std::shared_mutex>();
 }
 
-void SvrEngine::PublishCommit() {
+uint64_t SvrEngine::PublishCommit() {
   auto snap = std::make_shared<EngineSnapshot>();
   snap->commit_ts = clock_->Tick();
+  const uint64_t ts = snap->commit_ts;
   index::TextIndex* idx = index_.get();
   if (idx != nullptr) {
     snap->has_index = true;
@@ -104,6 +109,7 @@ void SvrEngine::PublishCommit() {
     // frees happen outside the epoch mutex.
     epochs_->ReclaimExpired();
   }
+  return ts;
 }
 
 SvrEngine::ReadView SvrEngine::PinReadView() const {
@@ -123,9 +129,28 @@ SvrEngine::ReadView SvrEngine::PinReadView() const {
 Status SvrEngine::CreateTable(const std::string& name,
                               relational::Schema schema) {
   auto legacy = LockLegacyExclusive();
-  std::lock_guard<std::mutex> lock(writer_mu_);
-  Status st = db_->CreateTable(name, std::move(schema)).status();
-  PublishCommit();
+  uint64_t ticket = 0;
+  bool logged = false;
+  Status st;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    durability::WalStatement stmt;
+    if (options_.durability.enabled) {
+      stmt.kind = durability::StatementKind::kCreateTable;
+      stmt.table = name;
+      stmt.schema = schema;  // copy before the move below
+    }
+    st = db_->CreateTable(name, std::move(schema)).status();
+    const uint64_t ts = PublishCommit();
+    if (st.ok() && options_.durability.enabled) {
+      ddl_history_.push_back(stmt);
+      if (logging_armed_) {
+        ticket = LogStatementLocked(&stmt, ts);
+        logged = true;
+      }
+    }
+  }
+  if (logged) SVR_RETURN_NOT_OK(wal_->WaitDurable(ticket));
   return st;
 }
 
@@ -141,6 +166,21 @@ Status SvrEngine::CreateTextIndex(
     const std::string& table, const std::string& text_column,
     std::vector<relational::ScoreComponentSpec> specs,
     relational::AggFunction agg) {
+  durability::WalStatement ddl;
+  if (options_.durability.enabled) {
+    if (agg.is_custom()) {
+      // An opaque std::function cannot be re-executed from a log record.
+      return Status::NotSupported(
+          "durability requires a serializable Agg (WeightedSum)");
+    }
+    ddl.kind = durability::StatementKind::kCreateTextIndex;
+    ddl.table = table;
+    ddl.text_column = text_column;
+    ddl.specs = specs;  // copy before the move below
+    ddl.agg_weights = agg.weights();
+  }
+  uint64_t ticket = 0;
+  bool logged = false;
   {
     auto legacy = LockLegacyExclusive();
     std::lock_guard<std::mutex> lock(writer_mu_);
@@ -215,9 +255,17 @@ Status SvrEngine::CreateTextIndex(
     }();
     // Publish regardless: partial table/view state mutated above must
     // reach the next version exactly as the in-place model exposed it.
-    PublishCommit();
-    SVR_RETURN_NOT_OK(st);
+    const uint64_t ts = PublishCommit();
+    if (st.ok() && options_.durability.enabled) {
+      ddl_history_.push_back(ddl);
+      if (logging_armed_) {
+        ticket = LogStatementLocked(&ddl, ts);
+        logged = true;
+      }
+    }
+    if (!st.ok()) return st;
   }
+  if (logged) SVR_RETURN_NOT_OK(wal_->WaitDurable(ticket));
   return Start();
 }
 
@@ -275,12 +323,29 @@ Status SvrEngine::Start() {
 }
 
 void SvrEngine::Stop() {
+  // Checkpoint thread first: it takes the writer mutex, which the
+  // shutdown steps below want quiet.
+  {
+    std::lock_guard<std::mutex> lk(ckpt_mu_);
+    ckpt_stop_ = true;
+  }
+  ckpt_cv_.notify_all();
+  if (ckpt_thread_.joinable()) ckpt_thread_.join();
   concurrency::MergeScheduler* scheduler =
       scheduler_ptr_.load(std::memory_order_acquire);
   if (scheduler != nullptr) {
     // Must not hold the writer mutex here: the worker needs it to finish
     // its in-flight job before joining.
     scheduler->Stop();
+  }
+  // Disarm logging, then flush and close the WAL. DML issued after
+  // Stop() still executes but is no longer made durable.
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    logging_armed_ = false;
+  }
+  if (wal_ != nullptr) {
+    (void)wal_->Stop();
   }
   // No readers remain once the scheduler is down and callers have
   // stopped querying (the Stop contract), so everything retired is
@@ -337,60 +402,108 @@ Status SvrEngine::MaybeRunMergePolicy() {
 }
 
 Status SvrEngine::Insert(const std::string& table,
-                         const relational::Row& row) {
+                         const relational::Row& row, uint64_t* commit_ts) {
   auto legacy = LockLegacyExclusive();
-  std::lock_guard<std::mutex> lock(writer_mu_);
-  Status st = [&]() -> Status {
-    SVR_RETURN_NOT_OK(db_->Insert(table, row));
-    if (index_ != nullptr && table == scored_table_) {
-      SVR_RETURN_NOT_OK(HandleScoredTableWrite(nullptr, row));
+  uint64_t ticket = 0;
+  bool logged = false;
+  Status st;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    st = [&]() -> Status {
+      SVR_RETURN_NOT_OK(db_->Insert(table, row));
+      if (index_ != nullptr && table == scored_table_) {
+        SVR_RETURN_NOT_OK(HandleScoredTableWrite(nullptr, row));
+      }
+      if (score_view_ != nullptr) {
+        SVR_RETURN_NOT_OK(score_view_->last_error());
+      }
+      return MaybeRunMergePolicy();
+    }();
+    const uint64_t ts = PublishCommit();
+    if (commit_ts != nullptr) *commit_ts = ts;
+    if (st.ok() && logging_armed_) {
+      durability::WalStatement stmt;
+      stmt.kind = durability::StatementKind::kInsert;
+      stmt.table = table;
+      stmt.row = row;
+      ticket = LogStatementLocked(&stmt, ts);
+      logged = true;
     }
-    if (score_view_ != nullptr) {
-      SVR_RETURN_NOT_OK(score_view_->last_error());
-    }
-    return MaybeRunMergePolicy();
-  }();
-  PublishCommit();
+  }
+  // Group-commit ack outside the writer mutex: other statements batch
+  // onto the same fsync while this one waits.
+  if (logged) SVR_RETURN_NOT_OK(wal_->WaitDurable(ticket));
   return st;
 }
 
 Status SvrEngine::Update(const std::string& table,
-                         const relational::Row& row) {
+                         const relational::Row& row, uint64_t* commit_ts) {
   auto legacy = LockLegacyExclusive();
-  std::lock_guard<std::mutex> lock(writer_mu_);
-  Status st = [&]() -> Status {
-    relational::Row old_row;
-    if (index_ != nullptr && table == scored_table_) {
-      SVR_RETURN_NOT_OK(
-          db_->GetTable(table)->Get(row[pk_column_].as_int(), &old_row));
+  uint64_t ticket = 0;
+  bool logged = false;
+  Status st;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    st = [&]() -> Status {
+      relational::Row old_row;
+      if (index_ != nullptr && table == scored_table_) {
+        SVR_RETURN_NOT_OK(
+            db_->GetTable(table)->Get(row[pk_column_].as_int(), &old_row));
+      }
+      SVR_RETURN_NOT_OK(db_->Update(table, row));
+      if (index_ != nullptr && table == scored_table_) {
+        SVR_RETURN_NOT_OK(HandleScoredTableWrite(&old_row, row));
+      }
+      if (score_view_ != nullptr) {
+        SVR_RETURN_NOT_OK(score_view_->last_error());
+      }
+      return MaybeRunMergePolicy();
+    }();
+    const uint64_t ts = PublishCommit();
+    if (commit_ts != nullptr) *commit_ts = ts;
+    if (st.ok() && logging_armed_) {
+      durability::WalStatement stmt;
+      stmt.kind = durability::StatementKind::kUpdate;
+      stmt.table = table;
+      stmt.row = row;
+      ticket = LogStatementLocked(&stmt, ts);
+      logged = true;
     }
-    SVR_RETURN_NOT_OK(db_->Update(table, row));
-    if (index_ != nullptr && table == scored_table_) {
-      SVR_RETURN_NOT_OK(HandleScoredTableWrite(&old_row, row));
-    }
-    if (score_view_ != nullptr) {
-      SVR_RETURN_NOT_OK(score_view_->last_error());
-    }
-    return MaybeRunMergePolicy();
-  }();
-  PublishCommit();
+  }
+  if (logged) SVR_RETURN_NOT_OK(wal_->WaitDurable(ticket));
   return st;
 }
 
-Status SvrEngine::Delete(const std::string& table, int64_t pk) {
+Status SvrEngine::Delete(const std::string& table, int64_t pk,
+                         uint64_t* commit_ts) {
   auto legacy = LockLegacyExclusive();
-  std::lock_guard<std::mutex> lock(writer_mu_);
-  Status st = [&]() -> Status {
-    SVR_RETURN_NOT_OK(db_->Delete(table, pk));
-    if (index_ != nullptr && table == scored_table_) {
-      SVR_RETURN_NOT_OK(index_->DeleteDocument(static_cast<DocId>(pk)));
+  uint64_t ticket = 0;
+  bool logged = false;
+  Status st;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    st = [&]() -> Status {
+      SVR_RETURN_NOT_OK(db_->Delete(table, pk));
+      if (index_ != nullptr && table == scored_table_) {
+        SVR_RETURN_NOT_OK(index_->DeleteDocument(static_cast<DocId>(pk)));
+      }
+      if (score_view_ != nullptr) {
+        SVR_RETURN_NOT_OK(score_view_->last_error());
+      }
+      return MaybeRunMergePolicy();
+    }();
+    const uint64_t ts = PublishCommit();
+    if (commit_ts != nullptr) *commit_ts = ts;
+    if (st.ok() && logging_armed_) {
+      durability::WalStatement stmt;
+      stmt.kind = durability::StatementKind::kDelete;
+      stmt.table = table;
+      stmt.pk = pk;
+      ticket = LogStatementLocked(&stmt, ts);
+      logged = true;
     }
-    if (score_view_ != nullptr) {
-      SVR_RETURN_NOT_OK(score_view_->last_error());
-    }
-    return MaybeRunMergePolicy();
-  }();
-  PublishCommit();
+  }
+  if (logged) SVR_RETURN_NOT_OK(wal_->WaitDurable(ticket));
   return st;
 }
 
@@ -481,6 +594,304 @@ EngineStats SvrEngine::GetStats() const {
   s.objects_reclaimed = epochs_->objects_reclaimed();
   s.write_merge_ms = write_merge_ms_.load(std::memory_order_relaxed);
   return s;
+}
+
+// --- durability (docs/durability.md) ----------------------------------
+
+namespace {
+
+/// Placeholder values for the non-pk, non-text columns of a
+/// reconstructed dead-slot row. The row only exists to keep doc ids
+/// dense during checkpoint replay and is deleted again before the
+/// checkpoint stream ends, so these values are never observable.
+relational::Value DefaultValueFor(relational::ValueType type) {
+  switch (type) {
+    case relational::ValueType::kInt64:
+      return relational::Value::Int(0);
+    case relational::ValueType::kDouble:
+      return relational::Value::Double(0.0);
+    case relational::ValueType::kString:
+      return relational::Value::String("");
+    default:
+      return relational::Value::Null();
+  }
+}
+
+}  // namespace
+
+std::string ReconstructDocText(const text::Document& doc,
+                               const text::Vocabulary& vocab) {
+  // Token multiset -> whitespace-joined text. Re-tokenizing yields the
+  // same multiset, hence the identical Document (FromTokens is
+  // order-insensitive) and identical corpus doc-frequency effects.
+  std::string out;
+  const std::vector<TermId>& terms = doc.terms();
+  const std::vector<uint32_t>& freqs = doc.freqs();
+  for (size_t i = 0; i < terms.size(); ++i) {
+    const std::string term = vocab.term(terms[i]);
+    for (uint32_t f = 0; f < freqs[i]; ++f) {
+      if (!out.empty()) out.push_back(' ');
+      out.append(term);
+    }
+  }
+  return out;
+}
+
+uint64_t SvrEngine::LogStatementLocked(durability::WalStatement* stmt,
+                                       uint64_t ts) {
+  stmt->commit_ts = ts;
+  stmt->seq = ++last_seq_;
+  std::string payload;
+  durability::EncodeStatement(*stmt, &payload);
+  std::string frame;
+  durability::AppendFrame(&frame, Slice(payload));
+  stmts_since_ckpt_.fetch_add(1, std::memory_order_relaxed);
+  return wal_->Append(Slice(frame));
+}
+
+Status SvrEngine::ApplyStatement(const durability::WalStatement& stmt) {
+  switch (stmt.kind) {
+    case durability::StatementKind::kCreateTable:
+      return CreateTable(stmt.table, stmt.schema);
+    case durability::StatementKind::kCreateTextIndex:
+      return CreateTextIndex(
+          stmt.table, stmt.text_column, stmt.specs,
+          relational::AggFunction::WeightedSum(stmt.agg_weights));
+    case durability::StatementKind::kInsert:
+      return Insert(stmt.table, stmt.row);
+    case durability::StatementKind::kUpdate:
+      return Update(stmt.table, stmt.row);
+    case durability::StatementKind::kDelete:
+      return Delete(stmt.table, stmt.pk);
+    case durability::StatementKind::kCheckpointHeader:
+    case durability::StatementKind::kCheckpointFooter:
+      return Status::OK();
+  }
+  return Status::Corruption("unknown statement kind");
+}
+
+Status SvrEngine::InitDurability() {
+  dur_ = options_.durability;
+  if (!dur_.file_factory) {
+    dur_.file_factory = durability::OpenPosixWalFile;
+  }
+  SVR_RETURN_NOT_OK(durability::EnsureDirectory(dur_.dir));
+
+  recovery_stats_ = durability::RecoveryStats{};
+  recovery_stats_.ran = true;
+
+  // Phase 1: the latest complete checkpoint, applied through the same
+  // statement loop WAL replay uses.
+  durability::LoadedCheckpoint ckpt;
+  SVR_RETURN_NOT_OK(durability::LoadLatestCheckpoint(dur_.dir, &ckpt));
+  uint64_t min_seq = 0;
+  if (ckpt.found) {
+    recovery_stats_.used_checkpoint = true;
+    recovery_stats_.checkpoint_seq = ckpt.last_seq;
+    min_seq = ckpt.last_seq;
+    for (const durability::WalStatement& stmt : ckpt.statements) {
+      if (!ApplyStatement(stmt).ok()) ++recovery_stats_.replay_errors;
+    }
+  }
+
+  // Phase 2: the WAL suffix, truncating torn tails, in (ts, seq) order.
+  durability::DurabilityDirListing listing;
+  SVR_RETURN_NOT_OK(durability::ListDurabilityDir(dur_.dir, &listing));
+  durability::WalRecovery rec;
+  SVR_RETURN_NOT_OK(
+      durability::RecoverWalRecords(listing.segments, min_seq, &rec));
+  for (const durability::WalStatement& stmt : rec.records) {
+    if (!ApplyStatement(stmt).ok()) ++recovery_stats_.replay_errors;
+  }
+  recovery_stats_.wal_records_replayed = rec.records.size();
+  recovery_stats_.torn_tail_bytes = rec.torn_tail_bytes;
+  recovery_stats_.segments_read = rec.segments_read;
+  const uint64_t max_seq =
+      std::max(rec.max_seen_seq, ckpt.found ? ckpt.last_seq : 0);
+  const uint64_t max_ts =
+      std::max(rec.max_seen_ts, ckpt.found ? ckpt.last_ts : 0);
+  recovery_stats_.recovered_seq = max_seq;
+  // Post-recovery commits must stamp past every timestamp already on
+  // disk, or the next recovery's cross-segment sort would interleave
+  // new records into the old history.
+  clock_->AdvanceTo(max_ts);
+
+  // Phase 3: arm. Fresh segment above every existing ordinal; existing
+  // segments stay live until a checkpoint covers them.
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  last_seq_ = max_seq;
+  segment_ordinal_ = 1;
+  for (const durability::SegmentInfo& seg : listing.segments) {
+    segment_ordinal_ = std::max(segment_ordinal_, seg.ordinal + 1);
+    live_segments_.push_back(seg.path);
+  }
+  if (!listing.checkpoints.empty()) {
+    next_ckpt_ordinal_ = listing.checkpoints.back().ordinal + 1;
+  }
+  const std::string path =
+      durability::WalSegmentPath(dur_.dir, 0, segment_ordinal_);
+  std::unique_ptr<durability::WalFile> file;
+  SVR_RETURN_NOT_OK(dur_.file_factory(path, &file));
+  wal_ = std::make_unique<durability::LogWriter>(std::move(file),
+                                                 dur_.sync_mode);
+  live_segments_.push_back(path);
+  logging_armed_ = true;
+  if (dur_.checkpoint_interval_statements > 0) {
+    ckpt_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
+  return Status::OK();
+}
+
+Status SvrEngine::BuildCheckpointStatementsLocked(
+    durability::CheckpointData* data) {
+  auto add = [&](const durability::WalStatement& stmt) {
+    std::string payload;
+    durability::EncodeStatement(stmt, &payload);
+    data->statement_payloads.push_back(std::move(payload));
+  };
+  // 1. Tables, in creation order.
+  for (const durability::WalStatement& ddl : ddl_history_) {
+    if (ddl.kind == durability::StatementKind::kCreateTable) add(ddl);
+  }
+  // 2. Scored-table slots, dense and in doc-id order: alive rows as
+  // they stand, dead slots reconstructed from the corpus (their final
+  // content decides the corpus doc frequencies, and CreateTextIndex's
+  // rebuild scan requires pk density).
+  std::vector<int64_t> dead;
+  const bool indexed = index_ != nullptr;
+  if (indexed) {
+    relational::Table* t = db_->GetTable(scored_table_);
+    if (t == nullptr) {
+      return Status::Internal("scored table vanished: " + scored_table_);
+    }
+    const relational::Schema& schema = t->schema();
+    const size_t n = corpus_.num_docs();
+    for (size_t id = 0; id < n; ++id) {
+      durability::WalStatement stmt;
+      stmt.kind = durability::StatementKind::kInsert;
+      stmt.table = scored_table_;
+      const int64_t pk = static_cast<int64_t>(id);
+      if (!t->Get(pk, &stmt.row).ok()) {
+        dead.push_back(pk);
+        stmt.row.clear();
+        stmt.row.reserve(schema.num_columns());
+        for (size_t c = 0; c < schema.num_columns(); ++c) {
+          stmt.row.push_back(DefaultValueFor(schema.column(c).type));
+        }
+        stmt.row[pk_column_] = relational::Value::Int(pk);
+        stmt.row[text_column_] = relational::Value::String(
+            ReconstructDocText(corpus_.doc(static_cast<DocId>(id)),
+                               vocab_));
+      }
+      add(stmt);
+    }
+  }
+  // 3. Every other table's rows (order within a table is the tree scan's
+  // pk order; irrelevant pre-index).
+  for (const durability::WalStatement& ddl : ddl_history_) {
+    if (ddl.kind != durability::StatementKind::kCreateTable) continue;
+    if (indexed && ddl.table == scored_table_) continue;
+    relational::Table* t = db_->GetTable(ddl.table);
+    if (t == nullptr) continue;
+    durability::WalStatement stmt;
+    stmt.kind = durability::StatementKind::kInsert;
+    stmt.table = ddl.table;
+    SVR_RETURN_NOT_OK(t->Scan([&](const relational::Row& row) {
+      stmt.row = row;
+      add(stmt);
+      return true;
+    }));
+  }
+  // 4. The index, built over the dense slot set.
+  for (const durability::WalStatement& ddl : ddl_history_) {
+    if (ddl.kind == durability::StatementKind::kCreateTextIndex) add(ddl);
+  }
+  // 5. Kill the dead slots again (after the index exists, so the engine
+  // records the deletions in the index too).
+  for (const int64_t pk : dead) {
+    durability::WalStatement stmt;
+    stmt.kind = durability::StatementKind::kDelete;
+    stmt.table = scored_table_;
+    stmt.pk = pk;
+    add(stmt);
+  }
+  return Status::OK();
+}
+
+Status SvrEngine::CheckpointNow() {
+  std::lock_guard<std::mutex> run(ckpt_run_mu_);
+  durability::CheckpointData data;
+  std::vector<std::string> covered;
+  uint64_t ordinal = 0;
+  {
+    auto legacy = LockLegacyExclusive();
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    if (!logging_armed_) {
+      return Status::InvalidArgument("durability is not armed");
+    }
+    SVR_RETURN_NOT_OK(BuildCheckpointStatementsLocked(&data));
+    data.last_seq = last_seq_;
+    data.last_ts = clock_->Now();
+    // Rotate so the checkpoint covers a closed set of segments; records
+    // logged from here on land in the new segment with seq > last_seq.
+    ++segment_ordinal_;
+    const std::string next_path =
+        durability::WalSegmentPath(dur_.dir, 0, segment_ordinal_);
+    std::unique_ptr<durability::WalFile> next;
+    SVR_RETURN_NOT_OK(dur_.file_factory(next_path, &next));
+    SVR_RETURN_NOT_OK(wal_->Rotate(std::move(next)));
+    covered = std::move(live_segments_);
+    live_segments_.clear();
+    live_segments_.push_back(next_path);
+    ordinal = next_ckpt_ordinal_++;
+    stmts_since_ckpt_.store(0, std::memory_order_relaxed);
+  }
+  // The slow write happens outside the writer mutex — DML keeps
+  // committing into the new segment meanwhile.
+  const Status st =
+      durability::WriteCheckpoint(dur_.dir, ordinal, data,
+                                  dur_.file_factory);
+  if (!st.ok()) {
+    // The covered segments are still the only durable copy — put them
+    // back so a later checkpoint (or recovery) still sees them.
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    live_segments_.insert(live_segments_.begin(), covered.begin(),
+                          covered.end());
+    return st;
+  }
+  // The checkpoint supersedes the covered prefix and older checkpoints.
+  for (const std::string& path : covered) {
+    SVR_RETURN_NOT_OK(durability::RemoveFile(path));
+  }
+  durability::DurabilityDirListing listing;
+  SVR_RETURN_NOT_OK(durability::ListDurabilityDir(dur_.dir, &listing));
+  for (const durability::CheckpointInfo& c : listing.checkpoints) {
+    if (c.ordinal < ordinal) {
+      SVR_RETURN_NOT_OK(durability::RemoveFile(c.path));
+    }
+  }
+  return Status::OK();
+}
+
+void SvrEngine::CheckpointLoop() {
+  std::unique_lock<std::mutex> lk(ckpt_mu_);
+  while (!ckpt_stop_) {
+    ckpt_cv_.wait_for(lk, std::chrono::milliseconds(dur_.checkpoint_poll_ms));
+    if (ckpt_stop_) break;
+    if (stmts_since_ckpt_.load(std::memory_order_relaxed) <
+        dur_.checkpoint_interval_statements) {
+      continue;
+    }
+    lk.unlock();
+    const Status st = CheckpointNow();
+    lk.lock();
+    if (!st.ok() && ckpt_error_.ok()) ckpt_error_ = st;
+  }
+}
+
+Status SvrEngine::last_checkpoint_error() const {
+  std::lock_guard<std::mutex> lk(const_cast<std::mutex&>(ckpt_mu_));
+  return ckpt_error_;
 }
 
 }  // namespace svr::core

@@ -2,11 +2,13 @@
 #define SVR_CORE_SVR_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -15,6 +17,9 @@
 #include "concurrency/commit_clock.h"
 #include "concurrency/epoch.h"
 #include "concurrency/merge_scheduler.h"
+#include "durability/checkpoint.h"
+#include "durability/log_writer.h"
+#include "durability/options.h"
 #include "index/index_factory.h"
 #include "index/merge_policy.h"
 #include "relational/database.h"
@@ -68,6 +73,11 @@ struct SvrEngineOptions {
   /// ordered — the cross-shard read timestamp). Null = the engine
   /// creates a private clock.
   std::shared_ptr<concurrency::CommitClock> commit_clock;
+  /// Durability (docs/durability.md): when enabled, Open recovers from
+  /// `durability.dir` (latest checkpoint + WAL suffix) and every
+  /// statement thereafter is logged and group-committed before its DML
+  /// call returns.
+  durability::DurabilityOptions durability;
 };
 
 /// One search hit joined back to its relational row.
@@ -189,10 +199,16 @@ class SvrEngine {
 
   /// DML. Writes to the scored table also maintain the corpus and the
   /// text index (insert / delete / content update, Appendix A). Each
-  /// statement publishes a new snapshot on return.
-  Status Insert(const std::string& table, const relational::Row& row);
-  Status Update(const std::string& table, const relational::Row& row);
-  Status Delete(const std::string& table, int64_t pk);
+  /// statement publishes a new snapshot on return; with durability on,
+  /// a successful statement is WAL-logged and group-committed before
+  /// returning. `commit_ts` (optional) receives the published snapshot's
+  /// timestamp — the sharded layer stamps its own WAL records with it.
+  Status Insert(const std::string& table, const relational::Row& row,
+                uint64_t* commit_ts = nullptr);
+  Status Update(const std::string& table, const relational::Row& row,
+                uint64_t* commit_ts = nullptr);
+  Status Delete(const std::string& table, int64_t pk,
+                uint64_t* commit_ts = nullptr);
 
   /// Pins the latest published snapshot. Lock-free (one epoch-guard
   /// registration plus an atomic shared_ptr load).
@@ -224,9 +240,27 @@ class SvrEngine {
   /// Starts background maintenance (no-op unless options enable it and
   /// a text index exists). CreateTextIndex calls this automatically.
   Status Start();
-  /// Stops the scheduler thread and reclaims every retired version.
-  /// Callers must have stopped issuing queries. Idempotent.
+  /// Stops the checkpoint and scheduler threads, flushes + closes the
+  /// WAL, and reclaims every retired version. Callers must have stopped
+  /// issuing queries. Idempotent, and safe to call before Start() or on
+  /// an engine that never enabled any background machinery. DML after
+  /// Stop() still works but is no longer logged.
   void Stop();
+
+  /// Writes a checkpoint now: synthesizes the minimal statement stream
+  /// rebuilding the current state, rotates the WAL, persists the
+  /// checkpoint file, then deletes the covered WAL prefix and older
+  /// checkpoints. The background checkpoint thread calls this on its
+  /// interval; tests call it directly.
+  Status CheckpointNow();
+
+  /// What recovery did during Open (all-zero when durability is off or
+  /// the directory was empty).
+  const durability::RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+  /// Sticky first error of the background checkpoint thread.
+  Status last_checkpoint_error() const;
 
   /// Index + concurrency counters; lock-free.
   EngineStats GetStats() const;
@@ -261,8 +295,34 @@ class SvrEngine {
   /// Seals every copy-on-write structure, stamps a commit timestamp,
   /// publishes the new EngineSnapshot, and hands the statement's dead
   /// pages/blobs to the epoch manager (the unpublish-then-retire
-  /// discipline). Caller holds the writer mutex.
-  void PublishCommit();
+  /// discipline). Caller holds the writer mutex. Returns the published
+  /// commit timestamp.
+  uint64_t PublishCommit();
+
+  // --- durability (docs/durability.md) --------------------------------
+
+  /// Recovery + arming, run by Open when durability is enabled: load the
+  /// latest checkpoint, replay the WAL suffix in (commit_ts, seq) order
+  /// through the public DML surface, truncate torn tails, advance the
+  /// clock past every replayed timestamp, then open a fresh segment and
+  /// start logging (and the checkpoint thread).
+  Status InitDurability();
+  /// Re-executes one logical statement (the shared apply loop of
+  /// checkpoint load and WAL replay). Checkpoint header/footer records
+  /// are no-ops.
+  Status ApplyStatement(const durability::WalStatement& stmt);
+  /// Assigns the next statement seq, frames and appends `stmt` to the
+  /// WAL. Returns the durability ticket to await after the writer mutex
+  /// is released. Caller holds writer_mu_ and has checked
+  /// logging_armed_.
+  uint64_t LogStatementLocked(durability::WalStatement* stmt, uint64_t ts);
+  /// Synthesizes the checkpoint statement stream for the current state:
+  /// CREATE TABLEs, every scored-table slot (dead ones reconstructed
+  /// from the corpus so doc ids stay dense), other tables' rows, the
+  /// CREATE TEXT INDEX, then DELETEs for the dead slots. Caller holds
+  /// writer_mu_.
+  Status BuildCheckpointStatementsLocked(durability::CheckpointData* data);
+  void CheckpointLoop();
 
   /// Exclusive side of the legacy lock (kSharedLock mode only; an empty
   /// lock otherwise). Acquired *before* writer_mu_ everywhere.
@@ -313,7 +373,45 @@ class SvrEngine {
   int text_column_ = -1;
   int pk_column_ = -1;
   index::MergeCheckCounter merge_ticks_;
+
+  // --- durability state -----------------------------------------------
+  /// Resolved copy of options_.durability (factory defaulted).
+  durability::DurabilityOptions dur_;
+  /// True once InitDurability armed logging; guarded by writer_mu_.
+  /// Cleared by Stop().
+  bool logging_armed_ = false;
+  /// Group-commit writer over the current segment. Created by
+  /// InitDurability, flushed and closed by Stop().
+  std::unique_ptr<durability::LogWriter> wal_;
+  /// Last statement seq assigned (dense, 1-based); guarded by writer_mu_.
+  uint64_t last_seq_ = 0;
+  uint64_t segment_ordinal_ = 0;
+  uint64_t next_ckpt_ordinal_ = 1;
+  /// On-disk segments not yet covered by a checkpoint (current one
+  /// last); guarded by writer_mu_.
+  std::vector<std::string> live_segments_;
+  /// DDL statements in execution order, replayed into every checkpoint's
+  /// prologue (kCreateTable) / epilogue (kCreateTextIndex). Guarded by
+  /// writer_mu_.
+  std::vector<durability::WalStatement> ddl_history_;
+  std::atomic<uint64_t> stmts_since_ckpt_{0};
+  durability::RecoveryStats recovery_stats_;
+  /// Serializes CheckpointNow callers (thread + tests).
+  std::mutex ckpt_run_mu_;
+  std::thread ckpt_thread_;
+  std::mutex ckpt_mu_;  // guards ckpt_stop_/ckpt_error_ + the loop's cv
+  std::condition_variable ckpt_cv_;
+  bool ckpt_stop_ = false;
+  Status ckpt_error_;
 };
+
+/// Text whose tokenization reproduces `doc` exactly (each term repeated
+/// `freq` times, whitespace-joined — Document::FromTokens is multiset
+/// order-insensitive). Checkpoint builders use it to resurrect the rows
+/// of deleted document slots, whose final content still decides the
+/// corpus document frequencies.
+std::string ReconstructDocText(const text::Document& doc,
+                               const text::Vocabulary& vocab);
 
 }  // namespace svr::core
 

@@ -1,0 +1,211 @@
+#include "durability/checkpoint.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace svr::durability {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+Status SyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open dir", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync dir", dir);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string WalSegmentPath(const std::string& dir, uint32_t shard,
+                           uint64_t ordinal) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "/wal-%u-%08" PRIu64 ".log", shard,
+                ordinal);
+  return dir + buf;
+}
+
+std::string CheckpointPath(const std::string& dir, uint64_t ordinal) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "/ckpt-%08" PRIu64 ".svrck", ordinal);
+  return dir + buf;
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return ErrnoStatus("mkdir", dir);
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status ListDurabilityDir(const std::string& dir,
+                         DurabilityDirListing* out) {
+  out->segments.clear();
+  out->checkpoints.clear();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return ErrnoStatus("opendir", dir);
+  while (struct dirent* ent = ::readdir(d)) {
+    const char* name = ent->d_name;
+    uint32_t shard = 0;
+    uint64_t ordinal = 0;
+    char trailing = 0;
+    if (std::sscanf(name, "wal-%u-%" SCNu64 ".log%c", &shard, &ordinal,
+                    &trailing) == 2) {
+      out->segments.push_back({shard, ordinal, dir + "/" + name});
+    } else if (std::sscanf(name, "ckpt-%" SCNu64 ".svrck%c", &ordinal,
+                           &trailing) == 1) {
+      out->checkpoints.push_back({ordinal, dir + "/" + name});
+    }
+  }
+  ::closedir(d);
+  std::sort(out->segments.begin(), out->segments.end(),
+            [](const SegmentInfo& a, const SegmentInfo& b) {
+              return a.shard != b.shard ? a.shard < b.shard
+                                        : a.ordinal < b.ordinal;
+            });
+  std::sort(out->checkpoints.begin(), out->checkpoints.end(),
+            [](const CheckpointInfo& a, const CheckpointInfo& b) {
+              return a.ordinal < b.ordinal;
+            });
+  return Status::OK();
+}
+
+Status WriteCheckpoint(const std::string& dir, uint64_t ordinal,
+                       const CheckpointData& data,
+                       const WalFileFactory& factory) {
+  const std::string final_path = CheckpointPath(dir, ordinal);
+  const std::string tmp_path = final_path + ".tmp";
+  SVR_RETURN_NOT_OK(RemoveFile(tmp_path));
+
+  std::string buf;
+  {
+    WalStatement header;
+    header.kind = StatementKind::kCheckpointHeader;
+    header.header_seq = data.last_seq;
+    header.header_ts = data.last_ts;
+    std::string payload;
+    EncodeStatement(header, &payload);
+    AppendFrame(&buf, Slice(payload));
+  }
+  for (const std::string& payload : data.statement_payloads) {
+    AppendFrame(&buf, Slice(payload));
+  }
+  {
+    WalStatement footer;
+    footer.kind = StatementKind::kCheckpointFooter;
+    footer.footer_records = data.statement_payloads.size();
+    std::string payload;
+    EncodeStatement(footer, &payload);
+    AppendFrame(&buf, Slice(payload));
+  }
+
+  std::unique_ptr<WalFile> file;
+  SVR_RETURN_NOT_OK(factory(tmp_path, &file));
+  Status st = file->Append(Slice(buf));
+  if (st.ok()) st = file->Sync();
+  const Status close_st = file->Close();
+  if (st.ok()) st = close_st;
+  if (!st.ok()) {
+    (void)RemoveFile(tmp_path);
+    return st;
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    const Status rn = ErrnoStatus("rename", tmp_path);
+    (void)RemoveFile(tmp_path);
+    return rn;
+  }
+  return SyncDirectory(dir);
+}
+
+Status LoadLatestCheckpoint(const std::string& dir, LoadedCheckpoint* out) {
+  out->found = false;
+  out->statements.clear();
+  DurabilityDirListing listing;
+  SVR_RETURN_NOT_OK(ListDurabilityDir(dir, &listing));
+  for (auto it = listing.checkpoints.rbegin();
+       it != listing.checkpoints.rend(); ++it) {
+    WalScan scan;
+    if (!ReadWalFile(it->path, &scan).ok()) continue;
+    if (!scan.tail.ok() || scan.records.size() < 2) continue;
+    const WalStatement& header = scan.records.front();
+    const WalStatement& footer = scan.records.back();
+    if (header.kind != StatementKind::kCheckpointHeader ||
+        footer.kind != StatementKind::kCheckpointFooter ||
+        footer.footer_records != scan.records.size() - 2) {
+      continue;
+    }
+    out->found = true;
+    out->ordinal = it->ordinal;
+    out->last_seq = header.header_seq;
+    out->last_ts = header.header_ts;
+    out->statements.assign(
+        std::make_move_iterator(scan.records.begin() + 1),
+        std::make_move_iterator(scan.records.end() - 1));
+    return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status RecoverWalRecords(const std::vector<SegmentInfo>& segments,
+                         uint64_t min_seq, WalRecovery* out) {
+  out->records.clear();
+  out->torn_tail_bytes = 0;
+  out->segments_read = 0;
+  out->max_seen_seq = 0;
+  out->max_seen_ts = 0;
+  for (const SegmentInfo& seg : segments) {
+    WalScan scan;
+    SVR_RETURN_NOT_OK(ReadWalFile(seg.path, &scan));
+    ++out->segments_read;
+    if (scan.tail.IsCorruption()) {
+      return Status::Corruption("segment " + seg.path + ": " +
+                                scan.tail.ToString());
+    }
+    if (scan.tail.IsDataLoss()) {
+      // Torn tail from a crash mid-append: cut the file back to the last
+      // clean frame so the next scan (and the reopened segment) start
+      // from a record boundary.
+      struct stat sb;
+      uint64_t file_size = 0;
+      if (::stat(seg.path.c_str(), &sb) == 0) {
+        file_size = static_cast<uint64_t>(sb.st_size);
+      }
+      out->torn_tail_bytes += file_size - scan.clean_bytes;
+      SVR_RETURN_NOT_OK(TruncateWalFile(seg.path, scan.clean_bytes));
+    }
+    for (WalStatement& stmt : scan.records) {
+      out->max_seen_seq = std::max(out->max_seen_seq, stmt.seq);
+      out->max_seen_ts = std::max(out->max_seen_ts, stmt.commit_ts);
+      if (stmt.seq > min_seq) out->records.push_back(std::move(stmt));
+    }
+  }
+  std::stable_sort(out->records.begin(), out->records.end(),
+                   [](const WalStatement& a, const WalStatement& b) {
+                     return a.commit_ts != b.commit_ts
+                                ? a.commit_ts < b.commit_ts
+                                : a.seq < b.seq;
+                   });
+  return Status::OK();
+}
+
+}  // namespace svr::durability

@@ -1,0 +1,97 @@
+#ifndef SVR_DURABILITY_CHECKPOINT_H_
+#define SVR_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "durability/wal_file.h"
+#include "durability/wal_format.h"
+
+namespace svr::durability {
+
+/// File naming inside one durability directory:
+///   wal-<shard>-<ordinal>.log   append-only segments, per shard
+///   ckpt-<ordinal>.svrck        checkpoints (highest valid ordinal wins)
+std::string WalSegmentPath(const std::string& dir, uint32_t shard,
+                           uint64_t ordinal);
+std::string CheckpointPath(const std::string& dir, uint64_t ordinal);
+
+/// mkdir unless it already exists.
+Status EnsureDirectory(const std::string& dir);
+Status RemoveFile(const std::string& path);
+
+struct SegmentInfo {
+  uint32_t shard = 0;
+  uint64_t ordinal = 0;
+  std::string path;
+};
+struct CheckpointInfo {
+  uint64_t ordinal = 0;
+  std::string path;
+};
+
+/// Enumerates the durability directory, sorted ascending by
+/// (shard, ordinal) / ordinal. Unrecognized names are ignored.
+struct DurabilityDirListing {
+  std::vector<SegmentInfo> segments;
+  std::vector<CheckpointInfo> checkpoints;
+};
+Status ListDurabilityDir(const std::string& dir, DurabilityDirListing* out);
+
+/// \brief A checkpoint about to be written: the engine's state expressed
+/// as the minimal statement stream that rebuilds it (docs/durability.md).
+/// Payloads are encoded-but-unframed statements, in apply order.
+struct CheckpointData {
+  /// Last statement seq / commit ts the snapshot covers. WAL records
+  /// with seq <= last_seq are superseded by this file.
+  uint64_t last_seq = 0;
+  uint64_t last_ts = 0;
+  std::vector<std::string> statement_payloads;
+};
+
+/// Writes `data` to CheckpointPath(dir, ordinal): tmp file, framed
+/// [header | statements... | footer], sync, rename, directory fsync. A
+/// crash anywhere before the rename leaves at most a footerless tmp that
+/// recovery ignores.
+Status WriteCheckpoint(const std::string& dir, uint64_t ordinal,
+                       const CheckpointData& data,
+                       const WalFileFactory& factory);
+
+struct LoadedCheckpoint {
+  bool found = false;
+  uint64_t ordinal = 0;
+  uint64_t last_seq = 0;
+  uint64_t last_ts = 0;
+  /// Header/footer stripped — just the statements to apply.
+  std::vector<WalStatement> statements;
+};
+
+/// Picks the highest-ordinal checkpoint whose frames scan clean and
+/// whose footer matches its statement count; older or torn files are
+/// skipped (found=false when none qualify). Never returns an error for
+/// an invalid candidate — a torn checkpoint is an expected crash
+/// artifact, handled by falling back.
+Status LoadLatestCheckpoint(const std::string& dir, LoadedCheckpoint* out);
+
+/// \brief Offline half of crash recovery, shared by both engines: read
+/// every segment, truncate torn tails (kDataLoss) back to the last clean
+/// frame, fail hard on kCorruption, keep records with seq > min_seq, and
+/// merge-sort them by (commit_ts, seq) — each per-shard log is
+/// internally ts-ordered, so this reconstructs one global apply order.
+struct WalRecovery {
+  std::vector<WalStatement> records;
+  uint64_t torn_tail_bytes = 0;
+  uint64_t segments_read = 0;
+  /// Highest seq / ts seen across ALL records (also the filtered ones);
+  /// the clock must advance past max_seen_ts before new commits.
+  uint64_t max_seen_seq = 0;
+  uint64_t max_seen_ts = 0;
+};
+Status RecoverWalRecords(const std::vector<SegmentInfo>& segments,
+                         uint64_t min_seq, WalRecovery* out);
+
+}  // namespace svr::durability
+
+#endif  // SVR_DURABILITY_CHECKPOINT_H_

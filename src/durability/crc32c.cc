@@ -1,0 +1,38 @@
+#include "durability/crc32c.h"
+
+#include <array>
+
+namespace svr::durability {
+
+namespace {
+
+/// Byte-at-a-time table for the reflected Castagnoli polynomial.
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const char* data, size_t n) {
+  const std::array<uint32_t, 256>& table = Table();
+  uint32_t c = crc ^ 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ static_cast<unsigned char>(data[i])) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace svr::durability

@@ -1,0 +1,108 @@
+#include "durability/log_writer.h"
+
+namespace svr::durability {
+
+LogWriter::LogWriter(std::unique_ptr<WalFile> file, SyncMode mode)
+    : file_(std::move(file)), mode_(mode) {
+  if (mode_ == SyncMode::kGroupCommit) {
+    log_thread_ = std::thread([this] { SyncLoop(); });
+  }
+}
+
+LogWriter::~LogWriter() { Stop(); }
+
+uint64_t LogWriter::Append(const Slice& framed) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const uint64_t ticket = ++issued_;
+  if (mode_ == SyncMode::kSyncEachStatement) {
+    if (error_.ok()) {
+      Status st = file_->Append(framed);
+      if (st.ok()) st = file_->Sync();
+      if (!st.ok()) error_ = st;
+    }
+    durable_ = ticket;
+    durable_cv_.notify_all();
+    return ticket;
+  }
+  pending_.append(framed.data(), framed.size());
+  work_cv_.notify_one();
+  return ticket;
+}
+
+Status LogWriter::WaitDurable(uint64_t ticket) {
+  std::unique_lock<std::mutex> lk(mu_);
+  durable_cv_.wait(lk, [&] { return durable_ >= ticket || !error_.ok(); });
+  return error_;
+}
+
+void LogWriter::FlushBatchLocked(std::unique_lock<std::mutex>& lk) {
+  std::string batch;
+  batch.swap(pending_);
+  const uint64_t batch_end = issued_;
+  io_in_flight_ = true;
+  lk.unlock();
+  Status st = file_->Append(Slice(batch));
+  if (st.ok()) st = file_->Sync();
+  lk.lock();
+  io_in_flight_ = false;
+  if (!st.ok() && error_.ok()) error_ = st;
+  if (durable_ < batch_end) durable_ = batch_end;
+  durable_cv_.notify_all();
+}
+
+void LogWriter::SyncLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || !pending_.empty(); });
+    if (!pending_.empty()) {
+      FlushBatchLocked(lk);
+      continue;  // more may have queued during the IO
+    }
+    if (stop_) return;
+  }
+}
+
+Status LogWriter::Rotate(std::unique_ptr<WalFile> next) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (io_in_flight_) {
+      durable_cv_.wait(lk, [&] { return !io_in_flight_; });
+      continue;
+    }
+    if (!pending_.empty()) {
+      FlushBatchLocked(lk);
+      continue;
+    }
+    break;
+  }
+  Status st = file_->Sync();
+  if (st.ok()) st = file_->Close();
+  if (!st.ok() && error_.ok()) error_ = st;
+  file_ = std::move(next);
+  return error_;
+}
+
+Status LogWriter::Stop() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stopped_) return error_;
+    stopped_ = true;
+    stop_ = true;
+    work_cv_.notify_all();
+  }
+  if (log_thread_.joinable()) log_thread_.join();
+  std::unique_lock<std::mutex> lk(mu_);
+  // No thread anymore: drain whatever raced in between notify and join.
+  if (!pending_.empty()) FlushBatchLocked(lk);
+  Status st = file_->Sync();
+  if (st.ok()) st = file_->Close();
+  if (!st.ok() && error_.ok()) error_ = st;
+  return error_;
+}
+
+Status LogWriter::error() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return error_;
+}
+
+}  // namespace svr::durability

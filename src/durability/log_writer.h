@@ -1,0 +1,92 @@
+#ifndef SVR_DURABILITY_LOG_WRITER_H_
+#define SVR_DURABILITY_LOG_WRITER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "durability/wal_file.h"
+
+namespace svr::durability {
+
+/// When a committed statement becomes durable.
+enum class SyncMode {
+  /// Appends buffer in memory; a dedicated log thread writes and fsyncs
+  /// whole batches, acknowledging every waiter in the batch with one
+  /// fsync. The default.
+  kGroupCommit,
+  /// Every Append writes and fsyncs inline before returning. The
+  /// one-fsync-per-statement baseline the durability bench compares
+  /// group commit against.
+  kSyncEachStatement,
+};
+
+/// \brief Group-commit front end for one WAL segment.
+///
+/// Writers call Append (cheap: copies the frame into the pending batch
+/// and returns a ticket) and then, *after releasing whatever engine lock
+/// they hold*, WaitDurable(ticket). The log thread drains the batch:
+/// one write(2) + one fsync covers every statement that accumulated
+/// while the previous fsync was in flight, which is where the group
+/// commit throughput win comes from.
+///
+/// Errors are sticky: after the first failed write or sync the writer is
+/// dead and every subsequent WaitDurable returns the original error.
+/// This mirrors what a real engine must do — a WAL whose tail state is
+/// unknown cannot accept further commits.
+class LogWriter {
+ public:
+  LogWriter(std::unique_ptr<WalFile> file, SyncMode mode);
+  ~LogWriter();
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  /// Queues one already-framed record. Returns the durability ticket to
+  /// pass to WaitDurable. Must not be called after Stop.
+  uint64_t Append(const Slice& framed);
+
+  /// Blocks until every Append up to and including `ticket` is on stable
+  /// storage, or the writer hit its sticky error.
+  Status WaitDurable(uint64_t ticket);
+
+  /// Flushes and closes the current file and continues on `next`.
+  /// Callers serialize Rotate against Append externally (the engine holds
+  /// its writer lock for both).
+  Status Rotate(std::unique_ptr<WalFile> next);
+
+  /// Flushes outstanding appends, stops the log thread, closes the file.
+  /// Idempotent. Returns the sticky error, if any.
+  Status Stop();
+
+  Status error() const;
+
+ private:
+  /// Hands the pending batch to the file. Called with `lk` held; drops
+  /// it for the IO and reacquires. Advances durable_ and wakes waiters.
+  void FlushBatchLocked(std::unique_lock<std::mutex>& lk);
+  void SyncLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;     // log thread: batch ready / stop
+  std::condition_variable durable_cv_;  // waiters + Rotate: IO finished
+  std::unique_ptr<WalFile> file_;
+  const SyncMode mode_;
+  std::string pending_;
+  uint64_t issued_ = 0;
+  uint64_t durable_ = 0;
+  bool io_in_flight_ = false;
+  bool stop_ = false;
+  bool stopped_ = false;
+  Status error_;
+  std::thread log_thread_;
+};
+
+}  // namespace svr::durability
+
+#endif  // SVR_DURABILITY_LOG_WRITER_H_

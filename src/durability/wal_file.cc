@@ -1,0 +1,108 @@
+#include "durability/wal_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace svr::durability {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+class PosixWalFile : public WalFile {
+ public:
+  PosixWalFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixWalFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const Slice& data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write", path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return ErrnoStatus("close", path_);
+    return Status::OK();
+  }
+
+  const std::string& path() const override { return path_; }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace
+
+Status OpenPosixWalFile(const std::string& path,
+                        std::unique_ptr<WalFile>* out) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return ErrnoStatus("open", path);
+  *out = std::make_unique<PosixWalFile>(fd, path);
+  return Status::OK();
+}
+
+Status ReadWalFile(const std::string& path, WalScan* scan) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path);
+  std::string contents;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st = ErrnoStatus("read", path);
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    contents.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  ScanWal(Slice(contents), scan);
+  return Status::OK();
+}
+
+Status TruncateWalFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("truncate", path);
+  }
+  return Status::OK();
+}
+
+Status LatencyWalFile::Sync() {
+  SVR_RETURN_NOT_OK(base_->Sync());
+  if (sync_delay_us_ > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sync_delay_us_));
+  }
+  return Status::OK();
+}
+
+}  // namespace svr::durability

@@ -1,0 +1,73 @@
+#ifndef SVR_DURABILITY_WAL_FILE_H_
+#define SVR_DURABILITY_WAL_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "durability/wal_format.h"
+
+namespace svr::durability {
+
+/// \brief Append-only log file abstraction.
+///
+/// The engine only ever appends framed records and syncs; reads happen
+/// offline through ReadWalFile. Keeping the surface this small is what
+/// makes fault injection (fault_injection.h) and the bench's latency
+/// model (LatencyWalFile) trivial wrappers.
+class WalFile {
+ public:
+  virtual ~WalFile() = default;
+
+  /// Appends raw bytes at the end of the file. Not durable until Sync.
+  virtual Status Append(const Slice& data) = 0;
+  /// Flushes everything appended so far to stable storage (fsync).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+  virtual const std::string& path() const = 0;
+};
+
+/// Creates the file (O_APPEND, unbuffered write(2)/fsync(2)) — the real
+/// thing. `path` must not require creating parent directories.
+Status OpenPosixWalFile(const std::string& path,
+                        std::unique_ptr<WalFile>* out);
+
+/// How recovery and tooling read a log back: slurp the whole file, then
+/// frame-scan it. Missing file is an error; an *empty* file scans clean.
+Status ReadWalFile(const std::string& path, WalScan* scan);
+
+/// Cuts a (possibly torn) log back to `size` bytes via ftruncate.
+Status TruncateWalFile(const std::string& path, uint64_t size);
+
+/// Hook the engine uses to open every durable file it writes (WAL
+/// segments *and* checkpoints). Tests swap in fault-injecting files; the
+/// bench swaps in LatencyWalFile. Defaults to OpenPosixWalFile.
+using WalFileFactory =
+    std::function<Status(const std::string&, std::unique_ptr<WalFile>*)>;
+
+/// Decorator adding a fixed sleep to every Sync, modelling a storage
+/// device's flush latency. tmpfs fsync is near-free, which would let a
+/// sync-per-statement baseline look artificially good; the bench wraps
+/// BOTH modes in this so group commit's batching shows up as it would on
+/// a real disk.
+class LatencyWalFile : public WalFile {
+ public:
+  LatencyWalFile(std::unique_ptr<WalFile> base, uint64_t sync_delay_us)
+      : base_(std::move(base)), sync_delay_us_(sync_delay_us) {}
+
+  Status Append(const Slice& data) override { return base_->Append(data); }
+  Status Sync() override;
+  Status Close() override { return base_->Close(); }
+  const std::string& path() const override { return base_->path(); }
+
+ private:
+  std::unique_ptr<WalFile> base_;
+  uint64_t sync_delay_us_;
+};
+
+}  // namespace svr::durability
+
+#endif  // SVR_DURABILITY_WAL_FILE_H_

@@ -1,0 +1,253 @@
+#include "durability/wal_format.h"
+
+#include "common/coding.h"
+#include "durability/crc32c.h"
+
+namespace svr::durability {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 8;  // fixed32 len + fixed32 crc
+
+void EncodeSchema(const relational::Schema& schema, std::string* dst) {
+  PutVarint32(dst, static_cast<uint32_t>(schema.num_columns()));
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    const relational::Column& col = schema.column(i);
+    PutLengthPrefixed(dst, col.name);
+    dst->push_back(static_cast<char>(col.type));
+  }
+  PutVarint32(dst, static_cast<uint32_t>(schema.pk_index()));
+}
+
+Status DecodeSchema(Slice* in, relational::Schema* schema) {
+  uint32_t num_columns = 0;
+  if (!GetVarint32(in, &num_columns)) {
+    return Status::Corruption("schema: bad column count");
+  }
+  std::vector<relational::Column> columns;
+  columns.reserve(num_columns);
+  for (uint32_t i = 0; i < num_columns; ++i) {
+    Slice name;
+    if (!GetLengthPrefixed(in, &name) || in->empty()) {
+      return Status::Corruption("schema: truncated column");
+    }
+    const auto type = static_cast<relational::ValueType>((*in)[0]);
+    in->remove_prefix(1);
+    columns.push_back({name.ToString(), type});
+  }
+  uint32_t pk_index = 0;
+  if (!GetVarint32(in, &pk_index) || pk_index >= num_columns) {
+    return Status::Corruption("schema: bad pk index");
+  }
+  *schema = relational::Schema(std::move(columns),
+                               static_cast<int>(pk_index));
+  return Status::OK();
+}
+
+void EncodeRowField(const relational::Row& row, std::string* dst) {
+  PutVarint32(dst, static_cast<uint32_t>(row.size()));
+  relational::EncodeRow(dst, row);
+}
+
+Status DecodeRowField(Slice* in, relational::Row* row) {
+  uint32_t n = 0;
+  if (!GetVarint32(in, &n)) return Status::Corruption("row: bad arity");
+  return relational::DecodeRow(in, n, row);
+}
+
+}  // namespace
+
+void EncodeStatement(const WalStatement& stmt, std::string* dst) {
+  dst->push_back(static_cast<char>(stmt.kind));
+  PutVarint64(dst, stmt.seq);
+  PutVarint64(dst, stmt.commit_ts);
+  switch (stmt.kind) {
+    case StatementKind::kCreateTable:
+      PutLengthPrefixed(dst, stmt.table);
+      EncodeSchema(stmt.schema, dst);
+      break;
+    case StatementKind::kCreateTextIndex:
+      PutLengthPrefixed(dst, stmt.table);
+      PutLengthPrefixed(dst, stmt.text_column);
+      PutVarint32(dst, static_cast<uint32_t>(stmt.specs.size()));
+      for (const relational::ScoreComponentSpec& spec : stmt.specs) {
+        PutLengthPrefixed(dst, spec.name);
+        PutLengthPrefixed(dst, spec.source_table);
+        PutLengthPrefixed(dst, spec.match_column);
+        PutLengthPrefixed(dst, spec.value_column);
+        dst->push_back(static_cast<char>(spec.kind));
+      }
+      PutVarint32(dst, static_cast<uint32_t>(stmt.agg_weights.size()));
+      for (double w : stmt.agg_weights) PutFixedDouble(dst, w);
+      break;
+    case StatementKind::kInsert:
+    case StatementKind::kUpdate:
+      PutLengthPrefixed(dst, stmt.table);
+      EncodeRowField(stmt.row, dst);
+      break;
+    case StatementKind::kDelete:
+      PutLengthPrefixed(dst, stmt.table);
+      PutVarint64(dst, ZigzagEncode64(stmt.pk));
+      break;
+    case StatementKind::kCheckpointHeader:
+      PutVarint64(dst, stmt.header_seq);
+      PutVarint64(dst, stmt.header_ts);
+      break;
+    case StatementKind::kCheckpointFooter:
+      PutVarint64(dst, stmt.footer_records);
+      break;
+  }
+}
+
+Status DecodeStatement(Slice payload, WalStatement* stmt) {
+  Slice in = payload;
+  if (in.empty()) return Status::Corruption("statement: empty payload");
+  const auto kind = static_cast<StatementKind>(in[0]);
+  in.remove_prefix(1);
+  stmt->kind = kind;
+  if (!GetVarint64(&in, &stmt->seq) ||
+      !GetVarint64(&in, &stmt->commit_ts)) {
+    return Status::Corruption("statement: bad seq/ts");
+  }
+  Slice table;
+  switch (kind) {
+    case StatementKind::kCreateTable:
+      if (!GetLengthPrefixed(&in, &table)) {
+        return Status::Corruption("create-table: bad name");
+      }
+      stmt->table = table.ToString();
+      SVR_RETURN_NOT_OK(DecodeSchema(&in, &stmt->schema));
+      break;
+    case StatementKind::kCreateTextIndex: {
+      Slice column;
+      if (!GetLengthPrefixed(&in, &table) ||
+          !GetLengthPrefixed(&in, &column)) {
+        return Status::Corruption("create-index: bad table/column");
+      }
+      stmt->table = table.ToString();
+      stmt->text_column = column.ToString();
+      uint32_t num_specs = 0;
+      if (!GetVarint32(&in, &num_specs)) {
+        return Status::Corruption("create-index: bad spec count");
+      }
+      stmt->specs.clear();
+      stmt->specs.reserve(num_specs);
+      for (uint32_t i = 0; i < num_specs; ++i) {
+        Slice name, source, match, value;
+        if (!GetLengthPrefixed(&in, &name) ||
+            !GetLengthPrefixed(&in, &source) ||
+            !GetLengthPrefixed(&in, &match) ||
+            !GetLengthPrefixed(&in, &value) || in.empty()) {
+          return Status::Corruption("create-index: truncated spec");
+        }
+        relational::ScoreComponentSpec spec;
+        spec.name = name.ToString();
+        spec.source_table = source.ToString();
+        spec.match_column = match.ToString();
+        spec.value_column = value.ToString();
+        spec.kind = static_cast<relational::AggregateKind>(in[0]);
+        in.remove_prefix(1);
+        stmt->specs.push_back(std::move(spec));
+      }
+      uint32_t num_weights = 0;
+      if (!GetVarint32(&in, &num_weights) || in.size() < 8 * num_weights) {
+        return Status::Corruption("create-index: bad weights");
+      }
+      stmt->agg_weights.clear();
+      stmt->agg_weights.reserve(num_weights);
+      for (uint32_t i = 0; i < num_weights; ++i) {
+        stmt->agg_weights.push_back(DecodeFixedDouble(in.data()));
+        in.remove_prefix(8);
+      }
+      break;
+    }
+    case StatementKind::kInsert:
+    case StatementKind::kUpdate:
+      if (!GetLengthPrefixed(&in, &table)) {
+        return Status::Corruption("dml: bad table");
+      }
+      stmt->table = table.ToString();
+      SVR_RETURN_NOT_OK(DecodeRowField(&in, &stmt->row));
+      break;
+    case StatementKind::kDelete: {
+      if (!GetLengthPrefixed(&in, &table)) {
+        return Status::Corruption("delete: bad table");
+      }
+      stmt->table = table.ToString();
+      uint64_t zz = 0;
+      if (!GetVarint64(&in, &zz)) {
+        return Status::Corruption("delete: bad pk");
+      }
+      stmt->pk = ZigzagDecode64(zz);
+      break;
+    }
+    case StatementKind::kCheckpointHeader:
+      if (!GetVarint64(&in, &stmt->header_seq) ||
+          !GetVarint64(&in, &stmt->header_ts)) {
+        return Status::Corruption("checkpoint header: bad fields");
+      }
+      break;
+    case StatementKind::kCheckpointFooter:
+      if (!GetVarint64(&in, &stmt->footer_records)) {
+        return Status::Corruption("checkpoint footer: bad count");
+      }
+      break;
+    default:
+      return Status::Corruption("statement: unknown kind " +
+                                std::to_string(payload[0]));
+  }
+  if (!in.empty()) {
+    return Status::Corruption("statement: trailing bytes");
+  }
+  return Status::OK();
+}
+
+void AppendFrame(std::string* dst, const Slice& payload) {
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  PutFixed32(dst, MaskCrc(Crc32c(payload.data(), payload.size())));
+  dst->append(payload.data(), payload.size());
+}
+
+size_t FramedSize(size_t payload_size) {
+  return kFrameHeaderBytes + payload_size;
+}
+
+void ScanWal(const Slice& data, WalScan* scan) {
+  scan->records.clear();
+  scan->clean_bytes = 0;
+  scan->tail = Status::OK();
+  size_t off = 0;
+  while (off < data.size()) {
+    if (data.size() - off < kFrameHeaderBytes) {
+      scan->tail = Status::DataLoss("torn tail: partial frame header at " +
+                                    std::to_string(off));
+      break;
+    }
+    const uint32_t len = DecodeFixed32(data.data() + off);
+    const uint32_t masked = DecodeFixed32(data.data() + off + 4);
+    if (data.size() - off - kFrameHeaderBytes < len) {
+      scan->tail = Status::DataLoss("torn tail: partial payload at " +
+                                    std::to_string(off));
+      break;
+    }
+    const char* payload = data.data() + off + kFrameHeaderBytes;
+    if (Crc32c(payload, len) != UnmaskCrc(masked)) {
+      scan->tail = Status::Corruption("crc mismatch in frame at offset " +
+                                      std::to_string(off));
+      break;
+    }
+    WalStatement stmt;
+    const Status st = DecodeStatement(Slice(payload, len), &stmt);
+    if (!st.ok()) {
+      // A checksummed frame that does not parse is corruption outright
+      // (the CRC says these are the bytes that were written).
+      scan->tail = st;
+      break;
+    }
+    scan->records.push_back(std::move(stmt));
+    off += kFrameHeaderBytes + len;
+    scan->clean_bytes = off;
+  }
+}
+
+}  // namespace svr::durability

@@ -1,0 +1,93 @@
+#ifndef SVR_DURABILITY_WAL_FORMAT_H_
+#define SVR_DURABILITY_WAL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/score_function.h"
+
+namespace svr::durability {
+
+/// \brief The logical WAL record set (docs/durability.md).
+///
+/// The log is a stream of *statements*, not page deltas: replay
+/// re-executes each one through the engine's public DML surface, which
+/// reproduces every downstream effect (corpus slots, score-view updates,
+/// index maintenance) without serializing any index internals. Checkpoint
+/// files speak the same language — a checkpoint is a synthesized minimal
+/// statement stream that rebuilds the state it captured — so one apply
+/// loop serves both.
+enum class StatementKind : uint8_t {
+  kCreateTable = 1,
+  kCreateTextIndex = 2,
+  kInsert = 3,
+  kUpdate = 4,
+  kDelete = 5,
+  /// Checkpoint files only: carries (last_statement_seq, last_commit_ts)
+  /// of the cut, so replay knows which WAL suffix still applies.
+  kCheckpointHeader = 6,
+  /// Checkpoint files only: carries the statement count; a file without
+  /// its footer was torn mid-write and is ignored by recovery.
+  kCheckpointFooter = 7,
+};
+
+/// One logical WAL / checkpoint record.
+struct WalStatement {
+  StatementKind kind = StatementKind::kInsert;
+  /// Engine-wide statement sequence number (1-based, dense). The
+  /// recovery prefix is described in these units.
+  uint64_t seq = 0;
+  /// CommitClock tick the statement's snapshot published with. Replay
+  /// across per-shard logs merges by this.
+  uint64_t commit_ts = 0;
+
+  std::string table;             // all DML + kCreateTable
+  relational::Schema schema;     // kCreateTable
+  relational::Row row;           // kInsert / kUpdate
+  int64_t pk = 0;                // kDelete
+  std::string text_column;       // kCreateTextIndex
+  std::vector<relational::ScoreComponentSpec> specs;  // kCreateTextIndex
+  std::vector<double> agg_weights;                    // kCreateTextIndex
+  uint64_t header_seq = 0;       // kCheckpointHeader
+  uint64_t header_ts = 0;        // kCheckpointHeader
+  uint64_t footer_records = 0;   // kCheckpointFooter
+};
+
+/// Serializes the statement body (no frame) onto `dst`.
+void EncodeStatement(const WalStatement& stmt, std::string* dst);
+/// Parses one statement body. kCorruption on malformed input.
+Status DecodeStatement(Slice payload, WalStatement* stmt);
+
+/// Appends one CRC-framed record: [fixed32 len][fixed32 masked-crc32c]
+/// [payload]. The length covers the payload only.
+void AppendFrame(std::string* dst, const Slice& payload);
+/// Frame bytes a payload of `payload_size` occupies on disk.
+size_t FramedSize(size_t payload_size);
+
+/// Outcome of scanning one log's byte stream.
+struct WalScan {
+  std::vector<WalStatement> records;
+  /// Byte offset of the first incomplete/invalid frame — the truncation
+  /// point recovery cuts the file back to.
+  uint64_t clean_bytes = 0;
+  /// OK when the stream ends exactly on a record boundary. kDataLoss for
+  /// a torn tail (incomplete final frame — expected after a crash, safe
+  /// to truncate). kCorruption for a complete frame whose CRC fails or
+  /// whose payload does not parse — never replayed past.
+  Status tail;
+};
+
+/// Scans `data` frame by frame into `*scan`. Always fills every record
+/// that precedes the first problem; the scan-level contract is that any
+/// byte *prefix* of a valid log yields tail OK or kDataLoss (a prefix can
+/// tear a frame but never mis-checksum one), while a bit flip inside a
+/// complete frame yields kCorruption.
+void ScanWal(const Slice& data, WalScan* scan);
+
+}  // namespace svr::durability
+
+#endif  // SVR_DURABILITY_WAL_FORMAT_H_

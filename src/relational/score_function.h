@@ -49,6 +49,12 @@ class AggFunction {
     return f;
   }
 
+  /// True for Custom-built combiners. An opaque std::function cannot be
+  /// serialized, so the durability layer refuses to log a CreateTextIndex
+  /// carrying one (WeightedSum round-trips through its weights).
+  bool is_custom() const { return static_cast<bool>(custom_); }
+  const std::vector<double>& weights() const { return weights_; }
+
   double Apply(const std::vector<double>& components) const {
     if (custom_) return custom_(components);
     double total = 0.0;

@@ -1,8 +1,32 @@
 #include "storage/page_store.h"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
 
 namespace svr::storage {
+
+namespace {
+
+/// "<what>: wrote <got> of <want> bytes (<strerror>)" — short writes used
+/// to be reported as a bare "short page write" with the errno discarded,
+/// which made ENOSPC vs EIO triage impossible from logs.
+Status ShortWriteError(const char* what, size_t got, size_t want,
+                       std::FILE* file) {
+  const int err = std::ferror(file) != 0 ? errno : 0;
+  std::string msg = std::string(what) + ": wrote " + std::to_string(got) +
+                    " of " + std::to_string(want) + " bytes";
+  if (err != 0) {
+    msg += " (";
+    msg += std::strerror(err);
+    msg += ")";
+  }
+  std::clearerr(file);
+  return Status::IOError(msg);
+}
+
+}  // namespace
 
 InMemoryPageStore::InMemoryPageStore(uint32_t page_size)
     : page_size_(page_size) {}
@@ -115,10 +139,24 @@ Status FilePageStore::Write(PageId id, const char* buf) {
   if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
     return Status::IOError("seek failed");
   }
-  if (std::fwrite(buf, 1, page_size_, file_) != page_size_) {
-    return Status::IOError("short page write");
+  const size_t wrote = std::fwrite(buf, 1, page_size_, file_);
+  if (wrote != page_size_) {
+    return ShortWriteError("short page write", wrote, page_size_, file_);
   }
   ++stats_.writes;
+  return Status::OK();
+}
+
+Status FilePageStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::fflush(file_) != 0) {
+    return Status::IOError(std::string("page file flush failed (") +
+                           std::strerror(errno) + ")");
+  }
+  if (::fsync(fileno(file_)) != 0) {
+    return Status::IOError(std::string("page file fsync failed (") +
+                           std::strerror(errno) + ")");
+  }
   return Status::OK();
 }
 

@@ -43,6 +43,11 @@ class PageStore {
   /// Returns page `id` to the free list.
   virtual Status Free(PageId id) = 0;
 
+  /// Flushes written pages to durable storage (fsync on FilePageStore).
+  /// A no-op for stores with no durability to offer; checkpoint writers
+  /// call it before declaring their output stable.
+  virtual Status Sync() { return Status::OK(); }
+
   virtual uint32_t page_size() const = 0;
   /// Number of live (allocated and not freed) pages.
   virtual uint64_t live_pages() const = 0;
@@ -104,6 +109,8 @@ class FilePageStore final : public PageStore {
   Result<PageId> Allocate() override;
   Result<PageId> AllocateRun(uint32_t n) override;
   Status Free(PageId id) override;
+  /// fflush + fsync of the backing file.
+  Status Sync() override;
 
   uint32_t page_size() const override { return page_size_; }
   uint64_t live_pages() const override {

@@ -111,11 +111,49 @@ def check_mvcc_churn(d):
         "; ".join(sat), mvcc["qry_p95_ms"], lock["qry_p95_ms"], base)
 
 
+def check_durability(d):
+    assert d["series"], "empty durability bench"
+    commit = {s["mode"]: s for s in d["series"] if s["kind"] == "commit"}
+    assert {"group", "sync_each"} <= set(commit), "missing commit modes"
+    group = commit["group"]["ops_per_sec"]
+    sync_each = commit["sync_each"]["ops_per_sec"]
+    # The group-commit claim: one padded fsync acknowledges every
+    # statement that queued behind it, so throughput must beat the
+    # fsync-per-statement baseline by a wide factor (~thread count on an
+    # idle box; gated conservatively).
+    assert group >= 3 * sync_each, \
+        "group commit %.0f ops/s not >= 3x sync-each %.0f" % (
+            group, sync_each)
+    recovery = [s for s in d["series"] if s["kind"] == "recovery"]
+    assert recovery, "no recovery series"
+    by_len = {}
+    for s in recovery:
+        assert s["mismatches"] == 0, \
+            "recovered engine diverged at wal_ops=%d ckpt=%s" % (
+                s["wal_ops"], s["checkpoint"])
+        assert s["queries"] > 0, "no post-recovery queries validated"
+        assert s["replay_errors"] == 0, \
+            "replay errors at wal_ops=%d" % s["wal_ops"]
+        assert s["used_checkpoint"] == s["checkpoint"], \
+            "checkpoint presence disagrees with recovery at wal_ops=%d" \
+            % s["wal_ops"]
+        by_len.setdefault(s["wal_ops"], {})[s["checkpoint"]] = s
+    for wal_ops, pair in by_len.items():
+        assert set(pair) == {True, False}, \
+            "missing checkpoint pair at wal_ops=%d" % wal_ops
+        assert (pair[True]["wal_records_replayed"] <
+                pair[False]["wal_records_replayed"]), \
+            "checkpoint did not shorten replay at wal_ops=%d" % wal_ops
+    return "group commit %.1fx over sync-each; %d recovery runs, " \
+        "0 mismatches" % (group / sync_each, len(recovery))
+
+
 CHECKERS = {
     "merge_policy": check_merge_policy,
     "concurrent_churn": check_concurrent_churn,
     "sharded_churn": check_sharded_churn,
     "mvcc_churn": check_mvcc_churn,
+    "durability": check_durability,
 }
 
 
