@@ -7,9 +7,15 @@
 #              by tools/check_bench_json.py).
 #   sanitize — ThreadSanitizer over the `concurrency`-labelled suites
 #              and an ASan+UBSan build of the FULL ctest suite.
+#   static   — tools/run_static_analysis.sh: clang -Wthread-safety
+#              -Werror build (+ the dropped-REQUIRES negative test),
+#              clang-tidy, the lock-order lint, and a bounded fuzz
+#              smoke over fuzz/corpus/ (docs/static_analysis.md).
 #
 # Knobs: SANITIZERS=0 skips the sanitizer half (fast local/tier-1 run);
-# SANITIZERS_ONLY=1 runs only the sanitizer half (the CI matrix job).
+# SANITIZERS_ONLY=1 runs only the sanitizer half (the CI matrix job);
+# STATIC_ONLY=1 runs only the static-analysis slice (the CI static job
+# sets REQUIRE_TOOLS=1 so a missing clang fails instead of skipping).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -18,6 +24,13 @@ TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
 ASAN_BUILD_DIR="${ASAN_BUILD_DIR:-build-asan}"
 SANITIZERS="${SANITIZERS:-1}"
 SANITIZERS_ONLY="${SANITIZERS_ONLY:-0}"
+STATIC_ONLY="${STATIC_ONLY:-0}"
+
+if [ "$STATIC_ONLY" = "1" ]; then
+  ./tools/run_static_analysis.sh
+  echo "ci.sh: OK (static slice)"
+  exit 0
+fi
 
 if [ "$SANITIZERS_ONLY" != "1" ]; then
   cmake -B "$BUILD_DIR" -S .

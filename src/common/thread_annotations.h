@@ -1,0 +1,206 @@
+#ifndef SVR_COMMON_THREAD_ANNOTATIONS_H_
+#define SVR_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+/// \brief Clang Thread Safety Analysis support (docs/static_analysis.md).
+///
+/// The macros below expand to clang's thread-safety attributes when the
+/// compiler supports them and to nothing otherwise, so the annotated
+/// sources build identically under gcc. The `svr::Mutex` / `svr::SharedMutex`
+/// wrappers exist because the std lock types carry no annotations: a
+/// `std::mutex` acquisition is invisible to the analysis, while an
+/// acquisition through the CAPABILITY-wrapped types is a checked event.
+///
+/// Conventions (enforced by tools/run_static_analysis.sh in CI):
+///  - data members name their lock with GUARDED_BY(mu_);
+///  - private helpers that expect the lock held are REQUIRES(mu_);
+///  - public entry points that must NOT be called with the lock held
+///    (they acquire it) are EXCLUDES(mu_);
+///  - lock-order edges are declared with ACQUIRED_AFTER/ACQUIRED_BEFORE
+///    on the mutex members and cross-checked by tools/check_lock_order.py.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SVR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SVR_THREAD_ANNOTATION(x)  // no-op under gcc/msvc
+#endif
+
+#define CAPABILITY(x) SVR_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY SVR_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) SVR_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) SVR_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) SVR_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) SVR_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  SVR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  SVR_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) SVR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  SVR_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) SVR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  SVR_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  SVR_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  SVR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  SVR_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) SVR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) SVR_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) SVR_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SVR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Expands to REQUIRES normally; to nothing under -DSVR_TSA_NEGATIVE_TEST.
+/// run_static_analysis.sh compiles one TU with the define and asserts the
+/// -Wthread-safety build FAILS — proving the annotation actually guards
+/// the path it is on (the "dropping the REQUIRES breaks the build"
+/// acceptance test). Use only on the designated negative-test sites.
+#ifdef SVR_TSA_NEGATIVE_TEST
+#define REQUIRES_FOR_NEGATIVE_TEST(...)
+#else
+#define REQUIRES_FOR_NEGATIVE_TEST(...) REQUIRES(__VA_ARGS__)
+#endif
+
+namespace svr {
+
+/// std::mutex with the capability attribute, so acquisitions through it
+/// participate in -Wthread-safety. The lowercase aliases keep it
+/// BasicLockable: std::unique_lock<svr::Mutex> and
+/// std::condition_variable_any still work where the analysis cannot
+/// (dynamically indexed per-shard mutexes) — those sites are TSA-silent,
+/// not TSA-errors, and are covered by the lock-order lint instead.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  /// For asserting externally established exclusion (e.g. "only called
+  /// before threads start") to the analysis. No runtime effect.
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+  // BasicLockable surface for std::unique_lock / condition_variable_any.
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with the capability attribute.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void ReaderLock() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() RELEASE_SHARED() { mu_.unlock_shared(); }
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+  // Lockable / SharedLockable surface for the std lock adapters.
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Condition variable over svr::Mutex. condition_variable_any waits on
+/// any BasicLockable, and taking the Mutex by reference (not a
+/// unique_lock) keeps the REQUIRES contract visible to the analysis.
+class CondVar {
+ public:
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    WaitAdapter adapter{&mu};
+    cv_.wait(adapter);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& d)
+      REQUIRES(mu) {
+    WaitAdapter adapter{&mu};
+    return cv_.wait_for(adapter, d);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // condition_variable_any unlocks/relocks through this; the analysis
+  // does not see those transitions, which is correct: the capability is
+  // held again by the time Wait returns.
+  struct WaitAdapter {
+    Mutex* mu;
+    void lock() NO_THREAD_SAFETY_ANALYSIS { mu->lock(); }
+    void unlock() NO_THREAD_SAFETY_ANALYSIS { mu->unlock(); }
+  };
+
+  std::condition_variable_any cv_;
+};
+
+/// RAII exclusive lock, the annotated analogue of std::lock_guard.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII shared (reader) lock on a SharedMutex. The destructor uses the
+/// generic release form: a scoped capability's death releases whatever
+/// mode it holds.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.ReaderLock();
+  }
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_.ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() RELEASE_GENERIC() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace svr
+
+#endif  // SVR_COMMON_THREAD_ANNOTATIONS_H_

@@ -17,13 +17,13 @@ EpochManager::~EpochManager() {
 }
 
 EpochManager::Guard EpochManager::Enter() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++active_[epoch_];
   return Guard(this, epoch_);
 }
 
 void EpochManager::Exit(uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = active_.find(epoch);
   if (it != active_.end() && --it->second == 0) {
     active_.erase(it);
@@ -31,7 +31,7 @@ void EpochManager::Exit(uint64_t epoch) {
 }
 
 void EpochManager::Retire(std::function<void()> reclaim, uint64_t objects) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   retired_.push_back({epoch_, objects, std::move(reclaim)});
   objects_pending_ += objects;
   // Readers entering from now on get a strictly larger epoch: they can
@@ -43,7 +43,7 @@ void EpochManager::Retire(std::function<void()> reclaim, uint64_t objects) {
 size_t EpochManager::ReclaimExpired() {
   std::vector<std::function<void()>> ready;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const uint64_t min_active =
         active_.empty() ? UINT64_MAX : active_.begin()->first;
     while (!retired_.empty() && retired_.front().epoch < min_active) {
@@ -62,34 +62,34 @@ size_t EpochManager::ReclaimExpired() {
 }
 
 size_t EpochManager::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return retired_.size();
 }
 
 uint64_t EpochManager::reclaimed_total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return reclaimed_total_;
 }
 
 uint64_t EpochManager::objects_pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return objects_pending_;
 }
 
 uint64_t EpochManager::objects_reclaimed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return objects_reclaimed_;
 }
 
 size_t EpochManager::active_guards() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t n = 0;
   for (const auto& [epoch, count] : active_) n += count;
   return n;
 }
 
 uint64_t EpochManager::current_epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return epoch_;
 }
 

@@ -5,7 +5,8 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace svr::concurrency {
 
@@ -83,7 +84,7 @@ class EpochManager {
   EpochManager& operator=(const EpochManager&) = delete;
 
   /// Registers the calling reader in the current epoch.
-  Guard Enter();
+  Guard Enter() EXCLUDES(mu_);
 
   /// Defers `reclaim` until every guard that could have observed the
   /// object has been released. The caller must already have unpublished
@@ -91,27 +92,28 @@ class EpochManager {
   /// must have no path to it. `objects` is how many dead objects the
   /// callback frees (accounting only; a commit batches all of its dead
   /// pages and blobs into one retirement).
-  void Retire(std::function<void()> reclaim, uint64_t objects = 1);
+  void Retire(std::function<void()> reclaim, uint64_t objects = 1)
+      EXCLUDES(mu_);
 
   /// Runs the reclaim callbacks of every expired retirement; returns how
   /// many ran. Callbacks execute outside the manager's mutex.
-  size_t ReclaimExpired();
+  size_t ReclaimExpired() EXCLUDES(mu_);
 
   /// Retirements still waiting for their readers to exit.
-  size_t pending() const;
+  size_t pending() const EXCLUDES(mu_);
   /// Total retirements reclaimed over the manager's lifetime.
-  uint64_t reclaimed_total() const;
+  uint64_t reclaimed_total() const EXCLUDES(mu_);
   /// Object counts behind the retirements (sum of the `objects` args).
-  uint64_t objects_pending() const;
-  uint64_t objects_reclaimed() const;
+  uint64_t objects_pending() const EXCLUDES(mu_);
+  uint64_t objects_reclaimed() const EXCLUDES(mu_);
   /// Live guards (diagnostics).
-  size_t active_guards() const;
-  uint64_t current_epoch() const;
+  size_t active_guards() const EXCLUDES(mu_);
+  uint64_t current_epoch() const EXCLUDES(mu_);
 
  private:
   friend class Guard;
 
-  void Exit(uint64_t epoch);
+  void Exit(uint64_t epoch) EXCLUDES(mu_);
 
   struct Retired {
     uint64_t epoch;  // last epoch whose readers could see the object
@@ -119,15 +121,15 @@ class EpochManager {
     std::function<void()> reclaim;
   };
 
-  mutable std::mutex mu_;
-  uint64_t epoch_ = 1;
+  mutable Mutex mu_;
+  uint64_t epoch_ GUARDED_BY(mu_) = 1;
   /// epoch -> number of live guards that entered at it. Ordered so the
   /// oldest live epoch is begin().
-  std::map<uint64_t, uint32_t> active_;
-  std::deque<Retired> retired_;
-  uint64_t reclaimed_total_ = 0;
-  uint64_t objects_pending_ = 0;
-  uint64_t objects_reclaimed_ = 0;
+  std::map<uint64_t, uint32_t> active_ GUARDED_BY(mu_);
+  std::deque<Retired> retired_ GUARDED_BY(mu_);
+  uint64_t reclaimed_total_ GUARDED_BY(mu_) = 0;
+  uint64_t objects_pending_ GUARDED_BY(mu_) = 0;
+  uint64_t objects_reclaimed_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace svr::concurrency

@@ -20,8 +20,8 @@ void MergeScheduler::Start() {
   // old run's queue/pending state is cleared, so a new run can never
   // share the pending set (the per-term in-flight guard) with old
   // workers that are still finishing jobs.
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lifecycle(lifecycle_mu_);
+  MutexLock lock(mu_);
   if (running_) return;
   stop_ = false;
   running_ = true;
@@ -36,10 +36,10 @@ void MergeScheduler::Start() {
 }
 
 void MergeScheduler::Stop() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  MutexLock lifecycle(lifecycle_mu_);
   std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     // Claim the shutdown under the lock (running_ flips before the
     // join) so concurrent Stop callers can't both join the workers.
@@ -48,20 +48,20 @@ void MergeScheduler::Stop() {
     to_join = std::move(workers_);
     workers_.clear();
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : to_join) t.join();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.clear();
     pending_.clear();
   }
-  idle_cv_.notify_all();
+  idle_cv_.NotifyAll();
 }
 
 bool MergeScheduler::Enqueue(TermId term) {
   bool accepted = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_ || stop_) return false;
     if (pending_.count(term) != 0) {
       ++stats_.dedup_hits;
@@ -76,7 +76,7 @@ bool MergeScheduler::Enqueue(TermId term) {
     ++stats_.enqueued;
     accepted = true;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return accepted;
 }
 
@@ -90,21 +90,21 @@ size_t MergeScheduler::EnqueueMany(const std::vector<TermId>& terms) {
 
 void MergeScheduler::WaitIdle() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] {
-      return !running_ || (queue_.empty() && in_flight_ == 0);
-    });
+    MutexLock lock(mu_);
+    while (running_ && !(queue_.empty() && in_flight_ == 0)) {
+      idle_cv_.Wait(mu_);
+    }
   }
   epochs_->ReclaimExpired();
 }
 
 bool MergeScheduler::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return running_;
 }
 
 MergeSchedulerStats MergeScheduler::StatsSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MergeSchedulerStats s = stats_;
   s.queue_depth = queue_.size() + in_flight_;
   s.workers = running_ ? options_.workers : 0;
@@ -112,34 +112,40 @@ MergeSchedulerStats MergeScheduler::StatsSnapshot() const {
 }
 
 Status MergeScheduler::first_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return first_error_;
 }
 
 void MergeScheduler::WorkerLoop() {
   while (true) {
     TermId term = 0;
+    bool have_job = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait_for(
-          lock, std::chrono::milliseconds(options_.idle_reclaim_ms),
-          [this] { return stop_ || !queue_.empty(); });
-      if (stop_) break;
-      if (queue_.empty()) {
-        // Idle wakeup: only the reclaim pass below has work to do.
-        lock.unlock();
-        epochs_->ReclaimExpired();
-        continue;
+      MutexLock lock(mu_);
+      if (!stop_ && queue_.empty()) {
+        // Bounded nap; a spurious or timed-out wakeup with an empty
+        // queue simply runs the idle reclaim pass below and loops.
+        work_cv_.WaitFor(mu_,
+                         std::chrono::milliseconds(options_.idle_reclaim_ms));
       }
-      term = queue_.front();
-      queue_.pop_front();
-      ++in_flight_;
+      if (stop_) break;
+      if (!queue_.empty()) {
+        term = queue_.front();
+        queue_.pop_front();
+        ++in_flight_;
+        have_job = true;
+      }
+    }
+    if (!have_job) {
+      // Idle wakeup: only the reclaim pass has work to do.
+      epochs_->ReclaimExpired();
+      continue;
     }
 
     Status st = RunJob(term);
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
       // Erase after the job so a mid-merge Enqueue of the same term is a
       // dedup hit — the install re-validates against the live short
@@ -147,7 +153,7 @@ void MergeScheduler::WorkerLoop() {
       pending_.erase(term);
       if (!st.ok() && first_error_.ok()) first_error_ = st;
     }
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
     epochs_->ReclaimExpired();
   }
 }
@@ -166,21 +172,21 @@ Status MergeScheduler::RunJob(TermId term) {
     // publishes the next snapshot.
     Status install = hooks_.install(plan.get());
     if (install.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.completed;
       return Status::OK();
     }
     if (!install.IsAborted()) return install;
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.aborted;
     }
     if (attempt >= options_.max_retries) {
       // Hot term: stop chasing it optimistically and run one synchronous
       // merge on the writer side (bounded stall).
       Status st = hooks_.sync_merge(term);
-      std::lock_guard<std::mutex> slock(mu_);
+      MutexLock slock(mu_);
       ++stats_.sync_fallbacks;
       return st;
     }

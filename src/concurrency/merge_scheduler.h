@@ -1,17 +1,16 @@
 #ifndef SVR_CONCURRENCY_MERGE_SCHEDULER_H_
 #define SVR_CONCURRENCY_MERGE_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "concurrency/epoch.h"
 #include "index/text_index.h"
@@ -91,38 +90,38 @@ class MergeScheduler {
   /// Starts the worker pool and clears any sticky error left by a
   /// previous run (a restarted scheduler must not keep reporting a
   /// stale failure). Idempotent.
-  void Start();
+  void Start() EXCLUDES(lifecycle_mu_, mu_);
 
   /// Stops the workers after their in-flight jobs (queued jobs are
   /// discarded — merge triggers re-fire while their terms qualify) and
   /// joins them. Idempotent; also called by the destructor. Does not
   /// drain the epoch manager: the owner does that once no readers
   /// remain.
-  void Stop();
+  void Stop() EXCLUDES(lifecycle_mu_, mu_);
 
   /// Queues a merge job for `term`. Returns false (and counts why) when
   /// the term is already queued/in flight or the queue is full.
-  bool Enqueue(TermId term);
+  bool Enqueue(TermId term) EXCLUDES(mu_);
   /// Enqueue for each term; returns how many were accepted.
-  size_t EnqueueMany(const std::vector<TermId>& terms);
+  size_t EnqueueMany(const std::vector<TermId>& terms) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no job is in flight, then runs
   /// a reclaim pass. Must not be called from the host's writer section
   /// (the worker needs it to finish). Test/bench quiescence hook.
-  void WaitIdle();
+  void WaitIdle() EXCLUDES(mu_);
 
-  bool running() const;
-  MergeSchedulerStats StatsSnapshot() const;
+  bool running() const EXCLUDES(mu_);
+  MergeSchedulerStats StatsSnapshot() const EXCLUDES(mu_);
   /// First non-retryable job failure, if any (sticky for the lifetime of
   /// one run; surfaced by the engine on the next write and cleared by
   /// the next Start()).
-  Status first_error() const;
+  Status first_error() const EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
   /// One job: prepare (pinned view) -> install (writer), retrying on
   /// Aborted up to max_retries, then synchronous fallback.
-  Status RunJob(TermId term);
+  Status RunJob(TermId term) EXCLUDES(mu_);
 
   EpochManager* epochs_;
   MergeHostHooks hooks_;
@@ -131,18 +130,18 @@ class MergeScheduler {
   /// Serializes whole Start/Stop transitions (held across the worker
   /// join), so a Start racing a Stop cannot spawn a new run whose
   /// queue/pending state the old Stop would then clear from under it.
-  std::mutex lifecycle_mu_;
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // worker wakeups
-  std::condition_variable idle_cv_;   // WaitIdle wakeups
-  std::deque<TermId> queue_;
-  std::unordered_set<TermId> pending_;  // queued or in flight
-  size_t in_flight_ = 0;                // jobs currently being merged
-  bool stop_ = false;
-  bool running_ = false;
-  MergeSchedulerStats stats_;
-  Status first_error_;
-  std::vector<std::thread> workers_;
+  Mutex lifecycle_mu_ ACQUIRED_BEFORE(mu_);
+  mutable Mutex mu_;
+  CondVar work_cv_;   // worker wakeups
+  CondVar idle_cv_;   // WaitIdle wakeups
+  std::deque<TermId> queue_ GUARDED_BY(mu_);
+  std::unordered_set<TermId> pending_ GUARDED_BY(mu_);  // queued or in flight
+  size_t in_flight_ GUARDED_BY(mu_) = 0;  // jobs currently being merged
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool running_ GUARDED_BY(mu_) = false;
+  MergeSchedulerStats stats_ GUARDED_BY(mu_);
+  Status first_error_ GUARDED_BY(mu_);
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
 };
 
 }  // namespace svr::concurrency

@@ -14,25 +14,25 @@ QueryPool::QueryPool(size_t workers) {
 
 QueryPool::~QueryPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void QueryPool::Finish(Task* task) {
   Batch* batch = task->batch;
-  std::lock_guard<std::mutex> lock(batch->mu);
-  if (--batch->remaining == 0) batch->done_cv.notify_all();
+  MutexLock lock(batch->mu);
+  if (--batch->remaining == 0) batch->done_cv.NotifyAll();
 }
 
 void QueryPool::WorkerLoop() {
   while (true) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) work_cv_.Wait(mu_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -45,7 +45,10 @@ void QueryPool::WorkerLoop() {
 void QueryPool::RunAll(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   Batch batch;
-  batch.remaining = tasks.size();
+  {
+    MutexLock lock(batch.mu);
+    batch.remaining = tasks.size();
+  }
 
   // The calling thread keeps the last task for itself: with one worker
   // and one caller the scatter still runs two lanes, and a pool whose
@@ -53,21 +56,21 @@ void QueryPool::RunAll(std::vector<std::function<void()>> tasks) {
   std::function<void()> mine = std::move(tasks.back());
   tasks.pop_back();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& fn : tasks) {
       queue_.push_back(Task{std::move(fn), &batch});
     }
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   mine();
   {
-    std::lock_guard<std::mutex> lock(batch.mu);
-    if (--batch.remaining == 0) batch.done_cv.notify_all();
+    MutexLock lock(batch.mu);
+    if (--batch.remaining == 0) batch.done_cv.NotifyAll();
   }
 
-  std::unique_lock<std::mutex> lock(batch.mu);
-  batch.done_cv.wait(lock, [&] { return batch.remaining == 0; });
+  MutexLock lock(batch.mu);
+  while (batch.remaining != 0) batch.done_cv.Wait(batch.mu);
 }
 
 }  // namespace svr::concurrency

@@ -1,13 +1,13 @@
 #ifndef SVR_CONCURRENCY_QUERY_POOL_H_
 #define SVR_CONCURRENCY_QUERY_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace svr::concurrency {
 
@@ -30,28 +30,33 @@ class QueryPool {
 
   /// Runs every task and returns once all of them completed. Tasks must
   /// not themselves call RunAll on the same pool.
-  void RunAll(std::vector<std::function<void()>> tasks);
+  void RunAll(std::vector<std::function<void()>> tasks) EXCLUDES(mu_);
 
   size_t workers() const { return workers_.size(); }
 
  private:
+  /// Completion counter for one RunAll call. Stack-allocated by the
+  /// caller; its mutex is ordered after the pool's queue mutex by
+  /// construction (workers only touch it with mu_ released).
   struct Batch {
-    std::mutex mu;
-    std::condition_variable done_cv;
-    size_t remaining = 0;
+    Mutex mu;
+    CondVar done_cv;
+    size_t remaining GUARDED_BY(mu) = 0;
   };
   struct Task {
     std::function<void()> fn;
     Batch* batch;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
   static void Finish(Task* task);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<Task> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  std::deque<Task> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  // Written only by the constructor and joined by the destructor, both
+  // of which are exempt from the analysis (single-threaded phases).
   std::vector<std::thread> workers_;
 };
 

@@ -79,8 +79,8 @@ ShardedSvrEngine::ShardedSvrEngine(
   shard_insert_mu_.reserve(shards_.size());
   shard_log_mu_.reserve(shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
-    shard_insert_mu_.push_back(std::make_unique<std::mutex>());
-    shard_log_mu_.push_back(std::make_unique<std::mutex>());
+    shard_insert_mu_.push_back(std::make_unique<Mutex>());
+    shard_log_mu_.push_back(std::make_unique<Mutex>());
   }
   if (num_query_threads > 1 && shards_.size() > 1) {
     // The caller participates in every scatter, so N threads = N - 1
@@ -141,7 +141,7 @@ Status ShardedSvrEngine::CreateTable(const std::string& name,
   // leaves no routing entry behind (CreateTextIndex trusts tables_ to
   // mean "exists on every shard").
   {
-    std::unique_lock<std::shared_mutex> lock(map_mu_);
+    WriterMutexLock lock(map_mu_);
     TableRoute route;
     route.pk_index = schema.pk_index();
     route.route_column = schema.pk_index();
@@ -177,7 +177,7 @@ Status ShardedSvrEngine::CreateTextIndex(
   std::vector<std::pair<std::string, int>> old_routes;
   std::vector<std::pair<std::string, int>> new_routes;
   {
-    std::unique_lock<std::shared_mutex> lock(map_mu_);
+    WriterMutexLock lock(map_mu_);
     if (tables_.count(table) == 0) {
       return Status::NotFound("no such table: " + table);
     }
@@ -217,7 +217,7 @@ Status ShardedSvrEngine::CreateTextIndex(
       // CreateTextIndex is not undoable; a retry on them returns
       // AlreadyExists). A partially-indexed engine should be
       // discarded — docs/sharding.md.
-      std::unique_lock<std::shared_mutex> lock(map_mu_);
+      WriterMutexLock lock(map_mu_);
       scored_table_ = old_scored_table;
       for (const auto& [name, column] : old_routes) {
         tables_[name].route_column = column;
@@ -240,7 +240,7 @@ Status ShardedSvrEngine::CreateTextIndex(
 
 Result<const ShardedSvrEngine::TableRoute*> ShardedSvrEngine::RouteOf(
     const std::string& table) const {
-  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  ReaderMutexLock lock(map_mu_);
   auto it = tables_.find(table);
   if (it == tables_.end()) {
     return Status::NotFound("no such table: " + table);
@@ -251,10 +251,10 @@ Result<const ShardedSvrEngine::TableRoute*> ShardedSvrEngine::RouteOf(
 }
 
 ShardedSvrEngine::Loc ShardedSvrEngine::MapOrAllocate(
-    int64_t gid, std::unique_lock<std::mutex>* insert_lock, bool* fresh) {
+    int64_t gid, std::unique_lock<Mutex>* insert_lock, bool* fresh) {
   *fresh = false;
   {
-    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    ReaderMutexLock lock(map_mu_);
     auto it = id_map_.find(gid);
     if (it != id_map_.end()) return it->second;
   }
@@ -262,8 +262,8 @@ ShardedSvrEngine::Loc ShardedSvrEngine::MapOrAllocate(
   // The insert mutex spans local-id allocation AND the caller's shard
   // write, so allocation order equals the shard's insert order — the
   // per-shard density the underlying engine requires.
-  *insert_lock = std::unique_lock<std::mutex>(*shard_insert_mu_[s]);
-  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  *insert_lock = std::unique_lock<Mutex>(*shard_insert_mu_[s]);
+  ReaderMutexLock lock(map_mu_);
   auto it = id_map_.find(gid);
   if (it != id_map_.end()) {
     insert_lock->unlock();  // lost the race; the key is mapped now
@@ -283,7 +283,7 @@ ShardedSvrEngine::Loc ShardedSvrEngine::MapOrAllocate(
 
 Result<std::pair<uint32_t, DocId>> ShardedSvrEngine::Route(
     int64_t gid) const {
-  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  ReaderMutexLock lock(map_mu_);
   auto it = id_map_.find(gid);
   if (it == id_map_.end()) {
     return Status::NotFound("key never routed: " + std::to_string(gid));
@@ -292,7 +292,7 @@ Result<std::pair<uint32_t, DocId>> ShardedSvrEngine::Route(
 }
 
 int64_t ShardedSvrEngine::GlobalIdOf(uint32_t shard, DocId local) const {
-  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  ReaderMutexLock lock(map_mu_);
   if (shard >= local_to_global_.size() ||
       local >= local_to_global_[shard].size()) {
     return kInvalidGlobalId;
@@ -317,7 +317,7 @@ Status ShardedSvrEngine::Insert(const std::string& table,
   if (route->route_column != route->pk_index) {
     return InsertJoinRouted(table, *route, row, gid);
   }
-  std::unique_lock<std::mutex> insert_lock;
+  std::unique_lock<Mutex> insert_lock;
   bool fresh = false;
   const Loc loc = MapOrAllocate(gid, &insert_lock, &fresh);
   relational::Row translated = row;
@@ -331,7 +331,7 @@ Status ShardedSvrEngine::Insert(const std::string& table,
     // order equals its commit-timestamp order. The durability wait
     // happens after every lock is released, so concurrent statements
     // batch onto one fsync.
-    std::lock_guard<std::mutex> log_lock(*shard_log_mu_[loc.shard]);
+    std::unique_lock<Mutex> log_lock(*shard_log_mu_[loc.shard]);
     uint64_t ts = 0;
     st = shards_[loc.shard]->Insert(table, translated, &ts);
     if (st.ok() && logging_armed_) {
@@ -358,7 +358,7 @@ Status ShardedSvrEngine::Insert(const std::string& table,
     if (landed) {
       // Still under the shard's insert mutex, so the reserved local is
       // still the shard's next slot.
-      std::unique_lock<std::shared_mutex> lock(map_mu_);
+      WriterMutexLock lock(map_mu_);
       local_to_global_[loc.shard].push_back(gid);
       id_map_.emplace(gid, Loc{loc.shard, loc.local});
     }
@@ -388,7 +388,7 @@ Status ShardedSvrEngine::InsertJoinRouted(const std::string& table,
     // only see their own partition, so rows with one pk routed to two
     // different shards would otherwise both land (the first becoming
     // unreachable). The claim is rolled back if the insert fails.
-    std::unique_lock<std::shared_mutex> lock(map_mu_);
+    WriterMutexLock lock(map_mu_);
     auto [it, inserted] =
         join_routed_rows_[table].emplace(pk, loc.first);
     if (!inserted) {
@@ -402,7 +402,7 @@ Status ShardedSvrEngine::InsertJoinRouted(const std::string& table,
   bool logged = false;
   Status st;
   {
-    std::lock_guard<std::mutex> log_lock(*shard_log_mu_[loc.first]);
+    std::unique_lock<Mutex> log_lock(*shard_log_mu_[loc.first]);
     uint64_t ts = 0;
     st = shards_[loc.first]->Insert(table, translated, &ts);
     if (st.ok() && logging_armed_) {
@@ -415,7 +415,7 @@ Status ShardedSvrEngine::InsertJoinRouted(const std::string& table,
     }
   }
   if (!st.ok()) {
-    std::unique_lock<std::shared_mutex> lock(map_mu_);
+    WriterMutexLock lock(map_mu_);
     join_routed_rows_[table].erase(pk);
   }
   if (logged) SVR_RETURN_NOT_OK(log_writers_[loc.first]->WaitDurable(ticket));
@@ -439,7 +439,7 @@ Status ShardedSvrEngine::Update(const std::string& table,
     }
     // Join-routed rows live where their document lives; moving a row to
     // a document of another shard would be a cross-shard migration.
-    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    ReaderMutexLock lock(map_mu_);
     auto table_it = join_routed_rows_.find(table);
     if (table_it == join_routed_rows_.end()) {
       return Status::NotFound(table + ": row was never inserted here");
@@ -460,7 +460,7 @@ Status ShardedSvrEngine::Update(const std::string& table,
   bool logged = false;
   Status st;
   {
-    std::lock_guard<std::mutex> log_lock(*shard_log_mu_[loc.first]);
+    std::unique_lock<Mutex> log_lock(*shard_log_mu_[loc.first]);
     uint64_t ts = 0;
     st = shards_[loc.first]->Update(table, translated, &ts);
     if (st.ok() && logging_armed_) {
@@ -481,7 +481,7 @@ Status ShardedSvrEngine::Delete(const std::string& table, int64_t pk) {
   if (route->route_column != route->pk_index) {
     uint32_t shard = 0;
     {
-      std::shared_lock<std::shared_mutex> lock(map_mu_);
+      ReaderMutexLock lock(map_mu_);
       auto table_it = join_routed_rows_.find(table);
       if (table_it == join_routed_rows_.end()) {
         return Status::NotFound(table + ": row was never inserted here");
@@ -498,7 +498,7 @@ Status ShardedSvrEngine::Delete(const std::string& table, int64_t pk) {
     uint64_t ticket = 0;
     bool logged = false;
     {
-      std::lock_guard<std::mutex> log_lock(*shard_log_mu_[shard]);
+      std::unique_lock<Mutex> log_lock(*shard_log_mu_[shard]);
       uint64_t ts = 0;
       SVR_RETURN_NOT_OK(shards_[shard]->Delete(table, pk, &ts));
       if (logging_armed_) {
@@ -511,7 +511,7 @@ Status ShardedSvrEngine::Delete(const std::string& table, int64_t pk) {
       }
     }
     {
-      std::unique_lock<std::shared_mutex> lock(map_mu_);
+      WriterMutexLock lock(map_mu_);
       auto table_it = join_routed_rows_.find(table);
       if (table_it != join_routed_rows_.end()) table_it->second.erase(pk);
     }
@@ -523,7 +523,7 @@ Status ShardedSvrEngine::Delete(const std::string& table, int64_t pk) {
   bool logged = false;
   Status st;
   {
-    std::lock_guard<std::mutex> log_lock(*shard_log_mu_[loc.first]);
+    std::unique_lock<Mutex> log_lock(*shard_log_mu_[loc.first]);
     uint64_t ts = 0;
     st = shards_[loc.first]->Delete(table,
                                     static_cast<int64_t>(loc.second), &ts);
@@ -545,7 +545,7 @@ ShardedSvrEngine::TranslateToGlobal(
     const std::vector<std::vector<index::SearchResult>>& lists,
     const std::vector<uint32_t>& shard_of_list) const {
   std::vector<std::vector<index::SearchResult>> out(lists.size());
-  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  ReaderMutexLock lock(map_mu_);
   for (size_t i = 0; i < lists.size(); ++i) {
     const size_t s = i < shard_of_list.size() ? shard_of_list[i]
                                               : local_to_global_.size();
@@ -652,7 +652,7 @@ Result<std::vector<ScoredRow>> ShardedSvrEngine::SearchAt(
 
   int pk_index = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    ReaderMutexLock lock(map_mu_);
     auto it = tables_.find(scored_table_);
     if (it != tables_.end()) pk_index = it->second.pk_index;
   }
@@ -671,7 +671,7 @@ Result<std::vector<ScoredRow>> ShardedSvrEngine::SearchAt(
   // times on the hot query path.
   std::vector<Loc> hit_locs(merged.size());
   {
-    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    ReaderMutexLock lock(map_mu_);
     for (size_t i = 0; i < merged.size(); ++i) {
       auto it = id_map_.find(static_cast<int64_t>(merged[i].doc));
       if (it == id_map_.end()) {
@@ -720,17 +720,21 @@ Status ShardedSvrEngine::Start() {
 
 void ShardedSvrEngine::Stop() {
   {
-    std::lock_guard<std::mutex> lk(ckpt_mu_);
+    MutexLock lk(ckpt_mu_);
     ckpt_stop_ = true;
   }
-  ckpt_cv_.notify_all();
+  ckpt_cv_.NotifyAll();
   if (ckpt_thread_.joinable()) ckpt_thread_.join();
   {
     // Disarm under every log mutex: no in-flight DML can append to a
     // writer that is about to shut down (its WaitDurable would hang).
-    std::vector<std::unique_lock<std::mutex>> locks;
+    std::vector<std::unique_lock<Mutex>> locks;
     locks.reserve(shard_log_mu_.size());
-    for (auto& mu : shard_log_mu_) locks.emplace_back(*mu);
+    // Ascending shard index, the declared order for the per-shard
+    // arrays (tools/check_lock_order.py).
+    for (size_t i = 0; i < shard_log_mu_.size(); ++i) {
+      locks.emplace_back(*shard_log_mu_[i]);
+    }
     logging_armed_ = false;
   }
   for (auto& writer : log_writers_) {
@@ -757,7 +761,7 @@ uint64_t ShardedSvrEngine::LogStatementLocked(uint32_t s,
 Status ShardedSvrEngine::LogDdl(durability::WalStatement stmt) {
   uint64_t ticket = 0;
   {
-    std::lock_guard<std::mutex> log_lock(*shard_log_mu_[0]);
+    std::unique_lock<Mutex> log_lock(*shard_log_mu_[0]);
     if (!logging_armed_) return Status::OK();  // recovery replay
     // DDL runs quiescent, so Now() is >= every logged commit timestamp
     // and the (ts, seq) replay order puts it after all of them.
@@ -833,25 +837,31 @@ Status ShardedSvrEngine::InitDurability(
   clock_->AdvanceTo(max_ts);
 
   last_seq_.store(max_seq, std::memory_order_relaxed);
-  segment_ordinal_ = 1;
-  for (const durability::SegmentInfo& seg : listing.segments) {
-    segment_ordinal_ = std::max(segment_ordinal_, seg.ordinal + 1);
-    live_segments_.push_back(seg.path);
+  {
+    // Arming happens before Open returns, so nothing contends — but the
+    // segment bookkeeping is ckpt_run_mu_ state, and taking the lock
+    // here keeps that a checkable invariant instead of an argument.
+    MutexLock lock(ckpt_run_mu_);
+    segment_ordinal_ = 1;
+    for (const durability::SegmentInfo& seg : listing.segments) {
+      segment_ordinal_ = std::max(segment_ordinal_, seg.ordinal + 1);
+      live_segments_.push_back(seg.path);
+    }
+    if (!listing.checkpoints.empty()) {
+      next_ckpt_ordinal_ = listing.checkpoints.back().ordinal + 1;
+    }
+    log_writers_.reserve(shards_.size());
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      const std::string path =
+          durability::WalSegmentPath(dur_.dir, s, segment_ordinal_);
+      std::unique_ptr<durability::WalFile> file;
+      SVR_RETURN_NOT_OK(dur_.file_factory(path, &file));
+      log_writers_.push_back(std::make_unique<durability::LogWriter>(
+          std::move(file), dur_.sync_mode));
+      live_segments_.push_back(path);
+    }
+    logging_armed_ = true;  // no concurrency yet: Open has not returned
   }
-  if (!listing.checkpoints.empty()) {
-    next_ckpt_ordinal_ = listing.checkpoints.back().ordinal + 1;
-  }
-  log_writers_.reserve(shards_.size());
-  for (uint32_t s = 0; s < shards_.size(); ++s) {
-    const std::string path =
-        durability::WalSegmentPath(dur_.dir, s, segment_ordinal_);
-    std::unique_ptr<durability::WalFile> file;
-    SVR_RETURN_NOT_OK(dur_.file_factory(path, &file));
-    log_writers_.push_back(std::make_unique<durability::LogWriter>(
-        std::move(file), dur_.sync_mode));
-    live_segments_.push_back(path);
-  }
-  logging_armed_ = true;  // no concurrency yet: Open has not returned
   if (dur_.checkpoint_interval_statements > 0) {
     ckpt_thread_ = std::thread([this] { CheckpointLoop(); });
   }
@@ -868,7 +878,7 @@ Status ShardedSvrEngine::BuildCheckpointStatementsLocked(
   // Routing metadata is read under map_mu_ (map_mu_ nests inside the
   // insert/log mutexes the caller holds; no DML path ever acquires them
   // while holding map_mu_).
-  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  ReaderMutexLock lock(map_mu_);
   // 1. Tables, in creation order.
   std::string text_column;
   bool indexed = false;
@@ -984,7 +994,7 @@ Status ShardedSvrEngine::BuildCheckpointStatementsLocked(
 }
 
 Status ShardedSvrEngine::CheckpointNow() {
-  std::lock_guard<std::mutex> run(ckpt_run_mu_);
+  MutexLock run(ckpt_run_mu_);
   durability::CheckpointData data;
   std::vector<std::string> covered;
   uint64_t ordinal = 0;
@@ -994,12 +1004,16 @@ Status ShardedSvrEngine::CheckpointNow() {
     // also been appended and numbered, and no fresh-key insert sits
     // between its shard write and its id-map publication — the capture
     // is a consistent cut at last_seq_.
-    std::vector<std::unique_lock<std::mutex>> insert_locks;
+    std::vector<std::unique_lock<Mutex>> insert_locks;
     insert_locks.reserve(shard_insert_mu_.size());
-    for (auto& mu : shard_insert_mu_) insert_locks.emplace_back(*mu);
-    std::vector<std::unique_lock<std::mutex>> log_locks;
+    for (size_t i = 0; i < shard_insert_mu_.size(); ++i) {
+      insert_locks.emplace_back(*shard_insert_mu_[i]);
+    }
+    std::vector<std::unique_lock<Mutex>> log_locks;
     log_locks.reserve(shard_log_mu_.size());
-    for (auto& mu : shard_log_mu_) log_locks.emplace_back(*mu);
+    for (size_t i = 0; i < shard_log_mu_.size(); ++i) {
+      log_locks.emplace_back(*shard_log_mu_[i]);
+    }
     if (!logging_armed_) {
       return Status::InvalidArgument("durability is not armed");
     }
@@ -1033,9 +1047,8 @@ Status ShardedSvrEngine::CheckpointNow() {
   const Status st = durability::WriteCheckpoint(dur_.dir, ordinal, data,
                                                 dur_.file_factory);
   if (!st.ok()) {
-    // The covered segments are still the only durable copy. (Safe
-    // without a lock: live_segments_ is only touched under ckpt_run_mu_
-    // once Open returned.)
+    // The covered segments are still the only durable copy; ckpt_run_mu_
+    // is still held here, so this is the only writer.
     live_segments_.insert(live_segments_.begin(), covered.begin(),
                           covered.end());
     return st;
@@ -1054,24 +1067,29 @@ Status ShardedSvrEngine::CheckpointNow() {
 }
 
 void ShardedSvrEngine::CheckpointLoop() {
-  std::unique_lock<std::mutex> lk(ckpt_mu_);
-  while (!ckpt_stop_) {
-    ckpt_cv_.wait_for(lk,
-                      std::chrono::milliseconds(dur_.checkpoint_poll_ms));
-    if (ckpt_stop_) break;
+  for (;;) {
+    {
+      MutexLock lk(ckpt_mu_);
+      if (ckpt_stop_) return;
+      ckpt_cv_.WaitFor(ckpt_mu_,
+                       std::chrono::milliseconds(dur_.checkpoint_poll_ms));
+      if (ckpt_stop_) return;
+    }
     if (stmts_since_ckpt_.load(std::memory_order_relaxed) <
         dur_.checkpoint_interval_statements) {
       continue;
     }
-    lk.unlock();
+    // ckpt_mu_ is released across the checkpoint: CheckpointNow takes
+    // ckpt_run_mu_ and every shard mutex, and Stop() must be able to
+    // set ckpt_stop_ meanwhile.
     const Status st = CheckpointNow();
-    lk.lock();
+    MutexLock lk(ckpt_mu_);
     if (!st.ok() && ckpt_error_.ok()) ckpt_error_ = st;
   }
 }
 
 Status ShardedSvrEngine::last_checkpoint_error() const {
-  std::lock_guard<std::mutex> lk(const_cast<std::mutex&>(ckpt_mu_));
+  MutexLock lk(ckpt_mu_);
   return ckpt_error_;
 }
 
@@ -1084,7 +1102,7 @@ ShardedEngineStats ShardedSvrEngine::GetStats() const {
     AddEngineStats(&out.total, out.shards.back());
   }
   out.commit_watermark = clock_->Now();
-  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  ReaderMutexLock lock(map_mu_);
   out.num_ids = id_map_.size();
   return out;
 }

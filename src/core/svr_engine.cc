@@ -52,7 +52,7 @@ Result<std::unique_ptr<SvrEngine>> SvrEngine::Open(
   engine->score_table_ = std::move(score_table);
   {
     // Publish the initial (empty) version so ReadViews are never null.
-    std::lock_guard<std::mutex> lock(engine->writer_mu_);
+    MutexLock lock(engine->writer_mu_);
     engine->PublishCommit();
   }
   if (options.durability.enabled) {
@@ -133,7 +133,7 @@ Status SvrEngine::CreateTable(const std::string& name,
   bool logged = false;
   Status st;
   {
-    std::lock_guard<std::mutex> lock(writer_mu_);
+    MutexLock lock(writer_mu_);
     durability::WalStatement stmt;
     if (options_.durability.enabled) {
       stmt.kind = durability::StatementKind::kCreateTable;
@@ -183,7 +183,7 @@ Status SvrEngine::CreateTextIndex(
   bool logged = false;
   {
     auto legacy = LockLegacyExclusive();
-    std::lock_guard<std::mutex> lock(writer_mu_);
+    MutexLock lock(writer_mu_);
     Status st = [&]() -> Status {
       if (index_ != nullptr) {
         // Re-creating would replace score_view_ while the database's
@@ -284,14 +284,14 @@ concurrency::MergeHostHooks SvrEngine::MakeMergeHooks() {
   };
   hooks.install = [this](index::TermMergePlan* plan) -> Status {
     auto legacy = LockLegacyExclusive();
-    std::lock_guard<std::mutex> lock(writer_mu_);
+    MutexLock lock(writer_mu_);
     Status st = index_->InstallMergeTerm(plan, blob_retirer_);
     PublishCommit();
     return st;
   };
   hooks.sync_merge = [this](TermId term) -> Status {
     auto legacy = LockLegacyExclusive();
-    std::lock_guard<std::mutex> lock(writer_mu_);
+    MutexLock lock(writer_mu_);
     Status st = index_->MergeTerm(term);
     PublishCommit();
     return st;
@@ -305,7 +305,7 @@ Status SvrEngine::Start() {
     // The scheduler_ pointer itself is guarded by the writer mutex (it
     // is read by the write path); once set it is never reset, so the
     // raw pointer stays valid outside the critical section.
-    std::lock_guard<std::mutex> lock(writer_mu_);
+    MutexLock lock(writer_mu_);
     if (!options_.background_merge || index_ == nullptr) {
       return Status::OK();
     }
@@ -326,10 +326,10 @@ void SvrEngine::Stop() {
   // Checkpoint thread first: it takes the writer mutex, which the
   // shutdown steps below want quiet.
   {
-    std::lock_guard<std::mutex> lk(ckpt_mu_);
+    MutexLock lk(ckpt_mu_);
     ckpt_stop_ = true;
   }
-  ckpt_cv_.notify_all();
+  ckpt_cv_.NotifyAll();
   if (ckpt_thread_.joinable()) ckpt_thread_.join();
   concurrency::MergeScheduler* scheduler =
       scheduler_ptr_.load(std::memory_order_acquire);
@@ -341,7 +341,7 @@ void SvrEngine::Stop() {
   // Disarm logging, then flush and close the WAL. DML issued after
   // Stop() still executes but is no longer made durable.
   {
-    std::lock_guard<std::mutex> lock(writer_mu_);
+    MutexLock lock(writer_mu_);
     logging_armed_ = false;
   }
   if (wal_ != nullptr) {
@@ -401,6 +401,46 @@ Status SvrEngine::MaybeRunMergePolicy() {
   return st;
 }
 
+Status SvrEngine::ApplyInsertLocked(const std::string& table,
+                                    const relational::Row& row) {
+  SVR_RETURN_NOT_OK(db_->Insert(table, row));
+  if (index_ != nullptr && table == scored_table_) {
+    SVR_RETURN_NOT_OK(HandleScoredTableWrite(nullptr, row));
+  }
+  if (score_view_ != nullptr) {
+    SVR_RETURN_NOT_OK(score_view_->last_error());
+  }
+  return MaybeRunMergePolicy();
+}
+
+Status SvrEngine::ApplyUpdateLocked(const std::string& table,
+                                    const relational::Row& row) {
+  relational::Row old_row;
+  if (index_ != nullptr && table == scored_table_) {
+    SVR_RETURN_NOT_OK(
+        db_->GetTable(table)->Get(row[pk_column_].as_int(), &old_row));
+  }
+  SVR_RETURN_NOT_OK(db_->Update(table, row));
+  if (index_ != nullptr && table == scored_table_) {
+    SVR_RETURN_NOT_OK(HandleScoredTableWrite(&old_row, row));
+  }
+  if (score_view_ != nullptr) {
+    SVR_RETURN_NOT_OK(score_view_->last_error());
+  }
+  return MaybeRunMergePolicy();
+}
+
+Status SvrEngine::ApplyDeleteLocked(const std::string& table, int64_t pk) {
+  SVR_RETURN_NOT_OK(db_->Delete(table, pk));
+  if (index_ != nullptr && table == scored_table_) {
+    SVR_RETURN_NOT_OK(index_->DeleteDocument(static_cast<DocId>(pk)));
+  }
+  if (score_view_ != nullptr) {
+    SVR_RETURN_NOT_OK(score_view_->last_error());
+  }
+  return MaybeRunMergePolicy();
+}
+
 Status SvrEngine::Insert(const std::string& table,
                          const relational::Row& row, uint64_t* commit_ts) {
   auto legacy = LockLegacyExclusive();
@@ -408,17 +448,8 @@ Status SvrEngine::Insert(const std::string& table,
   bool logged = false;
   Status st;
   {
-    std::lock_guard<std::mutex> lock(writer_mu_);
-    st = [&]() -> Status {
-      SVR_RETURN_NOT_OK(db_->Insert(table, row));
-      if (index_ != nullptr && table == scored_table_) {
-        SVR_RETURN_NOT_OK(HandleScoredTableWrite(nullptr, row));
-      }
-      if (score_view_ != nullptr) {
-        SVR_RETURN_NOT_OK(score_view_->last_error());
-      }
-      return MaybeRunMergePolicy();
-    }();
+    MutexLock lock(writer_mu_);
+    st = ApplyInsertLocked(table, row);
     const uint64_t ts = PublishCommit();
     if (commit_ts != nullptr) *commit_ts = ts;
     if (st.ok() && logging_armed_) {
@@ -443,22 +474,8 @@ Status SvrEngine::Update(const std::string& table,
   bool logged = false;
   Status st;
   {
-    std::lock_guard<std::mutex> lock(writer_mu_);
-    st = [&]() -> Status {
-      relational::Row old_row;
-      if (index_ != nullptr && table == scored_table_) {
-        SVR_RETURN_NOT_OK(
-            db_->GetTable(table)->Get(row[pk_column_].as_int(), &old_row));
-      }
-      SVR_RETURN_NOT_OK(db_->Update(table, row));
-      if (index_ != nullptr && table == scored_table_) {
-        SVR_RETURN_NOT_OK(HandleScoredTableWrite(&old_row, row));
-      }
-      if (score_view_ != nullptr) {
-        SVR_RETURN_NOT_OK(score_view_->last_error());
-      }
-      return MaybeRunMergePolicy();
-    }();
+    MutexLock lock(writer_mu_);
+    st = ApplyUpdateLocked(table, row);
     const uint64_t ts = PublishCommit();
     if (commit_ts != nullptr) *commit_ts = ts;
     if (st.ok() && logging_armed_) {
@@ -481,17 +498,8 @@ Status SvrEngine::Delete(const std::string& table, int64_t pk,
   bool logged = false;
   Status st;
   {
-    std::lock_guard<std::mutex> lock(writer_mu_);
-    st = [&]() -> Status {
-      SVR_RETURN_NOT_OK(db_->Delete(table, pk));
-      if (index_ != nullptr && table == scored_table_) {
-        SVR_RETURN_NOT_OK(index_->DeleteDocument(static_cast<DocId>(pk)));
-      }
-      if (score_view_ != nullptr) {
-        SVR_RETURN_NOT_OK(score_view_->last_error());
-      }
-      return MaybeRunMergePolicy();
-    }();
+    MutexLock lock(writer_mu_);
+    st = ApplyDeleteLocked(table, pk);
     const uint64_t ts = PublishCommit();
     if (commit_ts != nullptr) *commit_ts = ts;
     if (st.ok() && logging_armed_) {
@@ -563,7 +571,7 @@ Status SvrEngine::ReadSnapshot(
 }
 
 bool SvrEngine::RowExists(const std::string& table, int64_t pk) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   relational::Table* t = db_->GetTable(table);
   relational::Row row;
   return t != nullptr && t->Get(pk, &row).ok();
@@ -718,7 +726,7 @@ Status SvrEngine::InitDurability() {
 
   // Phase 3: arm. Fresh segment above every existing ordinal; existing
   // segments stay live until a checkpoint covers them.
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   last_seq_ = max_seq;
   segment_ordinal_ = 1;
   for (const durability::SegmentInfo& seg : listing.segments) {
@@ -819,13 +827,13 @@ Status SvrEngine::BuildCheckpointStatementsLocked(
 }
 
 Status SvrEngine::CheckpointNow() {
-  std::lock_guard<std::mutex> run(ckpt_run_mu_);
+  MutexLock run(ckpt_run_mu_);
   durability::CheckpointData data;
   std::vector<std::string> covered;
   uint64_t ordinal = 0;
   {
     auto legacy = LockLegacyExclusive();
-    std::lock_guard<std::mutex> lock(writer_mu_);
+    MutexLock lock(writer_mu_);
     if (!logging_armed_) {
       return Status::InvalidArgument("durability is not armed");
     }
@@ -854,7 +862,7 @@ Status SvrEngine::CheckpointNow() {
   if (!st.ok()) {
     // The covered segments are still the only durable copy — put them
     // back so a later checkpoint (or recovery) still sees them.
-    std::lock_guard<std::mutex> lock(writer_mu_);
+    MutexLock lock(writer_mu_);
     live_segments_.insert(live_segments_.begin(), covered.begin(),
                           covered.end());
     return st;
@@ -874,23 +882,29 @@ Status SvrEngine::CheckpointNow() {
 }
 
 void SvrEngine::CheckpointLoop() {
-  std::unique_lock<std::mutex> lk(ckpt_mu_);
-  while (!ckpt_stop_) {
-    ckpt_cv_.wait_for(lk, std::chrono::milliseconds(dur_.checkpoint_poll_ms));
-    if (ckpt_stop_) break;
+  for (;;) {
+    {
+      MutexLock lk(ckpt_mu_);
+      if (ckpt_stop_) return;
+      ckpt_cv_.WaitFor(ckpt_mu_,
+                       std::chrono::milliseconds(dur_.checkpoint_poll_ms));
+      if (ckpt_stop_) return;
+    }
     if (stmts_since_ckpt_.load(std::memory_order_relaxed) <
         dur_.checkpoint_interval_statements) {
       continue;
     }
-    lk.unlock();
+    // ckpt_mu_ is released across the checkpoint itself — CheckpointNow
+    // takes ckpt_run_mu_ and the writer mutex, and Stop() must be able
+    // to set ckpt_stop_ meanwhile.
     const Status st = CheckpointNow();
-    lk.lock();
+    MutexLock lk(ckpt_mu_);
     if (!st.ok() && ckpt_error_.ok()) ckpt_error_ = st;
   }
 }
 
 Status SvrEngine::last_checkpoint_error() const {
-  std::lock_guard<std::mutex> lk(const_cast<std::mutex&>(ckpt_mu_));
+  MutexLock lk(ckpt_mu_);
   return ckpt_error_;
 }
 

@@ -2,7 +2,6 @@
 #define SVR_CORE_SVR_ENGINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -14,6 +13,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "concurrency/commit_clock.h"
 #include "concurrency/epoch.h"
 #include "concurrency/merge_scheduler.h"
@@ -235,24 +235,25 @@ class SvrEngine {
   /// True iff `table` currently holds a row with primary key `pk`.
   /// Serializes briefly on the writer mutex — rare error-path probes
   /// only (the sharded router's failed-insert check), never hot reads.
-  bool RowExists(const std::string& table, int64_t pk);
+  bool RowExists(const std::string& table, int64_t pk)
+      EXCLUDES(writer_mu_);
 
   /// Starts background maintenance (no-op unless options enable it and
   /// a text index exists). CreateTextIndex calls this automatically.
-  Status Start();
+  Status Start() EXCLUDES(writer_mu_);
   /// Stops the checkpoint and scheduler threads, flushes + closes the
   /// WAL, and reclaims every retired version. Callers must have stopped
   /// issuing queries. Idempotent, and safe to call before Start() or on
   /// an engine that never enabled any background machinery. DML after
   /// Stop() still works but is no longer logged.
-  void Stop();
+  void Stop() EXCLUDES(writer_mu_, ckpt_mu_);
 
   /// Writes a checkpoint now: synthesizes the minimal statement stream
   /// rebuilding the current state, rotates the WAL, persists the
   /// checkpoint file, then deletes the covered WAL prefix and older
   /// checkpoints. The background checkpoint thread calls this on its
   /// interval; tests call it directly.
-  Status CheckpointNow();
+  Status CheckpointNow() EXCLUDES(ckpt_run_mu_, writer_mu_);
 
   /// What recovery did during Open (all-zero when durability is off or
   /// the directory was empty).
@@ -260,7 +261,7 @@ class SvrEngine {
     return recovery_stats_;
   }
   /// Sticky first error of the background checkpoint thread.
-  Status last_checkpoint_error() const;
+  Status last_checkpoint_error() const EXCLUDES(ckpt_mu_);
 
   /// Index + concurrency counters; lock-free.
   EngineStats GetStats() const;
@@ -274,7 +275,9 @@ class SvrEngine {
   const text::Corpus* corpus() const { return &corpus_; }
   storage::BufferPool* list_pool() { return list_pool_.get(); }
   storage::BufferPool* table_pool() { return table_pool_.get(); }
-  concurrency::MergeScheduler* merge_scheduler() { return scheduler_.get(); }
+  concurrency::MergeScheduler* merge_scheduler() {
+    return scheduler_ptr_.load(std::memory_order_acquire);
+  }
   concurrency::EpochManager* epoch_manager() { return epochs_.get(); }
   concurrency::CommitClock* commit_clock() { return clock_.get(); }
 
@@ -283,21 +286,33 @@ class SvrEngine {
 
   text::Document TokenizeToDocument(const std::string& text);
   Status HandleScoredTableWrite(const relational::Row* old_row,
-                                const relational::Row& new_row);
+                                const relational::Row& new_row)
+      REQUIRES(writer_mu_);
+  /// The statement bodies of Insert/Update/Delete — the table write,
+  /// index maintenance, view-error surfacing, and the merge-policy tick.
+  /// Split out of the public DML entry points so the writer-mutex
+  /// contract is a checked REQUIRES rather than an inline lambda.
+  Status ApplyInsertLocked(const std::string& table,
+                           const relational::Row& row)
+      REQUIRES(writer_mu_);
+  Status ApplyUpdateLocked(const std::string& table,
+                           const relational::Row& row)
+      REQUIRES(writer_mu_);
+  Status ApplyDeleteLocked(const std::string& table, int64_t pk)
+      REQUIRES(writer_mu_);
   /// Runs the auto-merge policy once every `merge_policy.check_interval`
   /// DML writes while a text index exists (any write may drive score
   /// updates through the view; an off-cycle evaluation over the dirty
   /// term map is cheap). Synchronous mode merges in place; background
   /// mode enqueues the triggered terms. No-op when the policy is
-  /// disabled. Caller holds the writer mutex.
-  Status MaybeRunMergePolicy();
+  /// disabled.
+  Status MaybeRunMergePolicy() REQUIRES(writer_mu_);
 
   /// Seals every copy-on-write structure, stamps a commit timestamp,
   /// publishes the new EngineSnapshot, and hands the statement's dead
   /// pages/blobs to the epoch manager (the unpublish-then-retire
-  /// discipline). Caller holds the writer mutex. Returns the published
-  /// commit timestamp.
-  uint64_t PublishCommit();
+  /// discipline). Returns the published commit timestamp.
+  uint64_t PublishCommit() REQUIRES(writer_mu_);
 
   // --- durability (docs/durability.md) --------------------------------
 
@@ -306,23 +321,26 @@ class SvrEngine {
   /// through the public DML surface, truncate torn tails, advance the
   /// clock past every replayed timestamp, then open a fresh segment and
   /// start logging (and the checkpoint thread).
-  Status InitDurability();
+  Status InitDurability() EXCLUDES(writer_mu_);
   /// Re-executes one logical statement (the shared apply loop of
   /// checkpoint load and WAL replay). Checkpoint header/footer records
   /// are no-ops.
   Status ApplyStatement(const durability::WalStatement& stmt);
   /// Assigns the next statement seq, frames and appends `stmt` to the
   /// WAL. Returns the durability ticket to await after the writer mutex
-  /// is released. Caller holds writer_mu_ and has checked
-  /// logging_armed_.
-  uint64_t LogStatementLocked(durability::WalStatement* stmt, uint64_t ts);
+  /// is released ("ack after lock release", docs/durability.md). The
+  /// REQUIRES is the negative-test site of tools/run_static_analysis.sh:
+  /// compiling with -DSVR_TSA_NEGATIVE_TEST drops it, and the clang
+  /// -Wthread-safety build must then fail.
+  uint64_t LogStatementLocked(durability::WalStatement* stmt, uint64_t ts)
+      REQUIRES_FOR_NEGATIVE_TEST(writer_mu_);
   /// Synthesizes the checkpoint statement stream for the current state:
   /// CREATE TABLEs, every scored-table slot (dead ones reconstructed
   /// from the corpus so doc ids stay dense), other tables' rows, the
-  /// CREATE TEXT INDEX, then DELETEs for the dead slots. Caller holds
-  /// writer_mu_.
-  Status BuildCheckpointStatementsLocked(durability::CheckpointData* data);
-  void CheckpointLoop();
+  /// CREATE TEXT INDEX, then DELETEs for the dead slots.
+  Status BuildCheckpointStatementsLocked(durability::CheckpointData* data)
+      REQUIRES(writer_mu_);
+  void CheckpointLoop() EXCLUDES(ckpt_mu_);
 
   /// Exclusive side of the legacy lock (kSharedLock mode only; an empty
   /// lock otherwise). Acquired *before* writer_mu_ everywhere.
@@ -343,15 +361,23 @@ class SvrEngine {
   text::Corpus corpus_;
 
   /// Writer serialization: DML, merge installs, lifecycle. Readers never
-  /// touch it.
-  std::mutex writer_mu_;
-  /// The baseline reader/writer lock, used only in kSharedLock mode.
+  /// touch it. Ordered after ckpt_run_mu_ (CheckpointNow) and after the
+  /// sharded layer's per-shard insert mutexes; the WAL writer's internal
+  /// mutex nests inside it (docs/static_analysis.md).
+  Mutex writer_mu_;
+  /// The baseline reader/writer lock, used only in kSharedLock mode and
+  /// acquired *before* writer_mu_ everywhere. Deliberately a plain
+  /// std::shared_mutex: ReadView hands a std::shared_lock of it to
+  /// callers, a transfer the static analysis cannot model.
   mutable std::shared_mutex legacy_mu_;
   /// The published version, swapped atomically at each commit.
   std::shared_ptr<const EngineSnapshot> published_;
   std::shared_ptr<concurrency::CommitClock> clock_;
   std::unique_ptr<concurrency::EpochManager> epochs_;
-  std::unique_ptr<concurrency::MergeScheduler> scheduler_;
+  /// Owned here; created under writer_mu_ by Start. Lock-free readers
+  /// (GetStats, merge_scheduler()) go through scheduler_ptr_ instead.
+  std::unique_ptr<concurrency::MergeScheduler> scheduler_
+      GUARDED_BY(writer_mu_);
   /// Lock-free mirrors for GetStats (set once, before first use).
   std::atomic<index::TextIndex*> index_ptr_{nullptr};
   std::atomic<concurrency::MergeScheduler*> scheduler_ptr_{nullptr};
@@ -377,32 +403,31 @@ class SvrEngine {
   // --- durability state -----------------------------------------------
   /// Resolved copy of options_.durability (factory defaulted).
   durability::DurabilityOptions dur_;
-  /// True once InitDurability armed logging; guarded by writer_mu_.
-  /// Cleared by Stop().
-  bool logging_armed_ = false;
+  /// True once InitDurability armed logging. Cleared by Stop().
+  bool logging_armed_ GUARDED_BY(writer_mu_) = false;
   /// Group-commit writer over the current segment. Created by
   /// InitDurability, flushed and closed by Stop().
   std::unique_ptr<durability::LogWriter> wal_;
-  /// Last statement seq assigned (dense, 1-based); guarded by writer_mu_.
-  uint64_t last_seq_ = 0;
-  uint64_t segment_ordinal_ = 0;
-  uint64_t next_ckpt_ordinal_ = 1;
+  /// Last statement seq assigned (dense, 1-based).
+  uint64_t last_seq_ GUARDED_BY(writer_mu_) = 0;
+  uint64_t segment_ordinal_ GUARDED_BY(writer_mu_) = 0;
+  uint64_t next_ckpt_ordinal_ GUARDED_BY(writer_mu_) = 1;
   /// On-disk segments not yet covered by a checkpoint (current one
-  /// last); guarded by writer_mu_.
-  std::vector<std::string> live_segments_;
+  /// last).
+  std::vector<std::string> live_segments_ GUARDED_BY(writer_mu_);
   /// DDL statements in execution order, replayed into every checkpoint's
-  /// prologue (kCreateTable) / epilogue (kCreateTextIndex). Guarded by
-  /// writer_mu_.
-  std::vector<durability::WalStatement> ddl_history_;
+  /// prologue (kCreateTable) / epilogue (kCreateTextIndex).
+  std::vector<durability::WalStatement> ddl_history_ GUARDED_BY(writer_mu_);
   std::atomic<uint64_t> stmts_since_ckpt_{0};
   durability::RecoveryStats recovery_stats_;
-  /// Serializes CheckpointNow callers (thread + tests).
-  std::mutex ckpt_run_mu_;
+  /// Serializes CheckpointNow callers (thread + tests); acquired before
+  /// writer_mu_.
+  Mutex ckpt_run_mu_ ACQUIRED_BEFORE(writer_mu_);
   std::thread ckpt_thread_;
-  std::mutex ckpt_mu_;  // guards ckpt_stop_/ckpt_error_ + the loop's cv
-  std::condition_variable ckpt_cv_;
-  bool ckpt_stop_ = false;
-  Status ckpt_error_;
+  mutable Mutex ckpt_mu_;  // guards ckpt_stop_/ckpt_error_ + the loop's cv
+  CondVar ckpt_cv_;
+  bool ckpt_stop_ GUARDED_BY(ckpt_mu_) = false;
+  Status ckpt_error_ GUARDED_BY(ckpt_mu_);
 };
 
 /// Text whose tokenization reproduces `doc` exactly (each term repeated

@@ -3,7 +3,7 @@
 namespace svr::durability {
 
 void FaultInjector::FailAfter(Op op, uint64_t n, bool short_write) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   armed_ = true;
   armed_op_ = op;
   remaining_ = n;
@@ -12,7 +12,7 @@ void FaultInjector::FailAfter(Op op, uint64_t n, bool short_write) {
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   armed_ = false;
   crashed_ = false;
   remaining_ = 0;
@@ -20,18 +20,18 @@ void FaultInjector::Reset() {
 }
 
 bool FaultInjector::crashed() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return crashed_;
 }
 
 uint64_t FaultInjector::ops_observed() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return ops_observed_;
 }
 
 Status FaultInjector::BeforeOp(Op op, bool* short_write) {
   *short_write = false;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   ++ops_observed_;
   if (crashed_) {
     return Status::IOError("fault injection: post-crash I/O");

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "durability/wal_file.h"
 #include "storage/page_store.h"
 
@@ -33,28 +33,28 @@ class FaultInjector {
 
   /// Arms the injector: `n` more operations of kind `op` succeed, then
   /// the next one trips. Overwrites any previous arming.
-  void FailAfter(Op op, uint64_t n, bool short_write = false);
+  void FailAfter(Op op, uint64_t n, bool short_write = false) EXCLUDES(mu_);
   /// Disarms and clears the crashed state.
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
-  bool crashed() const;
+  bool crashed() const EXCLUDES(mu_);
   /// Total write/sync operations observed — lets a driver first measure
   /// how many ops a workload performs, then pick a random crash point.
-  uint64_t ops_observed() const;
+  uint64_t ops_observed() const EXCLUDES(mu_);
 
   /// Called by attached files before performing `op`. Returns OK to
   /// proceed; kIOError when the op must fail. Sets `*short_write` when
   /// the tripping write should persist a prefix first.
-  Status BeforeOp(Op op, bool* short_write);
+  Status BeforeOp(Op op, bool* short_write) EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  bool armed_ = false;
-  Op armed_op_ = Op::kWrite;
-  uint64_t remaining_ = 0;
-  bool short_write_ = false;
-  bool crashed_ = false;
-  uint64_t ops_observed_ = 0;
+  mutable Mutex mu_;
+  bool armed_ GUARDED_BY(mu_) = false;
+  Op armed_op_ GUARDED_BY(mu_) = Op::kWrite;
+  uint64_t remaining_ GUARDED_BY(mu_) = 0;
+  bool short_write_ GUARDED_BY(mu_) = false;
+  bool crashed_ GUARDED_BY(mu_) = false;
+  uint64_t ops_observed_ GUARDED_BY(mu_) = 0;
 };
 
 /// WalFile decorator consulting a FaultInjector on every Append/Sync.

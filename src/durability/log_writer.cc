@@ -12,7 +12,7 @@ LogWriter::LogWriter(std::unique_ptr<WalFile> file, SyncMode mode)
 LogWriter::~LogWriter() { Stop(); }
 
 uint64_t LogWriter::Append(const Slice& framed) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const uint64_t ticket = ++issued_;
   if (mode_ == SyncMode::kSyncEachStatement) {
     if (error_.ok()) {
@@ -21,41 +21,41 @@ uint64_t LogWriter::Append(const Slice& framed) {
       if (!st.ok()) error_ = st;
     }
     durable_ = ticket;
-    durable_cv_.notify_all();
+    durable_cv_.NotifyAll();
     return ticket;
   }
   pending_.append(framed.data(), framed.size());
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return ticket;
 }
 
 Status LogWriter::WaitDurable(uint64_t ticket) {
-  std::unique_lock<std::mutex> lk(mu_);
-  durable_cv_.wait(lk, [&] { return durable_ >= ticket || !error_.ok(); });
+  MutexLock lk(mu_);
+  while (durable_ < ticket && error_.ok()) durable_cv_.Wait(mu_);
   return error_;
 }
 
-void LogWriter::FlushBatchLocked(std::unique_lock<std::mutex>& lk) {
+void LogWriter::FlushBatch() {
   std::string batch;
   batch.swap(pending_);
   const uint64_t batch_end = issued_;
   io_in_flight_ = true;
-  lk.unlock();
+  mu_.Unlock();
   Status st = file_->Append(Slice(batch));
   if (st.ok()) st = file_->Sync();
-  lk.lock();
+  mu_.Lock();
   io_in_flight_ = false;
   if (!st.ok() && error_.ok()) error_ = st;
   if (durable_ < batch_end) durable_ = batch_end;
-  durable_cv_.notify_all();
+  durable_cv_.NotifyAll();
 }
 
 void LogWriter::SyncLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (;;) {
-    work_cv_.wait(lk, [&] { return stop_ || !pending_.empty(); });
+    while (!stop_ && pending_.empty()) work_cv_.Wait(mu_);
     if (!pending_.empty()) {
-      FlushBatchLocked(lk);
+      FlushBatch();
       continue;  // more may have queued during the IO
     }
     if (stop_) return;
@@ -63,14 +63,14 @@ void LogWriter::SyncLoop() {
 }
 
 Status LogWriter::Rotate(std::unique_ptr<WalFile> next) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (;;) {
     if (io_in_flight_) {
-      durable_cv_.wait(lk, [&] { return !io_in_flight_; });
+      while (io_in_flight_) durable_cv_.Wait(mu_);
       continue;
     }
     if (!pending_.empty()) {
-      FlushBatchLocked(lk);
+      FlushBatch();
       continue;
     }
     break;
@@ -84,16 +84,16 @@ Status LogWriter::Rotate(std::unique_ptr<WalFile> next) {
 
 Status LogWriter::Stop() {
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (stopped_) return error_;
     stopped_ = true;
     stop_ = true;
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
   if (log_thread_.joinable()) log_thread_.join();
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   // No thread anymore: drain whatever raced in between notify and join.
-  if (!pending_.empty()) FlushBatchLocked(lk);
+  if (!pending_.empty()) FlushBatch();
   Status st = file_->Sync();
   if (st.ok()) st = file_->Close();
   if (!st.ok() && error_.ok()) error_ = st;
@@ -101,7 +101,7 @@ Status LogWriter::Stop() {
 }
 
 Status LogWriter::error() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return error_;
 }
 

@@ -1,15 +1,14 @@
 #ifndef SVR_DURABILITY_LOG_WRITER_H_
 #define SVR_DURABILITY_LOG_WRITER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "durability/wal_file.h"
 
 namespace svr::durability {
@@ -49,42 +48,46 @@ class LogWriter {
 
   /// Queues one already-framed record. Returns the durability ticket to
   /// pass to WaitDurable. Must not be called after Stop.
-  uint64_t Append(const Slice& framed);
+  uint64_t Append(const Slice& framed) EXCLUDES(mu_);
 
   /// Blocks until every Append up to and including `ticket` is on stable
   /// storage, or the writer hit its sticky error.
-  Status WaitDurable(uint64_t ticket);
+  Status WaitDurable(uint64_t ticket) EXCLUDES(mu_);
 
   /// Flushes and closes the current file and continues on `next`.
   /// Callers serialize Rotate against Append externally (the engine holds
   /// its writer lock for both).
-  Status Rotate(std::unique_ptr<WalFile> next);
+  Status Rotate(std::unique_ptr<WalFile> next) EXCLUDES(mu_);
 
   /// Flushes outstanding appends, stops the log thread, closes the file.
   /// Idempotent. Returns the sticky error, if any.
-  Status Stop();
+  Status Stop() EXCLUDES(mu_);
 
-  Status error() const;
+  Status error() const EXCLUDES(mu_);
 
  private:
-  /// Hands the pending batch to the file. Called with `lk` held; drops
-  /// it for the IO and reacquires. Advances durable_ and wakes waiters.
-  void FlushBatchLocked(std::unique_lock<std::mutex>& lk);
-  void SyncLoop();
+  /// Hands the pending batch to the file. Enters and leaves with mu_
+  /// held but drops it across the write+fsync (that window is what lets
+  /// the next batch accumulate). Advances durable_ and wakes waiters.
+  void FlushBatch() REQUIRES(mu_);
+  void SyncLoop() EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;     // log thread: batch ready / stop
-  std::condition_variable durable_cv_;  // waiters + Rotate: IO finished
+  mutable Mutex mu_;
+  CondVar work_cv_;     // log thread: batch ready / stop
+  CondVar durable_cv_;  // waiters + Rotate: IO finished
+  /// Not guarded by mu_: FlushBatch does IO on it with mu_ dropped. The
+  /// pointer itself only changes in Rotate/Stop, which first wait out
+  /// io_in_flight_ (and are serialized against Append by the caller).
   std::unique_ptr<WalFile> file_;
   const SyncMode mode_;
-  std::string pending_;
-  uint64_t issued_ = 0;
-  uint64_t durable_ = 0;
-  bool io_in_flight_ = false;
-  bool stop_ = false;
-  bool stopped_ = false;
-  Status error_;
-  std::thread log_thread_;
+  std::string pending_ GUARDED_BY(mu_);
+  uint64_t issued_ GUARDED_BY(mu_) = 0;
+  uint64_t durable_ GUARDED_BY(mu_) = 0;
+  bool io_in_flight_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool stopped_ GUARDED_BY(mu_) = false;
+  Status error_ GUARDED_BY(mu_);
+  std::thread log_thread_;  // ctor-started; joined once, by Stop's claimant
 };
 
 }  // namespace svr::durability

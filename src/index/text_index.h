@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "common/versioned_array.h"
 #include "index/short_list.h"
@@ -340,20 +340,20 @@ class TextIndex {
 
   /// Snapshot of the counters. Copied under the stats mutex so it is
   /// safe against concurrent queries folding their per-query counts.
-  IndexStats stats() const {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+  IndexStats stats() const EXCLUDES(stats_mu_) {
+    MutexLock lock(stats_mu_);
     return stats_;
   }
-  void ResetStats() {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+  void ResetStats() EXCLUDES(stats_mu_) {
+    MutexLock lock(stats_mu_);
     stats_ = IndexStats();
   }
 
  protected:
   /// Folds one finished query's counters into the shared stats. The only
   /// stats path that may run outside exclusive access.
-  void FoldQueryStats(const QueryStats& q) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+  void FoldQueryStats(const QueryStats& q) EXCLUDES(stats_mu_) {
+    MutexLock lock(stats_mu_);
     ++stats_.queries;
     stats_.postings_scanned += q.postings_scanned;
     stats_.score_lookups += q.score_lookups;
@@ -363,14 +363,15 @@ class TextIndex {
   /// Bumps one write-path counter under the stats mutex. Writers are
   /// exclusive among themselves, but stats()/GetStats() read with no
   /// engine lock under MVCC, so every mutation must synchronize here.
-  void BumpStat(uint64_t IndexStats::*field, uint64_t delta = 1) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+  void BumpStat(uint64_t IndexStats::*field, uint64_t delta = 1)
+      EXCLUDES(stats_mu_) {
+    MutexLock lock(stats_mu_);
     stats_.*field += delta;
   }
 
  private:
-  IndexStats stats_;
-  mutable std::mutex stats_mu_;
+  mutable Mutex stats_mu_;
+  IndexStats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace svr::index

@@ -62,7 +62,7 @@ void BufferPool::LruPushFront(Frame* frame) {
 }
 
 Status BufferPool::Fetch(PageId id, PageHandle* handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.fetches;
   auto it = frames_.find(id);
   if (it != frames_.end()) {
@@ -88,7 +88,7 @@ Status BufferPool::Fetch(PageId id, PageHandle* handle) {
 }
 
 Status BufferPool::NewPage(PageHandle* handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SVR_ASSIGN_OR_RETURN(PageId id, store_->Allocate());
   SVR_RETURN_NOT_OK(MakeRoom());
   auto frame = std::make_unique<Frame>();
@@ -108,7 +108,7 @@ Result<PageId> BufferPool::AllocateRun(uint32_t n) {
 }
 
 Status BufferPool::FreePage(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     Frame* f = it->second.get();
@@ -122,7 +122,7 @@ Status BufferPool::FreePage(PageId id) {
 }
 
 void BufferPool::Unpin(Frame* frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   assert(frame->pin_count > 0);
   if (--frame->pin_count == 0) {
     LruPushFront(frame);
@@ -161,12 +161,12 @@ Status BufferPool::FlushAllLocked() {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return FlushAllLocked();
 }
 
 Status BufferPool::EvictAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SVR_RETURN_NOT_OK(FlushAllLocked());
   for (auto it = frames_.begin(); it != frames_.end();) {
     Frame* f = it->second.get();

@@ -4,11 +4,11 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 #include "storage/page_store.h"
 
@@ -91,10 +91,10 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Pins page `id`, reading it from the store on miss.
-  Status Fetch(PageId id, PageHandle* handle);
+  Status Fetch(PageId id, PageHandle* handle) EXCLUDES(mu_);
 
   /// Allocates a zeroed page, pins it, and marks it dirty.
-  Status NewPage(PageHandle* handle);
+  Status NewPage(PageHandle* handle) EXCLUDES(mu_);
 
   /// Allocates `n` contiguous pages without caching them (bulk blob
   /// writes go straight to the store).
@@ -102,30 +102,32 @@ class BufferPool {
 
   /// Drops page `id` from the cache (no writeback) and frees it in the
   /// store. The page must not be pinned.
-  Status FreePage(PageId id);
+  Status FreePage(PageId id) EXCLUDES(mu_);
 
   /// Writes all dirty frames back to the store.
-  Status FlushAll();
+  Status FlushAll() EXCLUDES(mu_);
 
   /// Flush + drop every unpinned frame. This is the paper's "cold cache"
   /// protocol for query measurements (§5.2).
-  Status EvictAll();
+  Status EvictAll() EXCLUDES(mu_);
 
-  /// Unsynchronized view for single-threaded measurement loops; use
-  /// StatsSnapshot() when other threads may be touching the pool.
-  const BufferPoolStats& stats() const { return stats_; }
-  BufferPoolStats StatsSnapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  /// Consistent by-value snapshot of the cache counters. (This used to
+  /// return an unguarded const& "for single-threaded measurement loops";
+  /// the thread-safety pass showed callers also read it while the merge
+  /// worker was faulting pages, so the cheap copy is now the only form.)
+  BufferPoolStats stats() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return stats_;
   }
-  void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+  BufferPoolStats StatsSnapshot() const EXCLUDES(mu_) { return stats(); }
+  void ResetStats() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     stats_ = BufferPoolStats();
   }
 
   uint64_t capacity_pages() const { return capacity_; }
-  uint64_t cached_pages() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t cached_pages() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return frames_.size();
   }
   uint32_t page_size() const { return store_->page_size(); }
@@ -136,26 +138,26 @@ class BufferPool {
 
   using Frame = PageHandle::Frame;
 
-  void Unpin(Frame* frame);
-  // Dirty-page writeback shared by FlushAll/EvictAll; caller holds mu_.
-  Status FlushAllLocked();
+  void Unpin(Frame* frame) EXCLUDES(mu_);
+  // Dirty-page writeback shared by FlushAll/EvictAll.
+  Status FlushAllLocked() REQUIRES(mu_);
   // Unlinks `frame` from the recency list if it is on it.
-  void LruUnlink(Frame* frame);
+  void LruUnlink(Frame* frame) REQUIRES(mu_);
   // Pushes `frame` at the most-recent end.
-  void LruPushFront(Frame* frame);
+  void LruPushFront(Frame* frame) REQUIRES(mu_);
   // Evicts unpinned frames until below capacity. Best effort.
-  Status MakeRoom();
-  Status EvictFrame(Frame* frame);
+  Status MakeRoom() REQUIRES(mu_);
+  Status EvictFrame(Frame* frame) REQUIRES(mu_);
 
   PageStore* store_;
   uint64_t capacity_;
   /// Guards frames_, the recency list, pin counts and stats_.
-  mutable std::mutex mu_;
-  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  mutable Mutex mu_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_ GUARDED_BY(mu_);
   // Intrusive recency list of unpinned frames; victims from the tail.
-  Frame* lru_head_ = nullptr;
-  Frame* lru_tail_ = nullptr;
-  BufferPoolStats stats_;
+  Frame* lru_head_ GUARDED_BY(mu_) = nullptr;
+  Frame* lru_tail_ GUARDED_BY(mu_) = nullptr;
+  BufferPoolStats stats_ GUARDED_BY(mu_);
 };
 
 /// Full frame definition (here so PageHandle's inline accessors and the

@@ -36,7 +36,7 @@ bool InMemoryPageStore::IsLive(PageId id) const {
 }
 
 Status InMemoryPageStore::Read(PageId id, char* buf) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!IsLive(id)) {
     return Status::InvalidArgument("read of unallocated page");
   }
@@ -46,7 +46,7 @@ Status InMemoryPageStore::Read(PageId id, char* buf) {
 }
 
 Status InMemoryPageStore::Write(PageId id, const char* buf) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!IsLive(id)) {
     return Status::InvalidArgument("write of unallocated page");
   }
@@ -56,7 +56,7 @@ Status InMemoryPageStore::Write(PageId id, const char* buf) {
 }
 
 Result<PageId> InMemoryPageStore::Allocate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.allocations;
   ++live_pages_;
   if (!free_list_.empty()) {
@@ -74,7 +74,7 @@ Result<PageId> InMemoryPageStore::Allocate() {
 }
 
 Result<PageId> InMemoryPageStore::AllocateRun(uint32_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (n == 0) return Status::InvalidArgument("empty page run");
   // Runs are always carved off the end so they are contiguous.
   PageId first = static_cast<PageId>(pages_.size());
@@ -89,7 +89,7 @@ Result<PageId> InMemoryPageStore::AllocateRun(uint32_t n) {
 }
 
 Status InMemoryPageStore::Free(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!IsLive(id)) {
     return Status::InvalidArgument("free of unallocated page");
   }
@@ -117,7 +117,7 @@ FilePageStore::~FilePageStore() {
 }
 
 Status FilePageStore::Read(PageId id, char* buf) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id >= num_pages_) {
     return Status::InvalidArgument("read of unallocated page");
   }
@@ -132,7 +132,7 @@ Status FilePageStore::Read(PageId id, char* buf) {
 }
 
 Status FilePageStore::Write(PageId id, const char* buf) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id >= num_pages_) {
     return Status::InvalidArgument("write of unallocated page");
   }
@@ -148,7 +148,7 @@ Status FilePageStore::Write(PageId id, const char* buf) {
 }
 
 Status FilePageStore::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (std::fflush(file_) != 0) {
     return Status::IOError(std::string("page file flush failed (") +
                            std::strerror(errno) + ")");
@@ -161,7 +161,7 @@ Status FilePageStore::Sync() {
 }
 
 Result<PageId> FilePageStore::Allocate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.allocations;
   ++live_pages_;
   if (!free_list_.empty()) {
@@ -180,7 +180,7 @@ Result<PageId> FilePageStore::Allocate() {
 }
 
 Result<PageId> FilePageStore::AllocateRun(uint32_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (n == 0) return Status::InvalidArgument("empty page run");
   PageId first = static_cast<PageId>(num_pages_);
   std::string zeros(static_cast<size_t>(page_size_) * n, '\0');
@@ -195,7 +195,7 @@ Result<PageId> FilePageStore::AllocateRun(uint32_t n) {
 }
 
 Status FilePageStore::Free(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id >= num_pages_) {
     return Status::InvalidArgument("free of unallocated page");
   }

@@ -3,12 +3,12 @@
 
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 
 namespace svr::storage {
@@ -27,6 +27,11 @@ struct PageStoreStats {
 /// Implementations: InMemoryPageStore (the default substrate for the
 /// reproduction; "disk" reads are counted by the buffer pool above it)
 /// and FilePageStore (a real file, for running against an actual disk).
+///
+/// The store mutex lives in the base class so the stats counters it
+/// guards can be read through the base `stats()` accessor under the same
+/// lock the implementations mutate them under. (The old unguarded
+/// `const&` accessor raced with writers; see docs/static_analysis.md.)
 class PageStore {
  public:
   virtual ~PageStore() = default;
@@ -52,10 +57,17 @@ class PageStore {
   /// Number of live (allocated and not freed) pages.
   virtual uint64_t live_pages() const = 0;
 
-  const PageStoreStats& stats() const { return stats_; }
+  /// Consistent by-value snapshot of the I/O counters.
+  PageStoreStats stats() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stats_;
+  }
 
  protected:
-  PageStoreStats stats_;
+  /// Guards stats_ plus whatever per-implementation state the derived
+  /// classes hang off it (page table, free list, FILE*).
+  mutable Mutex mu_;
+  PageStoreStats stats_ GUARDED_BY(mu_);
 };
 
 /// Heap-backed page store. Thread-safe: the page table, free list and
@@ -68,27 +80,26 @@ class InMemoryPageStore final : public PageStore {
   InMemoryPageStore(const InMemoryPageStore&) = delete;
   InMemoryPageStore& operator=(const InMemoryPageStore&) = delete;
 
-  Status Read(PageId id, char* buf) override;
-  Status Write(PageId id, const char* buf) override;
-  Result<PageId> Allocate() override;
-  Result<PageId> AllocateRun(uint32_t n) override;
-  Status Free(PageId id) override;
+  Status Read(PageId id, char* buf) override EXCLUDES(mu_);
+  Status Write(PageId id, const char* buf) override EXCLUDES(mu_);
+  Result<PageId> Allocate() override EXCLUDES(mu_);
+  Result<PageId> AllocateRun(uint32_t n) override EXCLUDES(mu_);
+  Status Free(PageId id) override EXCLUDES(mu_);
 
   uint32_t page_size() const override { return page_size_; }
-  uint64_t live_pages() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t live_pages() const override EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return live_pages_;
   }
 
  private:
-  bool IsLive(PageId id) const;
+  bool IsLive(PageId id) const REQUIRES(mu_);
 
   uint32_t page_size_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<char[]>> pages_;
-  std::vector<bool> live_;
-  std::vector<PageId> free_list_;
-  uint64_t live_pages_ = 0;
+  std::vector<std::unique_ptr<char[]>> pages_ GUARDED_BY(mu_);
+  std::vector<bool> live_ GUARDED_BY(mu_);
+  std::vector<PageId> free_list_ GUARDED_BY(mu_);
+  uint64_t live_pages_ GUARDED_BY(mu_) = 0;
 };
 
 /// File-backed page store. The free list is kept in memory (this store is
@@ -104,29 +115,28 @@ class FilePageStore final : public PageStore {
   FilePageStore(const FilePageStore&) = delete;
   FilePageStore& operator=(const FilePageStore&) = delete;
 
-  Status Read(PageId id, char* buf) override;
-  Status Write(PageId id, const char* buf) override;
-  Result<PageId> Allocate() override;
-  Result<PageId> AllocateRun(uint32_t n) override;
-  Status Free(PageId id) override;
+  Status Read(PageId id, char* buf) override EXCLUDES(mu_);
+  Status Write(PageId id, const char* buf) override EXCLUDES(mu_);
+  Result<PageId> Allocate() override EXCLUDES(mu_);
+  Result<PageId> AllocateRun(uint32_t n) override EXCLUDES(mu_);
+  Status Free(PageId id) override EXCLUDES(mu_);
   /// fflush + fsync of the backing file.
-  Status Sync() override;
+  Status Sync() override EXCLUDES(mu_);
 
   uint32_t page_size() const override { return page_size_; }
-  uint64_t live_pages() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t live_pages() const override EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return live_pages_;
   }
 
  private:
   FilePageStore(std::FILE* file, uint32_t page_size);
 
-  std::FILE* file_;
+  std::FILE* file_ GUARDED_BY(mu_);
   uint32_t page_size_;
-  mutable std::mutex mu_;  // guards the FILE*, free list and stats
-  uint64_t num_pages_ = 0;  // high-water mark
-  std::vector<PageId> free_list_;
-  uint64_t live_pages_ = 0;
+  uint64_t num_pages_ GUARDED_BY(mu_) = 0;  // high-water mark
+  std::vector<PageId> free_list_ GUARDED_BY(mu_);
+  uint64_t live_pages_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace svr::storage

@@ -1,16 +1,14 @@
 #include "text/vocabulary.h"
 
-#include <mutex>
-
 namespace svr::text {
 
 TermId Vocabulary::Intern(const std::string& term) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(mu_);
     auto it = ids_.find(term);
     if (it != ids_.end()) return it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto it = ids_.find(term);
   if (it != ids_.end()) return it->second;
   TermId id = static_cast<TermId>(terms_.size());
@@ -20,18 +18,18 @@ TermId Vocabulary::Intern(const std::string& term) {
 }
 
 TermId Vocabulary::Lookup(const std::string& term) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = ids_.find(term);
   return it == ids_.end() ? kUnknownTerm : it->second;
 }
 
 std::string Vocabulary::term(TermId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return terms_[id];
 }
 
 size_t Vocabulary::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return terms_.size();
 }
 

@@ -1,11 +1,11 @@
 #ifndef SVR_TEXT_VOCABULARY_H_
 #define SVR_TEXT_VOCABULARY_H_
 
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace svr::text {
@@ -25,21 +25,21 @@ namespace svr::text {
 class Vocabulary {
  public:
   /// Returns the id of `term`, interning it if new.
-  TermId Intern(const std::string& term);
+  TermId Intern(const std::string& term) EXCLUDES(mu_);
 
   /// Id of `term` or kInvalidDocId-like sentinel if unknown.
   static constexpr TermId kUnknownTerm = 0xFFFFFFFFu;
-  TermId Lookup(const std::string& term) const;
+  TermId Lookup(const std::string& term) const EXCLUDES(mu_);
 
   /// Term spelled by `id` (by value: the backing store may grow
   /// concurrently).
-  std::string term(TermId id) const;
-  size_t size() const;
+  std::string term(TermId id) const EXCLUDES(mu_);
+  size_t size() const EXCLUDES(mu_);
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, TermId> ids_;
-  std::vector<std::string> terms_;
+  mutable SharedMutex mu_;
+  std::unordered_map<std::string, TermId> ids_ GUARDED_BY(mu_);
+  std::vector<std::string> terms_ GUARDED_BY(mu_);
 };
 
 }  // namespace svr::text

@@ -11,11 +11,13 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/block_codec.h"
 #include "common/random.h"
+#include "fuzz/standalone_driver.h"
 #include "index/posting_codec.h"
 #include "index/posting_cursor.h"
 #include "storage/blob_store.h"
@@ -543,6 +545,92 @@ TEST(FormatEquivalenceTest, TopKIdenticalAcrossFormats) {
         for (size_t i = 0; i < r1.size(); ++i) {
           EXPECT_EQ(r1[i].doc, r2[i].doc) << MethodName(m) << " @" << i;
           EXPECT_EQ(r1[i].score, r2[i].score) << MethodName(m) << " @" << i;
+        }
+      }
+    }
+  }
+}
+
+// --- fuzz-derived properties (fuzz/fuzz_block_codec.cc) -----------------
+//
+// The block-codec fuzz harness traps when a cursor yields more postings
+// than its input bytes could encode; this test pins the same bounded-
+// termination contract in the regular suite using the harness's
+// deterministic mutator over every list kind in both formats.
+
+TEST_F(CodecV2Test, MutatedListsNeverOverrunTheirByteBudget) {
+  auto id_ts = MakePostings(129, 77);
+  std::vector<DocId> docs;
+  std::vector<ScorePosting> scored;
+  for (size_t i = 0; i < id_ts.size(); ++i) {
+    docs.push_back(id_ts[i].doc);
+    scored.push_back({1000.0 - static_cast<double>(i), id_ts[i].doc});
+  }
+  std::vector<ChunkGroup> groups(2);
+  groups[0].cid = 9;
+  groups[0].postings.assign(id_ts.begin(), id_ts.begin() + 70);
+  groups[1].cid = 3;
+  groups[1].postings.assign(id_ts.begin() + 70, id_ts.end());
+
+  std::vector<std::pair<std::string, int>> lists;  // (bytes, kind)
+  for (PostingFormat fmt : {PostingFormat::kV1, PostingFormat::kV2}) {
+    std::string out;
+    EncodeIdList(docs, &out, fmt);
+    lists.emplace_back(out, 0);
+    out.clear();
+    EncodeIdTsList(id_ts, /*with_ts=*/true, &out, fmt);
+    lists.emplace_back(out, 1);
+    out.clear();
+    EncodeChunkList(groups, /*with_ts=*/true, &out, fmt);
+    lists.emplace_back(out, 2);
+    out.clear();
+    EncodeScoreList(scored, &out, fmt);
+    lists.emplace_back(out, 3);
+  }
+
+  auto scratch = std::make_unique<CursorScratch>();
+  auto sscratch = std::make_unique<ScoreCursorScratch>();
+  uint64_t rng = 0x5eedf00ddeadbeefULL;
+  for (const auto& [original, kind] : lists) {
+    for (int round = 0; round < 60; ++round) {
+      std::string bytes = original;
+      for (int s = 0; s < 1 + round % 6; ++s) svr::fuzz::Mutate(&bytes, &rng);
+      auto ref = blobs_.Write(bytes);
+      ASSERT_TRUE(ref.ok());
+      // Each successful step consumes at least one input byte somewhere,
+      // so a cursor still yielding past this bound is looping.
+      const size_t bound = 16 * bytes.size() + 1024;
+      size_t steps = 0;
+      for (PostingFormat fmt : {PostingFormat::kV1, PostingFormat::kV2}) {
+        if (kind == 3) {
+          ScorePostingCursor cur(blobs_.NewReader(ref.value()), fmt,
+                                 sscratch.get());
+          if (!cur.Init().ok()) continue;
+          while (cur.Valid()) {
+            if (!cur.Next().ok()) break;
+            ASSERT_LE(++steps, bound);
+          }
+        } else if (kind == 2) {
+          ChunkPostingCursor cur(blobs_.NewReader(ref.value()),
+                                 /*with_ts=*/true, fmt, scratch.get());
+          if (!cur.Init().ok()) continue;
+          bool bail = false;
+          while (cur.HasGroup() && !bail) {
+            while (cur.Valid()) {
+              if (!cur.Next().ok()) { bail = true; break; }
+              ASSERT_LE(++steps, bound);
+            }
+            if (bail || !cur.NextGroup().ok()) break;
+            ASSERT_LE(++steps, bound);
+          }
+        } else {
+          IdPostingCursor cur(blobs_.NewReader(ref.value()),
+                              /*with_ts=*/kind == 1, fmt, scratch.get());
+          if (!cur.Init().ok()) continue;
+          while (cur.Valid()) {
+            if (!cur.Next().ok()) break;
+            ASSERT_LE(++steps, bound);
+          }
         }
       }
     }

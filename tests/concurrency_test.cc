@@ -23,6 +23,8 @@
 #include "concurrency/merge_scheduler.h"
 #include "core/oracle.h"
 #include "core/svr_engine.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
 #include "workload/concurrent_driver.h"
 
 // ThreadSanitizer slows the hot loops ~20x; the thread interleavings it
@@ -609,6 +611,59 @@ TEST(MergeSchedulerTest, StopIsIdempotentAndRestartable) {
   ASSERT_TRUE(engine->Start().ok());
   EXPECT_TRUE(engine->merge_scheduler()->running());
   engine->Stop();
+}
+
+// Regression (PR 7 static-analysis sweep): BufferPool::stats() and
+// PageStore::stats() used to read their counters without the lock, a
+// data race against any page IO. They now return a locked by-value
+// snapshot; this runs readers against live IO so the TSan leg proves it.
+TEST(BufferPoolTest, StatsReadersRaceLiveIo) {
+  storage::InMemoryPageStore store(256);
+  storage::BufferPool pool(&store, 4);  // small: constant eviction
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+
+  std::vector<std::thread> stats_readers;
+  for (int t = 0; t < 2; ++t) {
+    stats_readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto ps = pool.stats();
+        const auto ss = store.stats();
+        // hits/misses/evictions only grow; reading torn values here
+        // showed up as nonsense sums before the fix.
+        if (ps.hits + ps.misses + ps.evictions + ss.reads + ss.writes >
+            0) {
+          reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  const int kWriters = 3;
+  const int kPagesPerWriter = SVR_TSAN_BUILD ? 60 : 200;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      std::vector<storage::PageId> ids;
+      for (int i = 0; i < kPagesPerWriter; ++i) {
+        storage::PageHandle h;
+        ASSERT_TRUE(pool.NewPage(&h).ok());
+        h.mutable_data()[0] = static_cast<char>(t);
+        ids.push_back(h.id());
+        h.Release();
+        storage::PageHandle r;
+        ASSERT_TRUE(pool.Fetch(ids[i / 2], &r).ok());
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& r : stats_readers) r.join();
+
+  EXPECT_GT(reads.load(), 0u);
+  const auto ps = pool.stats();
+  EXPECT_GT(ps.evictions, 0u);
+  EXPECT_GT(store.stats().writes, 0u);
 }
 
 }  // namespace

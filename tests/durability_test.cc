@@ -15,6 +15,7 @@
 #include "durability/log_writer.h"
 #include "durability/wal_file.h"
 #include "durability/wal_format.h"
+#include "fuzz/standalone_driver.h"
 #include "storage/page_store.h"
 #include "workload/crash_driver.h"
 
@@ -631,6 +632,125 @@ TEST(KillRecoverSweepTest, AllMethodsAllFaultClasses) {
     }
   }
   EXPECT_GE(crashes, 20);
+}
+
+// Regression (PR 7 static-analysis sweep): last_checkpoint_error() used
+// to reach ckpt_mu_ through a const_cast on a plain std::mutex — legal
+// by accident, invisible to any checker. It now takes a real MutexLock
+// on a mutable annotated Mutex; this polls it from other threads while
+// the checkpointer runs against live DML, so the TSan/ASan legs cover
+// the access pattern the const_cast hid.
+TEST(EngineLifecycleTest, CheckpointErrorReadableWhileCheckpointing) {
+  const std::string dir = TestDir("ckpt_error_probe");
+  core::SvrEngineOptions options;
+  options.durability.enabled = true;
+  options.durability.dir = dir;
+  options.durability.checkpoint_interval_statements = 25;
+  options.durability.checkpoint_poll_ms = 1;
+  auto r = core::SvrEngine::Open(options);
+  ASSERT_TRUE(r.ok());
+  auto engine = std::move(r).value();
+  ASSERT_TRUE(engine
+                  ->CreateTable("t", Schema({{"id", ValueType::kInt64}}, 0))
+                  .ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> probes;
+  for (int t = 0; t < 2; ++t) {
+    probes.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        EXPECT_TRUE(engine->last_checkpoint_error().ok());
+      }
+    });
+  }
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(engine->Insert("t", {Value::Int(i)}).ok());
+  }
+  ASSERT_TRUE(engine->CheckpointNow().ok());
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& p : probes) p.join();
+  EXPECT_TRUE(engine->last_checkpoint_error().ok());
+  engine->Stop();
+}
+
+// --- fuzz-derived properties (fuzz/fuzz_wal_frame.cc) -------------------
+//
+// The WAL fuzz harness checks these as trap-on-violation invariants; the
+// tests below pin the same contract in the regular suite with the
+// harness's deterministic mutator, so a decoder regression fails tier-1
+// without needing the fuzz leg.
+
+TEST(WalFuzzPropertyTest, FramedPayloadScansExactlyOrRejects) {
+  // Any byte string framed as a payload either replays as one record
+  // (payload parses) or stops the scan with kCorruption — never a
+  // partial read, never a crash.
+  uint64_t rng = 0x5eedf00ddeadbeefULL;
+  std::string payload;
+  {
+    WalStatement s;
+    s.kind = StatementKind::kInsert;
+    s.seq = 9;
+    s.table = "docs";
+    durability::EncodeStatement(s, &payload);
+  }
+  for (int i = 0; i < 500; ++i) {
+    svr::fuzz::Mutate(&payload, &rng);
+    std::string framed;
+    AppendFrame(&framed, Slice(payload));
+    ASSERT_EQ(durability::FramedSize(payload.size()), framed.size());
+    WalStatement decoded;
+    const Status decode_st =
+        durability::DecodeStatement(Slice(payload), &decoded);
+    WalScan full;
+    ScanWal(Slice(framed), &full);
+    if (decode_st.ok()) {
+      EXPECT_TRUE(full.tail.ok());
+      EXPECT_EQ(full.records.size(), 1u);
+      EXPECT_EQ(full.clean_bytes, framed.size());
+    } else {
+      EXPECT_TRUE(full.tail.IsCorruption());
+      EXPECT_TRUE(full.records.empty());
+    }
+  }
+}
+
+TEST(WalFuzzPropertyTest, TornFramePrefixIsNeverCorruption) {
+  // A strict byte prefix of a single frame can tear it but must never
+  // mis-checksum it: the scan reports a clean empty log or kDataLoss.
+  std::string payload = "arbitrary payload bytes \x00\x7f\xff";
+  std::string framed;
+  AppendFrame(&framed, Slice(payload));
+  for (size_t cut = 0; cut < framed.size(); ++cut) {
+    WalScan scan;
+    ScanWal(Slice(framed.data(), cut), &scan);
+    EXPECT_TRUE(scan.tail.ok() || scan.tail.IsDataLoss()) << "cut=" << cut;
+    EXPECT_TRUE(scan.records.empty()) << "cut=" << cut;
+    EXPECT_EQ(scan.clean_bytes, 0u) << "cut=" << cut;
+  }
+}
+
+TEST(WalFuzzPropertyTest, MutatedLogScanStaysInBounds) {
+  // clean_bytes never exceeds the input, and every accepted record
+  // re-encodes (checkpoints re-emit recovered statements verbatim).
+  std::string log;
+  for (const WalStatement& s : SampleStatements()) {
+    std::string payload;
+    durability::EncodeStatement(s, &payload);
+    AppendFrame(&log, Slice(payload));
+  }
+  uint64_t rng = 0x0123456789abcdefULL;
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = log;
+    for (int s = 0; s < 1 + i % 8; ++s) svr::fuzz::Mutate(&mutated, &rng);
+    WalScan scan;
+    ScanWal(Slice(mutated), &scan);
+    ASSERT_LE(scan.clean_bytes, mutated.size());
+    for (const WalStatement& r : scan.records) {
+      std::string reencoded;
+      durability::EncodeStatement(r, &reencoded);
+      EXPECT_FALSE(reencoded.empty());
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,56 @@
+// The repo's Python lint/checker tools, run through ctest so a broken
+// tool fails tier-1 and not just the CI static job:
+//
+//  - tools/check_lock_order.py --self-test: the extractor must accept a
+//    clean synthetic source set and reject one with a seeded lock-order
+//    cycle (the acceptance test of the lint itself).
+//  - tools/check_lock_order.py over the real tree: the declared order
+//    of docs/static_analysis.md must hold for src/ as committed.
+//  - tools/check_bench_json.py --self-test: every bench checker must
+//    accept its passing fixture and reject its seeded failure.
+//
+// SVR_SOURCE_DIR is injected by CMake; the suite skips (rather than
+// fails) where python3 is unavailable, mirroring ci.sh's fallback.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+bool HavePython3() {
+  return std::system("python3 --version > /dev/null 2>&1") == 0;
+}
+
+int RunTool(const std::string& args) {
+  const std::string cmd =
+      "python3 " + std::string(SVR_SOURCE_DIR) + "/" + args;
+  return std::system(cmd.c_str());
+}
+
+#define SKIP_WITHOUT_PYTHON3()                          \
+  do {                                                  \
+    if (!HavePython3()) {                               \
+      GTEST_SKIP() << "python3 not available";          \
+    }                                                   \
+  } while (0)
+
+TEST(LockOrderLintTest, SelfTestRejectsSeededCycle) {
+  SKIP_WITHOUT_PYTHON3();
+  EXPECT_EQ(RunTool("tools/check_lock_order.py --self-test"), 0);
+}
+
+TEST(LockOrderLintTest, CommittedTreeHasNoCycles) {
+  SKIP_WITHOUT_PYTHON3();
+  EXPECT_EQ(RunTool("tools/check_lock_order.py --root " +
+                    std::string(SVR_SOURCE_DIR)),
+            0);
+}
+
+TEST(BenchJsonCheckerTest, SelfTestPasses) {
+  SKIP_WITHOUT_PYTHON3();
+  EXPECT_EQ(RunTool("tools/check_bench_json.py --self-test"), 0);
+}
+
+}  // namespace

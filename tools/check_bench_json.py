@@ -157,9 +157,101 @@ CHECKERS = {
 }
 
 
+def _self_test_fixtures():
+    """One passing payload per checker, plus a seeded failure for each."""
+    merge_ok = {"series": [
+        {"mode": "auto", "rounds": [{"term_merges": 3}]},
+        {"mode": "off", "rounds": [{"term_merges": 0}]},
+    ]}
+    churn_ok = {"series": [
+        {"mode": "off", "mismatches": 0, "validated": 10, "term_merges": 0,
+         "write_merge_ms": 0.0},
+        {"mode": "sync", "mismatches": 0, "validated": 10, "term_merges": 4,
+         "write_merge_ms": 9.0},
+        {"mode": "background", "mismatches": 0, "validated": 10,
+         "term_merges": 4, "write_merge_ms": 1.0},
+    ]}
+    shard_ok = {"series": [
+        {"shards": n, "mismatches": 0, "validated": 5, "writer_ops": 100,
+         "writer_ops_per_sec": 1000.0 * n} for n in (1, 2, 4)
+    ]}
+    mvcc_ok = {"series": [
+        {"shards": 1, "pacing": "saturated", "mode": "lock",
+         "mismatches": 0, "validated": 5, "writer_ops_per_sec": 100.0,
+         "qry_p95_ms": 1.0},
+        {"shards": 1, "pacing": "saturated", "mode": "mvcc",
+         "mismatches": 0, "validated": 5, "writer_ops_per_sec": 900.0,
+         "qry_p95_ms": 1.0},
+        {"shards": 1, "pacing": "paced", "mode": "lock",
+         "mismatches": 0, "validated": 5, "writer_ops_per_sec": 50.0,
+         "qry_p95_ms": 2.0},
+        {"shards": 1, "pacing": "paced", "mode": "mvcc",
+         "mismatches": 0, "validated": 5, "writer_ops_per_sec": 50.0,
+         "qry_p95_ms": 1.5},
+    ]}
+    dur_ok = {"series": [
+        {"kind": "commit", "mode": "group", "ops_per_sec": 900.0},
+        {"kind": "commit", "mode": "sync_each", "ops_per_sec": 100.0},
+        {"kind": "recovery", "wal_ops": 800, "checkpoint": True,
+         "used_checkpoint": True, "mismatches": 0, "queries": 5,
+         "replay_errors": 0, "wal_records_replayed": 50},
+        {"kind": "recovery", "wal_ops": 800, "checkpoint": False,
+         "used_checkpoint": False, "mismatches": 0, "queries": 5,
+         "replay_errors": 0, "wal_records_replayed": 800},
+    ]}
+    passing = {
+        "merge_policy": merge_ok,
+        "concurrent_churn": churn_ok,
+        "sharded_churn": shard_ok,
+        "mvcc_churn": mvcc_ok,
+        "durability": dur_ok,
+    }
+    # Seeded failures: each flips exactly the property its checker gates.
+    merge_bad = json.loads(json.dumps(merge_ok))
+    merge_bad["series"][0]["rounds"][0]["term_merges"] = 0
+    churn_bad = json.loads(json.dumps(churn_ok))
+    churn_bad["series"][2]["write_merge_ms"] = 20.0  # bg slower than sync
+    shard_bad = json.loads(json.dumps(shard_ok))
+    shard_bad["series"][2]["writer_ops_per_sec"] = 1.0  # regressed curve
+    mvcc_bad = json.loads(json.dumps(mvcc_ok))
+    mvcc_bad["series"][1]["writer_ops_per_sec"] = 120.0  # < 5x lock
+    dur_bad = json.loads(json.dumps(dur_ok))
+    dur_bad["series"][0]["ops_per_sec"] = 150.0  # group < 3x sync_each
+    failing = {
+        "merge_policy": merge_bad,
+        "concurrent_churn": churn_bad,
+        "sharded_churn": shard_bad,
+        "mvcc_churn": mvcc_bad,
+        "durability": dur_bad,
+    }
+    return passing, failing
+
+
+def self_test():
+    passing, failing = _self_test_fixtures()
+    assert set(passing) == set(CHECKERS), "fixture per checker required"
+    for bench, payload in passing.items():
+        summary = CHECKERS[bench](payload)
+        assert summary, bench
+    for bench, payload in failing.items():
+        try:
+            CHECKERS[bench](payload)
+        except AssertionError:
+            continue
+        raise SystemExit(
+            "self-test: %s checker accepted a seeded failure" % bench)
+    print("check_bench_json.py --self-test: OK (%d checkers, each "
+          "accepts its passing fixture and rejects its seeded failure)"
+          % len(CHECKERS))
+    return 0
+
+
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
     if len(argv) < 2:
-        print("usage: check_bench_json.py BENCH_*.json...", file=sys.stderr)
+        print("usage: check_bench_json.py [--self-test] BENCH_*.json...",
+              file=sys.stderr)
         return 2
     for path in argv[1:]:
         with open(path) as f:
