@@ -90,16 +90,26 @@ if [ "$SANITIZERS_ONLY" != "1" ]; then
   "$BUILD_DIR/bench_durability" docs=200 threads=8 ops=100 \
     wal_ops=800,2000 queries=15 out=BENCH_durability.json
 
+  # Telemetry smoke run (docs/observability.md): the MVCC churn workload
+  # with telemetry off vs fully on (registry histograms, slow-query
+  # threshold, background periodic dump), interleaved best-of-N. The
+  # JSON check gates record-path overhead <= 5%, 0 oracle mismatches,
+  # and a successful DumpMetrics round-trip in both formats mid-flight.
+  "$BUILD_DIR/bench_telemetry" docs=2000 vocab=1500 terms=20 \
+    writer_ops=6000 query_threads=2 validate_every=32 reps=3 \
+    out=BENCH_telemetry.json
+
   if command -v python3 > /dev/null; then
     python3 tools/check_bench_json.py BENCH_merge.json \
       BENCH_concurrency.json BENCH_sharding.json BENCH_mvcc.json \
-      BENCH_durability.json
+      BENCH_durability.json BENCH_telemetry.json
   else
     grep -q '"bench": "merge_policy"' BENCH_merge.json
     grep -q '"bench": "concurrent_churn"' BENCH_concurrency.json
     grep -q '"bench": "sharded_churn"' BENCH_sharding.json
     grep -q '"bench": "mvcc_churn"' BENCH_mvcc.json
     grep -q '"bench": "durability"' BENCH_durability.json
+    grep -q '"bench": "telemetry"' BENCH_telemetry.json
     echo "bench JSONs present (python3 unavailable, shallow check)"
   fi
 fi
@@ -108,13 +118,15 @@ if [ "$SANITIZERS" = "1" ]; then
   # ThreadSanitizer pass (docs/concurrency.md, docs/sharding.md): the
   # `concurrency`-labelled suites — epoch manager, two-phase merge
   # protocol, scheduler worker pool, engine-level churn, sharded
-  # scatter-gather churn — must be race-free. The suites self-scale
-  # their workload sizes under TSan.
+  # scatter-gather churn, and the telemetry record/snapshot paths —
+  # must be race-free. The suites self-scale their workload sizes under
+  # TSan.
   cmake -B "$TSAN_BUILD_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build "$TSAN_BUILD_DIR" -j --target concurrency_test \
-    --target sharded_engine_test --target mvcc_test
+    --target sharded_engine_test --target mvcc_test \
+    --target telemetry_test
   (cd "$TSAN_BUILD_DIR" && ctest -L concurrency --output-on-failure)
 
   # AddressSanitizer + UndefinedBehaviorSanitizer over the FULL suite:

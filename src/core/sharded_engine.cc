@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "index/result_heap.h"
+#include "telemetry/stage_timer.h"
 
 namespace svr::core {
 
@@ -18,20 +19,13 @@ uint64_t MixId(int64_t gid) {
   return z ^ (z >> 31);
 }
 
+/// Field-wise sum over the same list IndexStats is declared from, so a
+/// counter added to the macro is aggregated here automatically (and one
+/// added outside it fails the struct's static_assert).
 void AddIndexStats(index::IndexStats* into, const index::IndexStats& s) {
-  into->score_updates += s.score_updates;
-  into->short_list_writes += s.short_list_writes;
-  into->postings_scanned += s.postings_scanned;
-  into->score_lookups += s.score_lookups;
-  into->candidates_considered += s.candidates_considered;
-  into->queries += s.queries;
-  into->corpus_docs_scanned += s.corpus_docs_scanned;
-  into->term_merges += s.term_merges;
-  into->merge_postings_written += s.merge_postings_written;
-  into->auto_merge_sweeps += s.auto_merge_sweeps;
-  into->merge_installs_fine += s.merge_installs_fine;
-  into->merge_install_aborts += s.merge_install_aborts;
-  into->list_state_retired += s.list_state_retired;
+#define SVR_INDEX_STATS_ADD(name) into->name += s.name;
+  SVR_INDEX_STATS_FIELDS(SVR_INDEX_STATS_ADD)
+#undef SVR_INDEX_STATS_ADD
 }
 
 /// Placeholder for the non-pk, non-text columns of a reconstructed
@@ -50,20 +44,15 @@ relational::Value DefaultValueFor(relational::ValueType type) {
   }
 }
 
+/// Counters sum field-wise through the declaration macro; the non-macro
+/// fields keep their own aggregation (watermark max, flag or, time sum).
 void AddEngineStats(EngineStats* into, const EngineStats& s) {
   AddIndexStats(&into->index, s.index);
   into->commit_ts = std::max(into->commit_ts, s.commit_ts);
   into->background_merge = into->background_merge || s.background_merge;
-  into->merge_workers += s.merge_workers;
-  into->merge_queue_depth += s.merge_queue_depth;
-  into->merge_jobs_enqueued += s.merge_jobs_enqueued;
-  into->merge_jobs_completed += s.merge_jobs_completed;
-  into->merge_jobs_aborted += s.merge_jobs_aborted;
-  into->merge_jobs_dropped += s.merge_jobs_dropped;
-  into->merge_dedup_hits += s.merge_dedup_hits;
-  into->merge_sync_fallbacks += s.merge_sync_fallbacks;
-  into->reclaim_pending += s.reclaim_pending;
-  into->objects_reclaimed += s.objects_reclaimed;
+#define SVR_ENGINE_STATS_ADD(name) into->name += s.name;
+  SVR_ENGINE_STATS_U64_FIELDS(SVR_ENGINE_STATS_ADD)
+#undef SVR_ENGINE_STATS_ADD
   into->write_merge_ms += s.write_merge_ms;
 }
 
@@ -114,6 +103,20 @@ Result<std::unique_ptr<ShardedSvrEngine>> ShardedSvrEngine::Open(
   // Shards never run their own WAL — the sharded engine logs global-key
   // statements itself, one segment per shard (docs/durability.md).
   per_shard.durability = durability::DurabilityOptions{};
+  // One registry for every shard: instruments resolve to the same named
+  // objects, so per-shard counters/histograms aggregate and additive
+  // gauges sum across shards. Periodic dumps are driven by this layer
+  // only — a per-shard interval would emit N copies.
+  TelemetryOptions sharded_telemetry = options.shard.telemetry;
+  if (per_shard.telemetry.enabled) {
+    if (sharded_telemetry.registry == nullptr) {
+      sharded_telemetry.registry =
+          std::make_shared<telemetry::MetricsRegistry>();
+    }
+    per_shard.telemetry.registry = sharded_telemetry.registry;
+    per_shard.telemetry.dump_interval_ms = 0;
+    per_shard.telemetry.dump_sink = nullptr;
+  }
   std::vector<std::unique_ptr<SvrEngine>> shards;
   shards.reserve(options.num_shards);
   for (uint32_t i = 0; i < options.num_shards; ++i) {
@@ -122,6 +125,8 @@ Result<std::unique_ptr<ShardedSvrEngine>> ShardedSvrEngine::Open(
   }
   auto engine = std::unique_ptr<ShardedSvrEngine>(new ShardedSvrEngine(
       std::move(shards), std::move(clock), options.num_query_threads));
+  // Before InitDurability: the WAL writers are instrumented at creation.
+  engine->InitTelemetry(sharded_telemetry);
   if (options.durability.enabled) {
     SVR_RETURN_NOT_OK(engine->InitDurability(options.durability));
   }
@@ -130,6 +135,28 @@ Result<std::unique_ptr<ShardedSvrEngine>> ShardedSvrEngine::Open(
 
 uint32_t ShardedSvrEngine::ShardOf(int64_t gid) const {
   return static_cast<uint32_t>(MixId(gid) % shards_.size());
+}
+
+void ShardedSvrEngine::InitTelemetry(const TelemetryOptions& topt) {
+  if (!topt.enabled) return;
+  telemetry_enabled_ = true;
+  // Open installed this registry into every shard before constructing
+  // them, so the shards' instruments already live in it.
+  metrics_ = topt.registry;
+  slow_log_ = std::make_unique<telemetry::SlowQueryLog>(
+      topt.slow_query_log_capacity, topt.slow_query_threshold_us);
+  tel_.scatter_shard_us = metrics_->GetHistogram("sharded.scatter_shard_us");
+  tel_.gather_us = metrics_->GetHistogram("sharded.gather_us");
+  tel_.join_us = metrics_->GetHistogram("sharded.join_us");
+  tel_.query_total_us = metrics_->GetHistogram("sharded.query_total_us");
+  tel_.wal_fsync_us = metrics_->GetHistogram("wal.fsync_us");
+  tel_.wal_batch_statements = metrics_->GetHistogram("wal.batch_statements");
+  tel_.slow_queries = metrics_->GetCounter("sharded.query.slow");
+  if (topt.dump_interval_ms > 0 && topt.dump_sink) {
+    metrics_->StartPeriodicDump(topt.dump_interval_ms, topt.dump_format,
+                                topt.dump_sink);
+    owns_periodic_dump_ = true;
+  }
 }
 
 Status ShardedSvrEngine::CreateTable(const std::string& name,
@@ -606,20 +633,38 @@ ShardedReadView ShardedSvrEngine::PinReadViewAll() const {
 }
 
 Result<std::vector<ScoredRow>> ShardedSvrEngine::Search(
-    const std::string& keywords, size_t k, bool conjunctive) {
-  return SearchAt(PinReadViewAll(), keywords, k, conjunctive);
+    const std::string& keywords, size_t k, bool conjunctive,
+    telemetry::QueryTrace* trace) {
+  return SearchAt(PinReadViewAll(), keywords, k, conjunctive, trace);
 }
 
 Result<std::vector<ScoredRow>> ShardedSvrEngine::SearchAt(
     const ShardedReadView& view, const std::string& keywords, size_t k,
-    bool conjunctive) {
+    bool conjunctive, telemetry::QueryTrace* trace) {
   // Scatter: each shard answers its own top-k against its pinned
   // version — the whole gather observes the view's single watermark.
   const size_t n = shards_.size();
+  // Tracing (docs/observability.md): with telemetry on, untraced calls
+  // still time their stages into the registry through a local trace.
+  telemetry::QueryTrace local_trace;
+  telemetry::QueryTrace* t = trace;
+  if (t == nullptr && telemetry_enabled_) t = &local_trace;
+  if (t != nullptr) {
+    *t = telemetry::QueryTrace();
+    t->keywords = keywords;
+    t->k = k;
+    t->conjunctive = conjunctive;
+    t->commit_ts = view.watermark;
+    // One preallocated span per shard: each scatter lambda writes only
+    // its own slot, so the parallel fan-out needs no trace lock.
+    t->shards.resize(n);
+  }
+  telemetry::StageTimer timer(t != nullptr);
   std::vector<std::vector<ScoredRow>> shard_rows(n);
   std::vector<std::vector<index::SearchResult>> shard_hits(n);
   std::vector<Status> shard_status(n);
   auto run_shard = [&](size_t s) {
+    telemetry::StageTimer shard_timer(t != nullptr);
     auto r = shards_[s]->SearchAt(view.shards[s], keywords, k, conjunctive);
     if (!r.ok()) {
       shard_status[s] = r.status();
@@ -629,6 +674,12 @@ Result<std::vector<ScoredRow>> ShardedSvrEngine::SearchAt(
     shard_hits[s].reserve(shard_rows[s].size());
     for (const ScoredRow& row : shard_rows[s]) {
       shard_hits[s].push_back({static_cast<DocId>(row.pk), row.score});
+    }
+    if (t != nullptr) {
+      telemetry::ShardSpan& span = t->shards[s];
+      span.shard = static_cast<uint32_t>(s);
+      span.hits = shard_hits[s].size();
+      span.latency_us = shard_timer.TotalUs(tel_.scatter_shard_us);
     }
   };
   if (query_pool_ != nullptr && n > 1) {
@@ -646,9 +697,11 @@ Result<std::vector<ScoredRow>> ShardedSvrEngine::SearchAt(
   for (const Status& st : shard_status) {
     SVR_RETURN_NOT_OK(st);
   }
+  timer.Lap();  // scatter wall time: covered per shard by the spans
 
   // Gather: one bounded merge heap over (score desc, global id asc).
   const std::vector<index::SearchResult> merged = GatherTopK(shard_hits, k);
+  if (t != nullptr) t->gather_us = timer.Lap(tel_.gather_us);
 
   int pk_index = 0;
   {
@@ -698,6 +751,15 @@ Result<std::vector<ScoredRow>> ShardedSvrEngine::SearchAt(
     }
     out.push_back(std::move(r));
   }
+  if (t != nullptr) {
+    t->join_us = timer.Lap(tel_.join_us);
+    t->results = out.size();
+    t->total_us = timer.TotalUs(tel_.query_total_us);
+    if (slow_log_ != nullptr && slow_log_->MaybeRecord(*t) &&
+        tel_.slow_queries != nullptr) {
+      tel_.slow_queries->Increment();
+    }
+  }
   return out;
 }
 
@@ -719,6 +781,12 @@ Status ShardedSvrEngine::Start() {
 }
 
 void ShardedSvrEngine::Stop() {
+  // Periodic metrics dump first: its gauge callbacks read the WAL
+  // writers and shard state that the steps below start tearing down.
+  if (owns_periodic_dump_ && metrics_ != nullptr) {
+    metrics_->StopPeriodicDump();
+    owns_periodic_dump_ = false;
+  }
   {
     MutexLock lk(ckpt_mu_);
     ckpt_stop_ = true;
@@ -858,6 +926,17 @@ Status ShardedSvrEngine::InitDurability(
       SVR_RETURN_NOT_OK(dur_.file_factory(path, &file));
       log_writers_.push_back(std::make_unique<durability::LogWriter>(
           std::move(file), dur_.sync_mode));
+      if (telemetry_enabled_) {
+        // All shards' WAL legs feed the same wal.* instruments; the
+        // queue-depth gauge is additive across registrations, so the
+        // exported value is the engine-wide outstanding-append count.
+        log_writers_.back()->SetInstruments(tel_.wal_fsync_us,
+                                            tel_.wal_batch_statements);
+        metrics_->RegisterGauge(
+            "wal.queue_depth", [w = log_writers_.back().get()] {
+              return static_cast<double>(w->QueueDepth());
+            });
+      }
       live_segments_.push_back(path);
     }
     logging_armed_ = true;  // no concurrency yet: Open has not returned

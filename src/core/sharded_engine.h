@@ -21,6 +21,9 @@
 #include "durability/log_writer.h"
 #include "durability/options.h"
 #include "index/text_index.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/query_trace.h"
+#include "telemetry/slow_query_log.h"
 
 namespace svr::core {
 
@@ -53,6 +56,12 @@ struct ShardedSvrEngineOptions {
   /// num_shards than the log was written under). The per-shard option
   /// `shard.durability` is ignored — shards never run their own WAL.
   durability::DurabilityOptions durability;
+  /// Telemetry rides in `shard.telemetry` (docs/observability.md): Open
+  /// installs ONE shared registry into every shard, so per-shard
+  /// instruments aggregate under their single names; the sharded layer
+  /// adds its own `sharded.*` scatter/gather instruments, slow-query log
+  /// and — when configured — the periodic dump (per-shard dumps are
+  /// disabled so only this layer emits).
 };
 
 /// \brief One pinned cross-shard read point: every shard's ReadView plus
@@ -158,14 +167,18 @@ class ShardedSvrEngine {
   /// pins every shard's snapshot, fetches k from each (on the query
   /// pool when `num_query_threads` > 1), merges on one bounded heap by
   /// (score desc, global id asc), and returns rows with their global
-  /// primary keys restored — all from the same pinned views.
+  /// primary keys restored — all from the same pinned views. A non-null
+  /// `trace` receives the stage trace with one ShardSpan per shard
+  /// (docs/observability.md); results are identical either way.
   Result<std::vector<ScoredRow>> Search(const std::string& keywords,
-                                        size_t k, bool conjunctive = true);
+                                        size_t k, bool conjunctive = true,
+                                        telemetry::QueryTrace* trace = nullptr);
   /// Search against an already-pinned view (validation compares index
   /// and oracle answers at the identical watermark this way).
   Result<std::vector<ScoredRow>> SearchAt(const ShardedReadView& view,
                                           const std::string& keywords,
-                                          size_t k, bool conjunctive = true);
+                                          size_t k, bool conjunctive = true,
+                                          telemetry::QueryTrace* trace = nullptr);
 
   /// Pins one cross-shard read point. Lock-free: one epoch-guard
   /// registration and one atomic snapshot load per shard.
@@ -226,6 +239,21 @@ class ShardedSvrEngine {
 
   ShardedEngineStats GetStats() const;
 
+  /// Renders the shared registry — per-shard instruments (summed gauges,
+  /// merged histograms) plus the `sharded.*` family. Empty string when
+  /// telemetry is off.
+  std::string DumpMetrics(telemetry::DumpFormat format) const {
+    return metrics_ != nullptr ? metrics_->Dump(format) : std::string();
+  }
+  /// The shared registry (null when telemetry is off). Shards expose the
+  /// same object through their own accessor.
+  telemetry::MetricsRegistry* metrics_registry() const {
+    return metrics_.get();
+  }
+  /// The sharded layer's own slow-query log: end-to-end scatter-gather
+  /// queries, not per-shard legs. Null when telemetry is off.
+  telemetry::SlowQueryLog* slow_query_log() { return slow_log_.get(); }
+
   uint32_t num_shards() const {
     return static_cast<uint32_t>(shards_.size());
   }
@@ -275,6 +303,12 @@ class ShardedSvrEngine {
   Loc MapOrAllocate(int64_t gid, std::unique_lock<Mutex>* insert_lock,
                     bool* fresh) EXCLUDES(map_mu_);
 
+  /// Resolves the `sharded.*` instruments and the slow-query log from
+  /// the shared registry Open installed into every shard. Called by
+  /// Open before InitDurability (the WAL writers are instrumented at
+  /// creation). No-op when `topt.enabled` is false.
+  void InitTelemetry(const TelemetryOptions& topt);
+
   // --- durability (docs/durability.md) --------------------------------
   /// Directory scan + checkpoint load + WAL replay through the public
   /// sharded DML path; then arms per-shard logging. Called by Open.
@@ -300,6 +334,29 @@ class ShardedSvrEngine {
   std::vector<std::unique_ptr<SvrEngine>> shards_;
   /// The shared commit clock every shard stamps its commits from.
   std::shared_ptr<concurrency::CommitClock> clock_;
+
+  // --- telemetry (docs/observability.md) ------------------------------
+  /// Instrument pointers resolved once at Open; all nullptr when
+  /// telemetry is off, so the hot paths test one bool and never touch
+  /// the registry.
+  struct ShardedInstruments {
+    telemetry::ShardedHistogram* scatter_shard_us = nullptr;
+    telemetry::ShardedHistogram* gather_us = nullptr;
+    telemetry::ShardedHistogram* join_us = nullptr;
+    telemetry::ShardedHistogram* query_total_us = nullptr;
+    telemetry::ShardedHistogram* wal_fsync_us = nullptr;
+    telemetry::ShardedHistogram* wal_batch_statements = nullptr;
+    telemetry::Counter* slow_queries = nullptr;
+  };
+  bool telemetry_enabled_ = false;
+  /// The registry shared with every shard (their instruments and this
+  /// layer's live side by side).
+  std::shared_ptr<telemetry::MetricsRegistry> metrics_;
+  std::unique_ptr<telemetry::SlowQueryLog> slow_log_;
+  ShardedInstruments tel_;
+  /// True when this engine started the registry's periodic dump (and
+  /// must stop it in Stop, before teardown invalidates gauge callbacks).
+  bool owns_periodic_dump_ = false;
   /// Query-side fan-out pool (null when num_query_threads <= 1).
   std::unique_ptr<concurrency::QueryPool> query_pool_;
 

@@ -6,6 +6,7 @@
 
 #include "common/stopwatch.h"
 #include "index/merge_policy.h"
+#include "telemetry/stage_timer.h"
 #include "text/tokenizer.h"
 
 namespace svr::core {
@@ -55,10 +56,61 @@ Result<std::unique_ptr<SvrEngine>> SvrEngine::Open(
     MutexLock lock(engine->writer_mu_);
     engine->PublishCommit();
   }
+  // Before InitDurability: the WAL writer is instrumented at creation.
+  engine->InitTelemetry();
   if (options.durability.enabled) {
     SVR_RETURN_NOT_OK(engine->InitDurability());
   }
   return engine;
+}
+
+void SvrEngine::InitTelemetry() {
+  const TelemetryOptions& topt = options_.telemetry;
+  if (!topt.enabled) return;
+  telemetry_enabled_ = true;
+  metrics_ = topt.registry != nullptr
+                 ? topt.registry
+                 : std::make_shared<telemetry::MetricsRegistry>();
+  slow_log_ = std::make_unique<telemetry::SlowQueryLog>(
+      topt.slow_query_log_capacity, topt.slow_query_threshold_us);
+  // Resolve every instrument once; the record paths never take the
+  // registry mutex (docs/observability.md lists the metric names).
+  tel_.dml_apply_us = metrics_->GetHistogram("dml.apply_us");
+  tel_.dml_publish_us = metrics_->GetHistogram("dml.publish_us");
+  tel_.dml_wait_durable_us = metrics_->GetHistogram("dml.wait_durable_us");
+  tel_.query_total_us = metrics_->GetHistogram("query.total_us");
+  tel_.query_term_resolve_us =
+      metrics_->GetHistogram("query.term_resolve_us");
+  tel_.query_index_us = metrics_->GetHistogram("query.index_us");
+  tel_.query_join_us = metrics_->GetHistogram("query.join_us");
+  tel_.merge_prepare_us = metrics_->GetHistogram("merge.prepare_us");
+  tel_.merge_install_us = metrics_->GetHistogram("merge.install_us");
+  tel_.checkpoint_us = metrics_->GetHistogram("checkpoint.duration_us");
+  tel_.wal_fsync_us = metrics_->GetHistogram("wal.fsync_us");
+  tel_.wal_batch_statements = metrics_->GetHistogram("wal.batch_statements");
+  tel_.slow_queries = metrics_->GetCounter("query.slow");
+  // Gauges read internally synchronized sources at dump time (no
+  // registry lock held). Registration is additive: shards sharing one
+  // registry sum into the same gauge.
+  metrics_->RegisterGauge("epoch.reclaim_pending", [this] {
+    return static_cast<double>(epochs_->objects_pending());
+  });
+  metrics_->RegisterGauge("epoch.objects_reclaimed", [this] {
+    return static_cast<double>(epochs_->objects_reclaimed());
+  });
+  metrics_->RegisterGauge("wal.queue_depth", [this] {
+    durability::LogWriter* w = wal_.get();
+    return w != nullptr ? static_cast<double>(w->QueueDepth()) : 0.0;
+  });
+  if (topt.dump_interval_ms > 0 && topt.dump_sink) {
+    metrics_->StartPeriodicDump(topt.dump_interval_ms, topt.dump_format,
+                                topt.dump_sink);
+    owns_periodic_dump_ = true;
+  }
+}
+
+std::string SvrEngine::DumpMetrics(telemetry::DumpFormat format) const {
+  return metrics_ != nullptr ? metrics_->Dump(format) : std::string();
 }
 
 std::unique_lock<std::shared_mutex> SvrEngine::LockLegacyExclusive() {
@@ -274,19 +326,29 @@ concurrency::MergeHostHooks SvrEngine::MakeMergeHooks() {
   hooks.prepare =
       [this](TermId term,
              std::unique_ptr<index::TermMergePlan>* plan) -> Status {
-    plan->reset();
-    ReadView view = PinReadView();
-    if (!view.indexed()) return Status::OK();
-    auto prepared = index_->PrepareMergeTermAt(view.state->index, term);
-    SVR_RETURN_NOT_OK(prepared.status());
-    *plan = std::move(prepared).value();
-    return Status::OK();
+    telemetry::StageTimer sw(telemetry_enabled_);
+    Status st = [&]() -> Status {
+      plan->reset();
+      ReadView view = PinReadView();
+      if (!view.indexed()) return Status::OK();
+      auto prepared = index_->PrepareMergeTermAt(view.state->index, term);
+      SVR_RETURN_NOT_OK(prepared.status());
+      *plan = std::move(prepared).value();
+      return Status::OK();
+    }();
+    sw.Lap(tel_.merge_prepare_us);
+    return st;
   };
   hooks.install = [this](index::TermMergePlan* plan) -> Status {
-    auto legacy = LockLegacyExclusive();
-    MutexLock lock(writer_mu_);
-    Status st = index_->InstallMergeTerm(plan, blob_retirer_);
-    PublishCommit();
+    telemetry::StageTimer sw(telemetry_enabled_);
+    Status st;
+    {
+      auto legacy = LockLegacyExclusive();
+      MutexLock lock(writer_mu_);
+      st = index_->InstallMergeTerm(plan, blob_retirer_);
+      PublishCommit();
+    }
+    sw.Lap(tel_.merge_install_us);
     return st;
   };
   hooks.sync_merge = [this](TermId term) -> Status {
@@ -323,7 +385,13 @@ Status SvrEngine::Start() {
 }
 
 void SvrEngine::Stop() {
-  // Checkpoint thread first: it takes the writer mutex, which the
+  // Periodic metrics dump first: its gauge callbacks read engine state
+  // that the steps below start tearing down.
+  if (owns_periodic_dump_ && metrics_ != nullptr) {
+    metrics_->StopPeriodicDump();
+    owns_periodic_dump_ = false;
+  }
+  // Checkpoint thread next: it takes the writer mutex, which the
   // shutdown steps below want quiet.
   {
     MutexLock lk(ckpt_mu_);
@@ -449,8 +517,11 @@ Status SvrEngine::Insert(const std::string& table,
   Status st;
   {
     MutexLock lock(writer_mu_);
+    telemetry::StageTimer tsw(telemetry_enabled_);
     st = ApplyInsertLocked(table, row);
+    tsw.Lap(tel_.dml_apply_us);
     const uint64_t ts = PublishCommit();
+    tsw.Lap(tel_.dml_publish_us);
     if (commit_ts != nullptr) *commit_ts = ts;
     if (st.ok() && logging_armed_) {
       durability::WalStatement stmt;
@@ -463,7 +534,12 @@ Status SvrEngine::Insert(const std::string& table,
   }
   // Group-commit ack outside the writer mutex: other statements batch
   // onto the same fsync while this one waits.
-  if (logged) SVR_RETURN_NOT_OK(wal_->WaitDurable(ticket));
+  if (logged) {
+    telemetry::StageTimer wsw(telemetry_enabled_);
+    const Status dst = wal_->WaitDurable(ticket);
+    wsw.Lap(tel_.dml_wait_durable_us);
+    SVR_RETURN_NOT_OK(dst);
+  }
   return st;
 }
 
@@ -475,8 +551,11 @@ Status SvrEngine::Update(const std::string& table,
   Status st;
   {
     MutexLock lock(writer_mu_);
+    telemetry::StageTimer tsw(telemetry_enabled_);
     st = ApplyUpdateLocked(table, row);
+    tsw.Lap(tel_.dml_apply_us);
     const uint64_t ts = PublishCommit();
+    tsw.Lap(tel_.dml_publish_us);
     if (commit_ts != nullptr) *commit_ts = ts;
     if (st.ok() && logging_armed_) {
       durability::WalStatement stmt;
@@ -487,7 +566,12 @@ Status SvrEngine::Update(const std::string& table,
       logged = true;
     }
   }
-  if (logged) SVR_RETURN_NOT_OK(wal_->WaitDurable(ticket));
+  if (logged) {
+    telemetry::StageTimer wsw(telemetry_enabled_);
+    const Status dst = wal_->WaitDurable(ticket);
+    wsw.Lap(tel_.dml_wait_durable_us);
+    SVR_RETURN_NOT_OK(dst);
+  }
   return st;
 }
 
@@ -499,8 +583,11 @@ Status SvrEngine::Delete(const std::string& table, int64_t pk,
   Status st;
   {
     MutexLock lock(writer_mu_);
+    telemetry::StageTimer tsw(telemetry_enabled_);
     st = ApplyDeleteLocked(table, pk);
+    tsw.Lap(tel_.dml_apply_us);
     const uint64_t ts = PublishCommit();
+    tsw.Lap(tel_.dml_publish_us);
     if (commit_ts != nullptr) *commit_ts = ts;
     if (st.ok() && logging_armed_) {
       durability::WalStatement stmt;
@@ -511,18 +598,24 @@ Status SvrEngine::Delete(const std::string& table, int64_t pk,
       logged = true;
     }
   }
-  if (logged) SVR_RETURN_NOT_OK(wal_->WaitDurable(ticket));
+  if (logged) {
+    telemetry::StageTimer wsw(telemetry_enabled_);
+    const Status dst = wal_->WaitDurable(ticket);
+    wsw.Lap(tel_.dml_wait_durable_us);
+    SVR_RETURN_NOT_OK(dst);
+  }
   return st;
 }
 
 Result<std::vector<ScoredRow>> SvrEngine::Search(
-    const std::string& keywords, size_t k, bool conjunctive) {
-  return SearchAt(PinReadView(), keywords, k, conjunctive);
+    const std::string& keywords, size_t k, bool conjunctive,
+    telemetry::QueryTrace* trace) {
+  return SearchAt(PinReadView(), keywords, k, conjunctive, trace);
 }
 
 Result<std::vector<ScoredRow>> SvrEngine::SearchAt(
     const ReadView& view, const std::string& keywords, size_t k,
-    bool conjunctive) {
+    bool conjunctive, telemetry::QueryTrace* trace) {
   // Everything below — term resolution, the scan, the score probes, the
   // row join — observes the single sealed version the view pinned. The
   // epoch guard keeps reclamation honest about the blobs and tree pages
@@ -530,37 +623,72 @@ Result<std::vector<ScoredRow>> SvrEngine::SearchAt(
   if (!view.indexed()) {
     return Status::InvalidArgument("no text index; CreateTextIndex first");
   }
+  // Stage tracing (docs/observability.md): the caller's out-param, or a
+  // local when telemetry needs one for the histograms / slow-query log.
+  // Null = fully untraced, no clock reads.
+  telemetry::QueryTrace local_trace;
+  telemetry::QueryTrace* t = trace;
+  if (t == nullptr && telemetry_enabled_) t = &local_trace;
+  if (t != nullptr) {
+    *t = telemetry::QueryTrace();
+    t->keywords = keywords;
+    t->k = k;
+    t->conjunctive = conjunctive;
+    t->commit_ts = view.commit_ts();
+  }
+  telemetry::StageTimer timer(t != nullptr);
+
   const EngineSnapshot& snap = *view.state;
   index::Query query;
   query.conjunctive = conjunctive;
+  bool impossible = false;  // conjunctive query with an unknown term
   for (const std::string& tok : text::Tokenizer::Tokenize(keywords)) {
-    const TermId t = vocab_.Lookup(tok);
-    if (t == text::Vocabulary::kUnknownTerm) {
-      if (conjunctive) return std::vector<ScoredRow>{};  // impossible term
+    const TermId term = vocab_.Lookup(tok);
+    if (term == text::Vocabulary::kUnknownTerm) {
+      if (conjunctive) {
+        impossible = true;
+        break;
+      }
       continue;
     }
     // Repeated keywords ("apple apple") must not double-count term
     // scores or duplicate the stream work of the scans.
-    if (std::find(query.terms.begin(), query.terms.end(), t) ==
+    if (std::find(query.terms.begin(), query.terms.end(), term) ==
         query.terms.end()) {
-      query.terms.push_back(t);
+      query.terms.push_back(term);
     }
   }
-  if (query.terms.empty()) return std::vector<ScoredRow>{};
-
-  std::vector<index::SearchResult> hits;
-  SVR_RETURN_NOT_OK(index_->TopKAt(snap.index, query, k, &hits));
+  if (t != nullptr) t->term_resolve_us = timer.Lap(tel_.query_term_resolve_us);
 
   std::vector<ScoredRow> out;
-  out.reserve(hits.size());
-  for (const auto& h : hits) {
-    ScoredRow r;
-    r.pk = static_cast<int64_t>(h.doc);
-    r.score = h.score;
-    SVR_RETURN_NOT_OK(
-        scored_rows_table_->GetAt(snap.scored_rows, r.pk, &r.row));
-    out.push_back(std::move(r));
+  Status st;
+  if (!impossible && !query.terms.empty()) {
+    std::vector<index::SearchResult> hits;
+    st = index_->TopKAt(snap.index, query, k, &hits,
+                        t != nullptr ? &t->stats : nullptr);
+    if (t != nullptr) t->index_topk_us = timer.Lap(tel_.query_index_us);
+    if (st.ok()) {
+      out.reserve(hits.size());
+      for (const auto& h : hits) {
+        ScoredRow r;
+        r.pk = static_cast<int64_t>(h.doc);
+        r.score = h.score;
+        st = scored_rows_table_->GetAt(snap.scored_rows, r.pk, &r.row);
+        if (!st.ok()) break;
+        out.push_back(std::move(r));
+      }
+      if (t != nullptr) t->join_us = timer.Lap(tel_.query_join_us);
+    }
   }
+  if (t != nullptr) {
+    t->results = out.size();
+    t->total_us = timer.TotalUs(tel_.query_total_us);
+    if (slow_log_ != nullptr && slow_log_->MaybeRecord(*t) &&
+        tel_.slow_queries != nullptr) {
+      tel_.slow_queries->Increment();
+    }
+  }
+  SVR_RETURN_NOT_OK(st);
   return out;
 }
 
@@ -742,6 +870,7 @@ Status SvrEngine::InitDurability() {
   SVR_RETURN_NOT_OK(dur_.file_factory(path, &file));
   wal_ = std::make_unique<durability::LogWriter>(std::move(file),
                                                  dur_.sync_mode);
+  wal_->SetInstruments(tel_.wal_fsync_us, tel_.wal_batch_statements);
   live_segments_.push_back(path);
   logging_armed_ = true;
   if (dur_.checkpoint_interval_statements > 0) {
@@ -827,6 +956,13 @@ Status SvrEngine::BuildCheckpointStatementsLocked(
 }
 
 Status SvrEngine::CheckpointNow() {
+  telemetry::StageTimer sw(telemetry_enabled_);
+  const Status st = CheckpointNowImpl();
+  sw.Lap(tel_.checkpoint_us);
+  return st;
+}
+
+Status SvrEngine::CheckpointNowImpl() {
   MutexLock run(ckpt_run_mu_);
   durability::CheckpointData data;
   std::vector<std::string> covered;

@@ -26,6 +26,9 @@
 #include "relational/score_view.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/query_trace.h"
+#include "telemetry/slow_query_log.h"
 #include "text/corpus.h"
 #include "text/vocabulary.h"
 
@@ -41,6 +44,32 @@ enum class ReadLocking {
   /// bench_mvcc_churn; the snapshot machinery still runs underneath, so
   /// results are identical — only the contention differs.
   kSharedLock,
+};
+
+/// Engine observability (docs/observability.md). Off by default: every
+/// instrumented site costs one predictable branch and nothing else, and
+/// no telemetry state is allocated.
+struct TelemetryOptions {
+  bool enabled = false;
+  /// Queries whose total wall time crosses this land in the slow-query
+  /// ring buffer with their full stage trace.
+  uint64_t slow_query_threshold_us = 100000;
+  /// Traces the slow-query ring retains (oldest evicted first).
+  uint32_t slow_query_log_capacity = 128;
+  /// Registry the engine resolves its instruments from. Null = the
+  /// engine creates a private one. The sharded layer installs one shared
+  /// registry into every shard, so `dml.*` / `query.*` / `merge.*`
+  /// histograms aggregate across shards and one DumpMetrics covers the
+  /// whole engine.
+  std::shared_ptr<telemetry::MetricsRegistry> registry;
+  /// > 0 starts the registry's background periodic dump: every
+  /// `dump_interval_ms`, `dump_sink` receives a fresh Dump(dump_format).
+  /// Requires a non-null sink. The engine that *starts* the dump stops
+  /// it in Stop(); engines handed a shared registry leave the interval
+  /// at 0 and let the registry owner drive it.
+  uint32_t dump_interval_ms = 0;
+  telemetry::DumpFormat dump_format = telemetry::DumpFormat::kJson;
+  std::function<void(const std::string&)> dump_sink;
 };
 
 struct SvrEngineOptions {
@@ -78,6 +107,10 @@ struct SvrEngineOptions {
   /// statement thereafter is logged and group-committed before its DML
   /// call returns.
   durability::DurabilityOptions durability;
+  /// Observability (docs/observability.md): registry-backed histograms
+  /// on every hot subsystem, per-query stage traces, and the slow-query
+  /// log. Disabled by default.
+  TelemetryOptions telemetry;
 };
 
 /// One search hit joined back to its relational row.
@@ -101,31 +134,62 @@ struct EngineSnapshot {
 /// Engine-level counter snapshot. Gathered from internally synchronized
 /// sources with no engine lock — fields are individually fresh but not
 /// mutually atomic (they never were load-bearing together).
+///
+/// The summable uint64 counters are declared through
+/// SVR_ENGINE_STATS_U64_FIELDS so the sharded layer's field-wise
+/// aggregation (AddEngineStats) iterates the same list the struct is
+/// built from; the static_assert below catches a counter added outside
+/// the macro. `index`, `commit_ts`, `background_merge` and
+/// `write_merge_ms` sit outside the macro because they aggregate
+/// differently (recursive sum / max / or / double sum).
+#define SVR_ENGINE_STATS_U64_FIELDS(V)                                    \
+  V(merge_workers)         /* scheduler pool size while running */        \
+  V(merge_queue_depth)     /* jobs queued or in flight */                 \
+  V(merge_jobs_enqueued)                                                  \
+  V(merge_jobs_completed)                                                 \
+  V(merge_jobs_aborted)    /* optimistic conflicts retried */             \
+  V(merge_jobs_dropped)    /* queue-full rejections */                    \
+  V(merge_dedup_hits)      /* enqueues of already-pending terms */        \
+  V(merge_sync_fallbacks)                                                 \
+  /* Dead version objects (replaced blobs + retired tree pages)           \
+     awaiting / past epoch reclamation. Counts objects, not blobs: the    \
+     pre-MVCC `blobs_reclaimed` field grew into this when commits         \
+     started retiring shadowed pages too. */                              \
+  V(reclaim_pending)                                                      \
+  V(objects_reclaimed)
+
 struct EngineStats {
   index::IndexStats index;
   /// Commit timestamp of the currently published snapshot.
   uint64_t commit_ts = 0;
   bool background_merge = false;
-  uint64_t merge_workers = 0;         // scheduler pool size while running
-  uint64_t merge_queue_depth = 0;     // jobs queued or in flight
-  uint64_t merge_jobs_enqueued = 0;
-  uint64_t merge_jobs_completed = 0;
-  uint64_t merge_jobs_aborted = 0;    // optimistic conflicts retried
-  uint64_t merge_jobs_dropped = 0;    // queue-full rejections
-  uint64_t merge_dedup_hits = 0;      // enqueues of already-pending terms
-  uint64_t merge_sync_fallbacks = 0;
-  /// Dead version objects (replaced blobs + retired tree pages)
-  /// awaiting / past epoch reclamation. Counts objects, not blobs: the
-  /// pre-MVCC `blobs_reclaimed` field grew into this when commits
-  /// started retiring shadowed pages too.
-  uint64_t reclaim_pending = 0;
-  uint64_t objects_reclaimed = 0;
+#define SVR_ENGINE_STATS_DECLARE(name) uint64_t name = 0;
+  SVR_ENGINE_STATS_U64_FIELDS(SVR_ENGINE_STATS_DECLARE)
+#undef SVR_ENGINE_STATS_DECLARE
   /// Wall time the *write path* has spent on merge maintenance: whole
   /// sweeps in synchronous mode, trigger evaluation + enqueue in
   /// background mode (the headline "write-path merge time ~0" metric of
   /// bench_concurrent_churn).
   double write_merge_ms = 0.0;
 };
+
+namespace internal {
+#define SVR_ENGINE_STATS_COUNT(name) +1
+inline constexpr size_t kEngineStatsU64FieldCount =
+    SVR_ENGINE_STATS_U64_FIELDS(SVR_ENGINE_STATS_COUNT);
+#undef SVR_ENGINE_STATS_COUNT
+}  // namespace internal
+
+// A counter added to EngineStats without going through
+// SVR_ENGINE_STATS_U64_FIELDS changes the size but not the macro count
+// and fails here, keeping the sharded sum (AddEngineStats) complete.
+// Layout: index + commit_ts + bool (padded to 8) + N counters + double.
+static_assert(sizeof(EngineStats) ==
+                  sizeof(index::IndexStats) + 2 * sizeof(uint64_t) +
+                      internal::kEngineStatsU64FieldCount *
+                          sizeof(uint64_t) +
+                      sizeof(double),
+              "add EngineStats counters via SVR_ENGINE_STATS_U64_FIELDS");
 
 /// \brief The system of Figure 2, end to end: a relational database whose
 /// text column is ranked by Structured Value Ranking.
@@ -217,14 +281,18 @@ class SvrEngine {
   /// Top-k keyword search over the indexed text column; results are
   /// joined back to their rows. Safe to call from any number of threads
   /// concurrently with DML and background merges; never blocks on them.
-  Result<std::vector<ScoredRow>> Search(const std::string& keywords,
-                                        size_t k, bool conjunctive = true);
+  /// `trace` (optional) receives this call's stage trace — wall time per
+  /// stage plus the index's per-query cursor counters
+  /// (docs/observability.md); it is filled whether or not telemetry is
+  /// enabled and never alters the results.
+  Result<std::vector<ScoredRow>> Search(
+      const std::string& keywords, size_t k, bool conjunctive = true,
+      telemetry::QueryTrace* trace = nullptr);
   /// Search against an already-pinned view (the sharded gather pins one
   /// view per shard up front so the whole scatter reads one watermark).
-  Result<std::vector<ScoredRow>> SearchAt(const ReadView& view,
-                                          const std::string& keywords,
-                                          size_t k,
-                                          bool conjunctive = true);
+  Result<std::vector<ScoredRow>> SearchAt(
+      const ReadView& view, const std::string& keywords, size_t k,
+      bool conjunctive = true, telemetry::QueryTrace* trace = nullptr);
 
   /// Pins a view and runs `fn` against it — multi-statement snapshot
   /// reads (a query plus an oracle check over the same version, as the
@@ -266,6 +334,16 @@ class SvrEngine {
   /// Index + concurrency counters; lock-free.
   EngineStats GetStats() const;
 
+  /// Serializes every registry instrument (docs/observability.md).
+  /// Empty string when telemetry is disabled.
+  std::string DumpMetrics(telemetry::DumpFormat format) const;
+  /// The registry this engine records into; null when disabled.
+  telemetry::MetricsRegistry* metrics_registry() const {
+    return metrics_.get();
+  }
+  /// The slow-query ring buffer; null when telemetry is disabled.
+  telemetry::SlowQueryLog* slow_query_log() { return slow_log_.get(); }
+
   // --- component access (benchmarks, tests, diagnostics) --------------
   // Unversioned: use only while no other thread touches the engine.
   relational::Database* database() { return db_.get(); }
@@ -283,6 +361,35 @@ class SvrEngine {
 
  private:
   explicit SvrEngine(const SvrEngineOptions& options);
+
+  /// Per-subsystem instruments, resolved out of the registry once at
+  /// Open so the record paths go through raw pointers and never touch
+  /// the registry mutex. All null when telemetry is disabled — record
+  /// sites are guarded by `telemetry_enabled_` / null checks.
+  struct EngineInstruments {
+    telemetry::ShardedHistogram* dml_apply_us = nullptr;
+    telemetry::ShardedHistogram* dml_publish_us = nullptr;
+    telemetry::ShardedHistogram* dml_wait_durable_us = nullptr;
+    telemetry::ShardedHistogram* query_total_us = nullptr;
+    telemetry::ShardedHistogram* query_term_resolve_us = nullptr;
+    telemetry::ShardedHistogram* query_index_us = nullptr;
+    telemetry::ShardedHistogram* query_join_us = nullptr;
+    telemetry::ShardedHistogram* merge_prepare_us = nullptr;
+    telemetry::ShardedHistogram* merge_install_us = nullptr;
+    telemetry::ShardedHistogram* checkpoint_us = nullptr;
+    /// Handed to the LogWriter at construction (group-commit batch
+    /// size and write+fsync latency, docs/durability.md).
+    telemetry::ShardedHistogram* wal_fsync_us = nullptr;
+    telemetry::ShardedHistogram* wal_batch_statements = nullptr;
+    telemetry::Counter* slow_queries = nullptr;
+  };
+
+  /// Wires the registry (creating a private one unless the options hand
+  /// a shared one in), resolves instruments, registers the epoch/WAL
+  /// gauges, creates the slow-query log, and starts the periodic dump
+  /// when asked. Called by Open before InitDurability (the WAL writer's
+  /// instrumentation is wired at LogWriter construction).
+  void InitTelemetry();
 
   text::Document TokenizeToDocument(const std::string& text);
   Status HandleScoredTableWrite(const relational::Row* old_row,
@@ -340,6 +447,9 @@ class SvrEngine {
   /// CREATE TEXT INDEX, then DELETEs for the dead slots.
   Status BuildCheckpointStatementsLocked(durability::CheckpointData* data)
       REQUIRES(writer_mu_);
+  /// CheckpointNow's body; the public entry point wraps it in the
+  /// checkpoint-duration histogram.
+  Status CheckpointNowImpl() EXCLUDES(ckpt_run_mu_, writer_mu_);
   void CheckpointLoop() EXCLUDES(ckpt_mu_);
 
   /// Exclusive side of the legacy lock (kSharedLock mode only; an empty
@@ -399,6 +509,17 @@ class SvrEngine {
   int text_column_ = -1;
   int pk_column_ = -1;
   index::MergeCheckCounter merge_ticks_;
+
+  // --- telemetry state (docs/observability.md) ------------------------
+  /// Mirrors options_.telemetry.enabled; read on every instrumented
+  /// path. Set once in InitTelemetry, before any concurrency exists.
+  bool telemetry_enabled_ = false;
+  std::shared_ptr<telemetry::MetricsRegistry> metrics_;
+  std::unique_ptr<telemetry::SlowQueryLog> slow_log_;
+  EngineInstruments tel_;
+  /// True when *this* engine started the registry's periodic dump (and
+  /// must stop it in Stop(), before the gauges it registered die).
+  bool owns_periodic_dump_ = false;
 
   // --- durability state -----------------------------------------------
   /// Resolved copy of options_.durability (factory defaulted).

@@ -1,5 +1,7 @@
 #include "durability/log_writer.h"
 
+#include "telemetry/stage_timer.h"
+
 namespace svr::durability {
 
 LogWriter::LogWriter(std::unique_ptr<WalFile> file, SyncMode mode)
@@ -16,8 +18,11 @@ uint64_t LogWriter::Append(const Slice& framed) {
   const uint64_t ticket = ++issued_;
   if (mode_ == SyncMode::kSyncEachStatement) {
     if (error_.ok()) {
+      telemetry::StageTimer sw(fsync_hist_ != nullptr);
       Status st = file_->Append(framed);
       if (st.ok()) st = file_->Sync();
+      sw.Lap(fsync_hist_);
+      if (batch_hist_ != nullptr) batch_hist_->Record(1);
       if (!st.ok()) error_ = st;
     }
     durable_ = ticket;
@@ -25,6 +30,7 @@ uint64_t LogWriter::Append(const Slice& framed) {
     return ticket;
   }
   pending_.append(framed.data(), framed.size());
+  ++pending_count_;
   work_cv_.NotifyOne();
   return ticket;
 }
@@ -38,11 +44,16 @@ Status LogWriter::WaitDurable(uint64_t ticket) {
 void LogWriter::FlushBatch() {
   std::string batch;
   batch.swap(pending_);
+  const uint64_t batch_count = pending_count_;
+  pending_count_ = 0;
   const uint64_t batch_end = issued_;
   io_in_flight_ = true;
   mu_.Unlock();
+  telemetry::StageTimer sw(fsync_hist_ != nullptr);
   Status st = file_->Append(Slice(batch));
   if (st.ok()) st = file_->Sync();
+  sw.Lap(fsync_hist_);
+  if (batch_hist_ != nullptr) batch_hist_->Record(batch_count);
   mu_.Lock();
   io_in_flight_ = false;
   if (!st.ok() && error_.ok()) error_ = st;

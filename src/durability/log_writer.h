@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "durability/wal_file.h"
+#include "telemetry/histogram.h"
 
 namespace svr::durability {
 
@@ -65,6 +66,24 @@ class LogWriter {
 
   Status error() const EXCLUDES(mu_);
 
+  /// Telemetry (docs/observability.md): `fsync_us` records each batch's
+  /// write+fsync wall time, `batch_statements` the number of appends the
+  /// batch covered (the group-commit amplification). Either may be null.
+  /// Call once, right after construction, before any Append — the
+  /// pointers are read by the log thread without synchronization.
+  void SetInstruments(telemetry::ShardedHistogram* fsync_us,
+                      telemetry::ShardedHistogram* batch_statements) {
+    fsync_hist_ = fsync_us;
+    batch_hist_ = batch_statements;
+  }
+
+  /// Appends issued but not yet durable (the group-commit queue depth;
+  /// exported as the `wal.queue_depth` gauge).
+  uint64_t QueueDepth() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    return issued_ - durable_;
+  }
+
  private:
   /// Hands the pending batch to the file. Enters and leaves with mu_
   /// held but drops it across the write+fsync (that window is what lets
@@ -81,6 +100,11 @@ class LogWriter {
   std::unique_ptr<WalFile> file_;
   const SyncMode mode_;
   std::string pending_ GUARDED_BY(mu_);
+  /// Appends in pending_ (the next batch's statement count).
+  uint64_t pending_count_ GUARDED_BY(mu_) = 0;
+  /// Set once before use (SetInstruments); null = unmetered.
+  telemetry::ShardedHistogram* fsync_hist_ = nullptr;
+  telemetry::ShardedHistogram* batch_hist_ = nullptr;
   uint64_t issued_ GUARDED_BY(mu_) = 0;
   uint64_t durable_ GUARDED_BY(mu_) = 0;
   bool io_in_flight_ GUARDED_BY(mu_) = false;

@@ -594,7 +594,7 @@ Status ChunkIndexBase::MakeStreams(const IndexSnapshot& snap,
                                    const Query& query,
                                    std::vector<CursorScratch>* scratch,
                                    std::vector<MergedChunkStream>* streams,
-                                   uint64_t* scanned) {
+                                   QueryStats* qs) {
   streams->clear();
   const ShortList::View shorts(short_list_.get(), snap.short_list);
   // Sized once before any cursor captures a pointer into it.
@@ -605,8 +605,8 @@ Status ChunkIndexBase::MakeStreams(const IndexSnapshot& snap,
     const storage::BlobRef ref = snap.longs.Get(t);
     streams->emplace_back(
         ChunkPostingCursor(blobs_->NewReader(ref), with_ts_,
-                           ctx_.posting_format, &(*scratch)[i]),
-        shorts.Scan(t), scanned);
+                           ctx_.posting_format, &(*scratch)[i], qs),
+        shorts.Scan(t), &qs->postings_scanned);
     SVR_RETURN_NOT_OK(streams->back().Init());
   }
   return Status::OK();

@@ -136,14 +136,14 @@ class ChunkIndexBase : public TextIndex {
                        const relational::ScoreTable::View& scores,
                        DocId doc, ChunkId* cid, bool* in_short) const;
 
-  /// One merged stream per query term over `snap`, charging scan work to
-  /// `scanned` (the calling query's local counter). `scratch` must
-  /// outlive `streams` (the cursors refill blocks into it) and is sized
-  /// by this call.
+  /// One merged stream per query term over `snap`, charging scan and
+  /// cursor work to `qs` (the calling query's local counters). `scratch`
+  /// must outlive `streams` (the cursors refill blocks into it) and is
+  /// sized by this call.
   Status MakeStreams(const IndexSnapshot& snap, const Query& query,
                      std::vector<CursorScratch>* scratch,
                      std::vector<MergedChunkStream>* streams,
-                     uint64_t* scanned);
+                     QueryStats* qs);
 
   /// Classifies a candidate seen at a list position: stale long postings
   /// of short-moved documents are skipped; live ones get their current

@@ -12,13 +12,15 @@ Status ChunkIndex::TopK(const Query& query, size_t k,
 }
 
 Status ChunkIndex::TopKAt(const IndexSnapshot& snap, const Query& query,
-                          size_t k, std::vector<SearchResult>* results) {
+                          size_t k, std::vector<SearchResult>* results,
+                          QueryStats* query_stats) {
   // Queries may run concurrently against sealed snapshots: accumulate
   // counters locally and fold them once at the end.
   QueryStats qs;
   results->clear();
   if (query.terms.empty() || k == 0) {
     FoldQueryStats(qs);
+    if (query_stats != nullptr) *query_stats = qs;
     return Status::OK();
   }
   const relational::ScoreTable::View scores(ctx_.score_table, snap.score);
@@ -26,7 +28,7 @@ Status ChunkIndex::TopKAt(const IndexSnapshot& snap, const Query& query,
   std::vector<CursorScratch> scratch;
   std::vector<MergedChunkStream> streams;
   SVR_RETURN_NOT_OK(
-      MakeStreams(snap, query, &scratch, &streams, &qs.postings_scanned));
+      MakeStreams(snap, query, &scratch, &streams, &qs));
 
   ResultHeap heap(k);
 
@@ -145,6 +147,7 @@ Status ChunkIndex::TopKAt(const IndexSnapshot& snap, const Query& query,
 
   *results = heap.TakeSorted();
   FoldQueryStats(qs);
+  if (query_stats != nullptr) *query_stats = qs;
   return Status::OK();
 }
 

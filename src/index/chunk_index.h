@@ -26,7 +26,8 @@ class ChunkIndex final : public ChunkIndexBase {
   Status TopK(const Query& query, size_t k,
               std::vector<SearchResult>* results) override;
   Status TopKAt(const IndexSnapshot& snap, const Query& query, size_t k,
-                std::vector<SearchResult>* results) override;
+                std::vector<SearchResult>* results,
+                QueryStats* query_stats = nullptr) override;
 };
 
 }  // namespace svr::index

@@ -97,13 +97,15 @@ Status ChunkTermScoreIndex::TopK(const Query& query, size_t k,
 
 Status ChunkTermScoreIndex::TopKAt(const IndexSnapshot& snap,
                                    const Query& query, size_t k,
-                                   std::vector<SearchResult>* results) {
+                                   std::vector<SearchResult>* results,
+                                   QueryStats* query_stats) {
   // Queries may run concurrently against sealed snapshots: accumulate
   // counters locally and fold them once at the end.
   QueryStats qs;
   results->clear();
   if (query.terms.empty() || k == 0) {
     FoldQueryStats(qs);
+    if (query_stats != nullptr) *query_stats = qs;
     return Status::OK();
   }
   const size_t n_terms = query.terms.size();
@@ -201,8 +203,8 @@ Status ChunkTermScoreIndex::TopKAt(const IndexSnapshot& snap,
   // --- Phase 2: chunk-by-chunk merge (Algorithm 3, lines 10-34) -------
   std::vector<CursorScratch> stream_scratch;
   std::vector<MergedChunkStream> streams;
-  SVR_RETURN_NOT_OK(MakeStreams(snap, query, &stream_scratch, &streams,
-                                &qs.postings_scanned));
+  SVR_RETURN_NOT_OK(
+      MakeStreams(snap, query, &stream_scratch, &streams, &qs));
 
   // Per-term upper bound on the term score of any posting not seen in a
   // fancy list: the build-time min_fancy bound, raised to cover short
@@ -300,6 +302,7 @@ Status ChunkTermScoreIndex::TopKAt(const IndexSnapshot& snap,
 
   *results = heap.TakeSorted();
   FoldQueryStats(qs);
+  if (query_stats != nullptr) *query_stats = qs;
   return Status::OK();
 }
 

@@ -34,7 +34,8 @@ class ChunkTermScoreIndex final : public ChunkIndexBase {
   Status TopK(const Query& query, size_t k,
               std::vector<SearchResult>* results) override;
   Status TopKAt(const IndexSnapshot& snap, const Query& query, size_t k,
-                std::vector<SearchResult>* results) override;
+                std::vector<SearchResult>* results,
+                QueryStats* query_stats = nullptr) override;
   IndexSnapshot SealSnapshot() override;
 
   /// Includes the fancy lists (they live next to the long lists).

@@ -375,13 +375,15 @@ Status IdIndex::TopK(const Query& query, size_t k,
 }
 
 Status IdIndex::TopKAt(const IndexSnapshot& snap, const Query& query,
-                       size_t k, std::vector<SearchResult>* results) {
+                       size_t k, std::vector<SearchResult>* results,
+                       QueryStats* query_stats) {
   // Queries may run concurrently against sealed snapshots: accumulate
   // counters locally and fold them once at the end.
   QueryStats qs;
   results->clear();
   if (query.terms.empty() || k == 0) {
     FoldQueryStats(qs);
+    if (query_stats != nullptr) *query_stats = qs;
     return Status::OK();
   }
   const ShortList::View shorts(short_list_.get(), snap.short_list);
@@ -397,7 +399,7 @@ Status IdIndex::TopKAt(const IndexSnapshot& snap, const Query& query,
     const storage::BlobRef ref = snap.longs.Get(t);
     streams.emplace_back(
         IdPostingCursor(blobs_->NewReader(ref), with_ts_,
-                        ctx_.posting_format, &scratch[i]),
+                        ctx_.posting_format, &scratch[i], &qs),
         shorts.Scan(t), &qs.postings_scanned);
     SVR_RETURN_NOT_OK(streams.back().Init());
   }
@@ -467,6 +469,7 @@ Status IdIndex::TopKAt(const IndexSnapshot& snap, const Query& query,
 
   *results = heap.TakeSorted();
   FoldQueryStats(qs);
+  if (query_stats != nullptr) *query_stats = qs;
   return Status::OK();
 }
 

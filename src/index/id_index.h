@@ -39,7 +39,8 @@ class IdIndex final : public TextIndex {
   Status TopK(const Query& query, size_t k,
               std::vector<SearchResult>* results) override;
   Status TopKAt(const IndexSnapshot& snap, const Query& query, size_t k,
-                std::vector<SearchResult>* results) override;
+                std::vector<SearchResult>* results,
+                QueryStats* query_stats = nullptr) override;
   IndexSnapshot SealSnapshot() override;
 
   Status InsertDocument(DocId doc, double score) override;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/coding.h"
+#include "index/text_index.h"
 
 namespace svr::index {
 
@@ -21,9 +22,10 @@ inline bool ScorePosBefore(double sa, DocId da, double sb, DocId db) {
 
 IdPostingCursor::IdPostingCursor(storage::BlobStore::Reader reader,
                                  bool with_ts, PostingFormat format,
-                                 CursorScratch* scratch)
+                                 CursorScratch* scratch, QueryStats* qs)
     : reader_(std::move(reader)),
       scratch_(scratch),
+      qs_(qs),
       with_ts_(with_ts),
       format_(format) {}
 
@@ -68,6 +70,7 @@ Status IdPostingCursor::LoadNextBlock(DocId skip_below) {
     prev_last_ = last;
     consumed_ += cnt;
     block_n_ = cnt;
+    if (qs_ != nullptr) ++qs_->blocks_decoded;
     return Status::OK();
   }
 
@@ -81,6 +84,7 @@ Status IdPostingCursor::LoadNextBlock(DocId skip_below) {
     SVR_RETURN_NOT_OK(reader_.Skip(byte_len));
     prev_last_ = last_doc;
     consumed_ += cnt;
+    if (qs_ != nullptr) ++qs_->groups_galloped;
     return Status::OK();  // block_n_ == 0: caller keeps scanning
   }
   SVR_RETURN_NOT_OK(reader_.ReadBytes(scratch_->bytes, byte_len));
@@ -100,10 +104,12 @@ Status IdPostingCursor::LoadNextBlock(DocId skip_below) {
   prev_last_ = last_doc;
   consumed_ += cnt;
   block_n_ = cnt;
+  if (qs_ != nullptr) ++qs_->blocks_decoded;
   return Status::OK();
 }
 
 Status IdPostingCursor::SeekTo(DocId target) {
+  if (qs_ != nullptr) ++qs_->cursor_seeks;
   if (Valid() && scratch_->docs[pos_] >= target) return Status::OK();
   while (true) {
     if (block_n_ > 0 && scratch_->docs[block_n_ - 1] >= target) {
@@ -126,9 +132,10 @@ Status IdPostingCursor::SeekTo(DocId target) {
 
 ChunkPostingCursor::ChunkPostingCursor(storage::BlobStore::Reader reader,
                                        bool with_ts, PostingFormat format,
-                                       CursorScratch* scratch)
+                                       CursorScratch* scratch, QueryStats* qs)
     : reader_(std::move(reader)),
       scratch_(scratch),
+      qs_(qs),
       with_ts_(with_ts),
       format_(format) {}
 
@@ -191,6 +198,7 @@ Status ChunkPostingCursor::LoadNextBlock(DocId skip_below) {
     prev_last_ = last;
     consumed_in_group_ += cnt;
     block_n_ = cnt;
+    if (qs_ != nullptr) ++qs_->blocks_decoded;
     return Status::OK();
   }
 
@@ -205,6 +213,7 @@ Status ChunkPostingCursor::LoadNextBlock(DocId skip_below) {
     SVR_RETURN_NOT_OK(reader_.Skip(byte_len));
     prev_last_ = last_doc;
     consumed_in_group_ += cnt;
+    if (qs_ != nullptr) ++qs_->groups_galloped;
     return Status::OK();
   }
   SVR_RETURN_NOT_OK(reader_.ReadBytes(scratch_->bytes, byte_len));
@@ -224,10 +233,12 @@ Status ChunkPostingCursor::LoadNextBlock(DocId skip_below) {
   prev_last_ = last_doc;
   consumed_in_group_ += cnt;
   block_n_ = cnt;
+  if (qs_ != nullptr) ++qs_->blocks_decoded;
   return Status::OK();
 }
 
 Status ChunkPostingCursor::SeekInGroup(DocId target) {
+  if (qs_ != nullptr) ++qs_->cursor_seeks;
   if (Valid() && scratch_->docs[pos_] >= target) return Status::OK();
   while (true) {
     if (block_n_ > 0 && scratch_->docs[block_n_ - 1] >= target) {
@@ -251,6 +262,7 @@ Status ChunkPostingCursor::SkipGroup() {
   if (off < group_end_offset_) {
     SVR_RETURN_NOT_OK(reader_.Skip(group_end_offset_ - off));
   }
+  if (qs_ != nullptr) ++qs_->groups_galloped;
   consumed_in_group_ = group_count_;
   block_n_ = 0;
   pos_ = 0;
@@ -275,8 +287,12 @@ Status ChunkPostingCursor::NextGroup() {
 
 ScorePostingCursor::ScorePostingCursor(storage::BlobStore::Reader reader,
                                        PostingFormat format,
-                                       ScoreCursorScratch* scratch)
-    : reader_(std::move(reader)), scratch_(scratch), format_(format) {}
+                                       ScoreCursorScratch* scratch,
+                                       QueryStats* qs)
+    : reader_(std::move(reader)),
+      scratch_(scratch),
+      qs_(qs),
+      format_(format) {}
 
 Status ScorePostingCursor::Init() {
   if (reader_.remaining() == 0) {
@@ -312,6 +328,7 @@ Status ScorePostingCursor::LoadNextBlock(bool have_target, double tscore,
     if (have_target && ScorePosBefore(last_score, last_doc, tscore, tdoc)) {
       SVR_RETURN_NOT_OK(reader_.Skip(byte_len));
       consumed_ += cnt;
+      if (qs_ != nullptr) ++qs_->groups_galloped;
       return Status::OK();  // block skipped; caller keeps scanning
     }
   }
@@ -325,10 +342,12 @@ Status ScorePostingCursor::LoadNextBlock(bool have_target, double tscore,
   }
   consumed_ += cnt;
   block_n_ = cnt;
+  if (qs_ != nullptr) ++qs_->blocks_decoded;
   return Status::OK();
 }
 
 Status ScorePostingCursor::SeekTo(double tscore, DocId tdoc) {
+  if (qs_ != nullptr) ++qs_->cursor_seeks;
   if (Valid() &&
       !ScorePosBefore(scratch_->scores[pos_], scratch_->docs[pos_], tscore,
                       tdoc)) {

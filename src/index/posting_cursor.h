@@ -10,6 +10,8 @@
 
 namespace svr::index {
 
+struct QueryStats;
+
 /// \brief Zero-allocation cursors over the long inverted lists.
 ///
 /// Each cursor refills one block of postings at a time into caller-owned
@@ -18,6 +20,11 @@ namespace svr::index {
 /// payload pages. The same cursors also decode the v1 per-posting varint
 /// layout (with linear SeekTo), so the two formats can be compared
 /// through an identical query pipeline.
+///
+/// The optional trailing `QueryStats*` counts decode/skip/seek events
+/// into the per-query trace (docs/observability.md). Query paths pass
+/// their per-query struct; merge/codec paths leave it null (unmetered —
+/// merge work is attributed through the merge histograms instead).
 
 /// Largest v2 doc-block payload: group-varint deltas plus 4-byte term
 /// scores for a full block.
@@ -45,7 +52,8 @@ struct ScoreCursorScratch {
 class IdPostingCursor {
  public:
   IdPostingCursor(storage::BlobStore::Reader reader, bool with_ts,
-                  PostingFormat format, CursorScratch* scratch);
+                  PostingFormat format, CursorScratch* scratch,
+                  QueryStats* qs = nullptr);
 
   Status Init();  // reads the count header, loads the first block
   bool Valid() const { return pos_ < block_n_; }
@@ -74,6 +82,7 @@ class IdPostingCursor {
 
   storage::BlobStore::Reader reader_;
   CursorScratch* scratch_;
+  QueryStats* qs_;  // null = unmetered
   bool with_ts_;
   PostingFormat format_;
   uint32_t count_ = 0;
@@ -89,7 +98,8 @@ class IdPostingCursor {
 class ChunkPostingCursor {
  public:
   ChunkPostingCursor(storage::BlobStore::Reader reader, bool with_ts,
-                     PostingFormat format, CursorScratch* scratch);
+                     PostingFormat format, CursorScratch* scratch,
+                     QueryStats* qs = nullptr);
 
   Status Init();
   bool HasGroup() const { return group_index_ < n_groups_; }
@@ -122,6 +132,7 @@ class ChunkPostingCursor {
 
   storage::BlobStore::Reader reader_;
   CursorScratch* scratch_;
+  QueryStats* qs_;  // null = unmetered
   bool with_ts_;
   PostingFormat format_;
   uint32_t n_groups_ = 0;
@@ -139,7 +150,8 @@ class ChunkPostingCursor {
 class ScorePostingCursor {
  public:
   ScorePostingCursor(storage::BlobStore::Reader reader,
-                     PostingFormat format, ScoreCursorScratch* scratch);
+                     PostingFormat format, ScoreCursorScratch* scratch,
+                     QueryStats* qs = nullptr);
 
   Status Init();
   bool Valid() const { return pos_ < block_n_; }
@@ -165,6 +177,7 @@ class ScorePostingCursor {
 
   storage::BlobStore::Reader reader_;
   ScoreCursorScratch* scratch_;
+  QueryStats* qs_;  // null = unmetered
   PostingFormat format_;
   uint32_t count_ = 0;
   uint32_t consumed_ = 0;

@@ -169,13 +169,15 @@ Status ScoreIndex::TopK(const Query& query, size_t k,
 }
 
 Status ScoreIndex::TopKAt(const IndexSnapshot& snap, const Query& query,
-                          size_t k, std::vector<SearchResult>* results) {
+                          size_t k, std::vector<SearchResult>* results,
+                          QueryStats* query_stats) {
   // Queries may run concurrently against sealed snapshots: accumulate
   // counters locally and fold them once at the end.
   QueryStats qs;
   results->clear();
   if (query.terms.empty() || k == 0) {
     FoldQueryStats(qs);
+    if (query_stats != nullptr) *query_stats = qs;
     return Status::OK();
   }
   const relational::ScoreTable::View scores(ctx_.score_table, snap.score);
@@ -267,6 +269,7 @@ Status ScoreIndex::TopKAt(const IndexSnapshot& snap, const Query& query,
 
   *results = heap.TakeSorted();
   FoldQueryStats(qs);
+  if (query_stats != nullptr) *query_stats = qs;
   return Status::OK();
 }
 

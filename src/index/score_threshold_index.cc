@@ -524,13 +524,15 @@ Status ScoreThresholdIndex::TopK(const Query& query, size_t k,
 
 Status ScoreThresholdIndex::TopKAt(const IndexSnapshot& snap,
                                    const Query& query, size_t k,
-                                   std::vector<SearchResult>* results) {
+                                   std::vector<SearchResult>* results,
+                                   QueryStats* query_stats) {
   // Queries may run concurrently against sealed snapshots: accumulate
   // counters locally and fold them once at the end.
   QueryStats qs;
   results->clear();
   if (query.terms.empty() || k == 0) {
     FoldQueryStats(qs);
+    if (query_stats != nullptr) *query_stats = qs;
     return Status::OK();
   }
   const ShortList::View shorts(short_list_.get(), snap.short_list);
@@ -545,7 +547,7 @@ Status ScoreThresholdIndex::TopKAt(const IndexSnapshot& snap,
     const storage::BlobRef ref = snap.longs.Get(t);
     streams.emplace_back(
         ScorePostingCursor(blobs_->NewReader(ref), ctx_.posting_format,
-                           &scratch[i]),
+                           &scratch[i], &qs),
         shorts.Scan(t), &qs.postings_scanned);
     SVR_RETURN_NOT_OK(streams.back().Init());
   }
@@ -691,6 +693,7 @@ Status ScoreThresholdIndex::TopKAt(const IndexSnapshot& snap,
 
   *results = heap.TakeSorted();
   FoldQueryStats(qs);
+  if (query_stats != nullptr) *query_stats = qs;
   return Status::OK();
 }
 

@@ -46,34 +46,68 @@ struct QueryStats {
   uint64_t postings_scanned = 0;
   uint64_t score_lookups = 0;
   uint64_t candidates_considered = 0;
+  // Cursor-level counters (src/index/posting_cursor.h), filled on the
+  // query path only — the per-stage attribution docs/observability.md
+  // surfaces through QueryTrace.
+  uint64_t blocks_decoded = 0;   // v2 block refills (LoadNextBlock)
+  uint64_t groups_galloped = 0;  // whole skip groups jumped without decode
+  uint64_t cursor_seeks = 0;     // SeekTo calls across all cursors
 };
 
-/// Counters for behavioural assertions and benchmark reporting.
+/// \brief Counters for behavioural assertions and benchmark reporting.
+///
+/// Every field is a uint64_t declared through SVR_INDEX_STATS_FIELDS so
+/// field-wise consumers (the sharded layer's AddIndexStats, dump code)
+/// iterate the same list the struct is built from — adding a counter
+/// here updates them automatically, and the static_assert below catches
+/// a field added outside the macro.
+#define SVR_INDEX_STATS_FIELDS(V)                                         \
+  V(score_updates)          /* OnScoreUpdate calls */                     \
+  V(short_list_writes)      /* short-list posting inserts/updates */      \
+  V(postings_scanned)       /* long+short postings consumed */            \
+  V(score_lookups)          /* Score-table probes during queries */       \
+  V(candidates_considered)  /* docs offered to the result heap */         \
+  V(queries)                                                              \
+  V(blocks_decoded)         /* v2 cursor block refills (queries) */       \
+  V(groups_galloped)        /* skip groups jumped without decoding */     \
+  V(cursor_seeks)           /* galloping SeekTo calls (queries) */        \
+  /* Maintenance counters (docs/merge_policy.md). `corpus_docs_scanned`   \
+     moves only on full (re)builds — the incremental merge must leave it  \
+     untouched, which the merge tests assert. */                          \
+  V(corpus_docs_scanned)    /* docs visited by Build/RebuildIndex */      \
+  V(term_merges)            /* incremental MergeTerm calls */             \
+  V(merge_postings_written) /* postings written by MergeTerm */           \
+  V(auto_merge_sweeps)      /* policy sweeps that merged >= 1 term */     \
+  /* Two-phase install outcomes (docs/concurrency.md): fine-grained       \
+     installs deleted exactly the prepare-read postings because the term  \
+     changed in between (the old protocol would have aborted); aborts now \
+     only happen when the term's published blob itself was swapped. */    \
+  V(merge_installs_fine)                                                  \
+  V(merge_install_aborts)                                                 \
+  /* ListScore/ListChunk entries retired (removed or downgraded) by the   \
+     fully-merged sweep, so the list-state table stops growing under long \
+     uptimes (docs/merge_policy.md). */                                   \
+  V(list_state_retired)
+
 struct IndexStats {
-  uint64_t score_updates = 0;          // OnScoreUpdate calls
-  uint64_t short_list_writes = 0;      // short-list posting inserts/updates
-  uint64_t postings_scanned = 0;       // long+short postings consumed
-  uint64_t score_lookups = 0;          // Score-table probes during queries
-  uint64_t candidates_considered = 0;  // docs offered to the result heap
-  uint64_t queries = 0;
-  // Maintenance counters (docs/merge_policy.md). `corpus_docs_scanned`
-  // moves only on full (re)builds — the incremental merge must leave it
-  // untouched, which the merge tests assert.
-  uint64_t corpus_docs_scanned = 0;    // docs visited by Build/RebuildIndex
-  uint64_t term_merges = 0;            // incremental MergeTerm calls
-  uint64_t merge_postings_written = 0; // postings written by MergeTerm
-  uint64_t auto_merge_sweeps = 0;      // policy sweeps that merged >= 1 term
-  // Two-phase install outcomes (docs/concurrency.md): fine-grained
-  // installs deleted exactly the prepare-read postings because the term
-  // changed in between (the old protocol would have aborted); aborts now
-  // only happen when the term's published blob itself was swapped.
-  uint64_t merge_installs_fine = 0;
-  uint64_t merge_install_aborts = 0;
-  // ListScore/ListChunk entries retired (removed or downgraded) by the
-  // fully-merged sweep, so the list-state table stops growing under long
-  // uptimes (docs/merge_policy.md).
-  uint64_t list_state_retired = 0;
+#define SVR_INDEX_STATS_DECLARE(name) uint64_t name = 0;
+  SVR_INDEX_STATS_FIELDS(SVR_INDEX_STATS_DECLARE)
+#undef SVR_INDEX_STATS_DECLARE
 };
+
+namespace internal {
+#define SVR_INDEX_STATS_COUNT(name) +1
+inline constexpr size_t kIndexStatsFieldCount =
+    SVR_INDEX_STATS_FIELDS(SVR_INDEX_STATS_COUNT);
+#undef SVR_INDEX_STATS_COUNT
+}  // namespace internal
+
+// A uint64_t field added to IndexStats without going through
+// SVR_INDEX_STATS_FIELDS changes the size but not the macro count, and
+// fails here — keeping the sharded sum (AddIndexStats) complete.
+static_assert(sizeof(IndexStats) ==
+                  internal::kIndexStatsFieldCount * sizeof(uint64_t),
+              "add IndexStats fields via SVR_INDEX_STATS_FIELDS");
 
 /// \brief One sealed, immutable version of everything a query touches:
 /// tree roots (short lists, list-state, Score table, the Score method's
@@ -206,12 +240,17 @@ class TextIndex {
   /// Top-k against one sealed snapshot. Safe from any number of threads
   /// with no lock while writers keep mutating, as long as the snapshot
   /// was pinned under an epoch guard (docs/concurrency.md).
+  /// `query_stats` (optional) receives this query's counters — the same
+  /// values folded into stats() — for per-call stage tracing
+  /// (docs/observability.md).
   virtual Status TopKAt(const IndexSnapshot& snap, const Query& query,
-                        size_t k, std::vector<SearchResult>* results) {
+                        size_t k, std::vector<SearchResult>* results,
+                        QueryStats* query_stats = nullptr) {
     (void)snap;
     (void)query;
     (void)k;
     (void)results;
+    (void)query_stats;
     return Status::NotSupported(name() + ": snapshot queries");
   }
 
@@ -358,6 +397,9 @@ class TextIndex {
     stats_.postings_scanned += q.postings_scanned;
     stats_.score_lookups += q.score_lookups;
     stats_.candidates_considered += q.candidates_considered;
+    stats_.blocks_decoded += q.blocks_decoded;
+    stats_.groups_galloped += q.groups_galloped;
+    stats_.cursor_seeks += q.cursor_seeks;
   }
 
   /// Bumps one write-path counter under the stats mutex. Writers are

@@ -1,0 +1,86 @@
+#include "telemetry/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace svr::telemetry {
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.buckets.empty()) {
+    count += other.count;
+    sum += other.sum;
+    max = std::max(max, other.max);
+    return;
+  }
+  if (buckets.empty()) buckets.assign(kHistNumBuckets, 0);
+  for (size_t i = 0; i < kHistNumBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+uint64_t HistogramSnapshot::ValueAtPercentile(double p) const {
+  if (count == 0 || buckets.empty()) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  uint64_t target = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kHistNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= target) return HistBucketUpperBound(i);
+  }
+  return HistBucketUpperBound(kHistNumBuckets - 1);
+}
+
+HistogramSnapshot LocalHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  if (count_ == 0) return snap;
+  snap.buckets = buckets_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.max = max_;
+  return snap;
+}
+
+void LocalHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+ShardedHistogram::ShardedHistogram() : slots_(new Slot[kSlots]) {
+  for (size_t s = 0; s < kSlots; ++s) {
+    for (size_t i = 0; i < kHistNumBuckets; ++i) {
+      slots_[s].buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t ShardedHistogram::ThreadSlot() {
+  static std::atomic<uint32_t> next_thread{0};
+  thread_local uint32_t index =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return index % kSlots;
+}
+
+HistogramSnapshot ShardedHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kHistNumBuckets, 0);
+  for (size_t s = 0; s < kSlots; ++s) {
+    const Slot& slot = slots_[s];
+    for (size_t i = 0; i < kHistNumBuckets; ++i) {
+      const uint64_t c = slot.buckets[i].load(std::memory_order_relaxed);
+      snap.buckets[i] += c;
+      snap.count += c;
+    }
+    snap.sum += slot.sum.load(std::memory_order_relaxed);
+    snap.max = std::max(snap.max, slot.max.load(std::memory_order_relaxed));
+  }
+  if (snap.count == 0) snap.buckets.clear();
+  return snap;
+}
+
+}  // namespace svr::telemetry

@@ -1,0 +1,152 @@
+#ifndef SVR_TELEMETRY_HISTOGRAM_H_
+#define SVR_TELEMETRY_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+/// \file
+/// \brief Mergeable log-bucketed latency histograms (docs/observability.md).
+///
+/// The bucket scheme is HdrHistogram-style: values 0..31 get one bucket
+/// each (exact), and every power-of-two range above that is split into 16
+/// sub-buckets, so the relative quantization error is bounded by 1/16
+/// (6.25%) at any magnitude. The scheme is *fixed* — every histogram in
+/// the process shares the same 624 bucket edges — which is what makes
+/// snapshots mergeable by plain bucket-wise addition: per-thread slots,
+/// per-shard engines, and per-process dumps all fold with the same `+`.
+///
+/// Two recorders share the scheme:
+///  - `LocalHistogram` — plain counters, single-threaded (bench drivers,
+///    per-thread accumulation followed by an explicit merge).
+///  - `ShardedHistogram` — the registry's recorder: a fixed array of
+///    cache-line-aligned slots of relaxed atomics, thread→slot by a
+///    process-wide thread index. Record() is a handful of relaxed
+///    fetch_adds on a (usually) thread-private line — no mutex, no CAS
+///    loop on the hot path — and Snapshot() folds the slots.
+
+namespace svr::telemetry {
+
+/// Values at or above 2^42 (≈ 52 days in microseconds) clamp into the
+/// last bucket; `max` still records the true value.
+inline constexpr int kHistMaxMsb = 41;
+inline constexpr size_t kHistLinearBuckets = 32;  // values 0..31, exact
+inline constexpr size_t kHistSubBuckets = 16;     // per power-of-two group
+inline constexpr size_t kHistNumBuckets =
+    kHistLinearBuckets + (kHistMaxMsb - 4) * kHistSubBuckets;  // 624
+
+/// Bucket index for a value. Monotone in `v`.
+inline size_t HistBucketIndex(uint64_t v) {
+  if (v < kHistLinearBuckets) return static_cast<size_t>(v);
+  int msb = 63 - __builtin_clzll(v);
+  if (msb > kHistMaxMsb) return kHistNumBuckets - 1;
+  const uint64_t sub = (v >> (msb - 4)) & (kHistSubBuckets - 1);
+  return kHistLinearBuckets +
+         static_cast<size_t>(msb - 5) * kHistSubBuckets +
+         static_cast<size_t>(sub);
+}
+
+/// Largest value mapping to bucket `b` — what percentiles report, so a
+/// reported quantile never understates the true one.
+inline uint64_t HistBucketUpperBound(size_t b) {
+  if (b < kHistLinearBuckets) return static_cast<uint64_t>(b);
+  const size_t g = (b - kHistLinearBuckets) / kHistSubBuckets;
+  const size_t s = (b - kHistLinearBuckets) % kHistSubBuckets;
+  const int msb = static_cast<int>(g) + 5;
+  return (1ull << msb) + (static_cast<uint64_t>(s) + 1) * (1ull << (msb - 4)) - 1;
+}
+
+/// A folded, immutable view of a histogram. Merge is bucket-wise
+/// addition — associative and commutative, so per-thread, per-shard, and
+/// per-process folds all commute.
+struct HistogramSnapshot {
+  std::vector<uint64_t> buckets;  // size 0 (empty) or kHistNumBuckets
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+
+  bool empty() const { return count == 0; }
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  void Merge(const HistogramSnapshot& other);
+
+  /// Value at percentile `p` in [0,100]: the upper edge of the bucket
+  /// holding the ceil(p/100 * count)-th recorded value. 0 when empty.
+  uint64_t ValueAtPercentile(double p) const;
+};
+
+/// Single-threaded recorder (no atomics). The workload drivers keep one
+/// per worker thread and merge the snapshots at the end.
+class LocalHistogram {
+ public:
+  LocalHistogram() : buckets_(kHistNumBuckets, 0) {}
+
+  void Record(uint64_t v) {
+    buckets_[HistBucketIndex(v)]++;
+    count_++;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  uint64_t count() const { return count_; }
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// Lock-free concurrent recorder: 8 cache-line-aligned slots of relaxed
+/// atomics; a thread always records into the slot named by its
+/// process-wide thread index (mod 8), so under typical thread counts
+/// each hot thread owns its line and Record() never contends.
+class ShardedHistogram {
+ public:
+  static constexpr size_t kSlots = 8;
+
+  ShardedHistogram();
+  ShardedHistogram(const ShardedHistogram&) = delete;
+  ShardedHistogram& operator=(const ShardedHistogram&) = delete;
+
+  /// Safe from any thread, wait-free, no locks: three relaxed
+  /// fetch_adds plus a relaxed max update on the slot's own lines.
+  void Record(uint64_t v) {
+    Slot& s = slots_[ThreadSlot()];
+    s.buckets[HistBucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    uint64_t prev = s.max.load(std::memory_order_relaxed);
+    while (prev < v && !s.max.compare_exchange_weak(
+                           prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Folds every slot. Safe concurrently with Record(); a racing record
+  /// may or may not be included (fields are individually consistent).
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> buckets[kHistNumBuckets];
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+  };
+
+  /// Process-wide dense thread index, folded mod kSlots. One index per
+  /// thread for *all* histograms, so a thread touches one slot per
+  /// histogram for its whole life.
+  static size_t ThreadSlot();
+
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace svr::telemetry
+
+#endif  // SVR_TELEMETRY_HISTOGRAM_H_

@@ -1,0 +1,202 @@
+#include "telemetry/metrics_registry.h"
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+
+namespace svr::telemetry {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+/// names ("query.total_us") become underscored ("svr_query_total_us").
+std::string PrometheusName(const std::string& name) {
+  std::string out = "svr_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out->append(buf);
+}
+
+constexpr double kQuantiles[] = {50.0, 95.0, 99.0, 99.9};
+constexpr const char* kQuantileJsonKeys[] = {"p50", "p95", "p99", "p999"};
+constexpr const char* kQuantilePromLabels[] = {"0.5", "0.95", "0.99",
+                                               "0.999"};
+
+}  // namespace
+
+MetricsRegistry::~MetricsRegistry() { StopPeriodicDump(); }
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+ShardedHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  MutexLock lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<ShardedHistogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    std::function<double()> fn) {
+  MutexLock lock(mu_);
+  gauges_[name].push_back(std::move(fn));
+}
+
+std::string MetricsRegistry::Dump(DumpFormat format) const {
+  // Copy the instrument tables out so nothing user-provided (gauge
+  // callbacks) and nothing slow (histogram folds) runs under mu_.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const ShardedHistogram*>> histograms;
+  std::vector<std::pair<std::string, std::vector<std::function<double()>>>>
+      gauges;
+  {
+    MutexLock lock(mu_);
+    counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, fns] : gauges_) gauges.emplace_back(name, fns);
+  }
+  // Additive gauges: every callback registered under a name contributes
+  // to one summed value (per-shard registrations aggregate).
+  auto gauge_value = [](const std::vector<std::function<double()>>& fns) {
+    double v = 0.0;
+    for (const auto& fn : fns) v += fn();
+    return v;
+  };
+
+  std::string out;
+  if (format == DumpFormat::kJson) {
+    out += "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, c] : counters) {
+      AppendF(&out, "%s\n    \"%s\": %llu", first ? "" : ",",
+              JsonEscape(name).c_str(),
+              static_cast<unsigned long long>(c->Value()));
+      first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto& [name, fns] : gauges) {
+      AppendF(&out, "%s\n    \"%s\": %.6g", first ? "" : ",",
+              JsonEscape(name).c_str(), gauge_value(fns));
+      first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : histograms) {
+      const HistogramSnapshot snap = h->Snapshot();
+      AppendF(&out,
+              "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, "
+              "\"max\": %llu, \"mean\": %.3f",
+              first ? "" : ",", JsonEscape(name).c_str(),
+              static_cast<unsigned long long>(snap.count),
+              static_cast<unsigned long long>(snap.sum),
+              static_cast<unsigned long long>(snap.max), snap.Mean());
+      for (size_t q = 0; q < 4; ++q) {
+        AppendF(&out, ", \"%s\": %llu", kQuantileJsonKeys[q],
+                static_cast<unsigned long long>(
+                    snap.ValueAtPercentile(kQuantiles[q])));
+      }
+      out += "}";
+      first = false;
+    }
+    out += first ? "}\n}\n" : "\n  }\n}\n";
+    return out;
+  }
+
+  // Prometheus text exposition format, one family per instrument.
+  for (const auto& [name, c] : counters) {
+    const std::string pn = PrometheusName(name);
+    AppendF(&out, "# TYPE %s counter\n%s %llu\n", pn.c_str(), pn.c_str(),
+            static_cast<unsigned long long>(c->Value()));
+  }
+  for (const auto& [name, fns] : gauges) {
+    const std::string pn = PrometheusName(name);
+    AppendF(&out, "# TYPE %s gauge\n%s %.6g\n", pn.c_str(), pn.c_str(),
+            gauge_value(fns));
+  }
+  for (const auto& [name, h] : histograms) {
+    const HistogramSnapshot snap = h->Snapshot();
+    const std::string pn = PrometheusName(name);
+    AppendF(&out, "# TYPE %s summary\n", pn.c_str());
+    for (size_t q = 0; q < 4; ++q) {
+      AppendF(&out, "%s{quantile=\"%s\"} %llu\n", pn.c_str(),
+              kQuantilePromLabels[q],
+              static_cast<unsigned long long>(
+                  snap.ValueAtPercentile(kQuantiles[q])));
+    }
+    AppendF(&out, "%s_sum %llu\n%s_count %llu\n", pn.c_str(),
+            static_cast<unsigned long long>(snap.sum), pn.c_str(),
+            static_cast<unsigned long long>(snap.count));
+  }
+  return out;
+}
+
+void MetricsRegistry::StartPeriodicDump(
+    uint32_t interval_ms, DumpFormat format,
+    std::function<void(const std::string&)> sink) {
+  StopPeriodicDump();
+  {
+    MutexLock lock(dump_mu_);
+    dump_stop_ = false;
+  }
+  dump_thread_ = std::thread([this, interval_ms, format,
+                              sink = std::move(sink)] {
+    while (true) {
+      {
+        MutexLock lock(dump_mu_);
+        if (dump_stop_) return;
+        dump_cv_.WaitFor(dump_mu_, std::chrono::milliseconds(interval_ms));
+        if (dump_stop_) return;
+      }
+      // Dump with no lock held: sink and gauge callbacks are arbitrary
+      // user code.
+      sink(Dump(format));
+    }
+  });
+}
+
+void MetricsRegistry::StopPeriodicDump() {
+  {
+    MutexLock lock(dump_mu_);
+    dump_stop_ = true;
+  }
+  dump_cv_.NotifyAll();
+  if (dump_thread_.joinable()) dump_thread_.join();
+}
+
+}  // namespace svr::telemetry

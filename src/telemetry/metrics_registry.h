@@ -1,0 +1,101 @@
+#ifndef SVR_TELEMETRY_METRICS_REGISTRY_H_
+#define SVR_TELEMETRY_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "telemetry/histogram.h"
+
+/// \file
+/// \brief Named metrics registry: counters, gauges, histograms, and the
+/// JSON / Prometheus export surface (docs/observability.md).
+///
+/// The registry mutex guards only the name→instrument maps — it is held
+/// on *registration* and while *copying pointers out for a dump*, never
+/// on the record path. Instruments have stable addresses for the
+/// registry's lifetime (unique_ptr values in a node-based map), so the
+/// engine resolves every instrument once at construction and records
+/// through raw pointers thereafter. Gauge callbacks run with no registry
+/// lock held, so a callback may take its subsystem's own lock without
+/// creating a lock-order edge through the registry
+/// (tools/check_lock_order.py).
+
+namespace svr::telemetry {
+
+/// Monotonic counter; relaxed atomic, safe from any thread.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+enum class DumpFormat {
+  kJson,
+  kPrometheus,
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter/histogram named `name`, creating it on first
+  /// use. The pointer stays valid for the registry's lifetime; resolve
+  /// once, record lock-free forever.
+  Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
+  ShardedHistogram* GetHistogram(const std::string& name) EXCLUDES(mu_);
+
+  /// Registers a gauge callback: `fn` is called at dump time with no
+  /// registry lock held. Registration is *additive* — several callbacks
+  /// under one name sum at dump time, which is how per-shard engines
+  /// sharing a registry aggregate their epoch/WAL gauges. Callbacks must
+  /// stay callable until the registry dies (don't dump a shared registry
+  /// after destroying an engine that registered gauges into it).
+  void RegisterGauge(const std::string& name, std::function<double()> fn)
+      EXCLUDES(mu_);
+
+  /// Serializes every instrument. Histograms export count/sum/max/mean
+  /// plus the p50/p95/p99/p999 quantiles (bucket upper edges —
+  /// docs/observability.md describes the ≤6.25% quantization).
+  std::string Dump(DumpFormat format) const EXCLUDES(mu_);
+  std::string DumpJson() const { return Dump(DumpFormat::kJson); }
+  std::string DumpPrometheus() const { return Dump(DumpFormat::kPrometheus); }
+
+  /// Background periodic export: every `interval_ms`, `sink` receives a
+  /// fresh Dump(format). Idempotent stop; the destructor stops it too.
+  void StartPeriodicDump(uint32_t interval_ms, DumpFormat format,
+                         std::function<void(const std::string&)> sink)
+      EXCLUDES(dump_mu_);
+  void StopPeriodicDump() EXCLUDES(dump_mu_);
+
+ private:
+  mutable Mutex mu_;
+  // std::map: node-based (stable instrument addresses across inserts)
+  // and sorted (deterministic dump order).
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<ShardedHistogram>> histograms_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::vector<std::function<double()>>> gauges_
+      GUARDED_BY(mu_);
+
+  Mutex dump_mu_;
+  CondVar dump_cv_;
+  bool dump_stop_ GUARDED_BY(dump_mu_) = false;
+  std::thread dump_thread_;
+};
+
+}  // namespace svr::telemetry
+
+#endif  // SVR_TELEMETRY_METRICS_REGISTRY_H_

@@ -1,0 +1,61 @@
+#ifndef SVR_TELEMETRY_QUERY_TRACE_H_
+#define SVR_TELEMETRY_QUERY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/text_index.h"
+
+/// \file
+/// \brief Per-query stage trace (docs/observability.md).
+///
+/// A QueryTrace rides through Search/SearchAt as an opt-in out-param:
+/// pass one and the engine fills per-stage wall times, the index's
+/// per-query cursor counters, and — on the sharded engine — per-shard
+/// scatter latencies. The same trace is what the slow-query log captures
+/// when `total_us` crosses the threshold, and the stage times are what
+/// feed the registry's `query.*` histograms.
+
+namespace svr::telemetry {
+
+/// One shard's leg of a scatter-gather query.
+struct ShardSpan {
+  uint32_t shard = 0;
+  uint64_t latency_us = 0;  // that shard's SearchAt wall time
+  uint64_t hits = 0;        // results it contributed to the gather
+};
+
+struct QueryTrace {
+  // --- identity -------------------------------------------------------
+  std::string keywords;
+  uint64_t k = 0;
+  bool conjunctive = true;
+  /// Commit timestamp of the snapshot the query ran against (the
+  /// cross-shard watermark on the sharded engine).
+  uint64_t commit_ts = 0;
+
+  // --- stage wall times, microseconds ---------------------------------
+  uint64_t term_resolve_us = 0;  // tokenize + vocabulary lookups
+  uint64_t index_topk_us = 0;    // TopKAt (cursor scan + heap)
+  uint64_t join_us = 0;          // row join / gid resolution
+  uint64_t total_us = 0;         // whole SearchAt call
+
+  // --- sharded scatter-gather (empty on a single engine) --------------
+  std::vector<ShardSpan> shards;
+  uint64_t gather_us = 0;  // top-k merge across shard result lists
+
+  // --- index-level counters (single engine; zero-valued on the sharded
+  // trace, whose per-shard work is visible through `shards`) -----------
+  index::QueryStats stats;
+
+  uint64_t results = 0;
+
+  /// One-line rendering for logs ("keywords='a b' k=10 total=1234us
+  /// resolve=... index=... join=... scanned=...").
+  std::string ToString() const;
+};
+
+}  // namespace svr::telemetry
+
+#endif  // SVR_TELEMETRY_QUERY_TRACE_H_

@@ -1,0 +1,74 @@
+#ifndef SVR_TELEMETRY_SLOW_QUERY_LOG_H_
+#define SVR_TELEMETRY_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "telemetry/query_trace.h"
+
+namespace svr::telemetry {
+
+/// \brief Threshold-triggered ring buffer of slow-query traces
+/// (docs/observability.md).
+///
+/// MaybeRecord() keeps the last `capacity` traces whose `total_us`
+/// crossed the threshold. A mutex is fine here: queries below the
+/// threshold pay one comparison and never touch it, and queries above
+/// it are — by definition — already slow.
+class SlowQueryLog {
+ public:
+  SlowQueryLog(uint32_t capacity, uint64_t threshold_us)
+      : capacity_(capacity == 0 ? 1 : capacity), threshold_us_(threshold_us) {}
+
+  uint64_t threshold_us() const { return threshold_us_; }
+
+  /// Records `trace` iff trace.total_us >= threshold. Returns whether it
+  /// was recorded.
+  bool MaybeRecord(const QueryTrace& trace) EXCLUDES(mu_) {
+    if (trace.total_us < threshold_us_) return false;
+    MutexLock lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(trace);
+    } else {
+      ring_[next_ % capacity_] = trace;
+    }
+    ++next_;
+    ++total_recorded_;
+    return true;
+  }
+
+  /// The retained traces, oldest first.
+  std::vector<QueryTrace> Entries() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    std::vector<QueryTrace> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+      out = ring_;
+    } else {
+      for (size_t i = 0; i < capacity_; ++i) {
+        out.push_back(ring_[(next_ + i) % capacity_]);
+      }
+    }
+    return out;
+  }
+
+  /// Slow queries ever recorded (>= Entries().size(); the ring drops the
+  /// oldest).
+  uint64_t total_recorded() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return total_recorded_;
+  }
+
+ private:
+  const size_t capacity_;
+  const uint64_t threshold_us_;
+  mutable Mutex mu_;
+  std::vector<QueryTrace> ring_ GUARDED_BY(mu_);
+  size_t next_ GUARDED_BY(mu_) = 0;  // ring write cursor (monotonic)
+  uint64_t total_recorded_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace svr::telemetry
+
+#endif  // SVR_TELEMETRY_SLOW_QUERY_LOG_H_

@@ -1,0 +1,67 @@
+#ifndef SVR_TELEMETRY_STAGE_TIMER_H_
+#define SVR_TELEMETRY_STAGE_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "telemetry/histogram.h"
+
+namespace svr::telemetry {
+
+/// \brief Segment timer for the engine's instrumented paths
+/// (docs/observability.md).
+///
+/// Constructed disabled it reads no clock at all, so a telemetry-off
+/// engine pays exactly one branch per instrumented site. Enabled, each
+/// Lap() returns the microseconds since the previous lap (or since
+/// construction) and records them into the given histogram when one is
+/// supplied — consecutive laps tile a call into its stage times, and
+/// TotalUs() reports the whole span for the `*.total_us` histograms.
+class StageTimer {
+ public:
+  explicit StageTimer(bool enabled) : enabled_(enabled) {
+    if (enabled_) {
+      start_ = Clock::now();
+      last_ = start_;
+    }
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Microseconds since the previous Lap (or construction), recorded
+  /// into `h` when non-null. 0 when disabled.
+  uint64_t Lap(ShardedHistogram* h = nullptr) {
+    if (!enabled_) return 0;
+    const Clock::time_point now = Clock::now();
+    const uint64_t us = Micros(last_, now);
+    last_ = now;
+    if (h != nullptr) h->Record(us);
+    return us;
+  }
+
+  /// Microseconds since construction, recorded into `h` when non-null.
+  /// Does not advance the lap cursor. 0 when disabled.
+  uint64_t TotalUs(ShardedHistogram* h = nullptr) const {
+    if (!enabled_) return 0;
+    const uint64_t us = Micros(start_, Clock::now());
+    if (h != nullptr) h->Record(us);
+    return us;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static uint64_t Micros(Clock::time_point a, Clock::time_point b) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(b - a)
+            .count());
+  }
+
+  const bool enabled_;
+  Clock::time_point start_;
+  Clock::time_point last_;
+};
+
+}  // namespace svr::telemetry
+
+#endif  // SVR_TELEMETRY_STAGE_TIMER_H_

@@ -57,22 +57,15 @@ class ErrorSink {
 
 }  // namespace
 
-LatencySummary SummarizeLatencies(std::vector<double> ms) {
+LatencySummary SummarizeLatencies(const telemetry::HistogramSnapshot& us) {
   LatencySummary s;
-  s.count = ms.size();
-  if (ms.empty()) return s;
-  std::sort(ms.begin(), ms.end());
-  double total = 0.0;
-  for (double v : ms) total += v;
-  s.mean_ms = total / static_cast<double>(ms.size());
-  auto pct = [&](double p) {
-    const size_t idx = static_cast<size_t>(p * (ms.size() - 1));
-    return ms[idx];
-  };
-  s.p50_ms = pct(0.50);
-  s.p95_ms = pct(0.95);
-  s.p99_ms = pct(0.99);
-  s.max_ms = ms.back();
+  s.count = us.count;
+  if (us.empty()) return s;
+  s.mean_ms = us.Mean() / 1000.0;
+  s.p50_ms = static_cast<double>(us.ValueAtPercentile(50.0)) / 1000.0;
+  s.p95_ms = static_cast<double>(us.ValueAtPercentile(95.0)) / 1000.0;
+  s.p99_ms = static_cast<double>(us.ValueAtPercentile(99.0)) / 1000.0;
+  s.max_ms = static_cast<double>(us.max) / 1000.0;
   return s;
 }
 
@@ -155,7 +148,9 @@ Result<ConcurrentChurnResult> RunConcurrentChurn(
   // --- query threads --------------------------------------------------
   const uint32_t frequent_pool =
       std::max<uint32_t>(10, config.vocab / 20);
-  std::vector<std::vector<double>> query_ms(config.query_threads);
+  // Per-thread latency histograms (microseconds), merged after the join —
+  // no per-sample vector growth on the query path, no final sort.
+  std::vector<telemetry::LocalHistogram> query_us(config.query_threads);
   std::vector<std::thread> searchers;
   searchers.reserve(config.query_threads);
   for (uint32_t qt = 0; qt < config.query_threads; ++qt) {
@@ -174,7 +169,7 @@ Result<ConcurrentChurnResult> RunConcurrentChurn(
         }
         Stopwatch sw;
         auto r = engine->Search(keywords, config.top_k);
-        query_ms[qt].push_back(sw.ElapsedMillis());
+        query_us[qt].Record(static_cast<uint64_t>(sw.ElapsedMicros()));
         if (!r.ok()) {
           errors.Offer(r.status());
           return;
@@ -255,8 +250,7 @@ Result<ConcurrentChurnResult> RunConcurrentChurn(
     ZipfDistribution terms(config.vocab, config.term_zipf);
     std::vector<bool> alive(config.initial_docs, true);
     uint32_t live_count = config.initial_docs;
-    std::vector<double> write_ms;
-    write_ms.reserve(config.writer_ops);
+    telemetry::LocalHistogram write_us;
 
     auto pick_alive = [&]() -> int64_t {
       if (live_count == 0) return -1;
@@ -305,25 +299,23 @@ Result<ConcurrentChurnResult> RunConcurrentChurn(
             "scores", {Value::Int(id), Value::Double(DrawScore(config,
                                                                &rng))});
       }
-      write_ms.push_back(sw.ElapsedMillis());
+      write_us.Record(static_cast<uint64_t>(sw.ElapsedMicros()));
       if (!st.ok()) {
         errors.Offer(st);
         break;
       }
     }
-    out.write = SummarizeLatencies(std::move(write_ms));
+    out.write = SummarizeLatencies(write_us.Snapshot());
   }
 
   writer_done.store(true, std::memory_order_release);
   for (auto& t : searchers) t.join();
   out.wall_ms = wall.ElapsedMillis();
 
-  std::vector<double> all_queries;
-  for (auto& v : query_ms) {
-    all_queries.insert(all_queries.end(), v.begin(), v.end());
-    out.queries_run += v.size();
-  }
-  out.query = SummarizeLatencies(std::move(all_queries));
+  telemetry::HistogramSnapshot all_queries;
+  for (const auto& h : query_us) all_queries.Merge(h.Snapshot());
+  out.queries_run = all_queries.count;
+  out.query = SummarizeLatencies(all_queries);
   out.validated_queries = validated.load();
   out.mismatches = mismatches.load();
   out.stats = engine->GetStats();
@@ -449,7 +441,8 @@ Result<ShardedChurnResult> RunShardedChurn(
   // --- query threads --------------------------------------------------
   const uint32_t frequent_pool =
       std::max<uint32_t>(10, config.vocab / 20);
-  std::vector<std::vector<double>> query_ms(config.query_threads);
+  // Per-thread latency histograms (microseconds), merged after the join.
+  std::vector<telemetry::LocalHistogram> query_us(config.query_threads);
   std::vector<std::thread> searchers;
   searchers.reserve(config.query_threads);
   for (uint32_t qt = 0; qt < config.query_threads; ++qt) {
@@ -468,7 +461,7 @@ Result<ShardedChurnResult> RunShardedChurn(
         }
         Stopwatch sw;
         auto r = engine->Search(keywords, config.top_k);
-        query_ms[qt].push_back(sw.ElapsedMillis());
+        query_us[qt].Record(static_cast<uint64_t>(sw.ElapsedMicros()));
         if (!r.ok()) {
           errors.Offer(r.status());
           return;
@@ -507,7 +500,7 @@ Result<ShardedChurnResult> RunShardedChurn(
   }
 
   // --- writer threads -------------------------------------------------
-  std::vector<std::vector<double>> write_ms(writer_threads);
+  std::vector<telemetry::LocalHistogram> write_us(writer_threads);
   std::vector<std::thread> writers;
   writers.reserve(writer_threads);
   Stopwatch writer_wall;
@@ -594,7 +587,7 @@ Result<ShardedChurnResult> RunShardedChurn(
               {Value::Int(mine[i]), Value::Double(DrawScore(config,
                                                             &rng))});
         }
-        write_ms[w].push_back(sw.ElapsedMillis());
+        write_us[w].Record(static_cast<uint64_t>(sw.ElapsedMicros()));
         if (!st.ok()) {
           errors.Offer(st);
           break;
@@ -609,18 +602,14 @@ Result<ShardedChurnResult> RunShardedChurn(
   for (auto& t : searchers) t.join();
   out.wall_ms = wall.ElapsedMillis();
 
-  std::vector<double> all_writes;
-  for (auto& v : write_ms) {
-    all_writes.insert(all_writes.end(), v.begin(), v.end());
-    out.writer_ops_done += v.size();
-  }
-  out.write = SummarizeLatencies(std::move(all_writes));
-  std::vector<double> all_queries;
-  for (auto& v : query_ms) {
-    all_queries.insert(all_queries.end(), v.begin(), v.end());
-    out.queries_run += v.size();
-  }
-  out.query = SummarizeLatencies(std::move(all_queries));
+  telemetry::HistogramSnapshot all_writes;
+  for (const auto& h : write_us) all_writes.Merge(h.Snapshot());
+  out.writer_ops_done = all_writes.count;
+  out.write = SummarizeLatencies(all_writes);
+  telemetry::HistogramSnapshot all_queries;
+  for (const auto& h : query_us) all_queries.Merge(h.Snapshot());
+  out.queries_run = all_queries.count;
+  out.query = SummarizeLatencies(all_queries);
   out.validated_queries = validated.load();
   out.mismatches = mismatches.load();
   out.writer_ops_per_sec =

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/sharded_engine.h"
 #include "core/svr_engine.h"
+#include "telemetry/histogram.h"
 
 namespace svr::workload {
 
@@ -62,8 +63,12 @@ struct LatencySummary {
   double max_ms = 0.0;
 };
 
-/// Computes the summary of a latency sample (sorts a copy).
-LatencySummary SummarizeLatencies(std::vector<double> ms);
+/// Computes the summary of a latency sample recorded in *microseconds*
+/// into the telemetry histogram (each worker thread records into its own
+/// LocalHistogram; the merged snapshot summarizes them all without the
+/// old sort-the-concatenation pass). Percentiles are log-bucket upper
+/// edges — within 6.25% of exact (docs/observability.md).
+LatencySummary SummarizeLatencies(const telemetry::HistogramSnapshot& us);
 
 struct ConcurrentChurnResult {
   LatencySummary query;   // per-Search wall latency across all threads

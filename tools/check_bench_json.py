@@ -148,12 +148,37 @@ def check_durability(d):
         "0 mismatches" % (group / sync_each, len(recovery))
 
 
+def check_telemetry(d):
+    assert d["series"], "empty telemetry bench"
+    modes = {s["mode"] for s in d["series"]}
+    assert modes == {"off", "on"}, "expected off/on pairs, got %s" % modes
+    for s in d["series"]:
+        assert s["mismatches"] == 0, \
+            "telemetry altered results: mismatch in rep %d mode %s" % (
+                s["rep"], s["mode"])
+        assert s["validated"] > 0, \
+            "no validated queries in rep %d mode %s" % (s["rep"], s["mode"])
+    summary = d["summary"]
+    # The headline gate: best-of-N wall time with every instrument armed
+    # must stay within 5% of telemetry disabled.
+    ratio = summary["overhead_ratio"]
+    assert ratio <= 1.05, \
+        "telemetry record-path overhead %.4f exceeds the 5%% budget" % ratio
+    assert summary["dump_ok"] is True, \
+        "DumpMetrics round-trip failed mid-workload"
+    assert summary["periodic_dumps"] > 0, \
+        "background periodic dump never fired"
+    return "overhead ratio %.4f (gate 1.05), %d periodic dumps" % (
+        ratio, summary["periodic_dumps"])
+
+
 CHECKERS = {
     "merge_policy": check_merge_policy,
     "concurrent_churn": check_concurrent_churn,
     "sharded_churn": check_sharded_churn,
     "mvcc_churn": check_mvcc_churn,
     "durability": check_durability,
+    "telemetry": check_telemetry,
 }
 
 
@@ -199,12 +224,18 @@ def _self_test_fixtures():
          "used_checkpoint": False, "mismatches": 0, "queries": 5,
          "replay_errors": 0, "wal_records_replayed": 800},
     ]}
+    telemetry_ok = {"series": [
+        {"rep": r, "mode": m, "mismatches": 0, "validated": 5}
+        for r in (0, 1) for m in ("off", "on")
+    ], "summary": {"overhead_ratio": 1.02, "dump_ok": True,
+                   "periodic_dumps": 12}}
     passing = {
         "merge_policy": merge_ok,
         "concurrent_churn": churn_ok,
         "sharded_churn": shard_ok,
         "mvcc_churn": mvcc_ok,
         "durability": dur_ok,
+        "telemetry": telemetry_ok,
     }
     # Seeded failures: each flips exactly the property its checker gates.
     merge_bad = json.loads(json.dumps(merge_ok))
@@ -217,12 +248,15 @@ def _self_test_fixtures():
     mvcc_bad["series"][1]["writer_ops_per_sec"] = 120.0  # < 5x lock
     dur_bad = json.loads(json.dumps(dur_ok))
     dur_bad["series"][0]["ops_per_sec"] = 150.0  # group < 3x sync_each
+    telemetry_bad = json.loads(json.dumps(telemetry_ok))
+    telemetry_bad["summary"]["overhead_ratio"] = 1.12  # over the 5% budget
     failing = {
         "merge_policy": merge_bad,
         "concurrent_churn": churn_bad,
         "sharded_churn": shard_bad,
         "mvcc_churn": mvcc_bad,
         "durability": dur_bad,
+        "telemetry": telemetry_bad,
     }
     return passing, failing
 
