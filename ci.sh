@@ -99,10 +99,23 @@ if [ "$SANITIZERS_ONLY" != "1" ]; then
     writer_ops=6000 query_threads=2 validate_every=32 reps=3 \
     out=BENCH_telemetry.json
 
+  # Serving smoke run (docs/serving.md): a real server over real
+  # sockets. Closed-loop DML across 1 vs 8 connections on a
+  # latency-padded WAL (the JSON check asserts the multi-connection run
+  # beats one connection — group commit coalescing across clients),
+  # open-loop search at two client counts (sustained QPS, p50/p99/p999
+  # with the coordinated-omission correction), and a 2x-overload phase
+  # against armed admission control (must shed typed kOverloaded while
+  # admitted p99 stays within 5x the ceiling).
+  "$BUILD_DIR/bench_server_loadgen" docs=1200 vocab=800 write_ops=150 \
+    search_requests=1200 probe_ops=250 clients=2,8 \
+    dir=bench_server_dir out=BENCH_server.json
+
   if command -v python3 > /dev/null; then
+    python3 tools/check_bench_json.py --self-test
     python3 tools/check_bench_json.py BENCH_merge.json \
       BENCH_concurrency.json BENCH_sharding.json BENCH_mvcc.json \
-      BENCH_durability.json BENCH_telemetry.json
+      BENCH_durability.json BENCH_telemetry.json BENCH_server.json
   else
     grep -q '"bench": "merge_policy"' BENCH_merge.json
     grep -q '"bench": "concurrent_churn"' BENCH_concurrency.json
@@ -110,23 +123,50 @@ if [ "$SANITIZERS_ONLY" != "1" ]; then
     grep -q '"bench": "mvcc_churn"' BENCH_mvcc.json
     grep -q '"bench": "durability"' BENCH_durability.json
     grep -q '"bench": "telemetry"' BENCH_telemetry.json
+    grep -q '"bench": "server"' BENCH_server.json
     echo "bench JSONs present (python3 unavailable, shallow check)"
   fi
+
+  # Server binary smoke (docs/serving.md): boot svr_server on an
+  # ephemeral port, probe it over the binary protocol with its own
+  # client mode, scrape /metrics over plain HTTP, then SIGTERM and
+  # require a clean exit.
+  rm -f svr_smoke.port
+  "$BUILD_DIR/svr_server" docs=800 vocab=600 terms=15 shards=2 \
+    workers=2 port_file=svr_smoke.port &
+  SVR_PID=$!
+  for _ in $(seq 1 100); do [ -s svr_smoke.port ] && break; sleep 0.2; done
+  [ -s svr_smoke.port ] || { echo "svr_server never wrote its port"; exit 1; }
+  SVR_PORT=$(cat svr_smoke.port)
+  "$BUILD_DIR/svr_server" connect=127.0.0.1:"$SVR_PORT" ping=1 \
+    query="t1 t2" k=5 | grep -q "watermark="
+  METRICS=$( { exec 3<>/dev/tcp/127.0.0.1/"$SVR_PORT"; \
+    printf 'GET /metrics HTTP/1.1\r\n\r\n' >&3; cat <&3; } )
+  echo "$METRICS" | grep -q "svr_server_requests"
+  kill -TERM "$SVR_PID"
+  wait "$SVR_PID"
+  rm -f svr_smoke.port
+  echo "svr_server smoke: OK"
+
+  # Examples must build (README points new readers at them) and the
+  # quickstart must run.
+  cmake --build "$BUILD_DIR" -j --target svr_examples
+  "$BUILD_DIR/example_quickstart" > /dev/null
 fi
 
 if [ "$SANITIZERS" = "1" ]; then
   # ThreadSanitizer pass (docs/concurrency.md, docs/sharding.md): the
   # `concurrency`-labelled suites — epoch manager, two-phase merge
   # protocol, scheduler worker pool, engine-level churn, sharded
-  # scatter-gather churn, and the telemetry record/snapshot paths —
-  # must be race-free. The suites self-scale their workload sizes under
-  # TSan.
+  # scatter-gather churn, the telemetry record/snapshot paths, and the
+  # server's event-loop/worker/admission machinery — must be race-free.
+  # The suites self-scale their workload sizes under TSan.
   cmake -B "$TSAN_BUILD_DIR" -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build "$TSAN_BUILD_DIR" -j --target concurrency_test \
     --target sharded_engine_test --target mvcc_test \
-    --target telemetry_test
+    --target telemetry_test --target server_test
   (cd "$TSAN_BUILD_DIR" && ctest -L concurrency --output-on-failure)
 
   # AddressSanitizer + UndefinedBehaviorSanitizer over the FULL suite:

@@ -1,10 +1,14 @@
-// auction_site: ranking listings by current bid and time to completion.
+// examples/auction_site.cpp — ranking listings by current bid and time
+// to completion.
 //
-// §1 names online auctions ("time to completion and the current bid can
-// be used to rank results") among the update-intensive SVR applications.
-// This example runs a bidding war over auction listings: every bid is a
-// structured update that instantly reorders keyword search results, and
-// closing auctions sink as their remaining time drains away.
+// Demonstrates: a bidding war over auction listings — every bid is a
+//   structured update that instantly reorders keyword search results,
+//   and closing auctions sink as their remaining time drains away.
+// Paper anchor: §1 names online auctions ("time to completion and the
+//   current bid can be used to rank results") among the
+//   update-intensive SVR applications.
+// Run: cmake --build build -j --target example_auction_site &&
+//   ./build/example_auction_site
 
 #include <cstdio>
 #include <string>

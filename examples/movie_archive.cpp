@@ -1,10 +1,14 @@
-// movie_archive: an Internet-Archive-style catalog under flash crowds.
+// examples/movie_archive.cpp — an Internet-Archive-style catalog under
+// flash crowds.
 //
-// The paper's motivating deployment (§1): a film archive where review
-// ratings, visit counts and download counts change constantly, and users
-// expect keyword results ranked by the *latest* popularity. This example
-// generates a synthetic catalog, streams a bursty update workload through
-// the Chunk index, and shows how the top-10 for a query tracks the bursts.
+// Demonstrates: a synthetic film catalog streaming a bursty update
+//   workload through the Chunk index; the top-10 for a query tracks
+//   the popularity bursts live.
+// Paper anchor: §1's motivating deployment — a film archive where
+//   review ratings, visit counts and download counts change constantly
+//   and users expect results ranked by the *latest* popularity.
+// Run: cmake --build build -j --target example_movie_archive &&
+//   ./build/example_movie_archive
 
 #include <cstdio>
 #include <string>

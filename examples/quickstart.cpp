@@ -1,9 +1,12 @@
-// Quickstart: Structured Value Ranking in five minutes.
+// examples/quickstart.cpp — Structured Value Ranking in five minutes.
 //
-// Builds the paper's Figure-1 database (movies ranked by review ratings,
-// visits and downloads), runs a keyword search, applies a structured
-// update, and shows the ranking change — all through the public
-// SvrEngine API.
+// Demonstrates: the paper's Figure-1 database (movies ranked by review
+//   ratings, visits and downloads) built through the public SvrEngine
+//   API; one keyword search, one structured update, and the ranking
+//   change it causes. Start here.
+// Paper anchor: Figure 1 and the §2 data model.
+// Run: cmake --build build -j --target example_quickstart &&
+//   ./build/example_quickstart
 
 #include <cstdio>
 

@@ -1,12 +1,16 @@
-// Sharded search: the quickstart database, hash-partitioned across four
-// engine shards (docs/sharding.md).
+// examples/sharded_search.cpp — the quickstart database,
+// hash-partitioned across four engine shards.
 //
-// Demonstrates the three things sharding adds on top of the plain
-// SvrEngine API — everything else is unchanged:
+// Demonstrates: the three things sharding adds on top of the plain
+//   SvrEngine API (everything else is unchanged) —
 //   1. DML routes to the owning shard (reviews follow their movie);
 //   2. Search scatter-gathers per-shard top-k lists into one answer
 //      with global keys restored;
 //   3. GetStats() reports per-shard plus aggregated counters.
+// Paper anchor: scale-out beyond the paper's single-node scope; the
+//   equivalence argument is in docs/sharding.md.
+// Run: cmake --build build -j --target example_sharded_search &&
+//   ./build/example_sharded_search
 
 #include <cstdio>
 

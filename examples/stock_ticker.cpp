@@ -1,10 +1,13 @@
-// stock_ticker: ranking financial news by live trading volume.
+// examples/stock_ticker.cpp — ranking financial news by live trading
+// volume.
 //
-// §1 of the paper lists stock databases — where "volume of trade can be
-// used to rank results" — as a natural SVR deployment. This example
-// indexes news headlines and ranks keyword searches by the traded volume
-// and volatility of the mentioned ticker, streaming a simulated trading
-// session through the Score-Threshold index.
+// Demonstrates: news headlines ranked by the traded volume and
+//   volatility of the mentioned ticker, streaming a simulated trading
+//   session through the Score-Threshold index.
+// Paper anchor: §1 lists stock databases — where "volume of trade can
+//   be used to rank results" — as a natural SVR deployment.
+// Run: cmake --build build -j --target example_stock_ticker &&
+//   ./build/example_stock_ticker
 
 #include <cstdio>
 #include <string>

@@ -28,6 +28,8 @@ const char* CodeName(Status::Code code) {
       return "Aborted";
     case Status::Code::kDataLoss:
       return "DataLoss";
+    case Status::Code::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -35,6 +35,11 @@ class Status {
     /// back, unlike kCorruption (a CRC mismatch on bytes that claim to
     /// be complete), which is never replayed past.
     kDataLoss = 10,
+    /// Load shed by admission control (docs/serving.md): the server is
+    /// over its latency or WAL-queue thresholds and rejected the request
+    /// *without executing it*. Unlike every other error, the system is
+    /// healthy — clients should back off and retry, not fail over.
+    kOverloaded = 11,
   };
 
   Status() : code_(Code::kOk) {}
@@ -76,6 +81,9 @@ class Status {
   static Status DataLoss(std::string_view msg) {
     return Status(Code::kDataLoss, msg);
   }
+  static Status Overloaded(std::string_view msg) {
+    return Status(Code::kOverloaded, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -88,6 +96,7 @@ class Status {
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsDataLoss() const { return code_ == Code::kDataLoss; }
+  bool IsOverloaded() const { return code_ == Code::kOverloaded; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

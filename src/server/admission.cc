@@ -1,0 +1,83 @@
+#include "server/admission.h"
+
+#include <chrono>
+
+namespace svr::server {
+
+namespace {
+
+uint64_t MonotonicMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(
+    telemetry::MetricsRegistry* registry, const AdmissionOptions& options)
+    : registry_(registry), opt_(options) {
+  if (registry_ != nullptr && opt_.enabled && opt_.max_p99_us > 0) {
+    latency_ = registry_->GetHistogram(opt_.latency_histogram);
+  }
+}
+
+bool AdmissionController::Admit() {
+  if (registry_ == nullptr || !opt_.enabled) return true;
+  const uint64_t now = MonotonicMs();
+  uint64_t last = last_refresh_ms_.load(std::memory_order_relaxed);
+  if (now - last >= opt_.refresh_interval_ms &&
+      last_refresh_ms_.compare_exchange_strong(last, now,
+                                               std::memory_order_relaxed)) {
+    Refresh();
+  }
+  return !overloaded_.load(std::memory_order_relaxed);
+}
+
+void AdmissionController::Refresh() {
+  if (registry_ == nullptr || !opt_.enabled) return;
+  bool over = false;
+
+  if (opt_.max_wal_queue_depth > 0) {
+    const double depth = registry_->GaugeValue("wal.queue_depth");
+    const uint64_t d = depth > 0 ? static_cast<uint64_t>(depth) : 0;
+    queue_depth_.store(d, std::memory_order_relaxed);
+    if (d > opt_.max_wal_queue_depth) over = true;
+  }
+
+  if (latency_ != nullptr) {
+    MutexLock lock(refresh_mu_);
+    telemetry::HistogramSnapshot cur = latency_->Snapshot();
+    // Window = cumulative now minus cumulative at the previous refresh.
+    // Buckets only grow, so the subtraction is exact; count/sum/max
+    // follow (max is the cumulative max — an acceptable overestimate,
+    // only the bucket-derived p99 feeds the verdict).
+    telemetry::HistogramSnapshot window;
+    if (prev_.buckets.empty() || cur.buckets.empty()) {
+      window = cur;
+    } else {
+      window.buckets.resize(cur.buckets.size());
+      for (size_t i = 0; i < cur.buckets.size(); ++i) {
+        window.buckets[i] = cur.buckets[i] - prev_.buckets[i];
+        window.count += window.buckets[i];
+      }
+    }
+    if (window.count >= opt_.min_window_count) {
+      const uint64_t p99 = window.ValueAtPercentile(99.0);
+      window_p99_us_.store(p99, std::memory_order_relaxed);
+      if (p99 > opt_.max_p99_us) over = true;
+    } else {
+      // Thin window: too few admitted requests to judge a p99. The
+      // latency trigger clears rather than sticks — a sticky verdict
+      // would starve the very traffic that refills the window, and
+      // sustained pressure still shows up as WAL queue depth.
+      window_p99_us_.store(0, std::memory_order_relaxed);
+    }
+    prev_ = std::move(cur);
+  }
+
+  overloaded_.store(over, std::memory_order_relaxed);
+}
+
+}  // namespace svr::server

@@ -1,0 +1,93 @@
+#ifndef SVR_SERVER_ADMISSION_H_
+#define SVR_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/thread_annotations.h"
+#include "telemetry/histogram.h"
+#include "telemetry/metrics_registry.h"
+
+/// \file
+/// \brief Admission control for the serving front end (docs/serving.md).
+///
+/// The controller turns the telemetry registry's signals into a single
+/// cheap admit/shed decision: it watches a latency histogram (windowed
+/// p99 over the interval since the last refresh, computed by bucket-wise
+/// subtraction of cumulative snapshots) and the `wal.queue_depth` gauge
+/// (outstanding group-commit appends across every shard's LogWriter).
+/// When either crosses its threshold the server rejects new work with
+/// Status::Overloaded *before* executing it — the queue never grows into
+/// the latency it is trying to protect.
+
+namespace svr::server {
+
+struct AdmissionOptions {
+  bool enabled = true;
+  /// Shed when the windowed p99 of `latency_histogram` exceeds this.
+  /// 0 disables the latency trigger.
+  uint64_t max_p99_us = 200000;
+  /// Shed when the `wal.queue_depth` gauge exceeds this. 0 disables the
+  /// queue-depth trigger.
+  uint64_t max_wal_queue_depth = 4096;
+  /// A refresh window with fewer samples than this keeps the previous
+  /// verdict — p99 of three requests is noise, not signal.
+  uint64_t min_window_count = 32;
+  /// How often the thresholds are re-evaluated. Between refreshes Admit
+  /// is two relaxed atomic loads.
+  uint32_t refresh_interval_ms = 50;
+  /// Registry histogram the latency trigger reads. The server's
+  /// end-to-end request histogram by default (queue wait included — the
+  /// client-visible number).
+  std::string latency_histogram = "server.request_us";
+};
+
+class AdmissionController {
+ public:
+  /// `registry` may be null (telemetry disabled): every request is then
+  /// admitted and the controller is inert.
+  AdmissionController(telemetry::MetricsRegistry* registry,
+                      const AdmissionOptions& options);
+
+  /// Cheap verdict for one incoming request; lazily refreshes the
+  /// thresholds when the interval elapsed (one caller recomputes, the
+  /// rest proceed on the previous verdict).
+  bool Admit();
+
+  /// Forces a threshold re-evaluation now (tests; the server's event
+  /// loop between polls).
+  void Refresh();
+
+  /// Last computed windowed p99 / queue depth, for /metrics and tests.
+  uint64_t window_p99_us() const {
+    return window_p99_us_.load(std::memory_order_relaxed);
+  }
+  uint64_t wal_queue_depth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+  bool overloaded() const {
+    return overloaded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  telemetry::MetricsRegistry* const registry_;
+  const AdmissionOptions opt_;
+  telemetry::ShardedHistogram* latency_ = nullptr;
+
+  std::atomic<bool> overloaded_{false};
+  std::atomic<uint64_t> window_p99_us_{0};
+  std::atomic<uint64_t> queue_depth_{0};
+  /// Monotonic ms of the last refresh; CAS-claimed so exactly one
+  /// concurrent caller pays the snapshot fold.
+  std::atomic<uint64_t> last_refresh_ms_{0};
+
+  /// Previous cumulative snapshot; the refresh subtracts it to get the
+  /// window. Guarded: only the Refresh winner touches it.
+  Mutex refresh_mu_;
+  telemetry::HistogramSnapshot prev_ GUARDED_BY(refresh_mu_);
+};
+
+}  // namespace svr::server
+
+#endif  // SVR_SERVER_ADMISSION_H_

@@ -1,0 +1,167 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace svr::server {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SvrClient>> SvrClient::Connect(
+    const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Errno("connect");
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<SvrClient>(new SvrClient(fd));
+}
+
+SvrClient::~SvrClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status SvrClient::SendRaw(const Slice& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Result<Response> SvrClient::ReadResponse() {
+  while (true) {
+    size_t frame_bytes = 0;
+    Slice payload;
+    Status err;
+    const FrameParse parse =
+        ParseFrame(inbuf_, &frame_bytes, &payload, &err);
+    if (parse == FrameParse::kCorrupt) return err;
+    if (parse == FrameParse::kFrame) {
+      Response resp;
+      SVR_RETURN_NOT_OK(DecodeResponse(payload, &resp));
+      inbuf_.erase(0, frame_bytes);
+      return resp;
+    }
+    char buf[64 * 1024];
+    const ssize_t r = ::read(fd_, buf, sizeof(buf));
+    if (r > 0) {
+      inbuf_.append(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    if (r == 0) {
+      return Status::IOError("connection closed by server");
+    }
+    return Errno("read");
+  }
+}
+
+Result<Response> SvrClient::Call(Request req) {
+  req.request_id = next_id_++;
+  std::string payload;
+  EncodeRequest(req, &payload);
+  std::string framed;
+  AppendMessage(&framed, payload);
+  SVR_RETURN_NOT_OK(SendRaw(framed));
+  auto resp = ReadResponse();
+  if (resp.ok() && resp.value().request_id != req.request_id) {
+    return Status::Internal("response id mismatch");
+  }
+  return resp;
+}
+
+Status SvrClient::Ping() {
+  Request req;
+  req.type = MessageType::kPing;
+  auto r = Call(std::move(req));
+  return r.ok() ? r.value().ToStatus() : r.status();
+}
+
+Result<SearchReply> SvrClient::Search(const std::string& keywords,
+                                      uint32_t k, bool conjunctive) {
+  Request req;
+  req.type = MessageType::kSearch;
+  req.keywords = keywords;
+  req.k = k;
+  req.conjunctive = conjunctive;
+  auto r = Call(std::move(req));
+  if (!r.ok()) return r.status();
+  Response& resp = r.value();
+  SVR_RETURN_NOT_OK(resp.ToStatus());
+  SearchReply reply;
+  reply.watermark = resp.watermark;
+  reply.rows = std::move(resp.rows);
+  return reply;
+}
+
+Status SvrClient::Insert(const std::string& table, relational::Row row) {
+  Request req;
+  req.type = MessageType::kInsert;
+  req.table = table;
+  req.row = std::move(row);
+  auto r = Call(std::move(req));
+  return r.ok() ? r.value().ToStatus() : r.status();
+}
+
+Status SvrClient::Update(const std::string& table, relational::Row row) {
+  Request req;
+  req.type = MessageType::kUpdate;
+  req.table = table;
+  req.row = std::move(row);
+  auto r = Call(std::move(req));
+  return r.ok() ? r.value().ToStatus() : r.status();
+}
+
+Status SvrClient::Delete(const std::string& table, int64_t pk) {
+  Request req;
+  req.type = MessageType::kDelete;
+  req.table = table;
+  req.pk = pk;
+  auto r = Call(std::move(req));
+  return r.ok() ? r.value().ToStatus() : r.status();
+}
+
+Result<std::string> SvrClient::Metrics(telemetry::DumpFormat format) {
+  Request req;
+  req.type = MessageType::kMetrics;
+  req.format = format;
+  auto r = Call(std::move(req));
+  if (!r.ok()) return r.status();
+  SVR_RETURN_NOT_OK(r.value().ToStatus());
+  return std::move(r.value().text);
+}
+
+}  // namespace svr::server

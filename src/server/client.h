@@ -1,0 +1,65 @@
+#ifndef SVR_SERVER_CLIENT_H_
+#define SVR_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "server/protocol.h"
+
+/// \file
+/// \brief Blocking in-process client for the serving protocol
+/// (docs/serving.md). One SvrClient owns one connection and is NOT
+/// thread-safe — the load generator and the tests open one client per
+/// worker thread, which is also what makes the server's group commit
+/// visible (many connections, one fsync).
+
+namespace svr::server {
+
+struct SearchReply {
+  /// Cross-shard commit watermark the query ran at.
+  uint64_t watermark = 0;
+  std::vector<core::ScoredRow> rows;
+};
+
+class SvrClient {
+ public:
+  static Result<std::unique_ptr<SvrClient>> Connect(const std::string& host,
+                                                    uint16_t port);
+  ~SvrClient();
+
+  SvrClient(const SvrClient&) = delete;
+  SvrClient& operator=(const SvrClient&) = delete;
+
+  /// One request/response round trip. Every helper below goes through
+  /// this; exposed for tests that need odd requests.
+  Result<Response> Call(Request req);
+
+  Status Ping();
+  Result<SearchReply> Search(const std::string& keywords, uint32_t k,
+                             bool conjunctive = true);
+  Status Insert(const std::string& table, relational::Row row);
+  Status Update(const std::string& table, relational::Row row);
+  Status Delete(const std::string& table, int64_t pk);
+  Result<std::string> Metrics(telemetry::DumpFormat format);
+
+  /// Writes raw bytes onto the connection — the corrupt-frame tests
+  /// speak through this.
+  Status SendRaw(const Slice& bytes);
+  /// Reads one framed response off the connection.
+  Result<Response> ReadResponse();
+
+ private:
+  explicit SvrClient(int fd) : fd_(fd) {}
+
+  int fd_;
+  uint64_t next_id_ = 1;
+  std::string inbuf_;
+};
+
+}  // namespace svr::server
+
+#endif  // SVR_SERVER_CLIENT_H_

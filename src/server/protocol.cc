@@ -1,0 +1,248 @@
+#include "server/protocol.h"
+
+#include "common/coding.h"
+#include "durability/crc32c.h"
+#include "durability/wal_format.h"
+
+namespace svr::server {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 8;  // fixed32 len + fixed32 crc
+
+bool ValidType(uint8_t t) {
+  return t >= static_cast<uint8_t>(MessageType::kPing) &&
+         t <= static_cast<uint8_t>(MessageType::kMetrics);
+}
+
+bool ValidCode(uint8_t c) {
+  return c <= static_cast<uint8_t>(Status::Code::kOverloaded);
+}
+
+void EncodeRowField(const relational::Row& row, std::string* dst) {
+  PutVarint32(dst, static_cast<uint32_t>(row.size()));
+  relational::EncodeRow(dst, row);
+}
+
+Status DecodeRowField(Slice* in, relational::Row* row) {
+  uint32_t n = 0;
+  if (!GetVarint32(in, &n)) return Status::Corruption("row: bad arity");
+  return relational::DecodeRow(in, n, row);
+}
+
+}  // namespace
+
+Status Response::ToStatus() const {
+  if (code == Status::Code::kOk) return Status::OK();
+  switch (code) {
+    case Status::Code::kNotFound:
+      return Status::NotFound(message);
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case Status::Code::kCorruption:
+      return Status::Corruption(message);
+    case Status::Code::kIOError:
+      return Status::IOError(message);
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(message);
+    case Status::Code::kAlreadyExists:
+      return Status::AlreadyExists(message);
+    case Status::Code::kOutOfRange:
+      return Status::OutOfRange(message);
+    case Status::Code::kAborted:
+      return Status::Aborted(message);
+    case Status::Code::kDataLoss:
+      return Status::DataLoss(message);
+    case Status::Code::kOverloaded:
+      return Status::Overloaded(message);
+    default:
+      return Status::Internal(message);
+  }
+}
+
+void EncodeRequest(const Request& req, std::string* dst) {
+  dst->push_back(static_cast<char>(req.type));
+  PutVarint64(dst, req.request_id);
+  switch (req.type) {
+    case MessageType::kPing:
+      break;
+    case MessageType::kSearch:
+      PutVarint32(dst, req.k);
+      dst->push_back(req.conjunctive ? 1 : 0);
+      PutLengthPrefixed(dst, req.keywords);
+      break;
+    case MessageType::kInsert:
+    case MessageType::kUpdate:
+      PutLengthPrefixed(dst, req.table);
+      EncodeRowField(req.row, dst);
+      break;
+    case MessageType::kDelete:
+      PutLengthPrefixed(dst, req.table);
+      PutVarint64(dst, ZigzagEncode64(req.pk));
+      break;
+    case MessageType::kMetrics:
+      dst->push_back(static_cast<char>(req.format));
+      break;
+  }
+}
+
+Status DecodeRequest(Slice payload, Request* req) {
+  Slice in = payload;
+  if (in.empty()) return Status::Corruption("request: empty payload");
+  const uint8_t type = static_cast<uint8_t>(in[0]);
+  in.remove_prefix(1);
+  if (!ValidType(type)) return Status::Corruption("request: bad type");
+  req->type = static_cast<MessageType>(type);
+  if (!GetVarint64(&in, &req->request_id)) {
+    return Status::Corruption("request: bad id");
+  }
+  Slice str;
+  switch (req->type) {
+    case MessageType::kPing:
+      break;
+    case MessageType::kSearch:
+      if (!GetVarint32(&in, &req->k) || in.empty()) {
+        return Status::Corruption("search: bad k");
+      }
+      req->conjunctive = in[0] != 0;
+      in.remove_prefix(1);
+      if (!GetLengthPrefixed(&in, &str)) {
+        return Status::Corruption("search: bad keywords");
+      }
+      req->keywords = str.ToString();
+      break;
+    case MessageType::kInsert:
+    case MessageType::kUpdate:
+      if (!GetLengthPrefixed(&in, &str)) {
+        return Status::Corruption("dml: bad table");
+      }
+      req->table = str.ToString();
+      SVR_RETURN_NOT_OK(DecodeRowField(&in, &req->row));
+      break;
+    case MessageType::kDelete: {
+      if (!GetLengthPrefixed(&in, &str)) {
+        return Status::Corruption("delete: bad table");
+      }
+      req->table = str.ToString();
+      uint64_t zz = 0;
+      if (!GetVarint64(&in, &zz)) {
+        return Status::Corruption("delete: bad pk");
+      }
+      req->pk = ZigzagDecode64(zz);
+      break;
+    }
+    case MessageType::kMetrics:
+      if (in.empty()) return Status::Corruption("metrics: bad format");
+      req->format = static_cast<telemetry::DumpFormat>(in[0]);
+      in.remove_prefix(1);
+      break;
+  }
+  if (!in.empty()) return Status::Corruption("request: trailing bytes");
+  return Status::OK();
+}
+
+void EncodeResponse(const Response& resp, std::string* dst) {
+  dst->push_back(static_cast<char>(resp.request_type));
+  PutVarint64(dst, resp.request_id);
+  dst->push_back(static_cast<char>(resp.code));
+  PutLengthPrefixed(dst, resp.message);
+  switch (resp.request_type) {
+    case MessageType::kSearch:
+      PutVarint64(dst, resp.watermark);
+      PutVarint32(dst, static_cast<uint32_t>(resp.rows.size()));
+      for (const core::ScoredRow& r : resp.rows) {
+        PutVarint64(dst, ZigzagEncode64(r.pk));
+        PutFixedDouble(dst, r.score);
+        EncodeRowField(r.row, dst);
+      }
+      break;
+    case MessageType::kMetrics:
+      PutLengthPrefixed(dst, resp.text);
+      break;
+    default:
+      break;
+  }
+}
+
+Status DecodeResponse(Slice payload, Response* resp) {
+  Slice in = payload;
+  if (in.empty()) return Status::Corruption("response: empty payload");
+  const uint8_t type = static_cast<uint8_t>(in[0]);
+  in.remove_prefix(1);
+  if (!ValidType(type)) return Status::Corruption("response: bad type");
+  resp->request_type = static_cast<MessageType>(type);
+  if (!GetVarint64(&in, &resp->request_id) || in.empty()) {
+    return Status::Corruption("response: bad id");
+  }
+  const uint8_t code = static_cast<uint8_t>(in[0]);
+  in.remove_prefix(1);
+  if (!ValidCode(code)) return Status::Corruption("response: bad code");
+  resp->code = static_cast<Status::Code>(code);
+  Slice str;
+  if (!GetLengthPrefixed(&in, &str)) {
+    return Status::Corruption("response: bad message");
+  }
+  resp->message = str.ToString();
+  switch (resp->request_type) {
+    case MessageType::kSearch: {
+      uint32_t n = 0;
+      if (!GetVarint64(&in, &resp->watermark) || !GetVarint32(&in, &n)) {
+        return Status::Corruption("search response: bad header");
+      }
+      resp->rows.clear();
+      resp->rows.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        core::ScoredRow r;
+        uint64_t zz = 0;
+        if (!GetVarint64(&in, &zz) || in.size() < sizeof(double)) {
+          return Status::Corruption("search response: bad row");
+        }
+        r.pk = ZigzagDecode64(zz);
+        r.score = DecodeFixedDouble(in.data());
+        in.remove_prefix(sizeof(double));
+        SVR_RETURN_NOT_OK(DecodeRowField(&in, &r.row));
+        resp->rows.push_back(std::move(r));
+      }
+      break;
+    }
+    case MessageType::kMetrics:
+      if (!GetLengthPrefixed(&in, &str)) {
+        return Status::Corruption("metrics response: bad text");
+      }
+      resp->text = str.ToString();
+      break;
+    default:
+      break;
+  }
+  if (!in.empty()) return Status::Corruption("response: trailing bytes");
+  return Status::OK();
+}
+
+void AppendMessage(std::string* dst, const Slice& payload) {
+  // The WAL's frame writer IS the network frame writer — one encoding,
+  // one CRC discipline (docs/serving.md, docs/durability.md).
+  durability::AppendFrame(dst, payload);
+}
+
+FrameParse ParseFrame(const Slice& buffer, size_t* frame_bytes,
+                      Slice* payload, Status* error) {
+  if (buffer.size() < kFrameHeaderBytes) return FrameParse::kNeedMore;
+  const uint32_t len = DecodeFixed32(buffer.data());
+  if (len > kMaxPayloadBytes) {
+    *error = Status::Corruption("frame: oversized payload length");
+    return FrameParse::kCorrupt;
+  }
+  if (buffer.size() < kFrameHeaderBytes + len) return FrameParse::kNeedMore;
+  const uint32_t masked = DecodeFixed32(buffer.data() + 4);
+  const uint32_t actual =
+      durability::Crc32c(buffer.data() + kFrameHeaderBytes, len);
+  if (durability::UnmaskCrc(masked) != actual) {
+    *error = Status::Corruption("frame: CRC mismatch");
+    return FrameParse::kCorrupt;
+  }
+  *frame_bytes = kFrameHeaderBytes + len;
+  *payload = Slice(buffer.data() + kFrameHeaderBytes, len);
+  return FrameParse::kFrame;
+}
+
+}  // namespace svr::server

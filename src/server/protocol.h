@@ -1,0 +1,120 @@
+#ifndef SVR_SERVER_PROTOCOL_H_
+#define SVR_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "core/svr_engine.h"
+#include "relational/schema.h"
+#include "telemetry/metrics_registry.h"
+
+/// \file
+/// \brief The serving wire protocol (docs/serving.md).
+///
+/// A connection is a stream of CRC-framed messages using the exact frame
+/// discipline of the WAL (durability/wal_format.h):
+///
+///     [fixed32 payload_len][fixed32 masked-crc32c(payload)][payload]
+///
+/// so a request that arrives is either bit-exact or provably corrupt —
+/// the same property the durable log relies on, applied to the network.
+/// Requests and responses are correlated by a client-chosen request id;
+/// the server may interleave responses of one connection's pipelined
+/// requests in completion order.
+
+namespace svr::server {
+
+/// Wire message types. Requests carry one of these; responses echo the
+/// request's type next to the request id.
+enum class MessageType : uint8_t {
+  kPing = 1,
+  kSearch = 2,
+  kInsert = 3,
+  kUpdate = 4,
+  kDelete = 5,
+  /// DumpMetrics over the wire (the binary twin of HTTP GET /metrics).
+  kMetrics = 6,
+};
+
+/// One decoded client request.
+struct Request {
+  MessageType type = MessageType::kPing;
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  uint64_t request_id = 0;
+
+  // --- kSearch ---------------------------------------------------------
+  std::string keywords;
+  uint32_t k = 0;
+  bool conjunctive = true;
+
+  // --- kInsert / kUpdate / kDelete -------------------------------------
+  std::string table;
+  relational::Row row;  // kInsert / kUpdate
+  int64_t pk = 0;       // kDelete
+
+  // --- kMetrics --------------------------------------------------------
+  telemetry::DumpFormat format = telemetry::DumpFormat::kPrometheus;
+};
+
+/// One server response.
+struct Response {
+  uint64_t request_id = 0;
+  MessageType request_type = MessageType::kPing;
+  /// Status::Code of the operation; Code::kOverloaded means the request
+  /// was shed by admission control without executing (retryable).
+  Status::Code code = Status::Code::kOk;
+  std::string message;  // error detail; empty on kOk
+
+  /// kSearch: results and the cross-shard commit watermark the query ran
+  /// at.
+  uint64_t watermark = 0;
+  std::vector<core::ScoredRow> rows;
+
+  /// kMetrics: the rendered dump.
+  std::string text;
+
+  /// The response's status as a Status (code + message).
+  Status ToStatus() const;
+};
+
+/// Serializes the message body (no frame) onto `*dst`.
+void EncodeRequest(const Request& req, std::string* dst);
+void EncodeResponse(const Response& resp, std::string* dst);
+
+/// Parses one message body. kCorruption on malformed input — the caller
+/// closes the connection, exactly as recovery refuses a mis-checksummed
+/// WAL frame.
+Status DecodeRequest(Slice payload, Request* req);
+Status DecodeResponse(Slice payload, Response* resp);
+
+/// Appends one framed message ([len][masked crc][payload]) onto `*dst`.
+void AppendMessage(std::string* dst, const Slice& payload);
+
+/// Frames above this payload size are rejected as corrupt: a stream
+/// positioned on garbage would otherwise ask us to buffer gigabytes
+/// before the CRC could expose it.
+inline constexpr uint32_t kMaxPayloadBytes = 32u << 20;
+
+/// Outcome of attempting to cut one frame off the front of a stream
+/// buffer.
+enum class FrameParse {
+  /// The buffer holds a prefix of a frame; read more bytes.
+  kNeedMore,
+  /// `*payload` points at one complete, CRC-verified payload inside the
+  /// buffer; `*frame_bytes` is the number of buffer bytes to consume.
+  kFrame,
+  /// The frame is provably bad (oversized length or CRC mismatch).
+  /// `*error` holds the detail; the connection cannot be resynchronized
+  /// and must be closed.
+  kCorrupt,
+};
+
+FrameParse ParseFrame(const Slice& buffer, size_t* frame_bytes,
+                      Slice* payload, Status* error);
+
+}  // namespace svr::server
+
+#endif  // SVR_SERVER_PROTOCOL_H_

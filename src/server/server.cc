@@ -1,0 +1,422 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "telemetry/query_trace.h"
+
+namespace svr::server {
+
+namespace {
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " +
+                         std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// First-bytes sniff: HTTP methods an operator's curl would send. A
+/// binary frame can never collide — these four bytes decode to a length
+/// far above kMaxPayloadBytes.
+bool LooksLikeHttp(const std::string& in) {
+  return in.compare(0, 4, "GET ") == 0 || in.compare(0, 4, "HEAD") == 0 ||
+         in.compare(0, 4, "POST") == 0;
+}
+
+}  // namespace
+
+SvrServer::Connection::~Connection() { ::close(fd); }
+
+SvrServer::SvrServer(core::ShardedSvrEngine* engine,
+                     const ServerOptions& options)
+    : engine_(engine), opt_(options) {}
+
+Result<std::unique_ptr<SvrServer>> SvrServer::Start(
+    core::ShardedSvrEngine* engine, const ServerOptions& options) {
+  std::unique_ptr<SvrServer> server(new SvrServer(engine, options));
+  server->registry_ = engine->metrics_registry();
+  if (server->registry_ != nullptr) {
+    server->ctr_requests_ = server->registry_->GetCounter("server.requests");
+    server->ctr_rejected_ = server->registry_->GetCounter("server.rejected");
+    server->ctr_protocol_errors_ =
+        server->registry_->GetCounter("server.protocol_errors");
+    server->request_us_ = server->registry_->GetHistogram("server.request_us");
+  }
+  server->admission_ = std::make_unique<AdmissionController>(
+      server->registry_, options.admission);
+  SVR_RETURN_NOT_OK(server->Listen());
+  server->event_thread_ = std::thread([s = server.get()] { s->EventLoop(); });
+  const uint32_t workers = options.num_workers > 0 ? options.num_workers : 1;
+  server->workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  return server;
+}
+
+SvrServer::~SvrServer() { Stop(); }
+
+Status SvrServer::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opt_.port);
+  if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host: " + opt_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, opt_.listen_backlog) != 0) return Errno("listen");
+  if (!SetNonBlocking(listen_fd_)) return Errno("fcntl");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::pipe(wake_pipe_) != 0) return Errno("pipe");
+  SetNonBlocking(wake_pipe_[0]);
+  SetNonBlocking(wake_pipe_[1]);
+  return Status::OK();
+}
+
+void SvrServer::Stop() {
+  if (stopped_.exchange(true)) return;
+  stop_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    const char b = 1;
+    (void)!::write(wake_pipe_[1], &b, 1);
+  }
+  if (event_thread_.joinable()) event_thread_.join();
+  {
+    MutexLock lock(queue_mu_);
+    queue_stop_ = true;
+  }
+  queue_cv_.NotifyAll();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+ServerStats SvrServer::GetStats() const {
+  ServerStats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_open = connections_open_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SvrServer::EventLoop() {
+  std::unordered_map<int, ConnPtr> conns;
+  std::vector<pollfd> fds;
+  while (!stop_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : conns) {
+      if (!conn->dead.load(std::memory_order_relaxed)) {
+        fds.push_back({fd, POLLIN, 0});
+      }
+    }
+    const int n = ::poll(fds.data(), fds.size(), 100);
+    if (n < 0 && errno != EINTR) break;
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (fds[1].revents & POLLIN) {
+      while (true) {
+        const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+        if (cfd < 0) break;
+        SetNonBlocking(cfd);
+        const int one = 1;
+        ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        conns.emplace(cfd, std::make_shared<Connection>(cfd));
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+        connections_open_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    for (size_t i = 2; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      auto it = conns.find(fds[i].fd);
+      if (it == conns.end()) continue;
+      if (!HandleReadable(it->second)) {
+        it->second->dead.store(true, std::memory_order_relaxed);
+        conns.erase(it);
+        connections_open_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    // Reap connections a worker marked dead (write failure).
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->second->dead.load(std::memory_order_relaxed)) {
+        it = conns.erase(it);
+        connections_open_.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+  connections_open_.store(0, std::memory_order_relaxed);
+  conns.clear();
+}
+
+bool SvrServer::HandleReadable(const ConnPtr& conn) {
+  char buf[64 * 1024];
+  bool eof = false;
+  while (true) {
+    const ssize_t r = ::read(conn->fd, buf, sizeof(buf));
+    if (r > 0) {
+      conn->in.append(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  if (conn->mode == 0 && conn->in.size() >= 4) {
+    conn->mode = (opt_.http_metrics && LooksLikeHttp(conn->in)) ? 2 : 1;
+  }
+  if (conn->mode == 2) {
+    if (!HandleHttp(conn)) return false;
+  } else if (conn->mode == 1) {
+    if (!DispatchFrames(conn)) return false;
+  }
+  // EOF with leftover bytes = a torn frame; with an empty buffer it is
+  // just the client hanging up.
+  return !eof;
+}
+
+bool SvrServer::DispatchFrames(const ConnPtr& conn) {
+  size_t consumed = 0;
+  bool ok = true;
+  while (true) {
+    Slice rest(conn->in.data() + consumed, conn->in.size() - consumed);
+    size_t frame_bytes = 0;
+    Slice payload;
+    Status err;
+    const FrameParse parse = ParseFrame(rest, &frame_bytes, &payload, &err);
+    if (parse == FrameParse::kNeedMore) break;
+    if (parse == FrameParse::kCorrupt) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (ctr_protocol_errors_ != nullptr) ctr_protocol_errors_->Increment();
+      ok = false;
+      break;
+    }
+    Task task;
+    task.conn = conn;
+    if (!DecodeRequest(payload, &task.request).ok()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (ctr_protocol_errors_ != nullptr) ctr_protocol_errors_->Increment();
+      ok = false;
+      break;
+    }
+    consumed += frame_bytes;
+    const MessageType t = task.request.type;
+    const bool load_bearing =
+        t == MessageType::kSearch || t == MessageType::kInsert ||
+        t == MessageType::kUpdate || t == MessageType::kDelete;
+    task.admitted = !load_bearing || admission_->Admit();
+    if (task.admitted && load_bearing && opt_.max_pending_requests > 0) {
+      // Only the event-loop thread enqueues, so the queue can only have
+      // shrunk by the time Enqueue runs — the bound holds.
+      MutexLock lock(queue_mu_);
+      if (queue_.size() >= opt_.max_pending_requests) task.admitted = false;
+    }
+    Enqueue(std::move(task));
+  }
+  if (consumed > 0) conn->in.erase(0, consumed);
+  return ok;
+}
+
+bool SvrServer::HandleHttp(const ConnPtr& conn) {
+  const size_t end = conn->in.find("\r\n\r\n");
+  if (end == std::string::npos) {
+    // An unreasonably long header section is not a well-behaved scraper.
+    return conn->in.size() < 16 * 1024;
+  }
+  const size_t line_end = conn->in.find("\r\n");
+  const std::string line = conn->in.substr(0, line_end);
+  std::string path;
+  {
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp1 != std::string::npos && sp2 != std::string::npos) {
+      path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+  }
+  std::string body;
+  const char* status_line = "HTTP/1.0 200 OK";
+  const char* content_type = "text/plain; charset=utf-8";
+  if (path == "/metrics" || path == "/metrics?format=prometheus") {
+    body = engine_->DumpMetrics(telemetry::DumpFormat::kPrometheus);
+  } else if (path == "/metrics?format=json") {
+    body = engine_->DumpMetrics(telemetry::DumpFormat::kJson);
+    content_type = "application/json";
+  } else {
+    status_line = "HTTP/1.0 404 Not Found";
+    body = "only /metrics lives here\n";
+  }
+  std::string out = std::string(status_line) + "\r\nContent-Type: " +
+                    content_type + "\r\nContent-Length: " +
+                    std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n" + body;
+  {
+    MutexLock lock(conn->write_mu);
+    WriteAll(conn->fd, out.data(), out.size());
+  }
+  return false;  // one response per HTTP connection, then close
+}
+
+void SvrServer::Enqueue(Task task) {
+  {
+    MutexLock lock(queue_mu_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.NotifyOne();
+}
+
+void SvrServer::WorkerLoop() {
+  while (true) {
+    Task task;
+    {
+      MutexLock lock(queue_mu_);
+      while (queue_.empty() && !queue_stop_) queue_cv_.Wait(queue_mu_);
+      if (queue_.empty() && queue_stop_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Execute(task);
+  }
+}
+
+void SvrServer::Execute(const Task& task) {
+  const uint64_t start = NowUs();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (ctr_requests_ != nullptr) ctr_requests_->Increment();
+
+  const Request& req = task.request;
+  Response resp;
+  resp.request_id = req.request_id;
+  resp.request_type = req.type;
+
+  if (!task.admitted) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (ctr_rejected_ != nullptr) ctr_rejected_->Increment();
+    resp.code = Status::Code::kOverloaded;
+    resp.message = "shed by admission control";
+    WriteResponse(task.conn, resp);
+    return;
+  }
+
+  Status st;
+  switch (req.type) {
+    case MessageType::kPing:
+      break;
+    case MessageType::kSearch: {
+      telemetry::QueryTrace trace;
+      auto r = engine_->Search(req.keywords, req.k, req.conjunctive, &trace);
+      if (r.ok()) {
+        resp.rows = std::move(r).value();
+        resp.watermark = trace.commit_ts;
+        if (opt_.log_requests) {
+          std::fprintf(stderr, "svr_server: %s\n", trace.ToString().c_str());
+        }
+      } else {
+        st = r.status();
+      }
+      break;
+    }
+    case MessageType::kInsert:
+      st = engine_->Insert(req.table, req.row);
+      break;
+    case MessageType::kUpdate:
+      st = engine_->Update(req.table, req.row);
+      break;
+    case MessageType::kDelete:
+      st = engine_->Delete(req.table, req.pk);
+      break;
+    case MessageType::kMetrics:
+      resp.text = engine_->DumpMetrics(req.format);
+      break;
+  }
+  if (!st.ok()) {
+    resp.code = st.code();
+    resp.message = st.message();
+  }
+  WriteResponse(task.conn, resp);
+  if (request_us_ != nullptr) request_us_->Record(NowUs() - start);
+}
+
+void SvrServer::WriteResponse(const ConnPtr& conn, const Response& resp) {
+  std::string payload;
+  EncodeResponse(resp, &payload);
+  std::string framed;
+  AppendMessage(&framed, payload);
+  MutexLock lock(conn->write_mu);
+  if (conn->dead.load(std::memory_order_relaxed)) return;
+  if (!WriteAll(conn->fd, framed.data(), framed.size())) {
+    conn->dead.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool SvrServer::WriteAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{fd, POLLOUT, 0};
+      if (::poll(&p, 1, 10000) <= 0) return false;  // stuck client
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace svr::server

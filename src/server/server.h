@@ -1,0 +1,190 @@
+#ifndef SVR_SERVER_SERVER_H_
+#define SVR_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/sharded_engine.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+
+/// \file
+/// \brief The serving front end (docs/serving.md): a poll-driven event
+/// loop multiplexing many client connections onto the engine's query
+/// fan-out pool and per-shard group-commit writers.
+///
+/// Thread model:
+///   - one event-loop thread owns the listener and every connection's
+///     read side: accept, buffer, cut CRC frames, decode, dispatch;
+///   - `num_workers` worker threads execute requests against the
+///     ShardedSvrEngine and write responses (per-connection write mutex;
+///     pipelined requests of one connection may complete out of order —
+///     responses carry the request id).
+///
+/// DML from any number of connections lands on the engine's per-shard
+/// LogWriters, whose group commit batches every statement that queued
+/// while the previous fsync was in flight — the worker pool IS the
+/// batching front end (docs/durability.md). Search runs the engine's
+/// scatter-gather pinned at one cross-shard MVCC read timestamp.
+///
+/// Admission control (server/admission.h) sheds Search and DML with
+/// Status::Overloaded before execution when the windowed request p99 or
+/// the `wal.queue_depth` gauge crosses its threshold; sheds are counted
+/// in `server.rejected`.
+///
+/// The same port speaks HTTP GET for operators: `/metrics` returns
+/// DumpMetrics(kPrometheus) (`/metrics?format=json` the JSON dump), so a
+/// plain curl can scrape a running server.
+
+namespace svr::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the outcome from port().
+  uint16_t port = 0;
+  /// Request-executing worker threads. More workers = more statements
+  /// sharing each group-commit fsync, up to the engine's write capacity.
+  uint32_t num_workers = 4;
+  int listen_backlog = 128;
+  AdmissionOptions admission;
+  /// Instantaneous queue bound, evaluated at dispatch alongside the
+  /// windowed admission triggers: a sheddable request arriving while
+  /// this many are already queued for the workers is rejected with
+  /// Status::Overloaded. Bounds admitted queueing delay to roughly
+  /// (max_pending_requests + num_workers) service times — the windowed
+  /// p99 trigger alone reacts only at the next refresh, so a burst
+  /// arriving into an open window would otherwise queue arbitrarily
+  /// deep. 0 = unbounded.
+  uint32_t max_pending_requests = 0;
+  /// Serve HTTP GET /metrics on the same port (detected per connection
+  /// by its first bytes; such connections close after one response).
+  bool http_metrics = true;
+  /// Print one QueryTrace line per Search to stderr (smoke tests,
+  /// debugging). The slow-query ring captures slow traces regardless.
+  bool log_requests = false;
+};
+
+/// Plain-atomic counters, meaningful with or without telemetry. The
+/// registry mirrors (`server.*`) exist only when the engine has one.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_open = 0;
+  uint64_t requests = 0;
+  /// Admission-control sheds (responses with Status::Code::kOverloaded).
+  uint64_t rejected = 0;
+  /// Connections dropped on an undecodable or mis-checksummed frame.
+  uint64_t protocol_errors = 0;
+};
+
+class SvrServer {
+ public:
+  /// Binds, listens, starts the event loop and workers. The engine must
+  /// outlive the server. With engine telemetry enabled, the server
+  /// resolves `server.*` instruments from the engine's registry and
+  /// admission control runs; without it, admission is inert (every
+  /// request admitted) and /metrics returns an empty dump.
+  static Result<std::unique_ptr<SvrServer>> Start(
+      core::ShardedSvrEngine* engine, const ServerOptions& options);
+
+  ~SvrServer();
+
+  SvrServer(const SvrServer&) = delete;
+  SvrServer& operator=(const SvrServer&) = delete;
+
+  /// Stops accepting, closes every connection, drains the workers.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (resolves option port 0).
+  uint16_t port() const { return port_; }
+
+  ServerStats GetStats() const;
+
+  AdmissionController* admission() { return admission_.get(); }
+
+ private:
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+    const int fd;
+    /// Read buffer; event-loop thread only.
+    std::string in;
+    /// 0 = undecided, 1 = binary frames, 2 = http. Event-loop only.
+    int mode = 0;
+    /// Set when the connection must accept no further requests.
+    std::atomic<bool> dead{false};
+    /// Serializes response writes (workers complete out of order).
+    Mutex write_mu;
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  struct Task {
+    ConnPtr conn;
+    Request request;
+    bool admitted = true;
+  };
+
+  SvrServer(core::ShardedSvrEngine* engine, const ServerOptions& options);
+
+  Status Listen();
+  void EventLoop();
+  void WorkerLoop();
+
+  /// Reads everything available from `conn`; cuts and dispatches
+  /// complete frames (or serves HTTP). Returns false when the
+  /// connection is finished (EOF, error, protocol violation).
+  bool HandleReadable(const ConnPtr& conn);
+  bool DispatchFrames(const ConnPtr& conn);
+  bool HandleHttp(const ConnPtr& conn);
+  void Enqueue(Task task);
+
+  /// Executes one request on a worker and writes the response.
+  void Execute(const Task& task);
+  void WriteResponse(const ConnPtr& conn, const Response& resp);
+  /// Blocking write of the whole buffer (polls out non-blocking fds).
+  static bool WriteAll(int fd, const char* data, size_t n);
+
+  core::ShardedSvrEngine* const engine_;
+  const ServerOptions opt_;
+  telemetry::MetricsRegistry* registry_ = nullptr;  // null: no telemetry
+  std::unique_ptr<AdmissionController> admission_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+
+  std::thread event_thread_;
+  std::vector<std::thread> workers_;
+
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<Task> queue_ GUARDED_BY(queue_mu_);
+  bool queue_stop_ GUARDED_BY(queue_mu_) = false;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> stopped_{false};
+
+  // --- stats (atomics; registry mirrors when telemetry is on) ---------
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_open_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  telemetry::Counter* ctr_requests_ = nullptr;
+  telemetry::Counter* ctr_rejected_ = nullptr;
+  telemetry::Counter* ctr_protocol_errors_ = nullptr;
+  telemetry::ShardedHistogram* request_us_ = nullptr;
+};
+
+}  // namespace svr::server
+
+#endif  // SVR_SERVER_SERVER_H_

@@ -1,0 +1,160 @@
+/// \file
+/// \brief The `svr_server` binary: serves a ShardedSvrEngine over the
+/// framed protocol (docs/serving.md), preloading a synthetic corpus so a
+/// fresh start is immediately queryable. Doubles as a tiny probe client
+/// (`connect=host:port` mode) so ci.sh can smoke-test a running server
+/// without a second binary.
+///
+/// Server:
+///   ./svr_server port=7070 shards=2 workers=4 docs=5000
+///       wal_dir=/tmp/svr_wal sync=group port_file=/tmp/svr.port
+/// Probe:
+///   ./svr_server connect=127.0.0.1:7070 ping=1 query="t1 t2" k=10
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workload/concurrent_driver.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+int RunProbe(const svr::bench::Flags& flags) {
+  const std::string target = flags.GetString("connect", "");
+  const auto colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "connect= wants host:port, got '%s'\n",
+                 target.c_str());
+    return 1;
+  }
+  const std::string host = target.substr(0, colon);
+  const auto port = static_cast<uint16_t>(
+      std::atoi(target.substr(colon + 1).c_str()));
+  auto client = svr::bench::CheckResult(
+      svr::server::SvrClient::Connect(host, port), "connect");
+
+  if (flags.GetBool("ping", false)) {
+    svr::bench::Check(client->Ping(), "ping");
+    std::printf("PONG\n");
+  }
+  const std::string query = flags.GetString("query", "");
+  if (!query.empty()) {
+    auto reply = svr::bench::CheckResult(
+        client->Search(query, static_cast<uint32_t>(flags.GetInt("k", 10)),
+                       flags.GetBool("conjunctive", true)),
+        "search");
+    std::printf("watermark=%llu results=%zu\n",
+                static_cast<unsigned long long>(reply.watermark),
+                reply.rows.size());
+    for (const auto& row : reply.rows) {
+      std::printf("  pk=%lld score=%.4f\n",
+                  static_cast<long long>(row.pk), row.score);
+    }
+  }
+  if (flags.GetBool("metrics", false)) {
+    auto text = svr::bench::CheckResult(
+        client->Metrics(svr::telemetry::DumpFormat::kPrometheus),
+        "metrics");
+    std::printf("%s", text.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  svr::bench::Flags flags(argc, argv);
+  if (!flags.GetString("connect", "").empty()) return RunProbe(flags);
+
+  // --- engine: synthetic corpus, telemetry on, optional WAL -----------
+  svr::core::ShardedSvrEngineOptions engine_opt;
+  engine_opt.num_shards =
+      static_cast<uint32_t>(flags.GetInt("shards", 2));
+  engine_opt.num_query_threads =
+      static_cast<uint32_t>(flags.GetInt("query_threads", 2));
+  engine_opt.shard.telemetry.enabled = true;
+  const std::string wal_dir = flags.GetString("wal_dir", "");
+  if (!wal_dir.empty()) {
+    engine_opt.durability.enabled = true;
+    engine_opt.durability.dir = wal_dir;
+    engine_opt.durability.sync_mode =
+        flags.GetString("sync", "group") == "each"
+            ? svr::durability::SyncMode::kSyncEachStatement
+            : svr::durability::SyncMode::kGroupCommit;
+  }
+
+  svr::workload::ConcurrentChurnConfig corpus;
+  corpus.initial_docs =
+      static_cast<uint32_t>(flags.GetInt("docs", 5000));
+  corpus.vocab = static_cast<uint32_t>(flags.GetInt("vocab", 4000));
+  corpus.terms_per_doc =
+      static_cast<uint32_t>(flags.GetInt("terms", 40));
+  corpus.seed = static_cast<uint64_t>(flags.GetInt("seed", 2005));
+
+  std::fprintf(stderr, "svr_server: loading %u docs across %u shards...\n",
+               corpus.initial_docs, engine_opt.num_shards);
+  auto engine = svr::bench::CheckResult(
+      svr::workload::SetupShardedChurnEngine(engine_opt, corpus),
+      "engine setup");
+  svr::bench::Check(engine->Start(), "engine start");
+
+  // --- server ---------------------------------------------------------
+  svr::server::ServerOptions server_opt;
+  server_opt.host = flags.GetString("host", "127.0.0.1");
+  server_opt.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  server_opt.num_workers =
+      static_cast<uint32_t>(flags.GetInt("workers", 4));
+  server_opt.log_requests = flags.GetBool("log_requests", false);
+  server_opt.admission.enabled = flags.GetBool("admission", true);
+  server_opt.admission.max_p99_us = static_cast<uint64_t>(
+      flags.GetInt("max_p99_us", server_opt.admission.max_p99_us));
+  server_opt.admission.max_wal_queue_depth = static_cast<uint64_t>(
+      flags.GetInt("max_wal_queue",
+                   server_opt.admission.max_wal_queue_depth));
+  server_opt.max_pending_requests = static_cast<uint32_t>(
+      flags.GetInt("max_pending", server_opt.max_pending_requests));
+
+  auto server = svr::bench::CheckResult(
+      svr::server::SvrServer::Start(engine.get(), server_opt), "server");
+  std::fprintf(stderr, "svr_server: listening on %s:%u\n",
+               server_opt.host.c_str(), server->port());
+
+  const std::string port_file = flags.GetString("port_file", "");
+  if (!port_file.empty()) {
+    FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FATAL cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server->port());
+    std::fclose(f);
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_shutdown == 0) {
+    struct timespec ts = {0, 50 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+
+  std::fprintf(stderr, "svr_server: shutting down\n");
+  server->Stop();
+  const auto stats = server->GetStats();
+  std::fprintf(stderr,
+               "svr_server: served %llu requests (%llu rejected, "
+               "%llu protocol errors) over %llu connections\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.rejected),
+               static_cast<unsigned long long>(stats.protocol_errors),
+               static_cast<unsigned long long>(stats.connections_accepted));
+  engine->Stop();
+  return 0;
+}

@@ -70,6 +70,22 @@ void MetricsRegistry::RegisterGauge(const std::string& name,
   gauges_[name].push_back(std::move(fn));
 }
 
+double MetricsRegistry::GaugeValue(const std::string& name) const {
+  // Copy the callbacks out so user-provided code never runs under mu_
+  // (the same discipline as Dump — a callback may take its subsystem's
+  // own lock).
+  std::vector<std::function<double()>> fns;
+  {
+    MutexLock lock(mu_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) return 0.0;
+    fns = it->second;
+  }
+  double total = 0.0;
+  for (const auto& fn : fns) total += fn();
+  return total;
+}
+
 std::string MetricsRegistry::Dump(DumpFormat format) const {
   // Copy the instrument tables out so nothing user-provided (gauge
   // callbacks) and nothing slow (histogram folds) runs under mu_.

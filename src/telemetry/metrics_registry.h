@@ -66,6 +66,13 @@ class MetricsRegistry {
   void RegisterGauge(const std::string& name, std::function<double()> fn)
       EXCLUDES(mu_);
 
+  /// Current value of gauge `name`: the sum over its registered
+  /// callbacks (the same fold a dump renders), run with no registry lock
+  /// held. 0.0 when no callback is registered under that name. This is
+  /// the programmatic read the server's admission controller uses for
+  /// `wal.queue_depth` (docs/serving.md).
+  double GaugeValue(const std::string& name) const EXCLUDES(mu_);
+
   /// Serializes every instrument. Histograms export count/sum/max/mean
   /// plus the p50/p95/p99/p999 quantiles (bucket upper edges —
   /// docs/observability.md describes the ≤6.25% quantization).

@@ -1,0 +1,563 @@
+// Serving front end tests (docs/serving.md):
+//  - Protocol codec: every request/response type round-trips through
+//    encode/decode; decoders reject trailing bytes.
+//  - Frame discipline: truncated streams report kNeedMore (never a
+//    partial decode), any single bit flip and oversized length fields
+//    report kCorrupt — the WAL's either-bit-exact-or-provably-corrupt
+//    property applied to the network.
+//  - End to end: a real server on an ephemeral port, N concurrent
+//    clients interleaving DML and Search, answers checked against the
+//    engine queried directly (the in-process oracle).
+//  - Admission control: with thresholds forced low the server sheds with
+//    Status::Code::kOverloaded and counts `server.rejected`.
+//  - HTTP: GET /metrics on the serving port returns the Prometheus dump.
+//  (A TSan target in ci.sh.)
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_engine.h"
+#include "server/admission.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "workload/concurrent_driver.h"
+
+namespace svr {
+namespace {
+
+using relational::Value;
+using server::AppendMessage;
+using server::FrameParse;
+using server::MessageType;
+using server::ParseFrame;
+using server::Request;
+using server::Response;
+using server::SvrClient;
+using server::SvrServer;
+
+// --- protocol codec ----------------------------------------------------
+
+Request RoundTripRequest(const Request& in) {
+  std::string payload;
+  EncodeRequest(in, &payload);
+  Request out;
+  Status st = DecodeRequest(Slice(payload), &out);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+Response RoundTripResponse(const Response& in) {
+  std::string payload;
+  EncodeResponse(in, &payload);
+  Response out;
+  Status st = DecodeResponse(Slice(payload), &out);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+TEST(ProtocolTest, SearchRequestRoundTrip) {
+  Request req;
+  req.type = MessageType::kSearch;
+  req.request_id = 77;
+  req.keywords = "alpha beta gamma";
+  req.k = 25;
+  req.conjunctive = false;
+  const Request got = RoundTripRequest(req);
+  EXPECT_EQ(got.type, MessageType::kSearch);
+  EXPECT_EQ(got.request_id, 77u);
+  EXPECT_EQ(got.keywords, "alpha beta gamma");
+  EXPECT_EQ(got.k, 25u);
+  EXPECT_FALSE(got.conjunctive);
+}
+
+TEST(ProtocolTest, DmlRequestsRoundTrip) {
+  Request ins;
+  ins.type = MessageType::kInsert;
+  ins.request_id = 1;
+  ins.table = "docs";
+  ins.row = {Value::Int(42), Value::String("hello world")};
+  Request got = RoundTripRequest(ins);
+  EXPECT_EQ(got.type, MessageType::kInsert);
+  EXPECT_EQ(got.table, "docs");
+  ASSERT_EQ(got.row.size(), 2u);
+  EXPECT_EQ(got.row[0].as_int(), 42);
+  EXPECT_EQ(got.row[1].as_string(), "hello world");
+
+  Request upd = ins;
+  upd.type = MessageType::kUpdate;
+  upd.row = {Value::Int(7), Value::Double(3.25)};
+  got = RoundTripRequest(upd);
+  EXPECT_EQ(got.type, MessageType::kUpdate);
+  ASSERT_EQ(got.row.size(), 2u);
+  EXPECT_EQ(got.row[1].as_double(), 3.25);
+
+  Request del;
+  del.type = MessageType::kDelete;
+  del.request_id = 3;
+  del.table = "docs";
+  del.pk = -9000;  // zigzag must keep negatives intact
+  got = RoundTripRequest(del);
+  EXPECT_EQ(got.type, MessageType::kDelete);
+  EXPECT_EQ(got.pk, -9000);
+}
+
+TEST(ProtocolTest, PingAndMetricsRequestsRoundTrip) {
+  Request ping;
+  ping.type = MessageType::kPing;
+  ping.request_id = 5;
+  EXPECT_EQ(RoundTripRequest(ping).type, MessageType::kPing);
+
+  Request metrics;
+  metrics.type = MessageType::kMetrics;
+  metrics.request_id = 6;
+  metrics.format = telemetry::DumpFormat::kJson;
+  const Request got = RoundTripRequest(metrics);
+  EXPECT_EQ(got.type, MessageType::kMetrics);
+  EXPECT_EQ(got.format, telemetry::DumpFormat::kJson);
+}
+
+TEST(ProtocolTest, SearchResponseRoundTrip) {
+  Response resp;
+  resp.request_id = 99;
+  resp.request_type = MessageType::kSearch;
+  resp.code = Status::Code::kOk;
+  resp.watermark = 123456789;
+  core::ScoredRow a;
+  a.pk = 17;
+  a.score = 250.5;
+  a.row = {Value::Int(17), Value::String("doc text")};
+  core::ScoredRow b;
+  b.pk = -3;
+  b.score = 0.125;
+  resp.rows = {a, b};
+  const Response got = RoundTripResponse(resp);
+  EXPECT_EQ(got.request_id, 99u);
+  EXPECT_EQ(got.request_type, MessageType::kSearch);
+  EXPECT_EQ(got.code, Status::Code::kOk);
+  EXPECT_EQ(got.watermark, 123456789u);
+  ASSERT_EQ(got.rows.size(), 2u);
+  EXPECT_EQ(got.rows[0].pk, 17);
+  EXPECT_EQ(got.rows[0].score, 250.5);
+  ASSERT_EQ(got.rows[0].row.size(), 2u);
+  EXPECT_EQ(got.rows[0].row[1].as_string(), "doc text");
+  EXPECT_EQ(got.rows[1].pk, -3);
+  EXPECT_TRUE(got.rows[1].row.empty());
+}
+
+TEST(ProtocolTest, ErrorResponseRoundTripsCodeAndMessage) {
+  Response resp;
+  resp.request_id = 11;
+  resp.request_type = MessageType::kInsert;
+  resp.code = Status::Code::kOverloaded;
+  resp.message = "load shed";
+  const Response got = RoundTripResponse(resp);
+  EXPECT_EQ(got.code, Status::Code::kOverloaded);
+  EXPECT_EQ(got.message, "load shed");
+  EXPECT_TRUE(got.ToStatus().IsOverloaded());
+}
+
+TEST(ProtocolTest, DecodeRejectsTrailingBytes) {
+  Request req;
+  req.type = MessageType::kPing;
+  req.request_id = 1;
+  std::string payload;
+  EncodeRequest(req, &payload);
+  payload.push_back('\x00');
+  Request out;
+  EXPECT_TRUE(DecodeRequest(Slice(payload), &out).IsCorruption());
+}
+
+// --- frame discipline --------------------------------------------------
+
+TEST(FrameTest, EveryTruncationReportsNeedMore) {
+  std::string framed;
+  AppendMessage(&framed, "some payload bytes");
+  for (size_t n = 0; n < framed.size(); ++n) {
+    size_t frame_bytes = 0;
+    Slice payload;
+    Status err;
+    EXPECT_EQ(ParseFrame(Slice(framed.data(), n), &frame_bytes, &payload,
+                         &err),
+              FrameParse::kNeedMore)
+        << "prefix of " << n << " bytes";
+  }
+  size_t frame_bytes = 0;
+  Slice payload;
+  Status err;
+  ASSERT_EQ(ParseFrame(Slice(framed), &frame_bytes, &payload, &err),
+            FrameParse::kFrame);
+  EXPECT_EQ(frame_bytes, framed.size());
+  EXPECT_EQ(payload.ToString(), "some payload bytes");
+}
+
+TEST(FrameTest, AnySingleBitFlipIsCorrupt) {
+  std::string framed;
+  AppendMessage(&framed, "group commit");
+  for (size_t byte = 0; byte < framed.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = framed;
+      bad[byte] = static_cast<char>(bad[byte] ^ (1 << bit));
+      size_t frame_bytes = 0;
+      Slice payload;
+      Status err;
+      const FrameParse r =
+          ParseFrame(Slice(bad), &frame_bytes, &payload, &err);
+      // Flips in the length field may also leave the parser waiting for
+      // a longer frame; what must never happen is a clean kFrame.
+      EXPECT_NE(r, FrameParse::kFrame)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(FrameTest, OversizedLengthIsCorruptNotBuffered) {
+  // A stream positioned on garbage must be rejected from the length
+  // field alone — not after buffering gigabytes waiting for a CRC.
+  std::string bad;
+  const uint32_t huge = server::kMaxPayloadBytes + 1;
+  for (int i = 0; i < 4; ++i) bad.push_back(static_cast<char>(huge >> (8 * i)));
+  bad.append(4, '\x00');
+  size_t frame_bytes = 0;
+  Slice payload;
+  Status err;
+  EXPECT_EQ(ParseFrame(Slice(bad), &frame_bytes, &payload, &err),
+            FrameParse::kCorrupt);
+  EXPECT_TRUE(err.IsCorruption());
+}
+
+TEST(FrameTest, BackToBackFramesCutCleanly) {
+  std::string stream;
+  AppendMessage(&stream, "first");
+  AppendMessage(&stream, "second");
+  size_t frame_bytes = 0;
+  Slice payload;
+  Status err;
+  ASSERT_EQ(ParseFrame(Slice(stream), &frame_bytes, &payload, &err),
+            FrameParse::kFrame);
+  EXPECT_EQ(payload.ToString(), "first");
+  const Slice rest(stream.data() + frame_bytes,
+                   stream.size() - frame_bytes);
+  ASSERT_EQ(ParseFrame(rest, &frame_bytes, &payload, &err),
+            FrameParse::kFrame);
+  EXPECT_EQ(payload.ToString(), "second");
+}
+
+// --- end to end --------------------------------------------------------
+
+workload::ConcurrentChurnConfig SmallCorpus() {
+  workload::ConcurrentChurnConfig c;
+  c.initial_docs = 600;
+  c.vocab = 400;
+  c.terms_per_doc = 12;
+  c.seed = 2005;
+  return c;
+}
+
+struct LiveServer {
+  std::unique_ptr<core::ShardedSvrEngine> engine;
+  std::unique_ptr<SvrServer> server;
+  LiveServer() = default;
+  LiveServer(LiveServer&&) = default;
+  LiveServer& operator=(LiveServer&&) = default;
+  ~LiveServer() {
+    if (server != nullptr) server->Stop();
+    if (engine != nullptr) engine->Stop();
+  }
+};
+
+LiveServer StartLiveServer(const server::ServerOptions& opt,
+                           uint32_t num_shards = 2) {
+  LiveServer live;
+  core::ShardedSvrEngineOptions eng_opt;
+  eng_opt.num_shards = num_shards;
+  eng_opt.shard.telemetry.enabled = true;
+  auto engine_r = workload::SetupShardedChurnEngine(eng_opt, SmallCorpus());
+  EXPECT_TRUE(engine_r.ok()) << engine_r.status().ToString();
+  if (!engine_r.ok()) return live;
+  live.engine = std::move(engine_r).value();
+  auto server_r = SvrServer::Start(live.engine.get(), opt);
+  EXPECT_TRUE(server_r.ok()) << server_r.status().ToString();
+  if (server_r.ok()) live.server = std::move(server_r).value();
+  return live;
+}
+
+TEST(ServerTest, PingSearchAndMetricsOverTheWire) {
+  LiveServer live = StartLiveServer(server::ServerOptions{});
+  ASSERT_NE(live.server, nullptr);
+  auto client_r = SvrClient::Connect("127.0.0.1", live.server->port());
+  ASSERT_TRUE(client_r.ok()) << client_r.status().ToString();
+  auto& client = client_r.value();
+
+  ASSERT_TRUE(client->Ping().ok());
+
+  auto reply_r = client->Search("t1 t2", 10, true);
+  ASSERT_TRUE(reply_r.ok()) << reply_r.status().ToString();
+  const auto& reply = reply_r.value();
+  EXPECT_GT(reply.watermark, 0u) << "pinned MVCC watermark travels back";
+
+  // Oracle: the engine queried directly must agree result-for-result
+  // (no writes are racing, so the snapshot is stable).
+  auto direct = live.engine->Search("t1 t2", 10, true);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(reply.rows.size(), direct.value().size());
+  for (size_t i = 0; i < reply.rows.size(); ++i) {
+    EXPECT_EQ(reply.rows[i].pk, direct.value()[i].pk);
+    EXPECT_EQ(reply.rows[i].score, direct.value()[i].score);
+  }
+
+  auto metrics_r = client->Metrics(telemetry::DumpFormat::kPrometheus);
+  ASSERT_TRUE(metrics_r.ok());
+  EXPECT_NE(metrics_r.value().find("svr_server_requests"),
+            std::string::npos);
+}
+
+TEST(ServerTest, DmlOverTheWireIsVisibleToSearch) {
+  LiveServer live = StartLiveServer(server::ServerOptions{});
+  ASSERT_NE(live.server, nullptr);
+  auto client_r = SvrClient::Connect("127.0.0.1", live.server->port());
+  ASSERT_TRUE(client_r.ok());
+  auto& client = client_r.value();
+
+  // A fresh document with a vocabulary no synthetic doc uses, and a
+  // score that dominates.
+  const int64_t pk = 100000;
+  ASSERT_TRUE(client
+                  ->Insert("docs", {Value::Int(pk),
+                                    Value::String("zebrafish zebrafish")})
+                  .ok());
+  ASSERT_TRUE(
+      client->Insert("scores", {Value::Int(pk), Value::Double(5.0)}).ok());
+  auto reply = client->Search("zebrafish", 5, true);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply.value().rows.size(), 1u);
+  EXPECT_EQ(reply.value().rows[0].pk, pk);
+
+  ASSERT_TRUE(client->Delete("docs", pk).ok());
+  reply = client->Search("zebrafish", 5, true);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply.value().rows.empty()) << "delete must be visible";
+
+  // Errors travel back as statuses, not dropped connections.
+  EXPECT_FALSE(client->Insert("no_such_table", {Value::Int(1)}).ok());
+  EXPECT_TRUE(client->Ping().ok()) << "connection survives an error";
+}
+
+TEST(ServerTest, ConcurrentClientsMatchDirectEngineAnswers) {
+  server::ServerOptions opt;
+  opt.num_workers = 4;
+  LiveServer live = StartLiveServer(opt);
+  ASSERT_NE(live.server, nullptr);
+
+  constexpr int kClients = 6;
+  constexpr int kOpsPerClient = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client_r = SvrClient::Connect("127.0.0.1", live.server->port());
+      if (!client_r.ok()) {
+        ++failures;
+        return;
+      }
+      auto& client = client_r.value();
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        // Writers churn disjoint fresh keys; everyone searches.
+        const int64_t pk = 200000 + c * kOpsPerClient + i;
+        if (!client
+                 ->Insert("docs",
+                          {Value::Int(pk), Value::String("t1 t2 t3")})
+                 .ok() ||
+            !client
+                 ->Insert("scores", {Value::Int(pk), Value::Double(1.0)})
+                 .ok()) {
+          ++failures;
+          return;
+        }
+        auto reply = client->Search("t1 t2", 10, true);
+        if (!reply.ok() && !reply.status().IsOverloaded()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Quiesced: the wire answer equals the direct answer.
+  auto client_r = SvrClient::Connect("127.0.0.1", live.server->port());
+  ASSERT_TRUE(client_r.ok());
+  auto reply = client_r.value()->Search("t1 t2", 20, true);
+  auto direct = live.engine->Search("t1 t2", 20, true);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(reply.value().rows.size(), direct.value().size());
+  for (size_t i = 0; i < direct.value().size(); ++i) {
+    EXPECT_EQ(reply.value().rows[i].pk, direct.value()[i].pk);
+    EXPECT_EQ(reply.value().rows[i].score, direct.value()[i].score);
+  }
+
+  const auto stats = live.server->GetStats();
+  EXPECT_GE(stats.requests, static_cast<uint64_t>(kClients) *
+                                kOpsPerClient * 3);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(ServerTest, CorruptFrameClosesConnectionAndCountsIt) {
+  LiveServer live = StartLiveServer(server::ServerOptions{});
+  ASSERT_NE(live.server, nullptr);
+  auto client_r = SvrClient::Connect("127.0.0.1", live.server->port());
+  ASSERT_TRUE(client_r.ok());
+  auto& client = client_r.value();
+
+  std::string framed;
+  {
+    Request req;
+    req.type = MessageType::kPing;
+    req.request_id = 1;
+    std::string payload;
+    EncodeRequest(req, &payload);
+    AppendMessage(&framed, payload);
+  }
+  framed.back() = static_cast<char>(framed.back() ^ 0x01);
+  ASSERT_TRUE(client->SendRaw(Slice(framed)).ok());
+  // The server must close, not answer.
+  auto resp = client->ReadResponse();
+  EXPECT_FALSE(resp.ok());
+
+  // Give the event loop a beat to record the error.
+  for (int i = 0; i < 100; ++i) {
+    if (live.server->GetStats().protocol_errors > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(live.server->GetStats().protocol_errors, 1u);
+
+  // And fresh connections still work.
+  auto again = SvrClient::Connect("127.0.0.1", live.server->port());
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value()->Ping().ok());
+}
+
+TEST(ServerTest, AdmissionControlShedsWithOverloadedStatus) {
+  server::ServerOptions opt;
+  // Force the latency trigger: any request slower than 1us trips it
+  // once the window holds a single sample, and the refresh runs on
+  // every admit.
+  opt.admission.max_p99_us = 1;
+  opt.admission.min_window_count = 1;
+  opt.admission.refresh_interval_ms = 0;
+  LiveServer live = StartLiveServer(opt);
+  ASSERT_NE(live.server, nullptr);
+  auto client_r = SvrClient::Connect("127.0.0.1", live.server->port());
+  ASSERT_TRUE(client_r.ok());
+  auto& client = client_r.value();
+
+  bool shed = false;
+  for (int i = 0; i < 50 && !shed; ++i) {
+    auto reply = client->Search("t1 t2", 10, true);
+    if (!reply.ok()) {
+      ASSERT_TRUE(reply.status().IsOverloaded())
+          << reply.status().ToString();
+      shed = true;
+    }
+  }
+  EXPECT_TRUE(shed) << "sub-microsecond p99 ceiling must shed";
+  EXPECT_GE(live.server->GetStats().rejected, 1u);
+
+  // Ping is never load-bearing: it must pass while Search sheds.
+  EXPECT_TRUE(client->Ping().ok());
+
+  // The shed is visible in the exported metrics too.
+  auto metrics = client->Metrics(telemetry::DumpFormat::kPrometheus);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics.value().find("svr_server_rejected"),
+            std::string::npos);
+}
+
+// Raw HTTP GET over a fresh socket; returns everything the server sent
+// before closing.
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)::send(fd, req.data(), req.size(), MSG_NOSIGNAL);
+  std::string out;
+  char buf[4096];
+  ssize_t r;
+  while ((r = ::read(fd, buf, sizeof(buf))) > 0) {
+    out.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(ServerTest, HttpMetricsOnTheSamePort) {
+  LiveServer live = StartLiveServer(server::ServerOptions{});
+  ASSERT_NE(live.server, nullptr);
+
+  const std::string prom = HttpGet(live.server->port(), "/metrics");
+  EXPECT_NE(prom.find("200 OK"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("svr_server_requests"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE"), std::string::npos)
+      << "Prometheus exposition format";
+
+  const std::string json =
+      HttpGet(live.server->port(), "/metrics?format=json");
+  EXPECT_NE(json.find("200 OK"), std::string::npos);
+  EXPECT_NE(json.find("\"server.requests\""), std::string::npos);
+
+  const std::string missing = HttpGet(live.server->port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  // HTTP traffic must not disturb binary clients on the same port.
+  auto client = SvrClient::Connect("127.0.0.1", live.server->port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client.value()->Ping().ok());
+}
+
+TEST(ServerTest, StopIsIdempotentAndDropsClients) {
+  LiveServer live = StartLiveServer(server::ServerOptions{});
+  ASSERT_NE(live.server, nullptr);
+  auto client_r = SvrClient::Connect("127.0.0.1", live.server->port());
+  ASSERT_TRUE(client_r.ok());
+  ASSERT_TRUE(client_r.value()->Ping().ok());
+
+  live.server->Stop();
+  live.server->Stop();  // idempotent
+
+  // The open connection is gone.
+  EXPECT_FALSE(client_r.value()->Ping().ok());
+  // And the port no longer accepts.
+  auto again = SvrClient::Connect("127.0.0.1", live.server->port());
+  if (again.ok()) {
+    EXPECT_FALSE(again.value()->Ping().ok());
+  }
+}
+
+}  // namespace
+}  // namespace svr

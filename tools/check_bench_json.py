@@ -172,6 +172,50 @@ def check_telemetry(d):
         ratio, summary["periodic_dumps"])
 
 
+def check_server(d):
+    assert d["series"], "empty server bench"
+    write = sorted((s for s in d["series"] if s["kind"] == "write"),
+                   key=lambda s: s["clients"])
+    assert len(write) >= 2 and write[0]["clients"] == 1, \
+        "write series needs a one-client baseline plus a multi-client run"
+    one, many = write[0], write[-1]
+    # The serving claim: N connections funnel into the engine's group
+    # commit, sharing each padded fsync that a single connection pays
+    # per statement. The factor is bounded by the non-fsync share of the
+    # DML path, so the gate is conservative.
+    assert many["ops_per_sec"] >= 1.5 * one["ops_per_sec"], \
+        "%d-client write throughput %.0f ops/s not >= 1.5x the " \
+        "one-client %.0f — group commit is not coalescing" % (
+            many["clients"], many["ops_per_sec"], one["ops_per_sec"])
+    search = [s for s in d["series"] if s["kind"] == "search"]
+    assert len({s["clients"] for s in search}) >= 2, \
+        "search series needs at least two client counts"
+    for s in search:
+        assert s["completed"] > 0, \
+            "no completed searches at clients=%d" % s["clients"]
+        assert s["sustained_qps"] > 0, \
+            "zero sustained QPS at clients=%d" % s["clients"]
+        assert s["p50_us"] <= s["p99_us"] <= s["p999_us"], \
+            "percentiles out of order at clients=%d" % s["clients"]
+    over = [s for s in d["series"] if s["kind"] == "overload"]
+    assert over, "no overload series"
+    for s in over:
+        assert s["rejected"] > 0, \
+            "admission never shed under %d-client overload" % s["clients"]
+        assert s["admitted"] > 0, "overload shed everything"
+        # Bounded tail under 2x load: admitted requests may overshoot the
+        # ceiling while a shed round trips, but not run away.
+        assert s["admitted_p99_us"] <= 5 * s["p99_ceiling_us"], \
+            "admitted p99 %d us not within 5x the %d us ceiling" % (
+                s["admitted_p99_us"], s["p99_ceiling_us"])
+    return "write %.1fx at %d conns; %s sustained QPS; overload shed " \
+        "%d with admitted p99 %d us (ceiling %d)" % (
+            many["ops_per_sec"] / one["ops_per_sec"], many["clients"],
+            "/".join("%.0f" % s["sustained_qps"] for s in search),
+            over[0]["rejected"], over[0]["admitted_p99_us"],
+            over[0]["p99_ceiling_us"])
+
+
 CHECKERS = {
     "merge_policy": check_merge_policy,
     "concurrent_churn": check_concurrent_churn,
@@ -179,6 +223,7 @@ CHECKERS = {
     "mvcc_churn": check_mvcc_churn,
     "durability": check_durability,
     "telemetry": check_telemetry,
+    "server": check_server,
 }
 
 
@@ -229,6 +274,18 @@ def _self_test_fixtures():
         for r in (0, 1) for m in ("off", "on")
     ], "summary": {"overhead_ratio": 1.02, "dump_ok": True,
                    "periodic_dumps": 12}}
+    server_ok = {"series": [
+        {"kind": "write", "clients": 1, "ops_per_sec": 700.0},
+        {"kind": "write", "clients": 8, "ops_per_sec": 1800.0},
+        {"kind": "search", "clients": 2, "completed": 1000,
+         "sustained_qps": 800.0, "p50_us": 500, "p99_us": 3000,
+         "p999_us": 5000},
+        {"kind": "search", "clients": 8, "completed": 1000,
+         "sustained_qps": 790.0, "p50_us": 900, "p99_us": 5000,
+         "p999_us": 7000},
+        {"kind": "overload", "clients": 16, "p99_ceiling_us": 500,
+         "rejected": 1500, "admitted": 2500, "admitted_p99_us": 1200},
+    ]}
     passing = {
         "merge_policy": merge_ok,
         "concurrent_churn": churn_ok,
@@ -236,6 +293,7 @@ def _self_test_fixtures():
         "mvcc_churn": mvcc_ok,
         "durability": dur_ok,
         "telemetry": telemetry_ok,
+        "server": server_ok,
     }
     # Seeded failures: each flips exactly the property its checker gates.
     merge_bad = json.loads(json.dumps(merge_ok))
@@ -250,6 +308,8 @@ def _self_test_fixtures():
     dur_bad["series"][0]["ops_per_sec"] = 150.0  # group < 3x sync_each
     telemetry_bad = json.loads(json.dumps(telemetry_ok))
     telemetry_bad["summary"]["overhead_ratio"] = 1.12  # over the 5% budget
+    server_bad = json.loads(json.dumps(server_ok))
+    server_bad["series"][4]["rejected"] = 0  # admission never shed
     failing = {
         "merge_policy": merge_bad,
         "concurrent_churn": churn_bad,
@@ -257,6 +317,7 @@ def _self_test_fixtures():
         "mvcc_churn": mvcc_bad,
         "durability": dur_bad,
         "telemetry": telemetry_bad,
+        "server": server_bad,
     }
     return passing, failing
 
